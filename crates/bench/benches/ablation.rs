@@ -1,0 +1,80 @@
+//! **E10 — ablations** of the two design knobs DESIGN.md calls out:
+//!
+//! 1. the tradeoff parameter `b` (Algorithm 1): larger `b` lowers the
+//!    per-level defect — fewer colors — at `O((b·p)²)`-factor slower levels;
+//! 2. the Section 4.2 auxiliary-coloring reuse: seeding every level's
+//!    defective coloring from the precomputed `O(Δ²)`-coloring ρ instead of
+//!    from raw identifiers replaces the per-level `log* n` term by `log* Δ`.
+
+use deco_bench::{banner, scale, Scale, Table};
+use deco_core::edge::legal::{edge_color, edge_log_depth, MessageMode};
+use deco_core::legal::{legal_color_with_policy, AuxPolicy};
+use deco_core::params::LegalParams;
+use deco_graph::line_graph::line_graph;
+use deco_graph::generators;
+use deco_local::Network;
+
+fn main() {
+    banner("E10 / ablations", "the b tradeoff and the §4.2 auxiliary reuse");
+
+    // --- Ablation 1: b sweep on the edge algorithm. ---
+    let (n, extra) = match scale() {
+        Scale::Quick => (500usize, 30u64),
+        Scale::Full => (1500, 80),
+    };
+    println!("ablation 1: edge algorithm, sweep b (colors vs rounds)\n");
+    let table = Table::new(
+        &["b", "p", "λ", "Δ", "colors", "ϑ", "rounds", "levels"],
+        &[3, 4, 5, 5, 7, 8, 7, 7],
+    );
+    for b in [1u64, 2, 3, 4] {
+        let params = edge_log_depth(b);
+        let g =
+            generators::random_bounded_degree(n, (params.lambda + extra) as usize, 0xE10);
+        let run = edge_color(&g, params, MessageMode::Long).expect("valid preset");
+        assert!(run.coloring.is_proper(&g));
+        table.row(&[
+            b.to_string(),
+            params.p.to_string(),
+            params.lambda.to_string(),
+            g.max_degree().to_string(),
+            run.coloring.palette_size().to_string(),
+            run.theta.to_string(),
+            run.stats.rounds.to_string(),
+            run.levels.len().to_string(),
+        ]);
+    }
+
+    // --- Ablation 2: §4.2 aux reuse on the vertex algorithm. ---
+    println!("\nablation 2: vertex algorithm, §4.2 auxiliary-coloring reuse\n");
+    let host = generators::random_bounded_degree(n, 24, 0xE10 + 1);
+    let g = line_graph(&host);
+    println!("workload: line graph, n_L = {}, Δ_L = {}\n", g.n(), g.max_degree());
+    let table = Table::new(
+        &["policy", "colors", "ϑ", "rounds", "messages"],
+        &[22, 7, 8, 7, 12],
+    );
+    for (name, policy) in [
+        ("reuse ρ (§4.2)", AuxPolicy::ReusePerLevel),
+        ("fresh per level", AuxPolicy::FreshPerLevel),
+    ] {
+        let net = Network::new(&g);
+        let run =
+            legal_color_with_policy(&net, 2, LegalParams::log_depth(2, 1), policy).unwrap();
+        assert!(run.coloring.is_proper(&g));
+        table.row(&[
+            name.to_string(),
+            run.coloring.palette_size().to_string(),
+            run.theta.to_string(),
+            run.stats.rounds.to_string(),
+            run.stats.messages.to_string(),
+        ]);
+    }
+    println!(
+        "\nshape check: larger b buys fewer colors for more rounds per level.\n\
+         For the §4.2 ablation the honest finding is that at simulatable sizes\n\
+         the difference is at most log* n - log* Δ <= 2 schedule rounds per\n\
+         level and can vanish entirely — the improvement only bites for\n\
+         n >> Δ², exactly as the asymptotic statement suggests."
+    );
+}

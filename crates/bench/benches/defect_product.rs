@@ -1,0 +1,87 @@
+//! **E3 — the Section 1.3 headline**: the defect × colors product of
+//! Procedure Defective-Color is linear in Δ on bounded-NI graphs, versus
+//! the superlinear `O(Δ·p)` of Kuhn's general-graph routine.
+//!
+//! "In all previous efficient distributed routines for m-defective
+//! p-coloring the product m·p is super-linear in Δ. In our routine this
+//! product is linear in Δ." We run both routines on the same line graph
+//! (where `c = 2`) and print the measured products across `p`.
+
+use deco_bench::{banner, scale, Scale, Table};
+use deco_core::code_reduction::{linial_coloring, run_code_reduction};
+use deco_core::defective::defective_color;
+use deco_core::math::kuhn_schedule;
+use deco_graph::coloring::VertexColoring;
+use deco_graph::line_graph::line_graph;
+use deco_graph::generators;
+use deco_local::Network;
+
+fn main() {
+    banner(
+        "E3 / §1.3",
+        "defect × colors: Algorithm 1 (ours, p colors) vs Kuhn [19] (p² colors)",
+    );
+    let (n, cap) = match scale() {
+        Scale::Quick => (150usize, 14usize),
+        Scale::Full => (400, 24),
+    };
+    let host = generators::random_bounded_degree(n, cap, 0xE3);
+    let g = line_graph(&host);
+    let delta = g.max_degree() as u64;
+    println!("workload: line graph (c = 2), n_L = {}, Δ_L = {delta}\n", g.n());
+
+    let table = Table::new(
+        &["p", "routine", "colors", "defect", "product", "bound m·χ", "bound/Δ"],
+        &[4, 26, 7, 7, 8, 10, 8],
+    );
+    for p in [2u64, 3, 4, 6, 8] {
+        if p > delta {
+            continue;
+        }
+        // Ours: Algorithm 1 with b = 2 (Corollary 3.8).
+        let net = Network::new(&g);
+        let run = defective_color(&net, 2, p, delta);
+        let ours = VertexColoring::new(run.psi);
+        let d_ours = ours.defect(&g);
+        let c_ours = ours.palette_size();
+        let bound_ours = deco_core::defective::theorem_3_7_defect(2, 2, p, delta) * p;
+        table.row(&[
+            p.to_string(),
+            "ours (Defective-Color)".into(),
+            c_ours.to_string(),
+            d_ours.to_string(),
+            (c_ours * d_ours).to_string(),
+            bound_ours.to_string(),
+            format!("{:.2}", bound_ours as f64 / delta as f64),
+        ]);
+
+        // Kuhn's general-graph routine: ⌊Δ/p⌋-defective O(p²)-coloring.
+        let net = Network::new(&g);
+        let (aux, palette, _) = linial_coloring(&net);
+        let steps = kuhn_schedule(palette, delta, (delta / p).max(1));
+        let groups = vec![0u64; g.n()];
+        let (colors, _) = run_code_reduction(&net, &groups, 1, &aux, steps.clone());
+        let kuhn = VertexColoring::new(colors);
+        let d_kuhn = kuhn.defect(&g);
+        let c_kuhn = kuhn.palette_size();
+        // Guaranteed bound: ⌊Δ/p⌋ defect on the palette the schedule lands
+        // on (or the input palette when it cannot shrink).
+        let palette_bound = steps.last().map(|s| s.to_palette).unwrap_or(palette);
+        let bound_kuhn = (delta / p).max(1) * palette_bound;
+        table.row(&[
+            p.to_string(),
+            "Kuhn [19] (general graphs)".into(),
+            c_kuhn.to_string(),
+            d_kuhn.to_string(),
+            (c_kuhn * d_kuhn).to_string(),
+            bound_kuhn.to_string(),
+            format!("{:.2}", bound_kuhn as f64 / delta as f64),
+        ]);
+        table.rule();
+    }
+    println!(
+        "shape check: ours uses exactly p colors so the product tracks the defect\n\
+         bound (c+ε)Δ + cp = O(Δ); Kuhn's palette is Θ(p²) while its defect is\n\
+         Θ(Δ/p), so its product grows like Δ·p — superlinear in Δ as p grows."
+    );
+}

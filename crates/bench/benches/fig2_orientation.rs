@@ -1,0 +1,78 @@
+//! **E5 — Figure 2 / Lemma 3.4**: coloring along an acyclic orientation.
+//!
+//! A vertex waits for all neighbors across outgoing edges, then picks a
+//! free color in `{0, ..., d}`: the round count is the longest directed
+//! path plus O(1), and the palette is `d+1`. We measure both on
+//! orientations with very different path structure — by identifier (long
+//! chains) and by layer ranks (constant-length chains) — the distinction
+//! Lemma 3.5 exploits when orienting each ψ-class by φ-color.
+
+use deco_bench::{banner, scale, Scale, Table};
+use deco_core::orientation_color::orientation_coloring;
+use deco_graph::coloring::VertexColoring;
+use deco_graph::orientation::Orientation;
+use deco_graph::generators;
+use deco_local::Network;
+
+fn main() {
+    banner("E5 / Figure 2", "Lemma 3.4: (d+1)-coloring along acyclic orientations");
+    let n = match scale() {
+        Scale::Quick => 1_000,
+        Scale::Full => 10_000,
+    };
+    let table = Table::new(
+        &["graph", "orientation", "d", "longest path", "colors", "rounds"],
+        &[18, 14, 5, 13, 7, 7],
+    );
+
+    let cases: Vec<(&str, deco_graph::Graph)> = vec![
+        ("path", generators::path(n)),
+        ("random Δ<=8", generators::random_bounded_degree(n, 8, 0xE5)),
+        ("grid", generators::grid(40, n / 40)),
+    ];
+    for (name, g) in cases {
+        // Identifier orientation: potentially long monotone chains.
+        let ranks = vec![0u64; g.n()];
+        let o = Orientation::toward_smaller_rank(&g, &ranks);
+        let d = o.max_out_degree(&g) as u64;
+        let lp = o.longest_path(&g).expect("ident orientation is acyclic");
+        let net = Network::new(&g);
+        let (colors, stats) = orientation_coloring(&net, &ranks, 1, d);
+        let c = VertexColoring::new(colors);
+        assert!(c.is_proper(&g));
+        assert!(c.color_bound() <= d + 1);
+        assert!(stats.rounds <= lp + 3);
+        table.row(&[
+            name.to_string(),
+            "by ident".into(),
+            d.to_string(),
+            lp.to_string(),
+            c.palette_size().to_string(),
+            stats.rounds.to_string(),
+        ]);
+
+        // Layered orientation (ranks = BFS-ish parity layers): short chains.
+        let ranks: Vec<u64> = (0..g.n()).map(|v| (v % 3) as u64).collect();
+        let o = Orientation::toward_smaller_rank(&g, &ranks);
+        let d = o.max_out_degree(&g) as u64;
+        let lp = o.longest_path(&g).expect("layered orientation is acyclic");
+        let net = Network::new(&g);
+        let (colors, stats) = orientation_coloring(&net, &ranks, 3, d);
+        let c = VertexColoring::new(colors);
+        assert!(c.is_proper(&g));
+        table.row(&[
+            name.to_string(),
+            "by 3 layers".into(),
+            d.to_string(),
+            lp.to_string(),
+            c.palette_size().to_string(),
+            stats.rounds.to_string(),
+        ]);
+        table.rule();
+    }
+    println!(
+        "shape check: rounds track the longest directed path, not n — with\n\
+         layered ranks the same graphs color in O(1) rounds. This is exactly\n\
+         why Lemma 3.5 orients ψ-classes by (φ-color, Id)."
+    );
+}

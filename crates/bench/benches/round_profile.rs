@@ -1,0 +1,77 @@
+//! **E11 — phase structure**: the per-round delivered-message profile of
+//! one Defective-Color level of the edge algorithm.
+//!
+//! The while-loop of Algorithm 1 drains φ-classes in order: edges whose
+//! smaller-φ incident edges have all decided pick their ψ and fall silent.
+//! Profiling the simulator's deliveries per round makes the predicted decay
+//! visible: heavy early epochs, then a long quiet tail driven by the few
+//! longest φ-chains (Lemma 3.2's `R + φ(v)` bound).
+
+use deco_bench::{banner, scale, Scale, Table};
+use deco_core::edge::defective::{
+    edge_defective_color_in_groups_profiled, MessageMode,
+};
+use deco_core::edge::legal::edge_log_depth;
+use deco_graph::generators;
+use deco_local::Network;
+
+fn main() {
+    banner("E11 / profile", "per-round load of one Defective-Color level");
+    let params = edge_log_depth(1);
+    let (n, extra) = match scale() {
+        Scale::Quick => (300usize, 12u64),
+        Scale::Full => (900, 40),
+    };
+    let g = generators::random_bounded_degree(n, (params.lambda + extra) as usize, 0xE11);
+    let w = g.max_degree() as u64;
+    println!(
+        "workload: n = {}, m = {}, Δ = {w}; one level with b={}, p={}\n",
+        g.n(),
+        g.m(),
+        params.b,
+        params.p
+    );
+
+    let net = Network::new(&g);
+    let groups = vec![0u64; g.m()];
+    let (run, profile) = edge_defective_color_in_groups_profiled(
+        &net,
+        &groups,
+        params.b,
+        params.p,
+        w,
+        MessageMode::Long,
+    );
+    println!(
+        "level: {} total rounds ({} in the ψ-selection loop), φ palette {}\n",
+        run.stats.rounds,
+        profile.len(),
+        run.phi_palette
+    );
+
+    let table = Table::new(
+        &["epoch rounds", "avg msgs/round", "max msgs", "avg bits/round"],
+        &[14, 14, 10, 14],
+    );
+    let chunk = profile.len().div_ceil(10).max(1);
+    for (i, block) in profile.chunks(chunk).enumerate() {
+        let msgs: usize = block.iter().map(|r| r.messages).sum();
+        let bits: usize = block.iter().map(|r| r.bits).sum();
+        let peak = block.iter().map(|r| r.messages).max().unwrap_or(0);
+        table.row(&[
+            format!("{}..{}", i * chunk + 1, i * chunk + block.len()),
+            (msgs / block.len()).to_string(),
+            peak.to_string(),
+            (bits / block.len()).to_string(),
+        ]);
+    }
+
+    let first = profile.first().map(|r| r.messages).unwrap_or(0);
+    let last_busy = profile.iter().rev().find(|r| r.messages > 0).map(|r| r.messages);
+    println!(
+        "\nshape check: deliveries decay from {} msgs in round 1 to {:?} in the\n\
+         last busy round — the while-loop drains φ-classes in order, so traffic\n\
+         tracks the undecided-edge count, exactly Lemma 3.2's schedule.",
+        first, last_busy
+    );
+}

@@ -1,0 +1,69 @@
+//! Criterion wall-clock benchmarks of the simulator and the main colorers.
+//!
+//! These complement the table harnesses (which measure *rounds*, the
+//! paper's cost metric) with implementation-level throughput numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use deco_core::code_reduction::linial_coloring;
+use deco_core::edge::legal::{edge_color, edge_log_depth, MessageMode};
+use deco_core::edge::panconesi_rizzi::pr_edge_color;
+use deco_core::legal::legal_color;
+use deco_core::params::LegalParams;
+use deco_graph::line_graph::line_graph;
+use deco_graph::generators;
+use deco_local::Network;
+use std::hint::black_box;
+
+fn bench_linial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linial");
+    for &n in &[200usize, 800] {
+        let g = generators::random_bounded_degree(n, 8, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| {
+                let net = Network::new(black_box(g));
+                black_box(linial_coloring(&net))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("panconesi_rizzi");
+    for &delta in &[8usize, 32] {
+        let g = generators::random_bounded_degree(300, delta, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(delta), &g, |b, g| {
+            b.iter(|| black_box(pr_edge_color(black_box(g))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_edge_color(c: &mut Criterion) {
+    let mut group = c.benchmark_group("edge_color");
+    group.sample_size(10);
+    let params = edge_log_depth(1);
+    for &delta in &[16usize, 48] {
+        let g = generators::random_bounded_degree(300, delta, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(delta), &g, |b, g| {
+            b.iter(|| black_box(edge_color(black_box(g), params, MessageMode::Long)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_legal_color(c: &mut Criterion) {
+    let mut group = c.benchmark_group("legal_color_line_graph");
+    group.sample_size(10);
+    let l = line_graph(&generators::random_bounded_degree(150, 12, 4));
+    group.bench_function("c2", |b| {
+        b.iter(|| {
+            let net = Network::new(black_box(&l));
+            black_box(legal_color(&net, 2, LegalParams::log_depth(2, 1)))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_linial, bench_pr, bench_edge_color, bench_legal_color);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Shared helpers for the deco benchmark harnesses.
+//!
+//! Every bench binary regenerates one table or figure of the paper (see
+//! DESIGN.md's experiment index) by running the actual distributed
+//! algorithms on the simulator and printing measured rounds / colors /
+//! message sizes. Absolute constants differ from the paper's asymptotic
+//! statements; the *shape* (growth in Δ at fixed n, growth in n at fixed Δ,
+//! crossovers) is what each harness checks and displays.
+
+use std::fmt::Display;
+
+/// Benchmark scale, controlled by the `DECO_BENCH_SCALE` environment
+/// variable: `quick` (default) finishes in a couple of minutes; `full`
+/// extends the sweeps for the EXPERIMENTS.md numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced sweeps for CI / quick runs.
+    Quick,
+    /// The full sweeps used to produce EXPERIMENTS.md.
+    Full,
+}
+
+/// Reads the scale from the environment.
+pub fn scale() -> Scale {
+    match std::env::var("DECO_BENCH_SCALE").as_deref() {
+        Ok("full") => Scale::Full,
+        _ => Scale::Quick,
+    }
+}
+
+/// A fixed-width text table printer.
+#[derive(Debug)]
+pub struct Table {
+    widths: Vec<usize>,
+}
+
+impl Table {
+    /// Starts a table and prints the header row.
+    pub fn new(headers: &[&str], widths: &[usize]) -> Table {
+        assert_eq!(headers.len(), widths.len());
+        let t = Table { widths: widths.to_vec() };
+        t.row(headers);
+        t.rule();
+        t
+    }
+
+    /// Prints a horizontal rule.
+    pub fn rule(&self) {
+        let total: usize = self.widths.iter().sum::<usize>() + 2 * (self.widths.len() - 1);
+        println!("{}", "-".repeat(total));
+    }
+
+    /// Prints one row (first column left-aligned, the rest right-aligned).
+    pub fn row<S: Display>(&self, cells: &[S]) {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            let text = cell.to_string();
+            if i == 0 {
+                line.push_str(&format!("{:<width$}", text, width = self.widths[i]));
+            } else {
+                line.push_str(&format!("{:>width$}", text, width = self.widths[i]));
+            }
+        }
+        println!("{line}");
+    }
+}
+
+/// Formats a ratio with two decimals.
+pub fn ratio(a: usize, b: usize) -> String {
+    format!("{:.2}", a as f64 / b.max(1) as f64)
+}
+
+/// Prints the standard bench banner.
+pub fn banner(id: &str, what: &str) {
+    println!("\n=== {id}: {what} ===");
+    println!(
+        "(scale: {:?}; set DECO_BENCH_SCALE=full for the EXPERIMENTS.md sweeps)\n",
+        scale()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_formats() {
+        assert_eq!(ratio(3, 2), "1.50");
+        assert_eq!(ratio(1, 0), "1.00");
+    }
+
+    #[test]
+    fn default_scale_is_quick() {
+        // The test environment does not set the variable.
+        if std::env::var("DECO_BENCH_SCALE").is_err() {
+            assert_eq!(scale(), Scale::Quick);
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Centralized greedy colorings, used as quality references in benches and
+//! tests (not distributed algorithms).
+
+use deco_graph::coloring::{EdgeColoring, VertexColoring};
+use deco_graph::Graph;
+
+/// Sequential greedy vertex coloring in vertex order: uses at most `Δ+1`
+/// colors.
+pub fn greedy_vertex_color(g: &Graph) -> VertexColoring {
+    let mut colors = vec![u64::MAX; g.n()];
+    for v in 0..g.n() {
+        let used: Vec<u64> =
+            g.neighbors(v).map(|u| colors[u]).filter(|&c| c != u64::MAX).collect();
+        colors[v] = (0..).find(|c| !used.contains(c)).expect("palette is unbounded");
+    }
+    VertexColoring::new(colors)
+}
+
+/// Sequential greedy edge coloring in edge order: uses at most `2Δ-1`
+/// colors (often close to Vizing's `Δ+1`). The centralized quality
+/// reference of the benches.
+pub fn greedy_edge_color(g: &Graph) -> EdgeColoring {
+    let mut colors = vec![u64::MAX; g.m()];
+    for e in 0..g.m() {
+        let (u, v) = g.endpoints(e);
+        let used: Vec<u64> = g
+            .incident(u)
+            .chain(g.incident(v))
+            .map(|(_, f)| colors[f])
+            .filter(|&c| c != u64::MAX)
+            .collect();
+        colors[e] = (0..).find(|c| !used.contains(c)).expect("palette is unbounded");
+    }
+    EdgeColoring::new(colors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deco_graph::generators;
+
+    #[test]
+    fn vertex_greedy_within_delta_plus_one() {
+        for g in [
+            generators::complete(7),
+            generators::petersen(),
+            generators::random_bounded_degree(120, 9, 5),
+        ] {
+            let c = greedy_vertex_color(&g);
+            assert!(c.is_proper(&g));
+            assert!(c.color_bound() <= g.max_degree() as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn edge_greedy_within_2delta_minus_one() {
+        for g in [
+            generators::complete(7),
+            generators::star(9),
+            generators::random_bounded_degree(120, 9, 5),
+        ] {
+            let c = greedy_edge_color(&g);
+            assert!(c.is_proper(&g));
+            assert!(c.palette_size() <= 2 * g.max_degree() - 1);
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty(3);
+        assert!(greedy_vertex_color(&g).is_proper(&g));
+        assert!(greedy_edge_color(&g).is_empty());
+    }
+}

@@ -1,0 +1,344 @@
+//! The randomized-trial edge-coloring baseline.
+//!
+//! Table 2 of the paper compares against randomized algorithms
+//! (Schneider–Wattenhofer \[29\], Kothapalli et al. \[18\]) whose round counts
+//! grow with `n`. As a stand-in from the same family we implement the
+//! standard randomized trial scheme on the palette `{0, ..., 2Δ-2}`:
+//! repeatedly, every uncolored edge's owner (the smaller-identifier
+//! endpoint) proposes a uniformly random color that no incident colored
+//! edge uses; a proposal is committed iff it collides with no other
+//! proposal at either endpoint. Each trial is 4 rounds (used-sets,
+//! proposal, local verdicts, commit) and a constant fraction of edges
+//! succeeds in expectation, so the algorithm finishes in `Θ(log m)` rounds
+//! w.h.p. — the `n`-dependent shape Table 2 contrasts with the paper's
+//! deterministic `O(log Δ) + log* n`.
+
+use crate::msg::FieldMsg;
+use deco_graph::coloring::EdgeColoring;
+use deco_graph::{EdgeIdx, Graph, Vertex};
+use deco_local::{Action, Network, NodeCtx, Protocol, RunStats};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const TAG_USED: u64 = 0;
+const TAG_PROPOSE: u64 = 1;
+const TAG_VERDICT: u64 = 2;
+
+#[derive(Debug)]
+struct TEdge {
+    nbr: Vertex,
+    eid: EdgeIdx,
+    i_own: bool,
+    color: Option<u64>,
+    other_used: Vec<u64>,
+    proposal: Option<u64>,
+    my_ok: bool,
+    other_ok: bool,
+}
+
+#[derive(Debug)]
+struct RandomTrial {
+    palette: u64,
+    rng: StdRng,
+    edges: Vec<TEdge>,
+}
+
+impl RandomTrial {
+    fn used(&self) -> Vec<u64> {
+        self.edges.iter().filter_map(|e| e.color).collect()
+    }
+
+    fn edge_by_nbr(&mut self, nbr: Vertex) -> &mut TEdge {
+        self.edges
+            .iter_mut()
+            .find(|e| e.nbr == nbr)
+            .expect("message from non-incident sender")
+    }
+}
+
+impl Protocol for RandomTrial {
+    type Msg = FieldMsg;
+    type Output = Vec<(EdgeIdx, u64)>;
+
+    fn start(&mut self, _ctx: &NodeCtx<'_>) -> Vec<(Vertex, FieldMsg)> {
+        Vec::new()
+    }
+
+    fn round(&mut self, ctx: &NodeCtx<'_>, inbox: &[(Vertex, FieldMsg)]) -> Action<FieldMsg> {
+        for (sender, m) in inbox {
+            match m.field(0) {
+                TAG_USED => {
+                    let e = self.edge_by_nbr(*sender);
+                    e.other_used = m.fields()[1..].to_vec();
+                }
+                TAG_PROPOSE => {
+                    self.edge_by_nbr(*sender).proposal = Some(m.field(1));
+                }
+                TAG_VERDICT => {
+                    self.edge_by_nbr(*sender).other_ok = m.field(1) == 1;
+                }
+                tag => unreachable!("unknown tag {tag}"),
+            }
+        }
+        let palette = self.palette;
+        let mut out = Vec::new();
+        match ctx.round % 4 {
+            1 => {
+                // Trial start: exchange used sets over uncolored edges.
+                if self.edges.iter().all(|e| e.color.is_some()) {
+                    return Action::halt();
+                }
+                let used = self.used();
+                for e in &mut self.edges {
+                    e.proposal = None;
+                    e.my_ok = false;
+                    e.other_ok = false;
+                    if e.color.is_none() {
+                        let mut fields = vec![TAG_USED];
+                        fields.extend(&used);
+                        out.push((e.nbr, FieldMsg::with_bits(fields, 2 + palette as usize)));
+                    }
+                }
+            }
+            2 => {
+                // Owners propose a random free color.
+                let my_used = self.used();
+                let mut proposals = Vec::new();
+                for (i, e) in self.edges.iter().enumerate() {
+                    if e.color.is_none() && e.i_own {
+                        let free: Vec<u64> = (0..palette)
+                            .filter(|c| !my_used.contains(c) && !e.other_used.contains(c))
+                            .collect();
+                        assert!(!free.is_empty(), "palette 2Δ-1 cannot be exhausted");
+                        proposals.push((i, free[self.rng.gen_range(0..free.len())]));
+                    }
+                }
+                for (i, c) in proposals {
+                    self.edges[i].proposal = Some(c);
+                    out.push((
+                        self.edges[i].nbr,
+                        FieldMsg::new(&[(TAG_PROPOSE, 3), (c, palette)]),
+                    ));
+                }
+            }
+            3 => {
+                // Local verdicts: a proposal is OK at this endpoint iff no
+                // other proposal here picked the same color.
+                let snapshot: Vec<Option<u64>> = self
+                    .edges
+                    .iter()
+                    .map(|e| if e.color.is_none() { e.proposal } else { None })
+                    .collect();
+                for i in 0..self.edges.len() {
+                    let Some(c) = snapshot[i] else { continue };
+                    let ok = snapshot
+                        .iter()
+                        .enumerate()
+                        .all(|(j, &p)| j == i || p != Some(c));
+                    self.edges[i].my_ok = ok;
+                    out.push((
+                        self.edges[i].nbr,
+                        FieldMsg::new(&[(TAG_VERDICT, 3), (u64::from(ok), 2)]),
+                    ));
+                }
+            }
+            _ => {
+                // Commit: both verdicts positive fixes the color.
+                for e in &mut self.edges {
+                    if e.color.is_none() && e.proposal.is_some() && e.my_ok && e.other_ok {
+                        e.color = e.proposal;
+                    }
+                }
+            }
+        }
+        Action::Continue(out)
+    }
+
+    fn finish(self, _ctx: &NodeCtx<'_>) -> Vec<(EdgeIdx, u64)> {
+        self.edges
+            .into_iter()
+            .map(|e| (e.eid, e.color.expect("trial loop colors all edges")))
+            .collect()
+    }
+}
+
+/// The randomized-trial `(2Δ-1)`-edge-coloring baseline: `Θ(log m)` rounds
+/// w.h.p. Deterministic for a fixed `seed`.
+pub fn randomized_trial_edge_color(g: &Graph, seed: u64) -> (EdgeColoring, RunStats) {
+    if g.m() == 0 {
+        return (EdgeColoring::new(Vec::new()), RunStats::zero());
+    }
+    let palette = (2 * g.max_degree() - 1) as u64;
+    let net = Network::new(g);
+    let run = net.run(|ctx| RandomTrial {
+        palette,
+        rng: StdRng::seed_from_u64(seed ^ ctx.ident.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        edges: g
+            .incident(ctx.vertex)
+            .map(|(nbr, e)| TEdge {
+                nbr,
+                eid: e,
+                i_own: ctx.ident < ctx.ident_of(nbr),
+                color: None,
+                other_used: Vec::new(),
+                proposal: None,
+                my_ok: false,
+                other_ok: false,
+            })
+            .collect(),
+    });
+    let mut colors = vec![u64::MAX; g.m()];
+    for per_vertex in &run.outputs {
+        for &(e, c) in per_vertex {
+            if colors[e] == u64::MAX {
+                colors[e] = c;
+            } else {
+                assert_eq!(colors[e], c, "endpoints disagree on edge {e}");
+            }
+        }
+    }
+    (EdgeColoring::new(colors), run.stats)
+}
+
+#[derive(Debug)]
+struct VertexTrial {
+    palette: u64,
+    rng: StdRng,
+    color: Option<u64>,
+    nbr_colors: Vec<u64>,
+    proposal: u64,
+}
+
+impl Protocol for VertexTrial {
+    type Msg = FieldMsg;
+    type Output = u64;
+
+    fn start(&mut self, _ctx: &NodeCtx<'_>) -> Vec<(Vertex, FieldMsg)> {
+        Vec::new()
+    }
+
+    fn round(&mut self, ctx: &NodeCtx<'_>, inbox: &[(Vertex, FieldMsg)]) -> Action<FieldMsg> {
+        let palette = self.palette;
+        if ctx.round % 2 == 1 {
+            // Proposal round: first record neighbors frozen last round, then
+            // propose a random color outside the frozen neighborhood.
+            for (_, m) in inbox {
+                if m.field(0) == 1 {
+                    self.nbr_colors.push(m.field(1));
+                }
+            }
+            let free: Vec<u64> =
+                (0..palette).filter(|c| !self.nbr_colors.contains(c)).collect();
+            self.proposal = free[self.rng.gen_range(0..free.len())];
+            Action::Continue(
+                ctx.broadcast(FieldMsg::new(&[(0, 2), (self.proposal, palette)])),
+            )
+        } else {
+            // Commit round: keep the proposal iff no live neighbor proposed
+            // the same color; freezing vertices announce and halt, so the
+            // announcement reaches live neighbors in their next proposal
+            // round.
+            let clash = inbox
+                .iter()
+                .any(|(_, m)| m.field(0) == 0 && m.field(1) == self.proposal);
+            if clash {
+                return Action::idle();
+            }
+            self.color = Some(self.proposal);
+            Action::Halt(ctx.broadcast(FieldMsg::new(&[(1, 2), (self.proposal, palette)])))
+        }
+    }
+
+    fn finish(self, _ctx: &NodeCtx<'_>) -> u64 {
+        self.color.expect("trial loop colors every vertex")
+    }
+}
+
+/// A randomized-trial `(2Δ)`-vertex-coloring baseline in `Θ(log n)` rounds
+/// w.h.p. — the vertex analogue of [`randomized_trial_edge_color`], standing
+/// in for the randomized vertex-coloring state of the art (\[29\], \[18\]) in
+/// Table 2's comparisons. Deterministic for a fixed seed.
+pub fn randomized_trial_vertex_color(
+    g: &Graph,
+    seed: u64,
+) -> (deco_graph::coloring::VertexColoring, RunStats) {
+    let palette = (2 * g.max_degree()).max(1) as u64;
+    let net = Network::new(g);
+    let run = net.run(|ctx| VertexTrial {
+        palette,
+        rng: StdRng::seed_from_u64(seed ^ ctx.ident.wrapping_mul(0xd134_2543_de82_ef95)),
+        color: None,
+        nbr_colors: Vec::new(),
+        proposal: 0,
+    });
+    (deco_graph::coloring::VertexColoring::new(run.outputs), run.stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deco_graph::generators;
+
+    #[test]
+    fn proper_within_2delta_palette() {
+        for g in [
+            generators::complete(8),
+            generators::petersen(),
+            generators::random_bounded_degree(100, 8, 3),
+        ] {
+            let (coloring, stats) = randomized_trial_edge_color(&g, 12345);
+            assert!(coloring.is_proper(&g));
+            assert!(coloring.palette_size() <= 2 * g.max_degree() - 1);
+            assert!(stats.rounds % 4 == 1 || stats.rounds > 0);
+        }
+    }
+
+    #[test]
+    fn seeded_determinism() {
+        let g = generators::random_bounded_degree(60, 6, 8);
+        let a = randomized_trial_edge_color(&g, 7);
+        let b = randomized_trial_edge_color(&g, 7);
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+    }
+
+    #[test]
+    fn rounds_grow_with_n_at_fixed_delta() {
+        // The Table 2 shape: randomized baselines pay for n.
+        let small = randomized_trial_edge_color(&generators::random_bounded_degree(32, 6, 2), 5);
+        let large =
+            randomized_trial_edge_color(&generators::random_bounded_degree(4096, 6, 2), 5);
+        assert!(large.1.rounds >= small.1.rounds);
+    }
+
+    #[test]
+    fn single_edge_graph() {
+        let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
+        let (coloring, _) = randomized_trial_edge_color(&g, 1);
+        assert!(coloring.is_proper(&g));
+    }
+
+    #[test]
+    fn vertex_trial_proper_within_2delta() {
+        for g in [
+            generators::complete(9),
+            generators::petersen(),
+            generators::random_bounded_degree(150, 9, 7),
+            generators::clique_with_pendants(8),
+        ] {
+            let (coloring, stats) = randomized_trial_vertex_color(&g, 31337);
+            assert!(coloring.is_proper(&g));
+            assert!(coloring.color_bound() <= 2 * g.max_degree().max(1) as u64);
+            assert!(stats.rounds >= 2);
+        }
+    }
+
+    #[test]
+    fn vertex_trial_seeded() {
+        let g = generators::random_bounded_degree(80, 7, 9);
+        let a = randomized_trial_vertex_color(&g, 4);
+        let b = randomized_trial_vertex_color(&g, 4);
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+    }
+}

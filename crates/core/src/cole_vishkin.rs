@@ -1,0 +1,372 @@
+//! Cole–Vishkin 3-coloring of rooted pseudo-forests in `O(log* n)` rounds.
+//!
+//! The Panconesi–Rizzi edge-coloring algorithm \[24\] decomposes the edge set
+//! into rooted pseudo-forests (every vertex has at most one parent edge per
+//! forest) and 3-colors each forest's vertices to schedule edge-color
+//! assignments. This module implements the classic two-stage procedure:
+//!
+//! 1. **bit reduction**: each vertex repeatedly recolors itself with
+//!    `2i + bit_i`, where `i` is the lowest bit position at which its color
+//!    differs from its parent's (roots use a fake parent differing in bit 0);
+//!    the palette shrinks from `n` to 6 in `O(log* n)` rounds;
+//! 2. **shift-down + recolor**: for each color class `q ∈ {5, 4, 3}`, every
+//!    vertex first adopts its parent's color (making all its children
+//!    monochromatic), then class-`q` vertices pick a free color in
+//!    `{0, 1, 2}` — their parent and children each block one color.
+//!
+//! All forests are processed **in parallel**: every edge belongs to exactly
+//! one forest, so each parent→child message carries a single color and
+//! messages stay `O(log n)` bits.
+
+use crate::msg::FieldMsg;
+use deco_graph::{Graph, Vertex};
+use deco_local::{bits_for_range, Action, Network, NodeCtx, Protocol, RunStats};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// The bit-reduction schedule: the palette after each round, ending at 6.
+fn cv_palettes(n: u64) -> Vec<u64> {
+    let mut palettes = Vec::new();
+    let mut m = n.max(1);
+    while m > 6 {
+        m = 2 * bits_for_range(m) as u64;
+        palettes.push(m.max(6));
+    }
+    palettes
+}
+
+/// Total rounds of [`cv_three_color`]: bit-reduction steps plus the nine
+/// shift-down/sync/recolor rounds.
+pub fn cv_rounds(n: u64) -> usize {
+    cv_palettes(n).len() + 9
+}
+
+/// Lowest bit position at which `a` and `b` differ.
+fn lowest_differing_bit(a: u64, b: u64) -> u32 {
+    debug_assert_ne!(a, b, "colors must differ from parent");
+    (a ^ b).trailing_zeros()
+}
+
+#[derive(Debug)]
+struct Slot {
+    parent: Option<Vertex>,
+    children: Vec<Vertex>,
+    color: u64,
+    /// Our color before the current shift-down: the (uniform) color of all
+    /// our children during the recolor step.
+    pre_shift: u64,
+    /// Parent's color as received this round.
+    parent_color: u64,
+}
+
+#[derive(Debug)]
+struct CvColor {
+    /// Forest id -> slot; BTreeMap for deterministic iteration.
+    slots: BTreeMap<u64, Slot>,
+    /// Sender vertex -> forest id of our parent edge from that sender.
+    parent_fid: BTreeMap<Vertex, u64>,
+    palettes: Rc<Vec<u64>>,
+    n: u64,
+}
+
+impl CvColor {
+    fn send_colors(&self, palette: u64) -> Vec<(Vertex, FieldMsg)> {
+        let mut out = Vec::new();
+        for slot in self.slots.values() {
+            for &child in &slot.children {
+                out.push((child, FieldMsg::new(&[(slot.color, palette)])));
+            }
+        }
+        out
+    }
+
+    fn receive(&mut self, inbox: &[(Vertex, FieldMsg)]) {
+        for (sender, m) in inbox {
+            if let Some(&fid) = self.parent_fid.get(sender) {
+                let slot = self.slots.get_mut(&fid).expect("parent_fid keys have slots");
+                slot.parent_color = m.field(0);
+            }
+        }
+    }
+}
+
+impl Protocol for CvColor {
+    type Msg = FieldMsg;
+    type Output = Vec<(u64, u64)>;
+
+    fn start(&mut self, _ctx: &NodeCtx<'_>) -> Vec<(Vertex, FieldMsg)> {
+        if self.slots.is_empty() {
+            return Vec::new();
+        }
+        self.send_colors(self.n.max(6))
+    }
+
+    fn round(&mut self, ctx: &NodeCtx<'_>, inbox: &[(Vertex, FieldMsg)]) -> Action<FieldMsg> {
+        if self.slots.is_empty() {
+            return Action::halt();
+        }
+        self.receive(inbox);
+        let s = self.palettes.len();
+        let r = ctx.round;
+        let palette = if r <= s { self.palettes[r - 1] } else { 6 };
+        if r <= s {
+            // Bit-reduction step.
+            for slot in self.slots.values_mut() {
+                let parent_color = match slot.parent {
+                    Some(_) => slot.parent_color,
+                    None => slot.color ^ 1, // fake parent differing in bit 0
+                };
+                let i = lowest_differing_bit(slot.color, parent_color);
+                slot.color = 2 * i as u64 + ((slot.color >> i) & 1);
+            }
+        } else {
+            // Shift-down phases for q = 5, 4, 3: rounds (per q) are
+            // shift-down, sync, recolor.
+            let step = r - s - 1; // 0..9
+            let q = 5 - (step / 3) as u64;
+            match step % 3 {
+                0 => {
+                    // Shift-down: adopt the parent's color; roots take the
+                    // smallest color in {0,1,2} different from their own.
+                    for slot in self.slots.values_mut() {
+                        slot.pre_shift = slot.color;
+                        slot.color = match slot.parent {
+                            Some(_) => slot.parent_color,
+                            None => (0..3).find(|&c| c != slot.color).expect("palette >= 2"),
+                        };
+                    }
+                }
+                1 => {
+                    // Sync: colors already re-broadcast below.
+                }
+                _ => {
+                    // Recolor class q into {0,1,2}: the parent's current
+                    // color and the children's (uniform) color — our
+                    // pre-shift color — each block one choice.
+                    for slot in self.slots.values_mut() {
+                        if slot.color == q {
+                            let parent = match slot.parent {
+                                Some(_) => slot.parent_color,
+                                None => u64::MAX,
+                            };
+                            slot.color = (0..3)
+                                .find(|&c| c != parent && c != slot.pre_shift)
+                                .expect("two blockers leave a free color in {0,1,2}");
+                        }
+                    }
+                }
+            }
+        }
+        if r == s + 9 {
+            Action::halt()
+        } else {
+            Action::Continue(self.send_colors(palette))
+        }
+    }
+
+    fn finish(self, _ctx: &NodeCtx<'_>) -> Vec<(u64, u64)> {
+        self.slots.into_iter().map(|(fid, slot)| (fid, slot.color)).collect()
+    }
+}
+
+/// 3-colors the vertices of every rooted pseudo-forest simultaneously.
+///
+/// `forest_of_edge[e] = (fid, parent)`: edge `e` belongs to forest `fid` and
+/// is oriented from its child endpoint toward `parent` (which must be an
+/// endpoint of `e`). Every vertex may have **at most one parent edge per
+/// forest** (the pseudo-forest property).
+///
+/// Returns per-vertex `(fid, color)` lists (colors in `{0, 1, 2}`, proper
+/// within every forest) and the run statistics; the round count is
+/// [`cv_rounds`]`(n)` = `O(log* n)`.
+///
+/// # Panics
+///
+/// Panics if a parent is not an endpoint of its edge or the pseudo-forest
+/// property is violated.
+pub fn cv_three_color(
+    net: &Network<'_>,
+    forest_of_edge: &[(u64, Vertex)],
+) -> (Vec<Vec<(u64, u64)>>, RunStats) {
+    let g = net.graph();
+    assert_eq!(forest_of_edge.len(), g.m(), "one forest assignment per edge");
+    let inits = slot_inits(g, forest_of_edge);
+    let palettes = Rc::new(cv_palettes(g.n() as u64));
+    let run = net.run(|ctx| {
+        let (slots_init, parent_fid) = &inits[ctx.vertex];
+        let slots: BTreeMap<u64, Slot> = slots_init
+            .iter()
+            .map(|(fid, parent, children)| {
+                (
+                    *fid,
+                    Slot {
+                        parent: *parent,
+                        children: children.clone(),
+                        color: ctx.ident - 1,
+                        pre_shift: 0,
+                        parent_color: 0,
+                    },
+                )
+            })
+            .collect();
+        CvColor {
+            slots,
+            parent_fid: parent_fid.clone(),
+            palettes: Rc::clone(&palettes),
+            n: g.n() as u64,
+        }
+    });
+    (run.outputs, run.stats)
+}
+
+type SlotInit = (u64, Option<Vertex>, Vec<Vertex>);
+
+/// Per-vertex slot structure: (slots, parent-sender -> fid). This is purely
+/// local information (each vertex's incident edges and their forest ids).
+#[allow(clippy::type_complexity)]
+fn slot_inits(
+    g: &Graph,
+    forest_of_edge: &[(u64, Vertex)],
+) -> Vec<(Vec<SlotInit>, BTreeMap<Vertex, u64>)> {
+    let mut slots: Vec<BTreeMap<u64, (Option<Vertex>, Vec<Vertex>)>> =
+        vec![BTreeMap::new(); g.n()];
+    let mut parent_fid: Vec<BTreeMap<Vertex, u64>> = vec![BTreeMap::new(); g.n()];
+    for (e, &(fid, parent)) in forest_of_edge.iter().enumerate() {
+        let (u, v) = g.endpoints(e);
+        assert!(parent == u || parent == v, "parent of edge {e} must be an endpoint");
+        let child = if parent == u { v } else { u };
+        let entry = slots[child].entry(fid).or_default();
+        assert!(
+            entry.0.is_none(),
+            "vertex {child} has two parent edges in forest {fid}: not a pseudo-forest"
+        );
+        entry.0 = Some(parent);
+        parent_fid[child].insert(parent, fid);
+        slots[parent].entry(fid).or_default().1.push(child);
+    }
+    slots
+        .into_iter()
+        .zip(parent_fid)
+        .map(|(m, pf)| {
+            let inits = m
+                .into_iter()
+                .map(|(fid, (parent, mut children))| {
+                    children.sort_unstable();
+                    (fid, parent, children)
+                })
+                .collect();
+            (inits, pf)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deco_graph::generators;
+
+    /// Checks colors are in {0,1,2} and proper within each forest.
+    fn assert_valid(
+        g: &Graph,
+        forest_of_edge: &[(u64, Vertex)],
+        colors: &[Vec<(u64, u64)>],
+    ) {
+        let lookup = |v: Vertex, fid: u64| -> u64 {
+            colors[v]
+                .iter()
+                .find(|&&(f, _)| f == fid)
+                .unwrap_or_else(|| panic!("vertex {v} missing color for forest {fid}"))
+                .1
+        };
+        for (e, &(fid, parent)) in forest_of_edge.iter().enumerate() {
+            let (u, v) = g.endpoints(e);
+            let (cu, cv) = (lookup(u, fid), lookup(v, fid));
+            assert!(cu < 3 && cv < 3, "colors must be in {{0,1,2}}");
+            assert_ne!(cu, cv, "edge ({u},{v}) monochromatic in forest {fid}");
+            let _ = parent;
+        }
+    }
+
+    fn ident_forest(g: &Graph) -> Vec<(u64, Vertex)> {
+        // Forest f = each vertex's f-th out-edge toward smaller-ident
+        // neighbors; this is the Panconesi–Rizzi decomposition.
+        let mut out: Vec<(u64, Vertex)> = vec![(0, 0); g.m()];
+        for v in 0..g.n() {
+            let mut parents: Vec<(u64, Vertex, usize)> = g
+                .incident(v)
+                .filter(|&(u, _)| g.ident(u) < g.ident(v))
+                .map(|(u, e)| (g.ident(u), u, e))
+                .collect();
+            parents.sort_unstable();
+            for (f, &(_, u, e)) in parents.iter().enumerate() {
+                out[e] = (f as u64, u);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn colors_path_as_single_forest() {
+        let g = generators::path(50);
+        let net = Network::new(&g);
+        let spec = ident_forest(&g);
+        let (colors, stats) = cv_three_color(&net, &spec);
+        assert_valid(&g, &spec, &colors);
+        assert_eq!(stats.rounds, cv_rounds(50));
+    }
+
+    #[test]
+    fn colors_cycles() {
+        // In a cycle with idents along it, the largest-ident vertex has two
+        // out-edges (forests 0 and 1); others form long chains.
+        for n in [3usize, 4, 17, 60] {
+            let g = generators::cycle(n);
+            let net = Network::new(&g);
+            let spec = ident_forest(&g);
+            let (colors, _) = cv_three_color(&net, &spec);
+            assert_valid(&g, &spec, &colors);
+        }
+    }
+
+    #[test]
+    fn colors_dense_decompositions() {
+        for g in [
+            generators::complete(9),
+            generators::random_bounded_degree(100, 8, 33),
+            generators::clique_with_pendants(7),
+        ] {
+            let net = Network::new(&g);
+            let spec = ident_forest(&g);
+            let (colors, stats) = cv_three_color(&net, &spec);
+            assert_valid(&g, &spec, &colors);
+            // O(log* n) + O(1) rounds.
+            assert!(stats.rounds <= cv_rounds(g.n() as u64));
+        }
+    }
+
+    #[test]
+    fn shuffled_idents_remain_valid() {
+        let g = generators::shuffle_idents(&generators::random_bounded_degree(70, 6, 4), 5);
+        let net = Network::new(&g);
+        let spec = ident_forest(&g);
+        let (colors, _) = cv_three_color(&net, &spec);
+        assert_valid(&g, &spec, &colors);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a pseudo-forest")]
+    fn rejects_double_parent() {
+        let g = generators::path(3); // edges (0,1), (1,2)
+        let net = Network::new(&g);
+        // Vertex 1 would have two parent edges in forest 0.
+        let spec = vec![(0, 0), (0, 2)];
+        let _ = cv_three_color(&net, &spec);
+    }
+
+    #[test]
+    fn cv_rounds_is_log_star_like() {
+        assert_eq!(cv_rounds(6), 9);
+        assert!(cv_rounds(1 << 16) <= 9 + 4);
+        assert!(cv_rounds(u64::MAX / 2) <= 9 + 6);
+    }
+}

@@ -1,0 +1,346 @@
+//! **Algorithm 1 — Procedure Defective-Color** (Section 3).
+//!
+//! Computes an `O(Λ/p)`-defective `p`-coloring of a graph with neighborhood
+//! independence bounded by `c`, in `O((b·p)² + log* n)` time:
+//!
+//! 1. compute a `⌊Λ/(b·p)⌋`-defective `O((b·p)²)`-coloring φ (Lemma 2.1(3),
+//!    here via [`crate::code_reduction`] seeded by an auxiliary proper
+//!    coloring — the Section 4.2 improvement that replaces the `log* n` term
+//!    with `log* Δ` at every recursion level);
+//! 2. re-color: every vertex waits for all neighbors with smaller φ-color to
+//!    choose, then picks the ψ-color `k ∈ {1..p}` used by the fewest such
+//!    neighbors (lines 4–10 of Algorithm 1).
+//!
+//! By Theorem 3.7 the result is a `((Λ/(b·p) + Λ/p)·c + c)`-defective
+//! `p`-coloring. The protocol is group-aware so that Procedure Legal-Color
+//! can run it on all classes of a partition simultaneously.
+
+use crate::math::{kuhn_schedule, linial_schedule, CodeStep};
+use crate::msg::FieldMsg;
+use crate::code_reduction::run_code_reduction;
+use deco_graph::Vertex;
+use deco_local::{Action, Network, NodeCtx, Protocol, RunStats};
+
+/// Result of one grouped Defective-Color invocation.
+#[derive(Debug, Clone)]
+pub struct DefectiveRun {
+    /// The ψ-color of every vertex, in `0..p`.
+    pub psi: Vec<u64>,
+    /// Size of the intermediate φ palette (bounds the re-coloring rounds).
+    pub phi_palette: u64,
+    /// Defect target of the φ coloring, `⌊Λ/(b·p)⌋`.
+    pub phi_defect: u64,
+    /// Accumulated statistics of both phases.
+    pub stats: RunStats,
+}
+
+/// The defect bound Theorem 3.7 guarantees for Procedure Defective-Color:
+/// `((Λ/(b·p) + Λ/p)·c + c)`, evaluated with exact integer arithmetic
+/// (`⌊c·Λ·(b+1)/(b·p)⌋ + c`).
+pub fn theorem_3_7_defect(c: u64, b: u64, p: u64, lambda: u64) -> u64 {
+    c * lambda * (b + 1) / (b * p) + c
+}
+
+/// Step-1 schedule: reduce the auxiliary proper coloring (palette
+/// `aux_palette`) to a `⌊Λ/(b·p)⌋`-defective `O((b·p)²)`-coloring within
+/// groups. When the defect target is too small for argmin steps, zero-defect
+/// Linial steps reach a proper `O(Λ²) = O((b·p)²·16)`-coloring instead
+/// (`Λ < 4·b·p` in that regime).
+fn phi_schedule(aux_palette: u64, lambda: u64, b: u64, p: u64) -> (Vec<CodeStep>, u64) {
+    let target = lambda / (b * p);
+    let steps = if target >= 4 {
+        kuhn_schedule(aux_palette, lambda, target)
+    } else {
+        linial_schedule(aux_palette, lambda)
+    };
+    (steps, target)
+}
+
+#[derive(Debug)]
+enum Phase {
+    /// Waiting to learn neighbors' φ-colors (sent at start).
+    LearnPhi,
+    /// Waiting for the listed same-group smaller-φ neighbors to announce ψ.
+    Select { awaiting: Vec<Vertex> },
+    Done,
+}
+
+/// Phase-2 protocol: the ψ-selection while-loop of Algorithm 1.
+#[derive(Debug)]
+struct PsiSelect {
+    group: u64,
+    group_domain: u64,
+    phi: u64,
+    phi_palette: u64,
+    p: u64,
+    /// `counts[k]` = `N_v(k)`: same-group neighbors with smaller φ-color that
+    /// announced ψ-color `k`.
+    counts: Vec<u64>,
+    phase: Phase,
+    psi: u64,
+}
+
+impl PsiSelect {
+    fn pick_and_announce(&mut self, ctx: &NodeCtx<'_>) -> Action<FieldMsg> {
+        // Line 6-7: ψ(v) := color k minimizing N_v(k); ties to the smallest.
+        let (best_k, _) = self
+            .counts
+            .iter()
+            .enumerate()
+            .min_by_key(|&(k, &c)| (c, k))
+            .expect("p >= 1 colors");
+        self.psi = best_k as u64;
+        self.phase = Phase::Done;
+        let msg = FieldMsg::new(&[
+            (1, 2), // tag: ψ announcement
+            (self.group, self.group_domain),
+            (self.psi, self.p),
+        ]);
+        Action::Halt(ctx.broadcast(msg))
+    }
+}
+
+impl Protocol for PsiSelect {
+    type Msg = FieldMsg;
+    type Output = u64;
+
+    fn start(&mut self, ctx: &NodeCtx<'_>) -> Vec<(Vertex, FieldMsg)> {
+        // Line 2: send φ(v) to all neighbors.
+        let msg = FieldMsg::new(&[
+            (0, 2), // tag: φ broadcast
+            (self.group, self.group_domain),
+            (self.phi, self.phi_palette),
+        ]);
+        ctx.broadcast(msg)
+    }
+
+    fn round(&mut self, ctx: &NodeCtx<'_>, inbox: &[(Vertex, FieldMsg)]) -> Action<FieldMsg> {
+        match &mut self.phase {
+            Phase::LearnPhi => {
+                let awaiting: Vec<Vertex> = inbox
+                    .iter()
+                    .filter(|(_, m)| {
+                        m.field(0) == 0 && m.field(1) == self.group && m.field(2) < self.phi
+                    })
+                    .map(|&(sender, _)| sender)
+                    .collect();
+                if awaiting.is_empty() {
+                    self.pick_and_announce(ctx)
+                } else {
+                    self.phase = Phase::Select { awaiting };
+                    Action::idle()
+                }
+            }
+            Phase::Select { awaiting } => {
+                for (sender, m) in inbox {
+                    if m.field(0) == 1 && m.field(1) == self.group {
+                        // A same-group neighbor announced ψ. Only count it
+                        // into N_v if it is one we awaited (i.e. has smaller
+                        // φ-color): Algorithm 1's N_v ignores equal-φ
+                        // neighbors, which may legitimately announce while we
+                        // still wait.
+                        if let Some(i) = awaiting.iter().position(|s| s == sender) {
+                            awaiting.swap_remove(i);
+                            self.counts[m.field(2) as usize] += 1;
+                        }
+                    }
+                }
+                if awaiting.is_empty() {
+                    self.pick_and_announce(ctx)
+                } else {
+                    Action::idle()
+                }
+            }
+            Phase::Done => Action::halt(),
+        }
+    }
+
+    fn finish(self, _ctx: &NodeCtx<'_>) -> u64 {
+        self.psi
+    }
+}
+
+/// Runs Procedure Defective-Color on every group of a partition
+/// simultaneously.
+///
+/// * `groups[v]` / `group_domain` — the partition (all zeros for one group);
+/// * `aux` / `aux_palette` — a proper-within-groups coloring seeding step 1
+///   (use [`crate::code_reduction::linial_coloring`] output);
+/// * `b`, `p`, `lambda` — Algorithm 1 parameters with `b >= 1`,
+///   `1 <= b·p <= lambda`, and `lambda` an upper bound on the maximum degree
+///   *within* any group.
+///
+/// # Panics
+///
+/// Panics if the parameter constraints are violated.
+pub fn defective_color_in_groups(
+    net: &Network<'_>,
+    groups: &[u64],
+    group_domain: u64,
+    aux: &[u64],
+    aux_palette: u64,
+    b: u64,
+    p: u64,
+    lambda: u64,
+) -> DefectiveRun {
+    assert!(b >= 1, "b must be at least 1");
+    assert!(p >= 1, "p must be at least 1");
+    assert!(b * p <= lambda.max(1), "need b·p <= Λ");
+    let (steps, phi_defect) = phi_schedule(aux_palette, lambda, b, p);
+    let phi_palette = steps.last().map(|s| s.to_palette).unwrap_or(aux_palette);
+    let (phi, stats1) = run_code_reduction(net, groups, group_domain, aux, steps);
+
+    let run = net.run(|ctx| PsiSelect {
+        group: groups[ctx.vertex],
+        group_domain,
+        phi: phi[ctx.vertex],
+        phi_palette,
+        p,
+        counts: vec![0; p as usize],
+        phase: Phase::LearnPhi,
+        psi: 0,
+    });
+    DefectiveRun {
+        psi: run.outputs,
+        phi_palette,
+        phi_defect,
+        stats: stats1 + run.stats,
+    }
+}
+
+/// Convenience: Defective-Color on a whole graph (single group), computing
+/// the auxiliary Linial coloring internally. Returns the run and the Linial
+/// stats folded in. This is Corollary 3.8: a
+/// `((c+ε)·Λ/p + c)`-defective `p`-coloring in `O(p² + log* n)` time.
+pub fn defective_color(net: &Network<'_>, b: u64, p: u64, lambda: u64) -> DefectiveRun {
+    let groups = vec![0u64; net.graph().n()];
+    let (aux, aux_palette, lin_stats) = crate::code_reduction::linial_coloring(net);
+    let mut run =
+        defective_color_in_groups(net, &groups, 1, &aux, aux_palette, b, p, lambda);
+    run.stats = lin_stats + run.stats;
+    run
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deco_graph::coloring::VertexColoring;
+    use deco_graph::line_graph::line_graph;
+    use deco_graph::properties::neighborhood_independence;
+    use deco_graph::generators;
+
+    fn check_defective(
+        g: &deco_graph::Graph,
+        c: u64,
+        b: u64,
+        p: u64,
+    ) -> (u64, u64, RunStats) {
+        let lambda = g.max_degree() as u64;
+        let net = Network::new(g);
+        let run = defective_color(&net, b, p, lambda);
+        let coloring = VertexColoring::new(run.psi.clone());
+        assert!(coloring.color_bound() <= p, "ψ must use at most p colors");
+        let defect = coloring.defect(g) as u64;
+        let bound = theorem_3_7_defect(c, b, p, lambda);
+        assert!(
+            defect <= bound,
+            "Theorem 3.7 violated: defect {defect} > bound {bound} (Δ={lambda}, b={b}, p={p})"
+        );
+        (defect, bound, run.stats)
+    }
+
+    #[test]
+    fn theorem_3_7_on_line_graphs() {
+        // Line graphs have c = 2 (Lemma 5.1).
+        let g = generators::random_bounded_degree(60, 8, 11);
+        let l = line_graph(&g);
+        assert!(neighborhood_independence(&l) <= 2);
+        for (b, p) in [(1, 2), (2, 3), (1, 4)] {
+            check_defective(&l, 2, b, p);
+        }
+    }
+
+    #[test]
+    fn theorem_3_7_on_figure_1_graph() {
+        let g = generators::clique_with_pendants(12);
+        assert_eq!(neighborhood_independence(&g), 2);
+        for (b, p) in [(1, 3), (2, 2), (3, 2)] {
+            check_defective(&g, 2, b, p);
+        }
+    }
+
+    #[test]
+    fn theorem_3_7_on_unit_disk() {
+        let g = generators::unit_disk(90, 0.25, 5);
+        let c = neighborhood_independence(&g) as u64;
+        assert!(c <= 5);
+        if g.max_degree() >= 6 {
+            check_defective(&g, c.max(1), 1, 3);
+        }
+    }
+
+    #[test]
+    fn defect_times_colors_is_linear_in_delta() {
+        // The headline of Section 1.3: defect · #colors = O(Δ) for
+        // bounded-NI graphs, versus O(Δ·p) for Kuhn's general-graph routine.
+        let g = line_graph(&generators::random_bounded_degree(80, 10, 3));
+        let delta = g.max_degree() as u64;
+        let c = 2u64;
+        for p in [2u64, 3, 4] {
+            let net = Network::new(&g);
+            let run = defective_color(&net, 2, p, delta);
+            let defect = VertexColoring::new(run.psi).defect(&g) as u64;
+            let product = defect * p;
+            // (c + ε)·Λ + c·p with ε from b=2: generous linear bound.
+            assert!(
+                product <= 2 * c * delta + c * p + 2 * delta,
+                "p={p}: product {product} not linear in Δ={delta}"
+            );
+        }
+    }
+
+    #[test]
+    fn grouped_invocation_respects_groups() {
+        let g = generators::complete(12);
+        let net = Network::new(&g);
+        let (aux, aux_palette, _) = crate::code_reduction::linial_coloring(&net);
+        // Split into 3 groups of 4 (within-group degree 3).
+        let groups: Vec<u64> = (0..12).map(|v| (v % 3) as u64).collect();
+        let run =
+            defective_color_in_groups(&net, &groups, 3, &aux, aux_palette, 1, 3, 3);
+        assert!(run.psi.iter().all(|&k| k < 3));
+        // Defect within groups bounded by Theorem 3.7 with c = 1 (cliques).
+        let bound = theorem_3_7_defect(1, 1, 3, 3);
+        for v in 0..12 {
+            let defect = g
+                .neighbors(v)
+                .filter(|&u| groups[u] == groups[v] && run.psi[u] == run.psi[v])
+                .count() as u64;
+            assert!(defect <= bound);
+        }
+    }
+
+    #[test]
+    fn recolor_rounds_bounded_by_phi_palette() {
+        // Lemma 3.2 / Corollary 3.3: the while-loop takes at most
+        // φ-palette + O(1) rounds, plus the defective-coloring rounds.
+        let g = generators::random_bounded_degree(100, 9, 17);
+        let net = Network::new(&g);
+        let run = defective_color(&net, 1, 3, g.max_degree() as u64);
+        let log_star_n = crate::math::log_star(g.n() as u64) as usize;
+        assert!(
+            run.stats.rounds <= run.phi_palette as usize + 2 * log_star_n + 12,
+            "rounds {} vs φ palette {}",
+            run.stats.rounds,
+            run.phi_palette
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "b·p <= Λ")]
+    fn rejects_oversized_bp() {
+        let g = generators::path(4);
+        let net = Network::new(&g);
+        let _ = defective_color(&net, 4, 4, 1);
+    }
+}

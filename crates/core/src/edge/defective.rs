@@ -1,0 +1,370 @@
+//! The edge variant of **Algorithm 1 — Procedure Defective-Color**
+//! (Section 5).
+//!
+//! Both endpoints of every edge maintain the edge's state. Step 1 uses the
+//! `O(1)`-round labeling of Corollary 5.4 ([`crate::edge::kuhn_labels`])
+//! instead of a `log* n`-round defective coloring — this is why the edge
+//! recursion has no per-level `log*` term. The re-coloring while-loop runs
+//! over edges: an edge `e = (u, w)` needs the counts
+//! `N_e(k) = N_{e,u}(k) + N_{e,w}(k)` of incident smaller-φ edges that chose
+//! ψ-color `k`; each endpoint computes its own counts locally and sends them
+//! across `e`, so both endpoints decide ψ(e) identically with no extra
+//! announcements.
+//!
+//! Message policy (Theorem 5.5's discussion):
+//! * [`MessageMode::Long`] — all `p` counts in one `O(p·log Δ)`-bit message,
+//!   one round per φ-class epoch;
+//! * [`MessageMode::Short`] — one count per `O(log n)`-bit message, `p`
+//!   rounds per epoch (total `O(b²·p³)` instead of `O(b²·p²)` rounds).
+
+use crate::edge::kuhn_labels::{corollary_5_4_defect, kuhn_defective_edge_coloring};
+use crate::msg::FieldMsg;
+use deco_graph::{EdgeIdx, Vertex};
+use deco_local::{Action, Network, NodeCtx, Protocol, RunStats};
+use std::rc::Rc;
+
+/// Message-size policy for the edge algorithms (Theorem 5.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MessageMode {
+    /// `O(p·log Δ)`-bit messages, one round per epoch.
+    Long,
+    /// `O(log n)`-bit messages, `p` rounds per epoch.
+    Short,
+}
+
+/// Result of the grouped edge Defective-Color.
+#[derive(Debug, Clone)]
+pub struct EdgeDefectiveRun {
+    /// ψ-color per edge, in `0..p`.
+    pub psi: Vec<u64>,
+    /// φ palette size (bounds the number of epochs).
+    pub phi_palette: u64,
+    /// φ defect bound within groups (Corollary 5.4).
+    pub phi_defect: u64,
+    /// Combined statistics of both phases.
+    pub stats: RunStats,
+}
+
+#[derive(Debug)]
+struct Ledge {
+    nbr: Vertex,
+    eid: EdgeIdx,
+    group: u64,
+    phi: u64,
+    psi: Option<u64>,
+    sent_ready: bool,
+    sent_counts: Vec<u64>,
+    recv_ready: bool,
+    recv_counts: Vec<u64>,
+    recv_chunks: usize,
+}
+
+#[derive(Debug)]
+struct PsiSelectEdges {
+    p: u64,
+    chunks: usize,
+    w_domain: u64,
+    edges: Vec<Ledge>,
+}
+
+impl PsiSelectEdges {
+    /// Readiness and counts of edge `i` from this endpoint's perspective:
+    /// over our *other* same-group incident edges with smaller φ.
+    fn snapshot(&self, i: usize) -> (bool, Vec<u64>) {
+        let e = &self.edges[i];
+        let mut ready = true;
+        let mut counts = vec![0u64; self.p as usize];
+        for (j, f) in self.edges.iter().enumerate() {
+            if j == i || f.group != e.group || f.phi >= e.phi {
+                continue;
+            }
+            match f.psi {
+                Some(k) => counts[k as usize] += 1,
+                None => ready = false,
+            }
+        }
+        (ready, counts)
+    }
+
+    fn take_snapshots_and_chunk0(&mut self) -> Vec<(Vertex, FieldMsg)> {
+        let snaps: Vec<Option<(bool, Vec<u64>)>> = (0..self.edges.len())
+            .map(|i| if self.edges[i].psi.is_none() { Some(self.snapshot(i)) } else { None })
+            .collect();
+        let mut out = Vec::new();
+        for (i, snap) in snaps.into_iter().enumerate() {
+            let Some((ready, counts)) = snap else { continue };
+            let e = &mut self.edges[i];
+            e.sent_ready = ready;
+            e.sent_counts = counts;
+            e.recv_chunks = 0;
+            out.push((e.nbr, self.chunk_msg(i, 0)));
+        }
+        out
+    }
+
+    /// The chunk `c` message for edge `i`: the ready flag plus either all
+    /// counts (long mode) or the single count `c` (short mode).
+    fn chunk_msg(&self, i: usize, c: usize) -> FieldMsg {
+        let e = &self.edges[i];
+        let mut fields = vec![(u64::from(e.sent_ready), 2)];
+        if self.chunks == 1 {
+            for &count in &e.sent_counts {
+                fields.push((count, self.w_domain));
+            }
+        } else {
+            fields.push((e.sent_counts[c], self.w_domain));
+        }
+        FieldMsg::new(&fields)
+    }
+}
+
+impl Protocol for PsiSelectEdges {
+    type Msg = FieldMsg;
+    type Output = Vec<(EdgeIdx, u64)>;
+
+    fn start(&mut self, _ctx: &NodeCtx<'_>) -> Vec<(Vertex, FieldMsg)> {
+        self.take_snapshots_and_chunk0()
+    }
+
+    fn round(&mut self, ctx: &NodeCtx<'_>, inbox: &[(Vertex, FieldMsg)]) -> Action<FieldMsg> {
+        // Receive the partner chunk for each undecided edge.
+        for (sender, m) in inbox {
+            let i = self
+                .edges
+                .iter()
+                .position(|e| e.nbr == *sender)
+                .expect("message from non-incident sender");
+            let e = &mut self.edges[i];
+            e.recv_ready = m.field(0) == 1;
+            if self.chunks == 1 {
+                for k in 0..self.p as usize {
+                    e.recv_counts[k] = m.field(1 + k);
+                }
+            } else {
+                let k = (ctx.round - 1) % self.chunks;
+                e.recv_counts[k] = m.field(1);
+            }
+            e.recv_chunks += 1;
+        }
+        let in_epoch = ctx.round % self.chunks;
+        if in_epoch != 0 {
+            // Mid-epoch: send the next chunk of the current snapshot.
+            let out = (0..self.edges.len())
+                .filter(|&i| self.edges[i].psi.is_none())
+                .map(|i| (self.edges[i].nbr, self.chunk_msg(i, in_epoch)))
+                .collect();
+            return Action::Continue(out);
+        }
+        // Epoch boundary: decide, then snapshot and send chunk 0.
+        for e in &mut self.edges {
+            if e.psi.is_some() || e.recv_chunks < self.chunks {
+                continue;
+            }
+            if e.sent_ready && e.recv_ready {
+                // Both endpoints hold (sent, recv) count pairs of the same
+                // epoch, so they compute the same argmin.
+                let (k, _) = e
+                    .sent_counts
+                    .iter()
+                    .zip(&e.recv_counts)
+                    .map(|(a, b)| a + b)
+                    .enumerate()
+                    .min_by_key(|&(k, total)| (total, k))
+                    .expect("p >= 1");
+                e.psi = Some(k as u64);
+            }
+        }
+        if self.edges.iter().all(|e| e.psi.is_some()) {
+            return Action::halt();
+        }
+        Action::Continue(self.take_snapshots_and_chunk0())
+    }
+
+    fn finish(self, _ctx: &NodeCtx<'_>) -> Vec<(EdgeIdx, u64)> {
+        self.edges
+            .into_iter()
+            .map(|e| (e.eid, e.psi.expect("all edges decided before halting")))
+            .collect()
+    }
+}
+
+/// Runs the edge variant of Procedure Defective-Color on every group of an
+/// edge partition simultaneously.
+///
+/// * `edge_groups` — group label per edge;
+/// * `b`, `p` — Algorithm 1 parameters;
+/// * `w_cap` — bound on the number of same-group edges at any vertex (the
+///   vertex-degree analogue of Λ; the line-graph degree bound is
+///   `2·w_cap - 2`).
+///
+/// The result is a `p`-coloring of every group with defect (in the
+/// line-graph sense, within groups) at most
+/// `(4⌈W/(b·p)⌉ + ⌊(2W-2)/p⌋)·2 + 2` — Theorem 3.7 with `c = 2` and the
+/// Corollary 5.4 defect for φ.
+pub fn edge_defective_color_in_groups(
+    net: &Network<'_>,
+    edge_groups: &[u64],
+    b: u64,
+    p: u64,
+    w_cap: u64,
+    mode: MessageMode,
+) -> EdgeDefectiveRun {
+    edge_defective_color_in_groups_profiled(net, edge_groups, b, p, w_cap, mode).0
+}
+
+/// [`edge_defective_color_in_groups`] plus the per-round delivered-load
+/// profile of the ψ-selection phase (the while-loop epochs) — used by the
+/// phase-structure bench.
+pub fn edge_defective_color_in_groups_profiled(
+    net: &Network<'_>,
+    edge_groups: &[u64],
+    b: u64,
+    p: u64,
+    w_cap: u64,
+    mode: MessageMode,
+) -> (EdgeDefectiveRun, Vec<deco_local::RoundLoad>) {
+    let g = net.graph();
+    assert!(b >= 1 && p >= 1, "need b, p >= 1");
+    let (phi, phi_palette, stats1) =
+        kuhn_defective_edge_coloring(net, edge_groups, b * p, w_cap);
+    let phi = Rc::new(phi);
+    let groups = Rc::new(edge_groups.to_vec());
+    let chunks = match mode {
+        MessageMode::Long => 1,
+        MessageMode::Short => p as usize,
+    };
+    let (run, profile) = net.run_profiled(|ctx| {
+        let edges: Vec<Ledge> = g
+            .incident(ctx.vertex)
+            .map(|(nbr, e)| Ledge {
+                nbr,
+                eid: e,
+                group: groups[e],
+                phi: phi[e],
+                psi: None,
+                sent_ready: false,
+                sent_counts: vec![0; p as usize],
+                recv_ready: false,
+                recv_counts: vec![0; p as usize],
+                recv_chunks: 0,
+            })
+            .collect();
+        PsiSelectEdges { p, chunks, w_domain: 2 * w_cap + 1, edges }
+    });
+    let mut psi = vec![u64::MAX; g.m()];
+    for per_vertex in &run.outputs {
+        for &(e, k) in per_vertex {
+            if psi[e] == u64::MAX {
+                psi[e] = k;
+            } else {
+                assert_eq!(psi[e], k, "endpoints disagree on ψ({e})");
+            }
+        }
+    }
+    assert!(psi.iter().all(|&k| k != u64::MAX) || g.m() == 0);
+    (
+        EdgeDefectiveRun {
+            psi,
+            phi_palette,
+            phi_defect: corollary_5_4_defect(w_cap, b * p),
+            stats: stats1 + run.stats,
+        },
+        profile,
+    )
+}
+
+/// Theorem 3.7 defect bound for the edge variant, in the line-graph sense:
+/// `(D' + ⌊Λ_L/p⌋)·c + c` with `c = 2`, `D' = 4⌈W/(b·p)⌉` and
+/// `Λ_L = 2W - 2`.
+pub fn edge_defect_bound(b: u64, p: u64, w_cap: u64) -> u64 {
+    let d_phi = corollary_5_4_defect(w_cap, b * p);
+    let lambda_l = (2 * w_cap).saturating_sub(2);
+    (d_phi + lambda_l / p) * 2 + 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deco_graph::generators;
+    use deco_graph::Graph;
+
+    fn line_defect(g: &Graph, groups: &[u64], psi: &[u64], e: EdgeIdx) -> usize {
+        let (u, v) = g.endpoints(e);
+        let count = |w: Vertex| {
+            g.incident(w)
+                .filter(|&(_, f)| f != e && groups[f] == groups[e] && psi[f] == psi[e])
+                .count()
+        };
+        count(u) + count(v)
+    }
+
+    fn check(g: &Graph, b: u64, p: u64, mode: MessageMode) -> EdgeDefectiveRun {
+        let net = Network::new(g);
+        let groups = vec![0u64; g.m()];
+        let w = g.max_degree() as u64;
+        let run = edge_defective_color_in_groups(&net, &groups, b, p, w, mode);
+        assert!(run.psi.iter().all(|&k| k < p));
+        let bound = edge_defect_bound(b, p, w) as usize;
+        for e in 0..g.m() {
+            let d = line_defect(g, &groups, &run.psi, e);
+            assert!(d <= bound, "edge {e}: defect {d} > bound {bound} (b={b}, p={p})");
+        }
+        run
+    }
+
+    #[test]
+    fn defect_bound_holds_long_mode() {
+        let g = generators::random_bounded_degree(70, 9, 19);
+        for (b, p) in [(1, 2), (1, 4), (2, 3)] {
+            check(&g, b, p, MessageMode::Long);
+        }
+    }
+
+    #[test]
+    fn short_mode_matches_long_decisions() {
+        let g = generators::random_bounded_degree(50, 7, 23);
+        let long = check(&g, 1, 3, MessageMode::Long);
+        let short = check(&g, 1, 3, MessageMode::Short);
+        assert_eq!(long.psi, short.psi, "modes must compute identical ψ");
+        // Short mode trades rounds for message size.
+        assert!(short.stats.rounds >= long.stats.rounds);
+        assert!(short.stats.max_message_bits <= long.stats.max_message_bits);
+    }
+
+    #[test]
+    fn epochs_bounded_by_phi_palette() {
+        let g = generators::random_bounded_degree(80, 8, 29);
+        let run = check(&g, 1, 3, MessageMode::Long);
+        assert!(
+            run.stats.rounds <= run.phi_palette as usize + 4,
+            "rounds {} vs φ palette {}",
+            run.stats.rounds,
+            run.phi_palette
+        );
+    }
+
+    #[test]
+    fn grouped_partition_respected() {
+        let g = generators::complete(10);
+        let net = Network::new(&g);
+        let groups: Vec<u64> = (0..g.m()).map(|e| (e % 3) as u64).collect();
+        let w = g.max_degree() as u64;
+        let run = edge_defective_color_in_groups(&net, &groups, 1, 2, w, MessageMode::Long);
+        let bound = edge_defect_bound(1, 2, w) as usize;
+        for e in 0..g.m() {
+            assert!(line_defect(&g, &groups, &run.psi, e) <= bound);
+        }
+    }
+
+    #[test]
+    fn star_all_edges_incident() {
+        let g = generators::star(9);
+        let run = check(&g, 2, 2, MessageMode::Long);
+        // In a star every pair of edges is incident; ψ splits them into two
+        // classes of bounded size.
+        let ones = run.psi.iter().filter(|&&k| k == 1).count();
+        let zeros = run.psi.len() - ones;
+        let bound = edge_defect_bound(2, 2, 8) as usize;
+        assert!(zeros.saturating_sub(1) <= bound && ones.saturating_sub(1) <= bound);
+    }
+}

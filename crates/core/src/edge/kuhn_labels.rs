@@ -1,0 +1,217 @@
+//! Corollary 5.4 (Kuhn \[19\]): a `4⌈Δ/p'⌉`-defective `p'²`-edge-coloring in
+//! `O(1)` rounds.
+//!
+//! Each vertex labels its incident edges with labels from `{0, ..., p'-1}`
+//! so that no label is used more than `⌈W/p'⌉` times (where `W` bounds the
+//! relevant degree); the endpoints exchange labels, and the color of an edge
+//! is the ordered pair of its endpoint labels (smaller identifier first).
+//! At most `2⌈W/p'⌉` incident edges at each endpoint share the pair, so the
+//! defect is at most `4⌈W/p'⌉`.
+//!
+//! The routine is group-aware: labels are assigned within each group
+//! independently, so Procedure Legal-Color's edge variant can call it on all
+//! classes of an edge partition simultaneously — this is what removes the
+//! `log* n` term from each recursion level (Section 5).
+
+use crate::msg::FieldMsg;
+use deco_graph::{EdgeIdx, Graph, Vertex};
+use deco_local::{Action, Network, NodeCtx, Protocol, RunStats};
+use std::rc::Rc;
+
+#[derive(Debug)]
+struct LabelExchange {
+    /// Per incident edge (sorted by neighbor): (neighbor, edge id, my label).
+    labels: Vec<(Vertex, EdgeIdx, u64)>,
+    p_labels: u64,
+    /// Resulting φ per incident edge.
+    phi: Vec<(EdgeIdx, u64)>,
+}
+
+impl Protocol for LabelExchange {
+    type Msg = FieldMsg;
+    type Output = Vec<(EdgeIdx, u64)>;
+
+    fn start(&mut self, _ctx: &NodeCtx<'_>) -> Vec<(Vertex, FieldMsg)> {
+        self.labels
+            .iter()
+            .map(|&(nbr, _, l)| (nbr, FieldMsg::new(&[(l, self.p_labels)])))
+            .collect()
+    }
+
+    fn round(&mut self, ctx: &NodeCtx<'_>, inbox: &[(Vertex, FieldMsg)]) -> Action<FieldMsg> {
+        for (sender, m) in inbox {
+            let &(_, e, mine) = self
+                .labels
+                .iter()
+                .find(|&&(nbr, _, _)| nbr == *sender)
+                .expect("label from a non-incident sender");
+            let theirs = m.field(0);
+            // Ordered pair: the smaller-identifier endpoint's label first.
+            let (first, second) = if ctx.ident < ctx.ident_of(*sender) {
+                (mine, theirs)
+            } else {
+                (theirs, mine)
+            };
+            self.phi.push((e, first * self.p_labels + second));
+        }
+        Action::halt()
+    }
+
+    fn finish(self, _ctx: &NodeCtx<'_>) -> Vec<(EdgeIdx, u64)> {
+        self.phi
+    }
+}
+
+/// The per-vertex labeling: within each group, incident edges sorted by
+/// neighbor identifier get label `index / ⌈W/p'⌉`. Purely local information.
+fn make_labels(
+    g: &Graph,
+    v: Vertex,
+    edge_groups: &[u64],
+    p_labels: u64,
+    w_cap: u64,
+) -> Vec<(Vertex, EdgeIdx, u64)> {
+    let per_label = w_cap.div_ceil(p_labels).max(1);
+    // Group incident edges by edge-group, sort by neighbor ident.
+    let mut incident: Vec<(u64, u64, Vertex, EdgeIdx)> = g
+        .incident(v)
+        .map(|(u, e)| (edge_groups[e], g.ident(u), u, e))
+        .collect();
+    incident.sort_unstable();
+    let mut labels = Vec::with_capacity(incident.len());
+    let mut idx_in_group = 0u64;
+    let mut cur_group: Option<u64> = None;
+    for (grp, _, u, e) in incident {
+        if cur_group != Some(grp) {
+            cur_group = Some(grp);
+            idx_in_group = 0;
+        }
+        let label = idx_in_group / per_label;
+        assert!(
+            label < p_labels,
+            "vertex {v} has more than W = {w_cap} same-group incident edges"
+        );
+        labels.push((u, e, label));
+        idx_in_group += 1;
+    }
+    labels.sort_unstable(); // by neighbor, as incident() yields
+    labels
+}
+
+/// Corollary 5.4, grouped: a `p'²`-edge-coloring of every group of an edge
+/// partition with defect at most `4⌈W/p'⌉` within each group, in one round.
+///
+/// `w_cap` must bound the number of same-group edges at any vertex.
+/// Returns `(phi, palette, stats)` with `phi` indexed by edge.
+///
+/// # Panics
+///
+/// Panics if some vertex exceeds `w_cap` same-group incident edges.
+pub fn kuhn_defective_edge_coloring(
+    net: &Network<'_>,
+    edge_groups: &[u64],
+    p_labels: u64,
+    w_cap: u64,
+) -> (Vec<u64>, u64, RunStats) {
+    let g = net.graph();
+    assert_eq!(edge_groups.len(), g.m(), "one group per edge");
+    assert!(p_labels >= 1, "need at least one label");
+    let groups = Rc::new(edge_groups.to_vec());
+    let run = net.run(|ctx| LabelExchange {
+        labels: make_labels(g, ctx.vertex, &groups, p_labels, w_cap.max(1)),
+        p_labels,
+        phi: Vec::new(),
+    });
+    let mut phi = vec![u64::MAX; g.m()];
+    for per_vertex in &run.outputs {
+        for &(e, color) in per_vertex {
+            if phi[e] == u64::MAX {
+                phi[e] = color;
+            } else {
+                assert_eq!(phi[e], color, "endpoints disagree on φ({e})");
+            }
+        }
+    }
+    assert!(phi.iter().all(|&c| c != u64::MAX), "every edge must be φ-colored");
+    (phi, p_labels * p_labels, run.stats)
+}
+
+/// The defect bound of Corollary 5.4 within a group: `4·⌈W/p'⌉`.
+pub fn corollary_5_4_defect(w_cap: u64, p_labels: u64) -> u64 {
+    4 * w_cap.div_ceil(p_labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deco_graph::coloring::EdgeColoring;
+    use deco_graph::generators;
+
+    fn group_defect(g: &Graph, phi: &[u64], groups: &[u64], e: EdgeIdx) -> usize {
+        let (u, v) = g.endpoints(e);
+        let count = |w: Vertex| {
+            g.incident(w)
+                .filter(|&(_, f)| f != e && groups[f] == groups[e] && phi[f] == phi[e])
+                .count()
+        };
+        count(u) + count(v)
+    }
+
+    #[test]
+    fn one_round_and_defect_bound() {
+        for (n, cap, p) in [(80usize, 10usize, 3u64), (80, 10, 2), (60, 8, 4)] {
+            let g = generators::random_bounded_degree(n, cap, 3);
+            let net = Network::new(&g);
+            let groups = vec![0u64; g.m()];
+            let w = g.max_degree() as u64;
+            let (phi, palette, stats) = kuhn_defective_edge_coloring(&net, &groups, p, w);
+            assert_eq!(stats.rounds, 1, "Corollary 5.4 must take O(1) rounds");
+            assert_eq!(palette, p * p);
+            assert!(phi.iter().all(|&c| c < palette));
+            let bound = corollary_5_4_defect(w, p) as usize;
+            for e in 0..g.m() {
+                assert!(
+                    group_defect(&g, &phi, &groups, e) <= bound,
+                    "edge {e} exceeds defect bound {bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn full_labels_have_unit_buckets() {
+        // p' = Δ means every label bucket holds one edge, so at most one
+        // incident edge per endpoint can share a pair from each side:
+        // defect <= 4·⌈Δ/Δ⌉ = 4 and each vertex's own labels are distinct.
+        let g = generators::petersen();
+        let net = Network::new(&g);
+        let groups = vec![0u64; g.m()];
+        let (phi, _, _) =
+            kuhn_defective_edge_coloring(&net, &groups, 3, g.max_degree() as u64);
+        let c = EdgeColoring::new(phi);
+        assert!(c.defect(&g) <= 4);
+    }
+
+    #[test]
+    fn respects_groups() {
+        let g = generators::complete(8);
+        let net = Network::new(&g);
+        // Partition edges in two groups by parity of the edge index.
+        let groups: Vec<u64> = (0..g.m()).map(|e| (e % 2) as u64).collect();
+        let w = g.max_degree() as u64; // over-cap is fine
+        let (phi, _, _) = kuhn_defective_edge_coloring(&net, &groups, 2, w);
+        let bound = corollary_5_4_defect(w, 2) as usize;
+        for e in 0..g.m() {
+            assert!(group_defect(&g, &phi, &groups, e) <= bound);
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = deco_graph::Graph::empty(4);
+        let net = Network::new(&g);
+        let (phi, palette, _) = kuhn_defective_edge_coloring(&net, &[], 2, 1);
+        assert!(phi.is_empty());
+        assert_eq!(palette, 4);
+    }
+}

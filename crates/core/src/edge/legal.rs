@@ -1,0 +1,312 @@
+//! The edge variant of **Procedure Legal-Color** — Theorem 5.5.
+//!
+//! The recursion mirrors Algorithm 2 on the (implicit) line graph, whose
+//! neighborhood independence is 2 (Lemma 5.1), with two paper-prescribed
+//! changes:
+//!
+//! * step 1 of every Defective-Color level uses the `O(1)`-round labeling of
+//!   Corollary 5.4 instead of a `log* n`-round defective coloring, so levels
+//!   cost `O((b·p)²)` rounds flat (`O(b²·p³)` with short messages);
+//! * the bottom level runs Panconesi–Rizzi `(2Λ̂-1)`-edge-coloring on every
+//!   class in parallel — the only `log* n` term in the whole algorithm.
+//!
+//! The recursion tracks `W`, the maximum number of *same-class edges at a
+//! single vertex* (so the class's line-graph degree is at most `2W-2`).
+//! A level maps `W` to `W' = 2·(4⌈W/(b·p)⌉ + ⌊(2W-2)/p⌋) + 3`
+//! (Theorem 3.7 with `c = 2` plus one, since a per-edge line-degree bound
+//! of `Λ'` allows `Λ'+1` same-class edges at one endpoint).
+
+pub use crate::edge::defective::MessageMode;
+use crate::edge::defective::{edge_defective_color_in_groups, EdgeDefectiveRun};
+use crate::edge::panconesi_rizzi::pr_edge_color_in_groups;
+use crate::params::{LegalParams, ParamError};
+use deco_graph::coloring::EdgeColoring;
+use deco_graph::Graph;
+use deco_local::{Network, RunStats};
+
+/// Trace of one recursion level of the edge algorithm.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeLevelTrace {
+    /// Level index.
+    pub level: usize,
+    /// Per-vertex same-class edge bound `W` entering the level.
+    pub w_in: u64,
+    /// The bound after the level.
+    pub w_out: u64,
+    /// The level's φ palette (bounds its epoch count).
+    pub phi_palette: u64,
+    /// Rounds spent in the level.
+    pub rounds: usize,
+    /// Classes after the level.
+    pub classes: u64,
+}
+
+/// Result of the edge Legal-Color algorithm.
+#[derive(Debug, Clone)]
+pub struct EdgeRun {
+    /// A legal edge coloring of the input graph.
+    pub coloring: EdgeColoring,
+    /// Palette bound: colors lie in `0..theta`.
+    pub theta: u64,
+    /// Recursion trace.
+    pub levels: Vec<EdgeLevelTrace>,
+    /// The `W` bound at the bottom (PR palette is `2W-1` per class).
+    pub bottom_w: u64,
+    /// Total statistics.
+    pub stats: RunStats,
+}
+
+/// One level's contraction of the per-vertex same-class edge bound `W`
+/// (see the module docs).
+pub fn edge_next_w(b: u64, p: u64, w: u64) -> u64 {
+    let d_phi = 4 * w.div_ceil(b * p);
+    let lambda_l = (2 * w).saturating_sub(2);
+    (d_phi + lambda_l / p) * 2 + 3
+}
+
+/// A practical parameter preset for the edge algorithm with `O(log Δ)`
+/// recursion depth: `p` is the smallest value contracting `W` by at least
+/// 25% per level for the given `b`, and `λ` sits just above the contraction
+/// fixpoint. `b` trades colors (smaller with larger `b`) for rounds
+/// (`O((b·p)²)` per level), exactly the paper's tradeoff knob.
+pub fn edge_log_depth(b: u64) -> LegalParams {
+    let b = b.max(1);
+    // Affine bound: next_w(w) <= (8 + 4b)/(b·p)·w + 11. Pick p so the slope
+    // is at most 3/4, and λ past the fixpoint with a unit margin.
+    let p = (4 * (8 + 4 * b)).div_ceil(3 * b).max(2);
+    let denom = b * p - (8 + 4 * b);
+    let lambda = (12 * b * p).div_ceil(denom);
+    LegalParams { b, p, lambda }
+}
+
+/// Validates edge parameters against the affine contraction bound
+/// `next_w(w) <= (8 + 4b)/(b·p)·w + 11` (the ceil in Corollary 5.4's defect
+/// makes the exact map non-monotone, so a pointwise check at `λ+1` is not
+/// sufficient): requires slope `< 1` and
+/// `λ >= ⌈12·b·p / (b·p - 8 - 4b)⌉`, which guarantees
+/// `next_w(w) < w` for every `w > λ`.
+///
+/// # Errors
+///
+/// Returns [`ParamError`] when the parameters cannot contract.
+pub fn validate_edge_params(params: &LegalParams) -> Result<(), ParamError> {
+    if params.b < 1 {
+        return Err(ParamError::Degenerate { what: "b must be >= 1" });
+    }
+    if params.p < 2 {
+        return Err(ParamError::Degenerate { what: "p must be >= 2" });
+    }
+    let num = 8 + 4 * params.b;
+    if params.b * params.p <= num {
+        let at = params.lambda + 1;
+        return Err(ParamError::NoContraction {
+            lambda: at,
+            next: edge_next_w(params.b, params.p, at),
+        });
+    }
+    let min_lambda = (12 * params.b * params.p).div_ceil(params.b * params.p - num);
+    if params.lambda < min_lambda {
+        return Err(ParamError::ThresholdTooSmall {
+            lambda: params.lambda,
+            min: min_lambda,
+        });
+    }
+    Ok(())
+}
+
+/// The edge Legal-Color algorithm on a pre-partitioned edge set: classes of
+/// `edge_groups0` are refined recursively and colored from disjoint
+/// palettes. `w0` bounds the same-class edges at any vertex of the initial
+/// partition.
+///
+/// # Errors
+///
+/// Returns [`ParamError`] if the parameters cannot contract.
+pub fn edge_color_in_groups(
+    net: &Network<'_>,
+    edge_groups0: &[u64],
+    group_domain0: u64,
+    params: LegalParams,
+    w0: u64,
+    mode: MessageMode,
+) -> Result<EdgeRun, ParamError> {
+    validate_edge_params(&params)?;
+    let g = net.graph();
+    let mut stats = RunStats::zero();
+    let mut groups = edge_groups0.to_vec();
+    let mut group_domain = group_domain0.max(1);
+    let mut w = w0.max(1);
+    let mut levels = Vec::new();
+
+    while w > params.lambda {
+        let next = edge_next_w(params.b, params.p, w);
+        if next >= w {
+            break; // safety net; validation should prevent this
+        }
+        let run: EdgeDefectiveRun =
+            edge_defective_color_in_groups(net, &groups, params.b, params.p, w, mode);
+        for e in 0..g.m() {
+            groups[e] = groups[e] * params.p + run.psi[e];
+        }
+        group_domain *= params.p;
+        stats += run.stats;
+        levels.push(EdgeLevelTrace {
+            level: levels.len(),
+            w_in: w,
+            w_out: next,
+            phi_palette: run.phi_palette,
+            rounds: run.stats.rounds,
+            classes: group_domain,
+        });
+        w = next;
+    }
+
+    // Bottom: Panconesi–Rizzi (2Ŵ-1)-edge-coloring per class, in parallel.
+    let (pr, pr_stats) = pr_edge_color_in_groups(net, &groups, w);
+    stats += pr_stats;
+    let palette = 2 * w - 1;
+    let colors: Vec<u64> = (0..g.m()).map(|e| groups[e] * palette + pr[e]).collect();
+    Ok(EdgeRun {
+        coloring: EdgeColoring::new(colors),
+        theta: group_domain * palette,
+        levels,
+        bottom_w: w,
+        stats,
+    })
+}
+
+/// Theorem 5.5: a legal `O(Δ)`- to `O(Δ^{1+η})`-edge-coloring of a general
+/// graph (depending on `params`), in `O(log Δ) + log* n`-shaped time with
+/// the recursion preset [`edge_log_depth`].
+///
+/// # Errors
+///
+/// Returns [`ParamError`] if the parameters cannot contract.
+///
+/// # Example
+///
+/// ```
+/// use deco_core::edge::legal::{edge_color, edge_log_depth, MessageMode};
+/// use deco_graph::generators;
+///
+/// let g = generators::random_bounded_degree(150, 10, 7);
+/// let run = edge_color(&g, edge_log_depth(1), MessageMode::Long)?;
+/// assert!(run.coloring.is_proper(&g));
+/// # Ok::<(), deco_core::params::ParamError>(())
+/// ```
+pub fn edge_color(
+    g: &Graph,
+    params: LegalParams,
+    mode: MessageMode,
+) -> Result<EdgeRun, ParamError> {
+    let net = Network::new(g);
+    let groups = vec![0u64; g.m()];
+    edge_color_in_groups(&net, &groups, 1, params, g.max_degree() as u64, mode)
+}
+
+/// The color bound `ϑ = p^r·(2Ŵ-1)` the algorithm will return for maximum
+/// degree `delta` (the edge analogue of Lemma 4.4).
+pub fn edge_color_bound(params: &LegalParams, delta: u64) -> u64 {
+    let mut w = delta.max(1);
+    let mut r = 0u32;
+    while w > params.lambda {
+        let next = edge_next_w(params.b, params.p, w);
+        if next >= w {
+            break;
+        }
+        w = next;
+        r += 1;
+    }
+    (2 * w - 1).saturating_mul(params.p.saturating_pow(r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deco_graph::generators;
+
+    fn check(g: &Graph, params: LegalParams, mode: MessageMode) -> EdgeRun {
+        let run = edge_color(g, params, mode).expect("valid params");
+        assert!(run.coloring.is_proper(g), "edge coloring must be proper");
+        assert!(run.coloring.colors().iter().all(|&c| c < run.theta));
+        assert_eq!(run.theta, edge_color_bound(&params, g.max_degree() as u64));
+        run
+    }
+
+    #[test]
+    fn preset_validates() {
+        for b in 1..=4 {
+            let p = edge_log_depth(b);
+            validate_edge_params(&p).expect("preset must validate");
+            // Depth grows logarithmically.
+            let mut w = 1u64 << 14;
+            let mut depth = 0;
+            while w > p.lambda {
+                w = edge_next_w(p.b, p.p, w);
+                depth += 1;
+                assert!(depth < 64);
+            }
+            assert!(depth >= 2, "preset must recurse on large Δ");
+        }
+    }
+
+    #[test]
+    fn proper_on_random_graphs_long_mode() {
+        let g = generators::random_bounded_degree(120, 12, 3);
+        let run = check(&g, edge_log_depth(1), MessageMode::Long);
+        // Δ = 12 is below the preset threshold: no recursion, PR does the
+        // work directly.
+        assert!(run.levels.is_empty());
+        assert_eq!(run.bottom_w, g.max_degree() as u64);
+    }
+
+    #[test]
+    fn recursion_fires_on_dense_graphs() {
+        // Δ big enough to exceed the preset threshold.
+        let params = edge_log_depth(1);
+        let g = generators::random_bounded_degree(400, (params.lambda + 10) as usize, 9);
+        let run = check(&g, params, MessageMode::Long);
+        assert!(
+            !run.levels.is_empty(),
+            "Δ = {} > λ = {} must recurse",
+            g.max_degree(),
+            params.lambda
+        );
+        for t in &run.levels {
+            assert!(t.w_out < t.w_in);
+        }
+    }
+
+    #[test]
+    fn short_mode_equivalent_coloring() {
+        let params = edge_log_depth(1);
+        let g = generators::random_bounded_degree(160, (params.lambda + 4) as usize, 11);
+        let long = check(&g, params, MessageMode::Long);
+        let short = check(&g, params, MessageMode::Short);
+        assert_eq!(long.coloring, short.coloring, "modes must agree");
+        assert!(short.stats.rounds >= long.stats.rounds);
+        assert!(short.stats.max_message_bits <= long.stats.max_message_bits);
+    }
+
+    #[test]
+    fn star_and_clique_edge_cases() {
+        for g in [generators::star(12), generators::complete(9)] {
+            check(&g, edge_log_depth(1), MessageMode::Long);
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        let g = deco_graph::Graph::empty(5);
+        let run = check(&g, edge_log_depth(1), MessageMode::Long);
+        assert!(run.coloring.is_empty());
+        let g = deco_graph::Graph::from_edges(2, &[(0, 1)]).unwrap();
+        check(&g, edge_log_depth(1), MessageMode::Long);
+    }
+
+    #[test]
+    fn bad_params_rejected() {
+        let g = generators::path(4);
+        assert!(edge_color(&g, LegalParams::new(1, 2, 100), MessageMode::Long).is_err());
+    }
+}

@@ -1,0 +1,21 @@
+//! Edge coloring of general graphs (Section 5).
+//!
+//! The paper obtains its edge-coloring results from the vertex machinery of
+//! Sections 3–4 because every line graph has neighborhood independence at
+//! most 2 (Lemma 5.1). Two routes are implemented:
+//!
+//! * [`via_line_graph`] — Theorem 5.3: simulate the vertex algorithm on
+//!   `L(G)` through `G` (Lemma 5.2), costing a factor 2 in rounds and up to
+//!   `Δ` in message size;
+//! * the **native edge variants** — Theorem 5.5: per-edge state mirrored at
+//!   both endpoints, with [`kuhn_labels`] replacing the `log* n`-round
+//!   defective coloring by an `O(1)`-round labeling (Corollary 5.4),
+//!   [`defective`] running the Algorithm 1 while-loop over edges, and
+//!   [`legal`] recursing exactly like Algorithm 2 with
+//!   [`panconesi_rizzi`]'s `(2Δ-1)`-edge-coloring at the bottom level.
+
+pub mod defective;
+pub mod kuhn_labels;
+pub mod legal;
+pub mod panconesi_rizzi;
+pub mod via_line_graph;

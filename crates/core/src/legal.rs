@@ -1,0 +1,402 @@
+//! **Algorithm 2 — Procedure Legal-Color** (Section 4): legal vertex
+//! coloring of graphs with bounded neighborhood independence.
+//!
+//! The recursion of Algorithm 2 is executed iteratively and synchronously:
+//! all classes of the current partition run Procedure Defective-Color
+//! simultaneously (they are vertex-disjoint), each level refining the
+//! partition by a factor `p` and shrinking the degree bound from `Λ` to
+//! `Λ' = ⌊(Λ/(b·p) + Λ/p)·c⌋ + c` (line 6). When the bound reaches the
+//! threshold `λ`, every class is colored with `Λ̂+1` colors directly
+//! (Lemma 2.1(2)), and the class label and bottom color combine into the
+//! final color exactly as in lines 9–11: vertices of class `i` use the
+//! palette `{i·ϑ', ..., (i+1)·ϑ' - 1}`, so the total palette is
+//! `ϑ⁽⁰⁾ = p^r · (Λ̂+1)` (Lemma 4.4).
+//!
+//! Following Section 4.2, the auxiliary `O(Δ²)`-coloring ρ is computed once
+//! (`log* n` rounds) and re-used by every level's defective coloring, which
+//! therefore costs only `O((b·p)² + log* Δ)` per level.
+
+use crate::code_reduction::linial_coloring;
+use crate::defective::defective_color_in_groups;
+use crate::math::linial_schedule;
+use crate::params::{next_lambda, LegalParams, ParamError};
+use crate::reduction::reduce_colors_in_groups;
+use deco_graph::coloring::VertexColoring;
+use deco_local::{Network, RunStats};
+
+/// Trace of one recursion level, used by the Figure 3 experiment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LevelTrace {
+    /// Level index (0 = the root invocation).
+    pub level: usize,
+    /// Degree bound `Λ` entering the level.
+    pub lambda_in: u64,
+    /// Degree bound `Λ'` after the level (line 6).
+    pub lambda_out: u64,
+    /// Size of the level's internal φ palette (bounds its round count).
+    pub phi_palette: u64,
+    /// Rounds spent in this level.
+    pub rounds: usize,
+    /// Number of classes after the level (`p^{level+1}` at the root).
+    pub classes: u64,
+}
+
+/// Result of Procedure Legal-Color.
+#[derive(Debug, Clone)]
+pub struct LegalRun {
+    /// The final coloring (proper on the whole graph for a root invocation,
+    /// proper within the initial groups for a grouped one).
+    pub coloring: VertexColoring,
+    /// The returned palette bound ϑ: colors lie in `0..theta`.
+    pub theta: u64,
+    /// Per-level traces (empty when the recursion never fires).
+    pub levels: Vec<LevelTrace>,
+    /// Degree bound `Λ̂` at the bottom of the recursion.
+    pub bottom_lambda: u64,
+    /// Total statistics, including the auxiliary coloring.
+    pub stats: RunStats,
+}
+
+/// How the recursion seeds the per-level defective colorings — the
+/// Section 4.2 design choice this crate ablates in `benches/ablation.rs`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AuxPolicy {
+    /// Compute the auxiliary `O(Δ²)`-coloring ρ once and reuse it at every
+    /// level (Section 4.2): each level's defective coloring costs
+    /// `O((b·p)² + log* Δ)`.
+    #[default]
+    ReusePerLevel,
+    /// Seed every level from the raw identifiers (palette `n`), as the
+    /// unimproved Section 4.1 algorithm would: each level pays `log* n`.
+    FreshPerLevel,
+}
+
+/// Runs Procedure Legal-Color on every class of an initial partition
+/// simultaneously; classes keep disjoint palettes. For a whole-graph run use
+/// [`legal_color`].
+///
+/// * `c` — bound on the neighborhood independence of (every class of) the
+///   graph;
+/// * `lambda0` — degree bound within the initial groups (Δ for the whole
+///   graph);
+/// * `aux` — optionally, a precomputed auxiliary proper coloring
+///   `(colors, palette)`; when absent, Linial's coloring is computed first.
+///
+/// # Errors
+///
+/// Returns [`ParamError`] if the parameters cannot contract for this `c`.
+pub fn legal_color_in_groups(
+    net: &Network<'_>,
+    groups0: &[u64],
+    group_domain0: u64,
+    c: u64,
+    params: LegalParams,
+    lambda0: u64,
+    aux: Option<(&[u64], u64)>,
+) -> Result<LegalRun, ParamError> {
+    legal_color_in_groups_with_policy(
+        net,
+        groups0,
+        group_domain0,
+        c,
+        params,
+        lambda0,
+        aux,
+        AuxPolicy::ReusePerLevel,
+    )
+}
+
+/// [`legal_color_in_groups`] with an explicit [`AuxPolicy`], exposed for the
+/// Section 4.2 ablation.
+///
+/// # Errors
+///
+/// Returns [`ParamError`] if the parameters cannot contract for this `c`.
+#[allow(clippy::too_many_arguments)]
+pub fn legal_color_in_groups_with_policy(
+    net: &Network<'_>,
+    groups0: &[u64],
+    group_domain0: u64,
+    c: u64,
+    params: LegalParams,
+    lambda0: u64,
+    aux: Option<(&[u64], u64)>,
+    policy: AuxPolicy,
+) -> Result<LegalRun, ParamError> {
+    params.validate(c)?;
+    let g = net.graph();
+    let mut stats = RunStats::zero();
+
+    // Section 4.2: one auxiliary O(Δ²) coloring, reused at every level —
+    // or, under `FreshPerLevel`, the raw identifier coloring (palette n),
+    // which forces every level back to a log* n-length schedule.
+    let (aux_colors, aux_palette) = match (policy, aux) {
+        (AuxPolicy::FreshPerLevel, _) => {
+            let colors: Vec<u64> = (0..g.n()).map(|v| g.ident(v) - 1).collect();
+            (colors, g.n().max(1) as u64)
+        }
+        (AuxPolicy::ReusePerLevel, Some((colors, palette))) => (colors.to_vec(), palette),
+        (AuxPolicy::ReusePerLevel, None) => {
+            let (colors, palette, lin_stats) = linial_coloring(net);
+            stats += lin_stats;
+            (colors, palette)
+        }
+    };
+
+    let mut groups: Vec<u64> = groups0.to_vec();
+    let mut group_domain = group_domain0.max(1);
+    let mut lambda = lambda0;
+    let mut levels = Vec::new();
+
+    while lambda > params.lambda && params.b * params.p <= lambda {
+        let next = next_lambda(c, params.b, params.p, lambda);
+        if next >= lambda {
+            break; // safety: parameters stopped contracting
+        }
+        let run = defective_color_in_groups(
+            net,
+            &groups,
+            group_domain,
+            &aux_colors,
+            aux_palette,
+            params.b,
+            params.p,
+            lambda,
+        );
+        for v in 0..g.n() {
+            groups[v] = groups[v] * params.p + run.psi[v];
+        }
+        group_domain *= params.p;
+        stats += run.stats;
+        levels.push(LevelTrace {
+            level: levels.len(),
+            lambda_in: lambda,
+            lambda_out: next,
+            phi_palette: run.phi_palette,
+            rounds: run.stats.rounds,
+            classes: group_domain,
+        });
+        lambda = next;
+    }
+
+    // Bottom of the recursion: a legal (Λ̂+1)-coloring of every class, via
+    // Linial within classes (seeded by ρ, so O(log* Δ) rounds) followed by
+    // the Kuhn–Wattenhofer reduction.
+    let bottom_lambda = lambda;
+    let lin_steps = linial_schedule(aux_palette, bottom_lambda);
+    let bottom_palette =
+        lin_steps.last().map(|s| s.to_palette).unwrap_or(aux_palette);
+    let (bottom_lin, s1) = crate::code_reduction::run_code_reduction(
+        net,
+        &groups,
+        group_domain,
+        &aux_colors,
+        lin_steps,
+    );
+    stats += s1;
+    let (bottom, s2) = reduce_colors_in_groups(
+        net,
+        &groups,
+        group_domain,
+        &bottom_lin,
+        bottom_palette,
+        bottom_lambda,
+    );
+    stats += s2;
+
+    let theta_bottom = bottom_lambda + 1;
+    let colors: Vec<u64> =
+        (0..g.n()).map(|v| groups[v] * theta_bottom + bottom[v]).collect();
+    Ok(LegalRun {
+        coloring: VertexColoring::new(colors),
+        theta: group_domain * theta_bottom,
+        levels,
+        bottom_lambda,
+        stats,
+    })
+}
+
+/// Procedure Legal-Color on the whole graph: a legal `ϑ⁽⁰⁾`-coloring with
+/// `ϑ⁽⁰⁾ = p^r·(Λ̂+1) = O(Δ)` or `O(Δ^{1+η})` colors depending on the
+/// parameter regime (Theorems 4.5, 4.6, 4.8).
+///
+/// # Errors
+///
+/// Returns [`ParamError`] if `params` cannot contract for this `c`.
+///
+/// # Example
+///
+/// ```
+/// use deco_core::params::LegalParams;
+/// use deco_core::legal::legal_color;
+/// use deco_graph::generators;
+/// use deco_local::Network;
+///
+/// // Figure 1's graph has neighborhood independence 2.
+/// let g = generators::clique_with_pendants(20);
+/// let net = Network::new(&g);
+/// let run = legal_color(&net, 2, LegalParams::log_depth(2, 1))?;
+/// assert!(run.coloring.is_proper(&g));
+/// assert!(run.theta >= run.coloring.color_bound());
+/// # Ok::<(), deco_core::params::ParamError>(())
+/// ```
+pub fn legal_color(
+    net: &Network<'_>,
+    c: u64,
+    params: LegalParams,
+) -> Result<LegalRun, ParamError> {
+    let g = net.graph();
+    let groups = vec![0u64; g.n()];
+    legal_color_in_groups(net, &groups, 1, c, params, g.max_degree() as u64, None)
+}
+
+/// [`legal_color`] with an explicit [`AuxPolicy`] (Section 4.2 ablation).
+///
+/// # Errors
+///
+/// Returns [`ParamError`] if `params` cannot contract for this `c`.
+pub fn legal_color_with_policy(
+    net: &Network<'_>,
+    c: u64,
+    params: LegalParams,
+    policy: AuxPolicy,
+) -> Result<LegalRun, ParamError> {
+    let g = net.graph();
+    let groups = vec![0u64; g.n()];
+    legal_color_in_groups_with_policy(
+        net,
+        &groups,
+        1,
+        c,
+        params,
+        g.max_degree() as u64,
+        None,
+        policy,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deco_graph::generators;
+    use deco_graph::line_graph::line_graph;
+    use deco_graph::properties::neighborhood_independence;
+
+    fn check(g: &deco_graph::Graph, c: u64, params: LegalParams) -> LegalRun {
+        let net = Network::new(g);
+        let run = legal_color(&net, c, params).expect("valid params");
+        assert!(run.coloring.is_proper(g), "Legal-Color output must be proper");
+        assert!(
+            run.coloring.color_bound() <= run.theta,
+            "colors exceed declared ϑ = {}",
+            run.theta
+        );
+        assert_eq!(
+            run.theta,
+            params.color_bound(c, g.max_degree() as u64),
+            "ϑ must match the Lemma 4.4 formula"
+        );
+        run
+    }
+
+    #[test]
+    fn legal_color_on_line_graph() {
+        let host = generators::random_bounded_degree(70, 10, 21);
+        let l = line_graph(&host);
+        assert!(neighborhood_independence(&l) <= 2);
+        let run = check(&l, 2, LegalParams::log_depth(2, 1));
+        // With Δ(L) ≈ 18 > λ = 18... recursion may or may not fire; the
+        // trace must be consistent either way.
+        let mut lam = l.max_degree() as u64;
+        for t in &run.levels {
+            assert_eq!(t.lambda_in, lam);
+            assert!(t.lambda_out < t.lambda_in, "levels must contract");
+            lam = t.lambda_out;
+        }
+        assert_eq!(run.bottom_lambda, lam);
+    }
+
+    #[test]
+    fn recursion_fires_on_figure_1() {
+        let g = generators::clique_with_pendants(40); // Δ = 40
+        let params = LegalParams::log_depth(2, 1); // λ = 18
+        let run = check(&g, 2, params);
+        assert!(!run.levels.is_empty(), "Δ=40 > λ=18 must recurse");
+        // Lemma 4.4 shape: ϑ ≤ (Λ̂+1)·p^r.
+        assert_eq!(
+            run.theta,
+            (run.bottom_lambda + 1) * params.p.pow(run.levels.len() as u32)
+        );
+    }
+
+    #[test]
+    fn no_recursion_below_threshold() {
+        let g = generators::cycle(20); // Δ = 2 < λ
+        let run = check(&g, 2, LegalParams::log_depth(2, 1));
+        assert!(run.levels.is_empty());
+        assert_eq!(run.theta, 3); // (Δ+1)-coloring
+    }
+
+    #[test]
+    fn unit_disk_with_c5() {
+        let g = generators::unit_disk(150, 0.2, 8);
+        let c = neighborhood_independence(&g).max(1) as u64;
+        let run = check(&g, c, LegalParams::log_depth(c, 1));
+        assert!(run.coloring.is_proper(&g));
+    }
+
+    #[test]
+    fn grouped_runs_stay_disjoint() {
+        // Two groups on a clique: each colored from its own palette.
+        let g = generators::complete(16);
+        let net = Network::new(&g);
+        let groups: Vec<u64> = (0..16).map(|v| (v % 2) as u64).collect();
+        let run = legal_color_in_groups(
+            &net,
+            &groups,
+            2,
+            1,
+            LegalParams::log_depth(1, 1),
+            7, // within-group degree
+            None,
+        )
+        .unwrap();
+        for u in 0..16 {
+            for v in 0..16 {
+                if u != v && groups[u] == groups[v] {
+                    assert_ne!(run.coloring.color(u), run.coloring.color(v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_params_are_rejected() {
+        let g = generators::path(5);
+        let net = Network::new(&g);
+        assert!(legal_color(&net, 2, LegalParams::new(1, 4, 50)).is_err());
+    }
+
+    #[test]
+    fn aux_policy_ablation_changes_rounds_not_validity() {
+        let host = generators::random_bounded_degree(90, 10, 61);
+        let l = line_graph(&host);
+        let net = Network::new(&l);
+        let params = LegalParams::log_depth(2, 1);
+        let reuse = legal_color_with_policy(&net, 2, params, AuxPolicy::ReusePerLevel).unwrap();
+        let fresh = legal_color_with_policy(&net, 2, params, AuxPolicy::FreshPerLevel).unwrap();
+        assert!(reuse.coloring.is_proper(&l));
+        assert!(fresh.coloring.is_proper(&l));
+        assert_eq!(reuse.theta, fresh.theta, "ϑ depends only on Δ and params");
+        // Fresh seeding can only lengthen the per-level schedules.
+        assert!(fresh.stats.rounds + 4 >= reuse.stats.rounds);
+    }
+
+    #[test]
+    fn theorem_4_5_params_work_end_to_end() {
+        let host = generators::random_bounded_degree(60, 12, 2);
+        let l = line_graph(&host);
+        let params = LegalParams::theorem_4_5(l.max_degree() as u64, 2, 0.8);
+        check(&l, 2, params);
+    }
+}

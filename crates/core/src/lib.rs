@@ -1,0 +1,62 @@
+//! Reproduction of *Distributed Deterministic Edge Coloring using Bounded
+//! Neighborhood Independence* (Barenboim & Elkin, PODC 2011) for the LOCAL
+//! model of distributed computing.
+//!
+//! The paper's headline results, all implemented here as message-passing
+//! protocols over the [`deco_local`] simulator:
+//!
+//! * **Algorithm 1 (Procedure Defective-Color)** — an `O(Δ/p)`-defective
+//!   `p`-coloring of graphs with neighborhood independence bounded by `c`,
+//!   in `O((b·p)² + log* n)` rounds ([`defective`]). Its defect × colors
+//!   product is *linear* in Δ — the paper's main technical contribution.
+//! * **Algorithm 2 (Procedure Legal-Color)** — legal `O(Δ)`- or
+//!   `O(Δ^{1+ε})`-vertex-colorings of bounded-NI graphs in `O(Δ^ε) + log* n`
+//!   or `O(log Δ) + log* n`-shaped time ([`legal`], Theorems 4.5/4.6/4.8).
+//! * **Edge coloring of general graphs** (Section 5) — the native edge
+//!   variants ([`edge`], Theorem 5.5) and the line-graph simulation
+//!   (Theorem 5.3), since `I(L(G)) <= 2` for every `G` (Lemma 5.1).
+//! * **Extensions** (Section 6) — the randomized `O(log log n)`-time variant
+//!   ([`randomized`]) and the colors/time tradeoff ([`tradeoff`]).
+//!
+//! Subroutines from prior work that the paper builds on are implemented in
+//! full: Linial's `O(Δ²)`-coloring ([`code_reduction`]), Kuhn's defective
+//! colorings ([`math::kuhn_schedule`], [`edge::kuhn_labels`]), the
+//! Kuhn–Wattenhofer color reduction ([`reduction`]), Cole–Vishkin 3-coloring
+//! ([`cole_vishkin`]) and the Panconesi–Rizzi `(2Δ-1)`-edge-coloring
+//! ([`edge::panconesi_rizzi`]). Baselines for the paper's comparison tables
+//! live in [`baselines`].
+//!
+//! # Quickstart
+//!
+//! ```
+//! use deco_core::edge::legal::{edge_color, edge_log_depth, MessageMode};
+//! use deco_graph::generators;
+//!
+//! let g = generators::random_bounded_degree(200, 8, 42);
+//! let run = edge_color(&g, edge_log_depth(1), MessageMode::Long)?;
+//! assert!(run.coloring.is_proper(&g));
+//! println!("{} colors in {} rounds", run.coloring.palette_size(), run.stats.rounds);
+//! # Ok::<(), deco_core::params::ParamError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod code_reduction;
+pub mod cole_vishkin;
+pub mod defective;
+pub mod edge;
+pub mod hypergraph_color;
+pub mod legal;
+pub mod math;
+pub mod msg;
+pub mod orientation_color;
+pub mod params;
+pub mod randomized;
+pub mod reduction;
+pub mod tradeoff;
+pub mod verify;
+
+pub use deco_graph as graph;
+pub use deco_local as local;

@@ -1,0 +1,371 @@
+//! Number-theoretic and combinatorial primitives shared by the coloring
+//! algorithms: the iterated logarithm, prime search, and polynomial codes
+//! over GF(q).
+//!
+//! The constructive engine behind Linial's coloring (Lemma 2.1(1)) and
+//! Kuhn's defective coloring (Lemma 2.1(3) / Theorem 4.7) is the same: map
+//! each color `c` of the current palette to a polynomial `p_c` of degree at
+//! most `k` over GF(q) (the base-q digits of `c` are its coefficients). Two
+//! distinct polynomials agree on at most `k` of the `q` points, so a vertex
+//! that knows its neighbors' colors can pick an evaluation point `x` at which
+//! it collides with few (or, if `q > k·Δ`, zero) neighbors, and adopt the
+//! pair `(x, p_c(x))` — a palette of `q²` colors — as its next color.
+
+/// The iterated logarithm: `log*(x)` is the smallest `i` such that applying
+/// base-2 `log` to `x` `i` times yields a value at most 2 (Section 2).
+///
+/// # Example
+///
+/// ```
+/// use deco_core::math::log_star;
+/// assert_eq!(log_star(1), 0);
+/// assert_eq!(log_star(2), 0);
+/// assert_eq!(log_star(4), 1);
+/// assert_eq!(log_star(16), 2);
+/// assert_eq!(log_star(65_536), 3);
+/// assert_eq!(log_star(u64::MAX), 4);
+/// ```
+pub fn log_star(x: u64) -> u32 {
+    let mut v = x as f64;
+    let mut i = 0;
+    while v > 2.0 {
+        v = v.log2();
+        i += 1;
+    }
+    i
+}
+
+/// Whether `x` is prime (deterministic trial division; inputs here are small).
+pub fn is_prime(x: u64) -> bool {
+    if x < 2 {
+        return false;
+    }
+    if x % 2 == 0 {
+        return x == 2;
+    }
+    let mut d = 3u64;
+    while d * d <= x {
+        if x % d == 0 {
+            return false;
+        }
+        d += 2;
+    }
+    true
+}
+
+/// The smallest prime `>= lo` (Bertrand guarantees one below `2·lo`).
+pub fn next_prime(lo: u64) -> u64 {
+    let mut x = lo.max(2);
+    while !is_prime(x) {
+        x += 1;
+    }
+    x
+}
+
+/// Integer ceiling of the `(k+1)`-th root comparison: whether
+/// `q.pow(k + 1) >= m`, computed without overflow.
+pub fn pow_at_least(q: u64, k: u32, m: u64) -> bool {
+    let mut acc: u128 = 1;
+    let target = m as u128;
+    for _ in 0..=k {
+        acc = acc.saturating_mul(q as u128);
+        if acc >= target {
+            return true;
+        }
+    }
+    acc >= target
+}
+
+/// The base-`q` digits of `value` (little-endian), padded to `len` digits.
+///
+/// These are the coefficients of the polynomial code of a color.
+///
+/// # Panics
+///
+/// Panics if `value >= q^len` (the color does not fit) or `q < 2`.
+pub fn digits_base(value: u64, q: u64, len: usize) -> Vec<u64> {
+    assert!(q >= 2, "base must be at least 2");
+    let mut digits = Vec::with_capacity(len);
+    let mut v = value;
+    for _ in 0..len {
+        digits.push(v % q);
+        v /= q;
+    }
+    assert_eq!(v, 0, "value {value} does not fit in {len} base-{q} digits");
+    digits
+}
+
+/// Evaluates the polynomial with the given coefficients (little-endian) at
+/// `x` over GF(q) by Horner's rule.
+///
+/// # Panics
+///
+/// Panics if `q == 0`.
+pub fn poly_eval(coeffs: &[u64], x: u64, q: u64) -> u64 {
+    assert!(q > 0, "modulus must be positive");
+    let (x, q128) = (x as u128 % q as u128, q as u128);
+    let mut acc: u128 = 0;
+    for &c in coeffs.iter().rev() {
+        acc = (acc * x + c as u128 % q128) % q128;
+    }
+    acc as u64
+}
+
+/// One step of a polynomial-code color reduction: degree bound `k`, field
+/// size `q`. Reduces a proper `m`-coloring (`m <= q^{k+1}`) to a proper
+/// `q²`-coloring when `q > k·Δ` (Linial), or to a defective coloring adding
+/// at most `⌊k·Δ/q⌋` defect per vertex (Kuhn's argmin choice).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CodeStep {
+    /// Field size (a prime).
+    pub q: u64,
+    /// Polynomial degree bound.
+    pub k: u32,
+    /// Palette size this step reduces *from*.
+    pub from_palette: u64,
+    /// Palette size after the step: `q²`.
+    pub to_palette: u64,
+    /// Defect this step may add per vertex: 0 for a Linial step,
+    /// `⌊k·Δ/q⌋` for a Kuhn step.
+    pub defect_budget: u64,
+}
+
+/// Chooses the cheapest `(k, q)` for one reduction step from palette `m`.
+///
+/// `q` must satisfy `q >= q_floor(k)` (caller encodes the Linial constraint
+/// `q > k·Δ` or the Kuhn constraint `q >= ⌈k·Δ/δ⌉`) and `q^{k+1} >= m`. Among
+/// feasible `k` in `1..=64`, picks the one minimizing the output palette
+/// `q²`.
+fn best_step(m: u64, q_floor: impl Fn(u32) -> u64) -> (u32, u64) {
+    let mut best: Option<(u64, u32)> = None; // (q, k)
+    for k in 1..=64u32 {
+        // Smallest q meeting both constraints.
+        let mut lo = q_floor(k).max(2);
+        // Raise lo until q^{k+1} >= m.
+        while !pow_at_least(lo, k, m) {
+            lo += 1;
+        }
+        let q = next_prime(lo);
+        match best {
+            Some((bq, _)) if bq <= q => {}
+            _ => best = Some((q, k)),
+        }
+        // Larger k can only help while q_floor grows slowly; stop once the
+        // floor alone exceeds the current best.
+        if let Some((bq, _)) = best {
+            if q_floor(k + 1).max(2) > bq {
+                break;
+            }
+        }
+    }
+    let (q, k) = best.expect("k = 1 is always feasible");
+    (k, q)
+}
+
+/// The Linial reduction schedule: from an initial proper `m0`-coloring of a
+/// graph with maximum degree `delta`, a sequence of zero-defect steps ending
+/// in a palette of `O(Δ²)` colors. The schedule length is `O(log* m0)`
+/// (Lemma 2.1(1)).
+///
+/// Every vertex can compute this schedule locally from `(m0, delta)`.
+pub fn linial_schedule(m0: u64, delta: u64) -> Vec<CodeStep> {
+    let mut steps = Vec::new();
+    let mut m = m0.max(1);
+    loop {
+        let (k, q) = best_step(m, |k| (k as u64) * delta + 1);
+        let to = q * q;
+        if to >= m {
+            break; // fixpoint reached: no further progress
+        }
+        steps.push(CodeStep { q, k, from_palette: m, to_palette: to, defect_budget: 0 });
+        m = to;
+    }
+    steps
+}
+
+/// The palette the Linial schedule converges to: `next_prime(Δ+1)²`-ish.
+pub fn linial_final_palette(m0: u64, delta: u64) -> u64 {
+    linial_schedule(m0, delta).last().map(|s| s.to_palette).unwrap_or(m0.max(1))
+}
+
+/// The Kuhn defective-coloring schedule (Lemma 2.1(3) / Theorem 4.7): from a
+/// *proper* `m0`-coloring of a graph with maximum degree `delta`, a sequence
+/// of argmin steps whose defect budgets sum to at most `target_defect`,
+/// ending in a palette of `O((Δ/d)²)` colors where `d = target_defect`.
+///
+/// Strategy: if `target_defect < 4`, the proper coloring itself is already
+/// `O((Δ/d)²)` colors (then `Δ/d > Δ/4`), so the schedule is empty. Otherwise
+/// up to three argmin steps with budgets `d/4, d/4, d/2`: the early steps
+/// have large degree-`k` polynomials (palette still big), the last step gets
+/// the big budget and lands at `O((2kΔ/d)²)` colors with small `k`. Steps
+/// that would not shrink the palette are skipped, preserving the hard defect
+/// bound Σ budgets ≤ d.
+pub fn kuhn_schedule(m0: u64, delta: u64, target_defect: u64) -> Vec<CodeStep> {
+    let d = target_defect;
+    if d < 4 || delta == 0 {
+        return Vec::new();
+    }
+    let budgets = [d / 4, d / 4, d / 2];
+    let mut steps = Vec::new();
+    let mut m = m0.max(1);
+    for &budget in &budgets {
+        debug_assert!(budget >= 1);
+        let (k, q) = best_step(m, |k| ((k as u64) * delta).div_ceil(budget).max(2));
+        let to = q * q;
+        if to >= m {
+            continue; // no progress; skip and save the budget
+        }
+        let added = (k as u64) * delta / q; // ⌊kΔ/q⌋ ≤ budget by construction
+        debug_assert!(added <= budget, "step defect {added} exceeds budget {budget}");
+        steps.push(CodeStep { q, k, from_palette: m, to_palette: to, defect_budget: added });
+        m = to;
+    }
+    steps
+}
+
+/// Upper bound on the palette after running [`kuhn_schedule`].
+pub fn kuhn_final_palette(m0: u64, delta: u64, target_defect: u64) -> u64 {
+    kuhn_schedule(m0, delta, target_defect)
+        .last()
+        .map(|s| s.to_palette)
+        .unwrap_or(m0.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_star_values() {
+        assert_eq!(log_star(0), 0);
+        assert_eq!(log_star(3), 1);
+        assert_eq!(log_star(5), 2);
+        assert_eq!(log_star(2_u64.pow(16)), 3);
+        assert_eq!(log_star(2_u64.pow(63)), 4);
+    }
+
+    #[test]
+    fn primes() {
+        assert!(is_prime(2));
+        assert!(is_prime(97));
+        assert!(!is_prime(1));
+        assert!(!is_prime(91)); // 7 * 13
+        assert_eq!(next_prime(1), 2);
+        assert_eq!(next_prime(8), 11);
+        assert_eq!(next_prime(11), 11);
+    }
+
+    #[test]
+    fn pow_comparison() {
+        assert!(pow_at_least(3, 1, 9));
+        assert!(!pow_at_least(3, 1, 10));
+        assert!(pow_at_least(2, 63, u64::MAX)); // saturating, no overflow
+    }
+
+    #[test]
+    fn digits_roundtrip() {
+        let d = digits_base(123, 5, 4);
+        assert_eq!(d, vec![3, 4, 4, 0]); // 123 = 3 + 4*5 + 4*25
+        let mut v = 0u64;
+        for (i, &dig) in d.iter().enumerate() {
+            v += dig * 5u64.pow(i as u32);
+        }
+        assert_eq!(v, 123);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn digits_overflow_panics() {
+        digits_base(125, 5, 3);
+    }
+
+    #[test]
+    fn poly_eval_matches_naive() {
+        let coeffs = [3u64, 0, 2, 5];
+        let q: u64 = 11;
+        for x in 0..q {
+            let naive: u64 = coeffs
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| c * x.pow(i as u32) % q)
+                .sum::<u64>()
+                % q;
+            assert_eq!(poly_eval(&coeffs, x, q), naive);
+        }
+    }
+
+    #[test]
+    fn distinct_polys_disagree_somewhere() {
+        // Two distinct degree-k polynomials over GF(q) agree on <= k points.
+        let q: u64 = 13;
+        let k: usize = 2;
+        let a = digits_base(57, q, k + 1);
+        let b = digits_base(99, q, k + 1);
+        let agreements =
+            (0..q).filter(|&x| poly_eval(&a, x, q) == poly_eval(&b, x, q)).count();
+        assert!(agreements <= k);
+    }
+
+    #[test]
+    fn linial_schedule_converges_fast() {
+        for delta in [1u64, 2, 3, 8, 20, 64] {
+            for m0 in [10u64, 1_000, 1 << 20, 1 << 40] {
+                let steps = linial_schedule(m0, delta);
+                assert!(
+                    steps.len() as u32 <= log_star(m0) + 3,
+                    "Δ={delta} m0={m0}: {} steps",
+                    steps.len()
+                );
+                // Palettes strictly decrease and end at O(Δ²).
+                let mut prev = m0;
+                for s in &steps {
+                    assert!(s.to_palette < prev);
+                    assert!(s.q > (s.k as u64) * delta, "Linial needs q > kΔ");
+                    assert_eq!(s.defect_budget, 0);
+                    prev = s.to_palette;
+                }
+                let final_p = linial_final_palette(m0, delta);
+                let bound = {
+                    let dp = next_prime(delta + 2);
+                    (dp * dp).max(m0.min(16))
+                };
+                assert!(
+                    final_p <= 4 * bound,
+                    "Δ={delta} m0={m0}: final palette {final_p} > 4·{bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kuhn_schedule_respects_budget_and_palette() {
+        for delta in [16u64, 64, 256, 1024] {
+            for p in [2u64, 4, 8, 16] {
+                let d = delta / p;
+                if d < 1 {
+                    continue;
+                }
+                let m0 = linial_final_palette(1 << 20, delta);
+                let steps = kuhn_schedule(m0, delta, d);
+                let total: u64 = steps.iter().map(|s| s.defect_budget).sum();
+                assert!(total <= d, "Δ={delta} p={p}: defect {total} > {d}");
+                if d >= 4 {
+                    let final_p = kuhn_final_palette(m0, delta, d);
+                    // O(p²) with a generous constant for prime slack and
+                    // small-k rounding.
+                    assert!(
+                        final_p <= 700 * p * p + 200,
+                        "Δ={delta} p={p}: palette {final_p}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kuhn_schedule_small_defect_is_empty() {
+        assert!(kuhn_schedule(100, 10, 0).is_empty());
+        assert!(kuhn_schedule(100, 10, 3).is_empty());
+        assert!(kuhn_schedule(100, 0, 10).is_empty());
+    }
+}

@@ -1,0 +1,97 @@
+//! Compact message encoding shared by the coloring protocols.
+
+use deco_local::{bits_for_range, Message};
+
+/// A message consisting of a few bounded integer fields.
+///
+/// Each field is accounted at the bit width of its *domain* (not its value),
+/// which is how the paper measures message size: a color from a palette of
+/// `m` colors costs `⌈log₂ m⌉` bits regardless of its value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldMsg {
+    fields: Vec<u64>,
+    bits: usize,
+}
+
+impl FieldMsg {
+    /// Builds a message from `(value, domain_size)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if a value lies outside its declared domain.
+    pub fn new(fields: &[(u64, u64)]) -> FieldMsg {
+        let mut bits = 0;
+        let mut values = Vec::with_capacity(fields.len());
+        for &(value, domain) in fields {
+            debug_assert!(
+                value < domain.max(1),
+                "field value {value} outside domain {domain}"
+            );
+            bits += bits_for_range(domain);
+            values.push(value);
+        }
+        FieldMsg { fields: values, bits: bits.max(1) }
+    }
+
+    /// Builds a message with an explicit bit size, for payloads whose wire
+    /// encoding is not a sequence of bounded integers (e.g. a used-color
+    /// bitmap of `palette` bits carrying the listed values).
+    pub fn with_bits(fields: Vec<u64>, bits: usize) -> FieldMsg {
+        FieldMsg { fields, bits: bits.max(1) }
+    }
+
+    /// The `i`-th field value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn field(&self, i: usize) -> u64 {
+        self.fields[i]
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether the message has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// All field values.
+    pub fn fields(&self) -> &[u64] {
+        &self.fields
+    }
+}
+
+impl Message for FieldMsg {
+    fn size_bits(&self) -> usize {
+        self.bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_accounting_uses_domains() {
+        let m = FieldMsg::new(&[(0, 1024), (3, 8)]);
+        assert_eq!(m.size_bits(), 10 + 3);
+        assert_eq!(m.field(0), 0);
+        assert_eq!(m.fields(), &[0, 3]);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "outside domain")]
+    fn out_of_domain_panics() {
+        let _ = FieldMsg::new(&[(9, 8)]);
+    }
+
+    #[test]
+    fn minimum_one_bit() {
+        assert_eq!(FieldMsg::new(&[]).size_bits(), 1);
+    }
+}

@@ -1,0 +1,160 @@
+//! Lemma 3.4: distributed `(d+1)`-coloring along an acyclic orientation.
+//!
+//! Given an acyclic orientation with out-degree at most `d`, every vertex
+//! waits for all its out-neighbors (its *parents*) to pick, then picks a
+//! color from `{0, ..., d}` unused by them. The process terminates after
+//! `longest directed path + O(1)` rounds and is legal because every edge's
+//! tail picks after (and avoids) its head.
+//!
+//! The orientation is specified by per-vertex ranks: every edge points
+//! toward the endpoint with the smaller `(rank, ident)` pair, which is
+//! always acyclic. Lemma 3.5 orients each ψ-color class this way (by
+//! φ-color, then by identifier); the forest-decomposition baseline orients
+//! by H-partition layer.
+
+use crate::msg::FieldMsg;
+use deco_graph::Vertex;
+use deco_local::{Action, Network, NodeCtx, Protocol, RunStats};
+
+#[derive(Debug)]
+struct OrientationColor {
+    rank: u64,
+    rank_domain: u64,
+    d: u64,
+    color: u64,
+    used: Vec<bool>,
+    awaiting: Vec<Vertex>,
+    learned: bool,
+}
+
+impl OrientationColor {
+    fn try_pick(&mut self, ctx: &NodeCtx<'_>) -> Action<FieldMsg> {
+        if !self.awaiting.is_empty() {
+            return Action::idle();
+        }
+        self.color = (0..=self.d)
+            .find(|&c| !self.used[c as usize])
+            .expect("out-degree exceeds d: no free color in {0..d}");
+        let msg = FieldMsg::new(&[(1, 2), (self.color, self.d + 1)]);
+        Action::Halt(ctx.broadcast(msg))
+    }
+}
+
+impl Protocol for OrientationColor {
+    type Msg = FieldMsg;
+    type Output = u64;
+
+    fn start(&mut self, ctx: &NodeCtx<'_>) -> Vec<(Vertex, FieldMsg)> {
+        // Announce the rank so both endpoints orient each edge identically.
+        ctx.broadcast(FieldMsg::new(&[(0, 2), (self.rank, self.rank_domain)]))
+    }
+
+    fn round(&mut self, ctx: &NodeCtx<'_>, inbox: &[(Vertex, FieldMsg)]) -> Action<FieldMsg> {
+        if !self.learned {
+            self.learned = true;
+            // Out-neighbors: smaller (rank, ident) than ours.
+            let mine = (self.rank, ctx.ident);
+            self.awaiting = inbox
+                .iter()
+                .filter(|(sender, m)| {
+                    m.field(0) == 0 && (m.field(1), ctx.ident_of(*sender)) < mine
+                })
+                .map(|&(sender, _)| sender)
+                .collect();
+            return self.try_pick(ctx);
+        }
+        for (sender, m) in inbox {
+            if m.field(0) == 1 {
+                if let Some(i) = self.awaiting.iter().position(|s| s == sender) {
+                    self.awaiting.swap_remove(i);
+                    self.used[m.field(1) as usize] = true;
+                }
+            }
+        }
+        self.try_pick(ctx)
+    }
+
+    fn finish(self, _ctx: &NodeCtx<'_>) -> u64 {
+        self.color
+    }
+}
+
+/// Lemma 3.4: a legal `(d+1)`-coloring along the acyclic orientation induced
+/// by `ranks` (toward smaller `(rank, ident)`), where `d` bounds the
+/// out-degree of that orientation.
+///
+/// Returns `(colors, stats)`; colors lie in `{0, ..., d}`. The round count
+/// equals the longest directed path plus `O(1)` — Figure 2's process.
+///
+/// # Panics
+///
+/// Panics (inside the protocol) if some vertex has more than `d`
+/// out-neighbors.
+pub fn orientation_coloring(
+    net: &Network<'_>,
+    ranks: &[u64],
+    rank_domain: u64,
+    d: u64,
+) -> (Vec<u64>, RunStats) {
+    assert_eq!(ranks.len(), net.graph().n(), "one rank per vertex");
+    let run = net.run(|ctx| OrientationColor {
+        rank: ranks[ctx.vertex],
+        rank_domain: rank_domain.max(1),
+        d,
+        color: 0,
+        used: vec![false; d as usize + 1],
+        awaiting: Vec::new(),
+        learned: false,
+    });
+    (run.outputs, run.stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deco_graph::coloring::VertexColoring;
+    use deco_graph::generators;
+    use deco_graph::orientation::Orientation;
+
+    #[test]
+    fn colors_along_ident_orientation() {
+        for g in [
+            generators::complete(7),
+            generators::petersen(),
+            generators::random_bounded_degree(80, 6, 9),
+        ] {
+            let net = Network::new(&g);
+            let ranks = vec![0u64; g.n()];
+            let o = Orientation::toward_smaller_rank(&g, &ranks);
+            let d = o.max_out_degree(&g) as u64;
+            let (colors, stats) = orientation_coloring(&net, &ranks, 1, d);
+            let c = VertexColoring::new(colors);
+            assert!(c.is_proper(&g), "Lemma 3.4 coloring must be legal");
+            assert!(c.color_bound() <= d + 1);
+            // Rounds = longest directed path + O(1) (Figure 2).
+            let lp = o.longest_path(&g).expect("ident orientation is acyclic");
+            assert!(stats.rounds <= lp + 3, "rounds {} vs path {lp}", stats.rounds);
+        }
+    }
+
+    #[test]
+    fn layered_ranks_shorten_paths() {
+        // A path graph ranked by parity has directed paths of length <= 1,
+        // so coloring completes in O(1) rounds despite n being large.
+        let g = generators::path(200);
+        let ranks: Vec<u64> = (0..200).map(|v| (v % 2) as u64).collect();
+        let net = Network::new(&g);
+        let (colors, stats) = orientation_coloring(&net, &ranks, 2, 2);
+        assert!(VertexColoring::new(colors).is_proper(&g));
+        assert!(stats.rounds <= 4);
+    }
+
+    #[test]
+    fn isolated_vertices_color_immediately() {
+        let g = deco_graph::Graph::empty(5);
+        let net = Network::new(&g);
+        let (colors, stats) = orientation_coloring(&net, &[0; 5], 1, 0);
+        assert_eq!(colors, vec![0; 5]);
+        assert!(stats.rounds <= 1);
+    }
+}

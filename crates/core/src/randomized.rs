@@ -1,0 +1,244 @@
+//! Section 6.1: the randomized variant.
+//!
+//! Kuhn–Wattenhofer's randomized defective coloring \[20\] is a single round:
+//! every vertex (edge) picks a uniformly random class among
+//! `⌈Δ/ln n⌉`, which has defect `O(log n)` w.h.p. Running the deterministic
+//! bounded-NI machinery on every class in parallel then costs time driven by
+//! `O(log n)` instead of Δ — `O(log log n)`-shaped overall (Theorem 6.1 /
+//! Corollary 6.2).
+//!
+//! The class-degree bound `B = ⌈6e·ln n⌉` used for the deterministic phase
+//! holds with probability `1 - n^{-Ω(1)}` (Chernoff, as in the paper); if a
+//! run exceeds it the algorithm still produces a *proper* coloring, but may
+//! use more colors than declared — [`RandomizedRun::class_bound_held`]
+//! reports whether the bound held.
+
+use crate::edge::legal::{edge_color_in_groups, EdgeRun, MessageMode};
+use crate::legal::{legal_color_in_groups, LegalRun};
+use crate::msg::FieldMsg;
+use crate::params::{LegalParams, ParamError};
+use deco_graph::{Graph, Vertex};
+use deco_local::{Action, Network, NodeCtx, Protocol, RunStats};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::rc::Rc;
+
+/// Result of the randomized vertex algorithm (Theorem 6.1).
+#[derive(Debug, Clone)]
+pub struct RandomizedRun {
+    /// The inner deterministic run (colors, ϑ, levels, stats).
+    pub inner: LegalRun,
+    /// Number of random classes used in phase 1.
+    pub classes: u64,
+    /// The assumed per-class degree bound `B`.
+    pub class_degree_bound: u64,
+    /// Whether the measured class degrees stayed within `B` (w.h.p. true).
+    pub class_bound_held: bool,
+    /// Total statistics including the announcement round.
+    pub stats: RunStats,
+}
+
+/// One-round announcement of each vertex's random class.
+#[derive(Debug)]
+struct AnnounceClass {
+    class: u64,
+    classes: u64,
+}
+
+impl Protocol for AnnounceClass {
+    type Msg = FieldMsg;
+    type Output = ();
+
+    fn start(&mut self, ctx: &NodeCtx<'_>) -> Vec<(Vertex, FieldMsg)> {
+        ctx.broadcast(FieldMsg::new(&[(self.class, self.classes)]))
+    }
+
+    fn round(&mut self, _ctx: &NodeCtx<'_>, _inbox: &[(Vertex, FieldMsg)]) -> Action<FieldMsg> {
+        Action::halt()
+    }
+
+    fn finish(self, _ctx: &NodeCtx<'_>) {}
+}
+
+/// Natural logarithm of `n`, at least 1.
+fn ln_n(n: usize) -> f64 {
+    (n.max(3) as f64).ln()
+}
+
+/// The number of random classes `⌈Δ/ln n⌉` and the w.h.p. class-degree
+/// bound `B = ⌈6e·ln n⌉` of Section 6.1.
+pub fn randomized_split(n: usize, delta: u64) -> (u64, u64) {
+    let classes = ((delta as f64) / ln_n(n)).ceil().max(1.0) as u64;
+    let bound = (6.0 * std::f64::consts::E * ln_n(n)).ceil() as u64;
+    (classes, bound.min(delta.max(1)))
+}
+
+/// Theorem 6.1: a randomized `O(Δ·min{Δ, log n}^η)`-vertex-coloring of a
+/// bounded-NI graph in `O(log log n)`-shaped time, w.h.p.
+///
+/// # Errors
+///
+/// Returns [`ParamError`] if `params` cannot contract for this `c`.
+pub fn randomized_vertex_color(
+    net: &Network<'_>,
+    c: u64,
+    params: LegalParams,
+    seed: u64,
+) -> Result<RandomizedRun, ParamError> {
+    let g = net.graph();
+    let delta = g.max_degree() as u64;
+    let (classes, bound) = randomized_split(g.n(), delta);
+
+    // Phase 1: every vertex picks a class uniformly at random (its own coin;
+    // we derive per-vertex streams from the seed) and announces it.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let groups: Vec<u64> = (0..g.n()).map(|_| rng.gen_range(0..classes)).collect();
+    let groups_rc = Rc::new(groups.clone());
+    let announce = net.run(|ctx| AnnounceClass { class: groups_rc[ctx.vertex], classes });
+
+    let class_bound_held = (0..g.n()).all(|v| {
+        g.neighbors(v).filter(|&u| groups[u] == groups[v]).count() as u64 <= bound
+    });
+
+    // Phase 2: deterministic Legal-Color on every class in parallel, with
+    // the w.h.p. degree bound as Λ.
+    let inner = legal_color_in_groups(net, &groups, classes, c, params, bound, None)?;
+    let stats = announce.stats + inner.stats;
+    Ok(RandomizedRun { inner, classes, class_degree_bound: bound, class_bound_held, stats })
+}
+
+/// Result of the randomized edge algorithm (Corollary 6.2).
+#[derive(Debug, Clone)]
+pub struct RandomizedEdgeRun {
+    /// The inner deterministic edge run.
+    pub inner: EdgeRun,
+    /// Number of random classes.
+    pub classes: u64,
+    /// The assumed per-class, per-vertex edge bound.
+    pub class_degree_bound: u64,
+    /// Whether the measured class degrees stayed within the bound.
+    pub class_bound_held: bool,
+    /// Total statistics including the announcement round.
+    pub stats: RunStats,
+}
+
+/// Corollary 6.2: a randomized `O(Δ·min{Δ, log n}^η)`-edge-coloring of a
+/// general graph in `O(log log n)`-shaped time, w.h.p. The random class of
+/// each edge is chosen by its smaller-identifier endpoint and announced in
+/// one round.
+///
+/// # Errors
+///
+/// Returns [`ParamError`] if `params` cannot contract (see
+/// [`crate::edge::legal::validate_edge_params`]).
+pub fn randomized_edge_color(
+    g: &Graph,
+    params: LegalParams,
+    mode: MessageMode,
+    seed: u64,
+) -> Result<RandomizedEdgeRun, ParamError> {
+    let net = Network::new(g);
+    let delta = g.max_degree() as u64;
+    let (classes, bound) = randomized_split(g.n(), delta);
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xed6e_c0de);
+    let groups: Vec<u64> = (0..g.m()).map(|_| rng.gen_range(0..classes)).collect();
+    // The owner endpoint announces the class across the edge: one round of
+    // O(log n)-bit messages, accounted explicitly.
+    let groups_rc = Rc::new(groups.clone());
+    let announce = net.run(|ctx| AnnounceEdgeClass {
+        classes,
+        labels: g.incident(ctx.vertex).map(|(u, e)| (u, groups_rc[e])).collect(),
+    });
+
+    let class_bound_held = (0..g.n()).all(|v| {
+        let mut counts = std::collections::HashMap::new();
+        for (_, e) in g.incident(v) {
+            *counts.entry(groups[e]).or_insert(0u64) += 1;
+        }
+        counts.values().all(|&k| k <= bound)
+    });
+
+    let inner = edge_color_in_groups(&net, &groups, classes, params, bound, mode)?;
+    let stats = announce.stats + inner.stats;
+    Ok(RandomizedEdgeRun {
+        inner,
+        classes,
+        class_degree_bound: bound,
+        class_bound_held,
+        stats,
+    })
+}
+
+#[derive(Debug)]
+struct AnnounceEdgeClass {
+    classes: u64,
+    labels: Vec<(Vertex, u64)>,
+}
+
+impl Protocol for AnnounceEdgeClass {
+    type Msg = FieldMsg;
+    type Output = ();
+
+    fn start(&mut self, ctx: &NodeCtx<'_>) -> Vec<(Vertex, FieldMsg)> {
+        // Only the smaller-ident endpoint speaks (it "owns" the coin).
+        self.labels
+            .iter()
+            .filter(|&&(u, _)| ctx.ident < ctx.ident_of(u))
+            .map(|&(u, cls)| (u, FieldMsg::new(&[(cls, self.classes)])))
+            .collect()
+    }
+
+    fn round(&mut self, _ctx: &NodeCtx<'_>, _inbox: &[(Vertex, FieldMsg)]) -> Action<FieldMsg> {
+        Action::halt()
+    }
+
+    fn finish(self, _ctx: &NodeCtx<'_>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::legal::edge_log_depth;
+    use deco_graph::generators;
+    use deco_graph::line_graph::line_graph;
+
+    #[test]
+    fn split_shapes() {
+        let (classes, bound) = randomized_split(1 << 10, 64);
+        assert!(classes >= 9 && classes <= 10);
+        assert!(bound >= 64.min(100));
+        let (classes, _) = randomized_split(1 << 10, 3);
+        assert_eq!(classes, 1);
+    }
+
+    #[test]
+    fn vertex_variant_proper() {
+        let host = generators::random_bounded_degree(80, 10, 51);
+        let l = line_graph(&host);
+        let net = Network::new(&l);
+        let run =
+            randomized_vertex_color(&net, 2, LegalParams::log_depth(2, 1), 7).unwrap();
+        assert!(run.inner.coloring.is_proper(&l), "must be proper regardless of luck");
+        assert!(run.classes >= 1);
+        assert!(run.stats.rounds >= run.inner.stats.rounds);
+    }
+
+    #[test]
+    fn edge_variant_proper_and_seeded() {
+        let g = generators::random_bounded_degree(120, 14, 3);
+        let a = randomized_edge_color(&g, edge_log_depth(1), MessageMode::Long, 42).unwrap();
+        let b = randomized_edge_color(&g, edge_log_depth(1), MessageMode::Long, 42).unwrap();
+        assert!(a.inner.coloring.is_proper(&g));
+        assert_eq!(a.inner.coloring, b.inner.coloring, "same seed, same run");
+        let c = randomized_edge_color(&g, edge_log_depth(1), MessageMode::Long, 43).unwrap();
+        assert!(c.inner.coloring.is_proper(&g));
+    }
+
+    #[test]
+    fn class_bound_usually_holds() {
+        let g = generators::random_bounded_degree(200, 12, 9);
+        let run = randomized_edge_color(&g, edge_log_depth(1), MessageMode::Long, 1).unwrap();
+        assert!(run.class_bound_held, "w.h.p. bound failed on a fixed seed");
+    }
+}

@@ -1,0 +1,161 @@
+//! Section 6.2: the colors/time tradeoff (Corollary 6.3).
+//!
+//! For any monotone non-decreasing `g(Δ)`, an `O(Δ²/g(Δ))`-coloring in
+//! `O(log g(Δ)) + log* n`-shaped time: first split the graph into `O(p²)`
+//! classes of degree at most `⌊Δ/p⌋` with a `⌊Δ/p⌋`-defective
+//! `O(p²)`-coloring (Lemma 2.1(3), a *hard* bound here), then run the
+//! bounded-NI machinery on every class in parallel. With `p = Δ/q(Δ)` the
+//! per-class degree is `q(Δ)`, so the recursion depth is `O(log q)` and the
+//! palette is `O(p²·q^{1+η}) = O(Δ²/g)` for `g = q^{1-η}`.
+
+use crate::code_reduction::{linial_coloring, run_code_reduction};
+use crate::edge::kuhn_labels::kuhn_defective_edge_coloring;
+use crate::edge::legal::{edge_color_in_groups, EdgeRun, MessageMode};
+use crate::legal::{legal_color_in_groups, LegalRun};
+use crate::math::kuhn_schedule;
+use crate::params::{LegalParams, ParamError};
+use deco_graph::Graph;
+use deco_local::Network;
+
+/// Result of the vertex tradeoff: the split width, per-class degree and the
+/// inner run.
+#[derive(Debug, Clone)]
+pub struct TradeoffRun {
+    /// The split parameter `p`.
+    pub p: u64,
+    /// Number of classes produced by the defective split (`O(p²)`).
+    pub classes: u64,
+    /// Per-class degree bound `⌊Δ/p⌋`.
+    pub class_degree: u64,
+    /// The inner grouped Legal-Color run; its `theta` is the total palette
+    /// bound `O(p²·(Δ/p)^{1+η})`.
+    pub inner: LegalRun,
+}
+
+/// Corollary 6.3 (vertex version) for a bounded-NI graph: splits with
+/// parameter `p` (`1 <= p <= Δ`) and colors every class in parallel.
+///
+/// # Errors
+///
+/// Returns [`ParamError`] if `params` cannot contract for this `c`.
+pub fn tradeoff_vertex_color(
+    net: &Network<'_>,
+    c: u64,
+    p: u64,
+    params: LegalParams,
+) -> Result<TradeoffRun, ParamError> {
+    let g = net.graph();
+    let delta = (g.max_degree() as u64).max(1);
+    let p = p.clamp(1, delta);
+    let class_degree = (delta / p).max(1);
+
+    // Phase 1: ⌊Δ/p⌋-defective O(p²)-coloring via Linial + Kuhn.
+    let (aux, aux_palette, lin_stats) = linial_coloring(net);
+    let steps = kuhn_schedule(aux_palette, delta, class_degree);
+    let classes_palette = steps.last().map(|s| s.to_palette).unwrap_or(aux_palette);
+    let groups_all = vec![0u64; g.n()];
+    let (split, split_stats) = run_code_reduction(net, &groups_all, 1, &aux, steps);
+
+    // Phase 2: Legal-Color on every class, reusing the auxiliary coloring.
+    let mut inner = legal_color_in_groups(
+        net,
+        &split,
+        classes_palette,
+        c,
+        params,
+        class_degree,
+        Some((&aux, aux_palette)),
+    )?;
+    inner.stats = lin_stats + split_stats + inner.stats;
+    Ok(TradeoffRun { p, classes: classes_palette, class_degree, inner })
+}
+
+/// Result of the edge tradeoff.
+#[derive(Debug, Clone)]
+pub struct TradeoffEdgeRun {
+    /// The split parameter `p`.
+    pub p: u64,
+    /// Number of classes (`p²`, Corollary 5.4).
+    pub classes: u64,
+    /// Per-class per-vertex edge bound `2⌈Δ/p⌉`.
+    pub class_degree: u64,
+    /// The inner grouped edge run.
+    pub inner: EdgeRun,
+}
+
+/// Corollary 6.3 (edge version) for a general graph: the split uses the
+/// `O(1)`-round labeling of Corollary 5.4, so the whole algorithm is
+/// `O(log g(Δ)) + log* n`-shaped with `O(log n)`-bit messages in
+/// [`MessageMode::Short`].
+///
+/// # Errors
+///
+/// Returns [`ParamError`] if `params` cannot contract.
+pub fn tradeoff_edge_color(
+    g: &Graph,
+    p: u64,
+    params: LegalParams,
+    mode: MessageMode,
+) -> Result<TradeoffEdgeRun, ParamError> {
+    let net = Network::new(g);
+    let delta = (g.max_degree() as u64).max(1);
+    let p = p.clamp(1, delta);
+    let groups_all = vec![0u64; g.m()];
+    let (split, classes, split_stats) =
+        kuhn_defective_edge_coloring(&net, &groups_all, p, delta);
+    // Per-class per-vertex edge bound from the labeling: each endpoint
+    // uses a label at most ⌈Δ/p⌉ times, and a class fixes one label per
+    // endpoint — but never more than Δ edges meet a vertex at all.
+    let class_degree = (2 * delta.div_ceil(p)).min(delta);
+    let mut inner = edge_color_in_groups(&net, &split, classes, params, class_degree, mode)?;
+    inner.stats = split_stats + inner.stats;
+    Ok(TradeoffEdgeRun { p, classes, class_degree, inner })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::legal::edge_log_depth;
+    use deco_graph::generators;
+    use deco_graph::line_graph::line_graph;
+
+    #[test]
+    fn vertex_tradeoff_proper_and_split_bounded() {
+        let host = generators::random_bounded_degree(70, 12, 5);
+        let l = line_graph(&host);
+        let net = Network::new(&l);
+        let run = tradeoff_vertex_color(&net, 2, 3, LegalParams::log_depth(2, 1)).unwrap();
+        assert!(run.inner.coloring.is_proper(&l));
+        assert_eq!(run.class_degree, (l.max_degree() as u64) / 3);
+    }
+
+    #[test]
+    fn larger_p_means_shallower_recursion() {
+        // More classes => smaller class degree => fewer levels (less time),
+        // more colors: the tradeoff curve.
+        let host = generators::random_bounded_degree(200, 16, 8);
+        let g = line_graph(&host);
+        let net = Network::new(&g);
+        let params = LegalParams::log_depth(2, 1);
+        let small_p = tradeoff_vertex_color(&net, 2, 2, params).unwrap();
+        let large_p = tradeoff_vertex_color(&net, 2, 16, params).unwrap();
+        assert!(large_p.class_degree <= small_p.class_degree);
+        assert!(large_p.inner.levels.len() <= small_p.inner.levels.len());
+    }
+
+    #[test]
+    fn edge_tradeoff_proper() {
+        let g = generators::random_bounded_degree(150, 18, 10);
+        let run = tradeoff_edge_color(&g, 4, edge_log_depth(1), MessageMode::Long).unwrap();
+        assert!(run.inner.coloring.is_proper(&g));
+        assert_eq!(run.classes, 16);
+    }
+
+    #[test]
+    fn p_clamped_to_delta() {
+        let g = generators::cycle(12);
+        let run = tradeoff_edge_color(&g, 100, edge_log_depth(1), MessageMode::Long).unwrap();
+        assert!(run.p <= g.max_degree() as u64);
+        assert!(run.inner.coloring.is_proper(&g));
+    }
+}

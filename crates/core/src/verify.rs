@@ -1,0 +1,183 @@
+//! Distributed verification of colorings.
+//!
+//! Proper colorings are locally checkable: one round of exchanging colors
+//! lets every vertex decide whether any of its (relevant) edges is
+//! monochromatic. These protocols are the distributed counterpart of the
+//! centralized checkers in [`deco_graph::coloring`] — useful both as a
+//! sanity layer after a coloring run and as the classic example of a
+//! locally checkable labeling in the paper's model.
+
+use crate::msg::FieldMsg;
+use deco_graph::{EdgeIdx, Vertex};
+use deco_local::{Action, Network, NodeCtx, Protocol, Run, RunStats};
+use std::rc::Rc;
+
+#[derive(Debug)]
+struct VerifyVertex {
+    color: u64,
+    palette: u64,
+    ok: bool,
+}
+
+impl Protocol for VerifyVertex {
+    type Msg = FieldMsg;
+    type Output = bool;
+
+    fn start(&mut self, ctx: &NodeCtx<'_>) -> Vec<(Vertex, FieldMsg)> {
+        ctx.broadcast(FieldMsg::new(&[(self.color, self.palette)]))
+    }
+
+    fn round(&mut self, _ctx: &NodeCtx<'_>, inbox: &[(Vertex, FieldMsg)]) -> Action<FieldMsg> {
+        self.ok = inbox.iter().all(|(_, m)| m.field(0) != self.color);
+        Action::halt()
+    }
+
+    fn finish(self, _ctx: &NodeCtx<'_>) -> bool {
+        self.ok
+    }
+}
+
+/// One-round distributed verification of a vertex coloring: vertex `v`'s
+/// output is `true` iff none of its neighbors shares its color. The
+/// coloring is proper iff every output is `true`.
+///
+/// Returns `(per-vertex verdicts, stats)`; always exactly 1 round with
+/// `O(log palette)`-bit messages.
+pub fn verify_vertex_coloring(
+    net: &Network<'_>,
+    colors: &[u64],
+    palette: u64,
+) -> (Vec<bool>, RunStats) {
+    assert_eq!(colors.len(), net.graph().n(), "one color per vertex");
+    let colors = Rc::new(colors.to_vec());
+    let run: Run<bool> = net.run(|ctx| VerifyVertex {
+        color: colors[ctx.vertex],
+        palette: palette.max(1),
+        ok: true,
+    });
+    (run.outputs, run.stats)
+}
+
+#[derive(Debug)]
+struct VerifyEdges {
+    /// Per incident edge: (neighbor, edge, color).
+    edges: Vec<(Vertex, EdgeIdx, u64)>,
+    palette: u64,
+    ok: bool,
+}
+
+impl Protocol for VerifyEdges {
+    type Msg = FieldMsg;
+    type Output = bool;
+
+    fn start(&mut self, _ctx: &NodeCtx<'_>) -> Vec<(Vertex, FieldMsg)> {
+        // Local half of the check: my incident edges must be rainbow.
+        let mut seen: Vec<u64> = self.edges.iter().map(|&(_, _, c)| c).collect();
+        seen.sort_unstable();
+        self.ok = seen.windows(2).all(|w| w[0] != w[1]);
+        // Exchange edge colors so both endpoints agree on each edge's color
+        // (catches inconsistent replicas).
+        self.edges
+            .iter()
+            .map(|&(nbr, _, c)| (nbr, FieldMsg::new(&[(c, self.palette)])))
+            .collect()
+    }
+
+    fn round(&mut self, _ctx: &NodeCtx<'_>, inbox: &[(Vertex, FieldMsg)]) -> Action<FieldMsg> {
+        for (sender, m) in inbox {
+            let mine = self
+                .edges
+                .iter()
+                .find(|&&(nbr, _, _)| nbr == *sender)
+                .map(|&(_, _, c)| c);
+            if mine != Some(m.field(0)) {
+                self.ok = false;
+            }
+        }
+        Action::halt()
+    }
+
+    fn finish(self, _ctx: &NodeCtx<'_>) -> bool {
+        self.ok
+    }
+}
+
+/// One-round distributed verification of an edge coloring: vertex `v`'s
+/// output is `true` iff its incident edges have pairwise distinct colors
+/// *and* both endpoints agree on every edge's color. The edge coloring is
+/// proper iff every output is `true`.
+pub fn verify_edge_coloring(
+    net: &Network<'_>,
+    colors: &[u64],
+    palette: u64,
+) -> (Vec<bool>, RunStats) {
+    let g = net.graph();
+    assert_eq!(colors.len(), g.m(), "one color per edge");
+    let colors = Rc::new(colors.to_vec());
+    let run: Run<bool> = net.run(|ctx| VerifyEdges {
+        edges: g
+            .incident(ctx.vertex)
+            .map(|(nbr, e)| (nbr, e, colors[e]))
+            .collect(),
+        palette: palette.max(1),
+        ok: true,
+    });
+    (run.outputs, run.stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::panconesi_rizzi::pr_edge_color;
+    use crate::reduction::delta_plus_one_coloring;
+    use deco_graph::generators;
+
+    #[test]
+    fn accepts_proper_vertex_coloring() {
+        let g = generators::random_bounded_degree(80, 7, 91);
+        let net = Network::new(&g);
+        let (colors, _) = delta_plus_one_coloring(&net);
+        let (ok, stats) =
+            verify_vertex_coloring(&net, &colors, g.max_degree() as u64 + 1);
+        assert!(ok.iter().all(|&b| b));
+        assert_eq!(stats.rounds, 1);
+    }
+
+    #[test]
+    fn rejects_monochromatic_edge() {
+        let g = generators::path(4);
+        let net = Network::new(&g);
+        let (ok, _) = verify_vertex_coloring(&net, &[0, 0, 1, 0], 2);
+        assert_eq!(ok, vec![false, false, true, true]);
+    }
+
+    #[test]
+    fn accepts_proper_edge_coloring() {
+        let g = generators::random_bounded_degree(70, 8, 92);
+        let (pr, _) = pr_edge_color(&g);
+        let net = Network::new(&g);
+        let (ok, stats) = verify_edge_coloring(&net, pr.colors(), 64);
+        assert!(ok.iter().all(|&b| b));
+        assert_eq!(stats.rounds, 1);
+    }
+
+    #[test]
+    fn rejects_clashing_incident_edges() {
+        // Star: all edges incident at the center.
+        let g = generators::star(4);
+        let net = Network::new(&g);
+        let (ok, _) = verify_edge_coloring(&net, &[0, 0, 1], 2);
+        assert!(!ok[0], "the center must detect the clash");
+        assert!(ok[3], "the leaf of the odd-colored edge sees no clash");
+    }
+
+    #[test]
+    fn verdicts_match_centralized_checker() {
+        let g = generators::random_bounded_degree(60, 6, 93);
+        let colors: Vec<u64> = (0..g.m() as u64).map(|e| e % 5).collect();
+        let centralized = deco_graph::coloring::EdgeColoring::new(colors.clone());
+        let net = Network::new(&g);
+        let (ok, _) = verify_edge_coloring(&net, &colors, 5);
+        assert_eq!(ok.iter().all(|&b| b), centralized.is_proper(&g));
+    }
+}

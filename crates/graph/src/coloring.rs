@@ -1,0 +1,284 @@
+//! Vertex and edge coloring containers with validity and defect checkers.
+//!
+//! The paper works with three kinds of colorings:
+//!
+//! * a **legal vertex coloring** ψ assigns every vertex a color distinct from
+//!   all its neighbors;
+//! * a **legal edge coloring** φ assigns every edge a color distinct from all
+//!   incident edges (Section 1.1);
+//! * an **`m`-defective `χ`-vertex-coloring** allows every vertex up to `m`
+//!   neighbors of its own color (Section 1.3) — the defect of an edge
+//!   coloring is defined analogously on incident edges.
+//!
+//! Checkers here are centralized oracles used by tests and benches, not by
+//! the distributed algorithms themselves.
+
+use crate::{EdgeIdx, Graph, Vertex};
+use std::collections::HashSet;
+
+/// A color. Algorithms in this workspace use dense small palettes, but the
+/// container does not require contiguity.
+pub type Color = u64;
+
+/// An assignment of a color to every vertex of a graph.
+///
+/// # Example
+///
+/// ```
+/// use deco_graph::{coloring::VertexColoring, Graph};
+///
+/// let g = Graph::from_edges(3, &[(0, 1), (1, 2)])?;
+/// let c = VertexColoring::new(vec![0, 1, 0]);
+/// assert!(c.is_proper(&g));
+/// assert_eq!(c.defect(&g), 0);
+/// assert_eq!(c.palette_size(), 2);
+/// # Ok::<(), deco_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VertexColoring {
+    colors: Vec<Color>,
+}
+
+impl VertexColoring {
+    /// Wraps a color vector (index = vertex).
+    pub fn new(colors: Vec<Color>) -> VertexColoring {
+        VertexColoring { colors }
+    }
+
+    /// The color of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn color(&self, v: Vertex) -> Color {
+        self.colors[v]
+    }
+
+    /// The underlying color vector.
+    pub fn colors(&self) -> &[Color] {
+        &self.colors
+    }
+
+    /// Consumes the coloring, returning the color vector.
+    pub fn into_colors(self) -> Vec<Color> {
+        self.colors
+    }
+
+    /// Number of vertices colored.
+    pub fn len(&self) -> usize {
+        self.colors.len()
+    }
+
+    /// Whether the coloring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.colors.is_empty()
+    }
+
+    /// Number of distinct colors used.
+    pub fn palette_size(&self) -> usize {
+        self.colors.iter().collect::<HashSet<_>>().len()
+    }
+
+    /// Largest color value used plus one (`0` for an empty graph); an upper
+    /// bound on the palette size when colors are dense.
+    pub fn color_bound(&self) -> u64 {
+        self.colors.iter().map(|&c| c + 1).max().unwrap_or(0)
+    }
+
+    /// Whether no edge of `g` is monochromatic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coloring and graph sizes disagree.
+    pub fn is_proper(&self, g: &Graph) -> bool {
+        assert_eq!(self.colors.len(), g.n(), "coloring size must match graph");
+        g.edges().all(|(u, v)| self.colors[u] != self.colors[v])
+    }
+
+    /// Number of neighbors of `v` sharing `v`'s color.
+    pub fn defect_of(&self, g: &Graph, v: Vertex) -> usize {
+        g.neighbors(v).filter(|&u| self.colors[u] == self.colors[v]).count()
+    }
+
+    /// The defect of the coloring: the maximum over vertices of
+    /// [`VertexColoring::defect_of`]. A coloring is proper iff its defect is 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coloring and graph sizes disagree.
+    pub fn defect(&self, g: &Graph) -> usize {
+        assert_eq!(self.colors.len(), g.n(), "coloring size must match graph");
+        (0..g.n()).map(|v| self.defect_of(g, v)).max().unwrap_or(0)
+    }
+
+    /// The vertices of each color class, keyed by color value.
+    pub fn classes(&self) -> Vec<(Color, Vec<Vertex>)> {
+        let mut sorted: Vec<(Color, Vertex)> =
+            self.colors.iter().enumerate().map(|(v, &c)| (c, v)).collect();
+        sorted.sort_unstable();
+        let mut out: Vec<(Color, Vec<Vertex>)> = Vec::new();
+        for (c, v) in sorted {
+            match out.last_mut() {
+                Some((lc, vs)) if *lc == c => vs.push(v),
+                _ => out.push((c, vec![v])),
+            }
+        }
+        out
+    }
+}
+
+/// An assignment of a color to every edge of a graph (indexed by edge index).
+///
+/// # Example
+///
+/// ```
+/// use deco_graph::{coloring::EdgeColoring, Graph};
+///
+/// // Path 0-1-2: the two edges are incident and need distinct colors.
+/// let g = Graph::from_edges(3, &[(0, 1), (1, 2)])?;
+/// assert!(EdgeColoring::new(vec![0, 1]).is_proper(&g));
+/// assert!(!EdgeColoring::new(vec![0, 0]).is_proper(&g));
+/// # Ok::<(), deco_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeColoring {
+    colors: Vec<Color>,
+}
+
+impl EdgeColoring {
+    /// Wraps a color vector (index = edge index).
+    pub fn new(colors: Vec<Color>) -> EdgeColoring {
+        EdgeColoring { colors }
+    }
+
+    /// The color of edge `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    pub fn color(&self, e: EdgeIdx) -> Color {
+        self.colors[e]
+    }
+
+    /// The underlying color vector.
+    pub fn colors(&self) -> &[Color] {
+        &self.colors
+    }
+
+    /// Consumes the coloring, returning the color vector.
+    pub fn into_colors(self) -> Vec<Color> {
+        self.colors
+    }
+
+    /// Number of edges colored.
+    pub fn len(&self) -> usize {
+        self.colors.len()
+    }
+
+    /// Whether the coloring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.colors.is_empty()
+    }
+
+    /// Number of distinct colors used.
+    pub fn palette_size(&self) -> usize {
+        self.colors.iter().collect::<HashSet<_>>().len()
+    }
+
+    /// Whether no two incident edges share a color.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coloring and graph sizes disagree.
+    pub fn is_proper(&self, g: &Graph) -> bool {
+        assert_eq!(self.colors.len(), g.m(), "coloring size must match edge count");
+        (0..g.n()).all(|v| {
+            let mut seen: Vec<Color> = g.incident(v).map(|(_, e)| self.colors[e]).collect();
+            seen.sort_unstable();
+            seen.windows(2).all(|w| w[0] != w[1])
+        })
+    }
+
+    /// Number of edges incident to `e` (sharing an endpoint) with `e`'s color.
+    pub fn defect_of(&self, g: &Graph, e: EdgeIdx) -> usize {
+        let (u, v) = g.endpoints(e);
+        let c = self.colors[e];
+        let at = |w: Vertex| {
+            g.incident(w).filter(|&(_, f)| f != e && self.colors[f] == c).count()
+        };
+        at(u) + at(v)
+    }
+
+    /// The defect of the edge coloring: maximum over edges of
+    /// [`EdgeColoring::defect_of`]. Proper iff 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coloring and graph sizes disagree.
+    pub fn defect(&self, g: &Graph) -> usize {
+        assert_eq!(self.colors.len(), g.m(), "coloring size must match edge count");
+        (0..g.m()).map(|e| self.defect_of(g, e)).max().unwrap_or(0)
+    }
+
+    /// Reinterprets this edge coloring of `g` as a vertex coloring of the
+    /// line graph `L(g)` built by [`crate::line_graph::line_graph`], whose
+    /// vertex `i` corresponds to edge `i`.
+    pub fn as_line_graph_coloring(&self) -> VertexColoring {
+        VertexColoring::new(self.colors.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        Graph::from_edges(3, &[(0, 1), (0, 2), (1, 2)]).unwrap()
+    }
+
+    #[test]
+    fn vertex_defect_counts() {
+        let g = triangle();
+        let c = VertexColoring::new(vec![1, 1, 2]);
+        assert!(!c.is_proper(&g));
+        assert_eq!(c.defect(&g), 1);
+        assert_eq!(c.defect_of(&g, 2), 0);
+        assert_eq!(c.palette_size(), 2);
+        assert_eq!(c.color_bound(), 3);
+    }
+
+    #[test]
+    fn classes_are_sorted() {
+        let c = VertexColoring::new(vec![2, 0, 2, 1]);
+        assert_eq!(
+            c.classes(),
+            vec![(0, vec![1]), (1, vec![3]), (2, vec![0, 2])]
+        );
+    }
+
+    #[test]
+    fn triangle_needs_three_edge_colors() {
+        let g = triangle();
+        assert!(!EdgeColoring::new(vec![0, 1, 0]).is_proper(&g));
+        assert!(EdgeColoring::new(vec![0, 1, 2]).is_proper(&g));
+    }
+
+    #[test]
+    fn edge_defect_counts_both_endpoints() {
+        // Star with 3 leaves: all edges pairwise incident at the center.
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]).unwrap();
+        let c = EdgeColoring::new(vec![5, 5, 5]);
+        assert_eq!(c.defect(&g), 2);
+        assert_eq!(c.defect_of(&g, 0), 2);
+    }
+
+    #[test]
+    fn empty_colorings() {
+        let g = Graph::empty(0);
+        assert!(VertexColoring::new(vec![]).is_proper(&g));
+        assert_eq!(VertexColoring::new(vec![]).defect(&g), 0);
+        assert!(EdgeColoring::new(vec![]).is_proper(&g));
+        assert!(VertexColoring::new(vec![]).is_empty());
+        assert!(EdgeColoring::new(vec![]).is_empty());
+    }
+}

@@ -1,0 +1,57 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error raised while constructing a [`crate::Graph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An edge endpoint was `>= n`.
+    VertexOutOfRange {
+        /// The offending endpoint.
+        vertex: usize,
+        /// The number of vertices in the graph under construction.
+        n: usize,
+    },
+    /// A self-loop `(v, v)` was supplied; the paper's model is simple graphs.
+    SelfLoop {
+        /// The vertex with the loop.
+        vertex: usize,
+    },
+    /// The same undirected edge was supplied twice.
+    DuplicateEdge {
+        /// Lower endpoint of the duplicated edge.
+        u: usize,
+        /// Upper endpoint of the duplicated edge.
+        v: usize,
+    },
+    /// Identifier list length does not match the vertex count.
+    BadIdentCount {
+        /// Number of identifiers supplied.
+        got: usize,
+        /// Number of vertices expected.
+        expected: usize,
+    },
+    /// Identifiers must be pairwise distinct.
+    DuplicateIdent {
+        /// The identifier that appeared twice.
+        ident: u64,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { vertex, n } => {
+                write!(f, "vertex {vertex} out of range for graph with {n} vertices")
+            }
+            GraphError::SelfLoop { vertex } => write!(f, "self-loop at vertex {vertex}"),
+            GraphError::DuplicateEdge { u, v } => write!(f, "duplicate edge ({u}, {v})"),
+            GraphError::BadIdentCount { got, expected } => {
+                write!(f, "got {got} identifiers, expected {expected}")
+            }
+            GraphError::DuplicateIdent { ident } => write!(f, "duplicate identifier {ident}"),
+        }
+    }
+}
+
+impl Error for GraphError {}

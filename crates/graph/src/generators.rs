@@ -1,0 +1,590 @@
+//! Deterministic and seeded-random graph generators.
+//!
+//! Every randomized generator takes an explicit `seed` and uses a fixed RNG
+//! (`rand::rngs::StdRng`), so workloads are reproducible across runs — a
+//! requirement for regenerating the paper's tables.
+
+use crate::hypergraph::Hypergraph;
+use crate::{Graph, Vertex};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A path on `n` vertices (`n - 1` edges).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn path(n: usize) -> Graph {
+    assert!(n > 0, "path needs at least one vertex");
+    let edges: Vec<(usize, usize)> = (0..n - 1).map(|v| (v, v + 1)).collect();
+    Graph::from_edges(n, &edges).expect("path edges are valid")
+}
+
+/// A cycle on `n >= 3` vertices.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "cycle needs at least three vertices");
+    let mut edges: Vec<(usize, usize)> = (0..n - 1).map(|v| (v, v + 1)).collect();
+    edges.push((n - 1, 0));
+    Graph::from_edges(n, &edges).expect("cycle edges are valid")
+}
+
+/// A star `K_{1, n-1}`: vertex 0 is the center.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn star(n: usize) -> Graph {
+    assert!(n > 0, "star needs at least one vertex");
+    let edges: Vec<(usize, usize)> = (1..n).map(|v| (0, v)).collect();
+    Graph::from_edges(n, &edges).expect("star edges are valid")
+}
+
+/// The complete graph `K_n`.
+pub fn complete(n: usize) -> Graph {
+    let mut edges = Vec::with_capacity(n * (n.saturating_sub(1)) / 2);
+    for u in 0..n {
+        for v in u + 1..n {
+            edges.push((u, v));
+        }
+    }
+    Graph::from_edges(n, &edges).expect("clique edges are valid")
+}
+
+/// The complete bipartite graph `K_{a,b}`; the left side is `0..a`.
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    let mut edges = Vec::with_capacity(a * b);
+    for u in 0..a {
+        for v in 0..b {
+            edges.push((u, a + v));
+        }
+    }
+    Graph::from_edges(a + b, &edges).expect("bipartite edges are valid")
+}
+
+/// A `w × h` grid graph.
+///
+/// # Panics
+///
+/// Panics if `w == 0 || h == 0`.
+pub fn grid(w: usize, h: usize) -> Graph {
+    assert!(w > 0 && h > 0, "grid needs positive dimensions");
+    let at = |x: usize, y: usize| y * w + x;
+    let mut edges = Vec::new();
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w {
+                edges.push((at(x, y), at(x + 1, y)));
+            }
+            if y + 1 < h {
+                edges.push((at(x, y), at(x, y + 1)));
+            }
+        }
+    }
+    Graph::from_edges(w * h, &edges).expect("grid edges are valid")
+}
+
+/// A `w × h` torus (wraparound grid); requires `w, h >= 3` so the graph
+/// stays simple.
+///
+/// # Panics
+///
+/// Panics if `w < 3 || h < 3`.
+pub fn torus(w: usize, h: usize) -> Graph {
+    assert!(w >= 3 && h >= 3, "torus needs dimensions at least 3");
+    let at = |x: usize, y: usize| y * w + x;
+    let mut b = Graph::builder(w * h);
+    for y in 0..h {
+        for x in 0..w {
+            b.add_edge_dedup(at(x, y), at((x + 1) % w, y)).expect("valid");
+            b.add_edge_dedup(at(x, y), at(x, (y + 1) % h)).expect("valid");
+        }
+    }
+    b.build().expect("deduplicated")
+}
+
+/// A complete binary tree on `n` vertices (vertex 0 is the root; children of
+/// `v` are `2v+1`, `2v+2`).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn binary_tree(n: usize) -> Graph {
+    assert!(n > 0, "tree needs at least one vertex");
+    let mut edges = Vec::new();
+    for v in 1..n {
+        edges.push(((v - 1) / 2, v));
+    }
+    Graph::from_edges(n, &edges).expect("tree edges are valid")
+}
+
+/// A complete `arity`-ary tree of the given `depth` (`depth = 0` is a
+/// single vertex). Vertex 0 is the root; children of `v` are
+/// `arity*v + 1, ..., arity*v + arity`.
+///
+/// With `arity >= 4` this family is the worst case for degree-threshold
+/// peeling (H-partitions): internal vertices keep degree `arity + 1` until
+/// all their children are removed, so peeling takes exactly `depth + 1`
+/// rounds = `Θ(log n)` — the family that exhibits the `Ω(log n)` lower
+/// bound \[3\] the paper cites against forest-decomposition approaches.
+///
+/// # Panics
+///
+/// Panics if `arity == 0` or the tree would exceed `2^32` vertices.
+pub fn kary_tree(arity: usize, depth: u32) -> Graph {
+    assert!(arity >= 1, "arity must be positive");
+    let mut n: usize = 1;
+    let mut level = 1usize;
+    for _ in 0..depth {
+        level = level.checked_mul(arity).expect("tree too large");
+        n = n.checked_add(level).expect("tree too large");
+    }
+    assert!(n < (1usize << 32), "tree too large");
+    let mut edges = Vec::with_capacity(n - 1);
+    for v in 1..n {
+        edges.push(((v - 1) / arity, v));
+    }
+    Graph::from_edges(n, &edges).expect("tree edges are valid")
+}
+
+/// The Petersen graph (10 vertices, 3-regular, girth 5).
+pub fn petersen() -> Graph {
+    let mut edges = Vec::new();
+    for i in 0..5 {
+        edges.push((i, (i + 1) % 5)); // outer cycle
+        edges.push((5 + i, 5 + (i + 2) % 5)); // inner pentagram
+        edges.push((i, 5 + i)); // spokes
+    }
+    Graph::from_edges(10, &edges).expect("petersen edges are valid")
+}
+
+/// The friendship (windmill) graph `F_k`: `k` triangles sharing one common
+/// vertex. The center can pick one independent neighbor per triangle, so
+/// `I(F_k) = k`: a useful *high*-independence contrast family for the
+/// bounded-NI algorithms (their color bounds degrade as `c` grows).
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn friendship(k: usize) -> Graph {
+    assert!(k > 0, "need at least one triangle");
+    let mut edges = Vec::with_capacity(3 * k);
+    for i in 0..k {
+        let (a, b) = (1 + 2 * i, 2 + 2 * i);
+        edges.push((0, a));
+        edges.push((0, b));
+        edges.push((a, b));
+    }
+    Graph::from_edges(2 * k + 1, &edges).expect("windmill edges are valid")
+}
+
+/// The `d`-dimensional hypercube `Q_d` (`2^d` vertices, `d`-regular).
+///
+/// # Panics
+///
+/// Panics if `d >= 28` (size guard).
+pub fn hypercube(d: u32) -> Graph {
+    assert!(d < 28, "hypercube too large");
+    let n = 1usize << d;
+    let mut edges = Vec::with_capacity(n * d as usize / 2);
+    for v in 0..n {
+        for bit in 0..d {
+            let u = v ^ (1 << bit);
+            if v < u {
+                edges.push((v, u));
+            }
+        }
+    }
+    Graph::from_edges(n, &edges).expect("hypercube edges are valid")
+}
+
+/// A barbell: two `k`-cliques joined by a path of `bridge` vertices.
+///
+/// # Panics
+///
+/// Panics if `k < 2`.
+pub fn barbell(k: usize, bridge: usize) -> Graph {
+    assert!(k >= 2, "cliques need at least two vertices");
+    let n = 2 * k + bridge;
+    let mut b = Graph::builder(n);
+    for u in 0..k {
+        for v in u + 1..k {
+            b.add_edge(u, v).expect("in range");
+            b.add_edge(k + bridge + u, k + bridge + v).expect("in range");
+        }
+    }
+    // Chain: clique-1 vertex k-1 -> bridge -> clique-2 vertex k+bridge.
+    let mut prev = k - 1;
+    for i in 0..bridge {
+        b.add_edge(prev, k + i).expect("in range");
+        prev = k + i;
+    }
+    b.add_edge(prev, k + bridge).expect("in range");
+    b.build().expect("barbell has no duplicate edges")
+}
+
+/// A random bipartite graph: sides of size `a` and `b`, `m` distinct edges.
+///
+/// # Panics
+///
+/// Panics if `m > a·b`.
+pub fn random_bipartite(a: usize, b: usize, m: usize, seed: u64) -> Graph {
+    assert!(m <= a * b, "too many edges for a bipartite graph");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = Graph::builder(a + b);
+    let mut seen = std::collections::HashSet::new();
+    while seen.len() < m {
+        let u = rng.gen_range(0..a);
+        let v = a + rng.gen_range(0..b);
+        if seen.insert((u, v)) {
+            builder.add_edge(u, v).expect("in range");
+        }
+    }
+    builder.build().expect("edges deduplicated via set")
+}
+
+/// The Figure 1 graph: a `k`-clique in which every clique vertex is attached
+/// to its own pendant vertex. Vertices `0..k` form the clique; vertex `k + i`
+/// is the pendant of clique vertex `i`.
+///
+/// This graph has neighborhood independence `I(G) = 2` (for `k >= 2`) while a
+/// clique vertex has `k` pairwise-independent vertices within distance 2 —
+/// bounded neighborhood independence but unbounded growth.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn clique_with_pendants(k: usize) -> Graph {
+    assert!(k > 0, "clique needs at least one vertex");
+    let mut edges = Vec::new();
+    for u in 0..k {
+        for v in u + 1..k {
+            edges.push((u, v));
+        }
+        edges.push((u, k + u));
+    }
+    Graph::from_edges(2 * k, &edges).expect("figure 1 edges are valid")
+}
+
+/// A uniformly random tree on `n` vertices (random attachment).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn random_tree(n: usize, seed: u64) -> Graph {
+    assert!(n > 0, "tree needs at least one vertex");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    for v in 1..n {
+        edges.push((rng.gen_range(0..v), v));
+    }
+    Graph::from_edges(n, &edges).expect("tree edges are valid")
+}
+
+/// An Erdős–Rényi-style `G(n, m)` simple graph: `m` distinct edges chosen
+/// uniformly (by rejection).
+///
+/// # Panics
+///
+/// Panics if `m` exceeds the number of possible edges.
+pub fn random_graph(n: usize, m: usize, seed: u64) -> Graph {
+    let possible = n * n.saturating_sub(1) / 2;
+    assert!(m <= possible, "too many edges requested: {m} > {possible}");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = Graph::builder(n);
+    let mut added = 0usize;
+    let mut seen = std::collections::HashSet::new();
+    while added < m {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u == v {
+            continue;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if seen.insert(key) {
+            b.add_edge(key.0, key.1).expect("in range");
+            added += 1;
+        }
+    }
+    b.build().expect("edges deduplicated via set")
+}
+
+/// A random graph with maximum degree at most `delta_cap`, aiming for most
+/// vertices near the cap: repeatedly samples vertex pairs with residual
+/// capacity. Deterministic for a fixed seed.
+///
+/// The result's Δ is `<= delta_cap`; for `n >> delta_cap` it is almost
+/// always exactly `delta_cap`. This is the Table 1 workload (sweep Δ at
+/// fixed `n`).
+///
+/// # Panics
+///
+/// Panics if `delta_cap >= n`.
+pub fn random_bounded_degree(n: usize, delta_cap: usize, seed: u64) -> Graph {
+    assert!(delta_cap < n, "degree cap must be below n");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = Graph::builder(n);
+    let mut deg = vec![0usize; n];
+    let mut exists = std::collections::HashSet::new();
+    // Standard pairing heuristic: a pool of vertex "stubs", shuffled, paired.
+    // Rejected pairs (loops/duplicates/full) are dropped; a few extra passes
+    // top up residual capacity.
+    for _pass in 0..4 {
+        let mut stubs: Vec<Vertex> = Vec::new();
+        for v in 0..n {
+            for _ in deg[v]..delta_cap {
+                stubs.push(v);
+            }
+        }
+        stubs.shuffle(&mut rng);
+        for pair in stubs.chunks_exact(2) {
+            let (u, v) = (pair[0], pair[1]);
+            if u == v || deg[u] >= delta_cap || deg[v] >= delta_cap {
+                continue;
+            }
+            let key = if u < v { (u, v) } else { (v, u) };
+            if exists.insert(key) {
+                b.add_edge(key.0, key.1).expect("in range");
+                deg[u] += 1;
+                deg[v] += 1;
+            }
+        }
+    }
+    b.build().expect("edges deduplicated via set")
+}
+
+/// A random `d`-regular graph via the pairing model with retries. Falls back
+/// to a near-regular graph (Δ <= d) if `n·d` pairings keep colliding, which
+/// for the sizes used in benches essentially never happens.
+///
+/// # Panics
+///
+/// Panics if `n·d` is odd or `d >= n`.
+pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
+    assert!(n * d % 2 == 0, "n*d must be even");
+    assert!(d < n, "degree must be below n");
+    let mut rng = StdRng::seed_from_u64(seed);
+    'attempt: for attempt in 0..64 {
+        let mut stubs: Vec<Vertex> = (0..n).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+        stubs.shuffle(&mut rng);
+        let mut b = Graph::builder(n);
+        let mut exists = std::collections::HashSet::new();
+        for pair in stubs.chunks_exact(2) {
+            let (u, v) = (pair[0], pair[1]);
+            if u == v {
+                continue 'attempt;
+            }
+            let key = if u < v { (u, v) } else { (v, u) };
+            if !exists.insert(key) {
+                continue 'attempt;
+            }
+            b.add_edge(key.0, key.1).expect("in range");
+        }
+        let _ = attempt;
+        return b.build().expect("deduplicated");
+    }
+    // Fallback: bounded-degree graph with cap d.
+    random_bounded_degree(n, d, seed ^ 0x5eed)
+}
+
+/// A unit-disk graph: `n` points uniform in the unit square, connected when
+/// within Euclidean distance `radius`. Unit-disk graphs have bounded growth
+/// and neighborhood independence at most 5 (at most five pairwise-independent
+/// neighbors fit in a disk), making them a natural bounded-NI workload.
+pub fn unit_disk(n: usize, radius: f64, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let r2 = radius * radius;
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in u + 1..n {
+            let dx = pts[u].0 - pts[v].0;
+            let dy = pts[u].1 - pts[v].1;
+            if dx * dx + dy * dy <= r2 {
+                edges.push((u, v));
+            }
+        }
+    }
+    Graph::from_edges(n, &edges).expect("disk edges are valid")
+}
+
+/// A random `rank`-uniform hypergraph: `m` hyperedges, each a uniformly
+/// random `rank`-subset of the `n` vertices (duplicates between hyperedges
+/// allowed, as in a multiset of constraints; each hyperedge's vertices are
+/// distinct).
+///
+/// # Panics
+///
+/// Panics if `rank == 0 || rank > n`.
+pub fn random_hypergraph(n: usize, m: usize, rank: usize, seed: u64) -> Hypergraph {
+    assert!(rank > 0 && rank <= n, "rank must be in 1..=n");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(m);
+    let mut pool: Vec<Vertex> = (0..n).collect();
+    for _ in 0..m {
+        pool.shuffle(&mut rng);
+        let mut e = pool[..rank].to_vec();
+        e.sort_unstable();
+        edges.push(e);
+    }
+    Hypergraph::new(n, edges).expect("sampled vertices are in range")
+}
+
+/// Returns a copy of `g` whose identifiers are a seeded random permutation
+/// of `{1, ..., n}`. Useful to check that algorithms do not depend on the
+/// accidental alignment of identifiers with vertex indices.
+pub fn shuffle_idents(g: &Graph, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ids: Vec<u64> = (1..=g.n() as u64).collect();
+    ids.shuffle(&mut rng);
+    g.clone().with_idents(ids).expect("permutation is distinct")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_families_sizes() {
+        assert_eq!(path(5).m(), 4);
+        assert_eq!(cycle(5).m(), 5);
+        assert_eq!(star(5).m(), 4);
+        assert_eq!(complete(5).m(), 10);
+        assert_eq!(complete_bipartite(2, 3).m(), 6);
+        assert_eq!(grid(3, 4).n(), 12);
+        assert_eq!(grid(3, 4).m(), 3 * 3 + 2 * 4);
+        assert_eq!(torus(3, 3).m(), 18);
+        assert_eq!(binary_tree(7).m(), 6);
+        assert_eq!(petersen().m(), 15);
+    }
+
+    #[test]
+    fn kary_tree_shape() {
+        let g = kary_tree(4, 3);
+        assert_eq!(g.n(), 1 + 4 + 16 + 64);
+        assert_eq!(g.m(), g.n() - 1);
+        assert_eq!(g.degree(0), 4);
+        assert_eq!(g.max_degree(), 5);
+        assert_eq!(g.component_count(), 1);
+        let single = kary_tree(3, 0);
+        assert_eq!(single.n(), 1);
+        assert_eq!(single.m(), 0);
+    }
+
+    #[test]
+    fn torus_is_4_regular() {
+        let g = torus(4, 5);
+        assert!((0..g.n()).all(|v| g.degree(v) == 4));
+    }
+
+    #[test]
+    fn clique_with_pendants_shape() {
+        let g = clique_with_pendants(6);
+        assert_eq!(g.n(), 12);
+        assert_eq!(g.m(), 15 + 6);
+        assert_eq!(g.max_degree(), 6); // clique vertex: 5 clique nbrs + pendant
+        assert_eq!(g.degree(7), 1); // a pendant
+    }
+
+    #[test]
+    fn friendship_graph_facts() {
+        let g = friendship(6);
+        assert_eq!(g.n(), 13);
+        assert_eq!(g.m(), 18);
+        assert_eq!(g.max_degree(), 12);
+        // One independent neighbor per triangle: I(F_k) = k.
+        assert_eq!(crate::properties::neighborhood_independence(&g), 6);
+    }
+
+    #[test]
+    fn hypercube_is_regular() {
+        let g = hypercube(4);
+        assert_eq!(g.n(), 16);
+        assert_eq!(g.m(), 32);
+        assert!((0..16).all(|v| g.degree(v) == 4));
+        assert_eq!(g.component_count(), 1);
+    }
+
+    #[test]
+    fn barbell_shape() {
+        let g = barbell(4, 3);
+        assert_eq!(g.n(), 11);
+        assert_eq!(g.m(), 2 * 6 + 4);
+        assert_eq!(g.component_count(), 1);
+        assert_eq!(g.max_degree(), 4);
+    }
+
+    #[test]
+    fn bipartite_has_no_odd_side_edges() {
+        let g = random_bipartite(10, 15, 40, 3);
+        assert_eq!(g.m(), 40);
+        for (u, v) in g.edges() {
+            assert!(u < 10 && v >= 10, "edge ({u},{v}) not across the cut");
+        }
+    }
+
+    #[test]
+    fn random_graph_deterministic() {
+        let a = random_graph(40, 100, 7);
+        let b = random_graph(40, 100, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.m(), 100);
+        let c = random_graph(40, 100, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn bounded_degree_respects_cap() {
+        let g = random_bounded_degree(200, 7, 123);
+        assert!(g.max_degree() <= 7);
+        // The pairing passes should get most vertices close to the cap.
+        let near = (0..g.n()).filter(|&v| g.degree(v) >= 6).count();
+        assert!(near > 150, "only {near} vertices near the cap");
+    }
+
+    #[test]
+    fn regular_graph_is_regular() {
+        let g = random_regular(60, 4, 99);
+        assert!((0..g.n()).all(|v| g.degree(v) == 4), "pairing fallback triggered");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be even")]
+    fn regular_rejects_odd() {
+        let _ = random_regular(5, 3, 1);
+    }
+
+    #[test]
+    fn tree_is_connected_acyclic() {
+        let g = random_tree(50, 5);
+        assert_eq!(g.m(), 49);
+        assert_eq!(g.component_count(), 1);
+    }
+
+    #[test]
+    fn unit_disk_deterministic() {
+        let a = unit_disk(80, 0.2, 3);
+        let b = unit_disk(80, 0.2, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hypergraph_rank_respected() {
+        let h = random_hypergraph(20, 15, 3, 11);
+        assert_eq!(h.edge_count(), 15);
+        assert!(h.rank() <= 3);
+        assert!(h.edges().iter().all(|e| e.len() == 3));
+    }
+
+    #[test]
+    fn shuffled_idents_are_permutation() {
+        let g = shuffle_idents(&grid(4, 4), 17);
+        let mut ids = g.idents().to_vec();
+        ids.sort_unstable();
+        assert_eq!(ids, (1..=16).collect::<Vec<u64>>());
+    }
+}

@@ -1,0 +1,469 @@
+use crate::{EdgeIdx, GraphError, Vertex};
+
+/// An immutable simple undirected graph in CSR form.
+///
+/// Vertices are the indices `0..n`. Every vertex additionally carries a
+/// distinct *identifier* ([`Graph::ident`]), the `Id` of the paper's model;
+/// by default `ident(v) = v + 1`, i.e. identifiers are `{1, ..., n}` exactly
+/// as Section 1.1 assumes, but generators may permute them.
+///
+/// Edges are normalized to `(u, v)` with `u < v`, sorted lexicographically,
+/// and addressed by their index in [`Graph::edges`]. The adjacency of every
+/// vertex stores `(neighbor, edge index)` pairs sorted by neighbor, so both
+/// vertex- and edge-coloring algorithms can navigate in `O(log deg)`.
+///
+/// # Example
+///
+/// ```
+/// use deco_graph::Graph;
+///
+/// let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)])?;
+/// assert_eq!(g.n(), 4);
+/// assert_eq!(g.m(), 4);
+/// assert_eq!(g.degree(1), 2);
+/// assert!(g.has_edge(0, 3));
+/// # Ok::<(), deco_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    n: usize,
+    /// CSR offsets, length `n + 1`.
+    offsets: Vec<usize>,
+    /// Flattened adjacency: `(neighbor, edge index)`, sorted by neighbor
+    /// within each vertex's slice.
+    adj: Vec<(u32, u32)>,
+    /// Normalized edge list `(u, v)` with `u < v`, lexicographically sorted.
+    edges: Vec<(u32, u32)>,
+    /// Distinct identifier per vertex.
+    idents: Vec<u64>,
+    max_degree: usize,
+}
+
+impl Graph {
+    /// Creates a graph with `n` vertices from an edge list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] if an endpoint is out of range, an edge is a
+    /// self-loop, or an edge appears twice.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Result<Graph, GraphError> {
+        let mut b = GraphBuilder::new(n);
+        for &(u, v) in edges {
+            b.add_edge(u, v)?;
+        }
+        b.build()
+    }
+
+    /// Creates an edgeless graph with `n` vertices.
+    pub fn empty(n: usize) -> Graph {
+        Graph::from_edges(n, &[]).expect("empty edge list is always valid")
+    }
+
+    /// Starts building a graph with `n` vertices.
+    pub fn builder(n: usize) -> GraphBuilder {
+        GraphBuilder::new(n)
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    pub fn m(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Degree of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    pub fn degree(&self, v: Vertex) -> usize {
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Maximum degree Δ of the graph (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.max_degree
+    }
+
+    /// The distinct identifier of `v` (the paper's `Id(v)`).
+    pub fn ident(&self, v: Vertex) -> u64 {
+        self.idents[v]
+    }
+
+    /// All identifiers, indexed by vertex.
+    pub fn idents(&self) -> &[u64] {
+        &self.idents
+    }
+
+    /// Returns a copy of this graph with the given identifiers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] if `idents.len() != n` or identifiers repeat.
+    pub fn with_idents(mut self, idents: Vec<u64>) -> Result<Graph, GraphError> {
+        if idents.len() != self.n {
+            return Err(GraphError::BadIdentCount { got: idents.len(), expected: self.n });
+        }
+        let mut sorted = idents.clone();
+        sorted.sort_unstable();
+        for w in sorted.windows(2) {
+            if w[0] == w[1] {
+                return Err(GraphError::DuplicateIdent { ident: w[0] });
+            }
+        }
+        self.idents = idents;
+        Ok(self)
+    }
+
+    /// Iterates over the neighbors of `v` in increasing vertex order.
+    pub fn neighbors(&self, v: Vertex) -> impl Iterator<Item = Vertex> + '_ {
+        self.adj[self.offsets[v]..self.offsets[v + 1]].iter().map(|&(u, _)| u as Vertex)
+    }
+
+    /// Iterates over `(neighbor, edge index)` pairs incident to `v`.
+    pub fn incident(&self, v: Vertex) -> impl Iterator<Item = (Vertex, EdgeIdx)> + '_ {
+        self.adj[self.offsets[v]..self.offsets[v + 1]]
+            .iter()
+            .map(|&(u, e)| (u as Vertex, e as EdgeIdx))
+    }
+
+    /// The normalized edge list: `(u, v)` with `u < v`, sorted.
+    pub fn edges(&self) -> impl Iterator<Item = (Vertex, Vertex)> + '_ {
+        self.edges.iter().map(|&(u, v)| (u as Vertex, v as Vertex))
+    }
+
+    /// Endpoints of edge `e` as `(u, v)` with `u < v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e >= m`.
+    pub fn endpoints(&self, e: EdgeIdx) -> (Vertex, Vertex) {
+        let (u, v) = self.edges[e];
+        (u as Vertex, v as Vertex)
+    }
+
+    /// For an edge `e` incident to `v`, the endpoint that is not `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not an endpoint of `e`.
+    pub fn other_endpoint(&self, e: EdgeIdx, v: Vertex) -> Vertex {
+        let (a, b) = self.endpoints(e);
+        if a == v {
+            b
+        } else if b == v {
+            a
+        } else {
+            panic!("vertex {v} is not an endpoint of edge {e}")
+        }
+    }
+
+    /// Whether the undirected edge `(u, v)` exists.
+    pub fn has_edge(&self, u: Vertex, v: Vertex) -> bool {
+        self.edge_between(u, v).is_some()
+    }
+
+    /// The edge index of `(u, v)`, if that edge exists.
+    pub fn edge_between(&self, u: Vertex, v: Vertex) -> Option<EdgeIdx> {
+        if u >= self.n || v >= self.n || u == v {
+            return None;
+        }
+        let slice = &self.adj[self.offsets[u]..self.offsets[u + 1]];
+        slice
+            .binary_search_by_key(&(v as u32), |&(w, _)| w)
+            .ok()
+            .map(|i| slice[i].1 as EdgeIdx)
+    }
+
+    /// The subgraph induced by `keep`, together with the map from new vertex
+    /// indices to original ones.
+    ///
+    /// Identifiers are inherited from the original graph, so symmetry
+    /// breaking in the induced subgraph is consistent with the host graph
+    /// (Lemma 3.6 is about exactly such subgraphs).
+    ///
+    /// Vertices listed more than once are kept once; order of `keep` does not
+    /// matter (output vertices are sorted by original index).
+    pub fn induced(&self, keep: &[Vertex]) -> (Graph, Vec<Vertex>) {
+        let mut verts: Vec<Vertex> = keep.to_vec();
+        verts.sort_unstable();
+        verts.dedup();
+        let mut back = vec![usize::MAX; self.n];
+        for (new, &old) in verts.iter().enumerate() {
+            back[old] = new;
+        }
+        let mut edges = Vec::new();
+        for &(u, v) in &self.edges {
+            let (u, v) = (u as usize, v as usize);
+            if back[u] != usize::MAX && back[v] != usize::MAX {
+                edges.push((back[u], back[v]));
+            }
+        }
+        let g = Graph::from_edges(verts.len(), &edges)
+            .expect("induced subgraph of a valid graph is valid");
+        let idents = verts.iter().map(|&old| self.idents[old]).collect();
+        let g = g.with_idents(idents).expect("inherited identifiers stay distinct");
+        (g, verts)
+    }
+
+    /// Number of connected components.
+    pub fn component_count(&self) -> usize {
+        let mut seen = vec![false; self.n];
+        let mut count = 0;
+        let mut stack = Vec::new();
+        for s in 0..self.n {
+            if seen[s] {
+                continue;
+            }
+            count += 1;
+            seen[s] = true;
+            stack.push(s);
+            while let Some(v) = stack.pop() {
+                for u in self.neighbors(v) {
+                    if !seen[u] {
+                        seen[u] = true;
+                        stack.push(u);
+                    }
+                }
+            }
+        }
+        count
+    }
+
+    /// Breadth-first distances from `source` (`usize::MAX` for unreachable).
+    pub fn bfs_distances(&self, source: Vertex) -> Vec<usize> {
+        let mut dist = vec![usize::MAX; self.n];
+        dist[source] = 0;
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(source);
+        while let Some(v) = queue.pop_front() {
+            for u in self.neighbors(v) {
+                if dist[u] == usize::MAX {
+                    dist[u] = dist[v] + 1;
+                    queue.push_back(u);
+                }
+            }
+        }
+        dist
+    }
+}
+
+/// Incremental builder for [`Graph`].
+///
+/// # Example
+///
+/// ```
+/// use deco_graph::Graph;
+///
+/// let mut b = Graph::builder(3);
+/// b.add_edge(0, 1)?;
+/// b.add_edge(1, 2)?;
+/// let g = b.build()?;
+/// assert_eq!(g.m(), 2);
+/// # Ok::<(), deco_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(u32, u32)>,
+}
+
+impl GraphBuilder {
+    /// Starts a builder for a graph with `n` vertices.
+    pub fn new(n: usize) -> GraphBuilder {
+        GraphBuilder { n, edges: Vec::new() }
+    }
+
+    /// Adds the undirected edge `(u, v)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] if an endpoint is out of range or the edge is a
+    /// self-loop. Duplicates are detected at [`GraphBuilder::build`] time.
+    pub fn add_edge(&mut self, u: Vertex, v: Vertex) -> Result<&mut Self, GraphError> {
+        if u >= self.n {
+            return Err(GraphError::VertexOutOfRange { vertex: u, n: self.n });
+        }
+        if v >= self.n {
+            return Err(GraphError::VertexOutOfRange { vertex: v, n: self.n });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { vertex: u });
+        }
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        self.edges.push((a as u32, b as u32));
+        Ok(self)
+    }
+
+    /// Adds the edge if not already present; returns whether it was added.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`GraphBuilder::add_edge`] for range and self-loop violations.
+    pub fn add_edge_dedup(&mut self, u: Vertex, v: Vertex) -> Result<bool, GraphError> {
+        if u >= self.n {
+            return Err(GraphError::VertexOutOfRange { vertex: u, n: self.n });
+        }
+        if v >= self.n {
+            return Err(GraphError::VertexOutOfRange { vertex: v, n: self.n });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { vertex: u });
+        }
+        let (a, b) = if u < v { (u as u32, v as u32) } else { (v as u32, u as u32) };
+        if self.edges.contains(&(a, b)) {
+            return Ok(false);
+        }
+        self.edges.push((a, b));
+        Ok(true)
+    }
+
+    /// Number of edges added so far (including any duplicates).
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalizes the graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::DuplicateEdge`] if the same undirected edge was
+    /// added twice.
+    pub fn build(&self) -> Result<Graph, GraphError> {
+        let n = self.n;
+        let mut edges = self.edges.clone();
+        edges.sort_unstable();
+        for w in edges.windows(2) {
+            if w[0] == w[1] {
+                return Err(GraphError::DuplicateEdge {
+                    u: w[0].0 as usize,
+                    v: w[0].1 as usize,
+                });
+            }
+        }
+        let mut degree = vec![0usize; n];
+        for &(u, v) in &edges {
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+        let mut offsets = vec![0usize; n + 1];
+        for v in 0..n {
+            offsets[v + 1] = offsets[v] + degree[v];
+        }
+        let mut cursor = offsets.clone();
+        let mut adj = vec![(0u32, 0u32); 2 * edges.len()];
+        for (e, &(u, v)) in edges.iter().enumerate() {
+            adj[cursor[u as usize]] = (v, e as u32);
+            cursor[u as usize] += 1;
+            adj[cursor[v as usize]] = (u, e as u32);
+            cursor[v as usize] += 1;
+        }
+        for v in 0..n {
+            adj[offsets[v]..offsets[v + 1]].sort_unstable();
+        }
+        let max_degree = degree.iter().copied().max().unwrap_or(0);
+        Ok(Graph {
+            n,
+            offsets,
+            adj,
+            edges,
+            idents: (1..=n as u64).collect(),
+            max_degree,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_square() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.m(), 4);
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(g.neighbors(0).collect::<Vec<_>>(), vec![1, 3]);
+        assert_eq!(g.ident(0), 1);
+        assert_eq!(g.ident(3), 4);
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        assert_eq!(
+            Graph::from_edges(2, &[(1, 1)]).unwrap_err(),
+            GraphError::SelfLoop { vertex: 1 }
+        );
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert_eq!(
+            Graph::from_edges(2, &[(0, 2)]).unwrap_err(),
+            GraphError::VertexOutOfRange { vertex: 2, n: 2 }
+        );
+    }
+
+    #[test]
+    fn rejects_duplicate_even_reversed() {
+        assert_eq!(
+            Graph::from_edges(3, &[(0, 1), (1, 0)]).unwrap_err(),
+            GraphError::DuplicateEdge { u: 0, v: 1 }
+        );
+    }
+
+    #[test]
+    fn edge_lookup() {
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (3, 4)]).unwrap();
+        assert_eq!(g.edge_between(2, 0), Some(1));
+        assert_eq!(g.edge_between(0, 3), None);
+        assert_eq!(g.endpoints(2), (3, 4));
+        assert_eq!(g.other_endpoint(2, 4), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an endpoint")]
+    fn other_endpoint_panics_for_non_incident() {
+        let g = Graph::from_edges(3, &[(0, 1)]).unwrap();
+        g.other_endpoint(0, 2);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_idents() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
+        let (h, map) = g.induced(&[4, 0, 1]);
+        assert_eq!(h.n(), 3);
+        assert_eq!(map, vec![0, 1, 4]);
+        assert_eq!(h.m(), 2); // edges (0,1) and (4,0)
+        assert_eq!(h.ident(2), 5); // vertex 4 kept ident 5
+    }
+
+    #[test]
+    fn with_idents_validates() {
+        let g = Graph::empty(3);
+        assert!(g.clone().with_idents(vec![7, 8]).is_err());
+        assert!(g.clone().with_idents(vec![7, 8, 7]).is_err());
+        let g = g.with_idents(vec![30, 10, 20]).unwrap();
+        assert_eq!(g.ident(0), 30);
+    }
+
+    #[test]
+    fn components_and_bfs() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (3, 4)]).unwrap();
+        assert_eq!(g.component_count(), 3);
+        let d = g.bfs_distances(0);
+        assert_eq!(d[2], 2);
+        assert_eq!(d[5], usize::MAX);
+    }
+
+    #[test]
+    fn dedup_builder() {
+        let mut b = Graph::builder(3);
+        assert!(b.add_edge_dedup(0, 1).unwrap());
+        assert!(!b.add_edge_dedup(1, 0).unwrap());
+        assert_eq!(b.build().unwrap().m(), 1);
+    }
+}

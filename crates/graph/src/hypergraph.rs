@@ -1,0 +1,157 @@
+//! Hypergraphs and their line graphs.
+//!
+//! Section 1.2 of the paper observes that for an `r`-hypergraph `H` (every
+//! hyperedge contains at most `r` vertices), the line graph `L(H)` has
+//! neighborhood independence at most `r`, so the paper's vertex-coloring
+//! results apply to it directly.
+
+use crate::{Graph, GraphError, Vertex};
+
+/// A hypergraph: vertices `0..n` and a list of hyperedges, each a set of
+/// vertices.
+///
+/// # Example
+///
+/// ```
+/// use deco_graph::hypergraph::Hypergraph;
+///
+/// let h = Hypergraph::new(4, vec![vec![0, 1, 2], vec![2, 3]])?;
+/// assert_eq!(h.rank(), 3);
+/// let l = h.line_graph();
+/// // The two hyperedges share vertex 2, so L(H) has one edge.
+/// assert_eq!(l.m(), 1);
+/// # Ok::<(), deco_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hypergraph {
+    n: usize,
+    edges: Vec<Vec<Vertex>>,
+}
+
+impl Hypergraph {
+    /// Creates a hypergraph with `n` vertices and the given hyperedges.
+    ///
+    /// Each hyperedge is normalized to sorted, deduplicated vertex order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::VertexOutOfRange`] if a hyperedge mentions a
+    /// vertex `>= n`.
+    pub fn new(n: usize, edges: Vec<Vec<Vertex>>) -> Result<Hypergraph, GraphError> {
+        let mut normalized = Vec::with_capacity(edges.len());
+        for mut e in edges {
+            for &v in &e {
+                if v >= n {
+                    return Err(GraphError::VertexOutOfRange { vertex: v, n });
+                }
+            }
+            e.sort_unstable();
+            e.dedup();
+            normalized.push(e);
+        }
+        Ok(Hypergraph { n, edges: normalized })
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of hyperedges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The hyperedges (each sorted and deduplicated).
+    pub fn edges(&self) -> &[Vec<Vertex>] {
+        &self.edges
+    }
+
+    /// The rank `r`: the maximum hyperedge cardinality (0 if no edges).
+    /// An `r`-hypergraph in the paper's terminology has rank at most `r`.
+    pub fn rank(&self) -> usize {
+        self.edges.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Maximum vertex degree: the largest number of hyperedges containing a
+    /// single vertex.
+    pub fn max_vertex_degree(&self) -> usize {
+        let mut deg = vec![0usize; self.n];
+        for e in &self.edges {
+            for &v in e {
+                deg[v] += 1;
+            }
+        }
+        deg.into_iter().max().unwrap_or(0)
+    }
+
+    /// The line graph `L(H)`: one vertex per hyperedge, adjacent iff the
+    /// hyperedges intersect. By Section 1.2 of the paper,
+    /// `I(L(H)) <= rank(H)`.
+    pub fn line_graph(&self) -> Graph {
+        let k = self.edges.len();
+        let mut touching: Vec<Vec<usize>> = vec![Vec::new(); self.n];
+        for (i, e) in self.edges.iter().enumerate() {
+            for &v in e {
+                touching[v].push(i);
+            }
+        }
+        let mut b = Graph::builder(k);
+        for group in &touching {
+            for (a, &i) in group.iter().enumerate() {
+                for &j in &group[a + 1..] {
+                    b.add_edge_dedup(i, j).expect("indices in range");
+                }
+            }
+        }
+        b.build().expect("line graph construction produces no duplicates")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties::neighborhood_independence;
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert!(Hypergraph::new(3, vec![vec![0, 3]]).is_err());
+    }
+
+    #[test]
+    fn normalizes_edges() {
+        let h = Hypergraph::new(4, vec![vec![2, 0, 2, 1]]).unwrap();
+        assert_eq!(h.edges()[0], vec![0, 1, 2]);
+        assert_eq!(h.rank(), 3);
+    }
+
+    #[test]
+    fn line_graph_of_disjoint_edges_is_edgeless() {
+        let h = Hypergraph::new(6, vec![vec![0, 1], vec![2, 3], vec![4, 5]]).unwrap();
+        let l = h.line_graph();
+        assert_eq!(l.n(), 3);
+        assert_eq!(l.m(), 0);
+    }
+
+    #[test]
+    fn line_graph_neighborhood_independence_at_most_rank() {
+        // A 3-uniform "sunflower": 5 petals sharing a common core vertex.
+        let mut edges = Vec::new();
+        for p in 0..5 {
+            edges.push(vec![0, 1 + 2 * p, 2 + 2 * p]);
+        }
+        let h = Hypergraph::new(11, edges).unwrap();
+        assert_eq!(h.rank(), 3);
+        let l = h.line_graph();
+        assert!(neighborhood_independence(&l) <= 3);
+        // All petals pairwise intersect at the core: L(H) is a clique.
+        assert_eq!(l.m(), 5 * 4 / 2);
+    }
+
+    #[test]
+    fn vertex_degree() {
+        let h = Hypergraph::new(3, vec![vec![0, 1], vec![0, 2], vec![0, 1, 2]]).unwrap();
+        assert_eq!(h.max_vertex_degree(), 3);
+        assert_eq!(h.edge_count(), 3);
+    }
+}

@@ -1,0 +1,229 @@
+//! Edge orientations.
+//!
+//! Section 2 of the paper defines orientations, out-degree, parents, and
+//! children; Lemma 3.4 colors graphs along acyclic orientations, and
+//! Lemma 3.5 builds an acyclic low-out-degree orientation of each ψ-color
+//! class. This module provides the centralized counterpart used by tests,
+//! benches, and the forest-decomposition baseline.
+
+use crate::{EdgeIdx, Graph, Vertex};
+
+/// An orientation of every edge of a graph: edge `e = (u, v)` is directed
+/// *toward* [`Orientation::head`]`(e)`, i.e. from the other endpoint.
+///
+/// Following the paper's convention, the head's perspective: an edge
+/// `⟨u, v⟩` oriented toward `v` makes `v` a **parent** of `u` and `u` a
+/// **child** of `v`... note the paper defines the *out*-neighbors of `u` as
+/// its parents, i.e. out-edges point to parents.
+///
+/// # Example
+///
+/// ```
+/// use deco_graph::{orientation::Orientation, Graph};
+///
+/// let g = Graph::from_edges(3, &[(0, 1), (1, 2)])?;
+/// let o = Orientation::toward_smaller_ident(&g);
+/// assert_eq!(o.out_degree(&g, 1), 1); // 1 -> 0
+/// assert!(o.is_acyclic(&g));
+/// # Ok::<(), deco_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Orientation {
+    /// `head[e]` is the endpoint edge `e` points to.
+    head: Vec<u32>,
+}
+
+impl Orientation {
+    /// Builds an orientation from an explicit head per edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `heads.len() != g.m()` or a head is not an endpoint of its
+    /// edge.
+    pub fn from_heads(g: &Graph, heads: Vec<Vertex>) -> Orientation {
+        assert_eq!(heads.len(), g.m(), "one head per edge required");
+        for (e, &h) in heads.iter().enumerate() {
+            let (u, v) = g.endpoints(e);
+            assert!(h == u || h == v, "head of edge {e} must be one of its endpoints");
+        }
+        Orientation { head: heads.into_iter().map(|h| h as u32).collect() }
+    }
+
+    /// Orients every edge toward the endpoint with the smaller identifier.
+    /// This orientation is always acyclic.
+    pub fn toward_smaller_ident(g: &Graph) -> Orientation {
+        let head = g
+            .edges()
+            .map(|(u, v)| if g.ident(u) < g.ident(v) { u as u32 } else { v as u32 })
+            .collect();
+        Orientation { head }
+    }
+
+    /// Orients edges by a ranking: toward the endpoint with the smaller
+    /// `(rank, ident)` pair. Used to orient along layerings (the
+    /// H-partition baseline orients toward lower layers).
+    pub fn toward_smaller_rank(g: &Graph, rank: &[u64]) -> Orientation {
+        assert_eq!(rank.len(), g.n(), "one rank per vertex required");
+        let head = g
+            .edges()
+            .map(|(u, v)| {
+                let ku = (rank[u], g.ident(u));
+                let kv = (rank[v], g.ident(v));
+                if ku < kv {
+                    u as u32
+                } else {
+                    v as u32
+                }
+            })
+            .collect();
+        Orientation { head }
+    }
+
+    /// The endpoint edge `e` points toward.
+    pub fn head(&self, e: EdgeIdx) -> Vertex {
+        self.head[e] as Vertex
+    }
+
+    /// The endpoint edge `e` points away from.
+    pub fn tail(&self, g: &Graph, e: EdgeIdx) -> Vertex {
+        g.other_endpoint(e, self.head(e))
+    }
+
+    /// Out-neighbors of `v`: endpoints of edges oriented away from `v`
+    /// (the paper calls these the *parents* of `v`).
+    pub fn out_neighbors<'a>(
+        &'a self,
+        g: &'a Graph,
+        v: Vertex,
+    ) -> impl Iterator<Item = Vertex> + 'a {
+        g.incident(v).filter(move |&(_, e)| self.head(e) != v).map(|(u, _)| u)
+    }
+
+    /// Out-degree of `v` under this orientation.
+    pub fn out_degree(&self, g: &Graph, v: Vertex) -> usize {
+        g.incident(v).filter(|&(_, e)| self.head(e) != v).count()
+    }
+
+    /// Maximum out-degree over all vertices (the orientation's out-degree in
+    /// the paper's terminology).
+    pub fn max_out_degree(&self, g: &Graph) -> usize {
+        (0..g.n()).map(|v| self.out_degree(g, v)).max().unwrap_or(0)
+    }
+
+    /// Whether the orientation has no directed cycle (Kahn's algorithm).
+    pub fn is_acyclic(&self, g: &Graph) -> bool {
+        self.topological_order(g).is_some()
+    }
+
+    /// A topological order of the directed graph (tails before heads along
+    /// edges pointing *out*, i.e. children before parents), or `None` if the
+    /// orientation is cyclic.
+    pub fn topological_order(&self, g: &Graph) -> Option<Vec<Vertex>> {
+        // in-degree under "v -> parent" arcs: count edges whose head is v.
+        let mut indeg = vec![0usize; g.n()];
+        for e in 0..g.m() {
+            indeg[self.head(e)] += 1;
+        }
+        let mut queue: Vec<Vertex> = (0..g.n()).filter(|&v| indeg[v] == 0).collect();
+        let mut order = Vec::with_capacity(g.n());
+        while let Some(v) = queue.pop() {
+            order.push(v);
+            for (u, e) in g.incident(v) {
+                if self.head(e) == u {
+                    indeg[u] -= 1;
+                    if indeg[u] == 0 {
+                        queue.push(u);
+                    }
+                }
+            }
+        }
+        if order.len() == g.n() {
+            Some(order)
+        } else {
+            None
+        }
+    }
+
+    /// Length (in edges) of the longest directed path, or `None` if cyclic.
+    ///
+    /// Lemma 3.4's coloring procedure terminates after exactly this many
+    /// rounds plus one, so benches report it.
+    pub fn longest_path(&self, g: &Graph) -> Option<usize> {
+        let order = self.topological_order(g)?;
+        // order has children before parents is NOT guaranteed by direction
+        // used above; recompute longest path by DP over reverse topological
+        // order: depth(v) = 1 + max over out-neighbors (parents).
+        let mut depth = vec![0usize; g.n()];
+        for &v in order.iter().rev() {
+            for u in self.out_neighbors(g, v) {
+                depth[v] = depth[v].max(depth[u] + 1);
+            }
+        }
+        depth.into_iter().max().or(Some(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn ident_orientation_is_acyclic_with_longest_path() {
+        let g = generators::path(5);
+        let o = Orientation::toward_smaller_ident(&g);
+        assert!(o.is_acyclic(&g));
+        assert_eq!(o.max_out_degree(&g), 1);
+        assert_eq!(o.longest_path(&g), Some(4));
+    }
+
+    #[test]
+    fn cyclic_orientation_detected() {
+        let g = generators::cycle(3);
+        // Orient 0->1->2->0.
+        let heads = vec![1, 0, 2]; // edges (0,1)->1, (0,2)->0, (1,2)->2
+        let o = Orientation::from_heads(&g, heads);
+        assert!(!o.is_acyclic(&g));
+        assert_eq!(o.longest_path(&g), None);
+    }
+
+    #[test]
+    fn clique_ident_orientation_out_degree() {
+        let g = generators::complete(5);
+        let o = Orientation::toward_smaller_ident(&g);
+        assert!(o.is_acyclic(&g));
+        assert_eq!(o.max_out_degree(&g), 4);
+        assert_eq!(o.longest_path(&g), Some(4));
+    }
+
+    #[test]
+    fn rank_orientation_respects_layers() {
+        let g = generators::path(4);
+        let ranks = vec![1, 0, 0, 1];
+        let o = Orientation::toward_smaller_rank(&g, &ranks);
+        // Edge (1,2) has equal ranks: falls back to smaller ident (vertex 1).
+        let e = g.edge_between(1, 2).unwrap();
+        assert_eq!(o.head(e), 1);
+        let e = g.edge_between(0, 1).unwrap();
+        assert_eq!(o.head(e), 1);
+        assert!(o.is_acyclic(&g));
+    }
+
+    #[test]
+    fn out_neighbors_are_parents() {
+        let g = generators::star(4);
+        let o = Orientation::toward_smaller_ident(&g);
+        // Center is vertex 0 with smallest ident: all leaves point to it.
+        assert_eq!(o.out_degree(&g, 0), 0);
+        for leaf in 1..4 {
+            assert_eq!(o.out_neighbors(&g, leaf).collect::<Vec<_>>(), vec![0]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one head per edge")]
+    fn from_heads_validates_length() {
+        let g = generators::path(3);
+        Orientation::from_heads(&g, vec![0]);
+    }
+}

@@ -1,0 +1,355 @@
+//! Centralized property oracles used by tests and benchmarks.
+//!
+//! These are *not* distributed algorithms; they verify the structural
+//! assumptions the paper's algorithms rely on:
+//!
+//! * **Neighborhood independence** `I(G)` (Definition 3.1): the maximum size
+//!   of an independent subset of a single vertex's neighborhood.
+//! * **Degeneracy** (an upper bound on arboricity within a factor 2), used by
+//!   the forest-decomposition baseline.
+//! * **Growth**: the number of independent vertices within distance `r` of a
+//!   vertex — Figure 1's graph has `I(G) = 2` but unbounded growth.
+//! * **Claw-freeness**: `I(G) <= 2` iff `G` has no induced `K_{1,3}`.
+
+use crate::{Graph, Vertex};
+
+/// Maximum independent set size of the subgraph induced by `set`, by branch
+/// and bound. Exact; intended for the small vertex sets that appear in tests
+/// (neighborhoods, balls).
+///
+/// # Panics
+///
+/// Panics if `set` contains an out-of-range vertex.
+pub fn max_independent_subset(g: &Graph, set: &[Vertex]) -> usize {
+    let mut verts: Vec<Vertex> = set.to_vec();
+    verts.sort_unstable();
+    verts.dedup();
+    let k = verts.len();
+    if k == 0 {
+        return 0;
+    }
+    assert!(
+        *verts.last().expect("nonempty") < g.n(),
+        "set contains out-of-range vertex"
+    );
+    // Local adjacency among `verts` as bitsets (chunks of 64).
+    let words = k.div_ceil(64);
+    let mut adj = vec![vec![0u64; words]; k];
+    let mut index = std::collections::HashMap::new();
+    for (i, &v) in verts.iter().enumerate() {
+        index.insert(v, i);
+    }
+    for (i, &v) in verts.iter().enumerate() {
+        for u in g.neighbors(v) {
+            if let Some(&j) = index.get(&u) {
+                adj[i][j / 64] |= 1 << (j % 64);
+            }
+        }
+    }
+    // Order vertices by decreasing degree inside the set: helps pruning.
+    let mut order: Vec<usize> = (0..k).collect();
+    let local_deg: Vec<usize> =
+        (0..k).map(|i| adj[i].iter().map(|w| w.count_ones() as usize).sum()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(local_deg[i]));
+
+    struct Ctx<'a> {
+        adj: &'a [Vec<u64>],
+        order: &'a [usize],
+        best: usize,
+    }
+    fn go(ctx: &mut Ctx<'_>, pos: usize, chosen: usize, banned: &mut Vec<u64>) {
+        if chosen + (ctx.order.len() - pos) <= ctx.best {
+            return; // cannot beat current best
+        }
+        if pos == ctx.order.len() {
+            ctx.best = ctx.best.max(chosen);
+            return;
+        }
+        let i = ctx.order[pos];
+        // Branch 1: take i if not banned.
+        if banned[i / 64] & (1 << (i % 64)) == 0 {
+            let saved = banned.clone();
+            for w in 0..banned.len() {
+                banned[w] |= ctx.adj[i][w];
+            }
+            go(ctx, pos + 1, chosen + 1, banned);
+            *banned = saved;
+        }
+        // Branch 2: skip i.
+        go(ctx, pos + 1, chosen, banned);
+        ctx.best = ctx.best.max(chosen);
+    }
+    let mut ctx = Ctx { adj: &adj, order: &order, best: 0 };
+    let mut banned = vec![0u64; words];
+    go(&mut ctx, 0, 0, &mut banned);
+    ctx.best
+}
+
+/// The neighborhood independence `I(v)` of a single vertex: the maximum size
+/// of an independent subset of `Γ(v)` (Definition 3.1).
+pub fn vertex_neighborhood_independence(g: &Graph, v: Vertex) -> usize {
+    let nbrs: Vec<Vertex> = g.neighbors(v).collect();
+    max_independent_subset(g, &nbrs)
+}
+
+/// The neighborhood independence `I(G) = max_v I(v)` (Definition 3.1).
+///
+/// Exact (branch and bound per neighborhood); intended for test- and
+/// bench-scale graphs.
+///
+/// # Example
+///
+/// ```
+/// use deco_graph::{generators, properties::neighborhood_independence};
+///
+/// // A star K_{1,k} has a vertex with k independent neighbors.
+/// assert_eq!(neighborhood_independence(&generators::star(5)), 4);
+/// // A clique's neighborhoods are cliques.
+/// assert_eq!(neighborhood_independence(&generators::complete(5)), 1);
+/// ```
+pub fn neighborhood_independence(g: &Graph) -> usize {
+    (0..g.n()).map(|v| vertex_neighborhood_independence(g, v)).max().unwrap_or(0)
+}
+
+/// A cheap lower bound on `I(G)` by greedy independent-set construction in
+/// each neighborhood (by increasing degree). Useful to certify large
+/// independence without exact search.
+pub fn neighborhood_independence_lower_bound(g: &Graph) -> usize {
+    (0..g.n())
+        .map(|v| {
+            let mut nbrs: Vec<Vertex> = g.neighbors(v).collect();
+            nbrs.sort_by_key(|&u| g.degree(u));
+            let mut chosen: Vec<Vertex> = Vec::new();
+            for u in nbrs {
+                if chosen.iter().all(|&w| !g.has_edge(u, w)) {
+                    chosen.push(u);
+                }
+            }
+            chosen.len()
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// Whether `G` is claw-free, i.e. excludes an induced `K_{1,3}`.
+///
+/// Section 1.2: the graphs with neighborhood independence at most `r` are
+/// exactly the graphs with no induced `K_{1,r+1}`; claw-free is the case
+/// `r = 2`.
+pub fn is_claw_free(g: &Graph) -> bool {
+    neighborhood_independence(g) <= 2
+}
+
+/// The degeneracy of `G`: the smallest `d` such that every subgraph has a
+/// vertex of degree at most `d`. Computed by min-degree peeling.
+/// `arboricity(G) <= degeneracy(G) <= 2·arboricity(G) - 1`, so this is the
+/// arboricity surrogate the forest-decomposition baseline uses.
+pub fn degeneracy(g: &Graph) -> usize {
+    let n = g.n();
+    if n == 0 {
+        return 0;
+    }
+    let mut deg: Vec<usize> = (0..n).map(|v| g.degree(v)).collect();
+    let maxd = g.max_degree();
+    let mut buckets: Vec<Vec<Vertex>> = vec![Vec::new(); maxd + 1];
+    for v in 0..n {
+        buckets[deg[v]].push(v);
+    }
+    let mut removed = vec![false; n];
+    let mut degeneracy = 0;
+    let mut cursor = 0usize;
+    for _ in 0..n {
+        while cursor <= maxd {
+            // find a live vertex of the current smallest degree
+            if let Some(&v) = buckets[cursor].last() {
+                if removed[v] || deg[v] != cursor {
+                    buckets[cursor].pop();
+                    continue;
+                }
+                break;
+            }
+            cursor += 1;
+        }
+        let v = buckets[cursor].pop().expect("live vertex exists");
+        removed[v] = true;
+        degeneracy = degeneracy.max(cursor);
+        for u in g.neighbors(v) {
+            if !removed[u] {
+                deg[u] -= 1;
+                buckets[deg[u]].push(u);
+                if deg[u] < cursor {
+                    cursor = deg[u];
+                }
+            }
+        }
+    }
+    degeneracy
+}
+
+/// The arboricity lower bound `max ⌈|E(U)|/(|U|-1)⌉` evaluated on the whole
+/// vertex set only (a cheap necessary bound used in tests).
+pub fn arboricity_whole_graph_bound(g: &Graph) -> usize {
+    if g.n() < 2 {
+        return 0;
+    }
+    g.m().div_ceil(g.n() - 1)
+}
+
+/// The exact chromatic index χ'(G) by backtracking, for small graphs.
+///
+/// By Vizing's theorem χ'(G) ∈ {Δ, Δ+1}; this decides which (the "class 1
+/// vs class 2" question) by searching for a Δ-edge-coloring. Exponential in
+/// the worst case — intended as a test oracle (`m` up to a few dozen).
+pub fn chromatic_index_exact(g: &Graph) -> usize {
+    let delta = g.max_degree();
+    if g.m() == 0 {
+        return 0;
+    }
+    if delta <= 1 {
+        return delta;
+    }
+    fn search(g: &Graph, colors: &mut Vec<usize>, e: usize, k: usize) -> bool {
+        if e == g.m() {
+            return true;
+        }
+        let (u, v) = g.endpoints(e);
+        'next_color: for c in 0..k {
+            for (_, f) in g.incident(u).chain(g.incident(v)) {
+                if f < e && colors[f] == c {
+                    continue 'next_color;
+                }
+            }
+            colors[e] = c;
+            if search(g, colors, e + 1, k) {
+                return true;
+            }
+        }
+        false
+    }
+    let mut colors = vec![usize::MAX; g.m()];
+    if search(g, &mut colors, 0, delta) {
+        delta
+    } else {
+        delta + 1
+    }
+}
+
+/// The number of pairwise independent vertices at distance exactly `<= r`
+/// from `v` (excluding `v` itself): the paper's growth function `f(r)`
+/// evaluated at one vertex. Exact via branch and bound on the ball.
+pub fn independent_in_ball(g: &Graph, v: Vertex, r: usize) -> usize {
+    let dist = g.bfs_distances(v);
+    let ball: Vec<Vertex> =
+        (0..g.n()).filter(|&u| u != v && dist[u] != usize::MAX && dist[u] <= r).collect();
+    max_independent_subset(g, &ball)
+}
+
+/// A greedy (lower-bound) variant of [`independent_in_ball`] for larger
+/// instances, used to certify *unbounded* growth (Figure 1).
+pub fn independent_in_ball_lower_bound(g: &Graph, v: Vertex, r: usize) -> usize {
+    let dist = g.bfs_distances(v);
+    let mut ball: Vec<Vertex> =
+        (0..g.n()).filter(|&u| u != v && dist[u] != usize::MAX && dist[u] <= r).collect();
+    ball.sort_by_key(|&u| g.degree(u));
+    let mut chosen: Vec<Vertex> = Vec::new();
+    for u in ball {
+        if chosen.iter().all(|&w| !g.has_edge(u, w)) {
+            chosen.push(u);
+        }
+    }
+    chosen.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn star_independence() {
+        let g = generators::star(6);
+        assert_eq!(neighborhood_independence(&g), 5);
+        assert!(!is_claw_free(&g));
+        assert_eq!(neighborhood_independence_lower_bound(&g), 5);
+    }
+
+    #[test]
+    fn cycle_independence_is_two() {
+        let g = generators::cycle(6);
+        assert_eq!(neighborhood_independence(&g), 2);
+        assert!(is_claw_free(&g));
+    }
+
+    #[test]
+    fn figure_1_graph_bounded_independence_unbounded_growth() {
+        // Figure 1: an n/2-clique, each clique vertex attached to a pendant.
+        let k = 10;
+        let g = generators::clique_with_pendants(k);
+        assert_eq!(neighborhood_independence(&g), 2);
+        // Every clique vertex sees all k pendants within distance 2:
+        // the pendants are pairwise independent, so growth is Ω(Δ).
+        assert!(independent_in_ball(&g, 0, 2) >= k);
+        assert!(independent_in_ball_lower_bound(&g, 0, 2) >= k);
+    }
+
+    #[test]
+    fn degeneracy_examples() {
+        assert_eq!(degeneracy(&generators::complete(5)), 4);
+        assert_eq!(degeneracy(&generators::path(7)), 1);
+        assert_eq!(degeneracy(&generators::cycle(7)), 2);
+        assert_eq!(degeneracy(&generators::grid(4, 4)), 2);
+        assert_eq!(degeneracy(&Graph::empty(3)), 0);
+        assert_eq!(degeneracy(&Graph::empty(0)), 0);
+    }
+
+    #[test]
+    fn arboricity_bound_below_degeneracy() {
+        for g in [generators::complete(6), generators::grid(5, 5), generators::cycle(9)] {
+            assert!(arboricity_whole_graph_bound(&g) <= degeneracy(&g).max(1));
+        }
+    }
+
+    #[test]
+    fn max_independent_subset_exact_small() {
+        let g = generators::cycle(5);
+        assert_eq!(max_independent_subset(&g, &[0, 1, 2, 3, 4]), 2);
+        let g = generators::path(6);
+        assert_eq!(max_independent_subset(&g, &[0, 1, 2, 3, 4, 5]), 3);
+        assert_eq!(max_independent_subset(&g, &[]), 0);
+        assert_eq!(max_independent_subset(&g, &[2, 2, 2]), 1);
+    }
+
+    #[test]
+    fn chromatic_index_classes() {
+        // Class 1 (χ' = Δ): even cliques, paths, bipartite graphs (König).
+        assert_eq!(chromatic_index_exact(&generators::complete(4)), 3);
+        assert_eq!(chromatic_index_exact(&generators::path(6)), 2);
+        assert_eq!(chromatic_index_exact(&generators::complete_bipartite(3, 3)), 3);
+        // Class 2 (χ' = Δ+1): odd cliques, odd cycles, Petersen.
+        assert_eq!(chromatic_index_exact(&generators::complete(5)), 5);
+        assert_eq!(chromatic_index_exact(&generators::cycle(5)), 3);
+        assert_eq!(chromatic_index_exact(&generators::petersen()), 4);
+        // Degenerate cases.
+        assert_eq!(chromatic_index_exact(&Graph::empty(3)), 0);
+        assert_eq!(
+            chromatic_index_exact(&Graph::from_edges(2, &[(0, 1)]).unwrap()),
+            1
+        );
+    }
+
+    #[test]
+    fn petersen_is_claw_full() {
+        // The Petersen graph contains induced claws (girth 5, 3-regular).
+        let g = generators::petersen();
+        assert_eq!(neighborhood_independence(&g), 3);
+        assert!(!is_claw_free(&g));
+    }
+
+    #[test]
+    fn unit_disk_graphs_have_small_independence() {
+        // Geometric fact: at most 5 pairwise-independent neighbors fit in a
+        // unit disk around a vertex.
+        let g = generators::unit_disk(120, 0.22, 42);
+        assert!(neighborhood_independence(&g) <= 5);
+    }
+}

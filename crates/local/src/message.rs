@@ -1,0 +1,91 @@
+//! Message size accounting.
+
+/// A message exchanged between neighboring vertices.
+///
+/// Implementors report their encoded size in bits so the simulator can track
+/// the maximum message size of a run — the quantity the paper uses to
+/// distinguish `O(log n)`-bit algorithms from `O(Δ log n)`-bit ones.
+pub trait Message: Clone + std::fmt::Debug {
+    /// Encoded size of this message in bits.
+    fn size_bits(&self) -> usize;
+}
+
+/// Number of bits needed to encode one value from a domain of `domain_size`
+/// values (at least 1 bit).
+///
+/// # Example
+///
+/// ```
+/// use deco_local::bits_for_range;
+/// assert_eq!(bits_for_range(1), 1);
+/// assert_eq!(bits_for_range(2), 1);
+/// assert_eq!(bits_for_range(256), 8);
+/// assert_eq!(bits_for_range(257), 9);
+/// ```
+pub fn bits_for_range(domain_size: u64) -> usize {
+    if domain_size <= 2 {
+        1
+    } else {
+        (64 - (domain_size - 1).leading_zeros()) as usize
+    }
+}
+
+/// Number of bits in the minimal binary encoding of `value` (at least 1).
+pub fn bits_for_value(value: u64) -> usize {
+    bits_for_range(value.saturating_add(1))
+}
+
+impl Message for u64 {
+    fn size_bits(&self) -> usize {
+        bits_for_value(*self)
+    }
+}
+
+impl Message for (u64, u64) {
+    fn size_bits(&self) -> usize {
+        self.0.size_bits() + self.1.size_bits()
+    }
+}
+
+impl Message for Vec<u64> {
+    fn size_bits(&self) -> usize {
+        self.iter().map(|v| v.size_bits()).sum::<usize>().max(1)
+    }
+}
+
+impl Message for () {
+    fn size_bits(&self) -> usize {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_bits() {
+        assert_eq!(bits_for_range(0), 1);
+        assert_eq!(bits_for_range(3), 2);
+        assert_eq!(bits_for_range(4), 2);
+        assert_eq!(bits_for_range(5), 3);
+        assert_eq!(bits_for_range(1 << 20), 20);
+    }
+
+    #[test]
+    fn value_bits() {
+        assert_eq!(bits_for_value(0), 1);
+        assert_eq!(bits_for_value(1), 1);
+        assert_eq!(bits_for_value(2), 2);
+        assert_eq!(bits_for_value(255), 8);
+        assert_eq!(bits_for_value(u64::MAX), 64);
+    }
+
+    #[test]
+    fn composite_messages() {
+        assert_eq!((3u64, 5u64).size_bits(), 2 + 3);
+        assert_eq!(vec![1u64, 2, 4].size_bits(), 1 + 2 + 3);
+        assert_eq!(Vec::<u64>::new().size_bits(), 1);
+        assert_eq!(().size_bits(), 1);
+    }
+}

@@ -1,0 +1,470 @@
+//! The synchronous network simulator.
+
+use crate::message::Message;
+use crate::stats::RunStats;
+use deco_graph::{Graph, Vertex};
+
+/// Immutable per-node view handed to every [`Protocol`] callback.
+///
+/// Global quantities (`n`, `max_degree`) are common knowledge, exactly as the
+/// paper assumes vertices know `n` and Δ.
+#[derive(Debug)]
+pub struct NodeCtx<'a> {
+    /// This node's vertex index in the host graph.
+    pub vertex: Vertex,
+    /// This node's distinct identifier (the paper's `Id`).
+    pub ident: u64,
+    /// Sorted neighbor vertex indices.
+    pub neighbors: &'a [Vertex],
+    /// Identifiers of the neighbors, aligned with `neighbors`.
+    ///
+    /// The LOCAL model lets endpoints learn each other's identifiers in one
+    /// round; we provide them up front and charge no round for it (every
+    /// algorithm in the paper spends its first round exchanging identifiers
+    /// or colors anyway, and the `O(1)` additive term absorbs it — see
+    /// Lemma 5.2's `+O(1)`).
+    pub neighbor_idents: &'a [u64],
+    /// Number of vertices in the network (common knowledge).
+    pub n: usize,
+    /// Maximum degree Δ of the network (common knowledge).
+    pub max_degree: usize,
+    /// Current round number: 0 in [`Protocol::start`], then 1, 2, ... in
+    /// [`Protocol::round`].
+    pub round: usize,
+}
+
+impl NodeCtx<'_> {
+    /// Degree of this node.
+    pub fn degree(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Convenience: the same message addressed to every neighbor.
+    pub fn broadcast<M: Clone>(&self, msg: M) -> Vec<(Vertex, M)> {
+        self.neighbors.iter().map(|&u| (u, msg.clone())).collect()
+    }
+
+    /// The identifier of neighbor `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is not a neighbor of this node.
+    pub fn ident_of(&self, u: Vertex) -> u64 {
+        let i = self
+            .neighbors
+            .binary_search(&u)
+            .unwrap_or_else(|_| panic!("vertex {u} is not a neighbor of {}", self.vertex));
+        self.neighbor_idents[i]
+    }
+}
+
+/// What a node does at the end of a round.
+#[derive(Debug, Clone)]
+pub enum Action<M> {
+    /// Keep running; send the given messages (addressed to neighbors).
+    Continue(Vec<(Vertex, M)>),
+    /// Halt after sending the given messages. A halted node no longer sends,
+    /// and its inbox is discarded.
+    Halt(Vec<(Vertex, M)>),
+}
+
+impl<M> Action<M> {
+    /// Halt without sending anything.
+    pub fn halt() -> Action<M> {
+        Action::Halt(Vec::new())
+    }
+
+    /// Continue without sending anything (idle round).
+    pub fn idle() -> Action<M> {
+        Action::Continue(Vec::new())
+    }
+}
+
+/// A per-node state machine run by [`Network::run`].
+///
+/// The simulator creates one value per vertex, calls [`Protocol::start`]
+/// once (round 0, before any delivery), then calls [`Protocol::round`] once
+/// per synchronous round with the messages delivered that round, until every
+/// node has returned [`Action::Halt`]. Finally [`Protocol::finish`] extracts
+/// each node's output.
+pub trait Protocol {
+    /// Message type exchanged by this protocol.
+    type Msg: Message;
+    /// Per-node result extracted when the run completes.
+    type Output;
+
+    /// Called once before the first round; returns the initial messages.
+    fn start(&mut self, ctx: &NodeCtx<'_>) -> Vec<(Vertex, Self::Msg)>;
+
+    /// Called once per round with the messages received this round
+    /// (sender-sorted). Returns the node's action for the round.
+    fn round(&mut self, ctx: &NodeCtx<'_>, inbox: &[(Vertex, Self::Msg)]) -> Action<Self::Msg>;
+
+    /// Extracts the node's output after the network has quiesced.
+    fn finish(self, ctx: &NodeCtx<'_>) -> Self::Output;
+}
+
+/// The result of simulating a protocol on a network.
+#[derive(Debug, Clone)]
+pub struct Run<T> {
+    /// Per-vertex outputs, indexed by vertex.
+    pub outputs: Vec<T>,
+    /// Round/message accounting for the run.
+    pub stats: RunStats,
+}
+
+impl<T> Run<T> {
+    /// Maps the per-vertex outputs, keeping the stats.
+    pub fn map<U>(self, f: impl FnMut(T) -> U) -> Run<U> {
+        Run { outputs: self.outputs.into_iter().map(f).collect(), stats: self.stats }
+    }
+}
+
+/// Load observed in one simulated round (see [`Network::run_profiled`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RoundLoad {
+    /// Messages delivered in this round.
+    pub messages: usize,
+    /// Total bits delivered in this round.
+    pub bits: usize,
+    /// Nodes still live at the start of the round.
+    pub live_nodes: usize,
+}
+
+/// A simulated synchronous network over a host graph.
+///
+/// The simulator is deterministic: nodes are stepped in vertex order and
+/// inboxes are sorted by sender. See the crate-level example.
+#[derive(Debug)]
+pub struct Network<'g> {
+    graph: &'g Graph,
+    neighbors: Vec<Vec<Vertex>>,
+    neighbor_idents: Vec<Vec<u64>>,
+    round_cap: usize,
+}
+
+impl<'g> Network<'g> {
+    /// Wraps a host graph in a simulator.
+    pub fn new(graph: &'g Graph) -> Network<'g> {
+        let neighbors: Vec<Vec<Vertex>> =
+            (0..graph.n()).map(|v| graph.neighbors(v).collect()).collect();
+        let neighbor_idents: Vec<Vec<u64>> = neighbors
+            .iter()
+            .map(|ns| ns.iter().map(|&u| graph.ident(u)).collect())
+            .collect();
+        Network { graph, neighbors, neighbor_idents, round_cap: 1_000_000 }
+    }
+
+    /// The host graph.
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// Sets a safety cap on rounds (default one million).
+    ///
+    /// Exceeding the cap panics — it always indicates a protocol that fails
+    /// to halt, never a legitimate run at the scales this workspace targets.
+    pub fn with_round_cap(mut self, cap: usize) -> Network<'g> {
+        self.round_cap = cap;
+        self
+    }
+
+    /// Runs `protocol` (one instance per vertex, built by `make`) to
+    /// quiescence and returns per-vertex outputs plus stats.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node addresses a message to a non-neighbor, or the round
+    /// cap is exceeded.
+    pub fn run<P, F>(&self, make: F) -> Run<P::Output>
+    where
+        P: Protocol,
+        F: FnMut(&NodeCtx<'_>) -> P,
+    {
+        self.run_profiled(make).0
+    }
+
+    /// Like [`Network::run`], but additionally returns the per-round load
+    /// profile — useful to visualize an algorithm's phase structure (e.g.
+    /// the quiet `log*` prefix followed by the busy recursion levels).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Network::run`].
+    pub fn run_profiled<P, F>(&self, mut make: F) -> (Run<P::Output>, Vec<RoundLoad>)
+    where
+        P: Protocol,
+        F: FnMut(&NodeCtx<'_>) -> P,
+    {
+        let n = self.graph.n();
+        let mut stats = RunStats::zero();
+        let mut profile: Vec<RoundLoad> = Vec::new();
+
+        let ctx_for = |v: Vertex, round: usize| NodeCtx {
+            vertex: v,
+            ident: self.graph.ident(v),
+            neighbors: &self.neighbors[v],
+            neighbor_idents: &self.neighbor_idents[v],
+            n,
+            max_degree: self.graph.max_degree(),
+            round,
+        };
+
+        let mut nodes: Vec<P> = Vec::with_capacity(n);
+        let mut halted = vec![false; n];
+        // inboxes[v] collects (sender, msg) for the next delivery.
+        let mut inboxes: Vec<Vec<(Vertex, P::Msg)>> = (0..n).map(|_| Vec::new()).collect();
+
+        // Round 0: start.
+        for v in 0..n {
+            let ctx = ctx_for(v, 0);
+            let mut p = make(&ctx);
+            let out = p.start(&ctx);
+            self.post(v, out, &mut inboxes, &mut stats);
+            nodes.push(p);
+        }
+
+        let mut round = 0usize;
+        loop {
+            let all_halted = halted.iter().all(|&h| h);
+            let any_mail = inboxes.iter().any(|b| !b.is_empty());
+            if all_halted {
+                break;
+            }
+            if !any_mail {
+                // No messages in flight: step live nodes with empty inboxes
+                // (some protocols count silent rounds via barriers).
+            }
+            round += 1;
+            assert!(
+                round <= self.round_cap,
+                "round cap {} exceeded: protocol failed to halt",
+                self.round_cap
+            );
+            let live = halted.iter().filter(|&&h| !h).count();
+            let (msgs_before, bits_before) = (stats.messages, stats.total_message_bits);
+            // Swap out inboxes for this round's delivery.
+            let mut delivered: Vec<Vec<(Vertex, P::Msg)>> =
+                (0..n).map(|_| Vec::new()).collect();
+            std::mem::swap(&mut delivered, &mut inboxes);
+            let mut delivered_msgs = 0usize;
+            let mut delivered_bits = 0usize;
+            for v in 0..n {
+                if halted[v] {
+                    continue;
+                }
+                let mut inbox = std::mem::take(&mut delivered[v]);
+                inbox.sort_by_key(|&(s, _)| s);
+                delivered_msgs += inbox.len();
+                delivered_bits += inbox.iter().map(|(_, m)| m.size_bits()).sum::<usize>();
+                let ctx = ctx_for(v, round);
+                match nodes[v].round(&ctx, &inbox) {
+                    Action::Continue(out) => self.post(v, out, &mut inboxes, &mut stats),
+                    Action::Halt(out) => {
+                        self.post(v, out, &mut inboxes, &mut stats);
+                        halted[v] = true;
+                    }
+                }
+            }
+            let _ = (msgs_before, bits_before);
+            profile.push(RoundLoad {
+                messages: delivered_msgs,
+                bits: delivered_bits,
+                live_nodes: live,
+            });
+        }
+        stats.rounds = round;
+
+        let mut outputs = Vec::with_capacity(n);
+        for (v, p) in nodes.into_iter().enumerate() {
+            let ctx = ctx_for(v, round);
+            outputs.push(p.finish(&ctx));
+        }
+        (Run { outputs, stats }, profile)
+    }
+
+    fn post<M: Message>(
+        &self,
+        from: Vertex,
+        out: Vec<(Vertex, M)>,
+        inboxes: &mut [Vec<(Vertex, M)>],
+        stats: &mut RunStats,
+    ) {
+        for (to, msg) in out {
+            assert!(
+                self.neighbors[from].binary_search(&to).is_ok(),
+                "node {from} addressed a message to non-neighbor {to}"
+            );
+            stats.record_message(msg.size_bits());
+            inboxes[to].push((from, msg));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deco_graph::generators;
+
+    /// Flood the maximum identifier for `radius` rounds.
+    struct FloodMax {
+        radius: usize,
+        best: u64,
+    }
+
+    impl Protocol for FloodMax {
+        type Msg = u64;
+        type Output = u64;
+
+        fn start(&mut self, ctx: &NodeCtx<'_>) -> Vec<(Vertex, u64)> {
+            self.best = ctx.ident;
+            ctx.broadcast(self.best)
+        }
+
+        fn round(&mut self, ctx: &NodeCtx<'_>, inbox: &[(Vertex, u64)]) -> Action<u64> {
+            for &(_, v) in inbox {
+                self.best = self.best.max(v);
+            }
+            if ctx.round >= self.radius {
+                Action::halt()
+            } else {
+                Action::Continue(ctx.broadcast(self.best))
+            }
+        }
+
+        fn finish(self, _ctx: &NodeCtx<'_>) -> u64 {
+            self.best
+        }
+    }
+
+    #[test]
+    fn flood_on_path_reaches_radius() {
+        let g = generators::path(10);
+        let net = Network::new(&g);
+        let run = net.run(|_| FloodMax { radius: 3, best: 0 });
+        assert_eq!(run.stats.rounds, 3);
+        // Vertex 0 can have heard from at most distance 3.
+        assert_eq!(run.outputs[0], 4);
+        // Vertex 9 has the max already.
+        assert_eq!(run.outputs[9], 10);
+    }
+
+    #[test]
+    fn flood_covers_whole_graph() {
+        let g = generators::cycle(8);
+        let run = Network::new(&g).run(|_| FloodMax { radius: 4, best: 0 });
+        assert!(run.outputs.iter().all(|&b| b == 8));
+    }
+
+    #[test]
+    fn message_accounting() {
+        let g = generators::star(4); // 3 edges
+        let run = Network::new(&g).run(|_| FloodMax { radius: 1, best: 0 });
+        // start: every vertex broadcasts once over each incident edge;
+        // in round 1 every node halts without sending.
+        assert_eq!(run.stats.messages, 2 * g.m());
+        assert!(run.stats.max_message_bits >= 3); // ident 4 needs 3 bits
+        assert_eq!(run.stats.rounds, 1);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let g = generators::random_graph(30, 60, 5);
+        let a = Network::new(&g).run(|_| FloodMax { radius: 2, best: 0 });
+        let b = Network::new(&g).run(|_| FloodMax { radius: 2, best: 0 });
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    struct NeverHalts;
+    impl Protocol for NeverHalts {
+        type Msg = u64;
+        type Output = ();
+        fn start(&mut self, ctx: &NodeCtx<'_>) -> Vec<(Vertex, u64)> {
+            ctx.broadcast(1)
+        }
+        fn round(&mut self, ctx: &NodeCtx<'_>, _inbox: &[(Vertex, u64)]) -> Action<u64> {
+            Action::Continue(ctx.broadcast(1))
+        }
+        fn finish(self, _ctx: &NodeCtx<'_>) {}
+    }
+
+    #[test]
+    #[should_panic(expected = "round cap")]
+    fn round_cap_triggers() {
+        let g = generators::path(3);
+        let _ = Network::new(&g).with_round_cap(10).run(|_| NeverHalts);
+    }
+
+    struct ImmediateHalt;
+    impl Protocol for ImmediateHalt {
+        type Msg = ();
+        type Output = u64;
+        fn start(&mut self, _ctx: &NodeCtx<'_>) -> Vec<(Vertex, ())> {
+            Vec::new()
+        }
+        fn round(&mut self, _ctx: &NodeCtx<'_>, _inbox: &[(Vertex, ())]) -> Action<()> {
+            Action::halt()
+        }
+        fn finish(self, ctx: &NodeCtx<'_>) -> u64 {
+            ctx.ident
+        }
+    }
+
+    #[test]
+    fn silent_protocol_takes_one_round() {
+        let g = generators::path(4);
+        let run = Network::new(&g).run(|_| ImmediateHalt);
+        assert_eq!(run.stats.rounds, 1);
+        assert_eq!(run.stats.messages, 0);
+        assert_eq!(run.outputs, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn ctx_ident_lookup() {
+        let g = generators::shuffle_idents(&generators::path(5), 9);
+        struct Check;
+        impl Protocol for Check {
+            type Msg = ();
+            type Output = ();
+            fn start(&mut self, _ctx: &NodeCtx<'_>) -> Vec<(Vertex, ())> {
+                Vec::new()
+            }
+            fn round(&mut self, ctx: &NodeCtx<'_>, _inbox: &[(Vertex, ())]) -> Action<()> {
+                for &u in ctx.neighbors {
+                    let _ = ctx.ident_of(u);
+                }
+                Action::halt()
+            }
+            fn finish(self, _ctx: &NodeCtx<'_>) {}
+        }
+        let run = Network::new(&g).run(|_| Check);
+        assert_eq!(run.stats.rounds, 1);
+    }
+
+    #[test]
+    fn run_map_keeps_stats() {
+        let g = generators::path(3);
+        let run = Network::new(&g).run(|_| ImmediateHalt).map(|x| x * 10);
+        assert_eq!(run.outputs, vec![10, 20, 30]);
+        assert_eq!(run.stats.rounds, 1);
+    }
+
+    #[test]
+    fn profile_accounts_per_round() {
+        let g = generators::cycle(6);
+        let (run, profile) = Network::new(&g).run_profiled(|_| FloodMax { radius: 2, best: 0 });
+        assert_eq!(profile.len(), run.stats.rounds);
+        // Round 1 delivers the start broadcasts (2 per vertex on a cycle);
+        // round 2 the re-broadcasts; all 6 nodes live throughout.
+        assert_eq!(profile[0].messages, 12);
+        assert_eq!(profile[1].messages, 12);
+        assert!(profile.iter().all(|r| r.live_nodes == 6));
+        let total: usize = profile.iter().map(|r| r.messages).sum();
+        // The profile counts *delivered* messages; sends into halted nodes
+        // (none here) would be dropped, so delivered <= sent.
+        assert_eq!(total, run.stats.messages);
+        let bits: usize = profile.iter().map(|r| r.bits).sum();
+        assert!(bits <= run.stats.total_message_bits);
+    }
+}

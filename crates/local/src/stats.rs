@@ -1,0 +1,104 @@
+//! Run statistics: the quantities the paper's tables report.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// Accounting for one simulated run (or a sequential composition of runs).
+///
+/// * `rounds` — synchronous communication rounds, the paper's notion of
+///   running time;
+/// * `messages` — total messages delivered;
+/// * `max_message_bits` — the largest single message, the paper's message
+///   size measure;
+/// * `total_message_bits` — aggregate traffic.
+///
+/// Sequential phase composition adds stats with `+`: rounds add (phases are
+/// separated by globally known round barriers), message maxima take the max.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunStats {
+    /// Number of synchronous rounds.
+    pub rounds: usize,
+    /// Total messages delivered.
+    pub messages: usize,
+    /// Size in bits of the largest message delivered.
+    pub max_message_bits: usize,
+    /// Total bits delivered.
+    pub total_message_bits: usize,
+}
+
+impl RunStats {
+    /// Stats of a run that exchanged nothing.
+    pub fn zero() -> RunStats {
+        RunStats::default()
+    }
+
+    /// Records one delivered message of the given size.
+    pub fn record_message(&mut self, bits: usize) {
+        self.messages += 1;
+        self.max_message_bits = self.max_message_bits.max(bits);
+        self.total_message_bits += bits;
+    }
+}
+
+impl Add for RunStats {
+    type Output = RunStats;
+
+    fn add(self, rhs: RunStats) -> RunStats {
+        RunStats {
+            rounds: self.rounds + rhs.rounds,
+            messages: self.messages + rhs.messages,
+            max_message_bits: self.max_message_bits.max(rhs.max_message_bits),
+            total_message_bits: self.total_message_bits + rhs.total_message_bits,
+        }
+    }
+}
+
+impl AddAssign for RunStats {
+    fn add_assign(&mut self, rhs: RunStats) {
+        *self = *self + rhs;
+    }
+}
+
+impl fmt::Display for RunStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} rounds, {} msgs, max msg {} bits, total {} bits",
+            self.rounds, self.messages, self.max_message_bits, self.total_message_bits
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addition_combines_phases() {
+        let mut a = RunStats::zero();
+        a.rounds = 3;
+        a.record_message(8);
+        a.record_message(16);
+        let mut b = RunStats::zero();
+        b.rounds = 2;
+        b.record_message(12);
+        let c = a + b;
+        assert_eq!(c.rounds, 5);
+        assert_eq!(c.messages, 3);
+        assert_eq!(c.max_message_bits, 16);
+        assert_eq!(c.total_message_bits, 36);
+    }
+
+    #[test]
+    fn add_assign_matches_add() {
+        let mut a = RunStats { rounds: 1, messages: 2, max_message_bits: 3, total_message_bits: 6 };
+        let b = a;
+        a += b;
+        assert_eq!(a, b + b);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!RunStats::zero().to_string().is_empty());
+    }
+}

@@ -1,0 +1,86 @@
+//! Job-shop scheduling via distributed edge coloring — one of the paper's
+//! motivating applications (Section 1.1 cites job-shop scheduling, packet
+//! routing and resource allocation).
+//!
+//! Jobs must run on machines; each (job, machine) task takes one unit slot,
+//! and neither a job nor a machine can do two things at once. Tasks are the
+//! edges of a job–machine bipartite graph, and a legal edge coloring is a
+//! conflict-free schedule whose makespan is the number of colors. The
+//! optimum is Δ (Vizing/König: bipartite graphs are Δ-edge-colorable); the
+//! distributed algorithms trade schedule length for coordination rounds.
+//!
+//! Run with `cargo run --example job_shop [jobs] [machines] [tasks] [seed]`.
+
+use deco_core::baselines::greedy::greedy_edge_color;
+use deco_core::edge::legal::{edge_color, edge_log_depth, MessageMode};
+use deco_core::edge::panconesi_rizzi::pr_edge_color;
+use deco_graph::{generators, Graph};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random job–machine task graph: bipartite, no duplicate tasks.
+fn task_graph(jobs: usize, machines: usize, tasks: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = Graph::builder(jobs + machines);
+    let mut added = 0;
+    let mut attempts = 0;
+    while added < tasks && attempts < 50 * tasks {
+        attempts += 1;
+        let j = rng.gen_range(0..jobs);
+        let m = jobs + rng.gen_range(0..machines);
+        if b.add_edge_dedup(j, m).expect("vertices in range") {
+            added += 1;
+        }
+    }
+    generators::shuffle_idents(&b.build().expect("deduplicated"), seed ^ 0xbeef)
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let jobs: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(300);
+    let machines: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(60);
+    let tasks: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(2_400);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(7);
+
+    let g = task_graph(jobs, machines, tasks, seed);
+    let delta = g.max_degree();
+    println!(
+        "job shop: {jobs} jobs × {machines} machines, {} tasks, max load Δ = {delta}",
+        g.m()
+    );
+    println!("lower bound on makespan: Δ = {delta} slots\n");
+
+    println!("{:<28} {:>9} {:>10} {:>14}", "scheduler", "makespan", "rounds", "max msg bits");
+    let greedy = greedy_edge_color(&g);
+    assert!(greedy.is_proper(&g));
+    println!("{:<28} {:>9} {:>10} {:>14}", "centralized greedy", greedy.palette_size(), "-", "-");
+
+    let (pr, pr_stats) = pr_edge_color(&g);
+    assert!(pr.is_proper(&g));
+    println!(
+        "{:<28} {:>9} {:>10} {:>14}",
+        "Panconesi–Rizzi (2Δ-1)",
+        pr.palette_size(),
+        pr_stats.rounds,
+        pr_stats.max_message_bits
+    );
+
+    for b in [1u64, 2] {
+        let params = edge_log_depth(b);
+        let run = edge_color(&g, params, MessageMode::Long).expect("valid preset");
+        assert!(run.coloring.is_proper(&g), "schedule must be conflict-free");
+        println!(
+            "{:<28} {:>9} {:>10} {:>14}",
+            format!("ours (b={b}, {} levels)", run.levels.len()),
+            run.coloring.palette_size(),
+            run.stats.rounds,
+            run.stats.max_message_bits
+        );
+    }
+
+    println!(
+        "\nEvery schedule is verified conflict-free: no job or machine is double-booked\n\
+         in any slot. The paper's algorithm pays a constant-factor longer makespan\n\
+         for exponentially fewer coordination rounds at large Δ."
+    );
+}

@@ -1,0 +1,84 @@
+//! Figure 3: the recursion tree of Procedure Legal-Color.
+//!
+//! Prints, per recursion level, the degree bound Λ⁽ʲ⁾ entering the level,
+//! the bound Λ⁽ʲ⁺¹⁾ it contracts to (Algorithm 2 line 6), the number of
+//! classes, the internal φ palette and the rounds spent — i.e. the values
+//! that annotate the nodes of the paper's Figure 3 — for both the vertex
+//! algorithm (on the Figure 1 graph) and the edge algorithm (on a random
+//! graph).
+//!
+//! Run with `cargo run --example recursion_trace [delta] [seed]`.
+
+use deco_core::edge::legal::{edge_color, edge_log_depth, MessageMode};
+use deco_core::legal::legal_color;
+use deco_core::params::LegalParams;
+use deco_graph::generators;
+use deco_local::Network;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let delta: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(80);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(17);
+
+    // --- Vertex algorithm on the Figure 1 graph (I(G) = 2, Δ = k). ---
+    let g = generators::clique_with_pendants(delta);
+    let params = LegalParams::log_depth(2, 1);
+    println!(
+        "vertex Legal-Color on clique-with-pendants(k = {delta}): Δ = {}, b={} p={} λ={}",
+        g.max_degree(),
+        params.b,
+        params.p,
+        params.lambda
+    );
+    let net = Network::new(&g);
+    let run = legal_color(&net, 2, params).expect("valid preset");
+    assert!(run.coloring.is_proper(&g));
+    println!(
+        "{:>5} {:>8} {:>8} {:>10} {:>9} {:>8}",
+        "level", "Λ_in", "Λ_out", "φ palette", "classes", "rounds"
+    );
+    for t in &run.levels {
+        println!(
+            "{:>5} {:>8} {:>8} {:>10} {:>9} {:>8}",
+            t.level, t.lambda_in, t.lambda_out, t.phi_palette, t.classes, t.rounds
+        );
+    }
+    println!(
+        "bottom: Λ̂ = {} -> (Λ̂+1)-coloring; ϑ⁽⁰⁾ = p^r·(Λ̂+1) = {} (used {})\n",
+        run.bottom_lambda,
+        run.theta,
+        run.coloring.palette_size()
+    );
+
+    // --- Edge algorithm on a random graph. ---
+    let params = edge_log_depth(1);
+    let n = (delta * 12).max(256);
+    let h = generators::random_bounded_degree(n, (params.lambda as usize + 20).max(delta), seed);
+    println!(
+        "edge Legal-Color on random graph: n = {}, Δ = {}, b={} p={} λ={}",
+        h.n(),
+        h.max_degree(),
+        params.b,
+        params.p,
+        params.lambda
+    );
+    let run = edge_color(&h, params, MessageMode::Long).expect("valid preset");
+    assert!(run.coloring.is_proper(&h));
+    println!(
+        "{:>5} {:>8} {:>8} {:>10} {:>9} {:>8}",
+        "level", "W_in", "W_out", "φ palette", "classes", "rounds"
+    );
+    for t in &run.levels {
+        println!(
+            "{:>5} {:>8} {:>8} {:>10} {:>9} {:>8}",
+            t.level, t.w_in, t.w_out, t.phi_palette, t.classes, t.rounds
+        );
+    }
+    println!(
+        "bottom: Ŵ = {} -> Panconesi–Rizzi (2Ŵ-1) per class; ϑ = {} (used {}), {} total rounds",
+        run.bottom_w,
+        run.theta,
+        run.coloring.palette_size(),
+        run.stats.rounds
+    );
+}

@@ -1,0 +1,81 @@
+//! Export a workload, re-import it, color it, and verify the coloring
+//! *distributedly* — the full lifecycle a downstream user of this library
+//! walks through.
+//!
+//! Proper colorings are locally checkable labelings: one round of color
+//! exchange lets every vertex certify its own neighborhood, so the
+//! verification itself is a (trivial) LOCAL algorithm.
+//!
+//! Run with `cargo run --example verify_roundtrip [n] [delta] [seed]`.
+
+use deco_core::edge::legal::{edge_color, edge_log_depth, MessageMode};
+use deco_core::verify::{verify_edge_coloring, verify_vertex_coloring};
+use deco_graph::{generators, io};
+use deco_local::Network;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(500);
+    let delta: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(16);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(5);
+
+    // 1. Generate and serialize a workload.
+    let g = generators::shuffle_idents(&generators::random_bounded_degree(n, delta, seed), seed);
+    let text = io::to_edge_list(&g);
+    println!(
+        "serialized workload: n = {}, m = {}, Δ = {} ({} bytes of edge list)",
+        g.n(),
+        g.m(),
+        g.max_degree(),
+        text.len()
+    );
+
+    // 2. Re-import and check the round trip.
+    let g2 = io::parse_edge_list(&text).expect("self-produced text parses");
+    assert_eq!(g, g2, "serialization round trip must be exact");
+
+    // 3. Color the edges.
+    let run = edge_color(&g2, edge_log_depth(1), MessageMode::Long).expect("valid preset");
+    println!(
+        "colored: {} colors in {} rounds ({} levels)",
+        run.coloring.palette_size(),
+        run.stats.rounds,
+        run.levels.len()
+    );
+
+    // 4. Verify distributedly: one round, every vertex certifies its edges.
+    let net = Network::new(&g2);
+    let (verdicts, stats) =
+        verify_edge_coloring(&net, run.coloring.colors(), run.theta);
+    let ok = verdicts.iter().all(|&b| b);
+    println!(
+        "distributed verification: {} in {} round ({} bits max message)",
+        if ok { "ACCEPTED by every vertex" } else { "REJECTED" },
+        stats.rounds,
+        stats.max_message_bits
+    );
+    assert!(ok);
+
+    // 5. Also demonstrate rejection: corrupt one edge color.
+    let mut bad = run.coloring.colors().to_vec();
+    if g2.m() >= 2 {
+        bad[0] = bad[1];
+        let (verdicts, _) = verify_edge_coloring(&net, &bad, run.theta);
+        let rejecting = verdicts.iter().filter(|&&b| !b).count();
+        println!("corrupted coloring: {rejecting} vertices reject (> 0 expected)");
+        assert!(rejecting > 0 || !incident(&g2, 0, 1));
+    }
+
+    // Bonus: verify a vertex coloring too (the Δ+1 reduction).
+    let (colors, _) = deco_core::reduction::delta_plus_one_coloring(&net);
+    let (verdicts, _) =
+        verify_vertex_coloring(&net, &colors, g2.max_degree() as u64 + 1);
+    assert!(verdicts.iter().all(|&b| b));
+    println!("(Δ+1)-vertex-coloring verified distributedly as well");
+}
+
+fn incident(g: &deco_graph::Graph, e: usize, f: usize) -> bool {
+    let (a, b) = g.endpoints(e);
+    let (c, d) = g.endpoints(f);
+    a == c || a == d || b == c || b == d
+}

@@ -1,0 +1,82 @@
+//! Determinism guarantees: identical inputs produce identical runs, and
+//! identifier permutations change outcomes without breaking validity.
+
+use deco_core::baselines::randomized_trial::randomized_trial_edge_color;
+use deco_core::edge::legal::{edge_color, edge_log_depth, MessageMode};
+use deco_core::edge::panconesi_rizzi::pr_edge_color;
+use deco_core::legal::legal_color;
+use deco_core::params::LegalParams;
+use deco_core::randomized::randomized_edge_color;
+use deco_graph::generators;
+use deco_graph::line_graph::line_graph;
+use deco_local::Network;
+
+#[test]
+fn deterministic_edge_color_runs() {
+    let g = generators::random_bounded_degree(200, 55, 1);
+    let a = edge_color(&g, edge_log_depth(1), MessageMode::Long).unwrap();
+    let b = edge_color(&g, edge_log_depth(1), MessageMode::Long).unwrap();
+    assert_eq!(a.coloring, b.coloring);
+    assert_eq!(a.stats, b.stats);
+    assert_eq!(a.levels, b.levels);
+}
+
+#[test]
+fn deterministic_vertex_color_runs() {
+    let l = line_graph(&generators::random_bounded_degree(80, 10, 2));
+    let net = Network::new(&l);
+    let a = legal_color(&net, 2, LegalParams::log_depth(2, 1)).unwrap();
+    let b = legal_color(&net, 2, LegalParams::log_depth(2, 1)).unwrap();
+    assert_eq!(a.coloring, b.coloring);
+    assert_eq!(a.stats, b.stats);
+}
+
+#[test]
+fn deterministic_pr_runs() {
+    let g = generators::random_bounded_degree(150, 12, 3);
+    let a = pr_edge_color(&g);
+    let b = pr_edge_color(&g);
+    assert_eq!(a.0, b.0);
+    assert_eq!(a.1, b.1);
+}
+
+#[test]
+fn randomized_algorithms_are_seed_deterministic() {
+    let g = generators::random_bounded_degree(150, 10, 4);
+    let a = randomized_trial_edge_color(&g, 11);
+    let b = randomized_trial_edge_color(&g, 11);
+    assert_eq!(a.0, b.0);
+    let c = randomized_edge_color(&g, edge_log_depth(1), MessageMode::Long, 11).unwrap();
+    let d = randomized_edge_color(&g, edge_log_depth(1), MessageMode::Long, 11).unwrap();
+    assert_eq!(c.inner.coloring, d.inner.coloring);
+}
+
+#[test]
+fn ident_permutation_preserves_validity() {
+    // Identifiers drive every tie-break; permuting them may change colors
+    // but never validity or declared palette bounds.
+    let base = generators::random_bounded_degree(120, 50, 5);
+    let params = edge_log_depth(1);
+    let reference = edge_color(&base, params, MessageMode::Long).unwrap();
+    for seed in [6u64, 7, 8] {
+        let g = generators::shuffle_idents(&base, seed);
+        let run = edge_color(&g, params, MessageMode::Long).unwrap();
+        assert!(run.coloring.is_proper(&g));
+        assert_eq!(run.theta, reference.theta, "ϑ depends only on Δ and params");
+    }
+}
+
+#[test]
+fn vertex_index_order_does_not_leak() {
+    // Build the same graph with a different edge insertion order: the
+    // normalized Graph is equal, so runs must be identical.
+    let mut edges: Vec<(usize, usize)> =
+        generators::random_bounded_degree(90, 8, 9).edges().collect();
+    let g1 = deco_graph::Graph::from_edges(90, &edges).unwrap();
+    edges.reverse();
+    let g2 = deco_graph::Graph::from_edges(90, &edges).unwrap();
+    assert_eq!(g1, g2);
+    let a = pr_edge_color(&g1);
+    let b = pr_edge_color(&g2);
+    assert_eq!(a.0, b.0);
+}

@@ -1,0 +1,153 @@
+//! End-to-end runs of every public coloring entry point over a battery of
+//! graph families, checking validity and declared bounds.
+
+use deco_core::baselines::forest_decomposition::{
+    forest_decomposition_coloring, forest_decomposition_edge_coloring,
+};
+use deco_core::baselines::greedy::{greedy_edge_color, greedy_vertex_color};
+use deco_core::baselines::randomized_trial::randomized_trial_edge_color;
+use deco_core::edge::legal::{edge_color, edge_log_depth, MessageMode};
+use deco_core::edge::panconesi_rizzi::pr_edge_color;
+use deco_core::edge::via_line_graph::edge_color_via_line_graph;
+use deco_core::legal::legal_color;
+use deco_core::params::LegalParams;
+use deco_core::randomized::{randomized_edge_color, randomized_vertex_color};
+use deco_core::tradeoff::{tradeoff_edge_color, tradeoff_vertex_color};
+use deco_graph::line_graph::line_graph;
+use deco_graph::properties::neighborhood_independence;
+use deco_graph::{generators, Graph};
+use deco_local::Network;
+
+fn edge_battery() -> Vec<(&'static str, Graph)> {
+    let disconnected = {
+        let mut b = Graph::builder(30);
+        for (u, v) in generators::complete(10).edges() {
+            b.add_edge(u, v).unwrap();
+        }
+        for (u, v) in generators::cycle(12).edges() {
+            b.add_edge(u + 15, v + 15).unwrap();
+        }
+        b.build().unwrap()
+    };
+    vec![
+        ("random sparse", generators::random_bounded_degree(150, 6, 21)),
+        ("random denser", generators::random_bounded_degree(120, 14, 22)),
+        ("clique", generators::complete(10)),
+        ("star", generators::star(14)),
+        ("grid", generators::grid(9, 9)),
+        ("torus", generators::torus(6, 7)),
+        ("tree", generators::random_tree(130, 23)),
+        ("petersen", generators::petersen()),
+        ("figure-1", generators::clique_with_pendants(9)),
+        ("shuffled", generators::shuffle_idents(&generators::random_bounded_degree(90, 8, 24), 25)),
+        ("hypercube", generators::hypercube(5)),
+        ("barbell", generators::barbell(7, 4)),
+        ("bipartite", generators::random_bipartite(20, 25, 120, 26)),
+        ("kary tree", generators::kary_tree(4, 4)),
+        ("friendship", generators::friendship(6)),
+        ("disconnected", disconnected),
+    ]
+}
+
+#[test]
+fn every_edge_colorer_is_proper_everywhere() {
+    for (name, g) in edge_battery() {
+        if g.m() == 0 {
+            continue;
+        }
+        let run = edge_color(&g, edge_log_depth(1), MessageMode::Long)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(run.coloring.is_proper(&g), "{name}: edge_color not proper");
+        assert!(run.coloring.colors().iter().all(|&c| c < run.theta), "{name}: theta");
+
+        let (pr, _) = pr_edge_color(&g);
+        assert!(pr.is_proper(&g), "{name}: PR not proper");
+
+        let (rt, _) = randomized_trial_edge_color(&g, 99);
+        assert!(rt.is_proper(&g), "{name}: randomized trial not proper");
+
+        let via = edge_color_via_line_graph(&g, LegalParams::log_depth(2, 1)).unwrap();
+        assert!(via.coloring.is_proper(&g), "{name}: via-line-graph not proper");
+
+        let (fd, _, _) = forest_decomposition_edge_coloring(&g);
+        assert!(fd.is_proper(&g), "{name}: forest decomposition not proper");
+
+        let greedy = greedy_edge_color(&g);
+        assert!(greedy.is_proper(&g), "{name}: greedy not proper");
+    }
+}
+
+#[test]
+fn every_vertex_colorer_is_proper_on_bounded_ni_families() {
+    let battery: Vec<(&str, Graph, u64)> = vec![
+        ("line graph", line_graph(&generators::random_bounded_degree(70, 9, 31)), 2),
+        ("fig-1", generators::clique_with_pendants(22), 2),
+        ("unit disk", generators::unit_disk(130, 0.18, 32), 5),
+        ("hypergraph r=3", generators::random_hypergraph(40, 120, 3, 33).line_graph(), 3),
+        ("cycle", generators::cycle(40), 2),
+    ];
+    for (name, g, c) in battery {
+        assert!(
+            neighborhood_independence(&g) as u64 <= c,
+            "{name}: c bound wrong for the test itself"
+        );
+        let net = Network::new(&g);
+        let run = legal_color(&net, c, LegalParams::log_depth(c, 1))
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(run.coloring.is_proper(&g), "{name}: legal_color not proper");
+
+        let tr = tradeoff_vertex_color(&net, c, 3, LegalParams::log_depth(c, 1))
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(tr.inner.coloring.is_proper(&g), "{name}: tradeoff not proper");
+
+        let rand = randomized_vertex_color(&net, c, LegalParams::log_depth(c, 1), 77)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(rand.inner.coloring.is_proper(&g), "{name}: randomized not proper");
+
+        let fd = forest_decomposition_coloring(&g);
+        assert!(fd.coloring.is_proper(&g), "{name}: FD baseline not proper");
+
+        let greedy = greedy_vertex_color(&g);
+        assert!(greedy.is_proper(&g), "{name}: greedy not proper");
+    }
+}
+
+#[test]
+fn randomized_and_tradeoff_edge_variants() {
+    let g = generators::random_bounded_degree(200, 16, 41);
+    let run = randomized_edge_color(&g, edge_log_depth(1), MessageMode::Long, 5).unwrap();
+    assert!(run.inner.coloring.is_proper(&g));
+
+    let tr = tradeoff_edge_color(&g, 4, edge_log_depth(1), MessageMode::Long).unwrap();
+    assert!(tr.inner.coloring.is_proper(&g));
+    assert_eq!(tr.classes, 16);
+}
+
+#[test]
+fn palettes_are_disjoint_across_classes() {
+    // The final colors encode (class, bottom color): check the arithmetic
+    // lines up with Lemma 4.4's palette decomposition.
+    let g = generators::clique_with_pendants(40);
+    let net = Network::new(&g);
+    let params = LegalParams::log_depth(2, 1);
+    let run = legal_color(&net, 2, params).unwrap();
+    assert!(!run.levels.is_empty());
+    let theta_bottom = run.bottom_lambda + 1;
+    let classes = run.theta / theta_bottom;
+    // Every color decomposes as class·ϑ' + bottom with bottom < ϑ'.
+    for v in 0..g.n() {
+        let color = run.coloring.color(v);
+        assert!(color / theta_bottom < classes);
+    }
+}
+
+#[test]
+fn stats_compose_monotonically() {
+    // Sequential phases only add: total rounds >= each phase's rounds.
+    let g = generators::random_bounded_degree(250, 60, 43);
+    let run = edge_color(&g, edge_log_depth(1), MessageMode::Long).unwrap();
+    let level_rounds: usize = run.levels.iter().map(|l| l.rounds).sum();
+    assert!(run.stats.rounds >= level_rounds);
+    assert!(run.stats.messages > 0);
+    assert!(run.stats.total_message_bits >= run.stats.messages); // >= 1 bit each
+}

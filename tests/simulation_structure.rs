@@ -1,0 +1,135 @@
+//! Structural tests of the two edge-coloring routes (native vs line-graph
+//! simulation) and of the recursion bookkeeping across the section-6
+//! extensions.
+
+use deco_core::edge::legal::{
+    edge_color, edge_color_bound, edge_log_depth, edge_next_w, MessageMode,
+};
+use deco_core::edge::via_line_graph::edge_color_via_line_graph;
+use deco_core::legal::legal_color;
+use deco_core::params::{next_lambda, LegalParams};
+use deco_core::randomized::{randomized_split, randomized_vertex_color};
+use deco_core::tradeoff::tradeoff_vertex_color;
+use deco_graph::coloring::VertexColoring;
+use deco_graph::line_graph::line_graph;
+use deco_graph::generators;
+use deco_local::Network;
+
+/// An edge coloring of G and a vertex coloring of L(G) are the same object:
+/// running the vertex algorithm on L(G) directly and re-reading it as an
+/// edge coloring must be proper, and the edge coloring produced natively
+/// must be a proper vertex coloring of L(G).
+#[test]
+fn edge_and_line_graph_colorings_interchange() {
+    let g = generators::random_bounded_degree(90, 9, 71);
+    let l = line_graph(&g);
+
+    let native = edge_color(&g, edge_log_depth(1), MessageMode::Long).unwrap();
+    let as_vertex = VertexColoring::new(native.coloring.colors().to_vec());
+    assert!(as_vertex.is_proper(&l), "native edge coloring = proper L(G) coloring");
+
+    let via = edge_color_via_line_graph(&g, LegalParams::log_depth(2, 1)).unwrap();
+    assert!(via.coloring.is_proper(&g));
+    assert_eq!(via.coloring.len(), g.m());
+}
+
+/// The recursion bookkeeping formulas match the drivers exactly, level by
+/// level, for both the vertex and the edge algorithms.
+#[test]
+fn recursion_formulas_match_drivers() {
+    // Vertex.
+    let host = generators::random_bounded_degree(80, 12, 72);
+    let l = line_graph(&host);
+    let params = LegalParams::log_depth(2, 1);
+    let net = Network::new(&l);
+    let run = legal_color(&net, 2, params).unwrap();
+    let mut lam = l.max_degree() as u64;
+    for t in &run.levels {
+        assert_eq!(t.lambda_out, next_lambda(2, params.b, params.p, t.lambda_in));
+        assert_eq!(t.lambda_in, lam);
+        lam = t.lambda_out;
+    }
+    assert_eq!(run.bottom_lambda, params.bottom_lambda(2, l.max_degree() as u64));
+    assert_eq!(run.levels.len() as u32, params.depth(2, l.max_degree() as u64));
+
+    // Edge.
+    let eparams = edge_log_depth(1);
+    let g = generators::random_bounded_degree(260, eparams.lambda as usize + 12, 73);
+    let erun = edge_color(&g, eparams, MessageMode::Long).unwrap();
+    let mut w = g.max_degree() as u64;
+    for t in &erun.levels {
+        assert_eq!(t.w_out, edge_next_w(eparams.b, eparams.p, t.w_in));
+        assert_eq!(t.w_in, w);
+        w = t.w_out;
+    }
+    assert_eq!(erun.theta, edge_color_bound(&eparams, g.max_degree() as u64));
+}
+
+/// §6.1 split arithmetic: classes ≈ Δ/ln n, clamped bound, and the runs
+/// expose whether the w.h.p. event held.
+#[test]
+fn randomized_split_classes_scale() {
+    let (c1, b1) = randomized_split(1 << 10, 100);
+    let (c2, b2) = randomized_split(1 << 10, 200);
+    assert!(c2 >= 2 * c1 - 1, "classes scale linearly in Δ");
+    // The class-degree bound is ⌈6e·ln n⌉ clamped to Δ: at Δ = 100 the
+    // clamp bites, at Δ = 200 the log-term does.
+    assert_eq!(b1, 100);
+    assert!(b2 > b1 && b2 <= 200);
+
+    let host = generators::random_bounded_degree(120, 12, 74);
+    let l = line_graph(&host);
+    let net = Network::new(&l);
+    let run = randomized_vertex_color(&net, 2, LegalParams::log_depth(2, 1), 9).unwrap();
+    // Either the bound held (overwhelmingly likely) or the run still
+    // produced a proper coloring.
+    assert!(run.inner.coloring.is_proper(&l));
+    if run.class_bound_held {
+        // Measured class degrees must respect the declared bound.
+        for v in 0..l.n() {
+            let mine = run.inner.coloring.color(v);
+            let theta_per = run.inner.theta / run.classes;
+            assert!(mine / theta_per < run.classes);
+        }
+    }
+}
+
+/// §6.2: the tradeoff's total palette ϑ equals classes × per-class ϑ and
+/// the defective split is a hard bound.
+#[test]
+fn tradeoff_palette_accounting() {
+    let host = generators::random_bounded_degree(150, 14, 75);
+    let l = line_graph(&host);
+    let net = Network::new(&l);
+    let params = LegalParams::log_depth(2, 1);
+    let run = tradeoff_vertex_color(&net, 2, 4, params).unwrap();
+    assert!(run.inner.coloring.is_proper(&l));
+    // theta of the grouped run counts all classes.
+    assert_eq!(
+        run.inner.theta % (run.inner.bottom_lambda + 1),
+        0,
+        "ϑ must be a multiple of the bottom palette"
+    );
+    // The split respects its hard defect bound: within every class the
+    // degree is at most class_degree.
+    let theta_per = run.inner.theta / run.classes.max(1);
+    let class_of = |v: usize| run.inner.coloring.color(v) / theta_per.max(1);
+    for v in 0..l.n() {
+        let same = l.neighbors(v).filter(|&u| class_of(u) == class_of(v)).count() as u64;
+        assert!(
+            same <= run.class_degree,
+            "vertex {v}: {same} same-class neighbors > {}",
+            run.class_degree
+        );
+    }
+}
+
+/// Lemma 5.2's doubling is visible end to end: the via-line-graph route
+/// reports host rounds = 2·native + 1.
+#[test]
+fn via_line_graph_round_doubling() {
+    let g = generators::random_bounded_degree(70, 8, 76);
+    let via = edge_color_via_line_graph(&g, LegalParams::log_depth(2, 1)).unwrap();
+    assert_eq!(via.host.rounds, 2 * via.native.rounds + 1);
+    assert_eq!(via.host.messages, 2 * via.native.messages);
+}

@@ -10,8 +10,8 @@ use deco_bench::{banner, scale, Scale, Table};
 use deco_core::edge::legal::{edge_color, edge_log_depth, MessageMode};
 use deco_core::legal::{legal_color_with_policy, AuxPolicy};
 use deco_core::params::LegalParams;
-use deco_graph::line_graph::line_graph;
 use deco_graph::generators;
+use deco_graph::line_graph::line_graph;
 use deco_local::Network;
 
 fn main() {
@@ -29,8 +29,7 @@ fn main() {
     );
     for b in [1u64, 2, 3, 4] {
         let params = edge_log_depth(b);
-        let g =
-            generators::random_bounded_degree(n, (params.lambda + extra) as usize, 0xE10);
+        let g = generators::random_bounded_degree(n, (params.lambda + extra) as usize, 0xE10);
         let run = edge_color(&g, params, MessageMode::Long).expect("valid preset");
         assert!(run.coloring.is_proper(&g));
         table.row(&[
@@ -50,17 +49,13 @@ fn main() {
     let host = generators::random_bounded_degree(n, 24, 0xE10 + 1);
     let g = line_graph(&host);
     println!("workload: line graph, n_L = {}, Δ_L = {}\n", g.n(), g.max_degree());
-    let table = Table::new(
-        &["policy", "colors", "ϑ", "rounds", "messages"],
-        &[22, 7, 8, 7, 12],
-    );
+    let table = Table::new(&["policy", "colors", "ϑ", "rounds", "messages"], &[22, 7, 8, 7, 12]);
     for (name, policy) in [
         ("reuse ρ (§4.2)", AuxPolicy::ReusePerLevel),
         ("fresh per level", AuxPolicy::FreshPerLevel),
     ] {
         let net = Network::new(&g);
-        let run =
-            legal_color_with_policy(&net, 2, LegalParams::log_depth(2, 1), policy).unwrap();
+        let run = legal_color_with_policy(&net, 2, LegalParams::log_depth(2, 1), policy).unwrap();
         assert!(run.coloring.is_proper(&g));
         table.row(&[
             name.to_string(),

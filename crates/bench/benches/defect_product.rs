@@ -12,15 +12,12 @@ use deco_core::code_reduction::{linial_coloring, run_code_reduction};
 use deco_core::defective::defective_color;
 use deco_core::math::kuhn_schedule;
 use deco_graph::coloring::VertexColoring;
-use deco_graph::line_graph::line_graph;
 use deco_graph::generators;
+use deco_graph::line_graph::line_graph;
 use deco_local::Network;
 
 fn main() {
-    banner(
-        "E3 / §1.3",
-        "defect × colors: Algorithm 1 (ours, p colors) vs Kuhn [19] (p² colors)",
-    );
+    banner("E3 / §1.3", "defect × colors: Algorithm 1 (ours, p colors) vs Kuhn [19] (p² colors)");
     let (n, cap) = match scale() {
         Scale::Quick => (150usize, 14usize),
         Scale::Full => (400, 24),

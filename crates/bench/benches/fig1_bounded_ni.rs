@@ -10,10 +10,8 @@
 use deco_bench::{banner, scale, Scale, Table};
 use deco_core::legal::legal_color;
 use deco_core::params::LegalParams;
-use deco_graph::properties::{
-    independent_in_ball_lower_bound, neighborhood_independence,
-};
 use deco_graph::generators;
+use deco_graph::properties::{independent_in_ball_lower_bound, neighborhood_independence};
 use deco_local::Network;
 
 fn main() {

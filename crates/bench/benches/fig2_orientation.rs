@@ -10,8 +10,8 @@
 use deco_bench::{banner, scale, Scale, Table};
 use deco_core::orientation_color::orientation_coloring;
 use deco_graph::coloring::VertexColoring;
-use deco_graph::orientation::Orientation;
 use deco_graph::generators;
+use deco_graph::orientation::Orientation;
 use deco_local::Network;
 
 fn main() {

@@ -9,8 +9,8 @@
 use deco_bench::{banner, scale, Scale, Table};
 use deco_core::legal::legal_color;
 use deco_core::params::LegalParams;
-use deco_graph::line_graph::line_graph;
 use deco_graph::generators;
+use deco_graph::line_graph::line_graph;
 use deco_local::Network;
 
 fn main() {

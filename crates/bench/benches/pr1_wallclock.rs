@@ -1,0 +1,318 @@
+//! **PR1 — simulator throughput**: wall-clock of the slot-arena delivery
+//! engine versus the pre-refactor naive engine, plus deterministic parallel
+//! stepping, on the workloads every later scaling PR will be measured on:
+//!
+//! 1. FloodMax on a 100k–1M-vertex bounded-degree random graph — pure
+//!    simulator overhead (trivial per-node compute);
+//! 2. Legal-Color-shaped gossip on the line graph `L(G)` — the Lemma 5.2
+//!    workload shape, denser than the host;
+//! 3. the paper's *actual* Legal-Color on a bounded-NI generator (torus,
+//!    `I(G) ≤ 4`) at 100k+ vertices, whole pipeline, both engines;
+//! 4. the full edge-coloring pipeline (`edge_color`, Theorem 5.5) on a
+//!    bounded-degree random graph, both engines.
+//!
+//! Every comparison also asserts bit-identical outputs and stats across
+//! engines — a perf number from a wrong simulation is worthless.
+//!
+//! Results print as tables and are written to `BENCH_pr1.json` (override
+//! the path with `DECO_BENCH_OUT`), seeding the perf trajectory that later
+//! PRs extend. `DECO_BENCH_SCALE=full` grows the sweeps to 1M vertices.
+
+use deco_bench::json::{Obj, Value};
+use deco_bench::{banner, millis, scale, time_median, Scale, Table};
+use deco_core::legal::legal_color;
+use deco_core::params::LegalParams;
+use deco_graph::line_graph::line_graph;
+use deco_graph::{generators, Graph};
+use deco_local::{Action, Engine, Network, NodeCtx, Protocol, Run};
+use std::time::Duration;
+
+/// FloodMax: pure delivery throughput, trivial per-node compute.
+struct FloodMax {
+    radius: usize,
+    best: u64,
+}
+
+impl Protocol for FloodMax {
+    type Msg = u64;
+    type Output = u64;
+
+    fn start(&mut self, ctx: &NodeCtx<'_>) -> Vec<(usize, u64)> {
+        self.best = ctx.ident;
+        ctx.broadcast(self.best)
+    }
+
+    fn round(&mut self, ctx: &NodeCtx<'_>, inbox: &[(usize, u64)]) -> Action<u64> {
+        for &(_, v) in inbox {
+            self.best = self.best.max(v);
+        }
+        if ctx.round >= self.radius {
+            Action::halt()
+        } else {
+            Action::Broadcast(self.best)
+        }
+    }
+
+    fn finish(self, _ctx: &NodeCtx<'_>) -> u64 {
+        self.best
+    }
+}
+
+/// Legal-Color-shaped traffic: field messages, palette comparisons and
+/// greedy recoloring, without the full recursion bookkeeping.
+struct LegalShaped {
+    color: u64,
+    palette: u64,
+    rounds: usize,
+}
+
+impl Protocol for LegalShaped {
+    type Msg = (u64, u64);
+    type Output = u64;
+
+    fn start(&mut self, ctx: &NodeCtx<'_>) -> Vec<(usize, (u64, u64))> {
+        self.color = ctx.ident % self.palette;
+        ctx.broadcast((self.color, ctx.ident))
+    }
+
+    fn round(&mut self, ctx: &NodeCtx<'_>, inbox: &[(usize, (u64, u64))]) -> Action<(u64, u64)> {
+        // Recolor greedily against the received colors, paper-style.
+        let mut used = 0u128;
+        for &(_, (c, _)) in inbox {
+            if c < 128 {
+                used |= 1 << c;
+            }
+        }
+        if used & (1 << (self.color % 128)) != 0 {
+            self.color = (0..self.palette).find(|c| used & (1 << (c % 128)) == 0).unwrap_or(0);
+        }
+        if ctx.round >= self.rounds {
+            Action::halt()
+        } else {
+            Action::Broadcast((self.color, ctx.ident))
+        }
+    }
+
+    fn finish(self, _ctx: &NodeCtx<'_>) -> u64 {
+        self.color
+    }
+}
+
+/// One engine-comparison row: times a workload under the naive and slot
+/// engines (plus the threaded runner where applicable) and checks the runs
+/// agree bit for bit.
+struct EngineRow {
+    name: String,
+    n: usize,
+    m: usize,
+    rounds: usize,
+    messages: usize,
+    naive: Duration,
+    slot: Duration,
+    threaded: Option<Duration>,
+}
+
+impl EngineRow {
+    fn speedup(&self) -> f64 {
+        self.naive.as_secs_f64() / self.slot.as_secs_f64().max(1e-9)
+    }
+
+    fn speedup_threaded(&self) -> Option<f64> {
+        self.threaded.map(|t| self.naive.as_secs_f64() / t.as_secs_f64().max(1e-9))
+    }
+
+    fn to_json(&self) -> Value {
+        let mut o = Obj::new()
+            .field("workload", self.name.as_str())
+            .field("n", self.n)
+            .field("m", self.m)
+            .field("rounds", self.rounds)
+            .field("messages", self.messages)
+            .field("naive_ms", self.naive.as_secs_f64() * 1e3)
+            .field("slot_ms", self.slot.as_secs_f64() * 1e3)
+            .field("speedup_slot_vs_naive", self.speedup());
+        if let Some(t) = self.threaded {
+            o = o
+                .field("threaded_ms", t.as_secs_f64() * 1e3)
+                .field("speedup_threaded_vs_naive", self.speedup_threaded().unwrap_or(0.0));
+        }
+        o.build()
+    }
+}
+
+fn compare_engines<P, F>(name: &str, g: &Graph, samples: usize, threaded: bool, mk: F) -> EngineRow
+where
+    P: Protocol + Send,
+    P::Msg: Send + Sync,
+    P::Output: PartialEq + std::fmt::Debug,
+    F: Fn(&NodeCtx<'_>) -> P + Copy,
+{
+    let net = Network::new(g);
+    let naive_net = Network::new(g).with_engine(Engine::Naive);
+    let (slot_run, slot_t): (Run<P::Output>, _) = time_median(samples, || net.run(mk));
+    let (naive_run, naive_t) = time_median(samples, || naive_net.run(mk));
+    assert_eq!(slot_run.outputs, naive_run.outputs, "{name}: engines diverged (outputs)");
+    assert_eq!(slot_run.stats, naive_run.stats, "{name}: engines diverged (stats)");
+    let threaded_t = threaded.then(|| {
+        let (thr_run, thr_t) = time_median(samples, || net.run_threaded(mk));
+        assert_eq!(thr_run.outputs, slot_run.outputs, "{name}: threaded diverged");
+        assert_eq!(thr_run.stats, slot_run.stats, "{name}: threaded stats diverged");
+        thr_t
+    });
+    EngineRow {
+        name: name.to_string(),
+        n: g.n(),
+        m: g.m(),
+        rounds: slot_run.stats.rounds,
+        messages: slot_run.stats.messages,
+        naive: naive_t,
+        slot: slot_t,
+        threaded: threaded_t,
+    }
+}
+
+/// Times the real Legal-Color pipeline (Theorem 4.5 driver) on `g` under
+/// both engines; panics if their colorings or stats differ.
+fn compare_legal_pipeline(name: &str, g: &Graph, c: u64, samples: usize) -> EngineRow {
+    let params = LegalParams::log_depth(c, 1);
+    let slot_net = Network::new(g);
+    let naive_net = Network::new(g).with_engine(Engine::Naive);
+    let (slot_run, slot_t) =
+        time_median(samples, || legal_color(&slot_net, c, params).expect("params are valid"));
+    let (naive_run, naive_t) =
+        time_median(samples, || legal_color(&naive_net, c, params).expect("params are valid"));
+    assert_eq!(slot_run.coloring, naive_run.coloring, "{name}: colorings diverged");
+    assert_eq!(slot_run.stats, naive_run.stats, "{name}: stats diverged");
+    assert!(slot_run.coloring.is_proper(g), "{name}: improper coloring");
+    EngineRow {
+        name: name.to_string(),
+        n: g.n(),
+        m: g.m(),
+        rounds: slot_run.stats.rounds,
+        messages: slot_run.stats.messages,
+        naive: naive_t,
+        slot: slot_t,
+        threaded: None,
+    }
+}
+
+/// Times the full edge-coloring pipeline (Theorem 5.5) under both engines.
+fn compare_edge_pipeline(name: &str, g: &Graph, samples: usize) -> EngineRow {
+    use deco_core::edge::legal::{edge_color, edge_log_depth, MessageMode};
+    let params = edge_log_depth(1);
+    let (slot_run, slot_t) = time_median(samples, || {
+        edge_color(g, params, MessageMode::Long).expect("params are valid")
+    });
+    // `edge_color` builds its own Network internally; the naive side of the
+    // comparison goes through the grouped driver against a naive-engine
+    // network, which is the same pipeline with the engine swapped.
+    let groups = vec![0u64; g.m()];
+    let naive_net = Network::new(g).with_engine(Engine::Naive);
+    let (naive_run, naive_t) = time_median(samples, || {
+        deco_core::edge::legal::edge_color_in_groups(
+            &naive_net,
+            &groups,
+            1,
+            params,
+            g.max_degree() as u64,
+            MessageMode::Long,
+        )
+        .expect("params are valid")
+    });
+    assert_eq!(slot_run.coloring, naive_run.coloring, "{name}: colorings diverged");
+    assert_eq!(slot_run.stats, naive_run.stats, "{name}: stats diverged");
+    assert!(slot_run.coloring.is_proper(g), "{name}: improper edge coloring");
+    EngineRow {
+        name: name.to_string(),
+        n: g.n(),
+        m: g.m(),
+        rounds: slot_run.stats.rounds,
+        messages: slot_run.stats.messages,
+        naive: naive_t,
+        slot: slot_t,
+        threaded: None,
+    }
+}
+
+fn main() {
+    banner("PR1 / wallclock", "slot-arena delivery vs the pre-refactor engine");
+    let full = scale() == Scale::Full;
+    let samples = 3;
+    let mut rows: Vec<EngineRow> = Vec::new();
+
+    // 1. FloodMax: pure simulator overhead at scale.
+    let flood_n = if full { 1_000_000 } else { 100_000 };
+    println!("generating random_bounded_degree(n={flood_n}, Δ=8) ...");
+    let g = generators::random_bounded_degree(flood_n, 8, 0x9121);
+    rows.push(compare_engines("floodmax/random-bounded-degree", &g, samples, true, |_| FloodMax {
+        radius: 4,
+        best: 0,
+    }));
+    drop(g);
+
+    // 2. Legal-Color-shaped gossip on L(G): Lemma 5.2 workload shape.
+    let host_n = if full { 250_000 } else { 25_000 };
+    println!("generating L(random_bounded_degree(n={host_n}, Δ=8)) ...");
+    let l = line_graph(&generators::random_bounded_degree(host_n, 8, 0x9122));
+    rows.push(compare_engines("legal-shaped/line-graph", &l, samples, true, |_| LegalShaped {
+        color: 0,
+        palette: 32,
+        rounds: 6,
+    }));
+    drop(l);
+
+    // 3. The real Legal-Color on a bounded-NI generator (torus: I(G) <= 4).
+    let side = if full { 1000 } else { 320 };
+    println!("generating torus({side}x{side}) ...");
+    let t = generators::torus(side, side);
+    rows.push(compare_legal_pipeline("legal-color/torus-bounded-ni", &t, 4, 1));
+    drop(t);
+
+    // 4. The full edge-coloring pipeline on a random graph.
+    let (edge_n, edge_d) = if full { (30_000, 40) } else { (6_000, 40) };
+    println!("generating random_bounded_degree(n={edge_n}, Δ={edge_d}) ...");
+    let g = generators::random_bounded_degree(edge_n, edge_d, 0x9124);
+    rows.push(compare_edge_pipeline("edge-color/random-bounded-degree", &g, 1));
+    drop(g);
+
+    // Report.
+    println!();
+    let table = Table::new(
+        &["workload", "n", "rounds", "naive ms", "slot ms", "thr ms", "speedup"],
+        &[34, 9, 7, 10, 10, 10, 8],
+    );
+    for r in &rows {
+        table.row(&[
+            r.name.clone(),
+            r.n.to_string(),
+            r.rounds.to_string(),
+            millis(r.naive),
+            millis(r.slot),
+            r.threaded.map_or("-".to_string(), millis),
+            format!("{:.2}x", r.speedup()),
+        ]);
+    }
+    println!("\n(speedup = naive / slot, single-threaded; engines verified bit-identical)");
+
+    let threads = std::thread::available_parallelism().map_or(1, |p| p.get()).min(16);
+    let json = Obj::new()
+        .field("bench", "pr1_wallclock")
+        .field("scale", if full { "full" } else { "quick" })
+        .field("samples", samples)
+        .field("threads_available", threads)
+        .field(
+            "acceptance",
+            Obj::new()
+                .field("criterion", "slot engine >= 2x naive on a 100k+-vertex run")
+                .field("met", rows.iter().filter(|r| r.n >= 100_000).any(|r| r.speedup() >= 2.0))
+                .build(),
+        )
+        .field("workloads", rows.iter().map(|r| r.to_json()).collect::<Vec<Value>>())
+        .build();
+    // Default to the workspace root so the trajectory file lands next to
+    // ROADMAP.md regardless of the bench runner's working directory.
+    let out = std::env::var("DECO_BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_pr1.json", env!("CARGO_MANIFEST_DIR")));
+    std::fs::write(&out, deco_bench::json::to_string(&json)).expect("write bench json");
+    println!("wrote {out}");
+}

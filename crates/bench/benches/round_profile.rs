@@ -8,9 +8,7 @@
 //! longest φ-chains (Lemma 3.2's `R + φ(v)` bound).
 
 use deco_bench::{banner, scale, Scale, Table};
-use deco_core::edge::defective::{
-    edge_defective_color_in_groups_profiled, MessageMode,
-};
+use deco_core::edge::defective::{edge_defective_color_in_groups_profiled, MessageMode};
 use deco_core::edge::legal::edge_log_depth;
 use deco_graph::generators;
 use deco_local::Network;

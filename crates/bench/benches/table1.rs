@@ -25,9 +25,7 @@ fn main() {
     };
     println!("workload: random bounded-degree graphs, n = {n}\n");
     let table = Table::new(
-        &[
-            "Δ", "algorithm", "colors", "rounds", "levels", "maxmsg(b)", "col/Vizing",
-        ],
+        &["Δ", "algorithm", "colors", "rounds", "levels", "maxmsg(b)", "col/Vizing"],
         &[4, 34, 7, 7, 7, 10, 10],
     );
 

@@ -22,10 +22,7 @@ fn main() {
         Scale::Quick => vec![256, 1024, 4096],
         Scale::Full => vec![256, 1024, 4096, 16384, 65536],
     };
-    let table = Table::new(
-        &["n", "Δ", "algorithm", "colors", "rounds"],
-        &[7, 4, 36, 7, 7],
-    );
+    let table = Table::new(&["n", "Δ", "algorithm", "colors", "rounds"], &[7, 4, 36, 7, 7]);
     for &n in &ns {
         let delta = ((n as f64).log2().powf(0.8)).ceil() as usize;
         let g = generators::random_bounded_degree(n, delta, 0xE2);
@@ -72,8 +69,7 @@ fn main() {
             run.stats.rounds.to_string(),
         ]);
 
-        let rand = randomized_edge_color(&g, edge_log_depth(1), MessageMode::Long, 0xE2)
-            .unwrap();
+        let rand = randomized_edge_color(&g, edge_log_depth(1), MessageMode::Long, 0xE2).unwrap();
         assert!(rand.inner.coloring.is_proper(&g));
         table.row(&[
             n.to_string(),
@@ -96,10 +92,7 @@ fn main() {
     // the Ω(log n / log a) lower bound of [3] the paper invokes to argue
     // the log n factor is inherent to that approach.
     println!("peeling worst case: complete 4-ary trees (Δ = 5, a = 1)\n");
-    let table = Table::new(
-        &["n", "algorithm", "colors", "rounds"],
-        &[7, 36, 7, 7],
-    );
+    let table = Table::new(&["n", "algorithm", "colors", "rounds"], &[7, 36, 7, 7]);
     let depths: Vec<u32> = match scale() {
         Scale::Quick => vec![3, 5, 7],
         Scale::Full => vec![3, 5, 7, 9],

@@ -7,10 +7,10 @@
 
 use deco_bench::{banner, scale, Scale, Table};
 use deco_core::edge::legal::{edge_log_depth, MessageMode};
-use deco_core::tradeoff::{tradeoff_edge_color, tradeoff_vertex_color};
 use deco_core::params::LegalParams;
-use deco_graph::line_graph::line_graph;
+use deco_core::tradeoff::{tradeoff_edge_color, tradeoff_vertex_color};
 use deco_graph::generators;
+use deco_graph::line_graph::line_graph;
 use deco_local::Network;
 
 fn main() {

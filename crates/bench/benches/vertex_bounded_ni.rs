@@ -46,11 +46,7 @@ fn main() {
         &[18, 6, 5, 5, 7, 7, 7, 7],
     );
     for (name, g, c) in families {
-        let measured_c = if g.n() <= 800 {
-            neighborhood_independence(&g) as u64
-        } else {
-            c
-        };
+        let measured_c = if g.n() <= 800 { neighborhood_independence(&g) as u64 } else { c };
         assert!(measured_c <= c, "{name}: family bound violated");
         let delta = g.max_degree() as u64;
         let net = Network::new(&g);

@@ -1,69 +1,52 @@
-//! Criterion wall-clock benchmarks of the simulator and the main colorers.
+//! Wall-clock benchmarks of the simulator and the main colorers.
 //!
 //! These complement the table harnesses (which measure *rounds*, the
 //! paper's cost metric) with implementation-level throughput numbers.
+//! Plain `fn main()` harness (the build environment has no criterion):
+//! median of a few samples after a warm-up, printed as a table.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use deco_bench::{banner, millis, time_median, Table};
 use deco_core::code_reduction::linial_coloring;
 use deco_core::edge::legal::{edge_color, edge_log_depth, MessageMode};
 use deco_core::edge::panconesi_rizzi::pr_edge_color;
 use deco_core::legal::legal_color;
 use deco_core::params::LegalParams;
-use deco_graph::line_graph::line_graph;
 use deco_graph::generators;
+use deco_graph::line_graph::line_graph;
 use deco_local::Network;
 use std::hint::black_box;
 
-fn bench_linial(c: &mut Criterion) {
-    let mut group = c.benchmark_group("linial");
+fn main() {
+    banner("wallclock", "median wall-clock of the simulator and colorers");
+    let t = Table::new(&["benchmark", "param", "median ms"], &[26, 8, 12]);
+
     for &n in &[200usize, 800] {
         let g = generators::random_bounded_degree(n, 8, 1);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
-            b.iter(|| {
-                let net = Network::new(black_box(g));
-                black_box(linial_coloring(&net))
-            })
+        let (_, d) = time_median(5, || {
+            let net = Network::new(black_box(&g));
+            black_box(linial_coloring(&net))
         });
+        t.row(&["linial".to_string(), format!("n={n}"), millis(d)]);
     }
-    group.finish();
-}
 
-fn bench_pr(c: &mut Criterion) {
-    let mut group = c.benchmark_group("panconesi_rizzi");
     for &delta in &[8usize, 32] {
         let g = generators::random_bounded_degree(300, delta, 2);
-        group.bench_with_input(BenchmarkId::from_parameter(delta), &g, |b, g| {
-            b.iter(|| black_box(pr_edge_color(black_box(g))))
-        });
+        let (_, d) = time_median(5, || black_box(pr_edge_color(black_box(&g))));
+        t.row(&["panconesi_rizzi".to_string(), format!("d={delta}"), millis(d)]);
     }
-    group.finish();
-}
 
-fn bench_edge_color(c: &mut Criterion) {
-    let mut group = c.benchmark_group("edge_color");
-    group.sample_size(10);
     let params = edge_log_depth(1);
     for &delta in &[16usize, 48] {
         let g = generators::random_bounded_degree(300, delta, 3);
-        group.bench_with_input(BenchmarkId::from_parameter(delta), &g, |b, g| {
-            b.iter(|| black_box(edge_color(black_box(g), params, MessageMode::Long)))
-        });
+        let (_, d) =
+            time_median(3, || black_box(edge_color(black_box(&g), params, MessageMode::Long)));
+        t.row(&["edge_color".to_string(), format!("d={delta}"), millis(d)]);
     }
-    group.finish();
-}
 
-fn bench_legal_color(c: &mut Criterion) {
-    let mut group = c.benchmark_group("legal_color_line_graph");
-    group.sample_size(10);
     let l = line_graph(&generators::random_bounded_degree(150, 12, 4));
-    group.bench_function("c2", |b| {
-        b.iter(|| {
-            let net = Network::new(black_box(&l));
-            black_box(legal_color(&net, 2, LegalParams::log_depth(2, 1)))
-        })
+    let (_, d) = time_median(3, || {
+        let net = Network::new(black_box(&l));
+        black_box(legal_color(&net, 2, LegalParams::log_depth(2, 1)))
     });
-    group.finish();
+    t.row(&["legal_color_line_graph".to_string(), "c=2".to_string(), millis(d)]);
 }
-
-criterion_group!(benches, bench_linial, bench_pr, bench_edge_color, bench_legal_color);
-criterion_main!(benches);

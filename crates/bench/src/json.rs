@@ -1,0 +1,215 @@
+//! A tiny JSON writer for bench result files.
+//!
+//! The offline build has no serde; bench results are flat enough (strings,
+//! numbers, booleans, arrays, objects) that a small escaping writer keeps
+//! the emitted files valid and diffable. Keys keep insertion order so the
+//! generated `BENCH_*.json` files diff cleanly between runs.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Integers (serialized without a fraction).
+    Int(i64),
+    /// Finite floats (non-finite values serialize as `null`).
+    Float(f64),
+    /// A string (escaped on write).
+    Str(String),
+    /// An ordered array.
+    Array(Vec<Value>),
+    /// An insertion-ordered object.
+    Object(Vec<(String, Value)>),
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::Str(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::Str(s)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Value {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Float(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<Vec<Value>> for Value {
+    fn from(v: Vec<Value>) -> Value {
+        Value::Array(v)
+    }
+}
+
+/// Builder for an insertion-ordered JSON object.
+#[derive(Debug, Clone, Default)]
+pub struct Obj(Vec<(String, Value)>);
+
+impl Obj {
+    /// An empty object.
+    pub fn new() -> Obj {
+        Obj::default()
+    }
+
+    /// Adds a field (builder style).
+    pub fn field(mut self, key: &str, value: impl Into<Value>) -> Obj {
+        self.0.push((key.to_string(), value.into()));
+        self
+    }
+
+    /// Finishes the object.
+    pub fn build(self) -> Value {
+        Value::Object(self.0)
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_value(out: &mut String, v: &Value, indent: usize) {
+    let pad = "  ".repeat(indent);
+    let pad_in = "  ".repeat(indent + 1);
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Value::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Value::Float(f) if f.is_finite() => {
+            let _ = write!(out, "{f}");
+        }
+        Value::Float(_) => out.push_str("null"),
+        Value::Str(s) => escape_into(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(&pad_in);
+                write_value(out, item, indent + 1);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push_str("{\n");
+            for (i, (k, val)) in fields.iter().enumerate() {
+                out.push_str(&pad_in);
+                escape_into(out, k);
+                out.push_str(": ");
+                write_value(out, val, indent + 1);
+                if i + 1 < fields.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&pad);
+            out.push('}');
+        }
+    }
+}
+
+/// Serializes `v` as pretty-printed JSON (2-space indent, trailing newline).
+pub fn to_string(v: &Value) -> String {
+    let mut out = String::new();
+    write_value(&mut out, v, 0);
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn objects_keep_insertion_order() {
+        let v = Obj::new().field("z", 1usize).field("a", "two").build();
+        let s = to_string(&v);
+        assert!(s.find("\"z\"").unwrap() < s.find("\"a\"").unwrap());
+    }
+
+    #[test]
+    fn escaping() {
+        let v = Value::Str("a\"b\\c\nd\u{1}".to_string());
+        assert_eq!(to_string(&v), "\"a\\\"b\\\\c\\nd\\u0001\"\n");
+    }
+
+    #[test]
+    fn nested_round_shape() {
+        let v = Obj::new()
+            .field("xs", vec![Value::from(1usize), Value::from(2usize)])
+            .field("nested", Obj::new().field("ok", true).build())
+            .field("nan", f64::NAN)
+            .build();
+        let s = to_string(&v);
+        assert!(s.contains("\"nan\": null"));
+        assert!(s.contains("\"ok\": true"));
+        assert!(s.ends_with("}\n"));
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(to_string(&Value::Array(vec![])), "[]\n");
+        assert_eq!(to_string(&Obj::new().build()), "{}\n");
+    }
+}

@@ -8,6 +8,9 @@
 //! crossovers) is what each harness checks and displays.
 
 use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub mod json;
 
 /// Benchmark scale, controlled by the `DECO_BENCH_SCALE` environment
 /// variable: `quick` (default) finishes in a couple of minutes; `full`
@@ -76,15 +79,51 @@ pub fn ratio(a: usize, b: usize) -> String {
 /// Prints the standard bench banner.
 pub fn banner(id: &str, what: &str) {
     println!("\n=== {id}: {what} ===");
-    println!(
-        "(scale: {:?}; set DECO_BENCH_SCALE=full for the EXPERIMENTS.md sweeps)\n",
-        scale()
-    );
+    println!("(scale: {:?}; set DECO_BENCH_SCALE=full for the EXPERIMENTS.md sweeps)\n", scale());
+}
+
+/// One wall-clock measurement: median over `samples` timed executions,
+/// after one untimed warm-up execution.
+///
+/// The build environment is offline, so this replaces criterion: no
+/// statistics beyond the median, but the numbers are stable enough for the
+/// ≥2× speedup checks the perf PRs make (each sample runs the full
+/// deterministic simulation, so variance comes only from the machine).
+pub fn time_median<R>(samples: usize, mut f: impl FnMut() -> R) -> (R, Duration) {
+    assert!(samples >= 1, "need at least one sample");
+    let mut result = f(); // warm-up: page in buffers, warm caches
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        result = f();
+        times.push(t0.elapsed());
+    }
+    times.sort_unstable();
+    (result, times[times.len() / 2])
+}
+
+/// Formats a duration as fractional milliseconds.
+pub fn millis(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn time_median_runs_and_orders() {
+        let mut calls = 0usize;
+        let (r, _d) = time_median(3, || {
+            calls += 1;
+            calls
+        });
+        assert_eq!(calls, 4); // warm-up + 3 samples
+        assert_eq!(r, 4);
+        // The median of timed real work is bounded by a sleep we control.
+        let (_, slept) = time_median(1, || std::thread::sleep(Duration::from_millis(2)));
+        assert!(slept >= Duration::from_millis(2));
+    }
 
     #[test]
     fn ratio_formats() {

@@ -80,11 +80,7 @@ impl Protocol for Peel {
 /// layers (1-based) and stats. The number of distinct layers is `O(log n)`
 /// whenever `threshold >= (2+ε)·arboricity`.
 pub fn h_partition(net: &Network<'_>, threshold: u64) -> (Vec<u64>, RunStats) {
-    let run = net.run(|_| Peel {
-        threshold: threshold as usize,
-        active_neighbors: 0,
-        layer: 0,
-    });
+    let run = net.run(|_| Peel { threshold: threshold as usize, active_neighbors: 0, layer: 0 });
     (run.outputs, run.stats)
 }
 
@@ -153,12 +149,8 @@ mod tests {
     #[test]
     fn rounds_grow_with_n_at_fixed_delta() {
         // The Table 1 contrast: fixed Δ, growing n => more peel layers.
-        let small = forest_decomposition_coloring(&generators::random_bounded_degree(
-            64, 6, 11,
-        ));
-        let large = forest_decomposition_coloring(&generators::random_bounded_degree(
-            4096, 6, 11,
-        ));
+        let small = forest_decomposition_coloring(&generators::random_bounded_degree(64, 6, 11));
+        let large = forest_decomposition_coloring(&generators::random_bounded_degree(4096, 6, 11));
         assert!(
             large.stats.rounds > small.stats.rounds,
             "expected log n growth: {} vs {}",

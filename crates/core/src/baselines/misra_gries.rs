@@ -71,10 +71,8 @@ impl State<'_> {
         let mut prev_edge: Option<EdgeIdx> = None;
         let mut want = d;
         loop {
-            let next = self
-                .g
-                .incident(at)
-                .find(|&(_, e)| Some(e) != prev_edge && self.color[e] == want);
+            let next =
+                self.g.incident(at).find(|&(_, e)| Some(e) != prev_edge && self.color[e] == want);
             match next {
                 Some((w, e)) => {
                     path.push(e);

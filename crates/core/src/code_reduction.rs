@@ -54,8 +54,7 @@ impl CodeReduction {
         let mut best_collisions = usize::MAX;
         for x in 0..q {
             let my_val = poly_eval(&mine, x, q);
-            let collisions =
-                nbr_polys.iter().filter(|p| poly_eval(p, x, q) == my_val).count();
+            let collisions = nbr_polys.iter().filter(|p| poly_eval(p, x, q) == my_val).count();
             if collisions < best_collisions {
                 best_collisions = collisions;
                 best_x = x;
@@ -84,7 +83,7 @@ impl Protocol for CodeReduction {
         ctx.broadcast(self.msg())
     }
 
-    fn round(&mut self, ctx: &NodeCtx<'_>, inbox: &[(Vertex, FieldMsg)]) -> Action<FieldMsg> {
+    fn round(&mut self, _ctx: &NodeCtx<'_>, inbox: &[(Vertex, FieldMsg)]) -> Action<FieldMsg> {
         if self.applied >= self.steps.len() {
             return Action::halt();
         }
@@ -97,7 +96,7 @@ impl Protocol for CodeReduction {
         if self.applied == self.steps.len() {
             Action::halt()
         } else {
-            Action::Continue(ctx.broadcast(self.msg()))
+            Action::Broadcast(self.msg())
         }
     }
 
@@ -197,7 +196,7 @@ impl Protocol for OrientedCodeReduction {
         if self.applied == self.steps.len() {
             Action::halt()
         } else {
-            Action::Continue(ctx.broadcast(self.msg()))
+            Action::Broadcast(self.msg())
         }
     }
 
@@ -247,6 +246,7 @@ pub fn run_oriented_code_reduction(
 /// # Panics
 ///
 /// Panics if `d < d_current` or the input sizes disagree.
+#[allow(clippy::too_many_arguments)] // the paper's parameter tuple, verbatim
 pub fn refine_defective(
     net: &Network<'_>,
     groups: &[u64],
@@ -361,13 +361,27 @@ mod tests {
         let groups = vec![0u64; g.n()];
         let (rho, rho_palette, _) = linial_coloring(&net);
         let (c1, p1, s1) = crate::code_reduction::refine_defective(
-            &net, &groups, 1, &rho, rho_palette, delta, 0, delta / 4,
+            &net,
+            &groups,
+            1,
+            &rho,
+            rho_palette,
+            delta,
+            0,
+            delta / 4,
         );
         let vc1 = VertexColoring::new(c1.clone());
         assert!(vc1.defect(&g) as u64 <= delta / 4);
         assert!(p1 <= rho_palette);
         let (c2, p2, s2) = crate::code_reduction::refine_defective(
-            &net, &groups, 1, &c1, p1, delta, delta / 4, delta / 2,
+            &net,
+            &groups,
+            1,
+            &c1,
+            p1,
+            delta,
+            delta / 4,
+            delta / 2,
         );
         let vc2 = VertexColoring::new(c2);
         assert!(vc2.defect(&g) as u64 <= delta / 2);

@@ -228,8 +228,7 @@ fn slot_inits(
     g: &Graph,
     forest_of_edge: &[(u64, Vertex)],
 ) -> Vec<(Vec<SlotInit>, BTreeMap<Vertex, u64>)> {
-    let mut slots: Vec<BTreeMap<u64, (Option<Vertex>, Vec<Vertex>)>> =
-        vec![BTreeMap::new(); g.n()];
+    let mut slots: Vec<BTreeMap<u64, (Option<Vertex>, Vec<Vertex>)>> = vec![BTreeMap::new(); g.n()];
     let mut parent_fid: Vec<BTreeMap<Vertex, u64>> = vec![BTreeMap::new(); g.n()];
     for (e, &(fid, parent)) in forest_of_edge.iter().enumerate() {
         let (u, v) = g.endpoints(e);
@@ -266,11 +265,7 @@ mod tests {
     use deco_graph::generators;
 
     /// Checks colors are in {0,1,2} and proper within each forest.
-    fn assert_valid(
-        g: &Graph,
-        forest_of_edge: &[(u64, Vertex)],
-        colors: &[Vec<(u64, u64)>],
-    ) {
+    fn assert_valid(g: &Graph, forest_of_edge: &[(u64, Vertex)], colors: &[Vec<(u64, u64)>]) {
         let lookup = |v: Vertex, fid: u64| -> u64 {
             colors[v]
                 .iter()

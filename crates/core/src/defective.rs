@@ -15,9 +15,9 @@
 //! `p`-coloring. The protocol is group-aware so that Procedure Legal-Color
 //! can run it on all classes of a partition simultaneously.
 
+use crate::code_reduction::run_code_reduction;
 use crate::math::{kuhn_schedule, linial_schedule, CodeStep};
 use crate::msg::FieldMsg;
-use crate::code_reduction::run_code_reduction;
 use deco_graph::Vertex;
 use deco_local::{Action, Network, NodeCtx, Protocol, RunStats};
 
@@ -61,7 +61,9 @@ enum Phase {
     /// Waiting to learn neighbors' φ-colors (sent at start).
     LearnPhi,
     /// Waiting for the listed same-group smaller-φ neighbors to announce ψ.
-    Select { awaiting: Vec<Vertex> },
+    Select {
+        awaiting: Vec<Vertex>,
+    },
     Done,
 }
 
@@ -83,12 +85,8 @@ struct PsiSelect {
 impl PsiSelect {
     fn pick_and_announce(&mut self, ctx: &NodeCtx<'_>) -> Action<FieldMsg> {
         // Line 6-7: ψ(v) := color k minimizing N_v(k); ties to the smallest.
-        let (best_k, _) = self
-            .counts
-            .iter()
-            .enumerate()
-            .min_by_key(|&(k, &c)| (c, k))
-            .expect("p >= 1 colors");
+        let (best_k, _) =
+            self.counts.iter().enumerate().min_by_key(|&(k, &c)| (c, k)).expect("p >= 1 colors");
         self.psi = best_k as u64;
         self.phase = Phase::Done;
         let msg = FieldMsg::new(&[
@@ -173,6 +171,7 @@ impl Protocol for PsiSelect {
 /// # Panics
 ///
 /// Panics if the parameter constraints are violated.
+#[allow(clippy::too_many_arguments)] // the paper's parameter tuple, verbatim
 pub fn defective_color_in_groups(
     net: &Network<'_>,
     groups: &[u64],
@@ -200,12 +199,7 @@ pub fn defective_color_in_groups(
         phase: Phase::LearnPhi,
         psi: 0,
     });
-    DefectiveRun {
-        psi: run.outputs,
-        phi_palette,
-        phi_defect,
-        stats: stats1 + run.stats,
-    }
+    DefectiveRun { psi: run.outputs, phi_palette, phi_defect, stats: stats1 + run.stats }
 }
 
 /// Convenience: Defective-Color on a whole graph (single group), computing
@@ -215,8 +209,7 @@ pub fn defective_color_in_groups(
 pub fn defective_color(net: &Network<'_>, b: u64, p: u64, lambda: u64) -> DefectiveRun {
     let groups = vec![0u64; net.graph().n()];
     let (aux, aux_palette, lin_stats) = crate::code_reduction::linial_coloring(net);
-    let mut run =
-        defective_color_in_groups(net, &groups, 1, &aux, aux_palette, b, p, lambda);
+    let mut run = defective_color_in_groups(net, &groups, 1, &aux, aux_palette, b, p, lambda);
     run.stats = lin_stats + run.stats;
     run
 }
@@ -225,16 +218,11 @@ pub fn defective_color(net: &Network<'_>, b: u64, p: u64, lambda: u64) -> Defect
 mod tests {
     use super::*;
     use deco_graph::coloring::VertexColoring;
+    use deco_graph::generators;
     use deco_graph::line_graph::line_graph;
     use deco_graph::properties::neighborhood_independence;
-    use deco_graph::generators;
 
-    fn check_defective(
-        g: &deco_graph::Graph,
-        c: u64,
-        b: u64,
-        p: u64,
-    ) -> (u64, u64, RunStats) {
+    fn check_defective(g: &deco_graph::Graph, c: u64, b: u64, p: u64) -> (u64, u64, RunStats) {
         let lambda = g.max_degree() as u64;
         let net = Network::new(g);
         let run = defective_color(&net, b, p, lambda);
@@ -306,8 +294,7 @@ mod tests {
         let (aux, aux_palette, _) = crate::code_reduction::linial_coloring(&net);
         // Split into 3 groups of 4 (within-group degree 3).
         let groups: Vec<u64> = (0..12).map(|v| (v % 3) as u64).collect();
-        let run =
-            defective_color_in_groups(&net, &groups, 3, &aux, aux_palette, 1, 3, 3);
+        let run = defective_color_in_groups(&net, &groups, 3, &aux, aux_palette, 1, 3, 3);
         assert!(run.psi.iter().all(|&k| k < 3));
         // Defect within groups bounded by Theorem 3.7 with c = 1 (cliques).
         let bound = theorem_3_7_defect(1, 1, 3, 3);

@@ -225,8 +225,7 @@ pub fn edge_defective_color_in_groups_profiled(
 ) -> (EdgeDefectiveRun, Vec<deco_local::RoundLoad>) {
     let g = net.graph();
     assert!(b >= 1 && p >= 1, "need b, p >= 1");
-    let (phi, phi_palette, stats1) =
-        kuhn_defective_edge_coloring(net, edge_groups, b * p, w_cap);
+    let (phi, phi_palette, stats1) = kuhn_defective_edge_coloring(net, edge_groups, b * p, w_cap);
     let phi = Rc::new(phi);
     let groups = Rc::new(edge_groups.to_vec());
     let chunks = match mode {

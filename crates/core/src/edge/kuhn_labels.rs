@@ -32,10 +32,7 @@ impl Protocol for LabelExchange {
     type Output = Vec<(EdgeIdx, u64)>;
 
     fn start(&mut self, _ctx: &NodeCtx<'_>) -> Vec<(Vertex, FieldMsg)> {
-        self.labels
-            .iter()
-            .map(|&(nbr, _, l)| (nbr, FieldMsg::new(&[(l, self.p_labels)])))
-            .collect()
+        self.labels.iter().map(|&(nbr, _, l)| (nbr, FieldMsg::new(&[(l, self.p_labels)]))).collect()
     }
 
     fn round(&mut self, ctx: &NodeCtx<'_>, inbox: &[(Vertex, FieldMsg)]) -> Action<FieldMsg> {
@@ -47,11 +44,8 @@ impl Protocol for LabelExchange {
                 .expect("label from a non-incident sender");
             let theirs = m.field(0);
             // Ordered pair: the smaller-identifier endpoint's label first.
-            let (first, second) = if ctx.ident < ctx.ident_of(*sender) {
-                (mine, theirs)
-            } else {
-                (theirs, mine)
-            };
+            let (first, second) =
+                if ctx.ident < ctx.ident_of(*sender) { (mine, theirs) } else { (theirs, mine) };
             self.phi.push((e, first * self.p_labels + second));
         }
         Action::halt()
@@ -73,10 +67,8 @@ fn make_labels(
 ) -> Vec<(Vertex, EdgeIdx, u64)> {
     let per_label = w_cap.div_ceil(p_labels).max(1);
     // Group incident edges by edge-group, sort by neighbor ident.
-    let mut incident: Vec<(u64, u64, Vertex, EdgeIdx)> = g
-        .incident(v)
-        .map(|(u, e)| (edge_groups[e], g.ident(u), u, e))
-        .collect();
+    let mut incident: Vec<(u64, u64, Vertex, EdgeIdx)> =
+        g.incident(v).map(|(u, e)| (edge_groups[e], g.ident(u), u, e)).collect();
     incident.sort_unstable();
     let mut labels = Vec::with_capacity(incident.len());
     let mut idx_in_group = 0u64;
@@ -87,10 +79,7 @@ fn make_labels(
             idx_in_group = 0;
         }
         let label = idx_in_group / per_label;
-        assert!(
-            label < p_labels,
-            "vertex {v} has more than W = {w_cap} same-group incident edges"
-        );
+        assert!(label < p_labels, "vertex {v} has more than W = {w_cap} same-group incident edges");
         labels.push((u, e, label));
         idx_in_group += 1;
     }
@@ -186,8 +175,7 @@ mod tests {
         let g = generators::petersen();
         let net = Network::new(&g);
         let groups = vec![0u64; g.m()];
-        let (phi, _, _) =
-            kuhn_defective_edge_coloring(&net, &groups, 3, g.max_degree() as u64);
+        let (phi, _, _) = kuhn_defective_edge_coloring(&net, &groups, 3, g.max_degree() as u64);
         let c = EdgeColoring::new(phi);
         assert!(c.defect(&g) <= 4);
     }

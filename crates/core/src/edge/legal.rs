@@ -106,10 +106,7 @@ pub fn validate_edge_params(params: &LegalParams) -> Result<(), ParamError> {
     }
     let min_lambda = (12 * params.b * params.p).div_ceil(params.b * params.p - num);
     if params.lambda < min_lambda {
-        return Err(ParamError::ThresholdTooSmall {
-            lambda: params.lambda,
-            min: min_lambda,
-        });
+        return Err(ParamError::ThresholdTooSmall { lambda: params.lambda, min: min_lambda });
     }
     Ok(())
 }
@@ -145,8 +142,8 @@ pub fn edge_color_in_groups(
         }
         let run: EdgeDefectiveRun =
             edge_defective_color_in_groups(net, &groups, params.b, params.p, w, mode);
-        for e in 0..g.m() {
-            groups[e] = groups[e] * params.p + run.psi[e];
+        for (group, &psi) in groups.iter_mut().zip(&run.psi) {
+            *group = *group * params.p + psi;
         }
         group_domain *= params.p;
         stats += run.stats;

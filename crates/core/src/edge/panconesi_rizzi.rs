@@ -57,18 +57,11 @@ struct PrAssign {
 
 impl PrAssign {
     fn edge_by_nbr(&mut self, nbr: Vertex) -> &mut AEdge {
-        self.aedges
-            .iter_mut()
-            .find(|e| e.nbr == nbr)
-            .expect("message from non-incident sender")
+        self.aedges.iter_mut().find(|e| e.nbr == nbr).expect("message from non-incident sender")
     }
 
     fn branch_used(&self, branch: u64) -> Vec<u64> {
-        self.aedges
-            .iter()
-            .filter(|e| e.branch == branch)
-            .filter_map(|e| e.color)
-            .collect()
+        self.aedges.iter().filter(|e| e.branch == branch).filter_map(|e| e.color).collect()
     }
 
     fn process_inbox(&mut self, inbox: &[(Vertex, FieldMsg)]) -> Vec<(Vertex, FieldMsg)> {
@@ -113,8 +106,7 @@ impl PrAssign {
             assigned_now.get_mut(&branch).expect("entry created").push(color);
             let e = self.edge_by_nbr(sender);
             e.color = Some(color);
-            replies
-                .push((sender, FieldMsg::new(&[(TAG_ASSIGN, 3), (color, self.palette)])));
+            replies.push((sender, FieldMsg::new(&[(TAG_ASSIGN, 3), (color, self.palette)])));
         }
         replies
     }
@@ -157,10 +149,7 @@ impl Protocol for PrAssign {
                     let mut fields = vec![TAG_REQUEST];
                     fields.extend(&used);
                     // Wire format: a used-color bitmap of `palette` bits.
-                    out.push((
-                        e.nbr,
-                        FieldMsg::with_bits(fields, 2 + self.palette as usize),
-                    ));
+                    out.push((e.nbr, FieldMsg::with_bits(fields, 2 + self.palette as usize)));
                 }
             }
         }
@@ -171,22 +160,19 @@ impl Protocol for PrAssign {
     }
 
     fn finish(self, _ctx: &NodeCtx<'_>) -> Vec<(EdgeIdx, u64)> {
-        self.aedges
-            .into_iter()
-            .map(|e| (e.eid, e.color.expect("all edges colored")))
-            .collect()
+        self.aedges.into_iter().map(|e| (e.eid, e.color.expect("all edges colored"))).collect()
     }
 }
+
+/// Per-edge `(fid = branch·w_cap + f, parent)` spec plus `(branch, f)`
+/// parts, as produced by [`forest_spec`].
+type ForestSpec = (Vec<(u64, Vertex)>, Vec<(u64, u64)>);
 
 /// The pseudo-forest decomposition: edge `e` joins forest
 /// `(branch, f)` where `f` is `e`'s rank among the child endpoint's
 /// same-branch edges toward smaller identifiers. Returns
 /// `(fid = branch·w_cap + f, parent)` per edge, plus `(branch, f)` parts.
-fn forest_spec(
-    g: &Graph,
-    edge_groups: &[u64],
-    w_cap: u64,
-) -> (Vec<(u64, Vertex)>, Vec<(u64, u64)>) {
+fn forest_spec(g: &Graph, edge_groups: &[u64], w_cap: u64) -> ForestSpec {
     let mut spec = vec![(0u64, 0usize); g.m()];
     let mut parts = vec![(0u64, 0u64); g.m()];
     for v in 0..g.n() {
@@ -327,7 +313,7 @@ mod tests {
             assert!(coloring.is_proper(&g), "PR output must be proper");
             let delta = g.max_degree() as u64;
             assert!(
-                coloring.palette_size() as u64 <= 2 * delta - 1,
+                (coloring.palette_size() as u64) < 2 * delta,
                 "palette {} > 2Δ-1 = {}",
                 coloring.palette_size(),
                 2 * delta - 1
@@ -355,8 +341,8 @@ mod tests {
         let groups: Vec<u64> = (0..g.m()).map(|e| (e % 2) as u64).collect();
         let w = g.max_degree() as u64;
         let (colors, _) = pr_edge_color_in_groups(&net, &groups, w);
-        for e in 0..g.m() {
-            assert!(colors[e] < 2 * w - 1);
+        for &c in &colors {
+            assert!(c < 2 * w - 1);
         }
         // Properness within each class.
         for v in 0..g.n() {

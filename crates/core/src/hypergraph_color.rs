@@ -45,10 +45,7 @@ pub struct HypergraphRun {
 /// assert!(run.inner.coloring.is_proper(&l));
 /// # Ok::<(), deco_core::params::ParamError>(())
 /// ```
-pub fn color_hyperedges(
-    h: &Hypergraph,
-    params: LegalParams,
-) -> Result<HypergraphRun, ParamError> {
+pub fn color_hyperedges(h: &Hypergraph, params: LegalParams) -> Result<HypergraphRun, ParamError> {
     let rank = h.rank().max(1) as u64;
     let l = h.line_graph();
     let conflict_degree = l.max_degree() as u64;
@@ -82,16 +79,13 @@ mod tests {
             generators::petersen().edges().map(|(u, v)| vec![u, v]).collect();
         let h = Hypergraph::new(10, edges).unwrap();
         let run = color_hyperedges(&h, LegalParams::log_depth(2, 1)).unwrap();
-        let ec = deco_graph::coloring::EdgeColoring::new(
-            run.inner.coloring.colors().to_vec(),
-        );
+        let ec = deco_graph::coloring::EdgeColoring::new(run.inner.coloring.colors().to_vec());
         assert!(ec.is_proper(&generators::petersen()));
     }
 
     #[test]
     fn disjoint_hyperedges_may_share_colors() {
-        let h = Hypergraph::new(9, vec![vec![0, 1, 2], vec![3, 4, 5], vec![6, 7, 8]])
-            .unwrap();
+        let h = Hypergraph::new(9, vec![vec![0, 1, 2], vec![3, 4, 5], vec![6, 7, 8]]).unwrap();
         let run = color_hyperedges(&h, LegalParams::log_depth(3, 1)).unwrap();
         // Conflict graph is edgeless: a single color suffices and Λ = 0.
         assert_eq!(run.inner.coloring.palette_size(), 1);

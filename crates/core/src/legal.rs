@@ -163,8 +163,8 @@ pub fn legal_color_in_groups_with_policy(
             params.p,
             lambda,
         );
-        for v in 0..g.n() {
-            groups[v] = groups[v] * params.p + run.psi[v];
+        for (group, &psi) in groups.iter_mut().zip(&run.psi) {
+            *group = *group * params.p + psi;
         }
         group_domain *= params.p;
         stats += run.stats;
@@ -184,8 +184,7 @@ pub fn legal_color_in_groups_with_policy(
     // the Kuhn–Wattenhofer reduction.
     let bottom_lambda = lambda;
     let lin_steps = linial_schedule(aux_palette, bottom_lambda);
-    let bottom_palette =
-        lin_steps.last().map(|s| s.to_palette).unwrap_or(aux_palette);
+    let bottom_palette = lin_steps.last().map(|s| s.to_palette).unwrap_or(aux_palette);
     let (bottom_lin, s1) = crate::code_reduction::run_code_reduction(
         net,
         &groups,
@@ -205,8 +204,7 @@ pub fn legal_color_in_groups_with_policy(
     stats += s2;
 
     let theta_bottom = bottom_lambda + 1;
-    let colors: Vec<u64> =
-        (0..g.n()).map(|v| groups[v] * theta_bottom + bottom[v]).collect();
+    let colors: Vec<u64> = (0..g.n()).map(|v| groups[v] * theta_bottom + bottom[v]).collect();
     Ok(LegalRun {
         coloring: VertexColoring::new(colors),
         theta: group_domain * theta_bottom,
@@ -240,11 +238,7 @@ pub fn legal_color_in_groups_with_policy(
 /// assert!(run.theta >= run.coloring.color_bound());
 /// # Ok::<(), deco_core::params::ParamError>(())
 /// ```
-pub fn legal_color(
-    net: &Network<'_>,
-    c: u64,
-    params: LegalParams,
-) -> Result<LegalRun, ParamError> {
+pub fn legal_color(net: &Network<'_>, c: u64, params: LegalParams) -> Result<LegalRun, ParamError> {
     let g = net.graph();
     let groups = vec![0u64; g.n()];
     legal_color_in_groups(net, &groups, 1, c, params, g.max_degree() as u64, None)
@@ -323,10 +317,7 @@ mod tests {
         let run = check(&g, 2, params);
         assert!(!run.levels.is_empty(), "Δ=40 > λ=18 must recurse");
         // Lemma 4.4 shape: ϑ ≤ (Λ̂+1)·p^r.
-        assert_eq!(
-            run.theta,
-            (run.bottom_lambda + 1) * params.p.pow(run.levels.len() as u32)
-        );
+        assert_eq!(run.theta, (run.bottom_lambda + 1) * params.p.pow(run.levels.len() as u32));
     }
 
     #[test]

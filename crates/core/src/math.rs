@@ -225,10 +225,7 @@ pub fn kuhn_schedule(m0: u64, delta: u64, target_defect: u64) -> Vec<CodeStep> {
 
 /// Upper bound on the palette after running [`kuhn_schedule`].
 pub fn kuhn_final_palette(m0: u64, delta: u64, target_defect: u64) -> u64 {
-    kuhn_schedule(m0, delta, target_defect)
-        .last()
-        .map(|s| s.to_palette)
-        .unwrap_or(m0.max(1))
+    kuhn_schedule(m0, delta, target_defect).last().map(|s| s.to_palette).unwrap_or(m0.max(1))
 }
 
 #[cfg(test)]
@@ -284,12 +281,8 @@ mod tests {
         let coeffs = [3u64, 0, 2, 5];
         let q: u64 = 11;
         for x in 0..q {
-            let naive: u64 = coeffs
-                .iter()
-                .enumerate()
-                .map(|(i, &c)| c * x.pow(i as u32) % q)
-                .sum::<u64>()
-                % q;
+            let naive: u64 =
+                coeffs.iter().enumerate().map(|(i, &c)| c * x.pow(i as u32) % q).sum::<u64>() % q;
             assert_eq!(poly_eval(&coeffs, x, q), naive);
         }
     }
@@ -301,8 +294,7 @@ mod tests {
         let k: usize = 2;
         let a = digits_base(57, q, k + 1);
         let b = digits_base(99, q, k + 1);
-        let agreements =
-            (0..q).filter(|&x| poly_eval(&a, x, q) == poly_eval(&b, x, q)).count();
+        let agreements = (0..q).filter(|&x| poly_eval(&a, x, q) == poly_eval(&b, x, q)).count();
         assert!(agreements <= k);
     }
 
@@ -353,10 +345,7 @@ mod tests {
                     let final_p = kuhn_final_palette(m0, delta, d);
                     // O(p²) with a generous constant for prime slack and
                     // small-k rounding.
-                    assert!(
-                        final_p <= 700 * p * p + 200,
-                        "Δ={delta} p={p}: palette {final_p}"
-                    );
+                    assert!(final_p <= 700 * p * p + 200, "Δ={delta} p={p}: palette {final_p}");
                 }
             }
         }

@@ -23,10 +23,7 @@ impl FieldMsg {
         let mut bits = 0;
         let mut values = Vec::with_capacity(fields.len());
         for &(value, domain) in fields {
-            debug_assert!(
-                value < domain.max(1),
-                "field value {value} outside domain {domain}"
-            );
+            debug_assert!(value < domain.max(1), "field value {value} outside domain {domain}");
             bits += bits_for_range(domain);
             values.push(value);
         }

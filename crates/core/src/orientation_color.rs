@@ -56,9 +56,7 @@ impl Protocol for OrientationColor {
             let mine = (self.rank, ctx.ident);
             self.awaiting = inbox
                 .iter()
-                .filter(|(sender, m)| {
-                    m.field(0) == 0 && (m.field(1), ctx.ident_of(*sender)) < mine
-                })
+                .filter(|(sender, m)| m.field(0) == 0 && (m.field(1), ctx.ident_of(*sender)) < mine)
                 .map(|&(sender, _)| sender)
                 .collect();
             return self.try_pick(ctx);

@@ -211,9 +211,8 @@ mod tests {
     fn next_lambda_matches_real_arithmetic() {
         // ⌊(Λ/(bp) + Λ/p)·c⌋ + c with real division.
         let (c, b, p, lam) = (2u64, 2u64, 9u64, 100u64);
-        let real = ((lam as f64 / (b * p) as f64 + lam as f64 / p as f64) * c as f64).floor()
-            as u64
-            + c;
+        let real =
+            ((lam as f64 / (b * p) as f64 + lam as f64 / p as f64) * c as f64).floor() as u64 + c;
         assert_eq!(next_lambda(c, b, p, lam), real);
     }
 

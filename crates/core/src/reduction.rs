@@ -250,16 +250,11 @@ mod tests {
             );
             // O(Δ log Δ + log* n) rounds with explicit constants.
             let delta = g.max_degree() as u64;
-            let bound = reduction_rounds(
-                crate::math::linial_final_palette(g.n() as u64, delta),
-                delta,
-            ) + crate::math::log_star(g.n() as u64) as u64
-                + 8;
-            assert!(
-                (stats.rounds as u64) <= bound,
-                "rounds {} > bound {bound}",
-                stats.rounds
-            );
+            let bound =
+                reduction_rounds(crate::math::linial_final_palette(g.n() as u64, delta), delta)
+                    + crate::math::log_star(g.n() as u64) as u64
+                    + 8;
+            assert!((stats.rounds as u64) <= bound, "rounds {} > bound {bound}", stats.rounds);
         }
     }
 
@@ -298,9 +293,6 @@ mod tests {
     fn reduction_rounds_formula() {
         assert_eq!(reduction_rounds(5, 4), 0);
         let phases = reduction_schedule(200, 4);
-        assert_eq!(
-            reduction_rounds(200, 4),
-            1 + phases.iter().map(|p| p.rounds).sum::<u64>()
-        );
+        assert_eq!(reduction_rounds(200, 4), 1 + phases.iter().map(|p| p.rounds).sum::<u64>());
     }
 }

@@ -101,8 +101,7 @@ pub fn tradeoff_edge_color(
     let delta = (g.max_degree() as u64).max(1);
     let p = p.clamp(1, delta);
     let groups_all = vec![0u64; g.m()];
-    let (split, classes, split_stats) =
-        kuhn_defective_edge_coloring(&net, &groups_all, p, delta);
+    let (split, classes, split_stats) = kuhn_defective_edge_coloring(&net, &groups_all, p, delta);
     // Per-class per-vertex edge bound from the labeling: each endpoint
     // uses a label at most ⌈Δ/p⌉ times, and a class fixes one label per
     // endpoint — but never more than Δ edges meet a vertex at all.

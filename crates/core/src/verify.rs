@@ -77,19 +77,12 @@ impl Protocol for VerifyEdges {
         self.ok = seen.windows(2).all(|w| w[0] != w[1]);
         // Exchange edge colors so both endpoints agree on each edge's color
         // (catches inconsistent replicas).
-        self.edges
-            .iter()
-            .map(|&(nbr, _, c)| (nbr, FieldMsg::new(&[(c, self.palette)])))
-            .collect()
+        self.edges.iter().map(|&(nbr, _, c)| (nbr, FieldMsg::new(&[(c, self.palette)]))).collect()
     }
 
     fn round(&mut self, _ctx: &NodeCtx<'_>, inbox: &[(Vertex, FieldMsg)]) -> Action<FieldMsg> {
         for (sender, m) in inbox {
-            let mine = self
-                .edges
-                .iter()
-                .find(|&&(nbr, _, _)| nbr == *sender)
-                .map(|&(_, _, c)| c);
+            let mine = self.edges.iter().find(|&&(nbr, _, _)| nbr == *sender).map(|&(_, _, c)| c);
             if mine != Some(m.field(0)) {
                 self.ok = false;
             }
@@ -115,10 +108,7 @@ pub fn verify_edge_coloring(
     assert_eq!(colors.len(), g.m(), "one color per edge");
     let colors = Rc::new(colors.to_vec());
     let run: Run<bool> = net.run(|ctx| VerifyEdges {
-        edges: g
-            .incident(ctx.vertex)
-            .map(|(nbr, e)| (nbr, e, colors[e]))
-            .collect(),
+        edges: g.incident(ctx.vertex).map(|(nbr, e)| (nbr, e, colors[e])).collect(),
         palette: palette.max(1),
         ok: true,
     });
@@ -137,8 +127,7 @@ mod tests {
         let g = generators::random_bounded_degree(80, 7, 91);
         let net = Network::new(&g);
         let (colors, _) = delta_plus_one_coloring(&net);
-        let (ok, stats) =
-            verify_vertex_coloring(&net, &colors, g.max_degree() as u64 + 1);
+        let (ok, stats) = verify_vertex_coloring(&net, &colors, g.max_degree() as u64 + 1);
         assert!(ok.iter().all(|&b| b));
         assert_eq!(stats.rounds, 1);
     }

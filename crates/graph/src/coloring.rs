@@ -203,9 +203,7 @@ impl EdgeColoring {
     pub fn defect_of(&self, g: &Graph, e: EdgeIdx) -> usize {
         let (u, v) = g.endpoints(e);
         let c = self.colors[e];
-        let at = |w: Vertex| {
-            g.incident(w).filter(|&(_, f)| f != e && self.colors[f] == c).count()
-        };
+        let at = |w: Vertex| g.incident(w).filter(|&(_, f)| f != e && self.colors[f] == c).count();
         at(u) + at(v)
     }
 
@@ -250,10 +248,7 @@ mod tests {
     #[test]
     fn classes_are_sorted() {
         let c = VertexColoring::new(vec![2, 0, 2, 1]);
-        assert_eq!(
-            c.classes(),
-            vec![(0, vec![1]), (1, vec![3]), (2, vec![0, 2])]
-        );
+        assert_eq!(c.classes(), vec![(0, vec![1]), (1, vec![3]), (2, vec![0, 2])]);
     }
 
     #[test]

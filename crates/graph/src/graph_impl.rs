@@ -34,6 +34,10 @@ pub struct Graph {
     adj: Vec<(u32, u32)>,
     /// Normalized edge list `(u, v)` with `u < v`, lexicographically sorted.
     edges: Vec<(u32, u32)>,
+    /// For each directed-edge slot `s` (an index into `adj`), the slot of the
+    /// reverse directed edge: if slot `s` belongs to `u` and points at `v`,
+    /// `mirror[s]` is the slot in `v`'s adjacency that points back at `u`.
+    mirror: Vec<u32>,
     /// Distinct identifier per vertex.
     idents: Vec<u64>,
     max_degree: usize,
@@ -172,10 +176,7 @@ impl Graph {
             return None;
         }
         let slice = &self.adj[self.offsets[u]..self.offsets[u + 1]];
-        slice
-            .binary_search_by_key(&(v as u32), |&(w, _)| w)
-            .ok()
-            .map(|i| slice[i].1 as EdgeIdx)
+        slice.binary_search_by_key(&(v as u32), |&(w, _)| w).ok().map(|i| slice[i].1 as EdgeIdx)
     }
 
     /// The subgraph induced by `keep`, together with the map from new vertex
@@ -231,6 +232,72 @@ impl Graph {
             }
         }
         count
+    }
+
+    /// Number of directed-edge *slots*: `2·m`, one per (vertex, incident
+    /// edge) pair. Slots index the flattened CSR adjacency; they are the
+    /// address space of the simulator's zero-allocation delivery arena.
+    ///
+    /// Slot layout: vertex `v` owns the contiguous slot range
+    /// [`Graph::slots_of`]`(v)`, sorted by neighbor; slot `s` in that range
+    /// represents the directed edge `v → `[`Graph::slot_neighbor`]`(s)`.
+    pub fn slot_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// CSR slot offsets, length `n + 1`: vertex `v` owns slots
+    /// `slot_offsets()[v]..slot_offsets()[v + 1]`.
+    pub fn slot_offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The contiguous slot range owned by vertex `v` (one slot per incident
+    /// edge, sorted by neighbor).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    pub fn slots_of(&self, v: Vertex) -> std::ops::Range<usize> {
+        self.offsets[v]..self.offsets[v + 1]
+    }
+
+    /// The neighbor a slot points at: for slot `s` owned by `v`, the head of
+    /// the directed edge `v → u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= slot_count()`.
+    pub fn slot_neighbor(&self, s: usize) -> Vertex {
+        self.adj[s].0 as Vertex
+    }
+
+    /// The undirected edge index a slot belongs to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= slot_count()`.
+    pub fn slot_edge(&self, s: usize) -> EdgeIdx {
+        self.adj[s].1 as EdgeIdx
+    }
+
+    /// The mirror of slot `s`: the slot of the reverse directed edge.
+    ///
+    /// If slot `s` is the directed edge `u → v`, then `mirror_slot(s)` is
+    /// the slot of `v → u`, and `mirror_slot(mirror_slot(s)) == s`. This is
+    /// the key primitive of slot-based message delivery: a message posted
+    /// by `u` along its slot `s` lands in the inbox slot `mirror_slot(s)`
+    /// owned by the receiver `v`, with no per-message search.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= slot_count()`.
+    pub fn mirror_slot(&self, s: usize) -> usize {
+        self.mirror[s] as usize
+    }
+
+    /// The full mirror table, aligned with slot indices.
+    pub fn mirror_slots(&self) -> &[u32] {
+        &self.mirror
     }
 
     /// Breadth-first distances from `source` (`usize::MAX` for unreachable).
@@ -338,10 +405,7 @@ impl GraphBuilder {
         edges.sort_unstable();
         for w in edges.windows(2) {
             if w[0] == w[1] {
-                return Err(GraphError::DuplicateEdge {
-                    u: w[0].0 as usize,
-                    v: w[0].1 as usize,
-                });
+                return Err(GraphError::DuplicateEdge { u: w[0].0 as usize, v: w[0].1 as usize });
             }
         }
         let mut degree = vec![0usize; n];
@@ -364,15 +428,23 @@ impl GraphBuilder {
         for v in 0..n {
             adj[offsets[v]..offsets[v + 1]].sort_unstable();
         }
+        // Mirror table: the two slots of edge `e` point at each other. One
+        // pass records the first slot seen per edge, the second visit links
+        // the pair — O(m), no searching.
+        assert!(adj.len() <= u32::MAX as usize, "graph too large for u32 slot indices");
+        let mut mirror = vec![0u32; adj.len()];
+        let mut first_slot = vec![u32::MAX; edges.len()];
+        for (s, &(_, e)) in adj.iter().enumerate() {
+            let other = &mut first_slot[e as usize];
+            if *other == u32::MAX {
+                *other = s as u32;
+            } else {
+                mirror[s] = *other;
+                mirror[*other as usize] = s as u32;
+            }
+        }
         let max_degree = degree.iter().copied().max().unwrap_or(0);
-        Ok(Graph {
-            n,
-            offsets,
-            adj,
-            edges,
-            idents: (1..=n as u64).collect(),
-            max_degree,
-        })
+        Ok(Graph { n, offsets, adj, edges, mirror, idents: (1..=n as u64).collect(), max_degree })
     }
 }
 
@@ -457,6 +529,32 @@ mod tests {
         let d = g.bfs_distances(0);
         assert_eq!(d[2], 2);
         assert_eq!(d[5], usize::MAX);
+    }
+
+    #[test]
+    fn mirror_slots_are_involutive_and_consistent() {
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
+        assert_eq!(g.slot_count(), 2 * g.m());
+        for v in 0..g.n() {
+            for s in g.slots_of(v) {
+                let u = g.slot_neighbor(s);
+                let back = g.mirror_slot(s);
+                // The mirror lives in u's range and points back at v.
+                assert!(g.slots_of(u).contains(&back), "slot {s}: mirror {back} not owned by {u}");
+                assert_eq!(g.slot_neighbor(back), v);
+                assert_eq!(g.mirror_slot(back), s, "mirror is an involution");
+                assert_eq!(g.slot_edge(back), g.slot_edge(s), "same undirected edge");
+            }
+        }
+    }
+
+    #[test]
+    fn slots_sorted_by_neighbor() {
+        let g = Graph::from_edges(6, &[(3, 1), (3, 5), (3, 0), (3, 2)]).unwrap();
+        let nbrs: Vec<usize> = g.slots_of(3).map(|s| g.slot_neighbor(s)).collect();
+        assert_eq!(nbrs, vec![0, 1, 2, 5]);
+        assert_eq!(g.slot_offsets().len(), g.n() + 1);
+        assert_eq!(g.slots_of(3).len(), g.degree(3));
     }
 
     #[test]

@@ -114,13 +114,10 @@ pub fn parse_edge_list(text: &str) -> Result<Graph, ParseGraphError> {
         let mut parts = line.split_whitespace();
         let tag = parts.next().expect("nonempty line has a first token");
         let mut next_num = |what: &str| -> Result<usize, ParseGraphError> {
-            parts
-                .next()
-                .and_then(|t| t.parse().ok())
-                .ok_or_else(|| ParseGraphError::BadLine {
-                    line: line_no,
-                    what: format!("expected {what}"),
-                })
+            parts.next().and_then(|t| t.parse().ok()).ok_or_else(|| ParseGraphError::BadLine {
+                line: line_no,
+                what: format!("expected {what}"),
+            })
         };
         match tag {
             "p" => {
@@ -156,10 +153,7 @@ pub fn parse_edge_list(text: &str) -> Result<Graph, ParseGraphError> {
     let mut idents: Vec<u64> = (1..=n as u64).collect();
     for (v, ident) in ident_overrides {
         if v >= n {
-            return Err(ParseGraphError::Graph(GraphError::VertexOutOfRange {
-                vertex: v,
-                n,
-            }));
+            return Err(ParseGraphError::Graph(GraphError::VertexOutOfRange { vertex: v, n }));
         }
         idents[v] = ident;
     }
@@ -173,11 +167,9 @@ mod tests {
 
     #[test]
     fn roundtrip_plain() {
-        for g in [
-            generators::petersen(),
-            generators::random_bounded_degree(40, 5, 3),
-            Graph::empty(4),
-        ] {
+        for g in
+            [generators::petersen(), generators::random_bounded_degree(40, 5, 3), Graph::empty(4)]
+        {
             let text = to_edge_list(&g);
             assert_eq!(parse_edge_list(&text).unwrap(), g);
         }
@@ -212,10 +204,7 @@ mod tests {
             parse_edge_list("p 2 1\ne 0 x\n"),
             Err(ParseGraphError::BadLine { line: 2, .. })
         ));
-        assert!(matches!(
-            parse_edge_list("p 2 1\nq 0 1\n"),
-            Err(ParseGraphError::BadLine { .. })
-        ));
+        assert!(matches!(parse_edge_list("p 2 1\nq 0 1\n"), Err(ParseGraphError::BadLine { .. })));
         assert!(matches!(
             parse_edge_list("p 2 1\ne 0 2\n"),
             Err(ParseGraphError::Graph(GraphError::VertexOutOfRange { .. }))

@@ -66,10 +66,7 @@ pub fn line_graph(g: &Graph) -> Graph {
 /// `deg_L(e) = deg(u) + deg(v) - 2` for `e = (u, v)`, so
 /// `Δ(L(G)) <= 2Δ(G) - 2` (Section 5).
 pub fn line_graph_max_degree(g: &Graph) -> usize {
-    g.edges()
-        .map(|(u, v): (Vertex, Vertex)| g.degree(u) + g.degree(v) - 2)
-        .max()
-        .unwrap_or(0)
+    g.edges().map(|(u, v): (Vertex, Vertex)| g.degree(u) + g.degree(v) - 2).max().unwrap_or(0)
 }
 
 #[cfg(test)]

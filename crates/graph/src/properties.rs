@@ -28,10 +28,7 @@ pub fn max_independent_subset(g: &Graph, set: &[Vertex]) -> usize {
     if k == 0 {
         return 0;
     }
-    assert!(
-        *verts.last().expect("nonempty") < g.n(),
-        "set contains out-of-range vertex"
-    );
+    assert!(*verts.last().expect("nonempty") < g.n(), "set contains out-of-range vertex");
     // Local adjacency among `verts` as bitsets (chunks of 64).
     let words = k.div_ceil(64);
     let mut adj = vec![vec![0u64; words]; k];
@@ -69,8 +66,8 @@ pub fn max_independent_subset(g: &Graph, set: &[Vertex]) -> usize {
         // Branch 1: take i if not banned.
         if banned[i / 64] & (1 << (i % 64)) == 0 {
             let saved = banned.clone();
-            for w in 0..banned.len() {
-                banned[w] |= ctx.adj[i][w];
+            for (word, &mask) in banned.iter_mut().zip(&ctx.adj[i]) {
+                *word |= mask;
             }
             go(ctx, pos + 1, chosen + 1, banned);
             *banned = saved;
@@ -331,10 +328,7 @@ mod tests {
         assert_eq!(chromatic_index_exact(&generators::petersen()), 4);
         // Degenerate cases.
         assert_eq!(chromatic_index_exact(&Graph::empty(3)), 0);
-        assert_eq!(
-            chromatic_index_exact(&Graph::from_edges(2, &[(0, 1)]).unwrap()),
-            1
-        );
+        assert_eq!(chromatic_index_exact(&Graph::from_edges(2, &[(0, 1)]).unwrap()), 1);
     }
 
     #[test]

@@ -9,6 +9,17 @@
 //! bits, because the paper distinguishes algorithms using `O(log n)`-bit
 //! messages from those needing `O(Δ log n)` bits (Section 5).
 //!
+//! The delivery hot path is zero-allocation: messages land in preallocated
+//! per-directed-edge slots of the host graph's CSR (see [`Network`] and the
+//! `network` module docs), halted nodes drop off an active worklist, and
+//! rounds can be stepped in parallel deterministically
+//! ([`Network::run_profiled_threaded`], feature `parallel`, enabled by
+//! default). The pre-refactor engine survives as
+//! [`Network::run_profiled_naive`] — a differential-testing oracle and the
+//! baseline the perf benches measure speedups against. All engines honor
+//! the same determinism contract: bit-identical outputs, [`RunStats`] and
+//! [`RoundLoad`] profiles.
+//!
 //! # Writing a protocol
 //!
 //! A protocol is a per-node state machine implementing [`Protocol`]. The
@@ -53,11 +64,12 @@
 #![warn(missing_docs)]
 
 mod message;
+mod naive;
 mod network;
 mod stats;
 
 pub mod line_sim;
 
 pub use message::{bits_for_range, bits_for_value, Message};
-pub use network::{Action, Network, NodeCtx, Protocol, RoundLoad, Run};
+pub use network::{Action, Engine, Network, NodeCtx, Protocol, RoundLoad, Run};
 pub use stats::RunStats;

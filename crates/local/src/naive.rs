@@ -1,0 +1,233 @@
+//! The pre-refactor delivery engine, kept as a reference implementation.
+//!
+//! This is the simulator's original hot path: per-round `Vec<Vec<_>>` inbox
+//! allocation, a stable sort of every inbox by sender, and a binary-search
+//! neighbor validation per posted message. It exists for two reasons:
+//!
+//! 1. **Differential testing** — the slot-arena engine in [`crate::network`]
+//!    must produce bit-identical outputs, [`RunStats`] and [`RoundLoad`]
+//!    profiles; the integration tests run both engines on the same
+//!    workloads and compare.
+//! 2. **Benchmark baseline** — the perf suites report the slot engine's
+//!    speedup against this engine, measured in the same harness.
+//!
+//! Semantics differ from the slot engine in exactly one deliberate way:
+//! this engine tolerates several messages to the same neighbor in one round
+//! (they all arrive, sender-sorted stably), while the slot engine enforces
+//! the LOCAL model's one-message-per-edge rule with a panic. No protocol in
+//! this workspace sends duplicates.
+
+use crate::message::Message;
+use crate::network::{Action, Network, NodeCtx, Protocol, RoundLoad, Run};
+use crate::stats::RunStats;
+use deco_graph::Vertex;
+
+impl Network<'_> {
+    /// [`Network::run`] on the naive reference engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node addresses a message to a non-neighbor or the round
+    /// cap is exceeded.
+    pub fn run_naive<P, F>(&self, make: F) -> Run<P::Output>
+    where
+        P: Protocol,
+        F: FnMut(&NodeCtx<'_>) -> P,
+    {
+        self.run_profiled_naive(make).0
+    }
+
+    /// [`Network::run_profiled`] on the naive reference engine.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Network::run_naive`].
+    pub fn run_profiled_naive<P, F>(&self, mut make: F) -> (Run<P::Output>, Vec<RoundLoad>)
+    where
+        P: Protocol,
+        F: FnMut(&NodeCtx<'_>) -> P,
+    {
+        let g = self.graph();
+        let n = g.n();
+        let mut stats = RunStats::zero();
+        let mut profile: Vec<RoundLoad> = Vec::new();
+
+        let mut nodes: Vec<P> = Vec::with_capacity(n);
+        let mut halted = vec![false; n];
+        // inboxes[v] collects (sender, msg) for the next delivery.
+        let mut inboxes: Vec<Vec<(Vertex, P::Msg)>> = (0..n).map(|_| Vec::new()).collect();
+
+        // Round 0: start.
+        let msgs_at_start = stats.messages;
+        let bits_at_start = stats.total_message_bits;
+        for v in 0..n {
+            let ctx = self.ctx_for(v, 0);
+            let mut p = make(&ctx);
+            let out = p.start(&ctx);
+            self.post(v, out, &mut inboxes, &mut stats);
+            nodes.push(p);
+        }
+        let mut sent_prev_msgs = stats.messages - msgs_at_start;
+        let mut sent_prev_bits = stats.total_message_bits - bits_at_start;
+
+        let mut round = 0usize;
+        loop {
+            if halted.iter().all(|&h| h) {
+                break;
+            }
+            round += 1;
+            assert!(
+                round <= self.round_cap(),
+                "round cap {} exceeded: protocol failed to halt",
+                self.round_cap()
+            );
+            let live = halted.iter().filter(|&&h| !h).count();
+            // Sent-vs-delivered accounting: the deltas of the step phase
+            // below are this round's sends, reported in the *next* round's
+            // profile entry (they are due for delivery then).
+            let (msgs_before, bits_before) = (stats.messages, stats.total_message_bits);
+            // Swap out inboxes for this round's delivery.
+            let mut delivered: Vec<Vec<(Vertex, P::Msg)>> = (0..n).map(|_| Vec::new()).collect();
+            std::mem::swap(&mut delivered, &mut inboxes);
+            let mut delivered_msgs = 0usize;
+            let mut delivered_bits = 0usize;
+            for v in 0..n {
+                if halted[v] {
+                    continue;
+                }
+                let mut inbox = std::mem::take(&mut delivered[v]);
+                inbox.sort_by_key(|&(s, _)| s);
+                delivered_msgs += inbox.len();
+                delivered_bits += inbox.iter().map(|(_, m)| m.size_bits()).sum::<usize>();
+                let ctx = self.ctx_for(v, round);
+                match nodes[v].round(&ctx, &inbox) {
+                    Action::Continue(out) => self.post(v, out, &mut inboxes, &mut stats),
+                    Action::Broadcast(msg) => {
+                        self.post(v, ctx.broadcast(msg), &mut inboxes, &mut stats)
+                    }
+                    Action::Halt(out) => {
+                        self.post(v, out, &mut inboxes, &mut stats);
+                        halted[v] = true;
+                    }
+                }
+            }
+            profile.push(RoundLoad {
+                messages: delivered_msgs,
+                bits: delivered_bits,
+                live_nodes: live,
+                sent_messages: sent_prev_msgs,
+                sent_bits: sent_prev_bits,
+            });
+            sent_prev_msgs = stats.messages - msgs_before;
+            sent_prev_bits = stats.total_message_bits - bits_before;
+        }
+        stats.rounds = round;
+
+        let mut outputs = Vec::with_capacity(n);
+        for (v, p) in nodes.into_iter().enumerate() {
+            let ctx = self.ctx_for(v, round);
+            outputs.push(p.finish(&ctx));
+        }
+        (Run { outputs, stats }, profile)
+    }
+
+    fn post<M: Message>(
+        &self,
+        from: Vertex,
+        out: Vec<(Vertex, M)>,
+        inboxes: &mut [Vec<(Vertex, M)>],
+        stats: &mut RunStats,
+    ) {
+        let neighbors = self.neighbors_of(from);
+        for (to, msg) in out {
+            assert!(
+                neighbors.binary_search(&to).is_ok(),
+                "node {from} addressed a message to non-neighbor {to}"
+            );
+            stats.record_message(msg.size_bits());
+            inboxes[to].push((from, msg));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::network::{Action, Network, NodeCtx, Protocol};
+    use deco_graph::generators;
+    use deco_graph::Vertex;
+
+    /// A protocol with staggered halts, broadcasts, list sends and silent
+    /// rounds — a workout for both engines.
+    struct Mixed;
+    impl Protocol for Mixed {
+        type Msg = u64;
+        type Output = u64;
+        fn start(&mut self, ctx: &NodeCtx<'_>) -> Vec<(Vertex, u64)> {
+            ctx.broadcast(ctx.ident)
+        }
+        fn round(&mut self, ctx: &NodeCtx<'_>, inbox: &[(Vertex, u64)]) -> Action<u64> {
+            let acc: u64 = inbox.iter().map(|&(s, m)| m ^ s as u64).sum();
+            match (ctx.vertex + ctx.round) % 4 {
+                0 => Action::Broadcast(acc % 997),
+                1 => Action::Continue(
+                    ctx.neighbors.iter().filter(|&&u| u % 2 == 0).map(|&u| (u, acc)).collect(),
+                ),
+                2 => Action::idle(),
+                _ if ctx.round >= 3 => Action::Halt(ctx.broadcast(acc % 31)),
+                _ => Action::Broadcast(acc % 13),
+            }
+        }
+        fn finish(self, ctx: &NodeCtx<'_>) -> u64 {
+            ctx.ident
+        }
+    }
+
+    #[test]
+    fn naive_and_slot_engines_agree() {
+        let g = generators::random_graph(400, 1500, 42);
+        let net = Network::new(&g);
+        let fast = net.run_profiled(|_| Mixed);
+        let naive = net.run_profiled_naive(|_| Mixed);
+        assert_eq!(fast.0.outputs, naive.0.outputs);
+        assert_eq!(fast.0.stats, naive.0.stats);
+        assert_eq!(fast.1, naive.1);
+    }
+
+    #[test]
+    fn engine_selector_routes_run_profiled() {
+        use crate::network::Engine;
+        let g = generators::random_graph(120, 400, 5);
+        let slot = Network::new(&g).run_profiled(|_| Mixed);
+        let via_selector = Network::new(&g).with_engine(Engine::Naive).run_profiled(|_| Mixed);
+        assert_eq!(slot.0.outputs, via_selector.0.outputs);
+        assert_eq!(slot.0.stats, via_selector.0.stats);
+        assert_eq!(slot.1, via_selector.1);
+    }
+
+    #[test]
+    fn naive_profile_sent_accounting() {
+        let g = generators::cycle(12);
+        struct TwoRounds;
+        impl Protocol for TwoRounds {
+            type Msg = u64;
+            type Output = ();
+            fn start(&mut self, ctx: &NodeCtx<'_>) -> Vec<(Vertex, u64)> {
+                ctx.broadcast(1)
+            }
+            fn round(&mut self, ctx: &NodeCtx<'_>, _: &[(Vertex, u64)]) -> Action<u64> {
+                if ctx.round >= 2 {
+                    Action::halt()
+                } else {
+                    Action::Broadcast(2)
+                }
+            }
+            fn finish(self, _: &NodeCtx<'_>) {}
+        }
+        let (run, profile) = Network::new(&g).run_profiled_naive(|_| TwoRounds);
+        assert_eq!(run.stats.rounds, 2);
+        assert_eq!(profile[0].sent_messages, 24); // the start broadcasts
+        assert_eq!(profile[0].messages, 24);
+        assert_eq!(profile[1].sent_messages, 24); // round 1 re-broadcasts
+        assert_eq!(profile[1].messages, 24);
+    }
+}

@@ -1,4 +1,32 @@
 //! The synchronous network simulator.
+//!
+//! # Delivery architecture (slot arenas)
+//!
+//! The simulator's hot path is built on the host graph's directed-edge
+//! *slots* (see [`Graph::slots_of`] and [`Graph::mirror_slot`]): every
+//! directed edge `u → v` has a fixed slot index, and a message from `u` to
+//! `v` is one `Option` write into a preallocated arena at `u`'s slot —
+//! O(1), no per-round allocation, no inbox sorting (slot ranges are already
+//! neighbor-sorted) and no per-message search in the common case (outboxes
+//! addressed in neighbor order are matched by a moving cursor; out-of-order
+//! sends fall back to one binary search).
+//!
+//! Two arenas alternate roles every round: nodes read their inbox from the
+//! arena written in the previous round and write sends into the other, so a
+//! round never observes its own messages. A node that halted more than one
+//! round ago leaves stale slots behind; receivers skip them with an O(1)
+//! halt-round check instead of any clearing pass. Halted nodes leave the
+//! active worklist entirely and cost nothing.
+//!
+//! # Determinism contract
+//!
+//! For a fixed graph and protocol, `run*` produce bit-identical outputs,
+//! [`RunStats`] and [`RoundLoad`] profiles — regardless of delivery engine
+//! (slot-based or the [`Network::run_profiled_naive`] reference) and of the
+//! thread count used by [`Network::run_profiled_threaded`]. Within a round
+//! every node reads only its own inbox slice and writes only its own out
+//! slots, so parallel stepping is an embarrassingly parallel map; stats are
+//! merged in fixed chunk order. The integration tests pin this contract.
 
 use crate::message::Message;
 use crate::stats::RunStats;
@@ -40,6 +68,10 @@ impl NodeCtx<'_> {
     }
 
     /// Convenience: the same message addressed to every neighbor.
+    ///
+    /// Allocates one `Vec` per call; inside [`Protocol::round`], prefer
+    /// returning [`Action::Broadcast`], which writes the arena slots
+    /// directly and allocates nothing.
     pub fn broadcast<M: Clone>(&self, msg: M) -> Vec<(Vertex, M)> {
         self.neighbors.iter().map(|&u| (u, msg.clone())).collect()
     }
@@ -63,6 +95,11 @@ impl NodeCtx<'_> {
 pub enum Action<M> {
     /// Keep running; send the given messages (addressed to neighbors).
     Continue(Vec<(Vertex, M)>),
+    /// Keep running; send a copy of the same message to *every* neighbor.
+    ///
+    /// Equivalent to `Continue(ctx.broadcast(msg))` but allocation-free:
+    /// the simulator clones the message straight into the delivery slots.
+    Broadcast(M),
     /// Halt after sending the given messages. A halted node no longer sends,
     /// and its inbox is discarded.
     Halt(Vec<(Vertex, M)>),
@@ -87,6 +124,10 @@ impl<M> Action<M> {
 /// per synchronous round with the messages delivered that round, until every
 /// node has returned [`Action::Halt`]. Finally [`Protocol::finish`] extracts
 /// each node's output.
+///
+/// The LOCAL model allows at most one message per directed edge per round;
+/// the slot engine enforces this (sending twice to the same neighbor in one
+/// round panics).
 pub trait Protocol {
     /// Message type exchanged by this protocol.
     type Msg: Message;
@@ -121,6 +162,12 @@ impl<T> Run<T> {
 }
 
 /// Load observed in one simulated round (see [`Network::run_profiled`]).
+///
+/// Entry `r` of a profile records round `r + 1` of the run: what was
+/// *delivered* that round, plus what had been *sent* toward it in the
+/// preceding step phase (the start phase for the first entry). The gap
+/// `sent_messages - messages` is traffic addressed to nodes that halted
+/// before delivery; `messages <= sent_messages` always holds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RoundLoad {
     /// Messages delivered in this round.
@@ -129,35 +176,87 @@ pub struct RoundLoad {
     pub bits: usize,
     /// Nodes still live at the start of the round.
     pub live_nodes: usize,
+    /// Messages sent in the preceding step phase, due for delivery in this
+    /// round (delivered or dropped at a halted receiver).
+    pub sent_messages: usize,
+    /// Bits sent in the preceding step phase.
+    pub sent_bits: usize,
+}
+
+impl RoundLoad {
+    /// Messages sent toward this round that were never delivered because the
+    /// receiver had already halted.
+    pub fn dropped_messages(&self) -> usize {
+        self.sent_messages - self.messages
+    }
+}
+
+/// Which delivery engine [`Network::run`] and [`Network::run_profiled`] use.
+///
+/// Both engines honor the same determinism contract and produce identical
+/// results; [`Engine::Naive`] exists so whole algorithm pipelines (which
+/// construct their own inner runs against a borrowed [`Network`]) can be
+/// benchmarked and differentially tested against the pre-refactor delivery
+/// path without any change to the algorithm code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// The zero-allocation slot-arena engine (the default).
+    #[default]
+    Slot,
+    /// The pre-refactor reference engine (per-round allocation + sorting).
+    Naive,
 }
 
 /// A simulated synchronous network over a host graph.
 ///
-/// The simulator is deterministic: nodes are stepped in vertex order and
-/// inboxes are sorted by sender. See the crate-level example.
+/// The simulator is deterministic: nodes are stepped in vertex order (or an
+/// order-equivalent parallel schedule, see [`Network::run_profiled_threaded`])
+/// and inboxes arrive sender-sorted. See the crate-level example.
 #[derive(Debug)]
 pub struct Network<'g> {
     graph: &'g Graph,
-    neighbors: Vec<Vec<Vertex>>,
-    neighbor_idents: Vec<Vec<u64>>,
+    /// Neighbor vertex per slot, aligned with the graph's CSR slots.
+    flat_neighbors: Vec<Vertex>,
+    /// Neighbor identifier per slot, aligned with `flat_neighbors`.
+    flat_idents: Vec<u64>,
     round_cap: usize,
+    threads: usize,
+    engine: Engine,
 }
+
+/// Minimum number of active nodes per worker thread before a round is
+/// stepped in parallel; below `2 × this`, rounds run sequentially (thread
+/// spawn overhead would dominate).
+const MIN_ACTIVE_PER_THREAD: usize = 512;
 
 impl<'g> Network<'g> {
     /// Wraps a host graph in a simulator.
     pub fn new(graph: &'g Graph) -> Network<'g> {
-        let neighbors: Vec<Vec<Vertex>> =
-            (0..graph.n()).map(|v| graph.neighbors(v).collect()).collect();
-        let neighbor_idents: Vec<Vec<u64>> = neighbors
-            .iter()
-            .map(|ns| ns.iter().map(|&u| graph.ident(u)).collect())
-            .collect();
-        Network { graph, neighbors, neighbor_idents, round_cap: 1_000_000 }
+        let flat_neighbors: Vec<Vertex> =
+            (0..graph.slot_count()).map(|s| graph.slot_neighbor(s)).collect();
+        let flat_idents: Vec<u64> = flat_neighbors.iter().map(|&u| graph.ident(u)).collect();
+        let threads = std::thread::available_parallelism().map_or(1, |p| p.get()).min(16);
+        Network {
+            graph,
+            flat_neighbors,
+            flat_idents,
+            round_cap: 1_000_000,
+            threads,
+            engine: Engine::Slot,
+        }
     }
 
     /// The host graph.
     pub fn graph(&self) -> &Graph {
         self.graph
+    }
+
+    pub(crate) fn round_cap(&self) -> usize {
+        self.round_cap
+    }
+
+    pub(crate) fn neighbors_of(&self, v: Vertex) -> &[Vertex] {
+        &self.flat_neighbors[self.graph.slots_of(v)]
     }
 
     /// Sets a safety cap on rounds (default one million).
@@ -169,13 +268,31 @@ impl<'g> Network<'g> {
         self
     }
 
+    /// Sets the worker-thread budget used by the `*_threaded` runners
+    /// (default: available parallelism, capped at 16). A budget of 1 forces
+    /// sequential stepping. Results never depend on this value.
+    pub fn with_threads(mut self, threads: usize) -> Network<'g> {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Selects the delivery engine used by [`Network::run`] and
+    /// [`Network::run_profiled`] (default: [`Engine::Slot`]). Algorithm
+    /// pipelines that run inner protocols against this network inherit the
+    /// choice, which is how the benches compare whole pipelines across
+    /// engines.
+    pub fn with_engine(mut self, engine: Engine) -> Network<'g> {
+        self.engine = engine;
+        self
+    }
+
     /// Runs `protocol` (one instance per vertex, built by `make`) to
     /// quiescence and returns per-vertex outputs plus stats.
     ///
     /// # Panics
     ///
-    /// Panics if a node addresses a message to a non-neighbor, or the round
-    /// cap is exceeded.
+    /// Panics if a node addresses a message to a non-neighbor, sends twice
+    /// to the same neighbor in one round, or the round cap is exceeded.
     pub fn run<P, F>(&self, make: F) -> Run<P::Output>
     where
         P: Protocol,
@@ -191,112 +308,635 @@ impl<'g> Network<'g> {
     /// # Panics
     ///
     /// Same conditions as [`Network::run`].
-    pub fn run_profiled<P, F>(&self, mut make: F) -> (Run<P::Output>, Vec<RoundLoad>)
+    pub fn run_profiled<P, F>(&self, make: F) -> (Run<P::Output>, Vec<RoundLoad>)
     where
         P: Protocol,
         F: FnMut(&NodeCtx<'_>) -> P,
     {
-        let n = self.graph.n();
+        match self.engine {
+            Engine::Slot => engine::run(self, make, 1, engine::SeqStepper),
+            Engine::Naive => self.run_profiled_naive(make),
+        }
+    }
+
+    /// [`Network::run`] with deterministic parallel round stepping.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Network::run`].
+    pub fn run_threaded<P, F>(&self, make: F) -> Run<P::Output>
+    where
+        P: Protocol + Send,
+        P::Msg: Send + Sync,
+        F: FnMut(&NodeCtx<'_>) -> P,
+    {
+        self.run_profiled_threaded(make).0
+    }
+
+    /// [`Network::run_profiled`] with deterministic parallel round stepping.
+    ///
+    /// Rounds with enough active nodes are stepped by up to
+    /// [`Network::with_threads`] workers: the active worklist is split into
+    /// contiguous vertex ranges, and each worker reads the previous round's
+    /// arena (shared) while writing its own nodes' out-slots (exclusive,
+    /// disjoint slices) — no locks, no unsafe, no nondeterminism. Outputs,
+    /// stats and profile are bit-identical to the sequential engine for
+    /// every thread budget; only wall-clock changes. Requires the `parallel`
+    /// feature (on by default); without it this is sequential.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Network::run`].
+    pub fn run_profiled_threaded<P, F>(&self, make: F) -> (Run<P::Output>, Vec<RoundLoad>)
+    where
+        P: Protocol + Send,
+        P::Msg: Send + Sync,
+        F: FnMut(&NodeCtx<'_>) -> P,
+    {
+        #[cfg(feature = "parallel")]
+        {
+            engine::run(self, make, self.threads, engine::ParStepper)
+        }
+        #[cfg(not(feature = "parallel"))]
+        {
+            engine::run(self, make, 1, engine::SeqStepper)
+        }
+    }
+
+    pub(crate) fn ctx_for(&self, v: Vertex, round: usize) -> NodeCtx<'_> {
+        let range = self.graph.slots_of(v);
+        NodeCtx {
+            vertex: v,
+            ident: self.graph.ident(v),
+            neighbors: &self.flat_neighbors[range.clone()],
+            neighbor_idents: &self.flat_idents[range],
+            n: self.graph.n(),
+            max_degree: self.graph.max_degree(),
+            round,
+        }
+    }
+}
+
+/// The slot-arena delivery engine. See the module docs for the design.
+mod engine {
+    use super::{Action, Message, Network, NodeCtx, Protocol, RoundLoad, Run, RunStats, Vertex};
+
+    /// Never-halted sentinel for `halt_round`.
+    const LIVE: usize = usize::MAX;
+
+    /// Per-worker reusable state; all buffers reach a steady size after the
+    /// first rounds and are never reallocated again.
+    pub(super) struct Scratch<M> {
+        /// Inbox assembly buffer, reused across nodes and rounds.
+        inbox: Vec<(Vertex, M)>,
+        /// Vertices that returned `Halt` this round (applied sequentially
+        /// after the parallel phase).
+        halts: Vec<Vertex>,
+        delivered_msgs: usize,
+        delivered_bits: usize,
+        sent_msgs: usize,
+        sent_bits: usize,
+        max_bits: usize,
+    }
+
+    impl<M> Scratch<M> {
+        fn new() -> Scratch<M> {
+            Scratch {
+                inbox: Vec::new(),
+                halts: Vec::new(),
+                delivered_msgs: 0,
+                delivered_bits: 0,
+                sent_msgs: 0,
+                sent_bits: 0,
+                max_bits: 0,
+            }
+        }
+
+        fn reset_round(&mut self) {
+            self.halts.clear();
+            self.delivered_msgs = 0;
+            self.delivered_bits = 0;
+            self.sent_msgs = 0;
+            self.sent_bits = 0;
+            // max_bits survives: it is a run-wide maximum.
+        }
+
+        fn record_sent(&mut self, bits: usize) {
+            self.sent_msgs += 1;
+            self.sent_bits += bits;
+            self.max_bits = self.max_bits.max(bits);
+        }
+    }
+
+    /// The previous round's arena, borrowed exclusively (sequential: inbox
+    /// messages are moved out and the sender's occupancy count drops) or
+    /// shared (parallel: cloned, occupancy untouched).
+    ///
+    /// `occ[v]` is the number of occupied (`Some`) slots vertex `v` owns in
+    /// this arena — the invariant both variants maintain. A zero count lets
+    /// receivers skip a quiet sender with one dense load, and lets the
+    /// sender skip the clear pass on its next write into the arena; in
+    /// sequential runs, where takes drain the slots, the steady state of a
+    /// sparse round does almost no arena work at all.
+    enum Prev<'a, M> {
+        Excl { slots: &'a mut [Option<M>], occ: &'a mut [u32] },
+        Shared { slots: &'a [Option<M>], occ: &'a [u32] },
+    }
+
+    impl<M: Clone> Prev<'_, M> {
+        /// Whether sender `u` has no occupied slots left in this arena.
+        #[inline]
+        fn sender_quiet(&self, u: Vertex) -> bool {
+            match self {
+                Prev::Excl { occ, .. } => occ[u] == 0,
+                Prev::Shared { occ, .. } => occ[u] == 0,
+            }
+        }
+
+        #[inline]
+        fn fetch(&mut self, slot: usize, sender: Vertex) -> Option<M> {
+            match self {
+                Prev::Excl { slots, occ } => {
+                    let m = slots[slot].take();
+                    if m.is_some() {
+                        occ[sender] -= 1;
+                    }
+                    m
+                }
+                Prev::Shared { slots, .. } => slots[slot].clone(),
+            }
+        }
+    }
+
+    /// Read-only state shared by all workers within a round.
+    pub(super) struct Shared<'a, 'g> {
+        net: &'a Network<'g>,
+        offsets: &'a [usize],
+        mirror: &'a [u32],
+        /// Round in which each vertex halted (`LIVE` if still running).
+        halt_round: &'a [usize],
+    }
+
+    /// Collects one node's inbox from the previous arena into `scratch`.
+    ///
+    /// Slots arrive in neighbor order, so the inbox is sender-sorted with
+    /// no sorting. A sender that halted before the previous round left only
+    /// stale slots; the halt-round check skips them in O(1).
+    #[inline]
+    fn fill_inbox<M: Message>(
+        sh: &Shared<'_, '_>,
+        v: Vertex,
+        round: usize,
+        prev: &mut Prev<'_, M>,
+        scratch: &mut Scratch<M>,
+    ) {
+        scratch.inbox.clear();
+        for s in sh.offsets[v]..sh.offsets[v + 1] {
+            let u = sh.net.flat_neighbors[s];
+            if prev.sender_quiet(u) {
+                continue; // nothing of u's left in the previous arena
+            }
+            if sh.halt_round[u] < round - 1 {
+                continue; // stale slots from a long-halted sender (LIVE = MAX never trips)
+            }
+            if let Some(m) = prev.fetch(sh.mirror[s] as usize, u) {
+                scratch.delivered_msgs += 1;
+                scratch.delivered_bits += m.size_bits();
+                scratch.inbox.push((u, m));
+            }
+        }
+    }
+
+    /// Writes one node's outgoing messages into its own out-slots.
+    ///
+    /// `cur` is the chunk-local window of the write arena starting at slot
+    /// `cur_base`; `occ` is the node's occupancy count for that arena (the
+    /// invariant: exactly `*occ` slots of the node's range are `Some`). The
+    /// slots are cleared first — skipped entirely when the count says the
+    /// range is already clean, which after a sequential round's takes is
+    /// the common case — then each message lands at the slot of its
+    /// addressee: a moving cursor matches neighbor-ordered outboxes in O(1)
+    /// per message, with a binary-search fallback for out-of-order sends.
+    fn post_list<M: Message>(
+        sh: &Shared<'_, '_>,
+        from: Vertex,
+        out: Vec<(Vertex, M)>,
+        cur: &mut [Option<M>],
+        cur_base: usize,
+        occ: &mut u32,
+        scratch: &mut Scratch<M>,
+    ) {
+        let range = sh.offsets[from]..sh.offsets[from + 1];
+        if *occ > 0 {
+            for s in range.clone() {
+                cur[s - cur_base] = None;
+            }
+        }
+        *occ = out.len() as u32;
+        let nbrs = &sh.net.flat_neighbors[range.clone()];
+        let mut cursor = 0usize;
+        for (to, msg) in out {
+            let i = if cursor < nbrs.len() && nbrs[cursor] == to {
+                cursor += 1;
+                cursor - 1
+            } else {
+                match nbrs.binary_search(&to) {
+                    Ok(i) => {
+                        cursor = i + 1;
+                        i
+                    }
+                    Err(_) => {
+                        panic!("node {from} addressed a message to non-neighbor {to}")
+                    }
+                }
+            };
+            scratch.record_sent(msg.size_bits());
+            let cell = &mut cur[range.start + i - cur_base];
+            assert!(
+                cell.is_none(),
+                "node {from} sent two messages to {to} in one round (the LOCAL model \
+                 allows one message per neighbor per round)"
+            );
+            *cell = Some(msg);
+        }
+    }
+
+    /// [`Action::Broadcast`]: clone the message into every out-slot, no
+    /// intermediate `Vec`, no addressing.
+    fn post_broadcast<M: Message>(
+        sh: &Shared<'_, '_>,
+        from: Vertex,
+        msg: M,
+        cur: &mut [Option<M>],
+        cur_base: usize,
+        occ: &mut u32,
+        scratch: &mut Scratch<M>,
+    ) {
+        let range = sh.offsets[from]..sh.offsets[from + 1];
+        *occ = range.len() as u32; // every slot is overwritten, no clear pass
+        let bits = msg.size_bits();
+        for s in range {
+            scratch.record_sent(bits);
+            cur[s - cur_base] = Some(msg.clone());
+        }
+    }
+
+    /// Steps every vertex of `seg` through round `round`.
+    ///
+    /// `nodes`/`cur` are the windows of the state vector and write arena
+    /// covering exactly the chunk's vertex range — each worker owns its
+    /// windows exclusively, which is what makes the parallel schedule safe
+    /// and deterministic by construction.
+    #[allow(clippy::too_many_arguments)]
+    fn step_segment<P: Protocol>(
+        sh: &Shared<'_, '_>,
+        seg: &[Vertex],
+        round: usize,
+        nodes: &mut [P],
+        node_base: usize,
+        cur: &mut [Option<P::Msg>],
+        cur_base: usize,
+        occ_cur: &mut [u32],
+        mut prev: Prev<'_, P::Msg>,
+        scratch: &mut Scratch<P::Msg>,
+    ) {
+        for &v in seg {
+            fill_inbox(sh, v, round, &mut prev, scratch);
+            let ctx = sh.net.ctx_for(v, round);
+            let inbox = std::mem::take(&mut scratch.inbox);
+            let action = nodes[v - node_base].round(&ctx, &inbox);
+            scratch.inbox = inbox;
+            let occ = &mut occ_cur[v - node_base];
+            match action {
+                Action::Continue(out) => post_list(sh, v, out, cur, cur_base, occ, scratch),
+                Action::Broadcast(msg) => post_broadcast(sh, v, msg, cur, cur_base, occ, scratch),
+                Action::Halt(out) => {
+                    post_list(sh, v, out, cur, cur_base, occ, scratch);
+                    scratch.halts.push(v);
+                }
+            }
+        }
+    }
+
+    /// How a round's active nodes get stepped. The two implementations let
+    /// the `Send` bounds of parallel stepping live only on the threaded
+    /// entry points: the shared engine below is bound-free and identical
+    /// for both (so there is no sequential code path to drift from).
+    pub(super) trait Stepper<P: Protocol> {
+        #[allow(clippy::too_many_arguments)]
+        fn step(
+            &self,
+            sh: &Shared<'_, '_>,
+            active: &[Vertex],
+            round: usize,
+            workers: usize,
+            nodes: &mut [P],
+            cur: &mut [Option<P::Msg>],
+            occ_cur: &mut [u32],
+            prev: &mut [Option<P::Msg>],
+            occ_prev: &mut [u32],
+            scratches: &mut [Scratch<P::Msg>],
+        );
+    }
+
+    /// Always steps on the calling thread, moving messages out of the
+    /// previous arena (no clones).
+    pub(super) struct SeqStepper;
+
+    impl<P: Protocol> Stepper<P> for SeqStepper {
+        fn step(
+            &self,
+            sh: &Shared<'_, '_>,
+            active: &[Vertex],
+            round: usize,
+            _workers: usize,
+            nodes: &mut [P],
+            cur: &mut [Option<P::Msg>],
+            occ_cur: &mut [u32],
+            prev: &mut [Option<P::Msg>],
+            occ_prev: &mut [u32],
+            scratches: &mut [Scratch<P::Msg>],
+        ) {
+            step_segment(
+                sh,
+                active,
+                round,
+                nodes,
+                0,
+                cur,
+                0,
+                occ_cur,
+                Prev::Excl { slots: prev, occ: occ_prev },
+                &mut scratches[0],
+            );
+        }
+    }
+
+    /// Splits rounds with enough active nodes across worker threads;
+    /// falls back to the sequential step below the threshold.
+    #[cfg(feature = "parallel")]
+    pub(super) struct ParStepper;
+
+    #[cfg(feature = "parallel")]
+    impl<P> Stepper<P> for ParStepper
+    where
+        P: Protocol + Send,
+        P::Msg: Send + Sync,
+    {
+        fn step(
+            &self,
+            sh: &Shared<'_, '_>,
+            active: &[Vertex],
+            round: usize,
+            workers: usize,
+            nodes: &mut [P],
+            cur: &mut [Option<P::Msg>],
+            occ_cur: &mut [u32],
+            prev: &mut [Option<P::Msg>],
+            occ_prev: &mut [u32],
+            scratches: &mut [Scratch<P::Msg>],
+        ) {
+            if workers == 1 {
+                SeqStepper
+                    .step(sh, active, round, 1, nodes, cur, occ_cur, prev, occ_prev, scratches);
+            } else {
+                parallel::step_round(
+                    sh, active, round, workers, nodes, cur, occ_cur, &*prev, &*occ_prev, scratches,
+                );
+            }
+        }
+    }
+
+    /// The engine shared by the sequential and threaded runners.
+    pub(super) fn run<P, F, S>(
+        net: &Network<'_>,
+        mut make: F,
+        threads: usize,
+        stepper: S,
+    ) -> (Run<P::Output>, Vec<RoundLoad>)
+    where
+        P: Protocol,
+        F: FnMut(&NodeCtx<'_>) -> P,
+        S: Stepper<P>,
+    {
+        let n = net.graph.n();
+        let offsets = net.graph.slot_offsets();
+        let mirror = net.graph.mirror_slots();
+        let slot_count = net.graph.slot_count();
+
+        let mut halt_round: Vec<usize> = vec![LIVE; n];
+        let mut active: Vec<Vertex> = (0..n).collect();
+        let mut arena_prev: Vec<Option<P::Msg>> = (0..slot_count).map(|_| None).collect();
+        let mut arena_cur: Vec<Option<P::Msg>> = (0..slot_count).map(|_| None).collect();
+        // Occupancy counts, one per vertex per arena (swapped together):
+        // exactly how many of the vertex's slots in that arena are `Some`.
+        let mut occ_prev: Vec<u32> = vec![0; n];
+        let mut occ_cur: Vec<u32> = vec![0; n];
+        let mut scratches: Vec<Scratch<P::Msg>> =
+            (0..threads.max(1)).map(|_| Scratch::new()).collect();
         let mut stats = RunStats::zero();
         let mut profile: Vec<RoundLoad> = Vec::new();
 
-        let ctx_for = |v: Vertex, round: usize| NodeCtx {
-            vertex: v,
-            ident: self.graph.ident(v),
-            neighbors: &self.neighbors[v],
-            neighbor_idents: &self.neighbor_idents[v],
-            n,
-            max_degree: self.graph.max_degree(),
-            round,
-        };
-
+        // Round 0: build the nodes and deliver their initial sends into the
+        // current arena (always sequential — `make` is FnMut).
         let mut nodes: Vec<P> = Vec::with_capacity(n);
-        let mut halted = vec![false; n];
-        // inboxes[v] collects (sender, msg) for the next delivery.
-        let mut inboxes: Vec<Vec<(Vertex, P::Msg)>> = (0..n).map(|_| Vec::new()).collect();
-
-        // Round 0: start.
-        for v in 0..n {
-            let ctx = ctx_for(v, 0);
-            let mut p = make(&ctx);
-            let out = p.start(&ctx);
-            self.post(v, out, &mut inboxes, &mut stats);
-            nodes.push(p);
+        {
+            let sh = Shared { net, offsets, mirror, halt_round: &halt_round };
+            for (v, occ) in occ_cur.iter_mut().enumerate() {
+                let ctx = net.ctx_for(v, 0);
+                let mut p = make(&ctx);
+                let out = p.start(&ctx);
+                post_list(&sh, v, out, &mut arena_cur, 0, occ, &mut scratches[0]);
+                nodes.push(p);
+            }
         }
+        let (mut sent_prev_msgs, mut sent_prev_bits) =
+            (scratches[0].sent_msgs, scratches[0].sent_bits);
+        stats.messages += sent_prev_msgs;
+        stats.total_message_bits += sent_prev_bits;
 
         let mut round = 0usize;
-        loop {
-            let all_halted = halted.iter().all(|&h| h);
-            let any_mail = inboxes.iter().any(|b| !b.is_empty());
-            if all_halted {
-                break;
-            }
-            if !any_mail {
-                // No messages in flight: step live nodes with empty inboxes
-                // (some protocols count silent rounds via barriers).
-            }
+        while !active.is_empty() {
             round += 1;
             assert!(
-                round <= self.round_cap,
+                round <= net.round_cap,
                 "round cap {} exceeded: protocol failed to halt",
-                self.round_cap
+                net.round_cap
             );
-            let live = halted.iter().filter(|&&h| !h).count();
-            let (msgs_before, bits_before) = (stats.messages, stats.total_message_bits);
-            // Swap out inboxes for this round's delivery.
-            let mut delivered: Vec<Vec<(Vertex, P::Msg)>> =
-                (0..n).map(|_| Vec::new()).collect();
-            std::mem::swap(&mut delivered, &mut inboxes);
-            let mut delivered_msgs = 0usize;
-            let mut delivered_bits = 0usize;
-            for v in 0..n {
-                if halted[v] {
-                    continue;
-                }
-                let mut inbox = std::mem::take(&mut delivered[v]);
-                inbox.sort_by_key(|&(s, _)| s);
-                delivered_msgs += inbox.len();
-                delivered_bits += inbox.iter().map(|(_, m)| m.size_bits()).sum::<usize>();
-                let ctx = ctx_for(v, round);
-                match nodes[v].round(&ctx, &inbox) {
-                    Action::Continue(out) => self.post(v, out, &mut inboxes, &mut stats),
-                    Action::Halt(out) => {
-                        self.post(v, out, &mut inboxes, &mut stats);
-                        halted[v] = true;
-                    }
+            let live = active.len();
+            std::mem::swap(&mut arena_prev, &mut arena_cur);
+            std::mem::swap(&mut occ_prev, &mut occ_cur);
+            for s in scratches.iter_mut() {
+                s.reset_round();
+            }
+
+            let workers = if threads > 1 && live >= 2 * super::MIN_ACTIVE_PER_THREAD {
+                threads.min(live / super::MIN_ACTIVE_PER_THREAD).max(1)
+            } else {
+                1
+            };
+            let sh = Shared { net, offsets, mirror, halt_round: &halt_round };
+            stepper.step(
+                &sh,
+                &active,
+                round,
+                workers,
+                &mut nodes,
+                &mut arena_cur,
+                &mut occ_cur,
+                &mut arena_prev,
+                &mut occ_prev,
+                &mut scratches,
+            );
+
+            // Merge the round, in fixed chunk order (all sums, so the totals
+            // equal the sequential engine's regardless of the split).
+            let (mut delivered_msgs, mut delivered_bits) = (0usize, 0usize);
+            let (mut sent_msgs, mut sent_bits) = (0usize, 0usize);
+            let mut any_halt = false;
+            for s in scratches.iter_mut() {
+                delivered_msgs += s.delivered_msgs;
+                delivered_bits += s.delivered_bits;
+                sent_msgs += s.sent_msgs;
+                sent_bits += s.sent_bits;
+                stats.max_message_bits = stats.max_message_bits.max(s.max_bits);
+                for &v in &s.halts {
+                    halt_round[v] = round;
+                    any_halt = true;
                 }
             }
-            let _ = (msgs_before, bits_before);
+            stats.messages += sent_msgs;
+            stats.total_message_bits += sent_bits;
+            if any_halt {
+                active.retain(|&v| halt_round[v] == LIVE);
+            }
             profile.push(RoundLoad {
                 messages: delivered_msgs,
                 bits: delivered_bits,
                 live_nodes: live,
+                sent_messages: sent_prev_msgs,
+                sent_bits: sent_prev_bits,
             });
+            (sent_prev_msgs, sent_prev_bits) = (sent_msgs, sent_bits);
         }
         stats.rounds = round;
 
         let mut outputs = Vec::with_capacity(n);
         for (v, p) in nodes.into_iter().enumerate() {
-            let ctx = ctx_for(v, round);
+            let ctx = net.ctx_for(v, round);
             outputs.push(p.finish(&ctx));
         }
         (Run { outputs, stats }, profile)
     }
 
-    fn post<M: Message>(
-        &self,
-        from: Vertex,
-        out: Vec<(Vertex, M)>,
-        inboxes: &mut [Vec<(Vertex, M)>],
-        stats: &mut RunStats,
-    ) {
-        for (to, msg) in out {
-            assert!(
-                self.neighbors[from].binary_search(&to).is_ok(),
-                "node {from} addressed a message to non-neighbor {to}"
-            );
-            stats.record_message(msg.size_bits());
-            inboxes[to].push((from, msg));
+    /// Deterministic parallel stepping: contiguous chunks of the active
+    /// worklist, disjoint `&mut` windows per worker, shared read-only view
+    /// of the previous arena.
+    #[cfg(feature = "parallel")]
+    mod parallel {
+        use super::{step_segment, Prev, Protocol, Scratch, Shared, Vertex};
+
+        #[allow(clippy::too_many_arguments)]
+        pub(super) fn step_round<P>(
+            sh: &Shared<'_, '_>,
+            active: &[Vertex],
+            round: usize,
+            workers: usize,
+            nodes: &mut [P],
+            arena_cur: &mut [Option<P::Msg>],
+            occ_cur: &mut [u32],
+            arena_prev: &[Option<P::Msg>],
+            occ_prev: &[u32],
+            scratches: &mut [Scratch<P::Msg>],
+        ) where
+            P: Protocol + Send,
+            P::Msg: Send + Sync,
+        {
+            // Carve the active list into `workers` contiguous segments;
+            // because it is sorted and duplicate-free, segments own disjoint
+            // vertex intervals, which lets the state vector and write arena
+            // be split into disjoint `&mut` windows with safe code only.
+            struct Job<'j, P: Protocol> {
+                seg: &'j [Vertex],
+                nodes: &'j mut [P],
+                node_base: usize,
+                cur: &'j mut [Option<P::Msg>],
+                cur_base: usize,
+                occ_cur: &'j mut [u32],
+                scratch: &'j mut Scratch<P::Msg>,
+            }
+
+            let mut jobs: Vec<Job<'_, P>> = Vec::with_capacity(workers);
+            let mut nodes_rest = nodes;
+            let mut nodes_off = 0usize;
+            let mut cur_rest = arena_cur;
+            let mut cur_off = 0usize;
+            let mut occ_rest = occ_cur;
+            let mut occ_off = 0usize;
+            let mut scratch_rest = scratches;
+            let per = active.len().div_ceil(workers);
+            for seg in active.chunks(per) {
+                let v_lo = seg[0];
+                let v_hi = seg[seg.len() - 1];
+                let (_, rest) = nodes_rest.split_at_mut(v_lo - nodes_off);
+                let (mine, rest) = rest.split_at_mut(v_hi + 1 - v_lo);
+                nodes_rest = rest;
+                nodes_off = v_hi + 1;
+                let (slot_lo, slot_hi) = (sh.offsets[v_lo], sh.offsets[v_hi + 1]);
+                let (_, rest) = cur_rest.split_at_mut(slot_lo - cur_off);
+                let (mine_cur, rest) = rest.split_at_mut(slot_hi - slot_lo);
+                cur_rest = rest;
+                cur_off = slot_hi;
+                let (_, rest) = occ_rest.split_at_mut(v_lo - occ_off);
+                let (mine_occ, rest) = rest.split_at_mut(v_hi + 1 - v_lo);
+                occ_rest = rest;
+                occ_off = v_hi + 1;
+                let (scratch, rest) = std::mem::take(&mut scratch_rest).split_at_mut(1);
+                scratch_rest = rest;
+                jobs.push(Job {
+                    seg,
+                    nodes: mine,
+                    node_base: v_lo,
+                    cur: mine_cur,
+                    cur_base: slot_lo,
+                    occ_cur: mine_occ,
+                    scratch: &mut scratch[0],
+                });
+            }
+
+            std::thread::scope(|scope| {
+                let mut jobs = jobs.into_iter();
+                let first = jobs.next().expect("at least one job");
+                for job in jobs {
+                    scope.spawn(move || {
+                        step_segment(
+                            sh,
+                            job.seg,
+                            round,
+                            job.nodes,
+                            job.node_base,
+                            job.cur,
+                            job.cur_base,
+                            job.occ_cur,
+                            Prev::Shared { slots: arena_prev, occ: occ_prev },
+                            job.scratch,
+                        );
+                    });
+                }
+                // The caller's thread works chunk 0 instead of idling.
+                step_segment(
+                    sh,
+                    first.seg,
+                    round,
+                    first.nodes,
+                    first.node_base,
+                    first.cur,
+                    first.cur_base,
+                    first.occ_cur,
+                    Prev::Shared { slots: arena_prev, occ: occ_prev },
+                    first.scratch,
+                );
+            });
         }
     }
 }
@@ -328,7 +968,7 @@ mod tests {
             if ctx.round >= self.radius {
                 Action::halt()
             } else {
-                Action::Continue(ctx.broadcast(self.best))
+                Action::Broadcast(self.best)
             }
         }
 
@@ -383,8 +1023,8 @@ mod tests {
         fn start(&mut self, ctx: &NodeCtx<'_>) -> Vec<(Vertex, u64)> {
             ctx.broadcast(1)
         }
-        fn round(&mut self, ctx: &NodeCtx<'_>, _inbox: &[(Vertex, u64)]) -> Action<u64> {
-            Action::Continue(ctx.broadcast(1))
+        fn round(&mut self, _ctx: &NodeCtx<'_>, _inbox: &[(Vertex, u64)]) -> Action<u64> {
+            Action::Broadcast(1)
         }
         fn finish(self, _ctx: &NodeCtx<'_>) {}
     }
@@ -466,5 +1106,179 @@ mod tests {
         assert_eq!(total, run.stats.messages);
         let bits: usize = profile.iter().map(|r| r.bits).sum();
         assert!(bits <= run.stats.total_message_bits);
+        // Per-entry sent accounting: every delivery was sent one phase
+        // earlier, and nothing was dropped on this halt-free run.
+        assert!(profile.iter().all(|r| r.messages == r.sent_messages));
+        assert!(profile.iter().all(|r| r.dropped_messages() == 0));
+    }
+
+    /// Nodes halt at staggered times; messages sent toward halted receivers
+    /// must be dropped (delivered < sent) and stale slots must never be
+    /// redelivered.
+    struct StaggerHalt;
+    impl Protocol for StaggerHalt {
+        type Msg = u64;
+        type Output = u64;
+        fn start(&mut self, ctx: &NodeCtx<'_>) -> Vec<(Vertex, u64)> {
+            ctx.broadcast(ctx.ident)
+        }
+        fn round(&mut self, ctx: &NodeCtx<'_>, inbox: &[(Vertex, u64)]) -> Action<u64> {
+            // Vertex v halts silently in round v+1; everyone else keeps
+            // broadcasting, so sends toward already-halted nodes pile up.
+            let wave = 100 * ctx.round as u64 + inbox.len() as u64;
+            if ctx.round > ctx.vertex {
+                Action::halt()
+            } else {
+                Action::Broadcast(wave)
+            }
+        }
+        fn finish(self, ctx: &NodeCtx<'_>) -> u64 {
+            ctx.ident
+        }
+    }
+
+    #[test]
+    fn staggered_halts_drop_messages_to_halted() {
+        let g = generators::path(6);
+        let (run, profile) = Network::new(&g).run_profiled(|_| StaggerHalt);
+        // Vertex v halts in round v+1, so 6 rounds total.
+        assert_eq!(run.stats.rounds, 6);
+        let delivered: usize = profile.iter().map(|r| r.messages).sum();
+        assert!(delivered < run.stats.messages, "some sends must be dropped");
+        for r in &profile {
+            assert!(r.messages <= r.sent_messages, "delivered > sent in {r:?}");
+        }
+        let dropped: usize = profile.iter().map(|r| r.dropped_messages()).sum();
+        // Halts are silent here, so every send is due in some profiled
+        // round: the sent/delivered/dropped ledger closes exactly.
+        assert_eq!(delivered + dropped, run.stats.messages);
+        // Live-node counts decay one per round: 6, 5, 4, ...
+        let lives: Vec<usize> = profile.iter().map(|r| r.live_nodes).collect();
+        assert_eq!(lives, vec![6, 5, 4, 3, 2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-neighbor")]
+    fn posting_to_non_neighbor_panics() {
+        let g = generators::path(3);
+        struct BadSend;
+        impl Protocol for BadSend {
+            type Msg = u64;
+            type Output = ();
+            fn start(&mut self, ctx: &NodeCtx<'_>) -> Vec<(Vertex, u64)> {
+                if ctx.vertex == 0 {
+                    vec![(2, 7)] // not adjacent on a path
+                } else {
+                    Vec::new()
+                }
+            }
+            fn round(&mut self, _: &NodeCtx<'_>, _: &[(Vertex, u64)]) -> Action<u64> {
+                Action::halt()
+            }
+            fn finish(self, _: &NodeCtx<'_>) {}
+        }
+        let _ = Network::new(&g).run(|_| BadSend);
+    }
+
+    #[test]
+    #[should_panic(expected = "two messages")]
+    fn duplicate_send_panics() {
+        let g = generators::path(3);
+        struct DoubleSend;
+        impl Protocol for DoubleSend {
+            type Msg = u64;
+            type Output = ();
+            fn start(&mut self, ctx: &NodeCtx<'_>) -> Vec<(Vertex, u64)> {
+                if ctx.vertex == 0 {
+                    vec![(1, 7), (1, 8)]
+                } else {
+                    Vec::new()
+                }
+            }
+            fn round(&mut self, _: &NodeCtx<'_>, _: &[(Vertex, u64)]) -> Action<u64> {
+                Action::halt()
+            }
+            fn finish(self, _: &NodeCtx<'_>) {}
+        }
+        let _ = Network::new(&g).run(|_| DoubleSend);
+    }
+
+    /// Out-of-order (reverse-sorted) outboxes still land correctly via the
+    /// binary-search fallback.
+    #[test]
+    fn out_of_order_sends_are_delivered() {
+        let g = generators::star(5);
+        struct ReverseSendState(usize);
+        impl Protocol for ReverseSendState {
+            type Msg = u64;
+            type Output = usize;
+            fn start(&mut self, ctx: &NodeCtx<'_>) -> Vec<(Vertex, u64)> {
+                ctx.neighbors.iter().rev().map(|&u| (u, u as u64)).collect()
+            }
+            fn round(&mut self, ctx: &NodeCtx<'_>, inbox: &[(Vertex, u64)]) -> Action<u64> {
+                for w in inbox.windows(2) {
+                    assert!(w[0].0 < w[1].0, "inbox must stay sender-sorted");
+                }
+                for &(_, m) in inbox {
+                    // Every message carries its addressee's index.
+                    assert_eq!(m, ctx.vertex as u64, "message landed at the wrong receiver");
+                }
+                self.0 = inbox.len();
+                Action::halt()
+            }
+            fn finish(self, _: &NodeCtx<'_>) -> usize {
+                self.0
+            }
+        }
+        let run = Network::new(&g).run(|_| ReverseSendState(0));
+        // The center received one message from each of the 4 leaves.
+        assert_eq!(run.outputs[0], 4);
+        assert!(run.outputs[1..].iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn threaded_run_matches_sequential() {
+        let g = generators::random_graph(3000, 9000, 12);
+        let seq = Network::new(&g).run_profiled(|_| FloodMax { radius: 4, best: 0 });
+        for threads in [1, 2, 3, 8] {
+            let par = Network::new(&g)
+                .with_threads(threads)
+                .run_profiled_threaded(|_| FloodMax { radius: 4, best: 0 });
+            assert_eq!(seq.0.outputs, par.0.outputs, "threads={threads}");
+            assert_eq!(seq.0.stats, par.0.stats, "threads={threads}");
+            assert_eq!(seq.1, par.1, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn threaded_with_staggered_halts_matches_sequential() {
+        // Halting nodes mid-run exercises the stale-slot check across chunk
+        // boundaries.
+        struct HalfLife;
+        impl Protocol for HalfLife {
+            type Msg = u64;
+            type Output = u64;
+            fn start(&mut self, ctx: &NodeCtx<'_>) -> Vec<(Vertex, u64)> {
+                ctx.broadcast(ctx.ident)
+            }
+            fn round(&mut self, ctx: &NodeCtx<'_>, inbox: &[(Vertex, u64)]) -> Action<u64> {
+                let sum: u64 = inbox.iter().map(|&(_, m)| m).sum();
+                // Every vertex halts within 7 rounds, staggered by index.
+                if (ctx.vertex + ctx.round) % 7 == 0 {
+                    Action::Halt(ctx.broadcast(sum))
+                } else {
+                    Action::Broadcast(sum % 1000)
+                }
+            }
+            fn finish(self, ctx: &NodeCtx<'_>) -> u64 {
+                ctx.ident
+            }
+        }
+        let g = generators::random_graph(4000, 16000, 77);
+        let seq = Network::new(&g).run_profiled(|_| HalfLife);
+        let par = Network::new(&g).with_threads(4).run_profiled_threaded(|_| HalfLife);
+        assert_eq!(seq.0.outputs, par.0.outputs);
+        assert_eq!(seq.0.stats, par.0.stats);
+        assert_eq!(seq.1, par.1);
     }
 }

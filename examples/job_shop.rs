@@ -44,10 +44,7 @@ fn main() {
 
     let g = task_graph(jobs, machines, tasks, seed);
     let delta = g.max_degree();
-    println!(
-        "job shop: {jobs} jobs × {machines} machines, {} tasks, max load Δ = {delta}",
-        g.m()
-    );
+    println!("job shop: {jobs} jobs × {machines} machines, {} tasks, max load Δ = {delta}", g.m());
     println!("lower bound on makespan: Δ = {delta} slots\n");
 
     println!("{:<28} {:>9} {:>10} {:>14}", "scheduler", "makespan", "rounds", "max msg bits");

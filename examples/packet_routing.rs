@@ -31,8 +31,10 @@ fn main() {
         g.component_count()
     );
     if g.n() <= 200 {
-        println!("neighborhood independence I(G) = {} (≤ 5 for unit disks)",
-            properties::neighborhood_independence(&g));
+        println!(
+            "neighborhood independence I(G) = {} (≤ 5 for unit disks)",
+            properties::neighborhood_independence(&g)
+        );
     }
 
     println!(

@@ -15,12 +15,7 @@ fn main() {
     let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(42);
 
     let g = generators::random_bounded_degree(n, delta, seed);
-    println!(
-        "graph: n = {}, m = {}, Δ = {} (seed {seed})",
-        g.n(),
-        g.m(),
-        g.max_degree()
-    );
+    println!("graph: n = {}, m = {}, Δ = {} (seed {seed})", g.n(), g.m(), g.max_degree());
 
     let params = edge_log_depth(1);
     println!(

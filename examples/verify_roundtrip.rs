@@ -45,8 +45,7 @@ fn main() {
 
     // 4. Verify distributedly: one round, every vertex certifies its edges.
     let net = Network::new(&g2);
-    let (verdicts, stats) =
-        verify_edge_coloring(&net, run.coloring.colors(), run.theta);
+    let (verdicts, stats) = verify_edge_coloring(&net, run.coloring.colors(), run.theta);
     let ok = verdicts.iter().all(|&b| b);
     println!(
         "distributed verification: {} in {} round ({} bits max message)",
@@ -68,8 +67,7 @@ fn main() {
 
     // Bonus: verify a vertex coloring too (the Δ+1 reduction).
     let (colors, _) = deco_core::reduction::delta_plus_one_coloring(&net);
-    let (verdicts, _) =
-        verify_vertex_coloring(&net, &colors, g2.max_degree() as u64 + 1);
+    let (verdicts, _) = verify_vertex_coloring(&net, &colors, g2.max_degree() as u64 + 1);
     assert!(verdicts.iter().all(|&b| b));
     println!("(Δ+1)-vertex-coloring verified distributedly as well");
 }

@@ -5,25 +5,29 @@
 //! messages) triples so any behavioral drift — a changed tie-break, a
 //! reordered loop, an accounting fix — shows up as an explicit diff that
 //! must be acknowledged by updating the pin and re-running the benches.
+//!
+//! The seeded graphs come from the workspace-local `rand` stand-in (see
+//! `crates/rand`), so these values are pinned against *its* streams; a
+//! change to that crate's PRNG invalidates every pin below.
 
 use deco_core::edge::legal::{edge_color, edge_log_depth, MessageMode};
 use deco_core::edge::panconesi_rizzi::pr_edge_color;
 use deco_core::legal::legal_color;
 use deco_core::params::LegalParams;
-use deco_graph::line_graph::line_graph;
 use deco_graph::generators;
+use deco_graph::line_graph::line_graph;
 use deco_local::Network;
 
 #[test]
 fn pin_edge_color_on_seeded_graph() {
     let g = generators::random_bounded_degree(512, 64, 0xF1);
-    assert_eq!((g.n(), g.m(), g.max_degree()), (512, 16383, 64));
+    assert_eq!((g.n(), g.m(), g.max_degree()), (512, 16380, 64));
     let run = edge_color(&g, edge_log_depth(1), MessageMode::Long).unwrap();
     assert!(run.coloring.is_proper(&g));
-    assert_eq!(run.coloring.palette_size(), 191);
+    assert_eq!(run.coloring.palette_size(), 185);
     assert_eq!(run.theta, 23_808);
-    assert_eq!(run.stats.rounds, 468);
-    assert_eq!(run.stats.messages, 3_227_896);
+    assert_eq!(run.stats.rounds, 466);
+    assert_eq!(run.stats.messages, 3_199_962);
     assert_eq!(run.levels.len(), 2);
 }
 
@@ -32,9 +36,9 @@ fn pin_panconesi_rizzi_on_seeded_graph() {
     let g = generators::random_bounded_degree(512, 64, 0xF1);
     let (pr, stats) = pr_edge_color(&g);
     assert!(pr.is_proper(&g));
-    assert_eq!(pr.palette_size(), 102);
+    assert_eq!(pr.palette_size(), 93);
     assert_eq!(stats.rounds, 399);
-    assert_eq!(stats.messages, 262_128);
+    assert_eq!(stats.messages, 262_080);
 }
 
 #[test]

@@ -11,8 +11,8 @@ use deco_core::params::{next_lambda, LegalParams};
 use deco_core::randomized::{randomized_split, randomized_vertex_color};
 use deco_core::tradeoff::tradeoff_vertex_color;
 use deco_graph::coloring::VertexColoring;
-use deco_graph::line_graph::line_graph;
 use deco_graph::generators;
+use deco_graph::line_graph::line_graph;
 use deco_local::Network;
 
 /// An edge coloring of G and a vertex coloring of L(G) are the same object:

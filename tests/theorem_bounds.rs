@@ -12,9 +12,9 @@ use deco_core::math::{linial_final_palette, log_star};
 use deco_core::params::LegalParams;
 use deco_core::reduction::delta_plus_one_coloring;
 use deco_graph::coloring::VertexColoring;
+use deco_graph::generators;
 use deco_graph::line_graph::{line_graph, line_graph_max_degree};
 use deco_graph::properties::neighborhood_independence;
-use deco_graph::generators;
 use deco_local::Network;
 
 /// Lemma 2.1(1): Linial computes a legal O(Δ²)-coloring in O(log* n) time.
@@ -45,9 +45,8 @@ fn lemma_2_1_2_delta_plus_one() {
     assert!(c.is_proper(&g));
     assert!(c.color_bound() <= delta + 1);
     let m0 = linial_final_palette(g.n() as u64, delta);
-    let bound = deco_core::reduction::reduction_rounds(m0, delta)
-        + log_star(g.n() as u64) as u64
-        + 8;
+    let bound =
+        deco_core::reduction::reduction_rounds(m0, delta) + log_star(g.n() as u64) as u64 + 8;
     assert!(stats.rounds as u64 <= bound);
 }
 
@@ -161,7 +160,7 @@ fn panconesi_rizzi_bounds() {
         let delta = g.max_degree();
         let (coloring, stats) = pr_edge_color(&g);
         assert!(coloring.is_proper(&g));
-        assert!(coloring.palette_size() <= 2 * delta - 1);
+        assert!(coloring.palette_size() < 2 * delta);
         let bound = 6 * delta + deco_core::cole_vishkin::cv_rounds(n as u64) + 4;
         assert!(stats.rounds <= bound, "{} > {bound}", stats.rounds);
     }

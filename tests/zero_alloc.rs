@@ -1,0 +1,105 @@
+//! Pins the slot engine's zero-allocation steady state: once buffers reach
+//! their steady size, additional rounds of a broadcast protocol allocate
+//! (essentially) nothing — the delivery path is arena writes only. The
+//! naive reference engine, by contrast, allocates per round by design.
+//!
+//! Allocation counts are deterministic for a fixed sequential run, so the
+//! assertions are exact-science, not flaky heuristics.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+// SAFETY: delegates everything to the system allocator; the counter is a
+// relaxed atomic with no further invariants.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+use deco_graph::generators;
+use deco_local::{Action, Engine, Network, NodeCtx, Protocol};
+
+/// Broadcast a counter for a fixed number of rounds — the steady-state
+/// delivery workload (`Action::Broadcast` keeps even the protocol layer
+/// allocation-free after `start`).
+struct Pulse {
+    rounds: usize,
+    acc: u64,
+}
+
+impl Protocol for Pulse {
+    type Msg = u64;
+    type Output = u64;
+
+    fn start(&mut self, ctx: &NodeCtx<'_>) -> Vec<(usize, u64)> {
+        ctx.broadcast(ctx.ident)
+    }
+
+    fn round(&mut self, ctx: &NodeCtx<'_>, inbox: &[(usize, u64)]) -> Action<u64> {
+        for &(_, m) in inbox {
+            self.acc = self.acc.wrapping_add(m);
+        }
+        if ctx.round >= self.rounds {
+            Action::halt()
+        } else {
+            Action::Broadcast(self.acc)
+        }
+    }
+
+    fn finish(self, _ctx: &NodeCtx<'_>) -> u64 {
+        self.acc
+    }
+}
+
+fn allocs_for(engine: Engine, rounds: usize) -> usize {
+    let g = generators::random_bounded_degree(2000, 8, 0xa110c);
+    let net = Network::new(&g).with_engine(engine);
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let run = net.run(|_| Pulse { rounds, acc: 0 });
+    assert_eq!(run.stats.rounds, rounds);
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn slot_engine_steady_state_allocates_nothing_per_round() {
+    // Warm up whatever lazy global state the first run touches.
+    let _ = allocs_for(Engine::Slot, 4);
+    let short = allocs_for(Engine::Slot, 10);
+    let long = allocs_for(Engine::Slot, 110);
+    let per_round_extra = long.saturating_sub(short);
+    // 100 extra rounds of steady-state delivery: the only growth is the
+    // profile vector doubling a handful of times. Anything per-node or
+    // per-message would show up as tens of thousands of allocations.
+    assert!(
+        per_round_extra < 64,
+        "slot engine allocated {per_round_extra} times across 100 steady-state rounds"
+    );
+
+    let naive_short = allocs_for(Engine::Naive, 10);
+    let naive_long = allocs_for(Engine::Naive, 110);
+    let naive_extra = naive_long - naive_short;
+    // The naive engine allocates per round by design (fresh inbox vectors);
+    // the contrast is the point of the refactor.
+    assert!(
+        naive_extra > 100 * 100,
+        "naive engine unexpectedly frugal: {naive_extra} allocations in 100 rounds"
+    );
+}

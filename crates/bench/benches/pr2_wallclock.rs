@@ -1,0 +1,324 @@
+//! **PR2 — send-everywhere pipelines**: wall-clock of the adaptive
+//! scan/push delivery and the threaded pipeline drivers, on the scenario
+//! PR 1 left flat: the edge-coloring pipeline's long sparse tail, where the
+//! slot engine's O(deg) inbox sweeps only tied the naive engine
+//! (`BENCH_pr1.json`, `edge-color/random-bounded-degree`).
+//!
+//! Measured workloads:
+//!
+//! 1. the full edge-coloring pipeline (Theorem 5.5) under the naive engine,
+//!    forced-scan delivery, and adaptive delivery — the acceptance row:
+//!    adaptive must beat (not tie) naive;
+//! 2. Legal-Color on a bounded-NI torus across the same three engines;
+//! 3. an epoch-wave protocol (the Algorithm 1 while-loop shape: one φ-class
+//!    speaks per round) traced per round — records the scan/push choice and
+//!    worker count of every round, the observability the ROADMAP asked for;
+//! 4. FloodMax thread-scaling at 1/2/4/8 workers (threaded pipelines are
+//!    deterministic at any budget; on a 1-core container the numbers are
+//!    noise, recorded with `threads_available` so readers can judge).
+//!
+//! Every comparison asserts bit-identical outputs and stats across engines
+//! and modes. Results go to `BENCH_pr2.json` (override with
+//! `DECO_BENCH_OUT`); `DECO_BENCH_SCALE=full` grows the sweeps.
+
+use deco_bench::json::{array, run_length, Obj, Value};
+use deco_bench::{banner, millis, scale, time_interleaved, Scale, Table};
+use deco_core::edge::legal::{edge_color_in_groups, edge_log_depth, MessageMode};
+use deco_core::legal::legal_color;
+use deco_core::params::LegalParams;
+use deco_graph::{generators, Graph};
+use deco_local::{
+    Action, Delivery, DeliveryChoice, Engine, Network, NodeCtx, Protocol, RoundTrace,
+};
+use std::time::Duration;
+
+/// One engine-comparison row: naive vs forced-scan vs adaptive delivery.
+struct Row {
+    name: String,
+    n: usize,
+    m: usize,
+    rounds: usize,
+    messages: usize,
+    naive: Duration,
+    scan: Duration,
+    adaptive: Duration,
+}
+
+impl Row {
+    fn speedup_vs_naive(&self) -> f64 {
+        self.naive.as_secs_f64() / self.adaptive.as_secs_f64().max(1e-9)
+    }
+
+    fn speedup_vs_scan(&self) -> f64 {
+        self.scan.as_secs_f64() / self.adaptive.as_secs_f64().max(1e-9)
+    }
+
+    fn to_json(&self) -> Value {
+        Obj::new()
+            .field("workload", self.name.as_str())
+            .field("n", self.n)
+            .field("m", self.m)
+            .field("rounds", self.rounds)
+            .field("messages", self.messages)
+            .field("naive_ms", self.naive.as_secs_f64() * 1e3)
+            .field("scan_ms", self.scan.as_secs_f64() * 1e3)
+            .field("adaptive_ms", self.adaptive.as_secs_f64() * 1e3)
+            .field("speedup_adaptive_vs_naive", self.speedup_vs_naive())
+            .field("speedup_adaptive_vs_scan", self.speedup_vs_scan())
+            .build()
+    }
+}
+
+/// Times one pipeline driver under adaptive delivery, forced-scan delivery
+/// and the naive engine, asserting all three agree bit for bit (outputs and
+/// stats) before the interleaved timing passes.
+fn pipeline_row<T, D>(name: &str, g: &Graph, samples: usize, driver: D) -> Row
+where
+    T: PartialEq + std::fmt::Debug,
+    D: Fn(&Network<'_>) -> (T, deco_local::RunStats),
+{
+    let adaptive_net = Network::new(g).with_delivery(Delivery::Adaptive);
+    let scan_net = Network::new(g).with_delivery(Delivery::Scan);
+    let naive_net = Network::new(g).with_engine(Engine::Naive);
+    let adaptive_run = driver(&adaptive_net);
+    let scan_run = driver(&scan_net);
+    let naive_run = driver(&naive_net);
+    assert_eq!(adaptive_run, scan_run, "{name}: scan diverged");
+    assert_eq!(adaptive_run, naive_run, "{name}: naive diverged");
+    let times = time_interleaved(
+        samples,
+        &mut [&mut || driver(&adaptive_net), &mut || driver(&scan_net), &mut || driver(&naive_net)],
+    );
+    Row {
+        name: name.to_string(),
+        n: g.n(),
+        m: g.m(),
+        rounds: adaptive_run.1.rounds,
+        messages: adaptive_run.1.messages,
+        naive: times[2],
+        scan: times[1],
+        adaptive: times[0],
+    }
+}
+
+/// The full edge pipeline (Theorem 5.5) as a comparison row.
+fn edge_pipeline_row(name: &str, g: &Graph, samples: usize) -> Row {
+    let params = edge_log_depth(1);
+    let groups = vec![0u64; g.m()];
+    pipeline_row(name, g, samples, |net| {
+        let run =
+            edge_color_in_groups(net, &groups, 1, params, g.max_degree() as u64, MessageMode::Long)
+                .expect("params are valid");
+        assert!(run.coloring.is_proper(g), "{name}: improper coloring");
+        (run.coloring, run.stats)
+    })
+}
+
+/// The Legal-Color pipeline as a comparison row.
+fn legal_pipeline_row(name: &str, g: &Graph, c: u64, samples: usize) -> Row {
+    let params = LegalParams::log_depth(c, 1);
+    pipeline_row(name, g, samples, |net| {
+        let run = legal_color(net, c, params).expect("params are valid");
+        (run.coloring, run.stats)
+    })
+}
+
+/// The Algorithm 1 while-loop traffic shape: vertices carry a class in
+/// `0..classes`; each round only the matching class broadcasts (everyone
+/// else idles), for `epochs` sweeps — a dense start followed by a long
+/// sparse tail, the adaptive engine's target regime.
+struct EpochWave {
+    classes: u64,
+    epochs: usize,
+    acc: u64,
+}
+
+impl Protocol for EpochWave {
+    type Msg = u64;
+    type Output = u64;
+
+    fn start(&mut self, ctx: &NodeCtx<'_>) -> Vec<(usize, u64)> {
+        self.acc = ctx.ident;
+        ctx.broadcast(ctx.ident)
+    }
+
+    fn round(&mut self, ctx: &NodeCtx<'_>, inbox: &[(usize, u64)]) -> Action<u64> {
+        for &(_, m) in inbox {
+            self.acc = self.acc.wrapping_mul(31).wrapping_add(m);
+        }
+        if ctx.round >= self.epochs * self.classes as usize {
+            Action::halt()
+        } else if ctx.ident % self.classes == (ctx.round as u64) % self.classes {
+            Action::Broadcast(self.acc)
+        } else {
+            Action::idle()
+        }
+    }
+
+    fn finish(self, _ctx: &NodeCtx<'_>) -> u64 {
+        self.acc
+    }
+}
+
+/// Runs the epoch wave traced and returns its JSON record: per-round
+/// delivery choices (run-length encoded), per-round worker counts, and the
+/// push-round share.
+fn traced_epoch_wave(g: &Graph, classes: u64, epochs: usize) -> Value {
+    let net = Network::new(g);
+    let (run, _, trace) = net.run_traced(|_| EpochWave { classes, epochs, acc: 0 });
+    // Scan delivery must agree bit for bit.
+    let scan = Network::new(g).with_delivery(Delivery::Scan).run(|_| EpochWave {
+        classes,
+        epochs,
+        acc: 0,
+    });
+    assert_eq!(run.outputs, scan.outputs, "epoch wave: delivery modes diverged");
+    assert_eq!(run.stats, scan.stats);
+    let push_rounds = trace.iter().filter(|t| t.delivery == DeliveryChoice::Push).count();
+    let labels = trace.iter().map(|t: &RoundTrace| match t.delivery {
+        DeliveryChoice::Scan => "scan",
+        DeliveryChoice::Push => "push",
+    });
+    Obj::new()
+        .field("workload", "delivery-trace/epoch-wave")
+        .field("n", g.n())
+        .field("classes", classes)
+        .field("rounds", run.stats.rounds)
+        .field("push_rounds", push_rounds)
+        .field("push_share", push_rounds as f64 / trace.len().max(1) as f64)
+        .field("per_round_delivery", run_length(labels))
+        .field("per_round_workers", array(trace.iter().map(|t| t.workers)))
+        .build()
+}
+
+/// FloodMax wall-clock at several thread budgets (bit-identity asserted).
+fn thread_scaling(g: &Graph, samples: usize) -> Value {
+    struct FloodMax {
+        radius: usize,
+        best: u64,
+    }
+    impl Protocol for FloodMax {
+        type Msg = u64;
+        type Output = u64;
+        fn start(&mut self, ctx: &NodeCtx<'_>) -> Vec<(usize, u64)> {
+            self.best = ctx.ident;
+            ctx.broadcast(self.best)
+        }
+        fn round(&mut self, ctx: &NodeCtx<'_>, inbox: &[(usize, u64)]) -> Action<u64> {
+            for &(_, v) in inbox {
+                self.best = self.best.max(v);
+            }
+            if ctx.round >= self.radius {
+                Action::halt()
+            } else {
+                Action::Broadcast(self.best)
+            }
+        }
+        fn finish(self, _ctx: &NodeCtx<'_>) -> u64 {
+            self.best
+        }
+    }
+    let mk = |_: &NodeCtx<'_>| FloodMax { radius: 4, best: 0 };
+    const BUDGETS: [usize; 4] = [1, 2, 4, 8];
+    let nets: Vec<Network<'_>> = BUDGETS.iter().map(|&t| Network::new(g).with_threads(t)).collect();
+    let reference = nets[0].run_profiled_threaded(mk);
+    for (net, &threads) in nets.iter().zip(&BUDGETS) {
+        let run = net.run_profiled_threaded(mk);
+        assert_eq!(run.0.outputs, reference.0.outputs, "threads={threads} diverged");
+        assert_eq!(run.0.stats, reference.0.stats);
+    }
+    // Interleave the budgets so machine-load drift is shared fairly instead
+    // of being read as thread-scaling signal.
+    let mut runners: Vec<_> = nets.iter().map(|net| || net.run_profiled_threaded(mk)).collect();
+    let mut variants: Vec<&mut dyn FnMut() -> _> =
+        runners.iter_mut().map(|r| r as &mut dyn FnMut() -> _).collect();
+    let times = time_interleaved(samples, &mut variants);
+    let rows: Vec<Value> = BUDGETS
+        .iter()
+        .zip(&times)
+        .map(|(&threads, t)| {
+            Obj::new().field("threads", threads).field("ms", t.as_secs_f64() * 1e3).build()
+        })
+        .collect();
+    Obj::new()
+        .field("workload", "thread-scaling/floodmax")
+        .field("n", g.n())
+        .field("samples", samples)
+        .field("per_thread_budget", Value::Array(rows))
+        .build()
+}
+
+fn main() {
+    banner("PR2 / wallclock", "adaptive push/scan delivery vs scan-only and naive");
+    let full = scale() == Scale::Full;
+    let samples = 3;
+
+    // 1. The acceptance scenario: the edge pipeline's sparse tail.
+    let (edge_n, edge_d) = if full { (30_000, 40) } else { (6_000, 40) };
+    println!("generating random_bounded_degree(n={edge_n}, Δ={edge_d}) ...");
+    let g = generators::random_bounded_degree(edge_n, edge_d, 0x9124);
+    let edge_row = edge_pipeline_row("edge-color/random-bounded-degree", &g, samples);
+    drop(g);
+
+    // 2. Legal-Color on a bounded-NI torus.
+    let side = if full { 1000 } else { 320 };
+    println!("generating torus({side}x{side}) ...");
+    let t = generators::torus(side, side);
+    let legal_row = legal_pipeline_row("legal-color/torus-bounded-ni", &t, 4, 1);
+    drop(t);
+
+    // 3. Per-round delivery trace on the epoch-wave shape.
+    let wave_n = if full { 200_000 } else { 50_000 };
+    println!("generating random_bounded_degree(n={wave_n}, Δ=8) ...");
+    let g = generators::random_bounded_degree(wave_n, 8, 0x9125);
+    let wave_json = traced_epoch_wave(&g, 16, 3);
+
+    // 4. Thread scaling on the same graph.
+    let scaling_json = thread_scaling(&g, samples);
+    drop(g);
+
+    let rows = [&edge_row, &legal_row];
+    println!();
+    let table = Table::new(
+        &["workload", "n", "rounds", "naive ms", "scan ms", "adapt ms", "vs naive", "vs scan"],
+        &[34, 9, 7, 10, 10, 10, 9, 8],
+    );
+    for r in rows {
+        table.row(&[
+            r.name.clone(),
+            r.n.to_string(),
+            r.rounds.to_string(),
+            millis(r.naive),
+            millis(r.scan),
+            millis(r.adaptive),
+            format!("{:.2}x", r.speedup_vs_naive()),
+            format!("{:.2}x", r.speedup_vs_scan()),
+        ]);
+    }
+    println!("\n(adaptive = per-round scan/push choice; all engines verified bit-identical)");
+
+    let threads = std::thread::available_parallelism().map_or(1, |p| p.get()).min(16);
+    let json = Obj::new()
+        .field("bench", "pr2_wallclock")
+        .field("scale", if full { "full" } else { "quick" })
+        .field("samples", samples)
+        .field("threads_available", threads)
+        .field(
+            "acceptance",
+            Obj::new()
+                .field(
+                    "criterion",
+                    "adaptive delivery >= naive engine on the sparse edge-color scenario \
+                     that was flat in BENCH_pr1.json",
+                )
+                .field("met", edge_row.speedup_vs_naive() >= 1.0)
+                .field("speedup_adaptive_vs_naive", edge_row.speedup_vs_naive())
+                .build(),
+        )
+        .field("workloads", vec![edge_row.to_json(), legal_row.to_json(), wave_json, scaling_json])
+        .build();
+    let out = std::env::var("DECO_BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_pr2.json", env!("CARGO_MANIFEST_DIR")));
+    std::fs::write(&out, deco_bench::json::to_string(&json)).expect("write bench json");
+    println!("wrote {out}");
+}

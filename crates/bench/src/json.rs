@@ -74,6 +74,35 @@ impl From<Vec<Value>> for Value {
     }
 }
 
+/// Builds an array value by converting each item — the shape used for
+/// per-round series (delivery choices, worker counts, message loads).
+pub fn array<T: Into<Value>>(items: impl IntoIterator<Item = T>) -> Value {
+    Value::Array(items.into_iter().map(Into::into).collect())
+}
+
+/// A compact run-length encoding of a per-round label series, e.g.
+/// `["3xscan", "41xpush"]` for 3 scan rounds followed by 41 push rounds —
+/// keeps BENCH_*.json readable for thousand-round traces.
+pub fn run_length(labels: impl IntoIterator<Item = &'static str>) -> Value {
+    let mut encoded: Vec<Value> = Vec::new();
+    let mut current: Option<(&'static str, usize)> = None;
+    for label in labels {
+        match &mut current {
+            Some((cur, count)) if *cur == label => *count += 1,
+            _ => {
+                if let Some((cur, count)) = current.take() {
+                    encoded.push(Value::Str(format!("{count}x{cur}")));
+                }
+                current = Some((label, 1));
+            }
+        }
+    }
+    if let Some((cur, count)) = current {
+        encoded.push(Value::Str(format!("{count}x{cur}")));
+    }
+    Value::Array(encoded)
+}
+
 /// Builder for an insertion-ordered JSON object.
 #[derive(Debug, Clone, Default)]
 pub struct Obj(Vec<(String, Value)>);
@@ -211,5 +240,21 @@ mod tests {
     fn empty_containers() {
         assert_eq!(to_string(&Value::Array(vec![])), "[]\n");
         assert_eq!(to_string(&Obj::new().build()), "{}\n");
+    }
+
+    #[test]
+    fn array_converts_items() {
+        let v = array([1usize, 2, 3]);
+        assert_eq!(to_string(&v), "[\n  1,\n  2,\n  3\n]\n");
+    }
+
+    #[test]
+    fn run_length_encodes_series() {
+        let v = run_length(["scan", "scan", "push", "push", "push", "scan"]);
+        let s = to_string(&v);
+        assert!(s.contains("\"2xscan\""));
+        assert!(s.contains("\"3xpush\""));
+        assert!(s.contains("\"1xscan\""));
+        assert_eq!(to_string(&run_length([])), "[]\n");
     }
 }

@@ -107,6 +107,41 @@ pub fn millis(d: Duration) -> String {
     format!("{:.2}", d.as_secs_f64() * 1e3)
 }
 
+/// Interleaved comparison timing: runs one untimed warm-up of every variant,
+/// then `samples` passes timing each variant once per pass, and returns the
+/// per-variant medians. Two fairness devices, both of which matter on
+/// shared containers where the noise exceeds the effects being measured:
+/// interleaving cancels machine-load drift that sequential per-variant
+/// blocks soak up unevenly, and each pass starts at a different variant so
+/// no variant always inherits the same predecessor's allocator and cache
+/// state.
+pub fn time_interleaved<R>(
+    samples: usize,
+    variants: &mut [&mut dyn FnMut() -> R],
+) -> Vec<Duration> {
+    assert!(samples >= 1, "need at least one sample");
+    for f in variants.iter_mut() {
+        let _ = f();
+    }
+    let k = variants.len();
+    let mut times: Vec<Vec<Duration>> = variants.iter().map(|_| Vec::new()).collect();
+    for pass in 0..samples {
+        for i in 0..k {
+            let v = (pass + i) % k;
+            let t0 = Instant::now();
+            let _ = variants[v]();
+            times[v].push(t0.elapsed());
+        }
+    }
+    times
+        .into_iter()
+        .map(|mut ts| {
+            ts.sort_unstable();
+            ts[ts.len() / 2]
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -23,6 +23,7 @@
 use crate::code_reduction::run_oriented_code_reduction;
 use crate::math::linial_schedule;
 use crate::msg::FieldMsg;
+use crate::pipeline::Pipeline;
 use deco_graph::coloring::{EdgeColoring, VertexColoring};
 use deco_graph::line_graph::line_graph;
 use deco_graph::properties::degeneracy;
@@ -80,8 +81,13 @@ impl Protocol for Peel {
 /// layers (1-based) and stats. The number of distinct layers is `O(log n)`
 /// whenever `threshold >= (2+ε)·arboricity`.
 pub fn h_partition(net: &Network<'_>, threshold: u64) -> (Vec<u64>, RunStats) {
-    let run = net.run(|_| Peel { threshold: threshold as usize, active_neighbors: 0, layer: 0 });
-    (run.outputs, run.stats)
+    let mut pl = Pipeline::new(net);
+    let layers = pl.run("h-partition", |_| Peel {
+        threshold: threshold as usize,
+        active_neighbors: 0,
+        layer: 0,
+    });
+    (layers, pl.into_stats())
 }
 
 /// Runs the baseline on `g`. Uses `a = degeneracy(g)` (an upper bound on

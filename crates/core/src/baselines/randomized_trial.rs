@@ -14,6 +14,7 @@
 //! deterministic `O(log Δ) + log* n`.
 
 use crate::msg::FieldMsg;
+use crate::pipeline::{merge_edge_replicas, Pipeline};
 use deco_graph::coloring::EdgeColoring;
 use deco_graph::{EdgeIdx, Graph, Vertex};
 use deco_local::{Action, Network, NodeCtx, Protocol, RunStats};
@@ -161,7 +162,8 @@ pub fn randomized_trial_edge_color(g: &Graph, seed: u64) -> (EdgeColoring, RunSt
     }
     let palette = (2 * g.max_degree() - 1) as u64;
     let net = Network::new(g);
-    let run = net.run(|ctx| RandomTrial {
+    let mut pl = Pipeline::new(&net);
+    let outputs = pl.run("randomized-trial-edges", |ctx| RandomTrial {
         palette,
         rng: StdRng::seed_from_u64(seed ^ ctx.ident.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
         edges: g
@@ -178,17 +180,8 @@ pub fn randomized_trial_edge_color(g: &Graph, seed: u64) -> (EdgeColoring, RunSt
             })
             .collect(),
     });
-    let mut colors = vec![u64::MAX; g.m()];
-    for per_vertex in &run.outputs {
-        for &(e, c) in per_vertex {
-            if colors[e] == u64::MAX {
-                colors[e] = c;
-            } else {
-                assert_eq!(colors[e], c, "endpoints disagree on edge {e}");
-            }
-        }
-    }
-    (EdgeColoring::new(colors), run.stats)
+    let colors = merge_edge_replicas(g.m(), &outputs, "trial-color");
+    (EdgeColoring::new(colors), pl.into_stats())
 }
 
 #[derive(Debug)]
@@ -250,14 +243,15 @@ pub fn randomized_trial_vertex_color(
 ) -> (deco_graph::coloring::VertexColoring, RunStats) {
     let palette = (2 * g.max_degree()).max(1) as u64;
     let net = Network::new(g);
-    let run = net.run(|ctx| VertexTrial {
+    let mut pl = Pipeline::new(&net);
+    let outputs = pl.run("randomized-trial-vertices", |ctx| VertexTrial {
         palette,
         rng: StdRng::seed_from_u64(seed ^ ctx.ident.wrapping_mul(0xd134_2543_de82_ef95)),
         color: None,
         nbr_colors: Vec::new(),
         proposal: 0,
     });
-    (deco_graph::coloring::VertexColoring::new(run.outputs), run.stats)
+    (deco_graph::coloring::VertexColoring::new(outputs), pl.into_stats())
 }
 
 #[cfg(test)]

@@ -18,9 +18,9 @@
 
 use crate::math::{digits_base, poly_eval, CodeStep};
 use crate::msg::FieldMsg;
+use crate::pipeline::Pipeline;
 use deco_graph::Vertex;
-use deco_local::{Action, Network, NodeCtx, Protocol, Run, RunStats};
-use std::rc::Rc;
+use deco_local::{Action, Network, NodeCtx, Protocol, RunStats, SharedConfig};
 
 /// Per-vertex state of the code-reduction protocol.
 #[derive(Debug)]
@@ -28,7 +28,7 @@ pub struct CodeReduction {
     group: u64,
     group_domain: u64,
     color: u64,
-    steps: Rc<Vec<CodeStep>>,
+    steps: SharedConfig<Vec<CodeStep>>,
     applied: usize,
 }
 
@@ -126,15 +126,16 @@ pub fn run_code_reduction(
     if steps.is_empty() {
         return (init.to_vec(), RunStats::zero());
     }
-    let steps = Rc::new(steps);
-    let run: Run<u64> = net.run(|ctx| CodeReduction {
+    let steps = SharedConfig::new(steps);
+    let mut pl = Pipeline::new(net);
+    let outputs = pl.run("code-reduction", |ctx| CodeReduction {
         group: groups[ctx.vertex],
         group_domain,
         color: init[ctx.vertex],
-        steps: Rc::clone(&steps),
+        steps: SharedConfig::clone(&steps),
         applied: 0,
     });
-    (run.outputs, run.stats)
+    (outputs, pl.into_stats())
 }
 
 /// The *oriented* variant of the code reduction: every vertex only avoids
@@ -149,7 +150,7 @@ pub struct OrientedCodeReduction {
     rank: u64,
     rank_domain: u64,
     color: u64,
-    steps: Rc<Vec<CodeStep>>,
+    steps: SharedConfig<Vec<CodeStep>>,
     applied: usize,
 }
 
@@ -187,7 +188,7 @@ impl Protocol for OrientedCodeReduction {
             group: 0,
             group_domain: 1,
             color: self.color,
-            steps: Rc::new(vec![step]),
+            steps: SharedConfig::new(vec![step]),
             applied: 0,
         };
         scratch.apply_step(&out_colors);
@@ -220,15 +221,16 @@ pub fn run_oriented_code_reduction(
     if steps.is_empty() {
         return (init.to_vec(), RunStats::zero());
     }
-    let steps = Rc::new(steps);
-    let run = net.run(|ctx| OrientedCodeReduction {
+    let steps = SharedConfig::new(steps);
+    let mut pl = Pipeline::new(net);
+    let outputs = pl.run("oriented-code-reduction", |ctx| OrientedCodeReduction {
         rank: ranks[ctx.vertex],
         rank_domain: rank_domain.max(1),
         color: init[ctx.vertex],
-        steps: Rc::clone(&steps),
+        steps: SharedConfig::clone(&steps),
         applied: 0,
     });
-    (run.outputs, run.stats)
+    (outputs, pl.into_stats())
 }
 
 /// Theorem 4.7 (Kuhn \[19\]): refine a `d'`-defective `M`-coloring into a

@@ -19,10 +19,10 @@
 //! messages stay `O(log n)` bits.
 
 use crate::msg::FieldMsg;
+use crate::pipeline::Pipeline;
 use deco_graph::{Graph, Vertex};
-use deco_local::{bits_for_range, Action, Network, NodeCtx, Protocol, RunStats};
+use deco_local::{bits_for_range, Action, Network, NodeCtx, Protocol, RunStats, SharedConfig};
 use std::collections::BTreeMap;
-use std::rc::Rc;
 
 /// The bit-reduction schedule: the palette after each round, ending at 6.
 fn cv_palettes(n: u64) -> Vec<u64> {
@@ -61,30 +61,42 @@ struct Slot {
 
 #[derive(Debug)]
 struct CvColor {
-    /// Forest id -> slot; BTreeMap for deterministic iteration.
-    slots: BTreeMap<u64, Slot>,
-    /// Sender vertex -> forest id of our parent edge from that sender.
-    parent_fid: BTreeMap<Vertex, u64>,
-    palettes: Rc<Vec<u64>>,
+    /// `(forest id, slot)`, sorted by forest id — a flat sorted vector
+    /// beats a `BTreeMap` here: every round iterates all slots (sends) and
+    /// the per-node slot count is small, so contiguity wins.
+    slots: Vec<(u64, Slot)>,
+    /// `(parent sender, forest id of our parent edge from it)`, sorted by
+    /// sender.
+    parent_fid: Vec<(Vertex, u64)>,
+    /// `(child, index into slots)`, sorted by child: the per-round outbox
+    /// order. Emitting child-sorted outboxes lets the simulator's posting
+    /// cursor match slots in O(1) per message instead of falling back to a
+    /// binary search (children are distinct across forests — each parent
+    /// edge is a distinct graph edge).
+    send_order: Vec<(Vertex, u32)>,
+    palettes: SharedConfig<Vec<u64>>,
     n: u64,
 }
 
 impl CvColor {
     fn send_colors(&self, palette: u64) -> Vec<(Vertex, FieldMsg)> {
-        let mut out = Vec::new();
-        for slot in self.slots.values() {
-            for &child in &slot.children {
-                out.push((child, FieldMsg::new(&[(slot.color, palette)])));
-            }
-        }
-        out
+        self.send_order
+            .iter()
+            .map(|&(child, si)| {
+                (child, FieldMsg::new(&[(self.slots[si as usize].1.color, palette)]))
+            })
+            .collect()
     }
 
     fn receive(&mut self, inbox: &[(Vertex, FieldMsg)]) {
         for (sender, m) in inbox {
-            if let Some(&fid) = self.parent_fid.get(sender) {
-                let slot = self.slots.get_mut(&fid).expect("parent_fid keys have slots");
-                slot.parent_color = m.field(0);
+            if let Ok(i) = self.parent_fid.binary_search_by_key(sender, |&(s, _)| s) {
+                let fid = self.parent_fid[i].1;
+                let j = self
+                    .slots
+                    .binary_search_by_key(&fid, |&(f, _)| f)
+                    .expect("parent_fid entries have slots");
+                self.slots[j].1.parent_color = m.field(0);
             }
         }
     }
@@ -111,7 +123,7 @@ impl Protocol for CvColor {
         let palette = if r <= s { self.palettes[r - 1] } else { 6 };
         if r <= s {
             // Bit-reduction step.
-            for slot in self.slots.values_mut() {
+            for (_, slot) in self.slots.iter_mut() {
                 let parent_color = match slot.parent {
                     Some(_) => slot.parent_color,
                     None => slot.color ^ 1, // fake parent differing in bit 0
@@ -128,7 +140,7 @@ impl Protocol for CvColor {
                 0 => {
                     // Shift-down: adopt the parent's color; roots take the
                     // smallest color in {0,1,2} different from their own.
-                    for slot in self.slots.values_mut() {
+                    for (_, slot) in self.slots.iter_mut() {
                         slot.pre_shift = slot.color;
                         slot.color = match slot.parent {
                             Some(_) => slot.parent_color,
@@ -143,7 +155,7 @@ impl Protocol for CvColor {
                     // Recolor class q into {0,1,2}: the parent's current
                     // color and the children's (uniform) color — our
                     // pre-shift color — each block one choice.
-                    for slot in self.slots.values_mut() {
+                    for (_, slot) in self.slots.iter_mut() {
                         if slot.color == q {
                             let parent = match slot.parent {
                                 Some(_) => slot.parent_color,
@@ -191,10 +203,11 @@ pub fn cv_three_color(
     let g = net.graph();
     assert_eq!(forest_of_edge.len(), g.m(), "one forest assignment per edge");
     let inits = slot_inits(g, forest_of_edge);
-    let palettes = Rc::new(cv_palettes(g.n() as u64));
-    let run = net.run(|ctx| {
+    let palettes = SharedConfig::new(cv_palettes(g.n() as u64));
+    let mut pl = Pipeline::new(net);
+    let outputs = pl.run("cole-vishkin", |ctx| {
         let (slots_init, parent_fid) = &inits[ctx.vertex];
-        let slots: BTreeMap<u64, Slot> = slots_init
+        let slots: Vec<(u64, Slot)> = slots_init
             .iter()
             .map(|(fid, parent, children)| {
                 (
@@ -209,25 +222,33 @@ pub fn cv_three_color(
                 )
             })
             .collect();
+        let mut send_order: Vec<(Vertex, u32)> = slots
+            .iter()
+            .enumerate()
+            .flat_map(|(si, (_, slot))| slot.children.iter().map(move |&c| (c, si as u32)))
+            .collect();
+        send_order.sort_unstable();
         CvColor {
             slots,
             parent_fid: parent_fid.clone(),
-            palettes: Rc::clone(&palettes),
+            send_order,
+            palettes: SharedConfig::clone(&palettes),
             n: g.n() as u64,
         }
     });
-    (run.outputs, run.stats)
+    (outputs, pl.into_stats())
 }
 
 type SlotInit = (u64, Option<Vertex>, Vec<Vertex>);
 
-/// Per-vertex slot structure: (slots, parent-sender -> fid). This is purely
-/// local information (each vertex's incident edges and their forest ids).
+/// Per-vertex slot structure: (slots, sorted (parent-sender, fid) pairs).
+/// This is purely local information (each vertex's incident edges and their
+/// forest ids).
 #[allow(clippy::type_complexity)]
 fn slot_inits(
     g: &Graph,
     forest_of_edge: &[(u64, Vertex)],
-) -> Vec<(Vec<SlotInit>, BTreeMap<Vertex, u64>)> {
+) -> Vec<(Vec<SlotInit>, Vec<(Vertex, u64)>)> {
     let mut slots: Vec<BTreeMap<u64, (Option<Vertex>, Vec<Vertex>)>> = vec![BTreeMap::new(); g.n()];
     let mut parent_fid: Vec<BTreeMap<Vertex, u64>> = vec![BTreeMap::new(); g.n()];
     for (e, &(fid, parent)) in forest_of_edge.iter().enumerate() {
@@ -254,7 +275,7 @@ fn slot_inits(
                     (fid, parent, children)
                 })
                 .collect();
-            (inits, pf)
+            (inits, pf.into_iter().collect())
         })
         .collect()
 }

@@ -18,6 +18,7 @@
 use crate::code_reduction::run_code_reduction;
 use crate::math::{kuhn_schedule, linial_schedule, CodeStep};
 use crate::msg::FieldMsg;
+use crate::pipeline::Pipeline;
 use deco_graph::Vertex;
 use deco_local::{Action, Network, NodeCtx, Protocol, RunStats};
 
@@ -187,9 +188,11 @@ pub fn defective_color_in_groups(
     assert!(b * p <= lambda.max(1), "need b·p <= Λ");
     let (steps, phi_defect) = phi_schedule(aux_palette, lambda, b, p);
     let phi_palette = steps.last().map(|s| s.to_palette).unwrap_or(aux_palette);
+    let mut pl = Pipeline::new(net);
     let (phi, stats1) = run_code_reduction(net, groups, group_domain, aux, steps);
+    pl.absorb("phi/code-reduction", stats1);
 
-    let run = net.run(|ctx| PsiSelect {
+    let psi = pl.run("psi-select", |ctx| PsiSelect {
         group: groups[ctx.vertex],
         group_domain,
         phi: phi[ctx.vertex],
@@ -199,7 +202,7 @@ pub fn defective_color_in_groups(
         phase: Phase::LearnPhi,
         psi: 0,
     });
-    DefectiveRun { psi: run.outputs, phi_palette, phi_defect, stats: stats1 + run.stats }
+    DefectiveRun { psi, phi_palette, phi_defect, stats: pl.into_stats() }
 }
 
 /// Convenience: Defective-Color on a whole graph (single group), computing

@@ -19,9 +19,9 @@
 
 use crate::edge::kuhn_labels::{corollary_5_4_defect, kuhn_defective_edge_coloring};
 use crate::msg::FieldMsg;
+use crate::pipeline::{merge_edge_replicas, Pipeline};
 use deco_graph::{EdgeIdx, Vertex};
 use deco_local::{Action, Network, NodeCtx, Protocol, RunStats};
-use std::rc::Rc;
 
 /// Message-size policy for the edge algorithms (Theorem 5.5).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -225,20 +225,20 @@ pub fn edge_defective_color_in_groups_profiled(
 ) -> (EdgeDefectiveRun, Vec<deco_local::RoundLoad>) {
     let g = net.graph();
     assert!(b >= 1 && p >= 1, "need b, p >= 1");
+    let mut pl = Pipeline::new(net);
     let (phi, phi_palette, stats1) = kuhn_defective_edge_coloring(net, edge_groups, b * p, w_cap);
-    let phi = Rc::new(phi);
-    let groups = Rc::new(edge_groups.to_vec());
+    pl.absorb("phi/kuhn-labels", stats1);
     let chunks = match mode {
         MessageMode::Long => 1,
         MessageMode::Short => p as usize,
     };
-    let (run, profile) = net.run_profiled(|ctx| {
+    let (outputs, profile) = pl.run_profiled("psi-select-edges", |ctx| {
         let edges: Vec<Ledge> = g
             .incident(ctx.vertex)
             .map(|(nbr, e)| Ledge {
                 nbr,
                 eid: e,
-                group: groups[e],
+                group: edge_groups[e],
                 phi: phi[e],
                 psi: None,
                 sent_ready: false,
@@ -250,23 +250,13 @@ pub fn edge_defective_color_in_groups_profiled(
             .collect();
         PsiSelectEdges { p, chunks, w_domain: 2 * w_cap + 1, edges }
     });
-    let mut psi = vec![u64::MAX; g.m()];
-    for per_vertex in &run.outputs {
-        for &(e, k) in per_vertex {
-            if psi[e] == u64::MAX {
-                psi[e] = k;
-            } else {
-                assert_eq!(psi[e], k, "endpoints disagree on ψ({e})");
-            }
-        }
-    }
-    assert!(psi.iter().all(|&k| k != u64::MAX) || g.m() == 0);
+    let psi = merge_edge_replicas(g.m(), &outputs, "ψ");
     (
         EdgeDefectiveRun {
             psi,
             phi_palette,
             phi_defect: corollary_5_4_defect(w_cap, b * p),
-            stats: stats1 + run.stats,
+            stats: pl.into_stats(),
         },
         profile,
     )

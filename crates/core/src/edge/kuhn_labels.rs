@@ -14,9 +14,9 @@
 //! `log* n` term from each recursion level (Section 5).
 
 use crate::msg::FieldMsg;
+use crate::pipeline::{merge_edge_replicas, Pipeline};
 use deco_graph::{EdgeIdx, Graph, Vertex};
 use deco_local::{Action, Network, NodeCtx, Protocol, RunStats};
-use std::rc::Rc;
 
 #[derive(Debug)]
 struct LabelExchange {
@@ -105,24 +105,14 @@ pub fn kuhn_defective_edge_coloring(
     let g = net.graph();
     assert_eq!(edge_groups.len(), g.m(), "one group per edge");
     assert!(p_labels >= 1, "need at least one label");
-    let groups = Rc::new(edge_groups.to_vec());
-    let run = net.run(|ctx| LabelExchange {
-        labels: make_labels(g, ctx.vertex, &groups, p_labels, w_cap.max(1)),
+    let mut pl = Pipeline::new(net);
+    let outputs = pl.run("kuhn-label-exchange", |ctx| LabelExchange {
+        labels: make_labels(g, ctx.vertex, edge_groups, p_labels, w_cap.max(1)),
         p_labels,
         phi: Vec::new(),
     });
-    let mut phi = vec![u64::MAX; g.m()];
-    for per_vertex in &run.outputs {
-        for &(e, color) in per_vertex {
-            if phi[e] == u64::MAX {
-                phi[e] = color;
-            } else {
-                assert_eq!(phi[e], color, "endpoints disagree on φ({e})");
-            }
-        }
-    }
-    assert!(phi.iter().all(|&c| c != u64::MAX), "every edge must be φ-colored");
-    (phi, p_labels * p_labels, run.stats)
+    let phi = merge_edge_replicas(g.m(), &outputs, "φ");
+    (phi, p_labels * p_labels, pl.into_stats())
 }
 
 /// The defect bound of Corollary 5.4 within a group: `4·⌈W/p'⌉`.

@@ -20,6 +20,7 @@ pub use crate::edge::defective::MessageMode;
 use crate::edge::defective::{edge_defective_color_in_groups, EdgeDefectiveRun};
 use crate::edge::panconesi_rizzi::pr_edge_color_in_groups;
 use crate::params::{LegalParams, ParamError};
+use crate::pipeline::Pipeline;
 use deco_graph::coloring::EdgeColoring;
 use deco_graph::Graph;
 use deco_local::{Network, RunStats};
@@ -129,7 +130,7 @@ pub fn edge_color_in_groups(
 ) -> Result<EdgeRun, ParamError> {
     validate_edge_params(&params)?;
     let g = net.graph();
-    let mut stats = RunStats::zero();
+    let mut pl = Pipeline::new(net);
     let mut groups = edge_groups0.to_vec();
     let mut group_domain = group_domain0.max(1);
     let mut w = w0.max(1);
@@ -146,7 +147,7 @@ pub fn edge_color_in_groups(
             *group = *group * params.p + psi;
         }
         group_domain *= params.p;
-        stats += run.stats;
+        pl.absorb("level/edge-defective-color", run.stats);
         levels.push(EdgeLevelTrace {
             level: levels.len(),
             w_in: w,
@@ -160,7 +161,7 @@ pub fn edge_color_in_groups(
 
     // Bottom: Panconesi–Rizzi (2Ŵ-1)-edge-coloring per class, in parallel.
     let (pr, pr_stats) = pr_edge_color_in_groups(net, &groups, w);
-    stats += pr_stats;
+    pl.absorb("bottom/panconesi-rizzi", pr_stats);
     let palette = 2 * w - 1;
     let colors: Vec<u64> = (0..g.m()).map(|e| groups[e] * palette + pr[e]).collect();
     Ok(EdgeRun {
@@ -168,7 +169,7 @@ pub fn edge_color_in_groups(
         theta: group_domain * palette,
         levels,
         bottom_w: w,
-        stats,
+        stats: pl.into_stats(),
     })
 }
 

@@ -25,11 +25,11 @@
 
 use crate::cole_vishkin::cv_three_color;
 use crate::msg::FieldMsg;
+use crate::pipeline::{merge_edge_replicas, Pipeline};
 use deco_graph::coloring::EdgeColoring;
 use deco_graph::{EdgeIdx, Graph, Vertex};
 use deco_local::{Action, Network, NodeCtx, Protocol, RunStats};
 use std::collections::BTreeMap;
-use std::rc::Rc;
 
 const TAG_CV: u64 = 0;
 const TAG_REQUEST: u64 = 1;
@@ -51,6 +51,14 @@ struct AEdge {
 struct PrAssign {
     my_cv: BTreeMap<u64, u64>,
     aedges: Vec<AEdge>,
+    /// Child-edge indices sorted by `(forest, parent CV color)` — the order
+    /// the `(f, j)` steps consume them in. Built once when all parent colors
+    /// are known; `child_cursor` then advances monotonically, so a request
+    /// round touches only its own step's edges instead of scanning every
+    /// incident edge (the `O(deg)` sweep that made the long tail of the
+    /// assignment phase protocol-bound).
+    child_order: Vec<u32>,
+    child_cursor: usize,
     w_cap: u64,
     palette: u64,
 }
@@ -136,21 +144,40 @@ impl Protocol for PrAssign {
             return Action::Halt(out);
         }
         if ctx.round >= 2 && ctx.round % 2 == 0 {
-            // Request round for step s = (round - 2) / 2.
+            if ctx.round == 2 {
+                // All parent CV colors arrived in round 1; lay the child
+                // edges out in step order. The stable sort keeps same-step
+                // edges in incident (neighbor-sorted) order.
+                let mut order: Vec<u32> = (0..self.aedges.len() as u32)
+                    .filter(|&i| !self.aedges[i as usize].i_am_parent)
+                    .collect();
+                order.sort_by_key(|&i| {
+                    let e = &self.aedges[i as usize];
+                    (e.forest, e.parent_cv.expect("parent CV color arrives in round 1"))
+                });
+                self.child_order = order;
+            }
+            // Request round for step s = (round - 2) / 2: consume exactly
+            // this step's children (each child edge is requested once, at
+            // its own step, so the cursor only ever moves forward).
             let s = (ctx.round - 2) / 2;
-            let (forest, class) = ((s / 3) as u64, (s % 3) as u64);
-            for e in &self.aedges {
-                if !e.i_am_parent
-                    && e.color.is_none()
-                    && e.forest == forest
-                    && e.parent_cv == Some(class)
-                {
-                    let used = self.branch_used(e.branch);
-                    let mut fields = vec![TAG_REQUEST];
-                    fields.extend(&used);
-                    // Wire format: a used-color bitmap of `palette` bits.
-                    out.push((e.nbr, FieldMsg::with_bits(fields, 2 + self.palette as usize)));
+            let step_key = ((s / 3) as u64, (s % 3) as u64);
+            while let Some(&i) = self.child_order.get(self.child_cursor) {
+                let e = &self.aedges[i as usize];
+                let key = (e.forest, e.parent_cv.expect("set before ordering"));
+                if key > step_key {
+                    break; // a later step's edge; this step is done
                 }
+                self.child_cursor += 1;
+                if key < step_key || e.color.is_some() {
+                    continue; // defensive: never happens for a valid CV coloring
+                }
+                let used = self.branch_used(e.branch);
+                let mut fields = vec![TAG_REQUEST];
+                fields.extend(&used);
+                let nbr = self.aedges[i as usize].nbr;
+                // Wire format: a used-color bitmap of `palette` bits.
+                out.push((nbr, FieldMsg::with_bits(fields, 2 + self.palette as usize)));
             }
         }
         if self.aedges.is_empty() {
@@ -222,13 +249,11 @@ pub fn pr_edge_color_in_groups(
     }
     let w_cap = w_cap.max(1);
     let (spec, parts) = forest_spec(g, edge_groups, w_cap);
+    let mut pl = Pipeline::new(net);
     let (cv_colors, stats1) = cv_three_color(net, &spec);
+    pl.absorb("cole-vishkin-forests", stats1);
 
-    let spec = Rc::new(spec);
-    let parts = Rc::new(parts);
-    let groups = Rc::new(edge_groups.to_vec());
-    let cv_colors = Rc::new(cv_colors);
-    let run = net.run(|ctx| {
+    let outputs = pl.run("pr-assign", |ctx| {
         let v = ctx.vertex;
         let aedges: Vec<AEdge> = g
             .incident(v)
@@ -247,27 +272,18 @@ pub fn pr_edge_color_in_groups(
                 }
             })
             .collect();
-        let _ = &groups;
         PrAssign {
             my_cv: cv_colors[v].iter().copied().collect(),
             aedges,
+            child_order: Vec::new(),
+            child_cursor: 0,
             w_cap,
             palette: 2 * w_cap - 1,
         }
     });
 
-    let mut colors = vec![u64::MAX; g.m()];
-    for per_vertex in &run.outputs {
-        for &(e, c) in per_vertex {
-            if colors[e] == u64::MAX {
-                colors[e] = c;
-            } else {
-                assert_eq!(colors[e], c, "endpoints disagree on color of edge {e}");
-            }
-        }
-    }
-    assert!(colors.iter().all(|&c| c != u64::MAX), "every edge must be colored");
-    (colors, stats1 + run.stats)
+    let colors = merge_edge_replicas(g.m(), &outputs, "color");
+    (colors, pl.into_stats())
 }
 
 /// The plain Panconesi–Rizzi algorithm: a legal `(2Δ-1)`-edge-coloring of

@@ -20,6 +20,7 @@ use crate::code_reduction::linial_coloring;
 use crate::defective::defective_color_in_groups;
 use crate::math::linial_schedule;
 use crate::params::{next_lambda, LegalParams, ParamError};
+use crate::pipeline::Pipeline;
 use crate::reduction::reduce_colors_in_groups;
 use deco_graph::coloring::VertexColoring;
 use deco_local::{Network, RunStats};
@@ -125,7 +126,7 @@ pub fn legal_color_in_groups_with_policy(
 ) -> Result<LegalRun, ParamError> {
     params.validate(c)?;
     let g = net.graph();
-    let mut stats = RunStats::zero();
+    let mut pl = Pipeline::new(net);
 
     // Section 4.2: one auxiliary O(Δ²) coloring, reused at every level —
     // or, under `FreshPerLevel`, the raw identifier coloring (palette n),
@@ -138,7 +139,7 @@ pub fn legal_color_in_groups_with_policy(
         (AuxPolicy::ReusePerLevel, Some((colors, palette))) => (colors.to_vec(), palette),
         (AuxPolicy::ReusePerLevel, None) => {
             let (colors, palette, lin_stats) = linial_coloring(net);
-            stats += lin_stats;
+            pl.absorb("aux/linial", lin_stats);
             (colors, palette)
         }
     };
@@ -167,7 +168,7 @@ pub fn legal_color_in_groups_with_policy(
             *group = *group * params.p + psi;
         }
         group_domain *= params.p;
-        stats += run.stats;
+        pl.absorb("level/defective-color", run.stats);
         levels.push(LevelTrace {
             level: levels.len(),
             lambda_in: lambda,
@@ -192,7 +193,7 @@ pub fn legal_color_in_groups_with_policy(
         &aux_colors,
         lin_steps,
     );
-    stats += s1;
+    pl.absorb("bottom/linial-in-classes", s1);
     let (bottom, s2) = reduce_colors_in_groups(
         net,
         &groups,
@@ -201,7 +202,7 @@ pub fn legal_color_in_groups_with_policy(
         bottom_palette,
         bottom_lambda,
     );
-    stats += s2;
+    pl.absorb("bottom/kw-reduction", s2);
 
     let theta_bottom = bottom_lambda + 1;
     let colors: Vec<u64> = (0..g.n()).map(|v| groups[v] * theta_bottom + bottom[v]).collect();
@@ -210,7 +211,7 @@ pub fn legal_color_in_groups_with_policy(
         theta: group_domain * theta_bottom,
         levels,
         bottom_lambda,
-        stats,
+        stats: pl.into_stats(),
     })
 }
 

@@ -53,6 +53,7 @@ pub mod math;
 pub mod msg;
 pub mod orientation_color;
 pub mod params;
+pub mod pipeline;
 pub mod randomized;
 pub mod reduction;
 pub mod tradeoff;

@@ -2,15 +2,35 @@
 
 use deco_local::{bits_for_range, Message};
 
+/// Fields of up to [`INLINE_FIELDS`] values live inline (no heap); longer
+/// payloads (e.g. the Panconesi–Rizzi used-color lists) spill to a `Vec`.
+/// Three is the largest count any fixed-layout protocol message uses, and
+/// it keeps the struct at 40 bytes — the delivery arenas hold two
+/// `Option<FieldMsg>` slots per directed edge, so every byte here is paid
+/// `4m` times per network.
+const INLINE_FIELDS: usize = 3;
+
+#[derive(Debug, Clone)]
+enum Repr {
+    Inline { len: u8, vals: [u64; INLINE_FIELDS] },
+    Heap(Vec<u64>),
+}
+
 /// A message consisting of a few bounded integer fields.
 ///
 /// Each field is accounted at the bit width of its *domain* (not its value),
 /// which is how the paper measures message size: a color from a palette of
 /// `m` colors costs `⌈log₂ m⌉` bits regardless of its value.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Nearly every protocol message in this workspace has at most
+/// [`INLINE_FIELDS`] fields, which are stored inline: constructing and
+/// cloning such a message allocates nothing, keeping the simulators'
+/// per-message cost flat on the hot paths (millions of messages per run).
+#[derive(Debug, Clone)]
 pub struct FieldMsg {
-    fields: Vec<u64>,
-    bits: usize,
+    repr: Repr,
+    /// Bit size of the wire encoding (`u32`: sizes are `O(Δ log n)`).
+    bits: u32,
 }
 
 impl FieldMsg {
@@ -21,20 +41,38 @@ impl FieldMsg {
     /// Panics in debug builds if a value lies outside its declared domain.
     pub fn new(fields: &[(u64, u64)]) -> FieldMsg {
         let mut bits = 0;
-        let mut values = Vec::with_capacity(fields.len());
-        for &(value, domain) in fields {
-            debug_assert!(value < domain.max(1), "field value {value} outside domain {domain}");
-            bits += bits_for_range(domain);
-            values.push(value);
-        }
-        FieldMsg { fields: values, bits: bits.max(1) }
+        let repr = if fields.len() <= INLINE_FIELDS {
+            let mut vals = [0u64; INLINE_FIELDS];
+            for (slot, &(value, domain)) in vals.iter_mut().zip(fields) {
+                debug_assert!(value < domain.max(1), "field value {value} outside domain {domain}");
+                bits += bits_for_range(domain);
+                *slot = value;
+            }
+            Repr::Inline { len: fields.len() as u8, vals }
+        } else {
+            let mut values = Vec::with_capacity(fields.len());
+            for &(value, domain) in fields {
+                debug_assert!(value < domain.max(1), "field value {value} outside domain {domain}");
+                bits += bits_for_range(domain);
+                values.push(value);
+            }
+            Repr::Heap(values)
+        };
+        FieldMsg { repr, bits: bits.max(1) as u32 }
     }
 
     /// Builds a message with an explicit bit size, for payloads whose wire
     /// encoding is not a sequence of bounded integers (e.g. a used-color
     /// bitmap of `palette` bits carrying the listed values).
     pub fn with_bits(fields: Vec<u64>, bits: usize) -> FieldMsg {
-        FieldMsg { fields, bits: bits.max(1) }
+        let repr = if fields.len() <= INLINE_FIELDS {
+            let mut vals = [0u64; INLINE_FIELDS];
+            vals[..fields.len()].copy_from_slice(&fields);
+            Repr::Inline { len: fields.len() as u8, vals }
+        } else {
+            Repr::Heap(fields)
+        };
+        FieldMsg { repr, bits: bits.max(1) as u32 }
     }
 
     /// The `i`-th field value.
@@ -43,28 +81,39 @@ impl FieldMsg {
     ///
     /// Panics if `i` is out of range.
     pub fn field(&self, i: usize) -> u64 {
-        self.fields[i]
+        self.fields()[i]
     }
 
     /// Number of fields.
     pub fn len(&self) -> usize {
-        self.fields.len()
+        self.fields().len()
     }
 
     /// Whether the message has no fields.
     pub fn is_empty(&self) -> bool {
-        self.fields.is_empty()
+        self.fields().is_empty()
     }
 
     /// All field values.
     pub fn fields(&self) -> &[u64] {
-        &self.fields
+        match &self.repr {
+            Repr::Inline { len, vals } => &vals[..*len as usize],
+            Repr::Heap(values) => values,
+        }
     }
 }
 
+impl PartialEq for FieldMsg {
+    fn eq(&self, other: &FieldMsg) -> bool {
+        self.bits == other.bits && self.fields() == other.fields()
+    }
+}
+
+impl Eq for FieldMsg {}
+
 impl Message for FieldMsg {
     fn size_bits(&self) -> usize {
-        self.bits
+        self.bits as usize
     }
 }
 
@@ -90,5 +139,19 @@ mod tests {
     #[test]
     fn minimum_one_bit() {
         assert_eq!(FieldMsg::new(&[]).size_bits(), 1);
+    }
+
+    #[test]
+    fn long_payloads_spill_to_heap_and_compare_by_value() {
+        // 6 fields exceed the inline capacity; accessors and equality are
+        // representation-agnostic.
+        let long = FieldMsg::new(&[(1, 2), (2, 4), (3, 4), (0, 2), (1, 2), (1, 2)]);
+        assert_eq!(long.len(), 6);
+        assert_eq!(long.fields(), &[1, 2, 3, 0, 1, 1]);
+        assert_eq!(long.size_bits(), 1 + 2 + 2 + 1 + 1 + 1);
+        let same = FieldMsg::with_bits(vec![1, 2, 3, 0, 1, 1], 8);
+        assert_eq!(long, same);
+        let inline = FieldMsg::with_bits(vec![1, 2], 3);
+        assert_eq!(inline, FieldMsg::new(&[(1, 2), (2, 4)]));
     }
 }

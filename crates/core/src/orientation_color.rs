@@ -13,6 +13,7 @@
 //! by H-partition layer.
 
 use crate::msg::FieldMsg;
+use crate::pipeline::Pipeline;
 use deco_graph::Vertex;
 use deco_local::{Action, Network, NodeCtx, Protocol, RunStats};
 
@@ -95,7 +96,8 @@ pub fn orientation_coloring(
     d: u64,
 ) -> (Vec<u64>, RunStats) {
     assert_eq!(ranks.len(), net.graph().n(), "one rank per vertex");
-    let run = net.run(|ctx| OrientationColor {
+    let mut pl = Pipeline::new(net);
+    let outputs = pl.run("orientation-coloring", |ctx| OrientationColor {
         rank: ranks[ctx.vertex],
         rank_domain: rank_domain.max(1),
         d,
@@ -104,7 +106,7 @@ pub fn orientation_coloring(
         awaiting: Vec::new(),
         learned: false,
     });
-    (run.outputs, run.stats)
+    (outputs, pl.into_stats())
 }
 
 #[cfg(test)]

@@ -1,0 +1,251 @@
+//! The pipeline runner every algorithm driver goes through.
+//!
+//! Before PR 2 each driver hand-rolled the same loop: build per-node
+//! protocol state, call the simulator, sum the [`RunStats`], merge per-edge
+//! replicas, repeat for the next phase — and, because the per-node state
+//! held `Rc` tables, all of it was locked out of the threaded runner.
+//! [`Pipeline`] centralizes that boilerplate:
+//!
+//! * **Phase sequencing** — phases run in order against one [`Network`];
+//!   each phase's [`RunStats`] accumulates into the pipeline total and is
+//!   kept per phase in a [`PhaseTrace`] for diagnostics.
+//! * **Threaded execution** — every phase executes through
+//!   [`Network::run_profiled_threaded`], so all drivers inherit
+//!   deterministic parallel stepping (and the engine/delivery selection of
+//!   the underlying network: `Engine::Naive` still routes to the reference
+//!   engine for differential benches). Protocol state must be `Send`:
+//!   shared read-only tables are held through
+//!   [`SharedConfig`](deco_local::SharedConfig), never `Rc`.
+//! * **Verification hooks** — [`Pipeline::verify`] runs a boolean-output
+//!   protocol (e.g. the one-round checkers in [`crate::verify`]) as a phase
+//!   and reports whether every node accepted, charging its rounds to the
+//!   pipeline like any other phase.
+//!
+//! Per-edge algorithms replicate each edge's result at both endpoints;
+//! [`merge_edge_replicas`] folds the per-vertex outputs into one value per
+//! edge and asserts the replicas agree — the shared consistency check the
+//! edge drivers used to copy-paste.
+
+use deco_graph::EdgeIdx;
+use deco_local::{Network, NodeCtx, Protocol, RoundLoad, RunStats};
+
+/// Stats of one named pipeline phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseTrace {
+    /// Phase name (static, driver-chosen).
+    pub name: &'static str,
+    /// The phase's own run statistics.
+    pub stats: RunStats,
+}
+
+/// Sequences protocol phases over one network, accumulating statistics.
+/// See the module docs.
+#[derive(Debug)]
+pub struct Pipeline<'n, 'g> {
+    net: &'n Network<'g>,
+    stats: RunStats,
+    phases: Vec<PhaseTrace>,
+}
+
+impl<'n, 'g> Pipeline<'n, 'g> {
+    /// Starts an empty pipeline over `net`.
+    pub fn new(net: &'n Network<'g>) -> Pipeline<'n, 'g> {
+        Pipeline { net, stats: RunStats::zero(), phases: Vec::new() }
+    }
+
+    /// The underlying network.
+    pub fn net(&self) -> &'n Network<'g> {
+        self.net
+    }
+
+    /// Runs one protocol phase on the threaded engine and returns the
+    /// per-vertex outputs; stats accumulate into the pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Network::run`].
+    pub fn run<P, F>(&mut self, name: &'static str, make: F) -> Vec<P::Output>
+    where
+        P: Protocol + Send,
+        P::Msg: Send + Sync,
+        F: FnMut(&NodeCtx<'_>) -> P,
+    {
+        self.run_profiled(name, make).0
+    }
+
+    /// [`Pipeline::run`], additionally returning the phase's per-round load
+    /// profile.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Network::run`].
+    pub fn run_profiled<P, F>(
+        &mut self,
+        name: &'static str,
+        make: F,
+    ) -> (Vec<P::Output>, Vec<RoundLoad>)
+    where
+        P: Protocol + Send,
+        P::Msg: Send + Sync,
+        F: FnMut(&NodeCtx<'_>) -> P,
+    {
+        let (run, profile) = self.net.run_profiled_threaded(make);
+        self.absorb(name, run.stats);
+        (run.outputs, profile)
+    }
+
+    /// Verification hook: runs a boolean-verdict protocol phase and returns
+    /// whether every node accepted. The verification rounds are charged to
+    /// the pipeline like any other phase.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Network::run`].
+    pub fn verify<P, F>(&mut self, name: &'static str, make: F) -> bool
+    where
+        P: Protocol<Output = bool> + Send,
+        P::Msg: Send + Sync,
+        F: FnMut(&NodeCtx<'_>) -> P,
+    {
+        self.run(name, make).iter().all(|&ok| ok)
+    }
+
+    /// Folds the stats of a nested driver (one that ran its own phases,
+    /// e.g. a recursion level) into the pipeline as a named phase.
+    pub fn absorb(&mut self, name: &'static str, stats: RunStats) {
+        self.stats += stats;
+        self.phases.push(PhaseTrace { name, stats });
+    }
+
+    /// Total statistics over all phases so far.
+    pub fn stats(&self) -> RunStats {
+        self.stats
+    }
+
+    /// The per-phase traces, in execution order.
+    pub fn phases(&self) -> &[PhaseTrace] {
+        &self.phases
+    }
+
+    /// Consumes the pipeline, returning the total statistics.
+    pub fn into_stats(self) -> RunStats {
+        self.stats
+    }
+}
+
+/// Merges per-vertex replicated edge values into one value per edge.
+///
+/// Per-edge protocols output `Vec<(edge, value)>` at both endpoints;
+/// this folds them into a per-edge vector, asserting (a) the endpoints
+/// agree on every edge and (b) every one of the `m` edges was decided.
+///
+/// # Panics
+///
+/// Panics if replicas disagree or an edge is missing — both indicate a
+/// protocol bug, never valid input.
+pub fn merge_edge_replicas(m: usize, per_vertex: &[Vec<(EdgeIdx, u64)>], what: &str) -> Vec<u64> {
+    let mut merged: Vec<Option<u64>> = vec![None; m];
+    for outputs in per_vertex {
+        for &(e, value) in outputs {
+            match merged[e] {
+                None => merged[e] = Some(value),
+                Some(prior) => {
+                    assert_eq!(prior, value, "endpoints disagree on {what}({e})");
+                }
+            }
+        }
+    }
+    merged
+        .into_iter()
+        .enumerate()
+        .map(|(e, v)| v.unwrap_or_else(|| panic!("edge {e} carries no {what} value")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deco_graph::generators;
+    use deco_local::Action;
+
+    struct Ping(bool);
+    impl Protocol for Ping {
+        type Msg = u64;
+        type Output = bool;
+        fn start(&mut self, ctx: &NodeCtx<'_>) -> Vec<(usize, u64)> {
+            ctx.broadcast(ctx.ident)
+        }
+        fn round(&mut self, _ctx: &NodeCtx<'_>, inbox: &[(usize, u64)]) -> Action<u64> {
+            self.0 = !inbox.is_empty();
+            Action::halt()
+        }
+        fn finish(self, _ctx: &NodeCtx<'_>) -> bool {
+            self.0
+        }
+    }
+
+    #[test]
+    fn phases_accumulate_stats() {
+        let g = generators::cycle(10);
+        let net = Network::new(&g);
+        let mut pl = Pipeline::new(&net);
+        let a = pl.run("first", |_| Ping(false));
+        assert!(a.iter().all(|&b| b));
+        assert!(pl.verify("check", |_| Ping(false)));
+        pl.absorb("external", RunStats { rounds: 3, ..RunStats::zero() });
+        assert_eq!(pl.phases().len(), 3);
+        assert_eq!(pl.stats().rounds, 1 + 1 + 3);
+        let two_runs = pl.phases()[0].stats + pl.phases()[1].stats;
+        assert_eq!(two_runs.messages, 2 * 2 * g.m());
+        assert_eq!(pl.into_stats().rounds, 5);
+    }
+
+    /// Every edge reported from both endpoints with the edge id as value.
+    struct EdgeEcho(Vec<(EdgeIdx, u64)>);
+    impl Protocol for EdgeEcho {
+        type Msg = ();
+        type Output = Vec<(EdgeIdx, u64)>;
+        fn start(&mut self, _ctx: &NodeCtx<'_>) -> Vec<(usize, ())> {
+            Vec::new()
+        }
+        fn round(&mut self, _ctx: &NodeCtx<'_>, _inbox: &[(usize, ())]) -> Action<()> {
+            Action::halt()
+        }
+        fn finish(self, _ctx: &NodeCtx<'_>) -> Vec<(EdgeIdx, u64)> {
+            self.0
+        }
+    }
+
+    #[test]
+    fn merge_checks_agreement() {
+        let g = generators::path(4);
+        let net = Network::new(&g);
+        let mut pl = Pipeline::new(&net);
+        let outs = pl.run("echo", |ctx| {
+            EdgeEcho(g.incident(ctx.vertex).map(|(_, e)| (e, e as u64 * 7)).collect())
+        });
+        let merged = merge_edge_replicas(g.m(), &outs, "echo");
+        assert_eq!(merged, vec![0, 7, 14]);
+    }
+
+    #[test]
+    #[should_panic(expected = "endpoints disagree")]
+    fn merge_rejects_disagreement() {
+        let per_vertex = vec![vec![(0usize, 1u64)], vec![(0usize, 2u64)]];
+        let _ = merge_edge_replicas(1, &per_vertex, "test");
+    }
+
+    #[test]
+    #[should_panic(expected = "carries no")]
+    fn merge_rejects_missing_edge() {
+        let per_vertex = vec![vec![(0usize, 1u64)]];
+        let _ = merge_edge_replicas(2, &per_vertex, "test");
+    }
+
+    #[test]
+    fn merge_accepts_max_sentinel_free_values() {
+        // u64::MAX is a legitimate value, not an in-band "missing" marker.
+        let per_vertex = vec![vec![(0usize, u64::MAX)], vec![(0usize, u64::MAX)]];
+        assert_eq!(merge_edge_replicas(1, &per_vertex, "test"), vec![u64::MAX]);
+    }
+}

@@ -17,11 +17,11 @@ use crate::edge::legal::{edge_color_in_groups, EdgeRun, MessageMode};
 use crate::legal::{legal_color_in_groups, LegalRun};
 use crate::msg::FieldMsg;
 use crate::params::{LegalParams, ParamError};
+use crate::pipeline::Pipeline;
 use deco_graph::{Graph, Vertex};
 use deco_local::{Action, Network, NodeCtx, Protocol, RunStats};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::rc::Rc;
 
 /// Result of the randomized vertex algorithm (Theorem 6.1).
 #[derive(Debug, Clone)]
@@ -93,8 +93,8 @@ pub fn randomized_vertex_color(
     // we derive per-vertex streams from the seed) and announces it.
     let mut rng = StdRng::seed_from_u64(seed);
     let groups: Vec<u64> = (0..g.n()).map(|_| rng.gen_range(0..classes)).collect();
-    let groups_rc = Rc::new(groups.clone());
-    let announce = net.run(|ctx| AnnounceClass { class: groups_rc[ctx.vertex], classes });
+    let mut pl = Pipeline::new(net);
+    pl.run("announce-class", |ctx| AnnounceClass { class: groups[ctx.vertex], classes });
 
     let class_bound_held = (0..g.n())
         .all(|v| g.neighbors(v).filter(|&u| groups[u] == groups[v]).count() as u64 <= bound);
@@ -102,7 +102,8 @@ pub fn randomized_vertex_color(
     // Phase 2: deterministic Legal-Color on every class in parallel, with
     // the w.h.p. degree bound as Λ.
     let inner = legal_color_in_groups(net, &groups, classes, c, params, bound, None)?;
-    let stats = announce.stats + inner.stats;
+    pl.absorb("legal-color-in-classes", inner.stats);
+    let stats = pl.into_stats();
     Ok(RandomizedRun { inner, classes, class_degree_bound: bound, class_bound_held, stats })
 }
 
@@ -144,10 +145,10 @@ pub fn randomized_edge_color(
     let groups: Vec<u64> = (0..g.m()).map(|_| rng.gen_range(0..classes)).collect();
     // The owner endpoint announces the class across the edge: one round of
     // O(log n)-bit messages, accounted explicitly.
-    let groups_rc = Rc::new(groups.clone());
-    let announce = net.run(|ctx| AnnounceEdgeClass {
+    let mut pl = Pipeline::new(&net);
+    pl.run("announce-edge-class", |ctx| AnnounceEdgeClass {
         classes,
-        labels: g.incident(ctx.vertex).map(|(u, e)| (u, groups_rc[e])).collect(),
+        labels: g.incident(ctx.vertex).map(|(u, e)| (u, groups[e])).collect(),
     });
 
     let class_bound_held = (0..g.n()).all(|v| {
@@ -159,7 +160,8 @@ pub fn randomized_edge_color(
     });
 
     let inner = edge_color_in_groups(&net, &groups, classes, params, bound, mode)?;
-    let stats = announce.stats + inner.stats;
+    pl.absorb("edge-color-in-classes", inner.stats);
+    let stats = pl.into_stats();
     Ok(RandomizedEdgeRun { inner, classes, class_degree_bound: bound, class_bound_held, stats })
 }
 

@@ -20,10 +20,10 @@
 //! coloring each class from its own `(Λ+1)`-palette.
 
 use crate::msg::FieldMsg;
+use crate::pipeline::Pipeline;
 use deco_graph::Vertex;
-use deco_local::{Action, Network, NodeCtx, Protocol, RunStats};
+use deco_local::{Action, Network, NodeCtx, Protocol, RunStats, SharedConfig};
 use std::collections::HashMap;
-use std::rc::Rc;
 
 /// One palette-halving phase.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,7 +68,7 @@ struct KwReduce {
     group_domain: u64,
     color: u64,
     lambda: u64,
-    phases: Rc<Vec<ReductionPhase>>,
+    phases: SharedConfig<Vec<ReductionPhase>>,
     phase_idx: usize,
     /// Round at which the current phase started (its step 0).
     phase_start: usize,
@@ -180,19 +180,20 @@ pub fn reduce_colors_in_groups(
     if phases.is_empty() {
         return (init.to_vec(), RunStats::zero());
     }
-    let phases = Rc::new(phases);
-    let run = net.run(|ctx| KwReduce {
+    let phases = SharedConfig::new(phases);
+    let mut pl = Pipeline::new(net);
+    let outputs = pl.run("kuhn-wattenhofer-reduce", |ctx| KwReduce {
         group: groups[ctx.vertex],
         group_domain,
         color: init[ctx.vertex],
         lambda,
-        phases: Rc::clone(&phases),
+        phases: SharedConfig::clone(&phases),
         phase_idx: 0,
         phase_start: 0,
         nbr_colors: HashMap::new(),
         picked: false,
     });
-    (run.outputs, run.stats)
+    (outputs, pl.into_stats())
 }
 
 /// Lemma 2.1(2): a legal `(Δ+1)`-coloring of the whole graph, via Linial

@@ -8,9 +8,9 @@
 //! locally checkable labeling in the paper's model.
 
 use crate::msg::FieldMsg;
+use crate::pipeline::Pipeline;
 use deco_graph::{EdgeIdx, Vertex};
-use deco_local::{Action, Network, NodeCtx, Protocol, Run, RunStats};
-use std::rc::Rc;
+use deco_local::{Action, Network, NodeCtx, Protocol, RunStats};
 
 #[derive(Debug)]
 struct VerifyVertex {
@@ -49,13 +49,13 @@ pub fn verify_vertex_coloring(
     palette: u64,
 ) -> (Vec<bool>, RunStats) {
     assert_eq!(colors.len(), net.graph().n(), "one color per vertex");
-    let colors = Rc::new(colors.to_vec());
-    let run: Run<bool> = net.run(|ctx| VerifyVertex {
+    let mut pl = Pipeline::new(net);
+    let verdicts = pl.run("verify-vertex-coloring", |ctx| VerifyVertex {
         color: colors[ctx.vertex],
         palette: palette.max(1),
         ok: true,
     });
-    (run.outputs, run.stats)
+    (verdicts, pl.into_stats())
 }
 
 #[derive(Debug)]
@@ -106,13 +106,13 @@ pub fn verify_edge_coloring(
 ) -> (Vec<bool>, RunStats) {
     let g = net.graph();
     assert_eq!(colors.len(), g.m(), "one color per edge");
-    let colors = Rc::new(colors.to_vec());
-    let run: Run<bool> = net.run(|ctx| VerifyEdges {
+    let mut pl = Pipeline::new(net);
+    let verdicts = pl.run("verify-edge-coloring", |ctx| VerifyEdges {
         edges: g.incident(ctx.vertex).map(|(nbr, e)| (nbr, e, colors[e])).collect(),
         palette: palette.max(1),
         ok: true,
     });
-    (run.outputs, run.stats)
+    (verdicts, pl.into_stats())
 }
 
 #[cfg(test)]

@@ -71,5 +71,8 @@ mod stats;
 pub mod line_sim;
 
 pub use message::{bits_for_range, bits_for_value, Message};
-pub use network::{Action, Engine, Network, NodeCtx, Protocol, RoundLoad, Run};
+pub use network::{
+    Action, Delivery, DeliveryChoice, Engine, Network, NodeCtx, Protocol, RoundLoad, RoundTrace,
+    Run, SharedConfig,
+};
 pub use stats::RunStats;

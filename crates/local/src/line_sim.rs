@@ -64,11 +64,30 @@ pub struct LineRun<T> {
 /// ```
 pub fn run_on_line_graph<P, F>(g: &Graph, make: F) -> LineRun<P::Output>
 where
-    P: Protocol,
+    P: Protocol + Send,
+    P::Msg: Send + Sync,
     F: FnMut(&crate::NodeCtx<'_>) -> P,
 {
+    run_on_line_graph_with(g, |net| net, make)
+}
+
+/// [`run_on_line_graph`] with explicit simulator configuration: `configure`
+/// receives the freshly built `L(G)` network and selects engine, delivery
+/// mode and thread budget (e.g. `|net| net.with_engine(Engine::Naive)` or
+/// `|net| net.with_threads(8)`). The run itself goes through the threaded
+/// slot engine entry point, so the Lemma 5.2 simulation inherits the same
+/// engine selection as every native pipeline — by the determinism contract
+/// the outputs and both stat translations are identical across all choices.
+pub fn run_on_line_graph_with<P, F, C>(g: &Graph, configure: C, make: F) -> LineRun<P::Output>
+where
+    P: Protocol + Send,
+    P::Msg: Send + Sync,
+    F: FnMut(&crate::NodeCtx<'_>) -> P,
+    C: for<'l> FnOnce(Network<'l>) -> Network<'l>,
+{
     let l = line_graph(g);
-    let run: Run<P::Output> = Network::new(&l).run(make);
+    let net = configure(Network::new(&l));
+    let run: Run<P::Output> = net.run_profiled_threaded(make).0;
     let host = lemma_5_2_host_stats(g, run.stats);
     LineRun { outputs: run.outputs, native: run.stats, host }
 }
@@ -191,6 +210,35 @@ mod tests {
     #[test]
     fn congestion_zero_for_empty() {
         assert_eq!(relay_congestion(&Graph::empty(3)), 0);
+    }
+
+    /// The Lemma 5.2 host-stat invariants must hold — and the whole LineRun
+    /// must be bit-identical — under every engine/delivery/thread selection.
+    #[test]
+    fn host_stat_invariants_under_engine_selection() {
+        use crate::network::{Delivery, Engine};
+        let g = generators::random_bounded_degree(200, 8, 31);
+        let reference = run_on_line_graph(&g, |_| CountNeighbors(0));
+        // rounds: exactly 2T + 1; messages doubled; bits doubled; max bits
+        // scaled by the (engine-independent) relay congestion.
+        assert_eq!(reference.host.rounds, 2 * reference.native.rounds + 1);
+        assert_eq!(reference.host.messages, 2 * reference.native.messages);
+        assert_eq!(reference.host.total_message_bits, 2 * reference.native.total_message_bits);
+        let congestion = relay_congestion(&g).max(1);
+        assert_eq!(reference.host.max_message_bits, reference.native.max_message_bits * congestion);
+        type Cfg = fn(Network<'_>) -> Network<'_>;
+        let configs: [(&str, Cfg); 4] = [
+            ("naive", |net| net.with_engine(Engine::Naive)),
+            ("scan", |net| net.with_delivery(Delivery::Scan)),
+            ("push", |net| net.with_delivery(Delivery::Push)),
+            ("threaded", |net| net.with_threads(4)),
+        ];
+        for (name, cfg) in configs {
+            let run = run_on_line_graph_with(&g, cfg, |_| CountNeighbors(0));
+            assert_eq!(run.outputs, reference.outputs, "{name} outputs diverged");
+            assert_eq!(run.native, reference.native, "{name} native stats diverged");
+            assert_eq!(run.host, reference.host, "{name} host stats diverged");
+        }
     }
 
     #[test]

@@ -18,15 +18,30 @@
 //! halt-round check instead of any clearing pass. Halted nodes leave the
 //! active worklist entirely and cost nothing.
 //!
+//! # Adaptive delivery (scan vs push)
+//!
+//! Reading an inbox by scanning all of a receiver's in-slots costs O(deg)
+//! per node per round even when almost nobody spoke — the long sparse tail
+//! of the edge-coloring pipeline. The engine therefore supports a second,
+//! *push-list* delivery mode: while posting, each worker also records the
+//! receiver-side slot of every message it writes; if the round's sent count
+//! is small relative to the live slot count, the next round sorts that list
+//! once and each receiver reads exactly its occupied slots instead of
+//! sweeping its whole neighborhood. [`Delivery::Adaptive`] (the default)
+//! chooses per round from the previous round's sent count; [`Delivery::Scan`]
+//! and [`Delivery::Push`] pin a mode for differential testing. The choice is
+//! observable via [`Network::run_traced`] but never changes results.
+//!
 //! # Determinism contract
 //!
 //! For a fixed graph and protocol, `run*` produce bit-identical outputs,
 //! [`RunStats`] and [`RoundLoad`] profiles — regardless of delivery engine
-//! (slot-based or the [`Network::run_profiled_naive`] reference) and of the
-//! thread count used by [`Network::run_profiled_threaded`]. Within a round
-//! every node reads only its own inbox slice and writes only its own out
-//! slots, so parallel stepping is an embarrassingly parallel map; stats are
-//! merged in fixed chunk order. The integration tests pin this contract.
+//! (slot-based or the [`Network::run_profiled_naive`] reference), of the
+//! per-round scan/push delivery choice, and of the thread count used by
+//! [`Network::run_profiled_threaded`]. Within a round every node reads only
+//! its own inbox slice and writes only its own out slots, so parallel
+//! stepping is an embarrassingly parallel map; stats are merged in fixed
+//! chunk order. The integration tests pin this contract.
 
 use crate::message::Message;
 use crate::stats::RunStats;
@@ -116,6 +131,17 @@ impl<M> Action<M> {
         Action::Continue(Vec::new())
     }
 }
+
+/// A shared, immutable configuration table referenced by every node of a
+/// protocol — schedules, palettes, precomputed per-edge specs.
+///
+/// Protocol state must be `Send` so [`Network::run_profiled_threaded`] can
+/// step nodes on worker threads; per-node handles to a common table are
+/// therefore atomically reference-counted (`Arc`), never `Rc`. The tables
+/// are written once before the run and only read inside protocol callbacks,
+/// so the atomic refcount is touched `n` times at construction and never on
+/// the delivery hot path.
+pub type SharedConfig<T> = std::sync::Arc<T>;
 
 /// A per-node state machine run by [`Network::run`].
 ///
@@ -207,6 +233,42 @@ pub enum Engine {
     Naive,
 }
 
+/// How the slot engine assembles inboxes each round.
+///
+/// All modes are bit-identical in results, stats and profiles; they differ
+/// only in wall-clock. See the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Delivery {
+    /// Sweep every receiver's O(deg) in-slots (the PR 1 behavior).
+    Scan,
+    /// Always deliver from the sorted push list of last round's writes.
+    Push,
+    /// Choose per round from the previous round's sent count (the default):
+    /// sparse rounds use the push list, dense rounds the slot sweep.
+    #[default]
+    Adaptive,
+}
+
+/// Which delivery path a round actually used (see [`Network::run_traced`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliveryChoice {
+    /// The O(deg)-per-receiver slot sweep.
+    Scan,
+    /// The sorted push list of the previous round's writes.
+    Push,
+}
+
+/// Per-round execution trace of a slot-engine run: which delivery path the
+/// round used and how many worker threads stepped it. Purely observational —
+/// results never depend on either.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundTrace {
+    /// Delivery path used for the round's inboxes.
+    pub delivery: DeliveryChoice,
+    /// Worker threads that stepped the round (1 = sequential).
+    pub workers: usize,
+}
+
 /// A simulated synchronous network over a host graph.
 ///
 /// The simulator is deterministic: nodes are stepped in vertex order (or an
@@ -222,6 +284,7 @@ pub struct Network<'g> {
     round_cap: usize,
     threads: usize,
     engine: Engine,
+    delivery: Delivery,
 }
 
 /// Minimum number of active nodes per worker thread before a round is
@@ -229,13 +292,42 @@ pub struct Network<'g> {
 /// spawn overhead would dominate).
 const MIN_ACTIVE_PER_THREAD: usize = 512;
 
+/// Adaptive-delivery cost model: a push-list entry costs roughly this many
+/// scan probes (sort + indirection), so a round uses the push list when
+/// `sent × PUSH_COST_FACTOR < live slots`.
+const PUSH_COST_FACTOR: usize = 4;
+
 impl<'g> Network<'g> {
     /// Wraps a host graph in a simulator.
+    ///
+    /// The worker-thread budget defaults to the `DECO_THREADS` environment
+    /// variable if set (the CI thread matrix), else available parallelism
+    /// capped at 16; the delivery mode defaults to `DECO_DELIVERY`
+    /// (`scan` / `push` / `adaptive`) if set, else [`Delivery::Adaptive`].
     pub fn new(graph: &'g Graph) -> Network<'g> {
         let flat_neighbors: Vec<Vertex> =
             (0..graph.slot_count()).map(|s| graph.slot_neighbor(s)).collect();
         let flat_idents: Vec<u64> = flat_neighbors.iter().map(|&u| graph.ident(u)).collect();
-        let threads = std::thread::available_parallelism().map_or(1, |p| p.get()).min(16);
+        // Unrecognized env values panic rather than silently falling back:
+        // the CI differential matrix relies on these variables actually
+        // selecting what they claim to select.
+        let threads =
+            match std::env::var("DECO_THREADS") {
+                Ok(s) => s.parse::<usize>().ok().filter(|&t| t >= 1).unwrap_or_else(|| {
+                    panic!("DECO_THREADS must be a positive integer, got {s:?}")
+                }),
+                Err(_) => std::thread::available_parallelism().map_or(1, |p| p.get()),
+            }
+            .min(16);
+        let delivery = match std::env::var("DECO_DELIVERY") {
+            Ok(s) => match s.as_str() {
+                "scan" => Delivery::Scan,
+                "push" => Delivery::Push,
+                "adaptive" => Delivery::Adaptive,
+                other => panic!("DECO_DELIVERY must be scan|push|adaptive, got {other:?}"),
+            },
+            Err(_) => Delivery::Adaptive,
+        };
         Network {
             graph,
             flat_neighbors,
@@ -243,6 +335,7 @@ impl<'g> Network<'g> {
             round_cap: 1_000_000,
             threads,
             engine: Engine::Slot,
+            delivery,
         }
     }
 
@@ -286,6 +379,14 @@ impl<'g> Network<'g> {
         self
     }
 
+    /// Selects the slot engine's delivery mode (default:
+    /// [`Delivery::Adaptive`], or the `DECO_DELIVERY` environment variable).
+    /// Results are identical in every mode; only wall-clock differs.
+    pub fn with_delivery(mut self, delivery: Delivery) -> Network<'g> {
+        self.delivery = delivery;
+        self
+    }
+
     /// Runs `protocol` (one instance per vertex, built by `make`) to
     /// quiescence and returns per-vertex outputs plus stats.
     ///
@@ -314,7 +415,10 @@ impl<'g> Network<'g> {
         F: FnMut(&NodeCtx<'_>) -> P,
     {
         match self.engine {
-            Engine::Slot => engine::run(self, make, 1, engine::SeqStepper),
+            Engine::Slot => {
+                let (run, profile, _) = engine::run(self, make, 1, engine::SeqStepper);
+                (run, profile)
+            }
             Engine::Naive => self.run_profiled_naive(make),
         }
     }
@@ -344,6 +448,11 @@ impl<'g> Network<'g> {
     /// every thread budget; only wall-clock changes. Requires the `parallel`
     /// feature (on by default); without it this is sequential.
     ///
+    /// Honors [`Network::with_engine`]: under [`Engine::Naive`] this routes
+    /// to the (sequential) reference engine, which the determinism contract
+    /// makes observationally identical — it is how whole pipelines are
+    /// benchmarked against the pre-refactor delivery path.
+    ///
     /// # Panics
     ///
     /// Same conditions as [`Network::run`].
@@ -353,6 +462,27 @@ impl<'g> Network<'g> {
         P::Msg: Send + Sync,
         F: FnMut(&NodeCtx<'_>) -> P,
     {
+        let (run, profile, _) = self.run_traced(make);
+        (run, profile)
+    }
+
+    /// [`Network::run_profiled_threaded`] plus the per-round execution trace
+    /// (delivery choice and worker count), for benches and diagnostics. The
+    /// trace is empty under [`Engine::Naive`], which has no slot machinery.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Network::run`].
+    pub fn run_traced<P, F>(&self, make: F) -> (Run<P::Output>, Vec<RoundLoad>, Vec<RoundTrace>)
+    where
+        P: Protocol + Send,
+        P::Msg: Send + Sync,
+        F: FnMut(&NodeCtx<'_>) -> P,
+    {
+        if self.engine == Engine::Naive {
+            let (run, profile) = self.run_profiled_naive(make);
+            return (run, profile, Vec::new());
+        }
         #[cfg(feature = "parallel")]
         {
             engine::run(self, make, self.threads, engine::ParStepper)
@@ -379,7 +509,10 @@ impl<'g> Network<'g> {
 
 /// The slot-arena delivery engine. See the module docs for the design.
 mod engine {
-    use super::{Action, Message, Network, NodeCtx, Protocol, RoundLoad, Run, RunStats, Vertex};
+    use super::{
+        Action, Delivery, DeliveryChoice, Message, Network, NodeCtx, Protocol, RoundLoad,
+        RoundTrace, Run, RunStats, Vertex, PUSH_COST_FACTOR,
+    };
 
     /// Never-halted sentinel for `halt_round`.
     const LIVE: usize = usize::MAX;
@@ -392,6 +525,14 @@ mod engine {
         /// Vertices that returned `Halt` this round (applied sequentially
         /// after the parallel phase).
         halts: Vec<Vertex>,
+        /// Messages written this round, packed `receiver_slot << 32 |
+        /// sender_slot` — next round's push list. Packing both slots lets
+        /// push delivery skip the random mirror lookup per message. Capped
+        /// at `push_cap`: a worker that overflows the cap proves the round
+        /// is too dense for push delivery, so recording stops.
+        pushed: Vec<u64>,
+        push_cap: usize,
+        push_overflow: bool,
         delivered_msgs: usize,
         delivered_bits: usize,
         sent_msgs: usize,
@@ -404,6 +545,9 @@ mod engine {
             Scratch {
                 inbox: Vec::new(),
                 halts: Vec::new(),
+                pushed: Vec::new(),
+                push_cap: 0,
+                push_overflow: false,
                 delivered_msgs: 0,
                 delivered_bits: 0,
                 sent_msgs: 0,
@@ -412,8 +556,11 @@ mod engine {
             }
         }
 
-        fn reset_round(&mut self) {
+        fn reset_round(&mut self, push_cap: usize) {
             self.halts.clear();
+            self.pushed.clear();
+            self.push_cap = push_cap;
+            self.push_overflow = false;
             self.delivered_msgs = 0;
             self.delivered_bits = 0;
             self.sent_msgs = 0;
@@ -425,6 +572,17 @@ mod engine {
             self.sent_msgs += 1;
             self.sent_bits += bits;
             self.max_bits = self.max_bits.max(bits);
+        }
+
+        /// Records a posted message for the next round's push list
+        /// (a no-op beyond the cap — see `pushed`).
+        #[inline]
+        fn record_push(&mut self, mirror_slot: u32, send_slot: usize) {
+            if self.pushed.len() < self.push_cap {
+                self.pushed.push(((mirror_slot as u64) << 32) | send_slot as u64);
+            } else {
+                self.push_overflow = true;
+            }
         }
     }
 
@@ -507,6 +665,31 @@ mod engine {
         }
     }
 
+    /// Push-mode [`fill_inbox`]: `entries` lists exactly this node's
+    /// messages written in the previous step phase (packed
+    /// `receiver_slot << 32 | sender_slot`), ascending. Ascending
+    /// receiver-slot order within the node's range *is* neighbor order, so
+    /// the inbox comes out sender-sorted, identical to the scan sweep —
+    /// every entry is fresh by construction, so no staleness checks, and
+    /// the packed sender slot spares the mirror lookup.
+    #[inline]
+    fn fill_inbox_from_push<M: Message>(
+        sh: &Shared<'_, '_>,
+        entries: &[u64],
+        prev: &mut Prev<'_, M>,
+        scratch: &mut Scratch<M>,
+    ) {
+        scratch.inbox.clear();
+        for &packed in entries {
+            let u = sh.net.flat_neighbors[(packed >> 32) as usize];
+            if let Some(m) = prev.fetch((packed & u32::MAX as u64) as usize, u) {
+                scratch.delivered_msgs += 1;
+                scratch.delivered_bits += m.size_bits();
+                scratch.inbox.push((u, m));
+            }
+        }
+    }
+
     /// Writes one node's outgoing messages into its own out-slots.
     ///
     /// `cur` is the chunk-local window of the write arena starting at slot
@@ -551,6 +734,7 @@ mod engine {
                 }
             };
             scratch.record_sent(msg.size_bits());
+            scratch.record_push(sh.mirror[range.start + i], range.start + i);
             let cell = &mut cur[range.start + i - cur_base];
             assert!(
                 cell.is_none(),
@@ -577,6 +761,7 @@ mod engine {
         let bits = msg.size_bits();
         for s in range {
             scratch.record_sent(bits);
+            scratch.record_push(sh.mirror[s], s);
             cur[s - cur_base] = Some(msg.clone());
         }
     }
@@ -586,7 +771,10 @@ mod engine {
     /// `nodes`/`cur` are the windows of the state vector and write arena
     /// covering exactly the chunk's vertex range — each worker owns its
     /// windows exclusively, which is what makes the parallel schedule safe
-    /// and deterministic by construction.
+    /// and deterministic by construction. `push` is the segment's window of
+    /// the round's sorted push list (`None` = scan delivery); a cursor walks
+    /// it in lockstep with the segment's ascending vertices, skipping
+    /// entries addressed to halted (non-stepped) receivers.
     #[allow(clippy::too_many_arguments)]
     fn step_segment<P: Protocol>(
         sh: &Shared<'_, '_>,
@@ -599,9 +787,23 @@ mod engine {
         occ_cur: &mut [u32],
         mut prev: Prev<'_, P::Msg>,
         scratch: &mut Scratch<P::Msg>,
+        push: Option<&[u64]>,
     ) {
+        let mut pos = 0usize;
         for &v in seg {
-            fill_inbox(sh, v, round, &mut prev, scratch);
+            match push {
+                None => fill_inbox(sh, v, round, &mut prev, scratch),
+                Some(list) => {
+                    while pos < list.len() && ((list[pos] >> 32) as usize) < sh.offsets[v] {
+                        pos += 1; // entries for receivers that halted mid-run
+                    }
+                    let start = pos;
+                    while pos < list.len() && ((list[pos] >> 32) as usize) < sh.offsets[v + 1] {
+                        pos += 1;
+                    }
+                    fill_inbox_from_push(sh, &list[start..pos], &mut prev, scratch);
+                }
+            }
             let ctx = sh.net.ctx_for(v, round);
             let inbox = std::mem::take(&mut scratch.inbox);
             let action = nodes[v - node_base].round(&ctx, &inbox);
@@ -636,11 +838,17 @@ mod engine {
             prev: &mut [Option<P::Msg>],
             occ_prev: &mut [u32],
             scratches: &mut [Scratch<P::Msg>],
+            push: Option<&[u64]>,
+            dense: bool,
         );
     }
 
-    /// Always steps on the calling thread, moving messages out of the
-    /// previous arena (no clones).
+    /// Always steps on the calling thread. Sparse rounds move messages out
+    /// of the previous arena (the take keeps the arena self-cleaning, so a
+    /// quiet steady state does no arena work at all); dense rounds fetch by
+    /// clone exactly like the parallel schedule — skipping the per-message
+    /// write-back and occupancy decrement is cheaper than the sequential
+    /// clear pass it trades for when most slots are full.
     pub(super) struct SeqStepper;
 
     impl<P: Protocol> Stepper<P> for SeqStepper {
@@ -656,7 +864,14 @@ mod engine {
             prev: &mut [Option<P::Msg>],
             occ_prev: &mut [u32],
             scratches: &mut [Scratch<P::Msg>],
+            push: Option<&[u64]>,
+            dense: bool,
         ) {
+            let prev_view = if dense {
+                Prev::Shared { slots: prev, occ: occ_prev }
+            } else {
+                Prev::Excl { slots: prev, occ: occ_prev }
+            };
             step_segment(
                 sh,
                 active,
@@ -666,8 +881,9 @@ mod engine {
                 cur,
                 0,
                 occ_cur,
-                Prev::Excl { slots: prev, occ: occ_prev },
+                prev_view,
                 &mut scratches[0],
+                push,
             );
         }
     }
@@ -695,15 +911,72 @@ mod engine {
             prev: &mut [Option<P::Msg>],
             occ_prev: &mut [u32],
             scratches: &mut [Scratch<P::Msg>],
+            push: Option<&[u64]>,
+            dense: bool,
         ) {
             if workers == 1 {
-                SeqStepper
-                    .step(sh, active, round, 1, nodes, cur, occ_cur, prev, occ_prev, scratches);
+                SeqStepper.step(
+                    sh, active, round, 1, nodes, cur, occ_cur, prev, occ_prev, scratches, push,
+                    dense,
+                );
             } else {
                 parallel::step_round(
                     sh, active, round, workers, nodes, cur, occ_cur, &*prev, &*occ_prev, scratches,
+                    push,
                 );
             }
+        }
+    }
+
+    /// The per-round budget of push-list entries for `live_slots` live
+    /// in-slots: a round whose sent count exceeds it cannot qualify for push
+    /// delivery, so recording past it is pointless ([`Delivery::Push`]
+    /// records unconditionally, [`Delivery::Scan`] never).
+    fn push_cap(delivery: Delivery, live_slots: usize) -> usize {
+        match delivery {
+            Delivery::Scan => 0,
+            Delivery::Push => usize::MAX,
+            Delivery::Adaptive => live_slots / PUSH_COST_FACTOR,
+        }
+    }
+
+    /// Digit width of the push-list radix sort.
+    const RADIX_BITS: u32 = 11;
+
+    /// Sorts the round's push list ascending by receiver-side slot (the
+    /// high 32 bits of each packed entry; receiver slots are distinct, so
+    /// any sort yields the same canonical order). A stable LSD radix sort
+    /// over the key bits with a reused scratch buffer is ~2× a comparison
+    /// sort at the mid-density round sizes where the scan/push choice is
+    /// closest.
+    fn sort_push_list(list: &mut Vec<u64>, scratch: &mut Vec<u64>, max_slot: u32) {
+        if list.len() <= 64 {
+            list.sort_unstable();
+            return;
+        }
+        let key_bits = 32 - max_slot.leading_zeros();
+        scratch.clear();
+        scratch.resize(list.len(), 0);
+        let mut shift = 32;
+        let end = 32 + key_bits;
+        while shift < end {
+            let mut counts = [0u32; 1 << RADIX_BITS];
+            for &x in list.iter() {
+                counts[((x >> shift) as usize) & ((1 << RADIX_BITS) - 1)] += 1;
+            }
+            let mut sum = 0u32;
+            for c in counts.iter_mut() {
+                let bucket = *c;
+                *c = sum;
+                sum += bucket;
+            }
+            for &x in list.iter() {
+                let d = ((x >> shift) as usize) & ((1 << RADIX_BITS) - 1);
+                scratch[counts[d] as usize] = x;
+                counts[d] += 1;
+            }
+            std::mem::swap(list, scratch);
+            shift += RADIX_BITS;
         }
     }
 
@@ -713,7 +986,7 @@ mod engine {
         mut make: F,
         threads: usize,
         stepper: S,
-    ) -> (Run<P::Output>, Vec<RoundLoad>)
+    ) -> (Run<P::Output>, Vec<RoundLoad>, Vec<RoundTrace>)
     where
         P: Protocol,
         F: FnMut(&NodeCtx<'_>) -> P,
@@ -723,9 +996,13 @@ mod engine {
         let offsets = net.graph.slot_offsets();
         let mirror = net.graph.mirror_slots();
         let slot_count = net.graph.slot_count();
+        let delivery = net.delivery;
 
         let mut halt_round: Vec<usize> = vec![LIVE; n];
         let mut active: Vec<Vertex> = (0..n).collect();
+        // In-slots owned by still-active receivers: the scan cost the
+        // adaptive delivery choice weighs a push round against.
+        let mut live_slots = slot_count;
         let mut arena_prev: Vec<Option<P::Msg>> = (0..slot_count).map(|_| None).collect();
         let mut arena_cur: Vec<Option<P::Msg>> = (0..slot_count).map(|_| None).collect();
         // Occupancy counts, one per vertex per arena (swapped together):
@@ -734,14 +1011,19 @@ mod engine {
         let mut occ_cur: Vec<u32> = vec![0; n];
         let mut scratches: Vec<Scratch<P::Msg>> =
             (0..threads.max(1)).map(|_| Scratch::new()).collect();
+        // Reusable merge + radix-scratch buffers for the sorted push list.
+        let mut push_list: Vec<u64> = Vec::new();
+        let mut push_scratch: Vec<u64> = Vec::new();
         let mut stats = RunStats::zero();
         let mut profile: Vec<RoundLoad> = Vec::new();
+        let mut trace: Vec<RoundTrace> = Vec::new();
 
         // Round 0: build the nodes and deliver their initial sends into the
         // current arena (always sequential — `make` is FnMut).
         let mut nodes: Vec<P> = Vec::with_capacity(n);
         {
             let sh = Shared { net, offsets, mirror, halt_round: &halt_round };
+            scratches[0].reset_round(push_cap(delivery, live_slots));
             for (v, occ) in occ_cur.iter_mut().enumerate() {
                 let ctx = net.ctx_for(v, 0);
                 let mut p = make(&ctx);
@@ -754,6 +1036,7 @@ mod engine {
             (scratches[0].sent_msgs, scratches[0].sent_bits);
         stats.messages += sent_prev_msgs;
         stats.total_message_bits += sent_prev_bits;
+        let mut recorded_prev = push_cap(delivery, live_slots) > 0;
 
         let mut round = 0usize;
         while !active.is_empty() {
@@ -766,8 +1049,42 @@ mod engine {
             let live = active.len();
             std::mem::swap(&mut arena_prev, &mut arena_cur);
             std::mem::swap(&mut occ_prev, &mut occ_cur);
+
+            // Delivery choice for the round, from the previous step phase's
+            // sent count. Push needs last round's records: a worker that
+            // overflowed its recording cap proves the round was too dense
+            // (the arithmetic check then also fails), and a round after a
+            // dense round skipped recording entirely (hysteresis below).
+            let sparse = sent_prev_msgs * PUSH_COST_FACTOR < live_slots;
+            let use_push = match delivery {
+                Delivery::Scan => false,
+                Delivery::Push => true,
+                Delivery::Adaptive => {
+                    sparse && recorded_prev && !scratches.iter().any(|s| s.push_overflow)
+                }
+            };
+            let push = if use_push {
+                push_list.clear();
+                for s in scratches.iter() {
+                    push_list.extend_from_slice(&s.pushed);
+                }
+                // Ascending receiver-side slots = receivers in vertex order,
+                // senders in neighbor order within each receiver — the exact
+                // delivery order of the scan sweep, whatever the chunking.
+                sort_push_list(&mut push_list, &mut push_scratch, slot_count.max(2) as u32 - 1);
+                Some(push_list.as_slice())
+            } else {
+                None
+            };
+            // Hysteresis: a dense finished round predicts a dense next
+            // round, so its successor skips recording — dense phases pay
+            // nothing for the adaptive machinery; at a dense→sparse phase
+            // boundary one round scans before push kicks in.
+            let cap = if sparse { push_cap(delivery, live_slots) } else { 0 };
+            let cap = if delivery == Delivery::Push { usize::MAX } else { cap };
+            recorded_prev = cap > 0;
             for s in scratches.iter_mut() {
-                s.reset_round();
+                s.reset_round(cap);
             }
 
             let workers = if threads > 1 && live >= 2 * super::MIN_ACTIVE_PER_THREAD {
@@ -775,6 +1092,10 @@ mod engine {
             } else {
                 1
             };
+            // A round too dense for push delivery is also a round where
+            // clone-fetch beats take-fetch (most slots are due a fetch, so
+            // the write-backs outweigh the clear pass they save).
+            let dense = !use_push && !sparse;
             let sh = Shared { net, offsets, mirror, halt_round: &halt_round };
             stepper.step(
                 &sh,
@@ -787,7 +1108,13 @@ mod engine {
                 &mut arena_prev,
                 &mut occ_prev,
                 &mut scratches,
+                push,
+                dense,
             );
+            trace.push(RoundTrace {
+                delivery: if use_push { DeliveryChoice::Push } else { DeliveryChoice::Scan },
+                workers,
+            });
 
             // Merge the round, in fixed chunk order (all sums, so the totals
             // equal the sequential engine's regardless of the split).
@@ -809,6 +1136,7 @@ mod engine {
             stats.total_message_bits += sent_bits;
             if any_halt {
                 active.retain(|&v| halt_round[v] == LIVE);
+                live_slots = active.iter().map(|&v| offsets[v + 1] - offsets[v]).sum();
             }
             profile.push(RoundLoad {
                 messages: delivered_msgs,
@@ -826,7 +1154,7 @@ mod engine {
             let ctx = net.ctx_for(v, round);
             outputs.push(p.finish(&ctx));
         }
-        (Run { outputs, stats }, profile)
+        (Run { outputs, stats }, profile, trace)
     }
 
     /// Deterministic parallel stepping: contiguous chunks of the active
@@ -848,6 +1176,7 @@ mod engine {
             arena_prev: &[Option<P::Msg>],
             occ_prev: &[u32],
             scratches: &mut [Scratch<P::Msg>],
+            push: Option<&[u64]>,
         ) where
             P: Protocol + Send,
             P::Msg: Send + Sync,
@@ -864,6 +1193,9 @@ mod engine {
                 cur_base: usize,
                 occ_cur: &'j mut [u32],
                 scratch: &'j mut Scratch<P::Msg>,
+                /// This segment's window of the sorted push list (entries in
+                /// the segment's slot interval), `None` under scan delivery.
+                push: Option<&'j [u64]>,
             }
 
             let mut jobs: Vec<Job<'_, P>> = Vec::with_capacity(workers);
@@ -893,6 +1225,13 @@ mod engine {
                 occ_off = v_hi + 1;
                 let (scratch, rest) = std::mem::take(&mut scratch_rest).split_at_mut(1);
                 scratch_rest = rest;
+                // The push list is sorted by (receiver-side) slot, so the
+                // segment's entries form one contiguous window.
+                let push_window = push.map(|list| {
+                    let lo = list.partition_point(|&e| ((e >> 32) as usize) < slot_lo);
+                    let hi = list.partition_point(|&e| ((e >> 32) as usize) < slot_hi);
+                    &list[lo..hi]
+                });
                 jobs.push(Job {
                     seg,
                     nodes: mine,
@@ -901,6 +1240,7 @@ mod engine {
                     cur_base: slot_lo,
                     occ_cur: mine_occ,
                     scratch: &mut scratch[0],
+                    push: push_window,
                 });
             }
 
@@ -920,6 +1260,7 @@ mod engine {
                             job.occ_cur,
                             Prev::Shared { slots: arena_prev, occ: occ_prev },
                             job.scratch,
+                            job.push,
                         );
                     });
                 }
@@ -935,6 +1276,7 @@ mod engine {
                     first.occ_cur,
                     Prev::Shared { slots: arena_prev, occ: occ_prev },
                     first.scratch,
+                    first.push,
                 );
             });
         }
@@ -1234,6 +1576,122 @@ mod tests {
         // The center received one message from each of the 4 leaves.
         assert_eq!(run.outputs[0], 4);
         assert!(run.outputs[1..].iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn delivery_modes_bit_identical() {
+        // StaggerHalt exercises halts mid-run (push entries addressed to
+        // halted receivers must be dropped) on top of dense broadcasts.
+        let g = generators::random_graph(500, 1800, 21);
+        let scan = Network::new(&g).with_delivery(Delivery::Scan).run_profiled(|_| StaggerHalt);
+        for mode in [Delivery::Push, Delivery::Adaptive] {
+            let other = Network::new(&g).with_delivery(mode).run_profiled(|_| StaggerHalt);
+            assert_eq!(scan.0.outputs, other.0.outputs, "{mode:?} outputs diverged");
+            assert_eq!(scan.0.stats, other.0.stats, "{mode:?} stats diverged");
+            assert_eq!(scan.1, other.1, "{mode:?} profile diverged");
+        }
+    }
+
+    /// Mostly-quiet traffic: only vertex 0 speaks after the first round —
+    /// the sparse-tail shape adaptive delivery exists for.
+    struct SparseTail {
+        rounds: usize,
+        heard: u64,
+    }
+
+    impl Protocol for SparseTail {
+        type Msg = u64;
+        type Output = u64;
+        fn start(&mut self, ctx: &NodeCtx<'_>) -> Vec<(Vertex, u64)> {
+            ctx.broadcast(ctx.ident)
+        }
+        fn round(&mut self, ctx: &NodeCtx<'_>, inbox: &[(Vertex, u64)]) -> Action<u64> {
+            for &(_, m) in inbox {
+                self.heard = self.heard.wrapping_mul(31).wrapping_add(m);
+            }
+            if ctx.round >= self.rounds {
+                Action::halt()
+            } else if ctx.vertex == 0 {
+                Action::Broadcast(self.heard)
+            } else {
+                Action::idle()
+            }
+        }
+        fn finish(self, _ctx: &NodeCtx<'_>) -> u64 {
+            self.heard
+        }
+    }
+
+    #[test]
+    fn adaptive_chooses_push_on_sparse_rounds_and_scan_on_dense() {
+        let g = generators::random_bounded_degree(300, 6, 77);
+        let mk = |_: &NodeCtx<'_>| SparseTail { rounds: 6, heard: 0 };
+        let (_, _, trace) = Network::new(&g).with_delivery(Delivery::Adaptive).run_traced(mk);
+        // Round 1 delivers the dense start broadcasts -> scan; the tail
+        // rounds carry <= deg(0) messages -> push.
+        assert_eq!(trace[0].delivery, DeliveryChoice::Scan);
+        assert!(
+            trace[2..].iter().all(|t| t.delivery == DeliveryChoice::Push),
+            "sparse tail must use push delivery: {trace:?}"
+        );
+        // Pinned modes trace as themselves and agree bit-for-bit.
+        let scan = Network::new(&g).with_delivery(Delivery::Scan).run_traced(mk);
+        let push = Network::new(&g).with_delivery(Delivery::Push).run_traced(mk);
+        assert!(scan.2.iter().all(|t| t.delivery == DeliveryChoice::Scan));
+        assert!(push.2.iter().all(|t| t.delivery == DeliveryChoice::Push));
+        assert_eq!(scan.0.outputs, push.0.outputs);
+        assert_eq!(scan.0.stats, push.0.stats);
+        assert_eq!(scan.1, push.1);
+    }
+
+    #[test]
+    fn traced_naive_engine_has_empty_trace() {
+        let g = generators::path(8);
+        let (run, profile, trace) = Network::new(&g)
+            .with_engine(Engine::Naive)
+            .run_traced(|_| FloodMax { radius: 2, best: 0 });
+        assert_eq!(profile.len(), run.stats.rounds);
+        assert!(trace.is_empty());
+    }
+
+    /// Staggered halts with a bounded horizon: big enough graphs stay
+    /// parallel-stepped, every round still mixes halts into the push list.
+    struct ModHalt;
+    impl Protocol for ModHalt {
+        type Msg = u64;
+        type Output = u64;
+        fn start(&mut self, ctx: &NodeCtx<'_>) -> Vec<(Vertex, u64)> {
+            ctx.broadcast(ctx.ident)
+        }
+        fn round(&mut self, ctx: &NodeCtx<'_>, inbox: &[(Vertex, u64)]) -> Action<u64> {
+            let sum: u64 = inbox.iter().map(|&(s, m)| m ^ s as u64).sum();
+            if ctx.round > ctx.vertex % 13 {
+                Action::Halt(ctx.broadcast(sum))
+            } else {
+                Action::Broadcast(sum % 4093)
+            }
+        }
+        fn finish(self, ctx: &NodeCtx<'_>) -> u64 {
+            ctx.ident
+        }
+    }
+
+    #[test]
+    fn threaded_push_delivery_matches_sequential() {
+        let g = generators::random_graph(4000, 9000, 5);
+        for mode in [Delivery::Push, Delivery::Adaptive] {
+            let mk = |_: &NodeCtx<'_>| ModHalt;
+            let seq = Network::new(&g).with_delivery(mode).run_profiled(mk);
+            for threads in [2usize, 8] {
+                let par = Network::new(&g)
+                    .with_delivery(mode)
+                    .with_threads(threads)
+                    .run_profiled_threaded(mk);
+                assert_eq!(seq.0.outputs, par.0.outputs, "{mode:?} threads={threads}");
+                assert_eq!(seq.0.stats, par.0.stats, "{mode:?} threads={threads}");
+                assert_eq!(seq.1, par.1, "{mode:?} threads={threads}");
+            }
+        }
     }
 
     #[test]

@@ -52,6 +52,13 @@ struct Ledge {
     group: u64,
     phi: u64,
     psi: Option<u64>,
+    /// Same-group incident edges with smaller φ whose ψ is still undecided.
+    /// The edge's counts are *ready* exactly when this hits zero.
+    pending_smaller: u32,
+    /// Incrementally maintained ψ-counts over the decided same-group
+    /// smaller-φ incident edges — what [`PsiSelectEdges::snapshot`] used to
+    /// recompute from scratch every epoch.
+    counts: Vec<u64>,
     sent_ready: bool,
     sent_counts: Vec<u64>,
     recv_ready: bool,
@@ -68,9 +75,26 @@ struct PsiSelectEdges {
 }
 
 impl PsiSelectEdges {
-    /// Readiness and counts of edge `i` from this endpoint's perspective:
-    /// over our *other* same-group incident edges with smaller φ.
-    fn snapshot(&self, i: usize) -> (bool, Vec<u64>) {
+    /// Wires up the incremental count state: one `O(deg²)` pass at
+    /// construction (the cost the old code paid *per epoch*).
+    fn new(p: u64, chunks: usize, w_domain: u64, mut edges: Vec<Ledge>) -> PsiSelectEdges {
+        for i in 0..edges.len() {
+            let pending = edges
+                .iter()
+                .enumerate()
+                .filter(|&(j, f)| j != i && f.group == edges[i].group && f.phi < edges[i].phi)
+                .count();
+            edges[i].pending_smaller = pending as u32;
+        }
+        PsiSelectEdges { p, chunks, w_domain, edges }
+    }
+
+    /// Reference recomputation of edge `i`'s readiness and counts, the
+    /// pre-PR 3 per-epoch path. Kept as the oracle the incremental state is
+    /// checked against (debug builds assert agreement at every snapshot, so
+    /// the whole test battery pins bit-identity of the two paths).
+    #[cfg(debug_assertions)]
+    fn snapshot_reference(&self, i: usize) -> (bool, Vec<u64>) {
         let e = &self.edges[i];
         let mut ready = true;
         let mut counts = vec![0u64; self.p as usize];
@@ -86,18 +110,43 @@ impl PsiSelectEdges {
         (ready, counts)
     }
 
+    /// Folds an epoch's fresh ψ decisions into the incremental counts of
+    /// the still-undecided edges: `O(deg)` per decision, so the total
+    /// maintenance cost over the whole run is one `O(deg²)` — instead of
+    /// `O(deg²)` per epoch.
+    fn apply_decisions(&mut self, decided: &[(usize, u64)]) {
+        for &(j, k) in decided {
+            let (group, phi) = (self.edges[j].group, self.edges[j].phi);
+            for (i, e) in self.edges.iter_mut().enumerate() {
+                if i != j && e.psi.is_none() && e.group == group && e.phi > phi {
+                    e.counts[k as usize] += 1;
+                    e.pending_smaller -= 1;
+                }
+            }
+        }
+    }
+
     fn take_snapshots_and_chunk0(&mut self) -> Vec<(Vertex, FieldMsg)> {
-        let snaps: Vec<Option<(bool, Vec<u64>)>> = (0..self.edges.len())
-            .map(|i| if self.edges[i].psi.is_none() { Some(self.snapshot(i)) } else { None })
-            .collect();
         let mut out = Vec::new();
-        for (i, snap) in snaps.into_iter().enumerate() {
-            let Some((ready, counts)) = snap else { continue };
+        for i in 0..self.edges.len() {
+            if self.edges[i].psi.is_some() {
+                continue;
+            }
+            #[cfg(debug_assertions)]
+            {
+                let (ready, counts) = self.snapshot_reference(i);
+                debug_assert_eq!(
+                    (ready, &counts),
+                    (self.edges[i].pending_smaller == 0, &self.edges[i].counts),
+                    "incremental ψ-counts diverged from the reference snapshot"
+                );
+            }
             let e = &mut self.edges[i];
-            e.sent_ready = ready;
-            e.sent_counts = counts;
+            e.sent_ready = e.pending_smaller == 0;
+            e.sent_counts.copy_from_slice(&e.counts);
             e.recv_chunks = 0;
-            out.push((e.nbr, self.chunk_msg(i, 0)));
+            let nbr = e.nbr;
+            out.push((nbr, self.chunk_msg(i, 0)));
         }
         out
     }
@@ -155,8 +204,11 @@ impl Protocol for PsiSelectEdges {
                 .collect();
             return Action::Continue(out);
         }
-        // Epoch boundary: decide, then snapshot and send chunk 0.
-        for e in &mut self.edges {
+        // Epoch boundary: decide, then snapshot and send chunk 0. Fresh
+        // decisions dirty the counts of their still-undecided same-group
+        // larger-φ siblings, which is the only way counts ever change.
+        let mut decided: Vec<(usize, u64)> = Vec::new();
+        for (i, e) in self.edges.iter_mut().enumerate() {
             if e.psi.is_some() || e.recv_chunks < self.chunks {
                 continue;
             }
@@ -172,8 +224,10 @@ impl Protocol for PsiSelectEdges {
                     .min_by_key(|&(k, total)| (total, k))
                     .expect("p >= 1");
                 e.psi = Some(k as u64);
+                decided.push((i, k as u64));
             }
         }
+        self.apply_decisions(&decided);
         if self.edges.iter().all(|e| e.psi.is_some()) {
             return Action::halt();
         }
@@ -241,6 +295,8 @@ pub fn edge_defective_color_in_groups_profiled(
                 group: edge_groups[e],
                 phi: phi[e],
                 psi: None,
+                pending_smaller: 0,
+                counts: vec![0; p as usize],
                 sent_ready: false,
                 sent_counts: vec![0; p as usize],
                 recv_ready: false,
@@ -248,7 +304,7 @@ pub fn edge_defective_color_in_groups_profiled(
                 recv_chunks: 0,
             })
             .collect();
-        PsiSelectEdges { p, chunks, w_domain: 2 * w_cap + 1, edges }
+        PsiSelectEdges::new(p, chunks, 2 * w_cap + 1, edges)
     });
     let psi = merge_edge_replicas(g.m(), &outputs, "ψ");
     (

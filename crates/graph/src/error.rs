@@ -36,6 +36,14 @@ pub enum GraphError {
         /// The identifier that appeared twice.
         ident: u64,
     },
+    /// An edge scheduled for deletion does not exist (see
+    /// [`crate::MutableGraph::delete_edge`]).
+    MissingEdge {
+        /// Lower endpoint of the missing edge.
+        u: usize,
+        /// Upper endpoint of the missing edge.
+        v: usize,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -50,6 +58,9 @@ impl fmt::Display for GraphError {
                 write!(f, "got {got} identifiers, expected {expected}")
             }
             GraphError::DuplicateIdent { ident } => write!(f, "duplicate identifier {ident}"),
+            GraphError::MissingEdge { u, v } => {
+                write!(f, "edge ({u}, {v}) does not exist")
+            }
         }
     }
 }

@@ -210,6 +210,55 @@ impl Graph {
         (g, verts)
     }
 
+    /// The subgraph consisting of exactly the edges in `keep_edges`, on the
+    /// vertex set of their endpoints.
+    ///
+    /// Returns `(subgraph, vertex_map, edge_map)`: `vertex_map[new_v]` is
+    /// the original index of subgraph vertex `new_v` and `edge_map[new_e]`
+    /// the original index of subgraph edge `new_e`. Identifiers are
+    /// inherited, so symmetry breaking inside the subgraph is consistent
+    /// with the host (the same Lemma 3.6 argument as [`Graph::induced`]).
+    /// This is the repair-region extraction of the streaming recolorer: the
+    /// kept edges form the sub-network the pipeline re-runs on.
+    ///
+    /// Duplicate edge indices are kept once; order of `keep_edges` does not
+    /// matter (output edges are sorted like any edge list).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge index is `>= m`.
+    pub fn edge_induced(&self, keep_edges: &[EdgeIdx]) -> (Graph, Vec<Vertex>, Vec<EdgeIdx>) {
+        let mut eids: Vec<EdgeIdx> = keep_edges.to_vec();
+        eids.sort_unstable();
+        eids.dedup();
+        let mut verts: Vec<Vertex> = Vec::with_capacity(2 * eids.len());
+        for &e in &eids {
+            let (u, v) = self.endpoints(e);
+            verts.push(u);
+            verts.push(v);
+        }
+        verts.sort_unstable();
+        verts.dedup();
+        let mut back = vec![usize::MAX; self.n];
+        for (new, &old) in verts.iter().enumerate() {
+            back[old] = new;
+        }
+        // The vertex remap is monotone, so host-lex edge order is preserved
+        // and subgraph edge `i` is exactly `eids[i]`.
+        let edges: Vec<(usize, usize)> = eids
+            .iter()
+            .map(|&e| {
+                let (u, v) = self.endpoints(e);
+                (back[u], back[v])
+            })
+            .collect();
+        let g = Graph::from_edges(verts.len(), &edges)
+            .expect("edge-induced subgraph of a valid graph is valid");
+        let idents = verts.iter().map(|&old| self.idents[old]).collect();
+        let g = g.with_idents(idents).expect("inherited identifiers stay distinct");
+        (g, verts, eids)
+    }
+
     /// Number of connected components.
     pub fn component_count(&self) -> usize {
         let mut seen = vec![false; self.n];
@@ -511,6 +560,30 @@ mod tests {
         assert_eq!(map, vec![0, 1, 4]);
         assert_eq!(h.m(), 2); // edges (0,1) and (4,0)
         assert_eq!(h.ident(2), 5); // vertex 4 kept ident 5
+    }
+
+    #[test]
+    fn edge_induced_keeps_exact_edges_and_idents() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]).unwrap();
+        // Sorted edge list: 0=(0,1) 1=(0,5) 2=(1,2) 3=(2,3) 4=(3,4) 5=(4,5).
+        let (h, vmap, emap) = g.edge_induced(&[4, 0, 4, 2]);
+        assert_eq!(emap, vec![0, 2, 4]);
+        assert_eq!(vmap, vec![0, 1, 2, 3, 4]);
+        assert_eq!(h.m(), 3);
+        // Subgraph edge i corresponds to host edge emap[i].
+        for (i, &e) in emap.iter().enumerate() {
+            let (u, v) = h.endpoints(i);
+            assert_eq!((vmap[u], vmap[v]), g.endpoints(e));
+        }
+        // Sparse selection drops untouched vertices.
+        let (h, vmap, emap) = g.edge_induced(&[1]);
+        assert_eq!((h.n(), h.m()), (2, 1));
+        assert_eq!(vmap, vec![0, 5]);
+        assert_eq!(emap, vec![1]);
+        assert_eq!(h.ident(1), g.ident(5));
+        let (h, vmap, emap) = g.edge_induced(&[]);
+        assert_eq!((h.n(), h.m()), (0, 0));
+        assert!(vmap.is_empty() && emap.is_empty());
     }
 
     #[test]

@@ -216,6 +216,32 @@ mod tests {
     }
 
     #[test]
+    fn ident_override_errors_are_specific() {
+        // Truncated `i` lines name the missing field and the line.
+        assert!(matches!(
+            parse_edge_list("p 2 1\ne 0 1\ni 0\n"),
+            Err(ParseGraphError::BadLine { line: 3, .. })
+        ));
+        assert!(matches!(
+            parse_edge_list("p 2 1\ne 0 1\ni\n"),
+            Err(ParseGraphError::BadLine { line: 3, .. })
+        ));
+        assert!(matches!(
+            parse_edge_list("p 2 1\ne 0 1\ni 0 x\n"),
+            Err(ParseGraphError::BadLine { line: 3, .. })
+        ));
+        // An override clashing with a default identifier is a graph error.
+        assert!(matches!(
+            parse_edge_list("p 3 1\ne 0 1\ni 0 2\n"),
+            Err(ParseGraphError::Graph(GraphError::DuplicateIdent { ident: 2 }))
+        ));
+        // Overriding the same vertex twice keeps the last value (documented
+        // by behavior: the override list applies in order).
+        let g = parse_edge_list("p 2 1\ne 0 1\ni 0 5\ni 0 9\n").unwrap();
+        assert_eq!(g.ident(0), 9);
+    }
+
+    #[test]
     fn display_messages() {
         let e = parse_edge_list("p 2 2\ne 0 1\n").unwrap_err();
         assert!(e.to_string().contains("declares 2"));

@@ -22,6 +22,9 @@
 //!   neighbors; Section 1.3).
 //! * [`orientation`] — edge orientations with out-degree and acyclicity
 //!   queries (Lemma 3.4 and Lemma 3.5 reason about acyclic orientations).
+//! * [`MutableGraph`] + [`trace`] — batched topology mutation with atomic
+//!   commits, plus the replayable plain-text churn-trace format and seeded
+//!   churn generator that feed the streaming recoloring engine.
 //!
 //! # Example
 //!
@@ -40,6 +43,7 @@
 
 mod error;
 mod graph_impl;
+mod mutable;
 
 pub mod coloring;
 pub mod generators;
@@ -48,9 +52,11 @@ pub mod io;
 pub mod line_graph;
 pub mod orientation;
 pub mod properties;
+pub mod trace;
 
 pub use error::GraphError;
 pub use graph_impl::{Graph, GraphBuilder};
+pub use mutable::{CommitDelta, MutableGraph};
 
 /// Vertex index in `0..n`. The distinct identifier of a vertex is
 /// [`Graph::ident`], which is what the distributed algorithms use for

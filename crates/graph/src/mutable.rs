@@ -1,0 +1,366 @@
+//! A mutable overlay over the immutable CSR [`Graph`].
+//!
+//! Every algorithm in this workspace runs on the immutable [`Graph`], whose
+//! CSR layout is what makes the simulator's slot delivery zero-allocation.
+//! Streaming workloads mutate the topology, so [`MutableGraph`] keeps the
+//! graph as an *edge set plus a batch of pending mutations*: mutations are
+//! queued with [`MutableGraph::insert_edge`], [`MutableGraph::delete_edge`],
+//! [`MutableGraph::add_vertex`] and [`MutableGraph::set_ident`], and
+//! [`MutableGraph::commit`] applies the whole batch atomically, rebuilding a
+//! fresh CSR snapshot in place (`O(n + m)`, the same cost as one
+//! [`Graph::from_edges`]).
+//!
+//! Commits are **atomic**: if any queued operation is invalid (range,
+//! self-loop, duplicate insert, missing delete, identifier clash), the
+//! committed state is left untouched and the whole batch is discarded, so a
+//! failed commit never leaves a half-applied topology behind. The returned
+//! [`CommitDelta`] lists the *net* effect — an edge deleted and re-inserted
+//! within one batch appears in neither list, which is exactly what the
+//! incremental recoloring engine wants (its color is still valid).
+
+use crate::{Graph, GraphError, Vertex};
+use std::collections::HashSet;
+
+/// One queued mutation (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Op {
+    Insert(u32, u32),
+    Delete(u32, u32),
+    AddVertex,
+    SetIdent(u32, u64),
+}
+
+/// The net effect of one committed mutation batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommitDelta {
+    /// Edges present after the commit that were absent before, as
+    /// normalized `(u, v)` pairs with `u < v`, sorted.
+    pub inserted: Vec<(Vertex, Vertex)>,
+    /// Edges absent after the commit that were present before, normalized
+    /// and sorted.
+    pub deleted: Vec<(Vertex, Vertex)>,
+    /// Vertices added by the batch.
+    pub added_vertices: usize,
+}
+
+/// A graph under batched mutation. See the module docs.
+///
+/// # Example
+///
+/// ```
+/// use deco_graph::MutableGraph;
+///
+/// let mut mg = MutableGraph::new(3);
+/// mg.insert_edge(0, 1)?;
+/// mg.insert_edge(1, 2)?;
+/// let delta = mg.commit()?;
+/// assert_eq!(delta.inserted.len(), 2);
+/// assert_eq!(mg.graph().m(), 2);
+///
+/// mg.delete_edge(0, 1)?;
+/// let v = mg.add_vertex();
+/// mg.insert_edge(2, v)?;
+/// let delta = mg.commit()?;
+/// assert_eq!(delta.deleted, vec![(0, 1)]);
+/// assert_eq!(delta.inserted, vec![(2, 3)]);
+/// assert_eq!(mg.graph().n(), 4);
+/// # Ok::<(), deco_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MutableGraph {
+    /// The committed snapshot.
+    snapshot: Graph,
+    /// Queued, not-yet-committed operations, in queue order.
+    pending: Vec<Op>,
+    /// Vertices added by pending ops (so queued inserts can address them).
+    pending_vertices: usize,
+}
+
+impl MutableGraph {
+    /// An edgeless mutable graph with `n` vertices.
+    pub fn new(n: usize) -> MutableGraph {
+        MutableGraph::from_graph(Graph::empty(n))
+    }
+
+    /// Wraps an existing graph as the committed state.
+    pub fn from_graph(snapshot: Graph) -> MutableGraph {
+        MutableGraph { snapshot, pending: Vec::new(), pending_vertices: 0 }
+    }
+
+    /// The current committed snapshot (pending operations excluded).
+    pub fn graph(&self) -> &Graph {
+        &self.snapshot
+    }
+
+    /// Number of vertices the next commit will have (committed + pending).
+    pub fn next_n(&self) -> usize {
+        self.snapshot.n() + self.pending_vertices
+    }
+
+    /// Number of queued, uncommitted operations.
+    pub fn pending_ops(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Queues insertion of the undirected edge `(u, v)`.
+    ///
+    /// Endpoints may be vertices added earlier in the same batch. Whether
+    /// the edge already exists is checked at [`MutableGraph::commit`] time
+    /// (the batch may delete it first).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] if an endpoint is out of range for the
+    /// post-batch vertex count or the edge is a self-loop.
+    pub fn insert_edge(&mut self, u: Vertex, v: Vertex) -> Result<(), GraphError> {
+        let (u, v) = self.check_pair(u, v)?;
+        self.pending.push(Op::Insert(u, v));
+        Ok(())
+    }
+
+    /// Queues deletion of the undirected edge `(u, v)`.
+    ///
+    /// Existence is checked at [`MutableGraph::commit`] time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] if an endpoint is out of range for the
+    /// post-batch vertex count or the edge is a self-loop.
+    pub fn delete_edge(&mut self, u: Vertex, v: Vertex) -> Result<(), GraphError> {
+        let (u, v) = self.check_pair(u, v)?;
+        self.pending.push(Op::Delete(u, v));
+        Ok(())
+    }
+
+    /// Queues addition of one vertex and returns its index (valid from the
+    /// next commit on, but usable as an endpoint within this batch).
+    ///
+    /// The new vertex receives identifier `index + 1` (the default scheme);
+    /// override with [`MutableGraph::set_ident`] if the committed graph uses
+    /// custom identifiers.
+    pub fn add_vertex(&mut self) -> Vertex {
+        self.pending.push(Op::AddVertex);
+        self.pending_vertices += 1;
+        self.next_n() - 1
+    }
+
+    /// Queues an identifier override for `v` (applied after vertex
+    /// additions of the same batch, in queue order). Distinctness is
+    /// validated at commit time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] if `v` is out of range for the post-batch
+    /// vertex count.
+    pub fn set_ident(&mut self, v: Vertex, ident: u64) -> Result<(), GraphError> {
+        if v >= self.next_n() {
+            return Err(GraphError::VertexOutOfRange { vertex: v, n: self.next_n() });
+        }
+        self.pending.push(Op::SetIdent(v as u32, ident));
+        Ok(())
+    }
+
+    /// Discards all queued operations, keeping the committed state.
+    pub fn discard_pending(&mut self) {
+        self.pending.clear();
+        self.pending_vertices = 0;
+    }
+
+    fn check_pair(&self, u: Vertex, v: Vertex) -> Result<(u32, u32), GraphError> {
+        let n = self.next_n();
+        if u >= n {
+            return Err(GraphError::VertexOutOfRange { vertex: u, n });
+        }
+        if v >= n {
+            return Err(GraphError::VertexOutOfRange { vertex: v, n });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { vertex: u });
+        }
+        Ok(if u < v { (u as u32, v as u32) } else { (v as u32, u as u32) })
+    }
+
+    /// Applies the queued batch atomically, rebuilds the CSR snapshot and
+    /// returns the net delta.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] for the first invalid operation (inserting an
+    /// edge that exists, deleting one that does not, identifier clashes).
+    /// On error the committed state is unchanged and the batch is
+    /// discarded.
+    pub fn commit(&mut self) -> Result<CommitDelta, GraphError> {
+        let old = &self.snapshot;
+        let added_vertices = self.pending_vertices;
+        let n_new = old.n() + added_vertices;
+        let mut set: HashSet<(u32, u32)> = old.edges().map(|(u, v)| (u as u32, v as u32)).collect();
+        let mut idents: Vec<u64> = old.idents().to_vec();
+        idents.extend((old.n() as u64 + 1)..=(n_new as u64));
+        // Applying in queue order makes delete-then-reinsert legal and
+        // last-override-wins for identifiers.
+        let outcome: Result<(), GraphError> = self.pending.iter().try_for_each(|&op| match op {
+            Op::Insert(u, v) => {
+                if set.insert((u, v)) {
+                    Ok(())
+                } else {
+                    Err(GraphError::DuplicateEdge { u: u as usize, v: v as usize })
+                }
+            }
+            Op::Delete(u, v) => {
+                if set.remove(&(u, v)) {
+                    Ok(())
+                } else {
+                    Err(GraphError::MissingEdge { u: u as usize, v: v as usize })
+                }
+            }
+            Op::AddVertex => Ok(()),
+            Op::SetIdent(v, ident) => {
+                idents[v as usize] = ident;
+                Ok(())
+            }
+        });
+        if let Err(e) = outcome {
+            self.discard_pending();
+            return Err(e);
+        }
+        let mut edges: Vec<(usize, usize)> =
+            set.into_iter().map(|(u, v)| (u as usize, v as usize)).collect();
+        edges.sort_unstable();
+        let graph = match Graph::from_edges(n_new, &edges).and_then(|g| g.with_idents(idents)) {
+            Ok(g) => g,
+            Err(e) => {
+                self.discard_pending();
+                return Err(e);
+            }
+        };
+        // Net delta via sorted merge of old and new edge lists.
+        let mut inserted = Vec::new();
+        let mut deleted = Vec::new();
+        {
+            let mut old_it = old.edges().peekable();
+            let mut new_it = graph.edges().peekable();
+            loop {
+                match (old_it.peek().copied(), new_it.peek().copied()) {
+                    (Some(a), Some(b)) if a == b => {
+                        old_it.next();
+                        new_it.next();
+                    }
+                    (Some(a), Some(b)) if a < b => {
+                        deleted.push(a);
+                        old_it.next();
+                    }
+                    (Some(_), Some(b)) => {
+                        inserted.push(b);
+                        new_it.next();
+                    }
+                    (Some(a), None) => {
+                        deleted.push(a);
+                        old_it.next();
+                    }
+                    (None, Some(b)) => {
+                        inserted.push(b);
+                        new_it.next();
+                    }
+                    (None, None) => break,
+                }
+            }
+        }
+        self.snapshot = graph;
+        self.discard_pending();
+        Ok(CommitDelta { inserted, deleted, added_vertices })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_is_atomic_on_error() {
+        let mut mg = MutableGraph::new(4);
+        mg.insert_edge(0, 1).unwrap();
+        mg.commit().unwrap();
+        mg.insert_edge(2, 3).unwrap();
+        mg.insert_edge(1, 0).unwrap(); // duplicate of committed edge
+        assert_eq!(mg.commit(), Err(GraphError::DuplicateEdge { u: 0, v: 1 }));
+        // The valid part of the failed batch was discarded too.
+        assert_eq!(mg.graph().m(), 1);
+        assert_eq!(mg.pending_ops(), 0);
+    }
+
+    #[test]
+    fn delete_then_reinsert_is_a_net_noop() {
+        let mut mg = MutableGraph::new(3);
+        mg.insert_edge(0, 1).unwrap();
+        mg.insert_edge(1, 2).unwrap();
+        mg.commit().unwrap();
+        mg.delete_edge(0, 1).unwrap();
+        mg.insert_edge(0, 1).unwrap();
+        let delta = mg.commit().unwrap();
+        assert!(delta.inserted.is_empty());
+        assert!(delta.deleted.is_empty());
+        assert_eq!(mg.graph().m(), 2);
+    }
+
+    #[test]
+    fn missing_delete_rejected() {
+        let mut mg = MutableGraph::new(3);
+        mg.delete_edge(0, 2).unwrap();
+        assert_eq!(mg.commit(), Err(GraphError::MissingEdge { u: 0, v: 2 }));
+    }
+
+    #[test]
+    fn added_vertices_usable_within_batch() {
+        let mut mg = MutableGraph::new(2);
+        mg.insert_edge(0, 1).unwrap();
+        let a = mg.add_vertex();
+        let b = mg.add_vertex();
+        assert_eq!((a, b), (2, 3));
+        mg.insert_edge(a, b).unwrap();
+        mg.insert_edge(1, a).unwrap();
+        let delta = mg.commit().unwrap();
+        assert_eq!(delta.added_vertices, 2);
+        assert_eq!(delta.inserted, vec![(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(mg.graph().n(), 4);
+        assert_eq!(mg.graph().ident(3), 4); // default scheme
+    }
+
+    #[test]
+    fn ident_overrides_validated_at_commit() {
+        let mut mg = MutableGraph::new(3);
+        mg.set_ident(0, 10).unwrap();
+        mg.set_ident(1, 10).unwrap();
+        assert!(matches!(mg.commit(), Err(GraphError::DuplicateIdent { ident: 10 })));
+        mg.set_ident(0, 10).unwrap();
+        mg.set_ident(0, 7).unwrap(); // last override wins
+        mg.commit().unwrap();
+        assert_eq!(mg.graph().ident(0), 7);
+    }
+
+    #[test]
+    fn range_checks_respect_pending_vertices() {
+        let mut mg = MutableGraph::new(1);
+        assert!(mg.insert_edge(0, 1).is_err());
+        let v = mg.add_vertex();
+        mg.insert_edge(0, v).unwrap();
+        assert!(mg.set_ident(2, 5).is_err());
+        mg.commit().unwrap();
+        assert_eq!((mg.graph().n(), mg.graph().m()), (2, 1));
+    }
+
+    #[test]
+    fn self_loops_rejected_immediately() {
+        let mut mg = MutableGraph::new(2);
+        assert_eq!(mg.insert_edge(1, 1), Err(GraphError::SelfLoop { vertex: 1 }));
+        assert_eq!(mg.delete_edge(0, 0), Err(GraphError::SelfLoop { vertex: 0 }));
+    }
+
+    #[test]
+    fn from_graph_preserves_idents() {
+        let g = Graph::from_edges(3, &[(0, 1)]).unwrap().with_idents(vec![5, 6, 7]).unwrap();
+        let mut mg = MutableGraph::from_graph(g);
+        mg.add_vertex();
+        mg.commit().unwrap();
+        assert_eq!(mg.graph().idents(), &[5, 6, 7, 4]);
+    }
+}

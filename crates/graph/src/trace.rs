@@ -1,0 +1,454 @@
+//! Plain-text mutation traces: replayable, diffable churn workloads.
+//!
+//! A trace drives a [`MutableGraph`](crate::MutableGraph) (and the streaming
+//! recolorer built on it) through a sequence of mutation batches. The format
+//! follows the [`crate::io`] edge-list style — line-oriented, 0-based
+//! vertices, `#` comments:
+//!
+//! ```text
+//! # comment
+//! t <n0>              header: initial vertex count (graph starts edgeless)
+//! + <u> <v>           insert edge
+//! - <u> <v>           delete edge
+//! v <count>           add <count> vertices
+//! i <vertex> <ident>  identifier override
+//! commit              end of batch: apply everything queued since the last commit
+//! ```
+//!
+//! Operations between two `commit` lines form one atomic batch. Operations
+//! after the last `commit` are preserved by the round-trip but ignored by
+//! replay drivers (a trace should end with `commit`).
+//!
+//! [`churn_trace`] generates the canonical benchmark workload: a seeded
+//! random bounded-degree graph built in the first commit, followed by
+//! commits that each delete and insert a fixed number of random edges
+//! (steady-state churn at constant density). Same parameters ⇒ identical
+//! trace text ⇒ identical replay, which is what the determinism contract
+//! extends over.
+
+use crate::{generators, Graph, Vertex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::error::Error;
+use std::fmt;
+
+/// One trace operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceOp {
+    /// Insert the undirected edge `(u, v)`.
+    Insert(Vertex, Vertex),
+    /// Delete the undirected edge `(u, v)`.
+    Delete(Vertex, Vertex),
+    /// Add this many vertices.
+    AddVertices(usize),
+    /// Override the identifier of a vertex.
+    SetIdent(Vertex, u64),
+    /// Apply everything queued since the previous commit.
+    Commit,
+}
+
+/// A parsed mutation trace: initial vertex count plus operations in order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// Initial vertex count (the graph starts with no edges).
+    pub n0: usize,
+    /// Operations, in file order.
+    pub ops: Vec<TraceOp>,
+}
+
+impl Trace {
+    /// Number of `commit` lines.
+    pub fn commit_count(&self) -> usize {
+        self.ops.iter().filter(|op| matches!(op, TraceOp::Commit)).count()
+    }
+
+    /// The operations of each commit batch, in order (`commit` markers
+    /// excluded; trailing uncommitted operations dropped).
+    pub fn batches(&self) -> Vec<&[TraceOp]> {
+        let mut out = Vec::new();
+        let mut start = 0;
+        for (i, op) in self.ops.iter().enumerate() {
+            if matches!(op, TraceOp::Commit) {
+                out.push(&self.ops[start..i]);
+                start = i + 1;
+            }
+        }
+        out
+    }
+}
+
+/// Error from [`parse_trace`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseTraceError {
+    /// A line could not be parsed.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        what: String,
+    },
+    /// The `t` header is missing, duplicated, or not first.
+    BadHeader,
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseTraceError::BadLine { line, what } => write!(f, "line {line}: {what}"),
+            ParseTraceError::BadHeader => write!(f, "missing or duplicate 't' header"),
+        }
+    }
+}
+
+impl Error for ParseTraceError {}
+
+/// Serializes a trace to the plain-text format (inverse of [`parse_trace`]).
+pub fn to_text(trace: &Trace) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("t {}\n", trace.n0));
+    for op in &trace.ops {
+        match *op {
+            TraceOp::Insert(u, v) => out.push_str(&format!("+ {u} {v}\n")),
+            TraceOp::Delete(u, v) => out.push_str(&format!("- {u} {v}\n")),
+            TraceOp::AddVertices(k) => out.push_str(&format!("v {k}\n")),
+            TraceOp::SetIdent(v, ident) => out.push_str(&format!("i {v} {ident}\n")),
+            TraceOp::Commit => out.push_str("commit\n"),
+        }
+    }
+    out
+}
+
+/// Parses the trace format described in the module docs.
+///
+/// Structural validity only (tags and integer fields); range and existence
+/// checks belong to the replaying [`MutableGraph`](crate::MutableGraph),
+/// which knows the evolving topology.
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError`] on malformed input.
+///
+/// # Example
+///
+/// ```
+/// use deco_graph::trace;
+///
+/// let t = trace::parse_trace("t 3\n+ 0 1\n+ 1 2\ncommit\n- 0 1\ncommit\n")?;
+/// assert_eq!(t.n0, 3);
+/// assert_eq!(t.commit_count(), 2);
+/// assert_eq!(trace::parse_trace(&trace::to_text(&t))?, t);
+/// # Ok::<(), trace::ParseTraceError>(())
+/// ```
+pub fn parse_trace(text: &str) -> Result<Trace, ParseTraceError> {
+    let mut n0: Option<usize> = None;
+    let mut ops = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let tag = parts.next().expect("nonempty line has a first token");
+        let mut next_num = |what: &str| -> Result<u64, ParseTraceError> {
+            parts.next().and_then(|t| t.parse().ok()).ok_or_else(|| ParseTraceError::BadLine {
+                line: line_no,
+                what: format!("expected {what}"),
+            })
+        };
+        match tag {
+            "t" => {
+                if n0.is_some() {
+                    return Err(ParseTraceError::BadHeader);
+                }
+                n0 = Some(next_num("vertex count")? as usize);
+                continue;
+            }
+            "+" => ops.push(TraceOp::Insert(
+                next_num("endpoint")? as usize,
+                next_num("endpoint")? as usize,
+            )),
+            "-" => ops.push(TraceOp::Delete(
+                next_num("endpoint")? as usize,
+                next_num("endpoint")? as usize,
+            )),
+            "v" => ops.push(TraceOp::AddVertices(next_num("vertex count")? as usize)),
+            "i" => {
+                ops.push(TraceOp::SetIdent(next_num("vertex")? as usize, next_num("identifier")?))
+            }
+            "commit" => ops.push(TraceOp::Commit),
+            other => {
+                return Err(ParseTraceError::BadLine {
+                    line: line_no,
+                    what: format!("unknown tag '{other}'"),
+                });
+            }
+        }
+        if n0.is_none() {
+            return Err(ParseTraceError::BadHeader);
+        }
+    }
+    Ok(Trace { n0: n0.ok_or(ParseTraceError::BadHeader)?, ops })
+}
+
+/// The canonical seeded churn workload (see the module docs).
+///
+/// Commit 1 builds the same graph as
+/// [`generators::random_bounded_degree`]`(n, delta_cap, seed)`; each of the
+/// `churn_commits` following commits deletes `churn` random existing edges
+/// and inserts `churn` random new edges respecting the degree cap (one
+/// batch, deletions first). Deterministic for fixed parameters.
+///
+/// # Panics
+///
+/// Panics if `delta_cap >= n`, or if the graph runs out of edges or of
+/// degree capacity for the requested churn.
+pub fn churn_trace(
+    n: usize,
+    delta_cap: usize,
+    churn_commits: usize,
+    churn: usize,
+    seed: u64,
+) -> Trace {
+    let base: Graph = generators::random_bounded_degree(n, delta_cap, seed);
+    churn_trace_from(&base, delta_cap, churn_commits, churn, seed)
+}
+
+/// [`churn_trace`] over an explicit base graph: commit 1 inserts exactly
+/// `base`'s edges, then `churn_commits` seeded churn batches follow under
+/// the given degree cap. Callers that already built (or inspected) the base
+/// graph avoid generating it twice; `churn_trace(n, cap, c, k, s)` is
+/// exactly `churn_trace_from(&random_bounded_degree(n, cap, s), cap, c, k, s)`.
+///
+/// # Panics
+///
+/// Same conditions as [`churn_trace`]; additionally if `base` exceeds
+/// `delta_cap`.
+pub fn churn_trace_from(
+    base: &Graph,
+    delta_cap: usize,
+    churn_commits: usize,
+    churn: usize,
+    seed: u64,
+) -> Trace {
+    let n = base.n();
+    assert!(base.max_degree() <= delta_cap, "base graph exceeds the degree cap");
+    let mut ops: Vec<TraceOp> = Vec::new();
+    let mut edges: Vec<(Vertex, Vertex)> = base.edges().collect();
+    let mut exists: std::collections::HashSet<(Vertex, Vertex)> = edges.iter().copied().collect();
+    let mut deg = vec![0usize; n];
+    for &(u, v) in &edges {
+        ops.push(TraceOp::Insert(u, v));
+        deg[u] += 1;
+        deg[v] += 1;
+    }
+    ops.push(TraceOp::Commit);
+    // Separate stream from the builder's so trace churn is independent of
+    // the generator's internal sampling.
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xc0ff_ee00_c0ff_ee00);
+    for _ in 0..churn_commits {
+        assert!(edges.len() >= churn, "graph too small for the requested churn");
+        for _ in 0..churn {
+            let at = rng.gen_range(0..edges.len());
+            let (u, v) = edges.swap_remove(at);
+            exists.remove(&(u, v));
+            deg[u] -= 1;
+            deg[v] -= 1;
+            ops.push(TraceOp::Delete(u, v));
+        }
+        // Insert replacements, sampling endpoints from the pool of vertices
+        // with residual capacity (after the deletions the capacity is
+        // concentrated on few vertices, so sampling uniform pairs over all
+        // of `n` would stall on a near-saturated graph).
+        let mut pool: Vec<Vertex> = (0..n).filter(|&v| deg[v] < delta_cap).collect();
+        let mut pool_pos = vec![usize::MAX; n];
+        for (i, &v) in pool.iter().enumerate() {
+            pool_pos[v] = i;
+        }
+        let mut inserted = 0usize;
+        let mut attempts = 0usize;
+        while inserted < churn {
+            attempts += 1;
+            let key = if attempts <= 100 && pool.len() >= 2 {
+                // Fast path: sample a pool pair.
+                let u = pool[rng.gen_range(0..pool.len())];
+                let v = pool[rng.gen_range(0..pool.len())];
+                if u == v {
+                    continue;
+                }
+                let key = if u < v { (u, v) } else { (v, u) };
+                if !exists.insert(key) {
+                    continue;
+                }
+                key
+            } else {
+                // Stalled (tiny, mostly-connected pool): enumerate the
+                // remaining candidate pairs and pick one uniformly.
+                let mut candidates: Vec<(Vertex, Vertex)> = Vec::new();
+                for (i, &u) in pool.iter().enumerate() {
+                    for &v in &pool[i + 1..] {
+                        let key = if u < v { (u, v) } else { (v, u) };
+                        if !exists.contains(&key) {
+                            candidates.push(key);
+                        }
+                    }
+                }
+                if candidates.is_empty() {
+                    // Genuinely out of capacity (every pool pair exists):
+                    // free some by deleting one more random edge — its
+                    // endpoints join the pool and their pair is now a
+                    // candidate. The commit's net churn grows accordingly.
+                    assert!(!edges.is_empty(), "graph too sparse for the requested churn");
+                    let at = rng.gen_range(0..edges.len());
+                    let (u, v) = edges.swap_remove(at);
+                    exists.remove(&(u, v));
+                    ops.push(TraceOp::Delete(u, v));
+                    for w in [u, v] {
+                        if deg[w] == delta_cap {
+                            pool_pos[w] = pool.len();
+                            pool.push(w);
+                        }
+                        deg[w] -= 1;
+                    }
+                    continue;
+                }
+                candidates.sort_unstable();
+                let key = candidates[rng.gen_range(0..candidates.len())];
+                exists.insert(key);
+                key
+            };
+            attempts = 0;
+            edges.push(key);
+            for w in [key.0, key.1] {
+                deg[w] += 1;
+                if deg[w] >= delta_cap {
+                    let at = pool_pos[w];
+                    pool.swap_remove(at);
+                    pool_pos[w] = usize::MAX;
+                    if at < pool.len() {
+                        pool_pos[pool[at]] = at;
+                    }
+                }
+            }
+            ops.push(TraceOp::Insert(key.0, key.1));
+            inserted += 1;
+        }
+        ops.push(TraceOp::Commit);
+    }
+    Trace { n0: n, ops }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MutableGraph;
+
+    #[test]
+    fn roundtrip_hand_written() {
+        let text = "# demo\nt 4\n+ 0 1\nv 2\ni 4 99\n+ 1 4\ncommit\n- 0 1\ncommit\n";
+        let t = parse_trace(text).unwrap();
+        assert_eq!(t.n0, 4);
+        assert_eq!(t.commit_count(), 2);
+        assert_eq!(
+            t.ops[..5],
+            [
+                TraceOp::Insert(0, 1),
+                TraceOp::AddVertices(2),
+                TraceOp::SetIdent(4, 99),
+                TraceOp::Insert(1, 4),
+                TraceOp::Commit,
+            ]
+        );
+        assert_eq!(parse_trace(&to_text(&t)).unwrap(), t);
+    }
+
+    #[test]
+    fn batches_split_on_commits_and_drop_tail() {
+        let t = parse_trace("t 3\n+ 0 1\ncommit\n- 0 1\n+ 1 2\ncommit\n+ 0 2\n").unwrap();
+        let batches = t.batches();
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[0], &[TraceOp::Insert(0, 1)]);
+        assert_eq!(batches[1], &[TraceOp::Delete(0, 1), TraceOp::Insert(1, 2)]);
+    }
+
+    #[test]
+    fn malformed_traces_are_specific() {
+        assert_eq!(parse_trace("+ 0 1\n"), Err(ParseTraceError::BadHeader));
+        assert_eq!(parse_trace(""), Err(ParseTraceError::BadHeader));
+        assert_eq!(parse_trace("t 2\nt 3\n"), Err(ParseTraceError::BadHeader));
+        assert!(matches!(parse_trace("t 2\n+ 0\n"), Err(ParseTraceError::BadLine { line: 2, .. })));
+        assert!(matches!(
+            parse_trace("t 2\n- x 1\n"),
+            Err(ParseTraceError::BadLine { line: 2, .. })
+        ));
+        assert!(matches!(parse_trace("t 2\ni 0\n"), Err(ParseTraceError::BadLine { line: 2, .. })));
+        assert!(matches!(parse_trace("t 2\nv\n"), Err(ParseTraceError::BadLine { line: 2, .. })));
+        assert!(matches!(
+            parse_trace("t 2\ne 0 1\n"),
+            Err(ParseTraceError::BadLine { line: 2, .. })
+        ));
+        let e = parse_trace("t 2\n+ 0\n").unwrap_err();
+        assert!(e.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn ident_override_lines_roundtrip() {
+        let t = Trace {
+            n0: 2,
+            ops: vec![TraceOp::SetIdent(0, 41), TraceOp::Insert(0, 1), TraceOp::Commit],
+        };
+        let text = to_text(&t);
+        assert!(text.contains("i 0 41"));
+        assert_eq!(parse_trace(&text).unwrap(), t);
+        // And the override actually lands when replayed.
+        let mut mg = MutableGraph::new(t.n0);
+        for batch in t.batches() {
+            for op in batch {
+                match *op {
+                    TraceOp::Insert(u, v) => mg.insert_edge(u, v).unwrap(),
+                    TraceOp::Delete(u, v) => mg.delete_edge(u, v).unwrap(),
+                    TraceOp::AddVertices(k) => {
+                        for _ in 0..k {
+                            mg.add_vertex();
+                        }
+                    }
+                    TraceOp::SetIdent(v, ident) => mg.set_ident(v, ident).unwrap(),
+                    TraceOp::Commit => unreachable!("batches exclude commit markers"),
+                }
+            }
+            mg.commit().unwrap();
+        }
+        assert_eq!(mg.graph().ident(0), 41);
+    }
+
+    #[test]
+    fn churn_trace_replays_onto_mutable_graph() {
+        let t = churn_trace(40, 4, 3, 5, 7);
+        assert_eq!(t.commit_count(), 4);
+        let mut mg = MutableGraph::new(t.n0);
+        let mut sizes = Vec::new();
+        for batch in t.batches() {
+            for op in batch {
+                match *op {
+                    TraceOp::Insert(u, v) => mg.insert_edge(u, v).unwrap(),
+                    TraceOp::Delete(u, v) => mg.delete_edge(u, v).unwrap(),
+                    _ => unreachable!("churn traces only insert/delete"),
+                }
+            }
+            mg.commit().unwrap();
+            assert!(mg.graph().max_degree() <= 4);
+            sizes.push(mg.graph().m());
+        }
+        // Steady state: every churn commit preserves the edge count.
+        assert!(sizes.windows(2).all(|w| w[0] == w[1]));
+        // First commit matches the seeded generator exactly.
+        let base = generators::random_bounded_degree(40, 4, 7);
+        assert_eq!(sizes[0], base.m());
+        // Determinism: same parameters, same trace.
+        assert_eq!(churn_trace(40, 4, 3, 5, 7), t);
+        assert_ne!(churn_trace(40, 4, 3, 5, 8), t);
+        // The explicit-base variant is the same machine.
+        assert_eq!(churn_trace_from(&base, 4, 3, 5, 7), t);
+    }
+}

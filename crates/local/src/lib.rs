@@ -70,7 +70,7 @@ mod stats;
 
 pub mod line_sim;
 
-pub use message::{bits_for_range, bits_for_value, Message};
+pub use message::{bits_for_range, bits_for_value, Bitset, Message};
 pub use network::{
     Action, Delivery, DeliveryChoice, Engine, Network, NodeCtx, Protocol, RoundLoad, RoundTrace,
     Run, SharedConfig,

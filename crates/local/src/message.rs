@@ -59,6 +59,92 @@ impl Message for () {
     }
 }
 
+/// A fixed-domain bitset message: membership over `0..domain`.
+///
+/// The wire size is the *domain* width (one bit per possible element),
+/// matching how the paper accounts message sizes by domain rather than by
+/// value. Used by protocols that exchange palettes — e.g. the streaming
+/// recolorer's forbidden-color masks, where `domain = 2Δ - 1` makes every
+/// mask an `O(Δ)`-bit message.
+///
+/// # Example
+///
+/// ```
+/// use deco_local::{Bitset, Message};
+///
+/// let mut a = Bitset::new(10);
+/// a.insert(0);
+/// a.insert(3);
+/// let mut b = Bitset::new(10);
+/// b.insert(1);
+/// b.union_with(&a);
+/// assert_eq!(b.first_absent(), 2);
+/// assert_eq!(b.size_bits(), 10);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitset {
+    domain: u32,
+    words: Vec<u64>,
+}
+
+impl Bitset {
+    /// An empty set over the domain `0..domain`.
+    pub fn new(domain: usize) -> Bitset {
+        assert!(domain <= u32::MAX as usize, "bitset domain too large");
+        Bitset { domain: domain as u32, words: vec![0; domain.div_ceil(64)] }
+    }
+
+    /// The domain size this set ranges over.
+    pub fn domain(&self) -> usize {
+        self.domain as usize
+    }
+
+    /// Adds `i` to the set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= domain`.
+    pub fn insert(&mut self, i: u64) {
+        assert!(i < u64::from(self.domain), "bit {i} outside domain {}", self.domain);
+        self.words[(i / 64) as usize] |= 1u64 << (i % 64);
+    }
+
+    /// Whether `i` is in the set (`false` for out-of-domain values).
+    pub fn contains(&self, i: u64) -> bool {
+        i < u64::from(self.domain) && self.words[(i / 64) as usize] >> (i % 64) & 1 == 1
+    }
+
+    /// Adds every element of `other` (domains must match).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the domains differ.
+    pub fn union_with(&mut self, other: &Bitset) {
+        assert_eq!(self.domain, other.domain, "bitset domains must match");
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+    }
+
+    /// The smallest domain value *not* in the set, or `domain` if the set
+    /// is full — the "first free color" primitive.
+    pub fn first_absent(&self) -> u64 {
+        for (i, &w) in self.words.iter().enumerate() {
+            if w != u64::MAX {
+                let bit = 64 * i as u64 + w.trailing_ones() as u64;
+                return bit.min(u64::from(self.domain));
+            }
+        }
+        u64::from(self.domain)
+    }
+}
+
+impl Message for Bitset {
+    fn size_bits(&self) -> usize {
+        (self.domain as usize).max(1)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -87,5 +173,40 @@ mod tests {
         assert_eq!(vec![1u64, 2, 4].size_bits(), 1 + 2 + 3);
         assert_eq!(Vec::<u64>::new().size_bits(), 1);
         assert_eq!(().size_bits(), 1);
+    }
+
+    #[test]
+    fn bitset_membership_and_union() {
+        let mut s = Bitset::new(130);
+        assert_eq!(s.first_absent(), 0);
+        for i in 0..70 {
+            s.insert(i);
+        }
+        assert_eq!(s.first_absent(), 70);
+        assert!(s.contains(69));
+        assert!(!s.contains(70));
+        assert!(!s.contains(500)); // out of domain, not a panic
+        let mut t = Bitset::new(130);
+        t.insert(70);
+        t.union_with(&s);
+        assert_eq!(t.first_absent(), 71);
+        assert_eq!(t.size_bits(), 130);
+    }
+
+    #[test]
+    fn bitset_full_set_reports_domain() {
+        let mut s = Bitset::new(3);
+        for i in 0..3 {
+            s.insert(i);
+        }
+        assert_eq!(s.first_absent(), 3);
+        assert_eq!(Bitset::new(0).first_absent(), 0);
+        assert_eq!(Bitset::new(0).size_bits(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside domain")]
+    fn bitset_insert_out_of_domain_panics() {
+        Bitset::new(4).insert(4);
     }
 }

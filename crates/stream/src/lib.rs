@@ -1,0 +1,35 @@
+//! `deco-stream` — incremental recoloring for mutating graphs.
+//!
+//! The rest of the workspace colors a graph once and exits. This crate
+//! keeps a legal edge coloring **alive while the graph changes**: edges
+//! arrive and leave in batches (TDMA links flapping, job-shop tasks
+//! finishing), and after every committed batch the coloring is repaired by
+//! re-running the paper's machinery on the *repair region only* — the
+//! uncolored/conflicting edges — instead of the whole graph. The paper's
+//! locality (an edge insertion only perturbs a bounded neighborhood of the
+//! line graph; Lemma 5.1 bounds its independence by 2 everywhere, so the
+//! pipeline works on any region) is what makes this sound.
+//!
+//! Three layers:
+//!
+//! * [`deco_graph::MutableGraph`] + [`deco_graph::trace`] (in the graph
+//!   crate) — batched mutation with atomic commits, and the replayable
+//!   plain-text trace format / seeded churn generator;
+//! * [`Recolorer`] — the engine: carry colors across a commit, extract the
+//!   repair region, schedule it with the Theorem 5.5 pipeline on the
+//!   edge-induced sub-network, finalize with `O(Δ)`-bit forbidden-color
+//!   masks, fall back to from-scratch when the region is too dense;
+//! * [`replay_trace`] and the `deco-stream` binary — replay a trace file,
+//!   reporting per-commit repair sizes, rounds and wall time.
+//!
+//! Determinism: same trace + parameters ⇒ bit-identical colorings and
+//! [`CommitReport`]s at any `DECO_THREADS` / `DECO_DELIVERY` setting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod recolor;
+mod replay;
+
+pub use recolor::{CommitReport, Recolorer, RepairStrategy};
+pub use replay::{queue_op, replay_trace, ReplayError, ReplayOutcome};

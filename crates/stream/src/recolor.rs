@@ -1,0 +1,655 @@
+//! The incremental recoloring engine.
+//!
+//! [`Recolorer`] maintains a legal edge coloring of a mutating graph across
+//! commit boundaries. The key observation is the paper's locality: in the
+//! line graph, an edge insertion or deletion only invalidates colors inside
+//! a bounded neighborhood of the touched edges, so repairing after a batch
+//! costs `O(affected region)` — not `O(m)` — as long as the batch is small.
+//!
+//! # Repair algorithm
+//!
+//! After [`Recolorer::commit`] applies a batch (via
+//! [`deco_graph::MutableGraph`]) the engine:
+//!
+//! 1. **Carries colors** from the previous snapshot by endpoint pair (a
+//!    sorted merge, `O(m)`): surviving edges keep their color, new edges
+//!    are uncolored.
+//! 2. **Extracts the repair region**: every edge that is uncolored,
+//!    conflicts with an incident edge of the same color, or carries a color
+//!    outside the current palette bound (Δ may have shrunk). The region's
+//!    distance-1 line-graph boundary participates through forbidden-color
+//!    masks, never as recolorable members.
+//! 3. **Schedules** the region by running the paper's full
+//!    defective-to-legal pipeline ([`edge_color_in_groups`], Theorem 5.5)
+//!    on the sub-network induced by the region edges alone
+//!    ([`Graph::edge_induced`]); the resulting legal sub-coloring is
+//!    rank-compacted into consecutive *schedule classes*.
+//! 4. **Finalizes** with one class per round on the same sub-network: both
+//!    endpoints of a region edge exchange `O(Δ)`-bit [`Bitset`] masks of
+//!    the colors already taken around them (fixed neighbors and earlier
+//!    classes) and deterministically pick the smallest free color below
+//!    `2Δ - 1`. Same-class edges are non-adjacent, so each round's picks
+//!    are conflict-free; every region edge costs exactly two mask messages.
+//!
+//! If the region exceeds [`Recolorer::with_repair_threshold`] (percent of
+//! `m`), repairing locally would approach the cost of a full run, so the
+//! engine falls back to the from-scratch pipeline on the whole snapshot.
+//!
+//! # Determinism
+//!
+//! Everything above is a deterministic function of the committed topology:
+//! same trace + seed ⇒ bit-identical colorings, [`CommitReport`]s and
+//! [`RunStats`] at any thread count, any delivery mode and either engine —
+//! the simulator's determinism contract extended end-to-end over mutation.
+
+use deco_core::edge::legal::{
+    edge_color_bound, edge_color_in_groups, validate_edge_params, MessageMode,
+};
+use deco_core::params::{LegalParams, ParamError};
+use deco_core::pipeline::{merge_edge_replicas, Pipeline};
+use deco_graph::coloring::{Color, EdgeColoring};
+use deco_graph::{EdgeIdx, Graph, GraphError, MutableGraph, Vertex};
+use deco_local::{Action, Bitset, Network, NodeCtx, Protocol, RunStats};
+
+/// How a commit's repair was executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepairStrategy {
+    /// Nothing to repair: every carried color is still valid.
+    Clean,
+    /// The repair-region sub-network was recolored in place.
+    Incremental,
+    /// The region exceeded the density threshold (or the graph had no
+    /// coloring yet); the whole snapshot was recolored by the from-scratch
+    /// pipeline.
+    FromScratch,
+}
+
+impl std::fmt::Display for RepairStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            RepairStrategy::Clean => "clean",
+            RepairStrategy::Incremental => "incremental",
+            RepairStrategy::FromScratch => "from-scratch",
+        })
+    }
+}
+
+/// Per-commit accounting returned by [`Recolorer::commit`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommitReport {
+    /// 0-based commit index.
+    pub commit: usize,
+    /// Net edges inserted / deleted by the batch.
+    pub inserted: usize,
+    /// Net edges deleted by the batch.
+    pub deleted: usize,
+    /// Snapshot size after the commit.
+    pub n: usize,
+    /// Snapshot edge count after the commit.
+    pub m: usize,
+    /// Snapshot maximum degree after the commit.
+    pub max_degree: usize,
+    /// Repair-region size in edges (0 under [`RepairStrategy::Clean`]).
+    pub dirty: usize,
+    /// Vertices of the repair sub-network.
+    pub region_vertices: usize,
+    /// How the repair ran.
+    pub strategy: RepairStrategy,
+    /// Edges whose color was (re)assigned.
+    pub recolored: usize,
+    /// Schedule classes the finalize phase stepped through (incremental
+    /// repairs only).
+    pub schedule_classes: u64,
+    /// The palette bound colors are kept under for this snapshot.
+    pub color_bound: u64,
+    /// Simulator statistics of all repair phases of this commit.
+    pub stats: RunStats,
+}
+
+/// Incremental recoloring engine over a mutating graph. See module docs.
+#[derive(Debug, Clone)]
+pub struct Recolorer {
+    mg: MutableGraph,
+    /// Color per snapshot edge; all `Some` between commits.
+    colors: Vec<Option<Color>>,
+    params: LegalParams,
+    mode: MessageMode,
+    /// Repair-region density (percent of `m`) above which a commit falls
+    /// back to the from-scratch pipeline.
+    threshold_pct: u32,
+    commits: usize,
+}
+
+impl Recolorer {
+    /// An engine over an initially edgeless graph with `n0` vertices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] if `params` cannot contract (the same
+    /// validation as the one-shot pipeline).
+    pub fn new(n0: usize, params: LegalParams, mode: MessageMode) -> Result<Recolorer, ParamError> {
+        validate_edge_params(&params)?;
+        Ok(Recolorer {
+            mg: MutableGraph::new(n0),
+            colors: Vec::new(),
+            params,
+            mode,
+            threshold_pct: 25,
+            commits: 0,
+        })
+    }
+
+    /// An engine over an existing graph. The initial coloring runs from
+    /// scratch at the first [`Recolorer::commit`] (queue an empty batch to
+    /// force it immediately).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] if `params` cannot contract.
+    pub fn from_graph(
+        g: Graph,
+        params: LegalParams,
+        mode: MessageMode,
+    ) -> Result<Recolorer, ParamError> {
+        validate_edge_params(&params)?;
+        let m = g.m();
+        Ok(Recolorer {
+            mg: MutableGraph::from_graph(g),
+            colors: vec![None; m],
+            params,
+            mode,
+            threshold_pct: 25,
+            commits: 0,
+        })
+    }
+
+    /// Sets the repair-region density threshold in percent of `m` (default
+    /// 25): a commit whose region is larger falls back to from-scratch.
+    pub fn with_repair_threshold(mut self, pct: u32) -> Recolorer {
+        self.threshold_pct = pct;
+        self
+    }
+
+    /// The current committed snapshot.
+    pub fn graph(&self) -> &Graph {
+        self.mg.graph()
+    }
+
+    /// Commits applied so far.
+    pub fn commits(&self) -> usize {
+        self.commits
+    }
+
+    /// The current coloring (valid after every commit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before the first commit on a [`Recolorer::from_graph`]
+    /// engine (the initial coloring has not run yet).
+    pub fn coloring(&self) -> EdgeColoring {
+        EdgeColoring::new(
+            self.colors.iter().map(|c| c.expect("coloring is complete between commits")).collect(),
+        )
+    }
+
+    /// The palette bound the current snapshot's colors are kept under:
+    /// the from-scratch pipeline's ϑ for the snapshot's Δ (never below the
+    /// greedy repair cap `2Δ - 1`).
+    pub fn color_bound(&self) -> u64 {
+        Recolorer::bound_for(&self.params, self.graph().max_degree() as u64)
+    }
+
+    fn bound_for(params: &LegalParams, delta: u64) -> u64 {
+        edge_color_bound(params, delta).max(2 * delta.max(1) - 1)
+    }
+
+    /// Queues insertion of edge `(u, v)` for the next commit.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MutableGraph::insert_edge`].
+    pub fn insert_edge(&mut self, u: Vertex, v: Vertex) -> Result<(), GraphError> {
+        self.mg.insert_edge(u, v)
+    }
+
+    /// Queues deletion of edge `(u, v)` for the next commit.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MutableGraph::delete_edge`].
+    pub fn delete_edge(&mut self, u: Vertex, v: Vertex) -> Result<(), GraphError> {
+        self.mg.delete_edge(u, v)
+    }
+
+    /// Queues addition of one vertex; returns its index.
+    pub fn add_vertex(&mut self) -> Vertex {
+        self.mg.add_vertex()
+    }
+
+    /// Queues an identifier override.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MutableGraph::set_ident`].
+    pub fn set_ident(&mut self, v: Vertex, ident: u64) -> Result<(), GraphError> {
+        self.mg.set_ident(v, ident)
+    }
+
+    /// Applies the queued batch and repairs the coloring. See module docs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] if the batch is invalid; the previous
+    /// snapshot and coloring are untouched and the batch is discarded.
+    pub fn commit(&mut self) -> Result<CommitReport, GraphError> {
+        let old_edges: Vec<(Vertex, Vertex)> = self.mg.graph().edges().collect();
+        let old_colors = std::mem::take(&mut self.colors);
+        let delta = match self.mg.commit() {
+            Ok(d) => d,
+            Err(e) => {
+                self.colors = old_colors;
+                return Err(e);
+            }
+        };
+        let g = self.mg.graph();
+        let m = g.m();
+
+        // 1. Carry colors by endpoint pair (both edge lists are sorted).
+        let mut colors: Vec<Option<Color>> = vec![None; m];
+        let mut old_i = 0usize;
+        for (e, (u, v)) in g.edges().enumerate() {
+            while old_i < old_edges.len() && old_edges[old_i] < (u, v) {
+                old_i += 1;
+            }
+            if old_i < old_edges.len() && old_edges[old_i] == (u, v) {
+                colors[e] = old_colors[old_i];
+                old_i += 1;
+            }
+        }
+
+        // 2. Repair region: uncolored, conflicting, or out-of-palette edges.
+        let bound = Recolorer::bound_for(&self.params, g.max_degree() as u64);
+        let mut is_dirty = vec![false; m];
+        for (e, c) in colors.iter().enumerate() {
+            match c {
+                None => is_dirty[e] = true,
+                Some(c) if *c >= bound => is_dirty[e] = true,
+                Some(_) => {}
+            }
+        }
+        let mut incident: Vec<(Color, EdgeIdx)> = Vec::new();
+        for v in 0..g.n() {
+            incident.clear();
+            incident.extend(g.incident(v).filter_map(|(_, e)| colors[e].map(|c| (c, e))));
+            incident.sort_unstable();
+            for w in incident.windows(2) {
+                if w[0].0 == w[1].0 {
+                    is_dirty[w[0].1] = true;
+                    is_dirty[w[1].1] = true;
+                }
+            }
+        }
+        let dirty: Vec<EdgeIdx> = (0..m).filter(|&e| is_dirty[e]).collect();
+
+        let commit = self.commits;
+        self.commits += 1;
+        let mut report = CommitReport {
+            commit,
+            inserted: delta.inserted.len(),
+            deleted: delta.deleted.len(),
+            n: g.n(),
+            m,
+            max_degree: g.max_degree(),
+            dirty: dirty.len(),
+            region_vertices: 0,
+            strategy: RepairStrategy::Clean,
+            recolored: 0,
+            schedule_classes: 0,
+            color_bound: bound,
+            stats: RunStats::zero(),
+        };
+        if dirty.is_empty() {
+            self.colors = colors;
+            return Ok(report);
+        }
+
+        // 3+4. Repair, or fall back when the region is too dense.
+        let from_scratch = dirty.len() as u64 * 100 >= m as u64 * u64::from(self.threshold_pct);
+        if from_scratch {
+            let net = Network::new(g);
+            let groups = vec![0u64; m];
+            let run = edge_color_in_groups(
+                &net,
+                &groups,
+                1,
+                self.params,
+                g.max_degree() as u64,
+                self.mode,
+            )
+            .expect("params validated at construction");
+            debug_assert!(run.theta <= bound);
+            report.strategy = RepairStrategy::FromScratch;
+            report.recolored = m;
+            report.stats = run.stats;
+            self.colors = run.coloring.into_colors().into_iter().map(Some).collect();
+        } else {
+            let (stats, classes, region_vertices) =
+                repair_region(g, &dirty, &is_dirty, &mut colors, self.params, self.mode);
+            report.strategy = RepairStrategy::Incremental;
+            report.recolored = dirty.len();
+            report.schedule_classes = classes;
+            report.region_vertices = region_vertices;
+            report.stats = stats;
+            self.colors = colors;
+        }
+        debug_assert!(self.colors.iter().all(|c| c.is_some_and(|c| c < bound)));
+        Ok(report)
+    }
+}
+
+/// Recolors exactly the `dirty` edges of `g` in place: pipeline schedule on
+/// the edge-induced sub-network, then the class-per-round finalize protocol
+/// (module docs, steps 3 and 4). Returns the combined repair stats, the
+/// schedule class count and the sub-network's vertex count.
+fn repair_region(
+    g: &Graph,
+    dirty: &[EdgeIdx],
+    is_dirty: &[bool],
+    colors: &mut [Option<Color>],
+    params: LegalParams,
+    mode: MessageMode,
+) -> (RunStats, u64, usize) {
+    let (sub, vmap, emap) = g.edge_induced(dirty);
+    // The pipeline's symmetry breaking assumes identifiers from {1, ..., n}
+    // (Cole–Vishkin's initial palette is the ident domain), but
+    // `edge_induced` inherits host identifiers that can exceed the region
+    // size. Rank-renumber them: order-preserving, so the sub-network's
+    // symmetry breaking stays a deterministic function of the host's.
+    let mut rank: Vec<usize> = (0..sub.n()).collect();
+    rank.sort_unstable_by_key(|&v| sub.ident(v));
+    let mut dense = vec![0u64; sub.n()];
+    for (r, &v) in rank.iter().enumerate() {
+        dense[v] = r as u64 + 1;
+    }
+    let sub = sub.with_idents(dense).expect("ranks are distinct");
+    let cap = 2 * g.max_degree().max(1) as u64 - 1;
+
+    // Schedule: the paper's pipeline on the region alone.
+    let subnet = Network::new(&sub);
+    let groups = vec![0u64; sub.m()];
+    let run = edge_color_in_groups(&subnet, &groups, 1, params, sub.max_degree() as u64, mode)
+        .expect("params validated at construction");
+
+    // Rank-compact the schedule so finalize rounds track the region, not ϑ.
+    let mut palette: Vec<Color> = run.coloring.colors().to_vec();
+    palette.sort_unstable();
+    palette.dedup();
+    let classes = palette.len() as u64;
+    let class_of: Vec<u64> = run
+        .coloring
+        .colors()
+        .iter()
+        .map(|c| palette.binary_search(c).expect("own color is in the palette") as u64)
+        .collect();
+
+    // Forbidden masks: colors of the *fixed* incident host edges — the
+    // repair region's line-graph boundary.
+    let fixed_masks: Vec<Bitset> = vmap
+        .iter()
+        .map(|&host_v| {
+            let mut mask = Bitset::new(cap as usize);
+            for (_, e) in g.incident(host_v) {
+                if !is_dirty[e] {
+                    if let Some(c) = colors[e] {
+                        if c < cap {
+                            mask.insert(c);
+                        }
+                    }
+                }
+            }
+            mask
+        })
+        .collect();
+
+    let mut pl = Pipeline::new(&subnet);
+    pl.absorb("repair/schedule-pipeline", run.stats);
+    let outputs = pl.run("repair/finalize", |ctx| {
+        let edges = sub
+            .incident(ctx.vertex)
+            .map(|(nbr, e)| FinalizeEdge { nbr, eid: e, class: class_of[e], color: None })
+            .collect();
+        Finalize { cap, taken: fixed_masks[ctx.vertex].clone(), edges }
+    });
+    let finals = merge_edge_replicas(sub.m(), &outputs, "repair color");
+    for (sub_e, &c) in finals.iter().enumerate() {
+        debug_assert!(c < cap, "finalize must stay below the greedy cap");
+        colors[emap[sub_e]] = Some(c);
+    }
+    (pl.into_stats(), classes, sub.n())
+}
+
+#[derive(Debug)]
+struct FinalizeEdge {
+    nbr: Vertex,
+    eid: EdgeIdx,
+    class: u64,
+    color: Option<Color>,
+}
+
+/// The class-per-round finalize protocol (module docs, step 4).
+///
+/// Round `r` delivers the masks of class `r - 1` (sent the round before)
+/// and decides those edges: both endpoints compute the smallest color
+/// absent from the union of the two masks, so they agree without another
+/// exchange. A proper schedule puts at most one edge per class at any
+/// vertex, so each node sends at most one mask per round and every region
+/// edge costs exactly two messages over the whole run.
+#[derive(Debug)]
+struct Finalize {
+    cap: u64,
+    /// Colors taken around this vertex: fixed boundary edges plus own
+    /// region edges finalized in earlier classes.
+    taken: Bitset,
+    edges: Vec<FinalizeEdge>,
+}
+
+impl Finalize {
+    fn sends_for_class(&self, class: u64) -> Vec<(Vertex, Bitset)> {
+        self.edges
+            .iter()
+            .filter(|e| e.class == class && e.color.is_none())
+            .map(|e| (e.nbr, self.taken.clone()))
+            .collect()
+    }
+}
+
+impl Protocol for Finalize {
+    type Msg = Bitset;
+    type Output = Vec<(EdgeIdx, u64)>;
+
+    fn start(&mut self, _ctx: &NodeCtx<'_>) -> Vec<(Vertex, Bitset)> {
+        self.sends_for_class(0)
+    }
+
+    fn round(&mut self, ctx: &NodeCtx<'_>, inbox: &[(Vertex, Bitset)]) -> Action<Bitset> {
+        let deciding = ctx.round as u64 - 1;
+        for (sender, mask) in inbox {
+            let i = self
+                .edges
+                .iter()
+                .position(|e| e.nbr == *sender)
+                .expect("mask from a non-incident sender");
+            debug_assert_eq!(self.edges[i].class, deciding, "mask arrived off schedule");
+            // The partner's mask is its `taken` at send time; ours hasn't
+            // changed since we sent (one edge per class per vertex), so
+            // both endpoints minimize over the same union.
+            let mut union = mask.clone();
+            union.union_with(&self.taken);
+            let c = union.first_absent();
+            assert!(c < self.cap, "no free color below 2Δ-1: impossible for a simple graph");
+            self.edges[i].color = Some(c);
+            self.taken.insert(c);
+        }
+        let sends = self.sends_for_class(ctx.round as u64);
+        if sends.is_empty() && self.edges.iter().all(|e| e.color.is_some()) {
+            return Action::Halt(Vec::new());
+        }
+        Action::Continue(sends)
+    }
+
+    fn finish(self, _ctx: &NodeCtx<'_>) -> Vec<(EdgeIdx, u64)> {
+        self.edges
+            .into_iter()
+            .map(|e| (e.eid, e.color.expect("every region edge finalized")))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deco_core::edge::legal::edge_log_depth;
+    use deco_graph::generators;
+
+    fn engine(n: usize) -> Recolorer {
+        Recolorer::new(n, edge_log_depth(1), MessageMode::Long).unwrap()
+    }
+
+    fn assert_valid(r: &Recolorer) {
+        let c = r.coloring();
+        assert!(c.is_proper(r.graph()), "coloring must stay proper");
+        let bound = r.color_bound();
+        assert!(c.colors().iter().all(|&x| x < bound), "colors must stay below {bound}");
+    }
+
+    #[test]
+    fn empty_commit_on_empty_graph_is_clean() {
+        let mut r = engine(5);
+        let rep = r.commit().unwrap();
+        assert_eq!(rep.strategy, RepairStrategy::Clean);
+        assert_eq!(rep.dirty, 0);
+        assert_valid(&r);
+    }
+
+    #[test]
+    fn small_insertions_repair_incrementally() {
+        let g = generators::random_bounded_degree(300, 6, 3);
+        let mut r = Recolorer::from_graph(g, edge_log_depth(1), MessageMode::Long).unwrap();
+        let first = r.commit().unwrap(); // initial coloring
+        assert_eq!(first.strategy, RepairStrategy::FromScratch);
+        assert_valid(&r);
+        // A tiny batch: must repair locally.
+        r.insert_edge(0, 150).unwrap();
+        r.insert_edge(1, 200).unwrap();
+        r.delete_edge_any(2);
+        let rep = r.commit().unwrap();
+        assert_eq!(rep.strategy, RepairStrategy::Incremental);
+        assert!(rep.dirty <= 3, "only the touched edges are dirty, got {}", rep.dirty);
+        assert!(rep.region_vertices <= 2 * rep.dirty);
+        assert_valid(&r);
+    }
+
+    impl Recolorer {
+        /// Test helper: queue deletion of `count` existing edges.
+        fn delete_edge_any(&mut self, count: usize) {
+            let edges: Vec<_> = self.graph().edges().take(count).collect();
+            for (u, v) in edges {
+                self.delete_edge(u, v).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn heavy_churn_falls_back_to_from_scratch() {
+        let g = generators::random_bounded_degree(60, 4, 9);
+        let mut r = Recolorer::from_graph(g, edge_log_depth(1), MessageMode::Long).unwrap();
+        r.commit().unwrap();
+        // Deletions alone never dirty a proper coloring (unless Δ shrinks
+        // past the palette bound): the commit is clean.
+        let m = r.graph().m();
+        let removed: Vec<_> = r.graph().edges().take(m / 2).collect();
+        for &(u, v) in &removed {
+            r.delete_edge(u, v).unwrap();
+        }
+        let rep = r.commit().unwrap();
+        assert_eq!(rep.strategy, RepairStrategy::Clean);
+        assert_valid(&r);
+        // Re-inserting them uncolors half the graph: over the threshold.
+        for &(u, v) in &removed {
+            r.insert_edge(u, v).unwrap();
+        }
+        let rep = r.commit().unwrap();
+        assert_eq!(rep.strategy, RepairStrategy::FromScratch);
+        assert_eq!(rep.dirty, removed.len());
+        assert_valid(&r);
+    }
+
+    #[test]
+    fn deletions_only_commit_is_clean_or_repairs_bound() {
+        let g = generators::random_bounded_degree(200, 5, 11);
+        let mut r = Recolorer::from_graph(g, edge_log_depth(1), MessageMode::Long).unwrap();
+        r.commit().unwrap();
+        r.delete_edge_any(3);
+        let rep = r.commit().unwrap();
+        // Deletions never create conflicts; only a shrinking Δ (palette
+        // bound) can dirty surviving edges.
+        assert!(matches!(
+            rep.strategy,
+            RepairStrategy::Clean | RepairStrategy::Incremental | RepairStrategy::FromScratch
+        ));
+        assert_valid(&r);
+    }
+
+    #[test]
+    fn failed_batch_leaves_engine_intact() {
+        let mut r = engine(4);
+        r.insert_edge(0, 1).unwrap();
+        r.commit().unwrap();
+        let before = r.coloring();
+        r.insert_edge(0, 1).unwrap(); // duplicate
+        assert!(r.commit().is_err());
+        assert_eq!(r.coloring(), before);
+        assert_valid(&r);
+        // The engine still works after the failure.
+        r.insert_edge(1, 2).unwrap();
+        r.commit().unwrap();
+        assert_valid(&r);
+    }
+
+    #[test]
+    fn grown_vertices_participate() {
+        let mut r = engine(2);
+        r.insert_edge(0, 1).unwrap();
+        r.commit().unwrap();
+        let v = r.add_vertex();
+        r.insert_edge(1, v).unwrap();
+        r.insert_edge(0, v).unwrap();
+        let rep = r.commit().unwrap();
+        assert_eq!(rep.n, 3);
+        assert_valid(&r);
+    }
+
+    #[test]
+    fn repeated_small_batches_stay_valid_and_local() {
+        let g = generators::random_bounded_degree(400, 6, 21);
+        let mut r = Recolorer::from_graph(g, edge_log_depth(1), MessageMode::Long).unwrap();
+        r.commit().unwrap();
+        for step in 0..6 {
+            // Flap a sliding window of edges: delete 4, reinsert 4 others.
+            let edges: Vec<_> = r.graph().edges().skip(step * 7).take(4).collect();
+            for &(u, v) in &edges {
+                r.delete_edge(u, v).unwrap();
+            }
+            let rep = r.commit().unwrap();
+            assert_ne!(rep.strategy, RepairStrategy::FromScratch);
+            assert_valid(&r);
+            for &(u, v) in &edges {
+                r.insert_edge(u, v).unwrap();
+            }
+            let rep = r.commit().unwrap();
+            assert_eq!(rep.strategy, RepairStrategy::Incremental);
+            assert_eq!(rep.dirty, 4);
+            assert_valid(&r);
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Trace replay: drive a [`Recolorer`] from a parsed churn trace.
+
+use crate::recolor::{CommitReport, Recolorer};
+use deco_core::edge::legal::MessageMode;
+use deco_core::params::{LegalParams, ParamError};
+use deco_graph::trace::{Trace, TraceOp};
+use deco_graph::GraphError;
+use std::error::Error;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Error from [`replay_trace`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ReplayError {
+    /// The parameters cannot contract.
+    Params(ParamError),
+    /// A trace operation was invalid for the evolving topology.
+    Graph {
+        /// 0-based commit index of the failing batch.
+        commit: usize,
+        /// The underlying graph error.
+        error: GraphError,
+    },
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayError::Params(e) => write!(f, "invalid parameters: {e}"),
+            ReplayError::Graph { commit, error } => write!(f, "commit {commit}: {error}"),
+        }
+    }
+}
+
+impl Error for ReplayError {}
+
+impl From<ParamError> for ReplayError {
+    fn from(e: ParamError) -> Self {
+        ReplayError::Params(e)
+    }
+}
+
+/// The outcome of replaying a whole trace.
+#[derive(Debug)]
+pub struct ReplayOutcome {
+    /// One report per commit, in order.
+    pub reports: Vec<CommitReport>,
+    /// Wall time of each commit (repair included), aligned with `reports`.
+    /// Excluded from the determinism contract, obviously.
+    pub wall: Vec<Duration>,
+    /// The engine after the final commit (coloring, snapshot).
+    pub recolorer: Recolorer,
+}
+
+/// Queues one trace operation on the engine.
+///
+/// # Errors
+///
+/// Returns [`GraphError`] exactly when the underlying queueing call does.
+pub fn queue_op(r: &mut Recolorer, op: TraceOp) -> Result<(), GraphError> {
+    match op {
+        TraceOp::Insert(u, v) => r.insert_edge(u, v),
+        TraceOp::Delete(u, v) => r.delete_edge(u, v),
+        TraceOp::AddVertices(k) => {
+            for _ in 0..k {
+                r.add_vertex();
+            }
+            Ok(())
+        }
+        TraceOp::SetIdent(v, ident) => r.set_ident(v, ident),
+        TraceOp::Commit => Ok(()), // batches() strips these; tolerate anyway
+    }
+}
+
+/// Replays every committed batch of `trace` through a fresh [`Recolorer`],
+/// collecting per-commit reports and wall times.
+///
+/// # Errors
+///
+/// Returns [`ReplayError`] on invalid parameters or an invalid batch.
+pub fn replay_trace(
+    trace: &Trace,
+    params: LegalParams,
+    mode: MessageMode,
+    threshold_pct: u32,
+) -> Result<ReplayOutcome, ReplayError> {
+    let mut recolorer =
+        Recolorer::new(trace.n0, params, mode)?.with_repair_threshold(threshold_pct);
+    let mut reports = Vec::new();
+    let mut wall = Vec::new();
+    for (commit, batch) in trace.batches().into_iter().enumerate() {
+        let t0 = Instant::now();
+        for &op in batch {
+            queue_op(&mut recolorer, op).map_err(|error| ReplayError::Graph { commit, error })?;
+        }
+        let report = recolorer.commit().map_err(|error| ReplayError::Graph { commit, error })?;
+        wall.push(t0.elapsed());
+        reports.push(report);
+    }
+    Ok(ReplayOutcome { reports, wall, recolorer })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recolor::RepairStrategy;
+    use deco_core::edge::legal::edge_log_depth;
+    use deco_graph::trace::{churn_trace, parse_trace};
+
+    #[test]
+    fn churn_trace_replays_clean() {
+        let trace = churn_trace(120, 5, 4, 6, 0x5eed);
+        let out = replay_trace(&trace, edge_log_depth(1), MessageMode::Long, 25).unwrap();
+        assert_eq!(out.reports.len(), 5);
+        assert_eq!(out.reports[0].strategy, RepairStrategy::FromScratch);
+        let c = out.recolorer.coloring();
+        assert!(c.is_proper(out.recolorer.graph()));
+        for rep in &out.reports[1..] {
+            assert!(rep.dirty <= 12, "1-commit churn of 6+6 edges, got {}", rep.dirty);
+        }
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let trace = churn_trace(80, 4, 3, 4, 7);
+        let a = replay_trace(&trace, edge_log_depth(1), MessageMode::Long, 25).unwrap();
+        let b = replay_trace(&trace, edge_log_depth(1), MessageMode::Long, 25).unwrap();
+        assert_eq!(a.reports, b.reports);
+        assert_eq!(a.recolorer.coloring(), b.recolorer.coloring());
+    }
+
+    #[test]
+    fn invalid_batch_reports_commit_index() {
+        let trace = parse_trace("t 3\n+ 0 1\ncommit\n- 1 2\ncommit\n").unwrap();
+        let err = replay_trace(&trace, edge_log_depth(1), MessageMode::Long, 25).unwrap_err();
+        assert!(matches!(err, ReplayError::Graph { commit: 1, .. }));
+        assert!(err.to_string().contains("commit 1"));
+    }
+
+    #[test]
+    fn vertex_growth_and_idents_replay() {
+        let trace = parse_trace("t 2\n+ 0 1\ncommit\nv 1\ni 2 9\n+ 1 2\ncommit\n").unwrap();
+        let out = replay_trace(&trace, edge_log_depth(1), MessageMode::Long, 25).unwrap();
+        let g = out.recolorer.graph();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.ident(2), 9);
+        assert!(out.recolorer.coloring().is_proper(g));
+    }
+}

@@ -292,6 +292,46 @@ fn edge_defective_bound() {
     }
 }
 
+/// The streaming recolorer's contract on arbitrary churn: after **every**
+/// commit the incremental coloring is proper and uses no more colors than
+/// the from-scratch pipeline's bound ϑ for the same snapshot (palette size
+/// and color values alike). Sweeps graph size, degree cap, churn size and
+/// repair threshold, so both the incremental path and the from-scratch
+/// fallback are exercised.
+#[test]
+fn stream_recoloring_valid_after_every_commit() {
+    use deco_core::edge::legal::edge_color_bound;
+    use deco_graph::trace::churn_trace;
+    use deco_stream::{queue_op, Recolorer};
+
+    for i in 0..12u64 {
+        let n = 24 + (aux(i, 12) % 120) as usize;
+        let cap = 3 + (aux(i, 13) % 4) as usize; // 3..7
+        let churn = 2 + (aux(i, 14) % 7) as usize; // 2..9
+        let threshold = [5, 25, 60][(aux(i, 15) % 3) as usize];
+        let params = edge_log_depth(1);
+        let trace = churn_trace(n, cap, 3, churn, aux(i, 16));
+        let mut r = Recolorer::new(trace.n0, params, MessageMode::Long)
+            .unwrap()
+            .with_repair_threshold(threshold);
+        for (c, batch) in trace.batches().into_iter().enumerate() {
+            for &op in batch {
+                queue_op(&mut r, op).unwrap();
+            }
+            r.commit().unwrap();
+            let g = r.graph();
+            let coloring = r.coloring();
+            assert!(coloring.is_proper(g), "case {i}, commit {c}: improper");
+            let bound = edge_color_bound(&params, g.max_degree() as u64);
+            assert!(
+                coloring.colors().iter().all(|&col| col < bound),
+                "case {i}, commit {c}: color exceeds from-scratch bound {bound}"
+            );
+            assert!(coloring.palette_size() as u64 <= bound, "case {i}, commit {c}");
+        }
+    }
+}
+
 /// Misra–Gries always meets Vizing's bound Δ+1 — the strongest centralized
 /// quality oracle.
 #[test]

@@ -69,3 +69,42 @@ fn pin_crossover_direction() {
         pr.rounds
     );
 }
+
+#[test]
+fn pin_churn_trace_color_history() {
+    // The streaming engine's determinism pin: a fixed churn trace must
+    // reproduce this exact per-commit trajectory — strategies, repair
+    // sizes, rounds, messages and the palette after every commit. Any
+    // drift in the recolorer (dirty marking, schedule compaction, mask
+    // tie-breaks) or in the underlying pipeline shows up here first.
+    use deco_graph::trace::churn_trace;
+    use deco_stream::{replay_trace, RepairStrategy};
+
+    let trace = churn_trace(256, 6, 4, 10, 0xF4);
+    let out = replay_trace(&trace, edge_log_depth(1), MessageMode::Long, 25).unwrap();
+    let g = out.recolorer.graph();
+    let coloring = out.recolorer.coloring();
+    assert!(coloring.is_proper(g));
+    assert_eq!((g.n(), g.m(), g.max_degree()), (256, 767, 6));
+    let got: Vec<(RepairStrategy, usize, usize, usize)> = out
+        .reports
+        .iter()
+        .map(|r| (r.strategy, r.dirty, r.stats.rounds, r.stats.messages))
+        .collect();
+    let i = RepairStrategy::Incremental;
+    let expected = vec![
+        (RepairStrategy::FromScratch, 767, 50, 11_505),
+        (i, 10, 28, 170),
+        (i, 10, 28, 170),
+        (i, 10, 21, 170),
+        (i, 10, 28, 170),
+    ];
+    assert_eq!(got, expected);
+    assert_eq!(coloring.palette_size(), 9);
+    // The full color vector of the final snapshot, squashed to a checksum.
+    let checksum = coloring
+        .colors()
+        .iter()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, &c| (h ^ c).wrapping_mul(0x1000_0000_01b3));
+    assert_eq!(checksum, 4_543_418_779_868_263_760);
+}

@@ -1,0 +1,319 @@
+//! **PR4 — delta-CSR commits**: the pr3_churn scenario re-run with the
+//! patch-based commit path against the PR 3 rebuild path.
+//!
+//! The workload is identical to `pr3_churn` (`churn_trace(n = 50k, Δ ≤ 8)`,
+//! 1% churn per commit, same seed), replayed as **split commits**: each
+//! churn batch lands as its deletions first, then its insertions. The split
+//! changes nothing about the outcome (asserted against an unsplit replay,
+//! color for color) but separates the two costs a commit pays:
+//!
+//! * the **deletion commit** repairs nothing (deletions never invalidate a
+//!   proper coloring) — its wall time *is* the commit machinery the
+//!   delta-CSR replaced: snapshot maintenance, color carry, dirty
+//!   detection. This is where the ≥5× acceptance target lives.
+//! * the **insertion commit** carries the `O(region)` repair pipeline,
+//!   which is byte-for-byte the same work on both paths — its timing shows
+//!   the end-to-end commit, where the machinery win is diluted by the
+//!   (already-local) repair.
+//!
+//! Every sub-commit is executed on both engines — `Recolorer::commit`
+//! (delta) and `Recolorer::with_rebuild_commits(true)` (the PR 3 path) —
+//! and their `CommitReport`s and colorings are asserted **bit-identical**
+//! before timing. Timing interleaves the variants per sample and takes
+//! per-variant medians (the required idiom on the noisy shared container);
+//! clone and queueing are excluded from the timed section. Results land in
+//! `BENCH_pr4.json` (override with `DECO_BENCH_OUT`;
+//! `DECO_BENCH_SCALE=full` deepens the run).
+
+use deco_bench::json::{Obj, Value};
+use deco_bench::{banner, millis, scale, Scale, Table};
+use deco_graph::trace::{churn_trace_from, TraceOp};
+use deco_stream::{queue_op, Recolorer, RepairStrategy};
+use std::time::{Duration, Instant};
+
+use deco_core::edge::legal::{edge_log_depth, MessageMode};
+
+/// FNV-1a over one commit's colors (the stream_churn pin's hash function).
+fn color_hash(colors: &[u64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |x: u64| {
+        for b in x.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    };
+    mix(colors.len() as u64);
+    for &c in colors {
+        mix(c);
+    }
+    h
+}
+
+/// Median commit() wall time over `samples` runs from `base`'s state
+/// (clone + queueing untimed).
+fn time_commit(base: &Recolorer, ops: &[TraceOp], samples: usize) -> Duration {
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..=samples {
+        let mut r = base.clone();
+        for &op in ops {
+            queue_op(&mut r, op).expect("valid trace");
+        }
+        let t0 = Instant::now();
+        r.commit().expect("valid trace");
+        times.push(t0.elapsed());
+    }
+    times.remove(0); // warm-up
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+struct Row {
+    commit: usize,
+    kind: &'static str,
+    m: usize,
+    dirty: usize,
+    region_vertices: usize,
+    rounds: usize,
+    messages: usize,
+    color_hash: u64,
+    delta: Duration,
+    rebuild: Duration,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.rebuild.as_secs_f64() / self.delta.as_secs_f64().max(1e-9)
+    }
+
+    fn to_json(&self) -> Value {
+        Obj::new()
+            .field("commit", self.commit)
+            .field("kind", self.kind)
+            .field("m", self.m)
+            .field("repaired_edges", self.dirty)
+            .field("region_vertices", self.region_vertices)
+            .field("rounds", self.rounds)
+            .field("messages", self.messages)
+            .field("color_hash", format!("{:016x}", self.color_hash))
+            .field("delta_ms", self.delta.as_secs_f64() * 1e3)
+            .field("rebuild_ms", self.rebuild.as_secs_f64() * 1e3)
+            .field("speedup_delta_vs_rebuild", self.speedup())
+            .build()
+    }
+}
+
+fn main() {
+    banner("PR4 / delta-CSR", "patched commits vs the PR 3 rebuild path, per commit");
+    let full = scale() == Scale::Full;
+    let params = edge_log_depth(1);
+    let mode = MessageMode::Long;
+    let samples = if full { 5 } else { 3 };
+
+    // The pr3_churn acceptance scenario, same seed: n = 50k, Δ ≤ 8, 1%.
+    let (n, cap, commits) = if full { (50_000, 8, 6) } else { (50_000, 8, 3) };
+    println!("generating churn_trace(n={n}, Δ≤{cap}, {commits} churn commits @ 1%) ...");
+    let base = deco_graph::generators::random_bounded_degree(n, cap, 0x9126);
+    let churn = base.m() / 100;
+    let trace = churn_trace_from(&base, cap, commits, churn, 0x9126);
+    drop(base);
+
+    // Three engines share the initial build: delta, rebuild-oracle, and an
+    // unsplit replica proving the split replay changes nothing.
+    let batches = trace.batches();
+    let mut delta_engine = Recolorer::new(trace.n0, params, mode).expect("preset params");
+    let mut rebuild_engine =
+        Recolorer::new(trace.n0, params, mode).expect("preset params").with_rebuild_commits(true);
+    let mut unsplit_engine = Recolorer::new(trace.n0, params, mode).expect("preset params");
+    for &op in batches[0] {
+        queue_op(&mut delta_engine, op).expect("valid trace");
+        queue_op(&mut rebuild_engine, op).expect("valid trace");
+        queue_op(&mut unsplit_engine, op).expect("valid trace");
+    }
+    let initial = delta_engine.commit().expect("valid trace");
+    assert_eq!(initial, rebuild_engine.commit().expect("valid trace"));
+    unsplit_engine.commit().expect("valid trace");
+    println!(
+        "initial build: m = {}, Δ = {}, {} rounds, {} msgs",
+        initial.m, initial.max_degree, initial.stats.rounds, initial.stats.messages
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    for (c, batch) in batches.iter().enumerate().skip(1) {
+        // Split by *net* effect (the CommitDelta semantics): a pair deleted
+        // and reinserted within the batch keeps its color in the unsplit
+        // replay, so it must not be split into a real delete + insert.
+        let mut seen: std::collections::HashMap<(usize, usize), (bool, bool)> =
+            std::collections::HashMap::new();
+        for op in batch.iter() {
+            let (pair, is_insert) = match *op {
+                TraceOp::Insert(u, v) => ((u.min(v), u.max(v)), true),
+                TraceOp::Delete(u, v) => ((u.min(v), u.max(v)), false),
+                _ => unreachable!("churn batches only insert/delete"),
+            };
+            seen.entry(pair)
+                .and_modify(|(_, last)| *last = is_insert)
+                .or_insert((is_insert, is_insert));
+        }
+        let mut dels: Vec<TraceOp> = Vec::new();
+        let mut inss: Vec<TraceOp> = Vec::new();
+        for (&(u, v), &(first, last)) in &seen {
+            match (first, last) {
+                (false, false) => dels.push(TraceOp::Delete(u, v)),
+                (true, true) => inss.push(TraceOp::Insert(u, v)),
+                _ => {} // toggled within the batch: net no-op
+            }
+        }
+        // Deterministic queue order (HashMap iteration is not).
+        let key = |op: &TraceOp| match *op {
+            TraceOp::Insert(u, v) | TraceOp::Delete(u, v) => (u, v),
+            _ => unreachable!(),
+        };
+        dels.sort_unstable_by_key(key);
+        inss.sort_unstable_by_key(key);
+        for &op in *batch {
+            queue_op(&mut unsplit_engine, op).expect("valid trace");
+        }
+        unsplit_engine.commit().expect("valid trace");
+
+        for (kind, ops, want) in [
+            ("deletions (machinery only)", &dels, RepairStrategy::Clean),
+            ("insertions (machinery + repair)", &inss, RepairStrategy::Incremental),
+        ] {
+            // Execute once on each path: fixes the post-commit state and
+            // proves bit-identity (reports, colors) before any timing.
+            let mut delta_probe = delta_engine.clone();
+            let mut rebuild_probe = rebuild_engine.clone();
+            for &op in ops {
+                queue_op(&mut delta_probe, op).expect("valid trace");
+                queue_op(&mut rebuild_probe, op).expect("valid trace");
+            }
+            let report = delta_probe.commit().expect("valid trace");
+            let rebuild_report = rebuild_probe.commit().expect("valid trace");
+            assert_eq!(report, rebuild_report, "commit {c} {kind}: reports diverge across paths");
+            let colors = delta_probe.coloring().into_colors();
+            assert_eq!(
+                colors,
+                rebuild_probe.coloring().into_colors(),
+                "commit {c} {kind}: colors diverge across paths"
+            );
+            assert_eq!(report.strategy, want, "commit {c} {kind}");
+
+            let delta_t = time_commit(&delta_engine, ops, samples);
+            let rebuild_t = time_commit(&rebuild_engine, ops, samples);
+            rows.push(Row {
+                commit: c,
+                kind,
+                m: report.m,
+                dirty: report.dirty,
+                region_vertices: report.region_vertices,
+                rounds: report.stats.rounds,
+                messages: report.stats.messages,
+                color_hash: color_hash(&colors),
+                delta: delta_t,
+                rebuild: rebuild_t,
+            });
+            delta_engine = delta_probe;
+            rebuild_engine = rebuild_probe;
+        }
+        // The split replay is the same machine as the unsplit one.
+        assert_eq!(
+            delta_engine.coloring(),
+            unsplit_engine.coloring(),
+            "commit {c}: split replay diverged from the unsplit trace"
+        );
+    }
+
+    println!();
+    let table = Table::new(
+        &["commit", "kind", "repaired", "delta ms", "rebuild ms", "speedup"],
+        &[6, 31, 9, 10, 11, 8],
+    );
+    for r in &rows {
+        table.row(&[
+            r.commit.to_string(),
+            r.kind.to_string(),
+            r.dirty.to_string(),
+            millis(r.delta),
+            millis(r.rebuild),
+            format!("{:.2}x", r.speedup()),
+        ]);
+    }
+    println!("\n(deletion commits repair nothing, so they time exactly the commit machinery");
+    println!(" the delta-CSR replaced; insertion commits add the O(region) repair pipeline,");
+    println!(" which is identical work on both paths)");
+
+    let machinery: Vec<&Row> = rows.iter().filter(|r| r.dirty == 0).collect();
+    let repairing: Vec<&Row> = rows.iter().filter(|r| r.dirty > 0).collect();
+    let machinery_min = machinery.iter().map(|r| r.speedup()).fold(f64::INFINITY, f64::min);
+    let machinery_median = {
+        let mut s: Vec<f64> = machinery.iter().map(|r| r.speedup()).collect();
+        s.sort_unstable_by(|a, b| a.total_cmp(b));
+        s[s.len() / 2]
+    };
+    let end_to_end: f64 = {
+        let d: f64 = rows.iter().map(|r| r.delta.as_secs_f64()).sum();
+        let b: f64 = rows.iter().map(|r| r.rebuild.as_secs_f64()).sum();
+        b / d.max(1e-9)
+    };
+    // Median across commits: single-sample minima are inside the container's
+    // ±10% wall noise (ROADMAP), which deterministic counters — not
+    // timings — are responsible for guarding.
+    let met = machinery_median >= 5.0;
+    if !met {
+        eprintln!(
+            "WARNING: machinery speedup (median) {machinery_median:.2}x below the 5x \
+             target (wall-clock; see acceptance notes in the json)"
+        );
+    }
+    let json = Obj::new()
+        .field("bench", "pr4_delta_csr")
+        .field("scale", if full { "full" } else { "quick" })
+        .field("samples", samples)
+        .field("n", n)
+        .field("delta_cap", cap)
+        .field("churn_edges_per_commit", churn)
+        .field(
+            "acceptance",
+            Obj::new()
+                .field(
+                    "criterion",
+                    "delta-CSR commit machinery (snapshot patch + color carry + dirty \
+                     detection; the deletion sub-commits, which repair nothing) is >=5x \
+                     faster (median across commits) than the PR 3 rebuild path at \
+                     n=50k/1% churn, with reports and colorings bit-identical on every \
+                     sub-commit (asserted before timing) and the split replay equal to \
+                     the unsplit trace",
+                )
+                .field("met", met)
+                .field("machinery_median_speedup", machinery_median)
+                .field("machinery_min_speedup", machinery_min)
+                .field("end_to_end_speedup", end_to_end)
+                .field(
+                    "note",
+                    "repair commits share the identical O(region) pipeline on both \
+                     paths, so their speedup bounds toward 1 as the region grows; the \
+                     machinery rows isolate what this PR changed",
+                )
+                .build(),
+        )
+        .field(
+            "initial_build",
+            Obj::new()
+                .field("m", initial.m)
+                .field("rounds", initial.stats.rounds)
+                .field("messages", initial.stats.messages)
+                .build(),
+        )
+        .field("commits", Value::Array(rows.iter().map(Row::to_json).collect()))
+        .build();
+    let out = std::env::var("DECO_BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_pr4.json", env!("CARGO_MANIFEST_DIR")));
+    std::fs::write(&out, deco_bench::json::to_string(&json)).expect("write bench json");
+    println!("wrote {out}");
+    println!(
+        "machinery speedup over {} clean commits: median {machinery_median:.2}x, \
+         min {machinery_min:.2}x; end-to-end {end_to_end:.2}x over {} commits",
+        machinery.len(),
+        machinery.len() + repairing.len()
+    );
+}

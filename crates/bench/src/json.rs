@@ -1,14 +1,17 @@
-//! A tiny JSON writer for bench result files.
+//! A tiny JSON writer **and reader** for bench result files.
 //!
 //! The offline build has no serde; bench results are flat enough (strings,
 //! numbers, booleans, arrays, objects) that a small escaping writer keeps
 //! the emitted files valid and diffable. Keys keep insertion order so the
-//! generated `BENCH_*.json` files diff cleanly between runs.
+//! generated `BENCH_*.json` files diff cleanly between runs. The reader
+//! ([`parse`]) exists for the deterministic bench gate, which compares
+//! fresh `BENCH_*.json` files against the committed baseline; it covers
+//! exactly the subset the writer emits (which is all the gate ever reads).
 
 use std::fmt::Write as _;
 
 /// A JSON value.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Value {
     /// `null`
     Null,
@@ -206,6 +209,209 @@ pub fn to_string(v: &Value) -> String {
     out
 }
 
+impl Value {
+    /// Object field by key (`None` for non-objects and absent keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Error from [`parse`]: byte offset plus message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the problem.
+    pub at: usize,
+    /// What went wrong.
+    pub what: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json parse error at byte {}: {}", self.at, self.what)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a JSON document (the subset [`to_string`] emits: no `\u` escapes
+/// beyond the writer's, numbers as i64 when integral and in range, f64
+/// otherwise).
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on malformed input or trailing garbage.
+pub fn parse(text: &str) -> Result<Value, ParseError> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(ParseError { at: pos, what: "trailing characters".into() });
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), ParseError> {
+    if b.get(*pos) == Some(&c) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(ParseError { at: *pos, what: format!("expected '{}'", c as char) })
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err(ParseError { at: *pos, what: "unexpected end of input".into() }),
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, b':')?;
+                fields.push((key, parse_value(b, pos)?));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(fields));
+                    }
+                    _ => return Err(ParseError { at: *pos, what: "expected ',' or '}'".into() }),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(ParseError { at: *pos, what: "expected ',' or ']'".into() }),
+                }
+            }
+        }
+        Some(b'"') => Ok(Value::Str(parse_string(b, pos)?)),
+        Some(b't') if b[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Value::Bool(true))
+        }
+        Some(b'f') if b[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Value::Bool(false))
+        }
+        Some(b'n') if b[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Value::Null)
+        }
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, ParseError> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err(ParseError { at: *pos, what: "unterminated string".into() }),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or_else(|| ParseError {
+                                at: *pos,
+                                what: "bad \\u escape".into(),
+                            })?;
+                        out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(ParseError { at: *pos, what: "bad escape".into() }),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (the writer leaves them raw).
+                let start = *pos;
+                *pos += 1;
+                while *pos < b.len() && b[*pos] & 0xC0 == 0x80 {
+                    *pos += 1;
+                }
+                out.push_str(
+                    std::str::from_utf8(&b[start..*pos])
+                        .map_err(|_| ParseError { at: start, what: "invalid utf-8".into() })?,
+                );
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&b[start..*pos])
+        .map_err(|_| ParseError { at: start, what: "invalid number".into() })?;
+    if !text.contains(['.', 'e', 'E']) {
+        if let Ok(i) = text.parse::<i64>() {
+            return Ok(Value::Int(i));
+        }
+    }
+    text.parse::<f64>()
+        .map(Value::Float)
+        .map_err(|_| ParseError { at: start, what: format!("invalid number '{text}'") })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -246,6 +452,55 @@ mod tests {
     fn array_converts_items() {
         let v = array([1usize, 2, 3]);
         assert_eq!(to_string(&v), "[\n  1,\n  2,\n  3\n]\n");
+    }
+
+    fn normalized(v: &Value) -> String {
+        to_string(v)
+    }
+
+    #[test]
+    fn parse_round_trips_writer_output() {
+        let v = Obj::new()
+            .field("bench", "demo")
+            .field("count", 42usize)
+            .field("neg", -7i64)
+            .field("ratio", 2.5f64)
+            .field("ok", true)
+            .field("none", Value::Null)
+            .field("text", "a\"b\\c\nd")
+            .field("xs", array([1usize, 2, 3]))
+            .field("nested", Obj::new().field("empty_arr", Value::Array(vec![])).build())
+            .build();
+        let text = to_string(&v);
+        let back = parse(&text).unwrap();
+        assert_eq!(normalized(&back), text);
+        assert_eq!(back.get("count"), Some(&Value::Int(42)));
+        assert_eq!(
+            back.get("nested").and_then(|n| n.get("empty_arr")),
+            Some(&Value::Array(vec![]))
+        );
+        assert_eq!(back.get("bench").and_then(Value::as_str), Some("demo"));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse("").is_err());
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{\"a\": 1} trailing").is_err());
+        assert!(parse("{\"a\" 1}").is_err());
+        let e = parse("nope").unwrap_err();
+        assert!(e.to_string().contains("byte"));
+    }
+
+    #[test]
+    fn parse_numbers() {
+        assert_eq!(parse("5").unwrap(), Value::Int(5));
+        assert_eq!(parse("-5").unwrap(), Value::Int(-5));
+        assert!(matches!(parse("5.5").unwrap(), Value::Float(f) if f == 5.5));
+        assert!(matches!(parse("1e3").unwrap(), Value::Float(f) if f == 1000.0));
+        // Bigger than i64 falls back to float rather than failing.
+        assert!(matches!(parse("99999999999999999999").unwrap(), Value::Float(_)));
     }
 
     #[test]

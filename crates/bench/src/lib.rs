@@ -10,6 +10,7 @@
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 
+pub mod gate;
 pub mod json;
 
 /// Benchmark scale, controlled by the `DECO_BENCH_SCALE` environment

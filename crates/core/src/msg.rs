@@ -2,7 +2,7 @@
 
 use deco_local::{bits_for_range, Message};
 
-/// Fields of up to [`INLINE_FIELDS`] values live inline (no heap); longer
+/// Fields of up to `INLINE_FIELDS` values live inline (no heap); longer
 /// payloads (e.g. the Panconesi–Rizzi used-color lists) spill to a `Vec`.
 /// Three is the largest count any fixed-layout protocol message uses, and
 /// it keeps the struct at 40 bytes — the delivery arenas hold two
@@ -22,8 +22,8 @@ enum Repr {
 /// which is how the paper measures message size: a color from a palette of
 /// `m` colors costs `⌈log₂ m⌉` bits regardless of its value.
 ///
-/// Nearly every protocol message in this workspace has at most
-/// [`INLINE_FIELDS`] fields, which are stored inline: constructing and
+/// Nearly every protocol message in this workspace has at most three
+/// fields, which are stored inline: constructing and
 /// cloning such a message allocates nothing, keeping the simulators'
 /// per-message cost flat on the hot paths (millions of messages per run).
 #[derive(Debug, Clone)]

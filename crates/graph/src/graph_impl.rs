@@ -349,6 +349,306 @@ impl Graph {
         &self.mirror
     }
 
+    /// Applies an edge/vertex delta to this graph in linear passes, without
+    /// the hash-and-sort machinery of [`Graph::from_edges`].
+    ///
+    /// `inserted` and `deleted` are normalized `(u, v)` pairs with `u < v`,
+    /// strictly sorted; inserted edges must be absent, deleted edges must be
+    /// present, and no pair may appear in both lists. `added_vertices` new
+    /// vertices are appended after the existing ones, and `idents` is the
+    /// complete post-patch identifier vector.
+    ///
+    /// The result is **bit-identical** to
+    /// `Graph::from_edges(n + added_vertices, &merged_edges)?.with_idents(idents)?`
+    /// — same edge indices (lexicographic rank), same CSR offsets, same slot
+    /// and mirror-slot numbering — but built by splicing only the adjacency
+    /// of touched vertices and shifting the rest, so the cost is linear
+    /// scans and copies (`O(n + m + k log k)` with memcpy-class constants)
+    /// instead of hashing plus `O(m log m)` sorting. The delta-CSR commit of
+    /// [`crate::MutableGraph`] is built on this.
+    ///
+    /// Also returns the *edge-origin map*: for each new edge index, the edge
+    /// index it had in `self`, or [`Graph::NO_EDGE_ORIGIN`] for inserted
+    /// edges. Streaming consumers use it to carry per-edge state (colors)
+    /// across the patch by stable slot instead of matching endpoint pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] under exactly the conditions the rebuild
+    /// would: out-of-range or self-loop pairs, inserting a present edge or
+    /// deleting an absent one (both reported as the offending pair), or
+    /// identifier problems. Identifier distinctness is revalidated only
+    /// when `idents` differs from the current identifiers.
+    pub fn patched(
+        &self,
+        inserted: &[(Vertex, Vertex)],
+        deleted: &[(Vertex, Vertex)],
+        added_vertices: usize,
+        idents: Vec<u64>,
+    ) -> Result<(Graph, Vec<u32>), GraphError> {
+        let n_old = self.n;
+        let n_new = n_old + added_vertices;
+        if idents.len() != n_new {
+            return Err(GraphError::BadIdentCount { got: idents.len(), expected: n_new });
+        }
+        self.check_patch_list(inserted, n_new, false)?;
+        self.check_patch_list(deleted, n_old, true)?;
+        if let Some(&(u, v)) = sorted_intersect(inserted, deleted) {
+            return Err(GraphError::DuplicateEdge { u, v });
+        }
+        // Identifiers only need revalidation where they changed; unchanged
+        // ones are distinct by this graph's invariant.
+        if idents[..n_old] != self.idents[..] || added_vertices > 0 {
+            let mut sorted = idents.clone();
+            sorted.sort_unstable();
+            for w in sorted.windows(2) {
+                if w[0] == w[1] {
+                    return Err(GraphError::DuplicateIdent { ident: w[0] });
+                }
+            }
+        }
+
+        let m_old = self.edges.len();
+        let m_new = m_old + inserted.len() - deleted.len();
+        assert!(2 * m_new <= u32::MAX as usize, "graph too large for u32 slot indices");
+
+        // 1. Splice the sorted edge list, recording both directions of the
+        // index shift — `origin[new_e]` (returned) and `new_of_old[old_e]`
+        // (drives the adjacency patch below) — plus each inserted pair's
+        // new index for the directed patch lists. The splice walks *delta
+        // events* (k of them), not edges: the runs between events are bulk
+        // slice copies and sequential index fills.
+        let mut edges: Vec<(u32, u32)> = Vec::with_capacity(m_new);
+        let mut origin: Vec<u32> = Vec::with_capacity(m_new);
+        let mut new_of_old: Vec<u32> = vec![Graph::NO_EDGE_ORIGIN; m_old];
+        let mut ins_idx: Vec<u32> = vec![0; inserted.len()];
+        {
+            // Old-edge position of each event, via a moving lower bound
+            // (both lists are sorted): deletions sit *at* their position,
+            // insertions go *before* theirs.
+            let mut del_pos: Vec<usize> = Vec::with_capacity(deleted.len());
+            let mut lo = 0usize;
+            for &(u, v) in deleted {
+                let key = (u as u32, v as u32);
+                lo += self.edges[lo..].partition_point(|&p| p < key);
+                debug_assert_eq!(self.edges[lo], key);
+                del_pos.push(lo);
+            }
+            let mut ins_pos: Vec<usize> = Vec::with_capacity(inserted.len());
+            let mut lo = 0usize;
+            for &(u, v) in inserted {
+                let key = (u as u32, v as u32);
+                lo += self.edges[lo..].partition_point(|&p| p < key);
+                ins_pos.push(lo);
+            }
+            let copy_run = |edges: &mut Vec<(u32, u32)>,
+                            origin: &mut Vec<u32>,
+                            new_of_old: &mut [u32],
+                            cursor: usize,
+                            end: usize| {
+                let out = edges.len();
+                edges.extend_from_slice(&self.edges[cursor..end]);
+                origin.extend((cursor..end).map(|e| e as u32));
+                for (k, slot) in new_of_old[cursor..end].iter_mut().enumerate() {
+                    *slot = (out + k) as u32;
+                }
+            };
+            let mut cursor = 0usize;
+            let (mut ii, mut di) = (0usize, 0usize);
+            loop {
+                let next_ins = ins_pos.get(ii).copied();
+                let next_del = del_pos.get(di).copied();
+                // At equal positions the insertion precedes the deletion
+                // (its pair sorts before the old edge at that position).
+                match (next_ins, next_del) {
+                    (Some(ip), nd) if nd.map_or(true, |dp| ip <= dp) => {
+                        copy_run(&mut edges, &mut origin, &mut new_of_old, cursor, ip);
+                        cursor = ip;
+                        ins_idx[ii] = edges.len() as u32;
+                        origin.push(Graph::NO_EDGE_ORIGIN);
+                        edges.push((inserted[ii].0 as u32, inserted[ii].1 as u32));
+                        ii += 1;
+                    }
+                    (_, Some(dp)) => {
+                        copy_run(&mut edges, &mut origin, &mut new_of_old, cursor, dp);
+                        cursor = dp + 1; // the deleted edge keeps NO_EDGE_ORIGIN
+                        di += 1;
+                    }
+                    (None, None) => {
+                        copy_run(&mut edges, &mut origin, &mut new_of_old, cursor, m_old);
+                        break;
+                    }
+                    (Some(_), None) => unreachable!("covered by the guarded first arm"),
+                }
+            }
+            debug_assert_eq!(edges.len(), m_new);
+        }
+
+        // 2. Directed patch lists, sorted by (owner, neighbor) so every
+        // touched vertex's additions and removals form one contiguous
+        // window consumed by the cursors of the splice pass.
+        let mut add_adj: Vec<(u32, u32, u32)> = Vec::with_capacity(2 * inserted.len());
+        for (i, &(u, v)) in inserted.iter().enumerate() {
+            add_adj.push((u as u32, v as u32, ins_idx[i]));
+            add_adj.push((v as u32, u as u32, ins_idx[i]));
+        }
+        add_adj.sort_unstable();
+        let mut del_adj: Vec<(u32, u32)> = Vec::with_capacity(2 * deleted.len());
+        for &(u, v) in deleted {
+            del_adj.push((u as u32, v as u32));
+            del_adj.push((v as u32, u as u32));
+        }
+        del_adj.sort_unstable();
+
+        // 3. New CSR offsets and per-vertex slot shifts in one cheap
+        // sequential pass. An untouched vertex keeps its old adjacency
+        // order, so all its slots move by the same amount — the cumulative
+        // degree delta of the vertices before it. Touched (spliced)
+        // vertices get the `TOUCHED` sentinel instead of a shift, folding
+        // both lookups of the hot pass into one load.
+        const TOUCHED: i32 = i32::MIN;
+        assert!(
+            inserted.len() + deleted.len() < (i32::MAX / 4) as usize,
+            "patch too large for i32 slot shifts (use a rebuild)"
+        );
+        let mut offsets = vec![0usize; n_new + 1];
+        let mut shift: Vec<i32> = vec![0; n_new];
+        let mut max_degree = 0usize;
+        {
+            let (mut ai, mut di) = (0usize, 0usize);
+            let mut cum = 0i32;
+            for v in 0..n_new {
+                let old_deg = if v < n_old { self.offsets[v + 1] - self.offsets[v] } else { 0 };
+                let (mut adds, mut dels) = (0usize, 0usize);
+                while ai < add_adj.len() && add_adj[ai].0 as usize == v {
+                    ai += 1;
+                    adds += 1;
+                }
+                while di < del_adj.len() && del_adj[di].0 as usize == v {
+                    di += 1;
+                    dels += 1;
+                }
+                shift[v] = if adds + dels > 0 { TOUCHED } else { cum };
+                let deg = old_deg + adds - dels;
+                offsets[v + 1] = offsets[v] + deg;
+                max_degree = max_degree.max(deg);
+                cum += adds as i32 - dels as i32;
+            }
+        }
+
+        // 4. Adjacency and mirror table in one pass. Untouched vertices
+        // copy their slice: edge indices shift (the `(v, nbr > v)` suffix
+        // is consecutive in the lex-sorted edge list, so one lookup seeds
+        // the whole run), and mirror slots of untouched partners are the
+        // old values moved by the partner's shift — no searching. Touched
+        // vertices merge-splice in neighbor order (what from_edges'
+        // per-vertex sort would also produce, neighbors being unique);
+        // edges with a touched endpoint link by the builder's two-visit
+        // scheme from both sides.
+        let mut adj: Vec<(u32, u32)> = Vec::with_capacity(2 * m_new);
+        let mut mirror = vec![0u32; 2 * m_new];
+        let mut first_slot = vec![u32::MAX; m_new];
+        let (mut ai, mut di) = (0usize, 0usize);
+        for v in 0..n_new {
+            if shift[v] != TOUCHED {
+                if v >= n_old {
+                    continue; // appended vertex with no incident insertions
+                }
+                let old_off = self.offsets[v];
+                let slice = &self.adj[old_off..self.offsets[v + 1]];
+                let split = slice.partition_point(|&(nbr, _)| (nbr as usize) < v);
+                let mut suffix_base = 0u32;
+                for (i, &(nbr, e)) in slice.iter().enumerate() {
+                    let e_new = if i > split {
+                        suffix_base + (i - split) as u32
+                    } else {
+                        let m = new_of_old[e as usize];
+                        if i == split {
+                            suffix_base = m;
+                        }
+                        m
+                    };
+                    debug_assert_eq!(e_new, new_of_old[e as usize]);
+                    adj.push((nbr, e_new));
+                    let sh = shift[nbr as usize];
+                    if sh == TOUCHED {
+                        two_visit_link(&mut mirror, &mut first_slot, e_new, adj.len() - 1);
+                    } else {
+                        mirror[adj.len() - 1] =
+                            (self.mirror[old_off + i] as i64 + sh as i64) as u32;
+                    }
+                }
+            } else {
+                let old_slice: &[(u32, u32)] =
+                    if v < n_old { &self.adj[self.offsets[v]..self.offsets[v + 1]] } else { &[] };
+                let mut oi = 0usize;
+                loop {
+                    let next_add = add_adj.get(ai).filter(|&&(o, _, _)| o as usize == v);
+                    match (old_slice.get(oi), next_add) {
+                        (Some(&(nbr, e)), add) if add.map_or(true, |&(_, anbr, _)| nbr < anbr) => {
+                            oi += 1;
+                            if di < del_adj.len() && del_adj[di] == (v as u32, nbr) {
+                                di += 1;
+                            } else {
+                                let e_new = new_of_old[e as usize];
+                                adj.push((nbr, e_new));
+                                two_visit_link(&mut mirror, &mut first_slot, e_new, adj.len() - 1);
+                            }
+                        }
+                        (_, Some(&(_, anbr, ae))) => {
+                            ai += 1;
+                            adj.push((anbr, ae));
+                            two_visit_link(&mut mirror, &mut first_slot, ae, adj.len() - 1);
+                        }
+                        (None, None) => break,
+                        _ => unreachable!("first arm covers remaining old entries"),
+                    }
+                }
+            }
+            debug_assert_eq!(adj.len(), offsets[v + 1]);
+        }
+        debug_assert_eq!(adj.len(), 2 * m_new);
+
+        let graph = Graph { n: n_new, offsets, adj, edges, mirror, idents, max_degree };
+        Ok((graph, origin))
+    }
+
+    /// Sentinel in the edge-origin map of [`Graph::patched`] (and
+    /// [`crate::CommitDelta::edge_origin`]): the edge is newly inserted and
+    /// has no predecessor.
+    pub const NO_EDGE_ORIGIN: u32 = u32::MAX;
+
+    /// Validates one patch list: strictly sorted normalized pairs in range,
+    /// no self-loops, and membership matching `must_exist`.
+    fn check_patch_list(
+        &self,
+        list: &[(Vertex, Vertex)],
+        n: usize,
+        must_exist: bool,
+    ) -> Result<(), GraphError> {
+        for (i, &(u, v)) in list.iter().enumerate() {
+            if u >= n {
+                return Err(GraphError::VertexOutOfRange { vertex: u, n });
+            }
+            if v >= n {
+                return Err(GraphError::VertexOutOfRange { vertex: v, n });
+            }
+            if u == v {
+                return Err(GraphError::SelfLoop { vertex: u });
+            }
+            assert!(u < v, "patch pairs must be normalized (u < v)");
+            if i > 0 {
+                assert!(list[i - 1] < (u, v), "patch lists must be strictly sorted");
+            }
+            match (self.has_edge(u, v), must_exist) {
+                (true, false) => return Err(GraphError::DuplicateEdge { u, v }),
+                (false, true) => return Err(GraphError::MissingEdge { u, v }),
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
     /// Breadth-first distances from `source` (`usize::MAX` for unreachable).
     pub fn bfs_distances(&self, source: Vertex) -> Vec<usize> {
         let mut dist = vec![usize::MAX; self.n];
@@ -365,6 +665,35 @@ impl Graph {
         }
         dist
     }
+}
+
+/// The builder's two-visit mirror linking, one slot at a time: the first
+/// slot of an edge parks in `first_slot`, the second visit links the pair.
+#[inline]
+fn two_visit_link(mirror: &mut [u32], first_slot: &mut [u32], e: u32, s: usize) {
+    let other = &mut first_slot[e as usize];
+    if *other == u32::MAX {
+        *other = s as u32;
+    } else {
+        mirror[s] = *other;
+        mirror[*other as usize] = s as u32;
+    }
+}
+
+/// First element common to two strictly sorted pair lists, if any.
+fn sorted_intersect<'a>(
+    a: &'a [(Vertex, Vertex)],
+    b: &[(Vertex, Vertex)],
+) -> Option<&'a (Vertex, Vertex)> {
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return Some(&a[i]),
+        }
+    }
+    None
 }
 
 /// Incremental builder for [`Graph`].
@@ -628,6 +957,108 @@ mod tests {
         assert_eq!(nbrs, vec![0, 1, 2, 5]);
         assert_eq!(g.slot_offsets().len(), g.n() + 1);
         assert_eq!(g.slots_of(3).len(), g.degree(3));
+    }
+
+    /// Oracle for the delta-CSR: `patched` must equal the full rebuild.
+    fn assert_patch_matches_rebuild(
+        g: &Graph,
+        ins: &[(Vertex, Vertex)],
+        del: &[(Vertex, Vertex)],
+        added: usize,
+        idents: Vec<u64>,
+    ) -> Graph {
+        let (patched, origin) = g.patched(ins, del, added, idents.clone()).unwrap();
+        let mut merged: Vec<(Vertex, Vertex)> = g
+            .edges()
+            .filter(|pair| del.binary_search(pair).is_err())
+            .chain(ins.iter().copied())
+            .collect();
+        merged.sort_unstable();
+        let rebuilt =
+            Graph::from_edges(g.n() + added, &merged).unwrap().with_idents(idents).unwrap();
+        assert_eq!(patched, rebuilt, "patched graph must be bit-identical to the rebuild");
+        // The origin map is exactly the endpoint-pair matching.
+        assert_eq!(origin.len(), patched.m());
+        for (e, &src) in origin.iter().enumerate() {
+            let pair = patched.endpoints(e);
+            match g.edge_between(pair.0, pair.1) {
+                Some(old_e) if del.binary_search(&pair).is_err() => {
+                    assert_eq!(src as usize, old_e, "carried edge {pair:?}");
+                }
+                _ => assert_eq!(src, Graph::NO_EDGE_ORIGIN, "inserted edge {pair:?}"),
+            }
+        }
+        patched
+    }
+
+    #[test]
+    fn patched_matches_rebuild_small() {
+        let g = Graph::from_edges(6, &[(0, 1), (0, 5), (1, 2), (2, 3), (3, 4), (4, 5)]).unwrap();
+        // Pure insertions, pure deletions, mixed, vertex growth.
+        assert_patch_matches_rebuild(&g, &[(0, 2), (1, 4)], &[], 0, (1..=6).collect());
+        assert_patch_matches_rebuild(&g, &[], &[(0, 1), (4, 5)], 0, (1..=6).collect());
+        assert_patch_matches_rebuild(&g, &[(1, 3)], &[(2, 3)], 0, (1..=6).collect());
+        assert_patch_matches_rebuild(&g, &[(2, 6), (6, 7)], &[(0, 5)], 2, (1..=8).collect());
+        // Empty delta is the identity.
+        let same = assert_patch_matches_rebuild(&g, &[], &[], 0, (1..=6).collect());
+        assert_eq!(same, g);
+    }
+
+    #[test]
+    fn patched_with_custom_idents() {
+        let g = Graph::from_edges(3, &[(0, 1)]).unwrap().with_idents(vec![30, 10, 20]).unwrap();
+        assert_patch_matches_rebuild(&g, &[(1, 2)], &[], 1, vec![30, 10, 20, 4]);
+        // A changed-ident clash is caught...
+        assert_eq!(
+            g.patched(&[], &[], 1, vec![30, 10, 20, 10]).unwrap_err(),
+            GraphError::DuplicateIdent { ident: 10 }
+        );
+        // ...and unchanged idents skip revalidation but stay intact.
+        let (p, _) = g.patched(&[(0, 2)], &[], 0, vec![30, 10, 20]).unwrap();
+        assert_eq!(p.idents(), &[30, 10, 20]);
+    }
+
+    #[test]
+    fn patched_rejects_bad_deltas() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2)]).unwrap();
+        let id: Vec<u64> = (1..=4).collect();
+        assert_eq!(
+            g.patched(&[(0, 1)], &[], 0, id.clone()).unwrap_err(),
+            GraphError::DuplicateEdge { u: 0, v: 1 }
+        );
+        assert_eq!(
+            g.patched(&[], &[(0, 3)], 0, id.clone()).unwrap_err(),
+            GraphError::MissingEdge { u: 0, v: 3 }
+        );
+        assert_eq!(
+            g.patched(&[(0, 4)], &[], 0, id.clone()).unwrap_err(),
+            GraphError::VertexOutOfRange { vertex: 4, n: 4 }
+        );
+        // A pair in both lists is ambiguous, not a replace.
+        assert_eq!(
+            g.patched(&[(0, 1)], &[(0, 1)], 0, id.clone()).unwrap_err(),
+            GraphError::DuplicateEdge { u: 0, v: 1 }
+        );
+        assert_eq!(
+            g.patched(&[], &[], 1, id).unwrap_err(),
+            GraphError::BadIdentCount { got: 4, expected: 5 }
+        );
+    }
+
+    #[test]
+    fn patched_preserves_mirror_invariants() {
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (1, 2), (2, 3), (3, 4)]).unwrap();
+        let (p, _) = g.patched(&[(0, 4), (1, 3)], &[(1, 2)], 0, (1..=5).collect()).unwrap();
+        for v in 0..p.n() {
+            for s in p.slots_of(v) {
+                let u = p.slot_neighbor(s);
+                let back = p.mirror_slot(s);
+                assert!(p.slots_of(u).contains(&back));
+                assert_eq!(p.slot_neighbor(back), v);
+                assert_eq!(p.mirror_slot(back), s);
+                assert_eq!(p.slot_edge(back), p.slot_edge(s));
+            }
+        }
     }
 
     #[test]

@@ -23,8 +23,11 @@
 //! * [`orientation`] — edge orientations with out-degree and acyclicity
 //!   queries (Lemma 3.4 and Lemma 3.5 reason about acyclic orientations).
 //! * [`MutableGraph`] + [`trace`] — batched topology mutation with atomic
-//!   commits, plus the replayable plain-text churn-trace format and seeded
-//!   churn generator that feed the streaming recoloring engine.
+//!   **delta-CSR commits** ([`Graph::patched`]: only touched adjacency is
+//!   spliced, and the result is bit-identical to a from-scratch rebuild),
+//!   plus the replayable plain-text churn-trace format (including the
+//!   `shrink` compaction op) and seeded churn generator that feed the
+//!   streaming recoloring engine.
 //!
 //! # Example
 //!

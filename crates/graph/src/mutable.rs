@@ -3,12 +3,28 @@
 //! Every algorithm in this workspace runs on the immutable [`Graph`], whose
 //! CSR layout is what makes the simulator's slot delivery zero-allocation.
 //! Streaming workloads mutate the topology, so [`MutableGraph`] keeps the
-//! graph as an *edge set plus a batch of pending mutations*: mutations are
-//! queued with [`MutableGraph::insert_edge`], [`MutableGraph::delete_edge`],
-//! [`MutableGraph::add_vertex`] and [`MutableGraph::set_ident`], and
-//! [`MutableGraph::commit`] applies the whole batch atomically, rebuilding a
-//! fresh CSR snapshot in place (`O(n + m)`, the same cost as one
-//! [`Graph::from_edges`]).
+//! graph as a *committed snapshot plus a batch of pending mutations*:
+//! mutations are queued with [`MutableGraph::insert_edge`],
+//! [`MutableGraph::delete_edge`], [`MutableGraph::add_vertex`],
+//! [`MutableGraph::set_ident`] and [`MutableGraph::shrink_isolated`], and
+//! [`MutableGraph::commit`] applies the whole batch atomically.
+//!
+//! # Delta-CSR commits
+//!
+//! A commit does **not** rebuild the snapshot from its edge list. It replays
+//! the batch against a sparse overlay to derive the net insert/delete
+//! lists, then patches the CSR with [`Graph::patched`]: only the adjacency
+//! of touched vertices is spliced, everything else is shifted in linear
+//! copies, and the result is bit-identical to a [`Graph::from_edges`]
+//! rebuild — same edge indices, slots and mirror slots — at memcpy-class
+//! cost instead of hash-plus-sort cost. The pre-delta path survives as
+//! [`MutableGraph::commit_rebuild`], the differential oracle benches and
+//! tests compare against (the same role the simulator's `Engine::Naive`
+//! plays for slot delivery).
+//!
+//! Batches containing a [`MutableGraph::shrink_isolated`] compaction
+//! renumber vertices, which no patch can express; those commits take the
+//! rebuild path by design (a compaction is an explicit `O(n + m)` event).
 //!
 //! Commits are **atomic**: if any queued operation is invalid (range,
 //! self-loop, duplicate insert, missing delete, identifier clash), the
@@ -16,10 +32,12 @@
 //! failed commit never leaves a half-applied topology behind. The returned
 //! [`CommitDelta`] lists the *net* effect — an edge deleted and re-inserted
 //! within one batch appears in neither list, which is exactly what the
-//! incremental recoloring engine wants (its color is still valid).
+//! incremental recoloring engine wants (its color is still valid) — plus
+//! the stable [`CommitDelta::edge_origin`] map that lets per-edge state be
+//! carried across the commit by edge slot instead of endpoint matching.
 
 use crate::{Graph, GraphError, Vertex};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 /// One queued mutation (see the module docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,19 +46,45 @@ enum Op {
     Delete(u32, u32),
     AddVertex,
     SetIdent(u32, u64),
+    Shrink,
 }
 
 /// The net effect of one committed mutation batch.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CommitDelta {
     /// Edges present after the commit that were absent before, as
-    /// normalized `(u, v)` pairs with `u < v`, sorted.
+    /// normalized `(u, v)` pairs with `u < v`, sorted, in the post-commit
+    /// numbering.
     pub inserted: Vec<(Vertex, Vertex)>,
     /// Edges absent after the commit that were present before, normalized
-    /// and sorted.
+    /// and sorted, in the pre-commit numbering (the two numberings differ
+    /// only when the batch shrank).
     pub deleted: Vec<(Vertex, Vertex)>,
     /// Vertices added by the batch.
     pub added_vertices: usize,
+    /// For each edge of the new snapshot, the edge index it had in the old
+    /// snapshot, or [`Graph::NO_EDGE_ORIGIN`] for newly inserted edges.
+    ///
+    /// This is the stable-slot carry map: per-edge state (the streaming
+    /// engine's colors) moves across the commit with one indexed copy per
+    /// edge, no endpoint-pair matching.
+    pub edge_origin: Vec<u32>,
+    /// Vertices removed by [`MutableGraph::shrink_isolated`] compactions in
+    /// this batch (0 otherwise).
+    pub removed_vertices: usize,
+    /// When the batch renumbered vertices (a shrink removed at least one),
+    /// maps each post-commit vertex to its pre-commit index; `None` entries
+    /// are vertices added by this batch. `None` when no renumbering
+    /// happened, in which case vertex indices are unchanged.
+    pub vertex_map: Option<Vec<Option<Vertex>>>,
+}
+
+impl CommitDelta {
+    /// The old edge index carried into new edge `e`, if any.
+    pub fn origin_of(&self, e: usize) -> Option<usize> {
+        let src = self.edge_origin[e];
+        (src != Graph::NO_EDGE_ORIGIN).then_some(src as usize)
+    }
 }
 
 /// A graph under batched mutation. See the module docs.
@@ -92,7 +136,9 @@ impl MutableGraph {
         &self.snapshot
     }
 
-    /// Number of vertices the next commit will have (committed + pending).
+    /// Number of vertices the next commit will have (committed + pending),
+    /// ignoring any queued [`MutableGraph::shrink_isolated`] compactions
+    /// (their removal count is only known at commit time).
     pub fn next_n(&self) -> usize {
         self.snapshot.n() + self.pending_vertices
     }
@@ -135,9 +181,11 @@ impl MutableGraph {
     /// Queues addition of one vertex and returns its index (valid from the
     /// next commit on, but usable as an endpoint within this batch).
     ///
-    /// The new vertex receives identifier `index + 1` (the default scheme);
-    /// override with [`MutableGraph::set_ident`] if the committed graph uses
-    /// custom identifiers.
+    /// The new vertex receives the smallest identifier `>= index + 1` not
+    /// already in use — exactly `index + 1` (the classic default scheme)
+    /// unless identifiers were customized or a shrink compaction left
+    /// survivors holding higher identifiers. Override with
+    /// [`MutableGraph::set_ident`] for full control.
     pub fn add_vertex(&mut self) -> Vertex {
         self.pending.push(Op::AddVertex);
         self.pending_vertices += 1;
@@ -160,6 +208,19 @@ impl MutableGraph {
         Ok(())
     }
 
+    /// Queues a compaction: at this point of the batch, every vertex with
+    /// no incident edge is removed and the survivors are renumbered (order
+    /// preserved, identifiers carried). Later operations in the same batch
+    /// address the compacted numbering.
+    ///
+    /// Long-running growth workloads accumulate isolated vertices, which
+    /// are harmless for correctness but cost `O(n)` per commit; this is the
+    /// trace format's `shrink` op. A batch containing a shrink commits via
+    /// the rebuild path (renumbering defeats CSR patching by design).
+    pub fn shrink_isolated(&mut self) {
+        self.pending.push(Op::Shrink);
+    }
+
     /// Discards all queued operations, keeping the committed state.
     pub fn discard_pending(&mut self) {
         self.pending.clear();
@@ -180,8 +241,9 @@ impl MutableGraph {
         Ok(if u < v { (u as u32, v as u32) } else { (v as u32, u as u32) })
     }
 
-    /// Applies the queued batch atomically, rebuilds the CSR snapshot and
-    /// returns the net delta.
+    /// Applies the queued batch atomically via the delta-CSR patch
+    /// ([`Graph::patched`]) and returns the net delta. Batches containing a
+    /// shrink compaction route to [`MutableGraph::commit_rebuild`].
     ///
     /// # Errors
     ///
@@ -190,85 +252,316 @@ impl MutableGraph {
     /// On error the committed state is unchanged and the batch is
     /// discarded.
     pub fn commit(&mut self) -> Result<CommitDelta, GraphError> {
+        if self.pending.contains(&Op::Shrink) {
+            return self.commit_rebuild();
+        }
         let old = &self.snapshot;
         let added_vertices = self.pending_vertices;
         let n_new = old.n() + added_vertices;
+        // Replay the batch against the snapshot plus a sparse overlay of
+        // the touched pairs: `(was, now)` existence per pair. O(batch), not
+        // O(m) — the committed edge set is never materialized.
+        let mut overlay: HashMap<(u32, u32), (bool, bool)> = HashMap::new();
+        let mut ident_ops: Vec<(usize, u64)> = Vec::new();
+        let mut replay = || -> Result<(), GraphError> {
+            for &op in &self.pending {
+                match op {
+                    Op::Insert(u, v) => {
+                        let slot = overlay.entry((u, v)).or_insert_with(|| {
+                            let was = old.has_edge(u as usize, v as usize);
+                            (was, was)
+                        });
+                        if slot.1 {
+                            return Err(GraphError::DuplicateEdge { u: u as usize, v: v as usize });
+                        }
+                        slot.1 = true;
+                    }
+                    Op::Delete(u, v) => {
+                        let slot = overlay.entry((u, v)).or_insert_with(|| {
+                            let was = old.has_edge(u as usize, v as usize);
+                            (was, was)
+                        });
+                        if !slot.1 {
+                            return Err(GraphError::MissingEdge { u: u as usize, v: v as usize });
+                        }
+                        slot.1 = false;
+                    }
+                    Op::AddVertex => {}
+                    Op::SetIdent(v, ident) => ident_ops.push((v as usize, ident)),
+                    Op::Shrink => unreachable!("shrink batches take the rebuild path"),
+                }
+            }
+            Ok(())
+        };
+        if let Err(e) = replay() {
+            self.discard_pending();
+            return Err(e);
+        }
+        let mut inserted: Vec<(Vertex, Vertex)> = Vec::new();
+        let mut deleted: Vec<(Vertex, Vertex)> = Vec::new();
+        for (&(u, v), &(was, now)) in &overlay {
+            match (was, now) {
+                (false, true) => inserted.push((u as usize, v as usize)),
+                (true, false) => deleted.push((u as usize, v as usize)),
+                _ => {}
+            }
+        }
+        inserted.sort_unstable();
+        deleted.sort_unstable();
+        // Identifiers, replayed in queue order (last override wins). A
+        // batch that adds vertices pays one O(n) set build so defaults can
+        // skip identifiers already in use — after a shrink compaction the
+        // survivors keep their (higher) identifiers, so the naive
+        // `index + 1` default would clash and spuriously fail the commit.
+        let mut idents = self.snapshot.idents().to_vec();
+        if added_vertices > 0 {
+            let mut used: HashSet<u64> = idents.iter().copied().collect();
+            for &op in &self.pending {
+                match op {
+                    Op::AddVertex => {
+                        let mut c = idents.len() as u64 + 1;
+                        while !used.insert(c) {
+                            c += 1;
+                        }
+                        idents.push(c);
+                    }
+                    Op::SetIdent(v, ident) => {
+                        used.insert(ident);
+                        idents[v as usize] = ident;
+                    }
+                    _ => {}
+                }
+            }
+        } else {
+            for &(v, ident) in &ident_ops {
+                idents[v] = ident;
+            }
+        }
+        debug_assert_eq!(idents.len(), n_new);
+        match self.snapshot.patched(&inserted, &deleted, added_vertices, idents) {
+            Ok((graph, edge_origin)) => {
+                self.snapshot = graph;
+                self.discard_pending();
+                Ok(CommitDelta {
+                    inserted,
+                    deleted,
+                    added_vertices,
+                    edge_origin,
+                    removed_vertices: 0,
+                    vertex_map: None,
+                })
+            }
+            Err(e) => {
+                self.discard_pending();
+                Err(e)
+            }
+        }
+    }
+
+    /// Applies the queued batch by rebuilding the snapshot from scratch
+    /// (`Graph::from_edges`, `O(m log m)`): the pre-delta-CSR commit path,
+    /// kept as the differential oracle benches and tests compare
+    /// [`MutableGraph::commit`] against, and the designated path for
+    /// batches that renumber vertices (shrink compactions).
+    ///
+    /// Outcomes — snapshot, delta, and error on invalid batches — are
+    /// bit-identical to [`MutableGraph::commit`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MutableGraph::commit`].
+    pub fn commit_rebuild(&mut self) -> Result<CommitDelta, GraphError> {
+        let old = &self.snapshot;
+        let added_vertices = self.pending_vertices;
+        // Working state in the *current* numbering, which shrink ops may
+        // compact mid-batch.
+        let mut n_cur = old.n();
         let mut set: HashSet<(u32, u32)> = old.edges().map(|(u, v)| (u as u32, v as u32)).collect();
         let mut idents: Vec<u64> = old.idents().to_vec();
-        idents.extend((old.n() as u64 + 1)..=(n_new as u64));
-        // Applying in queue order makes delete-then-reinsert legal and
-        // last-override-wins for identifiers.
-        let outcome: Result<(), GraphError> = self.pending.iter().try_for_each(|&op| match op {
-            Op::Insert(u, v) => {
-                if set.insert((u, v)) {
-                    Ok(())
-                } else {
-                    Err(GraphError::DuplicateEdge { u: u as usize, v: v as usize })
+        // Identifiers claimed so far (pre-batch ones included, even if a
+        // shrink later removes their vertex — freed values are reusable
+        // from the *next* batch on): the same conservative default rule as
+        // the delta path, so the two paths assign identical defaults.
+        let mut used_idents: Option<HashSet<u64>> =
+            (added_vertices > 0).then(|| idents.iter().copied().collect());
+        let mut back_to_old: Vec<Option<Vertex>> = (0..n_cur).map(Some).collect();
+        let mut removed_vertices = 0usize;
+        let mut renumbered = false;
+        // Applying in queue order makes delete-then-reinsert legal,
+        // last-override-wins for identifiers, and gives shrink compactions
+        // a well-defined point in the batch.
+        let mut replay = || -> Result<(), GraphError> {
+            for &op in &self.pending {
+                match op {
+                    Op::Insert(u, v) => {
+                        check_cur_pair(u, v, n_cur)?;
+                        if !set.insert((u, v)) {
+                            return Err(GraphError::DuplicateEdge { u: u as usize, v: v as usize });
+                        }
+                    }
+                    Op::Delete(u, v) => {
+                        check_cur_pair(u, v, n_cur)?;
+                        if !set.remove(&(u, v)) {
+                            return Err(GraphError::MissingEdge { u: u as usize, v: v as usize });
+                        }
+                    }
+                    Op::AddVertex => {
+                        let used = used_idents.as_mut().expect("adds imply the set exists");
+                        let mut c = idents.len() as u64 + 1;
+                        while !used.insert(c) {
+                            c += 1;
+                        }
+                        idents.push(c);
+                        back_to_old.push(None);
+                        n_cur += 1;
+                    }
+                    Op::SetIdent(v, ident) => {
+                        if (v as usize) >= n_cur {
+                            return Err(GraphError::VertexOutOfRange {
+                                vertex: v as usize,
+                                n: n_cur,
+                            });
+                        }
+                        if let Some(used) = used_idents.as_mut() {
+                            used.insert(ident);
+                        }
+                        idents[v as usize] = ident;
+                    }
+                    Op::Shrink => {
+                        let mut connected = vec![false; n_cur];
+                        for &(u, v) in &set {
+                            connected[u as usize] = true;
+                            connected[v as usize] = true;
+                        }
+                        let keep: Vec<usize> = (0..n_cur).filter(|&v| connected[v]).collect();
+                        if keep.len() == n_cur {
+                            continue;
+                        }
+                        let mut remap = vec![u32::MAX; n_cur];
+                        for (new, &old_v) in keep.iter().enumerate() {
+                            remap[old_v] = new as u32;
+                        }
+                        // The remap is monotone, so pairs stay normalized.
+                        set = set
+                            .iter()
+                            .map(|&(u, v)| (remap[u as usize], remap[v as usize]))
+                            .collect();
+                        idents = keep.iter().map(|&v| idents[v]).collect();
+                        back_to_old = keep.iter().map(|&v| back_to_old[v]).collect();
+                        removed_vertices += n_cur - keep.len();
+                        renumbered = true;
+                        n_cur = keep.len();
+                    }
                 }
             }
-            Op::Delete(u, v) => {
-                if set.remove(&(u, v)) {
-                    Ok(())
-                } else {
-                    Err(GraphError::MissingEdge { u: u as usize, v: v as usize })
-                }
-            }
-            Op::AddVertex => Ok(()),
-            Op::SetIdent(v, ident) => {
-                idents[v as usize] = ident;
-                Ok(())
-            }
-        });
-        if let Err(e) = outcome {
+            Ok(())
+        };
+        if let Err(e) = replay() {
             self.discard_pending();
             return Err(e);
         }
         let mut edges: Vec<(usize, usize)> =
             set.into_iter().map(|(u, v)| (u as usize, v as usize)).collect();
         edges.sort_unstable();
-        let graph = match Graph::from_edges(n_new, &edges).and_then(|g| g.with_idents(idents)) {
+        let graph = match Graph::from_edges(n_cur, &edges).and_then(|g| g.with_idents(idents)) {
             Ok(g) => g,
             Err(e) => {
                 self.discard_pending();
                 return Err(e);
             }
         };
-        // Net delta via sorted merge of old and new edge lists.
-        let mut inserted = Vec::new();
-        let mut deleted = Vec::new();
-        {
-            let mut old_it = old.edges().peekable();
-            let mut new_it = graph.edges().peekable();
+        let delta = if renumbered {
+            // Vertices were renumbered: match edges through the back map.
+            let mut edge_origin = vec![Graph::NO_EDGE_ORIGIN; graph.m()];
+            let mut survived = vec![false; old.m()];
+            let mut inserted = Vec::new();
+            for (e, (u, v)) in graph.edges().enumerate() {
+                let carried = match (back_to_old[u], back_to_old[v]) {
+                    (Some(bu), Some(bv)) => old.edge_between(bu, bv),
+                    _ => None,
+                };
+                match carried {
+                    Some(oe) => {
+                        edge_origin[e] = oe as u32;
+                        survived[oe] = true;
+                    }
+                    None => inserted.push((u, v)),
+                }
+            }
+            let deleted: Vec<(Vertex, Vertex)> = old
+                .edges()
+                .enumerate()
+                .filter(|&(oe, _)| !survived[oe])
+                .map(|(_, pair)| pair)
+                .collect();
+            CommitDelta {
+                inserted,
+                deleted,
+                added_vertices,
+                edge_origin,
+                removed_vertices,
+                vertex_map: Some(back_to_old),
+            }
+        } else {
+            // Net delta and origin map via one sorted merge of the old and
+            // new edge lists.
+            let mut inserted = Vec::new();
+            let mut deleted = Vec::new();
+            let mut edge_origin = vec![Graph::NO_EDGE_ORIGIN; graph.m()];
+            let mut old_it = old.edges().enumerate().peekable();
+            let mut new_it = graph.edges().enumerate().peekable();
             loop {
                 match (old_it.peek().copied(), new_it.peek().copied()) {
-                    (Some(a), Some(b)) if a == b => {
+                    (Some((oe, a)), Some((ne, b))) if a == b => {
+                        edge_origin[ne] = oe as u32;
                         old_it.next();
                         new_it.next();
                     }
-                    (Some(a), Some(b)) if a < b => {
+                    (Some((_, a)), Some((_, b))) if a < b => {
                         deleted.push(a);
                         old_it.next();
                     }
-                    (Some(_), Some(b)) => {
+                    (Some(_), Some((_, b))) => {
                         inserted.push(b);
                         new_it.next();
                     }
-                    (Some(a), None) => {
+                    (Some((_, a)), None) => {
                         deleted.push(a);
                         old_it.next();
                     }
-                    (None, Some(b)) => {
+                    (None, Some((_, b))) => {
                         inserted.push(b);
                         new_it.next();
                     }
                     (None, None) => break,
                 }
             }
-        }
+            CommitDelta {
+                inserted,
+                deleted,
+                added_vertices,
+                edge_origin,
+                removed_vertices: 0,
+                vertex_map: None,
+            }
+        };
         self.snapshot = graph;
         self.discard_pending();
-        Ok(CommitDelta { inserted, deleted, added_vertices })
+        Ok(delta)
     }
+}
+
+/// Range check against the *current* (possibly shrunk) vertex count during
+/// rebuild replay. For batches without shrinks this can never fire
+/// (queue-time checks already validated against the post-batch count); with
+/// shrinks, later ops may reference compacted-away indices.
+fn check_cur_pair(u: u32, v: u32, n_cur: usize) -> Result<(), GraphError> {
+    for w in [u, v] {
+        if (w as usize) >= n_cur {
+            return Err(GraphError::VertexOutOfRange { vertex: w as usize, n: n_cur });
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -282,7 +575,7 @@ mod tests {
         mg.commit().unwrap();
         mg.insert_edge(2, 3).unwrap();
         mg.insert_edge(1, 0).unwrap(); // duplicate of committed edge
-        assert_eq!(mg.commit(), Err(GraphError::DuplicateEdge { u: 0, v: 1 }));
+        assert_eq!(mg.commit().unwrap_err(), GraphError::DuplicateEdge { u: 0, v: 1 });
         // The valid part of the failed batch was discarded too.
         assert_eq!(mg.graph().m(), 1);
         assert_eq!(mg.pending_ops(), 0);
@@ -299,6 +592,8 @@ mod tests {
         let delta = mg.commit().unwrap();
         assert!(delta.inserted.is_empty());
         assert!(delta.deleted.is_empty());
+        // The reinserted edge keeps its identity in the origin map.
+        assert_eq!(delta.edge_origin.iter().filter(|&&o| o == Graph::NO_EDGE_ORIGIN).count(), 0);
         assert_eq!(mg.graph().m(), 2);
     }
 
@@ -306,7 +601,7 @@ mod tests {
     fn missing_delete_rejected() {
         let mut mg = MutableGraph::new(3);
         mg.delete_edge(0, 2).unwrap();
-        assert_eq!(mg.commit(), Err(GraphError::MissingEdge { u: 0, v: 2 }));
+        assert_eq!(mg.commit().unwrap_err(), GraphError::MissingEdge { u: 0, v: 2 });
     }
 
     #[test]
@@ -362,5 +657,161 @@ mod tests {
         mg.add_vertex();
         mg.commit().unwrap();
         assert_eq!(mg.graph().idents(), &[5, 6, 7, 4]);
+    }
+
+    #[test]
+    fn edge_origin_maps_surviving_edges() {
+        let mut mg = MutableGraph::new(4);
+        for (u, v) in [(0, 1), (0, 2), (1, 2), (2, 3)] {
+            mg.insert_edge(u, v).unwrap();
+        }
+        let delta = mg.commit().unwrap();
+        assert!(delta.edge_origin.iter().all(|&o| o == Graph::NO_EDGE_ORIGIN));
+        // Delete edge 0=(0,1), insert (1,3): indices shift both ways.
+        mg.delete_edge(0, 1).unwrap();
+        mg.insert_edge(1, 3).unwrap();
+        let before = mg.graph().clone();
+        let delta = mg.commit().unwrap();
+        let after = mg.graph();
+        for (e, &src) in delta.edge_origin.iter().enumerate() {
+            let pair = after.endpoints(e);
+            if src == Graph::NO_EDGE_ORIGIN {
+                assert_eq!(pair, (1, 3));
+            } else {
+                assert_eq!(before.endpoints(src as usize), pair);
+            }
+        }
+        assert_eq!(delta.origin_of(0), Some(1)); // (0,2) was edge 1
+    }
+
+    #[test]
+    fn commit_and_rebuild_agree() {
+        // Drive two engines through identical batches; snapshots and deltas
+        // must match bit for bit (the delta-CSR contract).
+        let mut fast = MutableGraph::new(5);
+        let mut slow = MutableGraph::new(5);
+        let batches: Vec<Vec<Op>> = vec![
+            vec![Op::Insert(0, 1), Op::Insert(1, 2), Op::Insert(3, 4)],
+            vec![Op::Delete(1, 2), Op::Insert(2, 3), Op::AddVertex, Op::Insert(4, 5)],
+            vec![Op::SetIdent(0, 99), Op::Insert(0, 2)],
+        ];
+        for batch in batches {
+            for op in batch {
+                fast.pending.push(op);
+                slow.pending.push(op);
+                if op == Op::AddVertex {
+                    fast.pending_vertices += 1;
+                    slow.pending_vertices += 1;
+                }
+            }
+            let a = fast.commit().unwrap();
+            let b = slow.commit_rebuild().unwrap();
+            assert_eq!(a, b);
+            assert_eq!(fast.graph(), slow.graph());
+        }
+    }
+
+    #[test]
+    fn shrink_drops_isolated_vertices_and_renumbers() {
+        let mut mg = MutableGraph::new(5); // vertices 1 and 4 stay isolated
+        mg.insert_edge(0, 2).unwrap();
+        mg.insert_edge(2, 3).unwrap();
+        mg.set_ident(3, 77).unwrap();
+        mg.commit().unwrap();
+        mg.shrink_isolated();
+        let delta = mg.commit().unwrap();
+        assert_eq!(delta.removed_vertices, 2);
+        assert_eq!(mg.graph().n(), 3);
+        assert_eq!(mg.graph().m(), 2);
+        // Survivors keep order and identifiers: {0, 2, 3} -> {0, 1, 2}.
+        assert_eq!(delta.vertex_map, Some(vec![Some(0), Some(2), Some(3)]));
+        assert_eq!(mg.graph().idents(), &[1, 3, 77]);
+        // Edges carried 1:1 through the renumbering.
+        assert_eq!(delta.inserted, Vec::<(usize, usize)>::new());
+        assert_eq!(delta.deleted, Vec::<(usize, usize)>::new());
+        assert_eq!(delta.origin_of(0), Some(0));
+        assert_eq!(delta.origin_of(1), Some(1));
+    }
+
+    #[test]
+    fn shrink_mid_batch_renumbers_later_ops() {
+        let mut mg = MutableGraph::new(4); // vertex 3 isolated
+        mg.insert_edge(0, 1).unwrap();
+        mg.insert_edge(1, 2).unwrap();
+        mg.commit().unwrap();
+        // Shrink first (drops 3), then address the compacted numbering.
+        mg.shrink_isolated();
+        mg.insert_edge(0, 2).unwrap();
+        let delta = mg.commit().unwrap();
+        assert_eq!(mg.graph().n(), 3);
+        assert_eq!(delta.inserted, vec![(0, 2)]);
+        assert_eq!(delta.removed_vertices, 1);
+    }
+
+    #[test]
+    fn op_referencing_shrunk_vertex_fails_atomically() {
+        let mut mg = MutableGraph::new(4); // vertex 3 isolated
+        mg.insert_edge(0, 1).unwrap();
+        mg.insert_edge(1, 2).unwrap();
+        mg.commit().unwrap();
+        // Queue-time the index 3 is in range; after the shrink it is not.
+        mg.shrink_isolated();
+        mg.insert_edge(0, 3).unwrap();
+        assert_eq!(mg.commit().unwrap_err(), GraphError::VertexOutOfRange { vertex: 3, n: 3 });
+        // Atomic: the shrink was rolled back with the rest of the batch.
+        assert_eq!(mg.graph().n(), 4);
+        assert_eq!(mg.pending_ops(), 0);
+    }
+
+    #[test]
+    fn growth_after_shrink_avoids_ident_clashes() {
+        // Survivors of a shrink keep their (higher) identifiers; default
+        // idents of later additions must skip them instead of clashing.
+        let mut mg = MutableGraph::new(3); // vertex 0 isolated, idents {1,2,3}
+        mg.insert_edge(1, 2).unwrap();
+        mg.commit().unwrap();
+        // Shrink and grow in the same batch. After the shrink the survivors
+        // are {0, 1} and the added vertex lands at index 2 (ops after a
+        // shrink address the compacted numbering; the index returned by
+        // add_vertex is the pre-shrink estimate).
+        mg.shrink_isolated();
+        mg.add_vertex();
+        mg.insert_edge(0, 2).unwrap();
+        let delta = mg.commit().unwrap();
+        assert_eq!(delta.removed_vertices, 1);
+        assert_eq!(mg.graph().idents(), &[2, 3, 4], "default skipped the carried idents");
+        // And in a later batch (the fast delta path).
+        mg.add_vertex();
+        mg.commit().unwrap();
+        assert_eq!(mg.graph().idents(), &[2, 3, 4, 5]);
+        // Oracle parity for the post-shrink growth batch.
+        let mut a = mg.clone();
+        let mut b = mg.clone();
+        a.add_vertex();
+        b.add_vertex();
+        assert_eq!(a.commit().unwrap(), b.commit_rebuild().unwrap());
+        assert_eq!(a.graph(), b.graph());
+    }
+
+    #[test]
+    fn shrink_on_fully_isolated_graph_empties_it() {
+        let mut mg = MutableGraph::new(3);
+        mg.shrink_isolated();
+        let delta = mg.commit().unwrap();
+        assert_eq!(delta.removed_vertices, 3);
+        assert_eq!(mg.graph().n(), 0);
+        assert_eq!(delta.vertex_map, Some(vec![]));
+    }
+
+    #[test]
+    fn shrink_noop_when_nothing_isolated() {
+        let mut mg = MutableGraph::new(2);
+        mg.insert_edge(0, 1).unwrap();
+        mg.commit().unwrap();
+        mg.shrink_isolated();
+        let delta = mg.commit().unwrap();
+        assert_eq!(delta.removed_vertices, 0);
+        assert_eq!(delta.vertex_map, None);
+        assert_eq!(mg.graph().n(), 2);
     }
 }

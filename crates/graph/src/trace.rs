@@ -12,6 +12,7 @@
 //! - <u> <v>           delete edge
 //! v <count>           add <count> vertices
 //! i <vertex> <ident>  identifier override
+//! shrink              compaction: drop isolated vertices, renumber survivors
 //! commit              end of batch: apply everything queued since the last commit
 //! ```
 //!
@@ -43,6 +44,12 @@ pub enum TraceOp {
     AddVertices(usize),
     /// Override the identifier of a vertex.
     SetIdent(Vertex, u64),
+    /// Drop all currently-isolated vertices and renumber the survivors
+    /// (order preserved, identifiers carried) — the compaction op for
+    /// long-running growth workloads, which otherwise accumulate isolated
+    /// vertices at `O(n)` cost per commit. Operations after a `shrink` in
+    /// the same batch address the compacted numbering.
+    Shrink,
     /// Apply everything queued since the previous commit.
     Commit,
 }
@@ -62,6 +69,57 @@ impl Trace {
         self.ops.iter().filter(|op| matches!(op, TraceOp::Commit)).count()
     }
 
+    /// The *net* edge churn of each commit batch: edges inserted that were
+    /// not deleted again within the batch, and vice versa.
+    ///
+    /// This is the actual per-commit churn a replay will observe, which can
+    /// exceed the nominal request of [`churn_trace`]: on a near-saturated
+    /// graph its capacity fallback deletes extra edges to make room for the
+    /// requested insertions (so `deleted > inserted` churn is the fallback's
+    /// signature). A pair that toggles within one batch (deleted and
+    /// reinserted, or inserted and deleted) cancels out, matching the net
+    /// semantics of `CommitDelta`.
+    ///
+    /// Accounting is **by written pair label**. In a batch containing a
+    /// `shrink`, ops before and after the compaction address different
+    /// numberings, so labels no longer identify physical edges: a pair
+    /// deleted pre-shrink and reinserted under its post-shrink label counts
+    /// as one delete plus one insert here, while the replayed
+    /// `CommitDelta` nets it out (and label collisions can cancel churn
+    /// that is physically real). For exact cross-shrink accounting, replay
+    /// the trace and read the deltas; batches without `shrink` — every
+    /// generated churn workload — match the replay exactly.
+    pub fn net_churn(&self) -> Vec<BatchChurn> {
+        self.batches()
+            .into_iter()
+            .map(|batch| {
+                // first/last op per pair: net insert = (Insert, Insert),
+                // net delete = (Delete, Delete); mixed pairs cancel.
+                let mut seen: std::collections::HashMap<(Vertex, Vertex), (bool, bool)> =
+                    std::collections::HashMap::new();
+                for op in batch {
+                    let (pair, is_insert) = match *op {
+                        TraceOp::Insert(u, v) => ((u.min(v), u.max(v)), true),
+                        TraceOp::Delete(u, v) => ((u.min(v), u.max(v)), false),
+                        _ => continue,
+                    };
+                    seen.entry(pair)
+                        .and_modify(|(_, last)| *last = is_insert)
+                        .or_insert((is_insert, is_insert));
+                }
+                let mut churn = BatchChurn { inserted: 0, deleted: 0 };
+                for &(first, last) in seen.values() {
+                    match (first, last) {
+                        (true, true) => churn.inserted += 1,
+                        (false, false) => churn.deleted += 1,
+                        _ => {}
+                    }
+                }
+                churn
+            })
+            .collect()
+    }
+
     /// The operations of each commit batch, in order (`commit` markers
     /// excluded; trailing uncommitted operations dropped).
     pub fn batches(&self) -> Vec<&[TraceOp]> {
@@ -75,6 +133,15 @@ impl Trace {
         }
         out
     }
+}
+
+/// Net edge churn of one commit batch (see [`Trace::net_churn`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchChurn {
+    /// Edges present after the batch that were absent before it.
+    pub inserted: usize,
+    /// Edges absent after the batch that were present before it.
+    pub deleted: usize,
 }
 
 /// Error from [`parse_trace`].
@@ -113,6 +180,7 @@ pub fn to_text(trace: &Trace) -> String {
             TraceOp::Delete(u, v) => out.push_str(&format!("- {u} {v}\n")),
             TraceOp::AddVertices(k) => out.push_str(&format!("v {k}\n")),
             TraceOp::SetIdent(v, ident) => out.push_str(&format!("i {v} {ident}\n")),
+            TraceOp::Shrink => out.push_str("shrink\n"),
             TraceOp::Commit => out.push_str("commit\n"),
         }
     }
@@ -177,6 +245,7 @@ pub fn parse_trace(text: &str) -> Result<Trace, ParseTraceError> {
             "i" => {
                 ops.push(TraceOp::SetIdent(next_num("vertex")? as usize, next_num("identifier")?))
             }
+            "shrink" => ops.push(TraceOp::Shrink),
             "commit" => ops.push(TraceOp::Commit),
             other => {
                 return Err(ParseTraceError::BadLine {
@@ -414,12 +483,63 @@ mod tests {
                         }
                     }
                     TraceOp::SetIdent(v, ident) => mg.set_ident(v, ident).unwrap(),
+                    TraceOp::Shrink => mg.shrink_isolated(),
                     TraceOp::Commit => unreachable!("batches exclude commit markers"),
                 }
             }
             mg.commit().unwrap();
         }
         assert_eq!(mg.graph().ident(0), 41);
+    }
+
+    #[test]
+    fn shrink_lines_roundtrip_and_replay() {
+        let text = "t 4\n+ 0 1\n+ 1 2\ncommit\nshrink\n+ 0 2\ncommit\n";
+        let t = parse_trace(text).unwrap();
+        assert_eq!(t.ops[3], TraceOp::Shrink);
+        assert_eq!(to_text(&t), text);
+        assert_eq!(parse_trace(&to_text(&t)).unwrap(), t);
+        // Replayed, the shrink drops isolated vertex 3 and renumbers.
+        let mut mg = MutableGraph::new(t.n0);
+        for batch in t.batches() {
+            for op in batch {
+                match *op {
+                    TraceOp::Insert(u, v) => mg.insert_edge(u, v).unwrap(),
+                    TraceOp::Delete(u, v) => mg.delete_edge(u, v).unwrap(),
+                    TraceOp::Shrink => mg.shrink_isolated(),
+                    _ => unreachable!("this trace has no other ops"),
+                }
+            }
+            mg.commit().unwrap();
+        }
+        assert_eq!((mg.graph().n(), mg.graph().m()), (3, 3));
+    }
+
+    #[test]
+    fn net_churn_cancels_toggles_and_counts_extras() {
+        let t =
+            parse_trace("t 5\n+ 0 1\n+ 1 2\ncommit\n- 0 1\n+ 0 1\n- 1 2\n- 0 1\n+ 2 3\ncommit\n")
+                .unwrap();
+        let churn = t.net_churn();
+        assert_eq!(churn.len(), 2);
+        assert_eq!(churn[0], BatchChurn { inserted: 2, deleted: 0 });
+        // (0,1): delete→insert→delete nets to one delete; (1,2) deleted;
+        // (2,3) inserted.
+        assert_eq!(churn[1], BatchChurn { inserted: 1, deleted: 2 });
+    }
+
+    #[test]
+    fn net_churn_matches_nominal_request_off_saturation() {
+        let t = churn_trace(60, 5, 3, 4, 11);
+        let churn = t.net_churn();
+        assert_eq!(churn[0].deleted, 0);
+        for c in &churn[1..] {
+            // Off saturation the fallback never fires, so deletions never
+            // exceed the nominal request; net churn can fall below it when
+            // the generator re-inserts a pair it just deleted.
+            assert_eq!(c.inserted, c.deleted, "steady state preserves m");
+            assert!(c.deleted <= 4, "no fallback on a roomy graph, got {}", c.deleted);
+        }
     }
 
     #[test]

@@ -304,6 +304,10 @@ impl<'g> Network<'g> {
     /// variable if set (the CI thread matrix), else available parallelism
     /// capped at 16; the delivery mode defaults to `DECO_DELIVERY`
     /// (`scan` / `push` / `adaptive`) if set, else [`Delivery::Adaptive`].
+    /// Both variables are read once per process: the streaming engine
+    /// constructs a `Network` per commit (repair sub-networks, from-scratch
+    /// fallbacks), and the defaults are process-wide configuration, not
+    /// per-network state.
     pub fn new(graph: &'g Graph) -> Network<'g> {
         let flat_neighbors: Vec<Vertex> =
             (0..graph.slot_count()).map(|s| graph.slot_neighbor(s)).collect();
@@ -311,23 +315,26 @@ impl<'g> Network<'g> {
         // Unrecognized env values panic rather than silently falling back:
         // the CI differential matrix relies on these variables actually
         // selecting what they claim to select.
-        let threads =
-            match std::env::var("DECO_THREADS") {
+        static ENV_DEFAULTS: std::sync::OnceLock<(usize, Delivery)> = std::sync::OnceLock::new();
+        let &(threads, delivery) = ENV_DEFAULTS.get_or_init(|| {
+            let threads = match std::env::var("DECO_THREADS") {
                 Ok(s) => s.parse::<usize>().ok().filter(|&t| t >= 1).unwrap_or_else(|| {
                     panic!("DECO_THREADS must be a positive integer, got {s:?}")
                 }),
                 Err(_) => std::thread::available_parallelism().map_or(1, |p| p.get()),
             }
             .min(16);
-        let delivery = match std::env::var("DECO_DELIVERY") {
-            Ok(s) => match s.as_str() {
-                "scan" => Delivery::Scan,
-                "push" => Delivery::Push,
-                "adaptive" => Delivery::Adaptive,
-                other => panic!("DECO_DELIVERY must be scan|push|adaptive, got {other:?}"),
-            },
-            Err(_) => Delivery::Adaptive,
-        };
+            let delivery = match std::env::var("DECO_DELIVERY") {
+                Ok(s) => match s.as_str() {
+                    "scan" => Delivery::Scan,
+                    "push" => Delivery::Push,
+                    "adaptive" => Delivery::Adaptive,
+                    other => panic!("DECO_DELIVERY must be scan|push|adaptive, got {other:?}"),
+                },
+                Err(_) => Delivery::Adaptive,
+            };
+            (threads, delivery)
+        });
         Network {
             graph,
             flat_neighbors,

@@ -13,12 +13,17 @@
 //! Three layers:
 //!
 //! * [`deco_graph::MutableGraph`] + [`deco_graph::trace`] (in the graph
-//!   crate) — batched mutation with atomic commits, and the replayable
-//!   plain-text trace format / seeded churn generator;
-//! * [`Recolorer`] — the engine: carry colors across a commit, extract the
-//!   repair region, schedule it with the Theorem 5.5 pipeline on the
-//!   edge-induced sub-network, finalize with `O(Δ)`-bit forbidden-color
-//!   masks, fall back to from-scratch when the region is too dense;
+//!   crate) — batched mutation with atomic **delta-CSR** commits (the
+//!   snapshot is patched, not rebuilt, and stays bit-identical to a
+//!   rebuild), and the replayable plain-text trace format / seeded churn
+//!   generator;
+//! * [`Recolorer`] — the engine: carry colors across a commit by stable
+//!   edge slot (the commit's `edge_origin` map), extract the repair region
+//!   from the delta alone, schedule it with the Theorem 5.5 pipeline on
+//!   the edge-induced sub-network, finalize with `O(Δ)`-bit
+//!   forbidden-color masks, fall back to from-scratch when the region is
+//!   too dense ([`Recolorer::with_rebuild_commits`] keeps the PR 3 rebuild
+//!   path as the differential oracle);
 //! * [`replay_trace`] and the `deco-stream` binary — replay a trace file,
 //!   reporting per-commit repair sizes, rounds and wall time.
 //!

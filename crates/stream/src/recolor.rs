@@ -8,17 +8,24 @@
 //!
 //! # Repair algorithm
 //!
-//! After [`Recolorer::commit`] applies a batch (via
-//! [`deco_graph::MutableGraph`]) the engine:
+//! After [`Recolorer::commit`] applies a batch (a delta-CSR patch via
+//! [`deco_graph::MutableGraph`]: only touched adjacency is spliced, and the
+//! patched snapshot is bit-identical to a rebuild) the engine:
 //!
-//! 1. **Carries colors** from the previous snapshot by endpoint pair (a
-//!    sorted merge, `O(m)`): surviving edges keep their color, new edges
-//!    are uncolored.
-//! 2. **Extracts the repair region**: every edge that is uncolored,
-//!    conflicts with an incident edge of the same color, or carries a color
-//!    outside the current palette bound (Δ may have shrunk). The region's
-//!    distance-1 line-graph boundary participates through forbidden-color
-//!    masks, never as recolorable members.
+//! 1. **Carries colors** by stable edge slot: the commit's
+//!    [`CommitDelta::edge_origin`](deco_graph::CommitDelta::edge_origin)
+//!    map gives each new edge index its predecessor, so the carry is one
+//!    indexed copy per edge — no endpoint-pair matching. (The pre-delta
+//!    `O(m)` sorted-merge carry survives on the
+//!    [`Recolorer::with_rebuild_commits`] oracle path.)
+//! 2. **Extracts the repair region**: every uncolored edge, plus — only
+//!    when the palette bound shrank (Δ decreased) — every edge whose
+//!    carried color now falls outside it. Carried colors cannot conflict
+//!    with each other (they come from a proper coloring of the previous
+//!    snapshot and deletions never create conflicts), so no conflict sweep
+//!    is needed; the region is exactly the delta plus bound evictions. The
+//!    region's distance-1 line-graph boundary participates through
+//!    forbidden-color masks, never as recolorable members.
 //! 3. **Schedules** the region by running the paper's full
 //!    defective-to-legal pipeline ([`edge_color_in_groups`], Theorem 5.5)
 //!    on the sub-network induced by the region edges alone
@@ -106,18 +113,32 @@ pub struct CommitReport {
     pub stats: RunStats,
 }
 
+/// Sentinel for "no color yet" in the engine's dense color store. Real
+/// colors are bounded by ϑ ≤ 2Δ-1, nowhere near it; a sentinel keeps the
+/// per-edge slot at 8 bytes (`Option<Color>` would double it, and the
+/// carry pass streams the whole store every commit).
+const UNCOLORED: Color = Color::MAX;
+
 /// Incremental recoloring engine over a mutating graph. See module docs.
 #[derive(Debug, Clone)]
 pub struct Recolorer {
     mg: MutableGraph,
-    /// Color per snapshot edge; all `Some` between commits.
-    colors: Vec<Option<Color>>,
+    /// Color per snapshot edge; no [`UNCOLORED`] entries between commits.
+    colors: Vec<Color>,
     params: LegalParams,
     mode: MessageMode,
     /// Repair-region density (percent of `m`) above which a commit falls
     /// back to the from-scratch pipeline.
     threshold_pct: u32,
     commits: usize,
+    /// Palette bound of the previous snapshot: every committed color is
+    /// below it, so the out-of-palette sweep only runs when the bound
+    /// shrinks past it (0 before the first commit — no constraint).
+    prev_bound: u64,
+    /// Differential oracle: commit via the pre-delta-CSR rebuild path
+    /// (`MutableGraph::commit_rebuild` + endpoint-pair carry + full dirty
+    /// sweeps). Bit-identical outcomes, O(m) hash-and-sort cost.
+    rebuild_commits: bool,
 }
 
 impl Recolorer {
@@ -136,6 +157,8 @@ impl Recolorer {
             mode,
             threshold_pct: 25,
             commits: 0,
+            prev_bound: 0,
+            rebuild_commits: false,
         })
     }
 
@@ -155,11 +178,13 @@ impl Recolorer {
         let m = g.m();
         Ok(Recolorer {
             mg: MutableGraph::from_graph(g),
-            colors: vec![None; m],
+            colors: vec![UNCOLORED; m],
             params,
             mode,
             threshold_pct: 25,
             commits: 0,
+            prev_bound: 0,
+            rebuild_commits: false,
         })
     }
 
@@ -167,6 +192,18 @@ impl Recolorer {
     /// 25): a commit whose region is larger falls back to from-scratch.
     pub fn with_repair_threshold(mut self, pct: u32) -> Recolorer {
         self.threshold_pct = pct;
+        self
+    }
+
+    /// Selects the pre-delta-CSR commit path (default `false`): snapshots
+    /// rebuilt by `Graph::from_edges`, colors carried by an `O(m)`
+    /// endpoint-pair merge, dirty edges found by full sweeps. Outcomes —
+    /// colorings, [`CommitReport`]s, errors — are bit-identical to the
+    /// default path; only wall-clock differs. This is the differential
+    /// oracle the delta-CSR benches and tests compare against, the same
+    /// role the simulator's `Engine::Naive` plays for slot delivery.
+    pub fn with_rebuild_commits(mut self, on: bool) -> Recolorer {
+        self.rebuild_commits = on;
         self
     }
 
@@ -188,7 +225,13 @@ impl Recolorer {
     /// engine (the initial coloring has not run yet).
     pub fn coloring(&self) -> EdgeColoring {
         EdgeColoring::new(
-            self.colors.iter().map(|c| c.expect("coloring is complete between commits")).collect(),
+            self.colors
+                .iter()
+                .map(|&c| {
+                    assert_ne!(c, UNCOLORED, "coloring is complete between commits");
+                    c
+                })
+                .collect(),
         )
     }
 
@@ -235,6 +278,14 @@ impl Recolorer {
         self.mg.set_ident(v, ident)
     }
 
+    /// Queues a shrink compaction: isolated vertices are dropped and the
+    /// survivors renumbered at this point of the batch. Colors are carried
+    /// through the renumbering (no edge is touched, so a shrink-only commit
+    /// is clean). See [`MutableGraph::shrink_isolated`].
+    pub fn shrink_isolated(&mut self) {
+        self.mg.shrink_isolated()
+    }
+
     /// Applies the queued batch and repairs the coloring. See module docs.
     ///
     /// # Errors
@@ -242,9 +293,14 @@ impl Recolorer {
     /// Returns [`GraphError`] if the batch is invalid; the previous
     /// snapshot and coloring are untouched and the batch is discarded.
     pub fn commit(&mut self) -> Result<CommitReport, GraphError> {
-        let old_edges: Vec<(Vertex, Vertex)> = self.mg.graph().edges().collect();
+        // The oracle path captures the pre-commit edge list for its
+        // endpoint-pair carry; the delta path needs nothing of the sort.
+        let old_edges: Vec<(Vertex, Vertex)> =
+            if self.rebuild_commits { self.mg.graph().edges().collect() } else { Vec::new() };
         let old_colors = std::mem::take(&mut self.colors);
-        let delta = match self.mg.commit() {
+        let committed =
+            if self.rebuild_commits { self.mg.commit_rebuild() } else { self.mg.commit() };
+        let delta = match committed {
             Ok(d) => d,
             Err(e) => {
                 self.colors = old_colors;
@@ -254,42 +310,83 @@ impl Recolorer {
         let g = self.mg.graph();
         let m = g.m();
 
-        // 1. Carry colors by endpoint pair (both edge lists are sorted).
-        let mut colors: Vec<Option<Color>> = vec![None; m];
-        let mut old_i = 0usize;
-        for (e, (u, v)) in g.edges().enumerate() {
-            while old_i < old_edges.len() && old_edges[old_i] < (u, v) {
-                old_i += 1;
-            }
-            if old_i < old_edges.len() && old_edges[old_i] == (u, v) {
-                colors[e] = old_colors[old_i];
-                old_i += 1;
-            }
-        }
-
-        // 2. Repair region: uncolored, conflicting, or out-of-palette edges.
+        // 1 + 2. Carry colors across the commit and find the repair region.
+        // Default path: one stable-slot gather per edge (the origin map
+        // already crossed any renumbering), with uncolored edges collected
+        // on the fly — the region *is* the delta, because carried colors
+        // cannot conflict with each other (module docs) and out-of-palette
+        // evictions are only possible when the bound shrank. Oracle path:
+        // the PR 3 endpoint-pair merge plus full dirty sweeps (they find
+        // exactly the same set; kept as the faithful cost baseline).
         let bound = Recolorer::bound_for(&self.params, g.max_degree() as u64);
-        let mut is_dirty = vec![false; m];
-        for (e, c) in colors.iter().enumerate() {
-            match c {
-                None => is_dirty[e] = true,
-                Some(c) if *c >= bound => is_dirty[e] = true,
-                Some(_) => {}
-            }
-        }
-        let mut incident: Vec<(Color, EdgeIdx)> = Vec::new();
-        for v in 0..g.n() {
-            incident.clear();
-            incident.extend(g.incident(v).filter_map(|(_, e)| colors[e].map(|c| (c, e))));
-            incident.sort_unstable();
-            for w in incident.windows(2) {
-                if w[0].0 == w[1].0 {
-                    is_dirty[w[0].1] = true;
-                    is_dirty[w[1].1] = true;
+        let (colors, dirty, legacy_is_dirty): (Vec<Color>, Vec<EdgeIdx>, Option<Vec<bool>>) =
+            if self.rebuild_commits {
+                let mut colors: Vec<Color> = vec![UNCOLORED; m];
+                if delta.vertex_map.is_none() {
+                    let mut old_i = 0usize;
+                    for (e, (u, v)) in g.edges().enumerate() {
+                        while old_i < old_edges.len() && old_edges[old_i] < (u, v) {
+                            old_i += 1;
+                        }
+                        if old_i < old_edges.len() && old_edges[old_i] == (u, v) {
+                            colors[e] = old_colors[old_i];
+                            old_i += 1;
+                        }
+                    }
+                } else {
+                    // Renumbered (shrink): endpoint matching is meaningless,
+                    // even the oracle carries by origin.
+                    for (e, &src) in delta.edge_origin.iter().enumerate() {
+                        if src != Graph::NO_EDGE_ORIGIN {
+                            colors[e] = old_colors[src as usize];
+                        }
+                    }
                 }
-            }
-        }
-        let dirty: Vec<EdgeIdx> = (0..m).filter(|&e| is_dirty[e]).collect();
+                let mut is_dirty = vec![false; m];
+                for (e, &c) in colors.iter().enumerate() {
+                    if c == UNCOLORED || c >= bound {
+                        is_dirty[e] = true;
+                    }
+                }
+                let mut incident: Vec<(Color, EdgeIdx)> = Vec::new();
+                for v in 0..g.n() {
+                    incident.clear();
+                    incident.extend(
+                        g.incident(v)
+                            .filter(|&(_, e)| colors[e] != UNCOLORED)
+                            .map(|(_, e)| (colors[e], e)),
+                    );
+                    incident.sort_unstable();
+                    for w in incident.windows(2) {
+                        if w[0].0 == w[1].0 {
+                            is_dirty[w[0].1] = true;
+                            is_dirty[w[1].1] = true;
+                        }
+                    }
+                }
+                let dirty: Vec<EdgeIdx> = (0..m).filter(|&e| is_dirty[e]).collect();
+                (colors, dirty, Some(is_dirty))
+            } else {
+                // One gather per edge; the region falls out of the same
+                // pass. The eviction compare only matters when Δ shrank,
+                // but it is a register compare — branch on it once.
+                let evict_above = if bound < self.prev_bound { bound } else { UNCOLORED };
+                let mut colors: Vec<Color> = Vec::with_capacity(m);
+                let mut dirty: Vec<EdgeIdx> = Vec::new();
+                for (e, &src) in delta.edge_origin.iter().enumerate() {
+                    let c = if src == Graph::NO_EDGE_ORIGIN {
+                        UNCOLORED
+                    } else {
+                        old_colors[src as usize]
+                    };
+                    if c >= evict_above {
+                        dirty.push(e);
+                    }
+                    colors.push(c);
+                }
+                (colors, dirty, None)
+            };
+        let mut colors = colors;
 
         let commit = self.commits;
         self.commits += 1;
@@ -310,6 +407,7 @@ impl Recolorer {
         };
         if dirty.is_empty() {
             self.colors = colors;
+            self.prev_bound = bound;
             return Ok(report);
         }
 
@@ -331,8 +429,18 @@ impl Recolorer {
             report.strategy = RepairStrategy::FromScratch;
             report.recolored = m;
             report.stats = run.stats;
-            self.colors = run.coloring.into_colors().into_iter().map(Some).collect();
+            self.colors = run.coloring.into_colors();
         } else {
+            // The boundary-mask pass needs the membership predicate; the
+            // fast path derives it from the dirty list on demand (the
+            // oracle already has it from its sweeps).
+            let is_dirty = legacy_is_dirty.unwrap_or_else(|| {
+                let mut flags = vec![false; m];
+                for &e in &dirty {
+                    flags[e] = true;
+                }
+                flags
+            });
             let (stats, classes, region_vertices) =
                 repair_region(g, &dirty, &is_dirty, &mut colors, self.params, self.mode);
             report.strategy = RepairStrategy::Incremental;
@@ -342,7 +450,8 @@ impl Recolorer {
             report.stats = stats;
             self.colors = colors;
         }
-        debug_assert!(self.colors.iter().all(|c| c.is_some_and(|c| c < bound)));
+        debug_assert!(self.colors.iter().all(|&c| c < bound));
+        self.prev_bound = bound;
         Ok(report)
     }
 }
@@ -355,7 +464,7 @@ fn repair_region(
     g: &Graph,
     dirty: &[EdgeIdx],
     is_dirty: &[bool],
-    colors: &mut [Option<Color>],
+    colors: &mut [Color],
     params: LegalParams,
     mode: MessageMode,
 ) -> (RunStats, u64, usize) {
@@ -400,10 +509,9 @@ fn repair_region(
             let mut mask = Bitset::new(cap as usize);
             for (_, e) in g.incident(host_v) {
                 if !is_dirty[e] {
-                    if let Some(c) = colors[e] {
-                        if c < cap {
-                            mask.insert(c);
-                        }
+                    let c = colors[e];
+                    if c != UNCOLORED && c < cap {
+                        mask.insert(c);
                     }
                 }
             }
@@ -423,7 +531,7 @@ fn repair_region(
     let finals = merge_edge_replicas(sub.m(), &outputs, "repair color");
     for (sub_e, &c) in finals.iter().enumerate() {
         debug_assert!(c < cap, "finalize must stay below the greedy cap");
-        colors[emap[sub_e]] = Some(c);
+        colors[emap[sub_e]] = c;
     }
     (pl.into_stats(), classes, sub.n())
 }
@@ -626,6 +734,65 @@ mod tests {
         r.insert_edge(0, v).unwrap();
         let rep = r.commit().unwrap();
         assert_eq!(rep.n, 3);
+        assert_valid(&r);
+    }
+
+    #[test]
+    fn delta_and_rebuild_paths_are_bit_identical() {
+        // The differential contract of the delta-CSR: every report and
+        // every color agrees with the PR 3 rebuild path, commit by commit.
+        let g = generators::random_bounded_degree(250, 6, 5);
+        let params = edge_log_depth(1);
+        let mut fast = Recolorer::from_graph(g.clone(), params, MessageMode::Long).unwrap();
+        let mut slow =
+            Recolorer::from_graph(g, params, MessageMode::Long).unwrap().with_rebuild_commits(true);
+        let drive = |r: &mut Recolorer, step: usize| -> CommitReport {
+            let edges: Vec<_> = r.graph().edges().skip(step * 11).take(3).collect();
+            for &(u, v) in &edges {
+                r.delete_edge(u, v).unwrap();
+            }
+            r.insert_edge(step, 100 + step).unwrap();
+            r.commit().unwrap()
+        };
+        assert_eq!(fast.commit().unwrap(), slow.commit().unwrap()); // initial build
+        for step in 0..5 {
+            let a = drive(&mut fast, step);
+            let b = drive(&mut slow, step);
+            assert_eq!(a, b, "step {step}: reports diverge");
+            assert_eq!(fast.coloring(), slow.coloring(), "step {step}: colors diverge");
+            assert_eq!(fast.graph(), slow.graph(), "step {step}: snapshots diverge");
+        }
+        // Errors agree too.
+        fast.insert_edge(0, 100).unwrap();
+        fast.insert_edge(0, 100).unwrap();
+        slow.insert_edge(0, 100).unwrap();
+        slow.insert_edge(0, 100).unwrap();
+        assert_eq!(fast.commit().unwrap_err(), slow.commit().unwrap_err());
+        assert_eq!(fast.coloring(), slow.coloring());
+    }
+
+    #[test]
+    fn shrink_carries_colors_through_renumbering() {
+        let mut r = engine(8); // vertices 5..8 stay isolated
+        r.insert_edge(0, 1).unwrap();
+        r.insert_edge(1, 2).unwrap();
+        r.insert_edge(2, 3).unwrap();
+        r.insert_edge(3, 4).unwrap();
+        r.commit().unwrap();
+        let before = r.coloring();
+        r.shrink_isolated();
+        let rep = r.commit().unwrap();
+        // No edge was touched: the commit is clean and colors survive the
+        // renumbering slot for slot.
+        assert_eq!(rep.strategy, RepairStrategy::Clean);
+        assert_eq!(rep.n, 5);
+        assert_eq!(r.coloring(), before);
+        assert_valid(&r);
+        // Mutations mixed into a shrink batch still repair locally.
+        r.shrink_isolated();
+        r.insert_edge(0, 4).unwrap();
+        let rep = r.commit().unwrap();
+        assert!(rep.dirty >= 1);
         assert_valid(&r);
     }
 

@@ -69,6 +69,10 @@ pub fn queue_op(r: &mut Recolorer, op: TraceOp) -> Result<(), GraphError> {
             Ok(())
         }
         TraceOp::SetIdent(v, ident) => r.set_ident(v, ident),
+        TraceOp::Shrink => {
+            r.shrink_isolated();
+            Ok(())
+        }
         TraceOp::Commit => Ok(()), // batches() strips these; tolerate anyway
     }
 }

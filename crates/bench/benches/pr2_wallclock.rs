@@ -164,7 +164,10 @@ impl Protocol for EpochWave {
 /// delivery choices (run-length encoded), per-round worker counts, and the
 /// push-round share.
 fn traced_epoch_wave(g: &Graph, classes: u64, epochs: usize) -> Value {
-    let net = Network::new(g);
+    // Adaptive delivery is pinned explicitly: the per-round delivery trace
+    // below is part of the deterministic gate surface, so it must not
+    // depend on a DECO_DELIVERY override in the runner's environment.
+    let net = Network::new(g).with_delivery(Delivery::Adaptive);
     let (run, _, trace) = net.run_traced(|_| EpochWave { classes, epochs, acc: 0 });
     // Scan delivery must agree bit for bit.
     let scan = Network::new(g).with_delivery(Delivery::Scan).run(|_| EpochWave {
@@ -187,7 +190,12 @@ fn traced_epoch_wave(g: &Graph, classes: u64, epochs: usize) -> Value {
         .field("push_rounds", push_rounds)
         .field("push_share", push_rounds as f64 / trace.len().max(1) as f64)
         .field("per_round_delivery", run_length(labels))
-        .field("per_round_workers", array(trace.iter().map(|t| t.workers)))
+        // Worker counts depend on the host's thread budget: environment
+        // blocks are outside the gate's deterministic surface.
+        .field(
+            "environment",
+            Obj::new().field("per_round_workers", array(trace.iter().map(|t| t.workers))).build(),
+        )
         .build()
 }
 
@@ -302,7 +310,9 @@ fn main() {
         .field("bench", "pr2_wallclock")
         .field("scale", if full { "full" } else { "quick" })
         .field("samples", samples)
-        .field("threads_available", threads)
+        // Machine facts under "environment" stay outside the deterministic
+        // gate surface (see the gate module docs).
+        .field("environment", Obj::new().field("threads_available", threads).build())
         .field(
             "acceptance",
             Obj::new()

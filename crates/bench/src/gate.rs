@@ -13,7 +13,10 @@
 //!   booleans, color hashes) must match exactly — a mismatch means the
 //!   scenario changed and the baseline must be regenerated deliberately;
 //! * **wall-clock values** (`*_ms`, `*speedup*`, floats, and everything
-//!   under `acceptance`) are reported as deltas but never fail the gate.
+//!   under `acceptance` or `environment`) are reported as deltas but never
+//!   fail the gate. `environment` blocks hold machine-dependent facts —
+//!   available threads, per-round worker counts — that benches must keep
+//!   out of the deterministic surface for the gate to cover them.
 //!
 //! The `bench_gate` binary wraps this: `write` records a baseline from
 //! bench outputs, `check` diffs fresh outputs against it.
@@ -50,7 +53,7 @@ fn walk(v: &Value, path: String, in_acceptance: bool, out: &mut BTreeMap<String,
         Value::Object(fields) => {
             for (k, val) in fields {
                 let sub = if path.is_empty() { k.clone() } else { format!("{path}.{k}") };
-                walk(val, sub, in_acceptance || k == "acceptance", out);
+                walk(val, sub, in_acceptance || k == "acceptance" || k == "environment", out);
             }
         }
         Value::Array(items) => {
@@ -62,7 +65,8 @@ fn walk(v: &Value, path: String, in_acceptance: bool, out: &mut BTreeMap<String,
             let key = path.rsplit(['.', '[']).next().unwrap_or("").trim_end_matches(']');
             let leaf = match scalar {
                 // Acceptance blocks summarize wall measurements (met /
-                // speedups); nothing in them may fail the gate.
+                // speedups) and environment blocks machine facts; nothing
+                // in either may fail the gate.
                 _ if in_acceptance => Leaf::Wall(scalar_as_f64(scalar)),
                 Value::Float(f) => Leaf::Wall(*f),
                 Value::Int(i) if key.ends_with("_ms") => Leaf::Wall(*i as f64),
@@ -251,6 +255,32 @@ mod tests {
             }
         }
         assert!(check(&sample(100, 5, 1.0), &fresh).passed());
+    }
+
+    #[test]
+    fn environment_blocks_are_never_fatal() {
+        // Thread counts and per-round worker traces are machine facts: the
+        // pr1/pr2 benches keep them under "environment" so their counters
+        // can join the deterministic baseline.
+        let with_env = |threads: i64, workers: i64| {
+            Obj::new()
+                .field("bench", "demo")
+                .field("rounds", 10i64)
+                .field(
+                    "environment",
+                    Obj::new()
+                        .field("threads_available", threads)
+                        .field("per_round_workers", Value::Array(vec![Value::Int(workers)]))
+                        .build(),
+                )
+                .build()
+        };
+        let r = check(&with_env(1, 1), &with_env(16, 8));
+        assert!(r.passed(), "{:?}", r.failures);
+        let flat = flatten(&with_env(4, 2));
+        assert!(matches!(flat.get("environment.threads_available"), Some(Leaf::Wall(_))));
+        assert!(matches!(flat.get("environment.per_round_workers[0]"), Some(Leaf::Wall(_))));
+        assert!(matches!(flat.get("rounds"), Some(Leaf::Cost(_))));
     }
 
     #[test]

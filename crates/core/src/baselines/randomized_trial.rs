@@ -94,7 +94,7 @@ impl Protocol for RandomTrial {
                     if e.color.is_none() {
                         let mut fields = vec![TAG_USED];
                         fields.extend(&used);
-                        out.push((e.nbr, FieldMsg::with_bits(fields, 2 + palette as usize)));
+                        out.push((e.nbr, FieldMsg::with_bits(&fields, 2 + palette as usize)));
                     }
                 }
             }

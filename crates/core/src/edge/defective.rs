@@ -72,6 +72,11 @@ struct PsiSelectEdges {
     chunks: usize,
     w_domain: u64,
     edges: Vec<Ledge>,
+    /// Reusable buffer for [`PsiSelectEdges::chunk_msg`]: long-mode rounds
+    /// send one `p`-count message per undecided edge, and rebuilding the
+    /// field list in place keeps that per-message cost allocation-free
+    /// (the payload itself lives in the message's pooled spill span).
+    field_scratch: Vec<(u64, u64)>,
 }
 
 impl PsiSelectEdges {
@@ -86,7 +91,7 @@ impl PsiSelectEdges {
                 .count();
             edges[i].pending_smaller = pending as u32;
         }
-        PsiSelectEdges { p, chunks, w_domain, edges }
+        PsiSelectEdges { p, chunks, w_domain, edges, field_scratch: Vec::new() }
     }
 
     /// Reference recomputation of edge `i`'s readiness and counts, the
@@ -153,17 +158,18 @@ impl PsiSelectEdges {
 
     /// The chunk `c` message for edge `i`: the ready flag plus either all
     /// counts (long mode) or the single count `c` (short mode).
-    fn chunk_msg(&self, i: usize, c: usize) -> FieldMsg {
+    fn chunk_msg(&mut self, i: usize, c: usize) -> FieldMsg {
         let e = &self.edges[i];
-        let mut fields = vec![(u64::from(e.sent_ready), 2)];
+        self.field_scratch.clear();
+        self.field_scratch.push((u64::from(e.sent_ready), 2));
         if self.chunks == 1 {
             for &count in &e.sent_counts {
-                fields.push((count, self.w_domain));
+                self.field_scratch.push((count, self.w_domain));
             }
         } else {
-            fields.push((e.sent_counts[c], self.w_domain));
+            self.field_scratch.push((e.sent_counts[c], self.w_domain));
         }
-        FieldMsg::new(&fields)
+        FieldMsg::new(&self.field_scratch)
     }
 }
 
@@ -198,10 +204,13 @@ impl Protocol for PsiSelectEdges {
         let in_epoch = ctx.round % self.chunks;
         if in_epoch != 0 {
             // Mid-epoch: send the next chunk of the current snapshot.
-            let out = (0..self.edges.len())
-                .filter(|&i| self.edges[i].psi.is_none())
-                .map(|i| (self.edges[i].nbr, self.chunk_msg(i, in_epoch)))
-                .collect();
+            let mut out = Vec::new();
+            for i in 0..self.edges.len() {
+                if self.edges[i].psi.is_none() {
+                    let nbr = self.edges[i].nbr;
+                    out.push((nbr, self.chunk_msg(i, in_epoch)));
+                }
+            }
             return Action::Continue(out);
         }
         // Epoch boundary: decide, then snapshot and send chunk 0. Fresh

@@ -61,6 +61,21 @@ struct PrAssign {
     child_cursor: usize,
     w_cap: u64,
     palette: u64,
+    /// Halt at each node's own last relevant `(f, j)` step instead of the
+    /// worst-case `2 + 6W` schedule (see [`deco_local::Network::early_halt`];
+    /// results are bit-identical either way, only round counts move).
+    early_halt: bool,
+    /// The last round this node can receive anything relevant — computed in
+    /// round 2, once every incident edge's `(forest, CV color)` step is
+    /// known. 0 until then.
+    halt_after: usize,
+    /// Reusable buffers: the per-request forbidden set, the request list
+    /// (inbox indices) and the request-message fields. Steady sizes after
+    /// the first use, so answering and issuing requests allocates nothing
+    /// beyond the messages' own spill spans.
+    forbidden_scratch: Vec<u64>,
+    request_scratch: Vec<u32>,
+    fields_scratch: Vec<u64>,
 }
 
 impl PrAssign {
@@ -68,15 +83,12 @@ impl PrAssign {
         self.aedges.iter_mut().find(|e| e.nbr == nbr).expect("message from non-incident sender")
     }
 
-    fn branch_used(&self, branch: u64) -> Vec<u64> {
-        self.aedges.iter().filter(|e| e.branch == branch).filter_map(|e| e.color).collect()
-    }
-
     fn process_inbox(&mut self, inbox: &[(Vertex, FieldMsg)]) -> Vec<(Vertex, FieldMsg)> {
         // Requests are collected and answered after recording CV colors and
         // assignments.
-        let mut requests: Vec<(Vertex, Vec<u64>)> = Vec::new();
-        for (sender, m) in inbox {
+        let mut requests = std::mem::take(&mut self.request_scratch);
+        requests.clear();
+        for (i, (sender, m)) in inbox.iter().enumerate() {
             match m.field(0) {
                 TAG_CV => {
                     self.edge_by_nbr(*sender).parent_cv = Some(m.field(1));
@@ -87,36 +99,67 @@ impl PrAssign {
                     e.color = Some(m.field(1));
                 }
                 TAG_REQUEST => {
-                    requests.push((*sender, m.fields()[1..].to_vec()));
+                    requests.push(i as u32);
                 }
                 tag => unreachable!("unknown tag {tag}"),
             }
         }
         if requests.is_empty() {
+            self.request_scratch = requests;
             return Vec::new();
         }
         // Deterministic order: by child vertex index (senders are distinct).
-        requests.sort_by_key(|&(sender, _)| sender);
-        let mut replies = Vec::new();
-        let mut assigned_now: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
-        for (sender, child_used) in requests {
+        requests.sort_by_key(|&i| inbox[i as usize].0);
+        let mut replies = Vec::with_capacity(requests.len());
+        let mut forbidden = std::mem::take(&mut self.forbidden_scratch);
+        for &i in &requests {
+            let (sender, msg) = &inbox[i as usize];
             let branch = {
-                let e = self.edge_by_nbr(sender);
+                let e = self.edge_by_nbr(*sender);
                 debug_assert!(e.i_am_parent, "request arrived at the child endpoint");
                 e.branch
             };
-            let mut forbidden = self.branch_used(branch);
-            forbidden.extend_from_slice(&child_used);
-            forbidden.extend(assigned_now.entry(branch).or_default().iter().copied());
+            // Colors already used on the branch at this endpoint — including
+            // the ones assigned to earlier requests of this very round, which
+            // were recorded in `aedges` as they were answered — plus the
+            // child's used set from the request payload.
+            forbidden.clear();
+            forbidden
+                .extend(self.aedges.iter().filter(|e| e.branch == branch).filter_map(|e| e.color));
+            forbidden.extend_from_slice(&msg.fields()[1..]);
             let color = (0..self.palette)
                 .find(|c| !forbidden.contains(c))
                 .expect("palette 2W-1 always has a free color");
-            assigned_now.get_mut(&branch).expect("entry created").push(color);
-            let e = self.edge_by_nbr(sender);
+            let e = self.edge_by_nbr(*sender);
             e.color = Some(color);
-            replies.push((sender, FieldMsg::new(&[(TAG_ASSIGN, 3), (color, self.palette)])));
+            replies.push((*sender, FieldMsg::new(&[(TAG_ASSIGN, 3), (color, self.palette)])));
         }
+        self.forbidden_scratch = forbidden;
+        self.request_scratch = requests;
         replies
+    }
+
+    /// The round after which nothing relevant can reach this node: for a
+    /// child edge of step `s = 3f + j` the assignment arrives in round
+    /// `4 + 2s` (request out in `2 + 2s`, reply back one round later); for
+    /// a parent edge the last request arrives in round `3 + 2s`, and the
+    /// reply rides on the halt action of that same round. Each node knows
+    /// every incident edge's step locally — `f` is the edge's φ-rank in the
+    /// forest decomposition and `j` the parent's CV color (own for parent
+    /// edges, announced in round 1 for child edges) — so the node halts the
+    /// round its last step completes instead of idling to the global
+    /// `2 + 6W` bound.
+    fn last_relevant_round(&self) -> usize {
+        let mut last = 0usize;
+        for e in &self.aedges {
+            let (j, due) = if e.i_am_parent {
+                (*self.my_cv.get(&e.fid).expect("parent has a CV color per forest"), 3)
+            } else {
+                (e.parent_cv.expect("parent CV color arrives in round 1"), 4)
+            };
+            last = last.max(due + 2 * (3 * e.forest + j) as usize);
+        }
+        last
     }
 }
 
@@ -139,7 +182,7 @@ impl Protocol for PrAssign {
     fn round(&mut self, ctx: &NodeCtx<'_>, inbox: &[(Vertex, FieldMsg)]) -> Action<FieldMsg> {
         let mut out = self.process_inbox(inbox);
         let steps = 3 * self.w_cap as usize;
-        if ctx.round >= 2 + 2 * steps {
+        if !self.early_halt && ctx.round >= 2 + 2 * steps {
             debug_assert!(self.aedges.iter().all(|e| e.color.is_some()));
             return Action::Halt(out);
         }
@@ -156,12 +199,16 @@ impl Protocol for PrAssign {
                     (e.forest, e.parent_cv.expect("parent CV color arrives in round 1"))
                 });
                 self.child_order = order;
+                if self.early_halt {
+                    self.halt_after = self.last_relevant_round();
+                }
             }
             // Request round for step s = (round - 2) / 2: consume exactly
             // this step's children (each child edge is requested once, at
             // its own step, so the cursor only ever moves forward).
             let s = (ctx.round - 2) / 2;
             let step_key = ((s / 3) as u64, (s % 3) as u64);
+            let mut fields = std::mem::take(&mut self.fields_scratch);
             while let Some(&i) = self.child_order.get(self.child_cursor) {
                 let e = &self.aedges[i as usize];
                 let key = (e.forest, e.parent_cv.expect("set before ordering"));
@@ -172,16 +219,25 @@ impl Protocol for PrAssign {
                 if key < step_key || e.color.is_some() {
                     continue; // defensive: never happens for a valid CV coloring
                 }
-                let used = self.branch_used(e.branch);
-                let mut fields = vec![TAG_REQUEST];
-                fields.extend(&used);
-                let nbr = self.aedges[i as usize].nbr;
+                let (branch, nbr) = (e.branch, e.nbr);
+                fields.clear();
+                fields.push(TAG_REQUEST);
+                fields.extend(
+                    self.aedges.iter().filter(|e| e.branch == branch).filter_map(|e| e.color),
+                );
                 // Wire format: a used-color bitmap of `palette` bits.
-                out.push((nbr, FieldMsg::with_bits(fields, 2 + self.palette as usize)));
+                out.push((nbr, FieldMsg::with_bits(&fields, 2 + self.palette as usize)));
             }
+            self.fields_scratch = fields;
         }
         if self.aedges.is_empty() {
             return Action::halt();
+        }
+        if self.early_halt && ctx.round >= 2 && ctx.round >= self.halt_after {
+            // Everything this node can still receive is in; everything it
+            // owes (this round's replies) rides on the halt action.
+            debug_assert!(self.aedges.iter().all(|e| e.color.is_some()));
+            return Action::Halt(out);
         }
         Action::Continue(out)
     }
@@ -279,6 +335,11 @@ pub fn pr_edge_color_in_groups(
             child_cursor: 0,
             w_cap,
             palette: 2 * w_cap - 1,
+            early_halt: net.early_halt(),
+            halt_after: 0,
+            forbidden_scratch: Vec::new(),
+            request_scratch: Vec::new(),
+            fields_scratch: Vec::new(),
         }
     });
 

@@ -1,19 +1,44 @@
 //! Compact message encoding shared by the coloring protocols.
 
-use deco_local::{bits_for_range, Message};
+use deco_local::{bits_for_range, spill, Message};
+use std::sync::Arc;
 
 /// Fields of up to `INLINE_FIELDS` values live inline (no heap); longer
-/// payloads (e.g. the Panconesi–Rizzi used-color lists) spill to a `Vec`.
+/// payloads (e.g. the Panconesi–Rizzi used-color lists and the long-mode
+/// ψ-count vectors) spill to the pooled arena ([`deco_local::spill`]).
 /// Three is the largest count any fixed-layout protocol message uses, and
 /// it keeps the struct at 40 bytes — the delivery arenas hold two
 /// `Option<FieldMsg>` slots per directed edge, so every byte here is paid
-/// `4m` times per network.
+/// `4m` times per network, and the spill arena decouples the slot size
+/// from the largest message variant.
 const INLINE_FIELDS: usize = 3;
 
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 enum Repr {
-    Inline { len: u8, vals: [u64; INLINE_FIELDS] },
-    Heap(Vec<u64>),
+    Inline {
+        len: u8,
+        vals: [u64; INLINE_FIELDS],
+    },
+    /// Span `[0, len)` of a pooled spill chunk. Constructing one takes a
+    /// recycled chunk (no allocation when the arena is warm), cloning bumps
+    /// a refcount, and the last owner's drop returns the chunk to the pool.
+    Spill {
+        chunk: Arc<[u64]>,
+        len: u32,
+    },
+}
+
+impl std::fmt::Debug for Repr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Repr::Inline { len, vals } => {
+                f.debug_tuple("Inline").field(&&vals[..*len as usize]).finish()
+            }
+            Repr::Spill { chunk, len } => {
+                f.debug_tuple("Spill").field(&&chunk[..*len as usize]).finish()
+            }
+        }
+    }
 }
 
 /// A message consisting of a few bounded integer fields.
@@ -23,14 +48,23 @@ enum Repr {
 /// `m` colors costs `⌈log₂ m⌉` bits regardless of its value.
 ///
 /// Nearly every protocol message in this workspace has at most three
-/// fields, which are stored inline: constructing and
-/// cloning such a message allocates nothing, keeping the simulators'
-/// per-message cost flat on the hot paths (millions of messages per run).
+/// fields, which are stored inline; longer payloads borrow a pooled chunk
+/// from the spill arena. Either way, constructing and cloning a message in
+/// the steady state allocates nothing, keeping the simulators' per-message
+/// cost flat on the hot paths (millions of messages per run).
 #[derive(Debug, Clone)]
 pub struct FieldMsg {
     repr: Repr,
     /// Bit size of the wire encoding (`u32`: sizes are `O(Δ log n)`).
     bits: u32,
+}
+
+impl Drop for FieldMsg {
+    fn drop(&mut self) {
+        if let Repr::Spill { chunk, .. } = &mut self.repr {
+            spill::recycle(chunk);
+        }
+    }
 }
 
 impl FieldMsg {
@@ -41,22 +75,23 @@ impl FieldMsg {
     /// Panics in debug builds if a value lies outside its declared domain.
     pub fn new(fields: &[(u64, u64)]) -> FieldMsg {
         let mut bits = 0;
+        for &(value, domain) in fields {
+            debug_assert!(value < domain.max(1), "field value {value} outside domain {domain}");
+            bits += bits_for_range(domain);
+        }
         let repr = if fields.len() <= INLINE_FIELDS {
             let mut vals = [0u64; INLINE_FIELDS];
-            for (slot, &(value, domain)) in vals.iter_mut().zip(fields) {
-                debug_assert!(value < domain.max(1), "field value {value} outside domain {domain}");
-                bits += bits_for_range(domain);
+            for (slot, &(value, _)) in vals.iter_mut().zip(fields) {
                 *slot = value;
             }
             Repr::Inline { len: fields.len() as u8, vals }
         } else {
-            let mut values = Vec::with_capacity(fields.len());
-            for &(value, domain) in fields {
-                debug_assert!(value < domain.max(1), "field value {value} outside domain {domain}");
-                bits += bits_for_range(domain);
-                values.push(value);
-            }
-            Repr::Heap(values)
+            let chunk = spill::with_payload(fields.len(), |dst| {
+                for (slot, &(value, _)) in dst.iter_mut().zip(fields) {
+                    *slot = value;
+                }
+            });
+            Repr::Spill { chunk, len: fields.len() as u32 }
         };
         FieldMsg { repr, bits: bits.max(1) as u32 }
     }
@@ -64,13 +99,13 @@ impl FieldMsg {
     /// Builds a message with an explicit bit size, for payloads whose wire
     /// encoding is not a sequence of bounded integers (e.g. a used-color
     /// bitmap of `palette` bits carrying the listed values).
-    pub fn with_bits(fields: Vec<u64>, bits: usize) -> FieldMsg {
+    pub fn with_bits(fields: &[u64], bits: usize) -> FieldMsg {
         let repr = if fields.len() <= INLINE_FIELDS {
             let mut vals = [0u64; INLINE_FIELDS];
-            vals[..fields.len()].copy_from_slice(&fields);
+            vals[..fields.len()].copy_from_slice(fields);
             Repr::Inline { len: fields.len() as u8, vals }
         } else {
-            Repr::Heap(fields)
+            Repr::Spill { chunk: spill::take(fields), len: fields.len() as u32 }
         };
         FieldMsg { repr, bits: bits.max(1) as u32 }
     }
@@ -98,8 +133,14 @@ impl FieldMsg {
     pub fn fields(&self) -> &[u64] {
         match &self.repr {
             Repr::Inline { len, vals } => &vals[..*len as usize],
-            Repr::Heap(values) => values,
+            Repr::Spill { chunk, len } => &chunk[..*len as usize],
         }
+    }
+
+    /// Whether the payload lives in the spill arena (more fields than the
+    /// inline buffer holds) — observability for the zero-allocation tests.
+    pub fn is_spilled(&self) -> bool {
+        matches!(self.repr, Repr::Spill { .. })
     }
 }
 
@@ -127,6 +168,7 @@ mod tests {
         assert_eq!(m.size_bits(), 10 + 3);
         assert_eq!(m.field(0), 0);
         assert_eq!(m.fields(), &[0, 3]);
+        assert!(!m.is_spilled());
     }
 
     #[test]
@@ -142,16 +184,35 @@ mod tests {
     }
 
     #[test]
-    fn long_payloads_spill_to_heap_and_compare_by_value() {
+    fn long_payloads_spill_and_compare_by_value() {
         // 6 fields exceed the inline capacity; accessors and equality are
         // representation-agnostic.
         let long = FieldMsg::new(&[(1, 2), (2, 4), (3, 4), (0, 2), (1, 2), (1, 2)]);
+        assert!(long.is_spilled());
         assert_eq!(long.len(), 6);
         assert_eq!(long.fields(), &[1, 2, 3, 0, 1, 1]);
         assert_eq!(long.size_bits(), 1 + 2 + 2 + 1 + 1 + 1);
-        let same = FieldMsg::with_bits(vec![1, 2, 3, 0, 1, 1], 8);
+        let same = FieldMsg::with_bits(&[1, 2, 3, 0, 1, 1], 8);
         assert_eq!(long, same);
-        let inline = FieldMsg::with_bits(vec![1, 2], 3);
+        let inline = FieldMsg::with_bits(&[1, 2], 3);
         assert_eq!(inline, FieldMsg::new(&[(1, 2), (2, 4)]));
+    }
+
+    #[test]
+    fn spilled_clones_share_storage_and_recycle() {
+        // A warm construct → clone → drop cycle must not touch the
+        // allocator: clones share the chunk, and the last drop returns it
+        // to the pool for the next construction to reuse.
+        let vals: Vec<u64> = (0..17).collect();
+        let a = FieldMsg::with_bits(&vals, 64);
+        let b = a.clone();
+        assert_eq!(a, b);
+        drop(a);
+        assert_eq!(b.fields(), &vals[..]);
+        drop(b); // last owner: chunk goes back to the pool
+        let before = deco_local::spill::stats();
+        let c = FieldMsg::with_bits(&vals, 64);
+        assert_eq!(deco_local::spill::stats(), before, "warm spill must not allocate");
+        assert_eq!(c.fields(), &vals[..]);
     }
 }

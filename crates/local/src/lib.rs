@@ -11,7 +11,9 @@
 //!
 //! The delivery hot path is zero-allocation: messages land in preallocated
 //! per-directed-edge slots of the host graph's CSR (see [`Network`] and the
-//! `network` module docs), halted nodes drop off an active worklist, and
+//! `network` module docs), payloads too long for a slot's inline buffer
+//! live in the pooled [`spill`] arena (recycled chunks, byte-accurate
+//! accounting), halted nodes drop off an active worklist, and
 //! rounds can be stepped in parallel deterministically
 //! ([`Network::run_profiled_threaded`], feature `parallel`, enabled by
 //! default). The pre-refactor engine survives as
@@ -69,6 +71,7 @@ mod network;
 mod stats;
 
 pub mod line_sim;
+pub mod spill;
 
 pub use message::{bits_for_range, bits_for_value, Bitset, Message};
 pub use network::{

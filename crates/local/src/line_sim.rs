@@ -99,6 +99,9 @@ pub fn lemma_5_2_host_stats(g: &Graph, native: RunStats) -> RunStats {
     let congestion = relay_congestion(g).max(1);
     RunStats {
         rounds: 2 * native.rounds + 1,
+        // Each native node-round is simulated by its owner across the two
+        // host rounds of the Lemma 5.2 cadence.
+        node_rounds: 2 * native.node_rounds,
         messages: 2 * native.messages,
         max_message_bits: native.max_message_bits * congestion,
         total_message_bits: 2 * native.total_message_bits,

@@ -82,6 +82,7 @@ impl Network<'_> {
                 self.round_cap()
             );
             let live = halted.iter().filter(|&&h| !h).count();
+            stats.node_rounds += live;
             // Sent-vs-delivered accounting: the deltas of the step phase
             // below are this round's sends, reported in the *next* round's
             // profile entry (they are due for delivery then).

@@ -285,6 +285,7 @@ pub struct Network<'g> {
     threads: usize,
     engine: Engine,
     delivery: Delivery,
+    early_halt: bool,
 }
 
 /// Minimum number of active nodes per worker thread before a round is
@@ -343,6 +344,7 @@ impl<'g> Network<'g> {
             threads,
             engine: Engine::Slot,
             delivery,
+            early_halt: true,
         }
     }
 
@@ -392,6 +394,29 @@ impl<'g> Network<'g> {
     pub fn with_delivery(mut self, delivery: Delivery) -> Network<'g> {
         self.delivery = delivery;
         self
+    }
+
+    /// Enables or disables protocols' *early node halting* optimizations
+    /// (default on). Protocols that know each node's last relevant round —
+    /// e.g. the Panconesi–Rizzi assignment phase, where every node can read
+    /// its last `(forest, CV color)` step off its incident edges — consult
+    /// this flag and halt as soon as that round passes, instead of idling
+    /// to the schedule's worst-case bound. Halted nodes leave the engine's
+    /// active worklist and their arena slots are skipped, so late rounds
+    /// step only the surviving frontier.
+    ///
+    /// Outputs are bit-identical either way (the same messages are sent and
+    /// delivered); only round totals and live-node profiles move. Disabling
+    /// is the differential-testing and benchmarking escape hatch.
+    pub fn with_early_halt(mut self, on: bool) -> Network<'g> {
+        self.early_halt = on;
+        self
+    }
+
+    /// Whether protocols should halt nodes at their individually computed
+    /// last relevant round (see [`Network::with_early_halt`]).
+    pub fn early_halt(&self) -> bool {
+        self.early_halt
     }
 
     /// Runs `protocol` (one instance per vertex, built by `make`) to
@@ -1054,6 +1079,7 @@ mod engine {
                 net.round_cap
             );
             let live = active.len();
+            stats.node_rounds += live;
             std::mem::swap(&mut arena_prev, &mut arena_cur);
             std::mem::swap(&mut occ_prev, &mut occ_cur);
 

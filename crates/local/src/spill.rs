@@ -1,0 +1,288 @@
+//! The message **spill arena**: pooled storage for payloads too long for a
+//! message's inline buffer.
+//!
+//! The delivery arenas hold `2m` fixed-size `Option<Msg>` slots (two per
+//! directed edge), so every byte of the message struct is paid `4m` times
+//! per network. Long payloads therefore cannot live inside the slot: before
+//! this module they spilled to a per-message `Vec`, which put one heap
+//! allocation (and one free) on the hot path of every long-mode message —
+//! and a second pair for every *clone*, which the dense-round delivery path
+//! and [`crate::Action::Broadcast`] perform per directed edge.
+//!
+//! The spill arena replaces that with **pooled, size-classed chunks**:
+//!
+//! * a chunk is an `Arc<[u64]>` whose capacity is a power of two; a payload
+//!   occupies the span `[0, len)` of its chunk and the message records the
+//!   span length (the chunk knows only its capacity);
+//! * chunks are recycled through a **thread-local free list** with a global
+//!   overflow pool, so once the arena is warm a dense long-mode round
+//!   performs **zero per-message allocations**: taking a chunk is a
+//!   free-list pop, cloning a spilled message is an `Arc` refcount bump,
+//!   and the *last* owner's drop pushes the chunk back on the free list;
+//! * accounting is byte-accurate: [`stats`] reports exactly how many chunks
+//!   and bytes the arena ever had to allocate, so arena memory is no longer
+//!   hidden inside anonymous `Vec`s (the PR 1/PR 2 ROADMAP item).
+//!
+//! The writer fills a chunk through [`Arc::get_mut`] *before* any clone of
+//! the `Arc` escapes, so the whole scheme is safe Rust: a chunk is mutable
+//! exactly while it has a single owner (fresh from the allocator or the
+//! free list), and immutable from the moment a message references it.
+//!
+//! Worker threads are short-lived (the parallel engine spawns them per
+//! round), so each thread's cache flushes into the global pool when the
+//! thread exits; chunks dropped after thread-local storage is torn down
+//! are simply freed.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Smallest chunk capacity in `u64` words. Payloads of at most
+/// [`crate::Message::size_bits`]-irrelevant inline length never reach the
+/// arena; 4 is the smallest power of two above every inline buffer in the
+/// workspace.
+const MIN_WORDS: usize = 4;
+
+/// Capacities above this many words are not pooled: they are rare one-off
+/// giants (the pool would hoard their memory forever), so they allocate and
+/// free normally.
+const MAX_POOLED_WORDS: usize = 1 << 16;
+
+/// Size classes: powers of two from `MIN_WORDS` to `MAX_POOLED_WORDS`.
+const BINS: usize = (MAX_POOLED_WORDS.ilog2() - MIN_WORDS.ilog2() + 1) as usize;
+
+/// Per-thread free-list cap per size class; overflow moves in bulk to the
+/// global pool.
+const LOCAL_CAP: usize = 32;
+
+/// Global free-list cap per size class; overflow is freed. Sized to
+/// survive a run boundary: when a network run ends, both delivery arenas
+/// release their in-flight chunks at once (two per sender of a dense
+/// long-mode round), and the next run re-takes the same population — a cap
+/// below that high-water would free-then-reallocate the difference on
+/// every run. The idle footprint stays bounded by what was actually in
+/// flight, never more.
+const GLOBAL_CAP: usize = 1 << 16;
+
+static ALLOCATED_CHUNKS: AtomicU64 = AtomicU64::new(0);
+static ALLOCATED_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// One size class's free list.
+type Bin = Vec<Arc<[u64]>>;
+
+fn global_pool() -> &'static [Mutex<Bin>] {
+    static POOL: OnceLock<Vec<Mutex<Bin>>> = OnceLock::new();
+    POOL.get_or_init(|| (0..BINS).map(|_| Mutex::new(Vec::new())).collect())
+}
+
+/// The size class of a payload of `len` words, or `None` beyond the pooled
+/// range. Class `i` holds chunks of exactly `MIN_WORDS << i` words.
+fn class_of(len: usize) -> Option<usize> {
+    let cap = len.next_power_of_two().max(MIN_WORDS);
+    (cap <= MAX_POOLED_WORDS).then(|| (cap.ilog2() - MIN_WORDS.ilog2()) as usize)
+}
+
+/// Thread-local free lists; flushed to the global pool on thread exit.
+struct Cache {
+    bins: [Bin; BINS],
+}
+
+impl Cache {
+    const fn new() -> Cache {
+        const EMPTY: Bin = Vec::new();
+        Cache { bins: [EMPTY; BINS] }
+    }
+}
+
+impl Drop for Cache {
+    fn drop(&mut self) {
+        for (class, bin) in self.bins.iter_mut().enumerate() {
+            if !bin.is_empty() {
+                let mut global = global_pool()[class].lock().expect("spill pool poisoned");
+                while let Some(c) = bin.pop() {
+                    if global.len() < GLOBAL_CAP {
+                        global.push(c);
+                    }
+                }
+            }
+        }
+    }
+}
+
+thread_local! {
+    static CACHE: RefCell<Cache> = const { RefCell::new(Cache::new()) };
+}
+
+fn fresh_chunk(class: usize) -> Arc<[u64]> {
+    let words = MIN_WORDS << class;
+    ALLOCATED_CHUNKS.fetch_add(1, Ordering::Relaxed);
+    ALLOCATED_BYTES.fetch_add(8 * words as u64, Ordering::Relaxed);
+    Arc::from(vec![0u64; words])
+}
+
+/// Takes a chunk able to hold `len` words and fills its `[0, len)` span via
+/// `fill` before any reference to it escapes. The returned `Arc` is the
+/// payload's storage: clone it into as many messages as needed (refcount
+/// bumps only) and hand each one back through [`recycle`] on drop.
+///
+/// Warm steady state allocates nothing; a pool miss allocates one chunk
+/// (visible in [`stats`]).
+pub fn with_payload(len: usize, fill: impl FnOnce(&mut [u64])) -> Arc<[u64]> {
+    let mut chunk = match class_of(len) {
+        None => fresh_chunk_unpooled(len),
+        Some(class) => CACHE
+            .try_with(|cache| {
+                let bin = &mut cache.borrow_mut().bins[class];
+                if bin.is_empty() {
+                    // Refill in bulk so a busy thread pays one lock per
+                    // LOCAL_CAP/2 chunks, not one per message.
+                    let mut global = global_pool()[class].lock().expect("spill pool poisoned");
+                    let take = (LOCAL_CAP / 2).min(global.len());
+                    let at = global.len() - take;
+                    bin.extend(global.drain(at..));
+                }
+                bin.pop()
+            })
+            .ok()
+            .flatten()
+            .unwrap_or_else(|| fresh_chunk(class)),
+    };
+    let slots = Arc::get_mut(&mut chunk).expect("pooled chunks have a single owner");
+    fill(&mut slots[..len]);
+    chunk
+}
+
+/// [`with_payload`] copying an existing slice.
+pub fn take(vals: &[u64]) -> Arc<[u64]> {
+    with_payload(vals.len(), |dst| dst.copy_from_slice(vals))
+}
+
+fn fresh_chunk_unpooled(len: usize) -> Arc<[u64]> {
+    ALLOCATED_CHUNKS.fetch_add(1, Ordering::Relaxed);
+    ALLOCATED_BYTES.fetch_add(8 * len as u64, Ordering::Relaxed);
+    Arc::from(vec![0u64; len])
+}
+
+/// Returns `chunk` to the pool if the caller holds the last reference.
+/// Call from the message's `Drop`; clones dropped while other owners
+/// remain are no-ops (the last owner recycles for everyone).
+pub fn recycle(chunk: &mut Arc<[u64]>) {
+    if Arc::strong_count(chunk) != 1 {
+        return; // another message (or an arena slot) still owns the chunk
+    }
+    let Some(class) = class_of(chunk.len()) else {
+        return; // oversize chunks free normally
+    };
+    debug_assert_eq!(chunk.len(), MIN_WORDS << class, "pooled chunks are exact classes");
+    let returned = CACHE.try_with(|cache| {
+        let bin = &mut cache.borrow_mut().bins[class];
+        if bin.len() < LOCAL_CAP {
+            bin.push(chunk.clone());
+            return true;
+        }
+        // Local bin full: move half to the global pool, keep recycling.
+        let mut global = global_pool()[class].lock().expect("spill pool poisoned");
+        let keep = LOCAL_CAP / 2;
+        while bin.len() > keep {
+            let c = bin.pop().expect("bin above keep");
+            if global.len() < GLOBAL_CAP {
+                global.push(c);
+            }
+        }
+        bin.push(chunk.clone());
+        true
+    });
+    // After TLS teardown (process or thread exit) the chunk just frees.
+    let _ = returned;
+}
+
+/// Monotone allocation counters of the spill arena. Pool hits do not move
+/// them: the difference between two snapshots is exactly the memory the
+/// arena had to request from the allocator in between.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpillStats {
+    /// Chunks ever allocated (pool misses + oversize payloads).
+    pub allocated_chunks: u64,
+    /// Bytes ever allocated for chunks (capacity, not payload, bytes).
+    pub allocated_bytes: u64,
+}
+
+/// Reads the arena's allocation counters.
+pub fn stats() -> SpillStats {
+    SpillStats {
+        allocated_chunks: ALLOCATED_CHUNKS.load(Ordering::Relaxed),
+        allocated_bytes: ALLOCATED_BYTES.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_are_powers_of_two_from_min() {
+        assert_eq!(class_of(1), Some(0));
+        assert_eq!(class_of(4), Some(0));
+        assert_eq!(class_of(5), Some(1));
+        assert_eq!(class_of(8), Some(1));
+        assert_eq!(class_of(9), Some(2));
+        assert_eq!(class_of(MAX_POOLED_WORDS), Some(BINS - 1));
+        assert_eq!(class_of(MAX_POOLED_WORDS + 1), None);
+    }
+
+    #[test]
+    fn payload_roundtrip_and_reuse() {
+        let a = take(&[1, 2, 3, 4, 5]);
+        assert_eq!(&a[..5], &[1, 2, 3, 4, 5]);
+        assert_eq!(a.len(), 8, "capacity is the class size");
+        // Recycling the last owner makes the chunk available again: the next
+        // same-class take returns storage without growing the counters.
+        let mut a = a;
+        recycle(&mut a);
+        drop(a);
+        let before = stats();
+        let b = take(&[9, 9, 9, 9, 9, 9]);
+        assert_eq!(&b[..6], &[9, 9, 9, 9, 9, 9]);
+        assert_eq!(stats(), before, "warm take must not allocate");
+    }
+
+    #[test]
+    fn recycle_with_live_clones_is_a_noop() {
+        let mut a = take(&[7; 10]);
+        let b = a.clone();
+        recycle(&mut a); // b still owns the chunk: must not enter the pool
+        drop(a);
+        assert_eq!(&b[..10], &[7; 10]);
+        // b is now the last owner; its recycle returns the chunk.
+        let mut b = b;
+        recycle(&mut b);
+    }
+
+    #[test]
+    fn cross_thread_recycling_flushes_to_global() {
+        // A chunk taken here, dropped on another thread, must flow through
+        // that thread's cache into the global pool at thread exit — and be
+        // reusable from here.
+        let chunk = take(&[3; 40]);
+        let class = class_of(40).unwrap();
+        std::thread::spawn(move || {
+            let mut c = chunk;
+            recycle(&mut c);
+        })
+        .join()
+        .unwrap();
+        let pooled = global_pool()[class].lock().unwrap().len();
+        assert!(pooled >= 1, "exited thread must flush its cache globally");
+    }
+
+    #[test]
+    fn oversize_payloads_bypass_the_pool() {
+        let before = stats();
+        let mut big = with_payload(MAX_POOLED_WORDS + 1, |d| d[0] = 1);
+        assert_eq!(big.len(), MAX_POOLED_WORDS + 1);
+        recycle(&mut big); // no-op: not a pooled class
+        drop(big);
+        let after = stats();
+        assert_eq!(after.allocated_chunks, before.allocated_chunks + 1);
+    }
+}

@@ -7,6 +7,12 @@ use std::ops::{Add, AddAssign};
 ///
 /// * `rounds` — synchronous communication rounds, the paper's notion of
 ///   running time;
+/// * `node_rounds` — stepped node-rounds: the sum over delivery rounds of
+///   the nodes still live, i.e. how many `Protocol::round` calls the
+///   simulator actually made (the start phase is not counted). This is the
+///   simulator's own cost model — a protocol whose nodes halt early costs
+///   proportionally fewer node-rounds even when the round *count* barely
+///   moves;
 /// * `messages` — total messages delivered;
 /// * `max_message_bits` — the largest single message, the paper's message
 ///   size measure;
@@ -18,6 +24,8 @@ use std::ops::{Add, AddAssign};
 pub struct RunStats {
     /// Number of synchronous rounds.
     pub rounds: usize,
+    /// Stepped node-rounds (live nodes summed over delivery rounds).
+    pub node_rounds: usize,
     /// Total messages delivered.
     pub messages: usize,
     /// Size in bits of the largest message delivered.
@@ -46,6 +54,7 @@ impl Add for RunStats {
     fn add(self, rhs: RunStats) -> RunStats {
         RunStats {
             rounds: self.rounds + rhs.rounds,
+            node_rounds: self.node_rounds + rhs.node_rounds,
             messages: self.messages + rhs.messages,
             max_message_bits: self.max_message_bits.max(rhs.max_message_bits),
             total_message_bits: self.total_message_bits + rhs.total_message_bits,
@@ -63,8 +72,12 @@ impl fmt::Display for RunStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} rounds, {} msgs, max msg {} bits, total {} bits",
-            self.rounds, self.messages, self.max_message_bits, self.total_message_bits
+            "{} rounds ({} node-rounds), {} msgs, max msg {} bits, total {} bits",
+            self.rounds,
+            self.node_rounds,
+            self.messages,
+            self.max_message_bits,
+            self.total_message_bits
         )
     }
 }
@@ -91,7 +104,13 @@ mod tests {
 
     #[test]
     fn add_assign_matches_add() {
-        let mut a = RunStats { rounds: 1, messages: 2, max_message_bits: 3, total_message_bits: 6 };
+        let mut a = RunStats {
+            rounds: 1,
+            node_rounds: 4,
+            messages: 2,
+            max_message_bits: 3,
+            total_message_bits: 6,
+        };
         let b = a;
         a += b;
         assert_eq!(a, b + b);

@@ -36,5 +36,5 @@
 mod recolor;
 mod replay;
 
-pub use recolor::{CommitReport, Recolorer, RepairStrategy};
+pub use recolor::{repair_phase, CommitReport, Recolorer, RepairStrategy};
 pub use replay::{queue_op, replay_trace, ReplayError, ReplayOutcome};

@@ -139,6 +139,13 @@ pub struct Recolorer {
     /// (`MutableGraph::commit_rebuild` + endpoint-pair carry + full dirty
     /// sweeps). Bit-identical outcomes, O(m) hash-and-sort cost.
     rebuild_commits: bool,
+    /// Force a from-scratch recolor every `k`-th commit (0 = never): the
+    /// steady-state palette-drift mitigation. See
+    /// [`Recolorer::with_compaction_every`].
+    compaction_every: usize,
+    /// Early node halting in the repair pipelines (default on); see
+    /// [`Network::with_early_halt`].
+    early_halt: bool,
 }
 
 impl Recolorer {
@@ -159,6 +166,8 @@ impl Recolorer {
             commits: 0,
             prev_bound: 0,
             rebuild_commits: false,
+            compaction_every: 0,
+            early_halt: true,
         })
     }
 
@@ -185,6 +194,8 @@ impl Recolorer {
             commits: 0,
             prev_bound: 0,
             rebuild_commits: false,
+            compaction_every: 0,
+            early_halt: true,
         })
     }
 
@@ -204,6 +215,32 @@ impl Recolorer {
     /// role the simulator's `Engine::Naive` plays for slot delivery.
     pub fn with_rebuild_commits(mut self, on: bool) -> Recolorer {
         self.rebuild_commits = on;
+        self
+    }
+
+    /// Forces a from-scratch recolor on every `k`-th commit (`0`, the
+    /// default, never compacts): the steady-state **palette-drift**
+    /// mitigation. Greedy incremental repairs only promise colors below the
+    /// cap `2Δ - 1`, so over many churn epochs the palette in use can creep
+    /// upward from the tight coloring the from-scratch pipeline produces;
+    /// a periodic compaction commit re-runs the whole pipeline and resets
+    /// the palette toward its ϑ. Compaction commits report
+    /// [`RepairStrategy::FromScratch`] even when the batch alone would have
+    /// been [`RepairStrategy::Clean`].
+    ///
+    /// Commits are counted from the engine's first: with `k = 4`, commits
+    /// 3, 7, 11, ... (0-based) compact.
+    pub fn with_compaction_every(mut self, k: usize) -> Recolorer {
+        self.compaction_every = k;
+        self
+    }
+
+    /// Enables or disables early node halting inside the repair pipelines
+    /// (default on; see [`Network::with_early_halt`]). Colorings and
+    /// reports are bit-identical either way apart from round counters —
+    /// the differential knob the `pr5_repair` bench measures against.
+    pub fn with_early_halt(mut self, on: bool) -> Recolorer {
+        self.early_halt = on;
         self
     }
 
@@ -405,16 +442,22 @@ impl Recolorer {
             color_bound: bound,
             stats: RunStats::zero(),
         };
-        if dirty.is_empty() {
+        // A due compaction overrides everything below: even a clean commit
+        // re-runs the pipeline to squeeze the drifted palette back to ϑ.
+        let compact =
+            self.compaction_every > 0 && (commit + 1) % self.compaction_every == 0 && m > 0;
+        if dirty.is_empty() && !compact {
             self.colors = colors;
             self.prev_bound = bound;
             return Ok(report);
         }
 
-        // 3+4. Repair, or fall back when the region is too dense.
-        let from_scratch = dirty.len() as u64 * 100 >= m as u64 * u64::from(self.threshold_pct);
+        // 3+4. Repair, or fall back when the region is too dense (or a
+        // compaction commit is due).
+        let from_scratch =
+            compact || dirty.len() as u64 * 100 >= m as u64 * u64::from(self.threshold_pct);
         if from_scratch {
-            let net = Network::new(g);
+            let net = Network::new(g).with_early_halt(self.early_halt);
             let groups = vec![0u64; m];
             let run = edge_color_in_groups(
                 &net,
@@ -441,8 +484,15 @@ impl Recolorer {
                 }
                 flags
             });
-            let (stats, classes, region_vertices) =
-                repair_region(g, &dirty, &is_dirty, &mut colors, self.params, self.mode);
+            let (stats, classes, region_vertices) = repair_region(
+                g,
+                &dirty,
+                &is_dirty,
+                &mut colors,
+                self.params,
+                self.mode,
+                self.early_halt,
+            );
             report.strategy = RepairStrategy::Incremental;
             report.recolored = dirty.len();
             report.schedule_classes = classes;
@@ -456,10 +506,46 @@ impl Recolorer {
     }
 }
 
+/// Runs the incremental **repair phase** — the Theorem 5.5 schedule
+/// pipeline on the edge-induced region sub-network followed by the
+/// class-per-round finalize protocol (module docs, steps 3 and 4) — for
+/// the given `dirty` edges of `g`, in place.
+///
+/// `colors` must hold one entry per edge of `g` with every *non-dirty*
+/// entry carrying its committed color (dirty entries are ignored and
+/// overwritten). This is exactly the phase [`Recolorer::commit`] executes
+/// on an incremental repair; it is public so differential benches can time
+/// the repair phase in isolation (`early_halt` selects the
+/// [`Network::with_early_halt`] mode — results are bit-identical either
+/// way, only round counters move).
+///
+/// Returns the combined repair stats, the schedule class count and the
+/// sub-network's vertex count.
+///
+/// # Panics
+///
+/// Panics if `colors.len() != g.m()` or a dirty index is out of range.
+pub fn repair_phase(
+    g: &Graph,
+    dirty: &[EdgeIdx],
+    colors: &mut [Color],
+    params: LegalParams,
+    mode: MessageMode,
+    early_halt: bool,
+) -> (RunStats, u64, usize) {
+    assert_eq!(colors.len(), g.m(), "one color slot per edge");
+    let mut is_dirty = vec![false; g.m()];
+    for &e in dirty {
+        is_dirty[e] = true;
+    }
+    repair_region(g, dirty, &is_dirty, colors, params, mode, early_halt)
+}
+
 /// Recolors exactly the `dirty` edges of `g` in place: pipeline schedule on
 /// the edge-induced sub-network, then the class-per-round finalize protocol
 /// (module docs, steps 3 and 4). Returns the combined repair stats, the
 /// schedule class count and the sub-network's vertex count.
+#[allow(clippy::too_many_arguments)]
 fn repair_region(
     g: &Graph,
     dirty: &[EdgeIdx],
@@ -467,6 +553,7 @@ fn repair_region(
     colors: &mut [Color],
     params: LegalParams,
     mode: MessageMode,
+    early_halt: bool,
 ) -> (RunStats, u64, usize) {
     let (sub, vmap, emap) = g.edge_induced(dirty);
     // The pipeline's symmetry breaking assumes identifiers from {1, ..., n}
@@ -484,7 +571,7 @@ fn repair_region(
     let cap = 2 * g.max_degree().max(1) as u64 - 1;
 
     // Schedule: the paper's pipeline on the region alone.
-    let subnet = Network::new(&sub);
+    let subnet = Network::new(&sub).with_early_halt(early_halt);
     let groups = vec![0u64; sub.m()];
     let run = edge_color_in_groups(&subnet, &groups, 1, params, sub.max_degree() as u64, mode)
         .expect("params validated at construction");

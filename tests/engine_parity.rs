@@ -118,6 +118,106 @@ fn delivered_never_exceeds_sent_with_mid_run_halts() {
     }
 }
 
+/// The PR 5 differential pin: early node halting in the Panconesi–Rizzi
+/// assignment phase must be **color- and message-identical** to the
+/// worst-case `2 + 6W` schedule — across every thread budget and delivery
+/// mode — with only round totals allowed to move (downward). This is the
+/// contract that lets the repair pipeline halt nodes at their own last
+/// `(forest, CV)` step without perturbing a single pinned coloring.
+#[test]
+fn early_halting_bit_identical_across_thread_and_delivery_matrix() {
+    use deco_core::edge::legal::{edge_color_in_groups, edge_log_depth, MessageMode};
+    use deco_local::Delivery;
+
+    let g = generators::random_bounded_degree(1500, 16, 0x5a11);
+    let groups = vec![0u64; g.m()];
+    let params = edge_log_depth(1);
+    let w0 = g.max_degree() as u64;
+    let mut pinned: Option<(Vec<u64>, usize, usize, usize)> = None;
+    for threads in [1usize, 2, 8] {
+        for delivery in [Delivery::Scan, Delivery::Push, Delivery::Adaptive] {
+            let run_with = |early: bool| {
+                let net = Network::new(&g)
+                    .with_threads(threads)
+                    .with_delivery(delivery)
+                    .with_early_halt(early);
+                edge_color_in_groups(&net, &groups, 1, params, w0, MessageMode::Long)
+                    .expect("preset params are valid")
+            };
+            let on = run_with(true);
+            let off = run_with(false);
+            let case = format!("threads={threads} delivery={delivery:?}");
+            assert_eq!(on.coloring, off.coloring, "{case}: colorings diverged");
+            assert_eq!(on.stats.messages, off.stats.messages, "{case}: messages diverged");
+            assert_eq!(
+                on.stats.total_message_bits, off.stats.total_message_bits,
+                "{case}: traffic diverged"
+            );
+            assert_eq!(
+                on.stats.max_message_bits, off.stats.max_message_bits,
+                "{case}: max message diverged"
+            );
+            // Rounds may tie when some node's last (forest, CV) step sits at
+            // the schedule's worst case; stepped node-rounds always shrink.
+            assert!(
+                on.stats.rounds <= off.stats.rounds,
+                "{case}: early halting must not lengthen the run ({} vs {})",
+                on.stats.rounds,
+                off.stats.rounds
+            );
+            assert!(
+                on.stats.node_rounds < off.stats.node_rounds,
+                "{case}: early halting must cut stepped node-rounds ({} vs {})",
+                on.stats.node_rounds,
+                off.stats.node_rounds
+            );
+            // Every matrix cell agrees with the first one, both modes.
+            let key = (
+                on.coloring.colors().to_vec(),
+                on.stats.messages,
+                on.stats.rounds,
+                off.stats.rounds,
+            );
+            match &pinned {
+                None => pinned = Some(key),
+                Some(p) => assert_eq!(*p, key, "{case}: matrix cell diverged"),
+            }
+        }
+    }
+}
+
+/// The same pin end-to-end through the streaming engine: a repair-heavy
+/// churn run with halting off reproduces the exact colorings and reports of
+/// the default engine, apart from round counters.
+#[test]
+fn early_halting_off_recolorer_matches_default() {
+    use deco_core::edge::legal::{edge_log_depth, MessageMode};
+    use deco_graph::trace::churn_trace;
+    use deco_stream::{queue_op, Recolorer};
+
+    let trace = churn_trace(800, 8, 3, 20, 0x0ff);
+    let params = edge_log_depth(1);
+    let mut on = Recolorer::new(trace.n0, params, MessageMode::Long).unwrap();
+    let mut off =
+        Recolorer::new(trace.n0, params, MessageMode::Long).unwrap().with_early_halt(false);
+    for batch in trace.batches() {
+        for &op in batch {
+            queue_op(&mut on, op).unwrap();
+            queue_op(&mut off, op).unwrap();
+        }
+        let a = on.commit().unwrap();
+        let b = off.commit().unwrap();
+        assert_eq!(on.coloring(), off.coloring(), "commit {}: colors diverged", a.commit);
+        assert_eq!(a.stats.messages, b.stats.messages, "commit {}", a.commit);
+        assert!(a.stats.rounds <= b.stats.rounds, "commit {}", a.commit);
+        let strip = |mut r: deco_stream::CommitReport| {
+            r.stats = deco_local::RunStats::zero();
+            r
+        };
+        assert_eq!(strip(a), strip(b), "reports diverged beyond stats");
+    }
+}
+
 #[test]
 fn threaded_runner_on_line_graph_workload() {
     // The Lemma 5.2 workload shape: Legal-Color style traffic runs on

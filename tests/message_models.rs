@@ -60,8 +60,13 @@ fn epoch_structure_matches_mode() {
 #[test]
 fn lemma_5_2_accounting() {
     let g = generators::random_bounded_degree(60, 8, 53);
-    let native =
-        RunStats { rounds: 10, messages: 100, max_message_bits: 16, total_message_bits: 1600 };
+    let native = RunStats {
+        rounds: 10,
+        node_rounds: 50,
+        messages: 100,
+        max_message_bits: 16,
+        total_message_bits: 1600,
+    };
     let host = lemma_5_2_host_stats(&g, native);
     assert_eq!(host.rounds, 21);
     assert_eq!(host.messages, 200);

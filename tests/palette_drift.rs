@@ -1,0 +1,120 @@
+//! Steady-state **palette drift** and its mitigation (PR 5).
+//!
+//! Incremental repairs are greedy: the finalize phase only promises colors
+//! below the cap `2Δ - 1`, while the from-scratch pipeline's actual palette
+//! is usually far tighter. Under adversarial churn — edges flapping around
+//! saturated vertices, so freed low colors are stolen before the flapped
+//! edge returns — the colors in use ratchet toward the cap and *stay*
+//! there: a repair can introduce a high color but nothing ever re-lowers an
+//! untouched edge. [`Recolorer::with_compaction_every`] is the mitigation:
+//! every k-th commit re-runs the whole pipeline, squeezing the palette back
+//! toward the snapshot's ϑ.
+//!
+//! Everything here is deterministic (seeded generators, deterministic
+//! engine), so the assertions are measured facts with margins, not flaky
+//! heuristics.
+
+use deco_core::edge::legal::{edge_log_depth, MessageMode};
+use deco_graph::Graph;
+use deco_stream::{Recolorer, RepairStrategy};
+
+/// Largest color currently in use.
+fn max_color(r: &Recolorer) -> u64 {
+    r.coloring().colors().iter().max().copied().expect("graph has edges")
+}
+
+/// Drives `engine` through a rolling-window flap of K9's edge groups:
+/// commit `t` deletes group `t mod 9` and reinserts group `t-1 mod 9`, so
+/// every freed color is up for grabs by a *different* edge before its own
+/// edge returns — the ratchet that makes greedy repairs drift. Returns the
+/// per-commit max-color history.
+fn drive(mut engine: Recolorer, commits: usize) -> (Recolorer, Vec<u64>) {
+    let groups: Vec<Vec<(usize, usize)>> = {
+        let g = deco_graph::generators::complete(9);
+        g.edges().collect::<Vec<_>>().chunks(4).map(<[_]>::to_vec).collect()
+    };
+    engine.commit().expect("initial build");
+    for &(u, v) in &groups[0] {
+        engine.delete_edge(u, v).unwrap();
+    }
+    engine.commit().expect("prologue");
+    let mut history = Vec::with_capacity(commits);
+    for t in 1..=commits {
+        for &(u, v) in &groups[t % groups.len()] {
+            engine.delete_edge(u, v).unwrap();
+        }
+        for &(u, v) in &groups[(t - 1) % groups.len()] {
+            engine.insert_edge(u, v).unwrap();
+        }
+        engine.commit().expect("flap commit");
+        history.push(max_color(&engine));
+    }
+    (engine, history)
+}
+
+#[test]
+fn long_churn_drifts_to_the_greedy_cap_without_compaction_and_resets_with_it() {
+    let params = edge_log_depth(1);
+    let k9 = || deco_graph::generators::complete(9);
+    let commits = 80;
+
+    let (plain, drifted) =
+        drive(Recolorer::from_graph(k9(), params, MessageMode::Long).unwrap(), commits);
+    let (compacted, reset) = drive(
+        Recolorer::from_graph(k9(), params, MessageMode::Long).unwrap().with_compaction_every(10),
+        commits,
+    );
+
+    let bound = plain.color_bound();
+    assert_eq!(bound, 15, "K9 (Δ = 8): greedy cap 2Δ-1");
+    let tail = |h: &[u64]| h[commits / 2..].to_vec();
+    let (drift_tail, reset_tail) = (tail(&drifted), tail(&reset));
+
+    // Without compaction the steady state sits essentially at the cap:
+    // max color 2Δ-2 on at least three quarters of the tail commits.
+    assert_eq!(*drift_tail.iter().max().unwrap(), bound - 1, "drift must reach 2Δ-2");
+    let at_cap = drift_tail.iter().filter(|&&c| c == bound - 1).count();
+    assert!(
+        at_cap * 4 >= drift_tail.len() * 3,
+        "greedy steady state must hold near the cap: {at_cap}/{} commits",
+        drift_tail.len()
+    );
+
+    // With periodic compaction the palette re-tightens and stays there.
+    assert!(
+        *reset_tail.iter().max().unwrap() < bound - 1,
+        "compaction must keep the palette below the drifted cap: {reset_tail:?}"
+    );
+    let avg = |h: &[u64]| h.iter().sum::<u64>() as f64 / h.len() as f64;
+    assert!(
+        avg(&drift_tail) - avg(&reset_tail) >= 2.0,
+        "compaction must buy at least two colors on average: {:.1} vs {:.1}",
+        avg(&drift_tail),
+        avg(&reset_tail)
+    );
+
+    // Both engines stay correct throughout; the trade is colors only.
+    for engine in [&plain, &compacted] {
+        let g: &Graph = engine.graph();
+        assert!(engine.coloring().is_proper(g));
+        assert!(max_color(engine) < engine.color_bound());
+    }
+}
+
+#[test]
+fn compaction_commits_force_from_scratch_even_when_clean() {
+    // An untouched batch on a compaction boundary still recolors: that is
+    // the point — the *clean* path would keep the drifted palette alive.
+    let g = deco_graph::generators::random_bounded_degree(120, 6, 0xC0DE);
+    let mut r = Recolorer::from_graph(g, edge_log_depth(1), MessageMode::Long)
+        .unwrap()
+        .with_compaction_every(2);
+    let first = r.commit().unwrap();
+    assert_eq!(first.strategy, RepairStrategy::FromScratch); // initial build
+    let second = r.commit().unwrap(); // empty batch, but commit #1 → k=2 due
+    assert_eq!(second.strategy, RepairStrategy::FromScratch, "compaction must fire");
+    assert_eq!(second.recolored, second.m);
+    let third = r.commit().unwrap(); // empty batch, off-cycle
+    assert_eq!(third.strategy, RepairStrategy::Clean);
+    assert!(r.coloring().is_proper(r.graph()));
+}

@@ -26,7 +26,11 @@ fn pin_edge_color_on_seeded_graph() {
     assert!(run.coloring.is_proper(&g));
     assert_eq!(run.coloring.palette_size(), 185);
     assert_eq!(run.theta, 23_808);
-    assert_eq!(run.stats.rounds, 466);
+    // Deliberate re-pin (PR 5): early node halting in the PR assignment
+    // phase ends each node at its own last (forest, CV) step, so the round
+    // total dropped from 466; colors and message counts are unchanged (the
+    // halting-on/off differential test pins that).
+    assert_eq!(run.stats.rounds, 206);
     assert_eq!(run.stats.messages, 3_199_962);
     assert_eq!(run.levels.len(), 2);
 }
@@ -37,7 +41,11 @@ fn pin_panconesi_rizzi_on_seeded_graph() {
     let (pr, stats) = pr_edge_color(&g);
     assert!(pr.is_proper(&g));
     assert_eq!(pr.palette_size(), 93);
-    assert_eq!(stats.rounds, 399);
+    // Deliberate re-pin (PR 5, early halting): 399 → 397. On this dense
+    // graph the global maximum (forest, CV) step nearly fills the 6Δ
+    // schedule, so only the tail rounds vanish — the win is in live-node
+    // rounds, not the round total.
+    assert_eq!(stats.rounds, 397);
     assert_eq!(stats.messages, 262_080);
 }
 
@@ -92,12 +100,15 @@ fn pin_churn_trace_color_history() {
         .map(|r| (r.strategy, r.dirty, r.stats.rounds, r.stats.messages))
         .collect();
     let i = RepairStrategy::Incremental;
+    // Rounds re-pinned for PR 5's early halting (48/20/26/19/20 were
+    // 50/28/28/21/28); repair sizes, messages, colors and the checksum
+    // below are unchanged.
     let expected = vec![
-        (RepairStrategy::FromScratch, 767, 50, 11_505),
-        (i, 10, 28, 170),
-        (i, 10, 28, 170),
-        (i, 10, 21, 170),
-        (i, 10, 28, 170),
+        (RepairStrategy::FromScratch, 767, 48, 11_505),
+        (i, 10, 20, 170),
+        (i, 10, 26, 170),
+        (i, 10, 19, 170),
+        (i, 10, 20, 170),
     ];
     assert_eq!(got, expected);
     assert_eq!(coloring.palette_size(), 9);

@@ -143,7 +143,10 @@ fn pinned_color_history_across_thread_counts() {
 }
 
 const PINNED_HISTORY_HASH: u64 = 6_594_720_363_075_280_134;
-const PINNED_TOTALS: (usize, usize) = (126, 193_242);
+/// Deliberate re-pin (PR 5): early halting in the repair pipelines cut the
+/// round total 126 → 118; the message total and the color-history hash
+/// above are unchanged — exactly the contract of the halting knob.
+const PINNED_TOTALS: (usize, usize) = (118, 193_242);
 
 #[test]
 fn trace_text_roundtrip_replays_identically() {

@@ -103,3 +103,90 @@ fn slot_engine_steady_state_allocates_nothing_per_round() {
         "naive engine unexpectedly frugal: {naive_extra} allocations in 100 rounds"
     );
 }
+
+/// The long-mode ψ-count traffic shape of the Theorem 5.5 pipeline:
+/// every node broadcasts a ready flag plus `p = 16` counts each round —
+/// 17 fields, far past `FieldMsg`'s 3-field inline buffer, so every message
+/// carries a spill span. Pre-PR 5 each such message (and every delivery
+/// clone of it) was one heap allocation; with the pooled spill arena a
+/// dense long-mode round allocates nothing once the arena is warm.
+struct LongPulse {
+    rounds: usize,
+    p: usize,
+    acc: u64,
+    /// Reused field builder — the idiom the real protocols use.
+    scratch: Vec<(u64, u64)>,
+}
+
+impl LongPulse {
+    fn msg(&mut self) -> deco_core::msg::FieldMsg {
+        self.scratch.clear();
+        self.scratch.push((self.acc & 1, 2));
+        for k in 0..self.p as u64 {
+            self.scratch.push(((self.acc >> (k % 48)) & 0xff, 256));
+        }
+        deco_core::msg::FieldMsg::new(&self.scratch)
+    }
+}
+
+impl Protocol for LongPulse {
+    type Msg = deco_core::msg::FieldMsg;
+    type Output = u64;
+
+    fn start(&mut self, ctx: &NodeCtx<'_>) -> Vec<(usize, Self::Msg)> {
+        self.acc = ctx.ident;
+        let m = self.msg();
+        ctx.neighbors.iter().map(|&u| (u, m.clone())).collect()
+    }
+
+    fn round(&mut self, ctx: &NodeCtx<'_>, inbox: &[(usize, Self::Msg)]) -> Action<Self::Msg> {
+        for (_, m) in inbox {
+            debug_assert_eq!(m.len(), self.p + 1);
+            for &v in &m.fields()[1..] {
+                self.acc = self.acc.rotate_left(5).wrapping_add(v);
+            }
+        }
+        if ctx.round >= self.rounds {
+            Action::halt()
+        } else {
+            Action::Broadcast(self.msg())
+        }
+    }
+
+    fn finish(self, _ctx: &NodeCtx<'_>) -> u64 {
+        self.acc
+    }
+}
+
+fn long_mode_allocs_for(rounds: usize) -> usize {
+    let g = generators::random_bounded_degree(2000, 8, 0xa110c);
+    let net = Network::new(&g);
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let run = net.run(|_| LongPulse { rounds, p: 16, acc: 0, scratch: Vec::new() });
+    assert_eq!(run.stats.rounds, rounds);
+    assert!(run.stats.max_message_bits >= 16 * 8, "messages must actually be long-mode");
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn dense_long_mode_rounds_allocate_nothing_once_spill_arena_is_warm() {
+    // Warm the engine buffers and the spill arena's chunk pool.
+    let _ = long_mode_allocs_for(4);
+    let spill_before = deco_local::spill::stats();
+    let short = long_mode_allocs_for(10);
+    let long = long_mode_allocs_for(110);
+    let per_round_extra = long.saturating_sub(short);
+    // 100 extra dense rounds × 2000 nodes × ~8 deliveries of a 17-field
+    // message: the pre-arena representation allocated (at least) one Vec
+    // per constructed message — ≥ 200k allocations. With the spill arena
+    // the only growth is the profile vector doubling a handful of times.
+    assert!(
+        per_round_extra < 64,
+        "dense long-mode rounds allocated {per_round_extra} times across 100 extra rounds"
+    );
+    // And the arena itself stayed warm: both runs (120 rounds, ~2M long
+    // messages constructed and cloned) were served entirely from the pool
+    // populated by the warm-up run.
+    let spill_after = deco_local::spill::stats();
+    assert_eq!(spill_after, spill_before, "spill arena kept allocating after the warm-up run");
+}

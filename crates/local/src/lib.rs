@@ -69,6 +69,7 @@ mod message;
 mod naive;
 mod network;
 mod stats;
+mod transport;
 
 pub mod line_sim;
 pub mod spill;
@@ -76,6 +77,7 @@ pub mod spill;
 pub use message::{bits_for_range, bits_for_value, Bitset, Message};
 pub use network::{
     Action, Delivery, DeliveryChoice, Engine, Network, NodeCtx, Protocol, RoundLoad, RoundTrace,
-    Run, SharedConfig,
+    Run, RunError, SharedConfig, TracedRun,
 };
 pub use stats::RunStats;
+pub use transport::{Fate, FaultyTransport, InProcess, Transport};

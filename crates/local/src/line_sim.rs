@@ -105,6 +105,7 @@ pub fn lemma_5_2_host_stats(g: &Graph, native: RunStats) -> RunStats {
         messages: 2 * native.messages,
         max_message_bits: native.max_message_bits * congestion,
         total_message_bits: 2 * native.total_message_bits,
+        transport_dropped: 2 * native.transport_dropped,
     }
 }
 

@@ -18,9 +18,69 @@
 //! this workspace sends duplicates.
 
 use crate::message::Message;
-use crate::network::{Action, Network, NodeCtx, Protocol, RoundLoad, Run};
+use crate::network::{Action, Network, NodeCtx, Protocol, RoundLoad, Run, RunError};
 use crate::stats::RunStats;
+use crate::transport::Fate;
 use deco_graph::Vertex;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A transport-deferred message in the naive engine, ordered by
+/// `(arrival, seq)` exactly like the slot engine's pending queue — the two
+/// engines assign sequence numbers in the same (vertex, outbox) posting
+/// order, so their injection schedules are identical.
+struct Late<M> {
+    arrival: usize,
+    seq: u64,
+    slot: usize,
+    from: Vertex,
+    msg: M,
+}
+
+impl<M> PartialEq for Late<M> {
+    fn eq(&self, other: &Late<M>) -> bool {
+        self.arrival == other.arrival && self.seq == other.seq
+    }
+}
+
+impl<M> Eq for Late<M> {}
+
+impl<M> PartialOrd for Late<M> {
+    fn partial_cmp(&self, other: &Late<M>) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for Late<M> {
+    fn cmp(&self, other: &Late<M>) -> std::cmp::Ordering {
+        (self.arrival, self.seq).cmp(&(other.arrival, other.seq))
+    }
+}
+
+/// Fault-injection state for a naive-engine run under a non-perfect
+/// transport (`None` on the perfect default).
+struct NaiveFaults<M> {
+    pending: BinaryHeap<Reverse<Late<M>>>,
+    seq: u64,
+    /// Per directed-edge slot: the round in which the slot's in-flight
+    /// message is due, mirroring the slot engine's arena occupancy (a late
+    /// message postpones rather than displace a fresher one).
+    busy: Vec<usize>,
+    /// Transport drops in the current step phase (reset per phase; the
+    /// profile reports them one phase behind, like sent counts).
+    dropped_msgs: usize,
+    dropped_bits: usize,
+}
+
+impl<M> NaiveFaults<M> {
+    /// Takes and resets the phase's drop counters.
+    fn take_dropped(&mut self) -> (usize, usize) {
+        let taken = (self.dropped_msgs, self.dropped_bits);
+        self.dropped_msgs = 0;
+        self.dropped_bits = 0;
+        taken
+    }
+}
 
 impl Network<'_> {
     /// [`Network::run`] on the naive reference engine.
@@ -42,7 +102,24 @@ impl Network<'_> {
     /// # Panics
     ///
     /// Same conditions as [`Network::run_naive`].
-    pub fn run_profiled_naive<P, F>(&self, mut make: F) -> (Run<P::Output>, Vec<RoundLoad>)
+    pub fn run_profiled_naive<P, F>(&self, make: F) -> (Run<P::Output>, Vec<RoundLoad>)
+    where
+        P: Protocol,
+        F: FnMut(&NodeCtx<'_>) -> P,
+    {
+        self.try_run_profiled_naive(make).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Network::run_profiled_naive`]: an exceeded round cap
+    /// comes back as [`RunError::RoundCapExceeded`] instead of a panic.
+    ///
+    /// Honors the configured [`Transport`](crate::Transport) with fault
+    /// semantics bit-identical to the slot engine's — the differential
+    /// contract extends to faulty runs.
+    pub fn try_run_profiled_naive<P, F>(
+        &self,
+        mut make: F,
+    ) -> Result<(Run<P::Output>, Vec<RoundLoad>), RunError>
     where
         P: Protocol,
         F: FnMut(&NodeCtx<'_>) -> P,
@@ -56,6 +133,14 @@ impl Network<'_> {
         let mut halted = vec![false; n];
         // inboxes[v] collects (sender, msg) for the next delivery.
         let mut inboxes: Vec<Vec<(Vertex, P::Msg)>> = (0..n).map(|_| Vec::new()).collect();
+        let mut faults: Option<NaiveFaults<P::Msg>> =
+            (!self.transport().is_perfect()).then(|| NaiveFaults {
+                pending: BinaryHeap::new(),
+                seq: 0,
+                busy: vec![0; g.slot_count()],
+                dropped_msgs: 0,
+                dropped_bits: 0,
+            });
 
         // Round 0: start.
         let msgs_at_start = stats.messages;
@@ -64,11 +149,13 @@ impl Network<'_> {
             let ctx = self.ctx_for(v, 0);
             let mut p = make(&ctx);
             let out = p.start(&ctx);
-            self.post(v, out, &mut inboxes, &mut stats);
+            self.post(v, out, 0, &mut inboxes, &mut stats, &mut faults);
             nodes.push(p);
         }
         let mut sent_prev_msgs = stats.messages - msgs_at_start;
         let mut sent_prev_bits = stats.total_message_bits - bits_at_start;
+        let (mut fault_prev_msgs, mut fault_prev_bits) =
+            faults.as_mut().map_or((0, 0), NaiveFaults::take_dropped);
 
         let mut round = 0usize;
         loop {
@@ -76,11 +163,14 @@ impl Network<'_> {
                 break;
             }
             round += 1;
-            assert!(
-                round <= self.round_cap(),
-                "round cap {} exceeded: protocol failed to halt",
-                self.round_cap()
-            );
+            if round > self.round_cap() {
+                stats.rounds = round - 1;
+                return Err(RunError::RoundCapExceeded {
+                    cap: self.round_cap(),
+                    live: halted.iter().filter(|&&h| !h).count(),
+                    stats,
+                });
+            }
             let live = halted.iter().filter(|&&h| !h).count();
             stats.node_rounds += live;
             // Sent-vs-delivered accounting: the deltas of the step phase
@@ -90,6 +180,24 @@ impl Network<'_> {
             // Swap out inboxes for this round's delivery.
             let mut delivered: Vec<Vec<(Vertex, P::Msg)>> = (0..n).map(|_| Vec::new()).collect();
             std::mem::swap(&mut delivered, &mut inboxes);
+            // Inject transport-deferred messages due this round (the same
+            // schedule as the slot engine: arrival order, then posting
+            // order; an occupied slot postpones, a halted receiver drops).
+            if let Some(f) = faults.as_mut() {
+                while f.pending.peek().is_some_and(|Reverse(p)| p.arrival <= round) {
+                    let Reverse(p) = f.pending.pop().expect("peeked entry");
+                    let to = g.slot_neighbor(p.slot);
+                    if halted[to] {
+                        continue;
+                    }
+                    if f.busy[p.slot] == round {
+                        f.pending.push(Reverse(Late { arrival: round + 1, ..p }));
+                        continue;
+                    }
+                    f.busy[p.slot] = round;
+                    delivered[to].push((p.from, p.msg));
+                }
+            }
             let mut delivered_msgs = 0usize;
             let mut delivered_bits = 0usize;
             for v in 0..n {
@@ -102,12 +210,19 @@ impl Network<'_> {
                 delivered_bits += inbox.iter().map(|(_, m)| m.size_bits()).sum::<usize>();
                 let ctx = self.ctx_for(v, round);
                 match nodes[v].round(&ctx, &inbox) {
-                    Action::Continue(out) => self.post(v, out, &mut inboxes, &mut stats),
-                    Action::Broadcast(msg) => {
-                        self.post(v, ctx.broadcast(msg), &mut inboxes, &mut stats)
+                    Action::Continue(out) => {
+                        self.post(v, out, round, &mut inboxes, &mut stats, &mut faults)
                     }
+                    Action::Broadcast(msg) => self.post(
+                        v,
+                        ctx.broadcast(msg),
+                        round,
+                        &mut inboxes,
+                        &mut stats,
+                        &mut faults,
+                    ),
                     Action::Halt(out) => {
-                        self.post(v, out, &mut inboxes, &mut stats);
+                        self.post(v, out, round, &mut inboxes, &mut stats, &mut faults);
                         halted[v] = true;
                     }
                 }
@@ -118,9 +233,13 @@ impl Network<'_> {
                 live_nodes: live,
                 sent_messages: sent_prev_msgs,
                 sent_bits: sent_prev_bits,
+                transport_dropped: fault_prev_msgs,
+                transport_dropped_bits: fault_prev_bits,
             });
             sent_prev_msgs = stats.messages - msgs_before;
             sent_prev_bits = stats.total_message_bits - bits_before;
+            (fault_prev_msgs, fault_prev_bits) =
+                faults.as_mut().map_or((0, 0), NaiveFaults::take_dropped);
         }
         stats.rounds = round;
 
@@ -129,24 +248,55 @@ impl Network<'_> {
             let ctx = self.ctx_for(v, round);
             outputs.push(p.finish(&ctx));
         }
-        (Run { outputs, stats }, profile)
+        Ok((Run { outputs, stats }, profile))
     }
 
     fn post<M: Message>(
         &self,
         from: Vertex,
         out: Vec<(Vertex, M)>,
+        round: usize,
         inboxes: &mut [Vec<(Vertex, M)>],
         stats: &mut RunStats,
+        faults: &mut Option<NaiveFaults<M>>,
     ) {
         let neighbors = self.neighbors_of(from);
+        let slot_base = self.graph().slots_of(from).start;
         for (to, msg) in out {
-            assert!(
-                neighbors.binary_search(&to).is_ok(),
-                "node {from} addressed a message to non-neighbor {to}"
-            );
-            stats.record_message(msg.size_bits());
-            inboxes[to].push((from, msg));
+            let i = neighbors
+                .binary_search(&to)
+                .unwrap_or_else(|_| panic!("node {from} addressed a message to non-neighbor {to}"));
+            let bits = msg.size_bits();
+            stats.record_message(bits);
+            match faults {
+                None => inboxes[to].push((from, msg)),
+                Some(f) => {
+                    // Same fate key as the slot engine: (sender-side slot,
+                    // posting round) — the two engines decide identically.
+                    let slot = slot_base + i;
+                    match self.transport().fate(slot, round) {
+                        Fate::Deliver => {
+                            f.busy[slot] = round + 1;
+                            inboxes[to].push((from, msg));
+                        }
+                        Fate::Drop => {
+                            stats.transport_dropped += 1;
+                            f.dropped_msgs += 1;
+                            f.dropped_bits += bits;
+                        }
+                        Fate::Delay(k) => {
+                            f.pending.push(Reverse(Late {
+                                arrival: round + 1 + k.max(1) as usize,
+                                seq: f.seq,
+                                slot,
+                                from,
+                                msg,
+                            }));
+                            f.seq += 1;
+                        }
+                    }
+                }
+            }
         }
     }
 }
@@ -203,6 +353,29 @@ mod tests {
         assert_eq!(slot.0.outputs, via_selector.0.outputs);
         assert_eq!(slot.0.stats, via_selector.0.stats);
         assert_eq!(slot.1, via_selector.1);
+    }
+
+    #[test]
+    fn engines_agree_under_faulty_transport() {
+        // The determinism contract extends to faults: both engines consult
+        // the transport with the same (slot, round) keys and inject late
+        // messages on the same (arrival, seq) schedule, so a faulty run is
+        // bit-identical across engines.
+        use crate::transport::FaultyTransport;
+        use std::sync::Arc;
+        let g = generators::random_graph(200, 700, 11);
+        for seed in [1u64, 2, 3] {
+            let t = FaultyTransport::new(seed)
+                .with_drop(120_000)
+                .with_delay(150_000, 3)
+                .with_reorder(100_000);
+            let slot = Network::new(&g).with_transport(Arc::new(t.clone())).run_profiled(|_| Mixed);
+            let naive = Network::new(&g).with_transport(Arc::new(t)).run_profiled_naive(|_| Mixed);
+            assert_eq!(slot.0.outputs, naive.0.outputs, "seed {seed}");
+            assert_eq!(slot.0.stats, naive.0.stats, "seed {seed}");
+            assert_eq!(slot.1, naive.1, "seed {seed}");
+            assert!(slot.0.stats.transport_dropped > 0, "seed {seed} dropped nothing");
+        }
     }
 
     #[test]

@@ -45,7 +45,9 @@
 
 use crate::message::Message;
 use crate::stats::RunStats;
+use crate::transport::{Fate, InProcess, Transport};
 use deco_graph::{Graph, Vertex};
+use std::sync::Arc;
 
 /// Immutable per-node view handed to every [`Protocol`] callback.
 ///
@@ -171,6 +173,43 @@ pub trait Protocol {
     fn finish(self, ctx: &NodeCtx<'_>) -> Self::Output;
 }
 
+/// Typed failure of a simulated run (see the `try_run*` runners).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RunError {
+    /// The round cap was exceeded: the protocol failed to halt within the
+    /// budget set by [`Network::with_round_cap`]. Carries the stats
+    /// accumulated through the capped rounds, so a caller that retries with
+    /// a larger budget (e.g. the self-stabilizing repair loop in
+    /// `deco-stream`) still accounts for the spent rounds and messages
+    /// deterministically.
+    RoundCapExceeded {
+        /// The configured round cap.
+        cap: usize,
+        /// Nodes still live when the cap tripped.
+        live: usize,
+        /// Stats accumulated up to (and including) the last completed round.
+        stats: RunStats,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::RoundCapExceeded { cap, live, .. } => write!(
+                f,
+                "round cap {cap} exceeded: protocol failed to halt ({live} nodes still live)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Everything a traced run produces: the run itself, the per-round load
+/// profile, and the per-round delivery traces.
+pub type TracedRun<T> = (Run<T>, Vec<RoundLoad>, Vec<RoundTrace>);
+
 /// The result of simulating a protocol on a network.
 #[derive(Debug, Clone)]
 pub struct Run<T> {
@@ -207,13 +246,23 @@ pub struct RoundLoad {
     pub sent_messages: usize,
     /// Bits sent in the preceding step phase.
     pub sent_bits: usize,
+    /// Messages from the preceding step phase destroyed by the transport
+    /// (zero on the default in-process transport).
+    pub transport_dropped: usize,
+    /// Bits from the preceding step phase destroyed by the transport.
+    pub transport_dropped_bits: usize,
 }
 
 impl RoundLoad {
-    /// Messages sent toward this round that were never delivered because the
-    /// receiver had already halted.
+    /// Messages sent toward this round that were never delivered in it —
+    /// because the receiver had already halted, the transport destroyed
+    /// them, or the transport deferred them to a later round.
+    ///
+    /// Saturating: under a faulty transport a round can *deliver* more than
+    /// the preceding phase sent (late messages from earlier phases arriving
+    /// on top of the fresh traffic), in which case this reads zero.
     pub fn dropped_messages(&self) -> usize {
-        self.sent_messages - self.messages
+        self.sent_messages.saturating_sub(self.messages)
     }
 }
 
@@ -286,6 +335,43 @@ pub struct Network<'g> {
     engine: Engine,
     delivery: Delivery,
     early_halt: bool,
+    transport: Arc<dyn Transport>,
+}
+
+/// Parses a `DECO_THREADS` value; `None` means the variable is unset.
+/// Returns the thread budget plus a warning when the value was malformed
+/// and the default had to be used.
+fn parse_threads(raw: Option<&str>) -> (usize, Option<String>) {
+    let fallback = std::thread::available_parallelism().map_or(1, |p| p.get());
+    match raw {
+        None => (fallback, None),
+        Some(s) => match s.parse::<usize>() {
+            Ok(t) if t >= 1 => (t, None),
+            _ => (
+                fallback,
+                Some(format!(
+                    "DECO_THREADS must be a positive integer, got {s:?}; \
+                     using default ({fallback})"
+                )),
+            ),
+        },
+    }
+}
+
+/// Parses a `DECO_DELIVERY` value; `None` means the variable is unset.
+/// Unrecognized values fall back to [`Delivery::Adaptive`] with a warning.
+fn parse_delivery(raw: Option<&str>) -> (Delivery, Option<String>) {
+    match raw {
+        None | Some("adaptive") => (Delivery::Adaptive, None),
+        Some("scan") => (Delivery::Scan, None),
+        Some("push") => (Delivery::Push, None),
+        Some(other) => (
+            Delivery::Adaptive,
+            Some(format!(
+                "DECO_DELIVERY must be scan|push|adaptive, got {other:?}; using adaptive"
+            )),
+        ),
+    }
 }
 
 /// Minimum number of active nodes per worker thread before a round is
@@ -313,28 +399,19 @@ impl<'g> Network<'g> {
         let flat_neighbors: Vec<Vertex> =
             (0..graph.slot_count()).map(|s| graph.slot_neighbor(s)).collect();
         let flat_idents: Vec<u64> = flat_neighbors.iter().map(|&u| graph.ident(u)).collect();
-        // Unrecognized env values panic rather than silently falling back:
-        // the CI differential matrix relies on these variables actually
-        // selecting what they claim to select.
+        // Malformed env values warn once and fall back to the defaults: a
+        // typo'd matrix leg should run (visibly) rather than abort every
+        // Network construction in the process.
         static ENV_DEFAULTS: std::sync::OnceLock<(usize, Delivery)> = std::sync::OnceLock::new();
         let &(threads, delivery) = ENV_DEFAULTS.get_or_init(|| {
-            let threads = match std::env::var("DECO_THREADS") {
-                Ok(s) => s.parse::<usize>().ok().filter(|&t| t >= 1).unwrap_or_else(|| {
-                    panic!("DECO_THREADS must be a positive integer, got {s:?}")
-                }),
-                Err(_) => std::thread::available_parallelism().map_or(1, |p| p.get()),
+            let threads_raw = std::env::var("DECO_THREADS").ok();
+            let (threads, warn_threads) = parse_threads(threads_raw.as_deref());
+            let delivery_raw = std::env::var("DECO_DELIVERY").ok();
+            let (delivery, warn_delivery) = parse_delivery(delivery_raw.as_deref());
+            for warning in [warn_threads, warn_delivery].into_iter().flatten() {
+                eprintln!("deco-local: {warning}");
             }
-            .min(16);
-            let delivery = match std::env::var("DECO_DELIVERY") {
-                Ok(s) => match s.as_str() {
-                    "scan" => Delivery::Scan,
-                    "push" => Delivery::Push,
-                    "adaptive" => Delivery::Adaptive,
-                    other => panic!("DECO_DELIVERY must be scan|push|adaptive, got {other:?}"),
-                },
-                Err(_) => Delivery::Adaptive,
-            };
-            (threads, delivery)
+            (threads.min(16), delivery)
         });
         Network {
             graph,
@@ -345,6 +422,7 @@ impl<'g> Network<'g> {
             engine: Engine::Slot,
             delivery,
             early_halt: true,
+            transport: Arc::new(InProcess),
         }
     }
 
@@ -363,11 +441,35 @@ impl<'g> Network<'g> {
 
     /// Sets a safety cap on rounds (default one million).
     ///
-    /// Exceeding the cap panics — it always indicates a protocol that fails
-    /// to halt, never a legitimate run at the scales this workspace targets.
+    /// The fallible runners ([`Network::try_run_profiled`],
+    /// [`Network::try_run_traced`]) surface an exceeded cap as
+    /// [`RunError::RoundCapExceeded`] — used by callers that budget rounds
+    /// deliberately, like the self-stabilizing repair loop. The panicking
+    /// runners (`run*`) panic with that error's message: for them an
+    /// exceeded cap always indicates a protocol that fails to halt.
     pub fn with_round_cap(mut self, cap: usize) -> Network<'g> {
         self.round_cap = cap;
         self
+    }
+
+    /// Replaces the message transport (default: the perfect
+    /// [`InProcess`] transport).
+    ///
+    /// A non-perfect transport (see [`Transport::is_perfect`]) routes the
+    /// slot engine through its fault-tolerant path — sequential stepping,
+    /// scan delivery, take-semantics fetches — so faulty runs are
+    /// bit-deterministic for a fixed transport, independent of the thread
+    /// budget and `DECO_THREADS`/`DECO_DELIVERY`. With the default perfect
+    /// transport the engine is bit-identical to what it was before the
+    /// transport seam existed.
+    pub fn with_transport(mut self, transport: Arc<dyn Transport>) -> Network<'g> {
+        self.transport = transport;
+        self
+    }
+
+    /// The message transport in effect.
+    pub fn transport(&self) -> &Arc<dyn Transport> {
+        &self.transport
     }
 
     /// Sets the worker-thread budget used by the `*_threaded` runners
@@ -446,12 +548,28 @@ impl<'g> Network<'g> {
         P: Protocol,
         F: FnMut(&NodeCtx<'_>) -> P,
     {
+        self.try_run_profiled(make).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Network::run_profiled`]: an exceeded round cap comes back
+    /// as [`RunError::RoundCapExceeded`] (with the stats accumulated so
+    /// far) instead of a panic. Protocol contract violations — messages to
+    /// non-neighbors, duplicate sends — still panic: those are bugs, not
+    /// runtime conditions.
+    pub fn try_run_profiled<P, F>(
+        &self,
+        make: F,
+    ) -> Result<(Run<P::Output>, Vec<RoundLoad>), RunError>
+    where
+        P: Protocol,
+        F: FnMut(&NodeCtx<'_>) -> P,
+    {
         match self.engine {
             Engine::Slot => {
-                let (run, profile, _) = engine::run(self, make, 1, engine::SeqStepper);
-                (run, profile)
+                let (run, profile, _) = engine::run(self, make, 1, engine::SeqStepper)?;
+                Ok((run, profile))
             }
-            Engine::Naive => self.run_profiled_naive(make),
+            Engine::Naive => self.try_run_profiled_naive(make),
         }
     }
 
@@ -511,9 +629,21 @@ impl<'g> Network<'g> {
         P::Msg: Send + Sync,
         F: FnMut(&NodeCtx<'_>) -> P,
     {
+        self.try_run_traced(make).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Network::run_traced`]: an exceeded round cap comes back
+    /// as [`RunError::RoundCapExceeded`] instead of a panic (see
+    /// [`Network::try_run_profiled`]).
+    pub fn try_run_traced<P, F>(&self, make: F) -> Result<TracedRun<P::Output>, RunError>
+    where
+        P: Protocol + Send,
+        P::Msg: Send + Sync,
+        F: FnMut(&NodeCtx<'_>) -> P,
+    {
         if self.engine == Engine::Naive {
-            let (run, profile) = self.run_profiled_naive(make);
-            return (run, profile, Vec::new());
+            let (run, profile) = self.try_run_profiled_naive(make)?;
+            return Ok((run, profile, Vec::new()));
         }
         #[cfg(feature = "parallel")]
         {
@@ -542,12 +672,49 @@ impl<'g> Network<'g> {
 /// The slot-arena delivery engine. See the module docs for the design.
 mod engine {
     use super::{
-        Action, Delivery, DeliveryChoice, Message, Network, NodeCtx, Protocol, RoundLoad,
-        RoundTrace, Run, RunStats, Vertex, PUSH_COST_FACTOR,
+        Action, Delivery, DeliveryChoice, Fate, Message, Network, NodeCtx, Protocol, RoundLoad,
+        RoundTrace, Run, RunError, RunStats, TracedRun, Vertex, PUSH_COST_FACTOR,
     };
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
 
     /// Never-halted sentinel for `halt_round`.
     const LIVE: usize = usize::MAX;
+
+    /// A message the transport deferred, waiting in the engine's pending
+    /// queue for its arrival round. Ordered by `(arrival, seq)` — `seq` is
+    /// a monotone posting counter, so equal-arrival messages inject in the
+    /// deterministic order they were posted (and re-postponed entries keep
+    /// their original rank).
+    struct Pending<M> {
+        arrival: usize,
+        seq: u64,
+        /// Sender-side directed-edge slot (identifies sender and receiver).
+        slot: u32,
+        /// Slot owner, cached to bump the arena occupancy on injection.
+        from: Vertex,
+        msg: M,
+    }
+
+    impl<M> PartialEq for Pending<M> {
+        fn eq(&self, other: &Pending<M>) -> bool {
+            self.arrival == other.arrival && self.seq == other.seq
+        }
+    }
+
+    impl<M> Eq for Pending<M> {}
+
+    impl<M> PartialOrd for Pending<M> {
+        fn partial_cmp(&self, other: &Pending<M>) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    impl<M> Ord for Pending<M> {
+        fn cmp(&self, other: &Pending<M>) -> std::cmp::Ordering {
+            (self.arrival, self.seq).cmp(&(other.arrival, other.seq))
+        }
+    }
 
     /// Per-worker reusable state; all buffers reach a steady size after the
     /// first rounds and are never reallocated again.
@@ -570,6 +737,14 @@ mod engine {
         sent_msgs: usize,
         sent_bits: usize,
         max_bits: usize,
+        /// Messages the transport deferred this round: `(arrival_round,
+        /// sender-side slot, message)`, drained into the engine's pending
+        /// queue after the step (faulty runs are sequential, so only
+        /// scratch 0 ever fills this).
+        delayed: Vec<(usize, u32, M)>,
+        /// Messages the transport destroyed this round.
+        fault_dropped_msgs: usize,
+        fault_dropped_bits: usize,
     }
 
     impl<M> Scratch<M> {
@@ -585,6 +760,9 @@ mod engine {
                 sent_msgs: 0,
                 sent_bits: 0,
                 max_bits: 0,
+                delayed: Vec::new(),
+                fault_dropped_msgs: 0,
+                fault_dropped_bits: 0,
             }
         }
 
@@ -597,7 +775,10 @@ mod engine {
             self.delivered_bits = 0;
             self.sent_msgs = 0;
             self.sent_bits = 0;
+            self.fault_dropped_msgs = 0;
+            self.fault_dropped_bits = 0;
             // max_bits survives: it is a run-wide maximum.
+            // `delayed` is drained by the engine after every step.
         }
 
         fn record_sent(&mut self, bits: usize) {
@@ -665,6 +846,12 @@ mod engine {
         mirror: &'a [u32],
         /// Round in which each vertex halted (`LIVE` if still running).
         halt_round: &'a [usize],
+        /// Whether the run goes through a non-perfect transport. Posts then
+        /// consult the transport per message, and the stale-slot skip is
+        /// bypassed (safe: faulty runs always take-fetch, so arenas stay
+        /// drained; necessary: a late message from a halted sender must
+        /// still deliver).
+        faulty: bool,
     }
 
     /// Collects one node's inbox from the previous arena into `scratch`.
@@ -686,7 +873,7 @@ mod engine {
             if prev.sender_quiet(u) {
                 continue; // nothing of u's left in the previous arena
             }
-            if sh.halt_round[u] < round - 1 {
+            if !sh.faulty && sh.halt_round[u] < round - 1 {
                 continue; // stale slots from a long-halted sender (LIVE = MAX never trips)
             }
             if let Some(m) = prev.fetch(sh.mirror[s] as usize, u) {
@@ -732,15 +919,26 @@ mod engine {
     /// the common case — then each message lands at the slot of its
     /// addressee: a moving cursor matches neighbor-ordered outboxes in O(1)
     /// per message, with a binary-search fallback for out-of-order sends.
+    ///
+    /// Under a non-perfect transport ([`Shared::faulty`]) each message's
+    /// [`Fate`] is consulted before the write: drops are counted and
+    /// destroyed, delays go to the scratch's deferred list instead of the
+    /// arena. The fault-free path is untouched.
+    #[allow(clippy::too_many_arguments)]
     fn post_list<M: Message>(
         sh: &Shared<'_, '_>,
         from: Vertex,
         out: Vec<(Vertex, M)>,
+        round: usize,
         cur: &mut [Option<M>],
         cur_base: usize,
         occ: &mut u32,
         scratch: &mut Scratch<M>,
     ) {
+        if sh.faulty {
+            post_list_faulty(sh, from, out, round, cur, cur_base, occ, scratch);
+            return;
+        }
         let range = sh.offsets[from]..sh.offsets[from + 1];
         if *occ > 0 {
             for s in range.clone() {
@@ -777,18 +975,115 @@ mod engine {
         }
     }
 
-    /// [`Action::Broadcast`]: clone the message into every out-slot, no
-    /// intermediate `Vec`, no addressing.
-    fn post_broadcast<M: Message>(
+    /// [`post_list`] through a non-perfect transport: every message is
+    /// still counted as sent, then its fate decides whether it lands in the
+    /// arena (`occ` counts only landed messages), dies, or is deferred.
+    #[allow(clippy::too_many_arguments)]
+    fn post_list_faulty<M: Message>(
         sh: &Shared<'_, '_>,
         from: Vertex,
-        msg: M,
+        out: Vec<(Vertex, M)>,
+        round: usize,
         cur: &mut [Option<M>],
         cur_base: usize,
         occ: &mut u32,
         scratch: &mut Scratch<M>,
     ) {
         let range = sh.offsets[from]..sh.offsets[from + 1];
+        if *occ > 0 {
+            for s in range.clone() {
+                cur[s - cur_base] = None;
+            }
+        }
+        *occ = 0;
+        let nbrs = &sh.net.flat_neighbors[range.clone()];
+        let mut cursor = 0usize;
+        for (to, msg) in out {
+            let i = if cursor < nbrs.len() && nbrs[cursor] == to {
+                cursor += 1;
+                cursor - 1
+            } else {
+                match nbrs.binary_search(&to) {
+                    Ok(i) => {
+                        cursor = i + 1;
+                        i
+                    }
+                    Err(_) => {
+                        panic!("node {from} addressed a message to non-neighbor {to}")
+                    }
+                }
+            };
+            let slot = range.start + i;
+            let bits = msg.size_bits();
+            scratch.record_sent(bits);
+            match sh.net.transport.fate(slot, round) {
+                Fate::Deliver => {
+                    let cell = &mut cur[slot - cur_base];
+                    assert!(
+                        cell.is_none(),
+                        "node {from} sent two messages to {to} in one round (the LOCAL \
+                         model allows one message per neighbor per round)"
+                    );
+                    *cell = Some(msg);
+                    *occ += 1;
+                }
+                Fate::Drop => {
+                    scratch.fault_dropped_msgs += 1;
+                    scratch.fault_dropped_bits += bits;
+                }
+                Fate::Delay(k) => {
+                    scratch.delayed.push((round + 1 + k.max(1) as usize, slot as u32, msg));
+                }
+            }
+        }
+    }
+
+    /// [`Action::Broadcast`]: clone the message into every out-slot, no
+    /// intermediate `Vec`, no addressing. Under a non-perfect transport
+    /// each copy's fate is consulted individually, exactly as if the node
+    /// had sent the copies one by one.
+    #[allow(clippy::too_many_arguments)]
+    fn post_broadcast<M: Message>(
+        sh: &Shared<'_, '_>,
+        from: Vertex,
+        msg: M,
+        round: usize,
+        cur: &mut [Option<M>],
+        cur_base: usize,
+        occ: &mut u32,
+        scratch: &mut Scratch<M>,
+    ) {
+        let range = sh.offsets[from]..sh.offsets[from + 1];
+        if sh.faulty {
+            if *occ > 0 {
+                for s in range.clone() {
+                    cur[s - cur_base] = None;
+                }
+            }
+            *occ = 0;
+            let bits = msg.size_bits();
+            for s in range {
+                scratch.record_sent(bits);
+                match sh.net.transport.fate(s, round) {
+                    Fate::Deliver => {
+                        cur[s - cur_base] = Some(msg.clone());
+                        *occ += 1;
+                    }
+                    Fate::Drop => {
+                        scratch.fault_dropped_msgs += 1;
+                        scratch.fault_dropped_bits += bits;
+                    }
+                    Fate::Delay(k) => {
+                        scratch.delayed.push((
+                            round + 1 + k.max(1) as usize,
+                            s as u32,
+                            msg.clone(),
+                        ));
+                    }
+                }
+            }
+            return;
+        }
         *occ = range.len() as u32; // every slot is overwritten, no clear pass
         let bits = msg.size_bits();
         for s in range {
@@ -842,10 +1137,12 @@ mod engine {
             scratch.inbox = inbox;
             let occ = &mut occ_cur[v - node_base];
             match action {
-                Action::Continue(out) => post_list(sh, v, out, cur, cur_base, occ, scratch),
-                Action::Broadcast(msg) => post_broadcast(sh, v, msg, cur, cur_base, occ, scratch),
+                Action::Continue(out) => post_list(sh, v, out, round, cur, cur_base, occ, scratch),
+                Action::Broadcast(msg) => {
+                    post_broadcast(sh, v, msg, round, cur, cur_base, occ, scratch)
+                }
                 Action::Halt(out) => {
-                    post_list(sh, v, out, cur, cur_base, occ, scratch);
+                    post_list(sh, v, out, round, cur, cur_base, occ, scratch);
                     scratch.halts.push(v);
                 }
             }
@@ -1013,12 +1310,20 @@ mod engine {
     }
 
     /// The engine shared by the sequential and threaded runners.
+    ///
+    /// A non-perfect transport forces the deterministic fault path:
+    /// sequential stepping, scan delivery, take-semantics fetches. Take
+    /// fetches keep the arenas drained, which is what makes late injection
+    /// sound — a deferred message is parked in a heap keyed by
+    /// `(arrival, seq)` and injected into the read arena at the top of its
+    /// arrival round, postponed further if a fresher message occupies its
+    /// slot, dropped if its receiver has halted.
     pub(super) fn run<P, F, S>(
         net: &Network<'_>,
         mut make: F,
         threads: usize,
         stepper: S,
-    ) -> (Run<P::Output>, Vec<RoundLoad>, Vec<RoundTrace>)
+    ) -> Result<TracedRun<P::Output>, RunError>
     where
         P: Protocol,
         F: FnMut(&NodeCtx<'_>) -> P,
@@ -1028,7 +1333,9 @@ mod engine {
         let offsets = net.graph.slot_offsets();
         let mirror = net.graph.mirror_slots();
         let slot_count = net.graph.slot_count();
-        let delivery = net.delivery;
+        let faulty = !net.transport.is_perfect();
+        let threads = if faulty { 1 } else { threads };
+        let delivery = if faulty { Delivery::Scan } else { net.delivery };
 
         let mut halt_round: Vec<usize> = vec![LIVE; n];
         let mut active: Vec<Vertex> = (0..n).collect();
@@ -1046,6 +1353,9 @@ mod engine {
         // Reusable merge + radix-scratch buffers for the sorted push list.
         let mut push_list: Vec<u64> = Vec::new();
         let mut push_scratch: Vec<u64> = Vec::new();
+        // Transport-deferred messages awaiting their arrival round.
+        let mut pending: BinaryHeap<Reverse<Pending<P::Msg>>> = BinaryHeap::new();
+        let mut pending_seq = 0u64;
         let mut stats = RunStats::zero();
         let mut profile: Vec<RoundLoad> = Vec::new();
         let mut trace: Vec<RoundTrace> = Vec::new();
@@ -1054,13 +1364,13 @@ mod engine {
         // current arena (always sequential — `make` is FnMut).
         let mut nodes: Vec<P> = Vec::with_capacity(n);
         {
-            let sh = Shared { net, offsets, mirror, halt_round: &halt_round };
+            let sh = Shared { net, offsets, mirror, halt_round: &halt_round, faulty };
             scratches[0].reset_round(push_cap(delivery, live_slots));
             for (v, occ) in occ_cur.iter_mut().enumerate() {
                 let ctx = net.ctx_for(v, 0);
                 let mut p = make(&ctx);
                 let out = p.start(&ctx);
-                post_list(&sh, v, out, &mut arena_cur, 0, occ, &mut scratches[0]);
+                post_list(&sh, v, out, 0, &mut arena_cur, 0, occ, &mut scratches[0]);
                 nodes.push(p);
             }
         }
@@ -1068,20 +1378,51 @@ mod engine {
             (scratches[0].sent_msgs, scratches[0].sent_bits);
         stats.messages += sent_prev_msgs;
         stats.total_message_bits += sent_prev_bits;
+        let (mut fault_prev_msgs, mut fault_prev_bits) =
+            (scratches[0].fault_dropped_msgs, scratches[0].fault_dropped_bits);
+        stats.transport_dropped += fault_prev_msgs;
+        for (arrival, slot, msg) in scratches[0].delayed.drain(..) {
+            let from = offsets.partition_point(|&o| o <= slot as usize) - 1;
+            pending.push(Reverse(Pending { arrival, seq: pending_seq, slot, from, msg }));
+            pending_seq += 1;
+        }
         let mut recorded_prev = push_cap(delivery, live_slots) > 0;
 
         let mut round = 0usize;
         while !active.is_empty() {
             round += 1;
-            assert!(
-                round <= net.round_cap,
-                "round cap {} exceeded: protocol failed to halt",
-                net.round_cap
-            );
+            if round > net.round_cap {
+                stats.rounds = round - 1;
+                return Err(RunError::RoundCapExceeded {
+                    cap: net.round_cap,
+                    live: active.len(),
+                    stats,
+                });
+            }
             let live = active.len();
             stats.node_rounds += live;
             std::mem::swap(&mut arena_prev, &mut arena_cur);
             std::mem::swap(&mut occ_prev, &mut occ_cur);
+
+            // Inject transport-deferred messages due this round into the
+            // read arena (before any node steps, so they are observationally
+            // ordinary — just late). An occupied slot postpones the laggard
+            // one more round; a halted receiver drops it, exactly like any
+            // send toward a halted node.
+            while pending.peek().is_some_and(|Reverse(p)| p.arrival <= round) {
+                let Reverse(p) = pending.pop().expect("peeked entry");
+                let slot = p.slot as usize;
+                let to = net.flat_neighbors[slot];
+                if halt_round[to] != LIVE {
+                    continue;
+                }
+                if arena_prev[slot].is_some() {
+                    pending.push(Reverse(Pending { arrival: round + 1, ..p }));
+                    continue;
+                }
+                occ_prev[p.from] += 1;
+                arena_prev[slot] = Some(p.msg);
+            }
 
             // Delivery choice for the round, from the previous step phase's
             // sent count. Push needs last round's records: a worker that
@@ -1127,9 +1468,10 @@ mod engine {
             };
             // A round too dense for push delivery is also a round where
             // clone-fetch beats take-fetch (most slots are due a fetch, so
-            // the write-backs outweigh the clear pass they save).
-            let dense = !use_push && !sparse;
-            let sh = Shared { net, offsets, mirror, halt_round: &halt_round };
+            // the write-backs outweigh the clear pass they save). Faulty
+            // runs always take-fetch: injection relies on drained arenas.
+            let dense = !faulty && !use_push && !sparse;
+            let sh = Shared { net, offsets, mirror, halt_round: &halt_round, faulty };
             stepper.step(
                 &sh,
                 &active,
@@ -1153,12 +1495,15 @@ mod engine {
             // equal the sequential engine's regardless of the split).
             let (mut delivered_msgs, mut delivered_bits) = (0usize, 0usize);
             let (mut sent_msgs, mut sent_bits) = (0usize, 0usize);
+            let (mut fault_msgs, mut fault_bits) = (0usize, 0usize);
             let mut any_halt = false;
             for s in scratches.iter_mut() {
                 delivered_msgs += s.delivered_msgs;
                 delivered_bits += s.delivered_bits;
                 sent_msgs += s.sent_msgs;
                 sent_bits += s.sent_bits;
+                fault_msgs += s.fault_dropped_msgs;
+                fault_bits += s.fault_dropped_bits;
                 stats.max_message_bits = stats.max_message_bits.max(s.max_bits);
                 for &v in &s.halts {
                     halt_round[v] = round;
@@ -1167,6 +1512,12 @@ mod engine {
             }
             stats.messages += sent_msgs;
             stats.total_message_bits += sent_bits;
+            stats.transport_dropped += fault_msgs;
+            for (arrival, slot, msg) in scratches[0].delayed.drain(..) {
+                let from = offsets.partition_point(|&o| o <= slot as usize) - 1;
+                pending.push(Reverse(Pending { arrival, seq: pending_seq, slot, from, msg }));
+                pending_seq += 1;
+            }
             if any_halt {
                 active.retain(|&v| halt_round[v] == LIVE);
                 live_slots = active.iter().map(|&v| offsets[v + 1] - offsets[v]).sum();
@@ -1177,8 +1528,11 @@ mod engine {
                 live_nodes: live,
                 sent_messages: sent_prev_msgs,
                 sent_bits: sent_prev_bits,
+                transport_dropped: fault_prev_msgs,
+                transport_dropped_bits: fault_prev_bits,
             });
             (sent_prev_msgs, sent_prev_bits) = (sent_msgs, sent_bits);
+            (fault_prev_msgs, fault_prev_bits) = (fault_msgs, fault_bits);
         }
         stats.rounds = round;
 
@@ -1187,7 +1541,7 @@ mod engine {
             let ctx = net.ctx_for(v, round);
             outputs.push(p.finish(&ctx));
         }
-        (Run { outputs, stats }, profile, trace)
+        Ok((Run { outputs, stats }, profile, trace))
     }
 
     /// Deterministic parallel stepping: contiguous chunks of the active
@@ -1319,6 +1673,7 @@ mod engine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::transport::FaultyTransport;
     use deco_graph::generators;
 
     /// Flood the maximum identifier for `radius` rounds.
@@ -1739,6 +2094,212 @@ mod tests {
             assert_eq!(seq.0.stats, par.0.stats, "threads={threads}");
             assert_eq!(seq.1, par.1, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn env_parsing_falls_back_with_warning() {
+        assert!(parse_threads(None).0 >= 1);
+        assert_eq!(parse_threads(Some("4")), (4, None));
+        for bad in ["banana", "0", "-3", "1.5"] {
+            let (t, warn) = parse_threads(Some(bad));
+            assert!(t >= 1, "fallback must be usable for {bad:?}");
+            assert!(warn.expect("malformed value must warn").contains("DECO_THREADS"));
+        }
+        assert_eq!(parse_delivery(None), (Delivery::Adaptive, None));
+        assert_eq!(parse_delivery(Some("scan")), (Delivery::Scan, None));
+        assert_eq!(parse_delivery(Some("push")), (Delivery::Push, None));
+        assert_eq!(parse_delivery(Some("adaptive")), (Delivery::Adaptive, None));
+        let (d, warn) = parse_delivery(Some("teleport"));
+        assert_eq!(d, Delivery::Adaptive);
+        assert!(warn.expect("malformed value must warn").contains("DECO_DELIVERY"));
+    }
+
+    #[test]
+    fn typed_round_cap_error_preserves_partial_stats() {
+        let g = generators::path(3);
+        let err = Network::new(&g).with_round_cap(10).try_run_profiled(|_| NeverHalts).unwrap_err();
+        let RunError::RoundCapExceeded { cap, live, stats } = err.clone();
+        assert_eq!(cap, 10);
+        assert_eq!(live, 3);
+        assert_eq!(stats.rounds, 10);
+        assert_eq!(stats.node_rounds, 30);
+        assert!(stats.messages > 0);
+        assert!(err.to_string().contains("round cap"));
+        // Both engines report the identical typed error.
+        let naive_err = Network::new(&g)
+            .with_engine(Engine::Naive)
+            .with_round_cap(10)
+            .try_run_profiled(|_| NeverHalts)
+            .unwrap_err();
+        assert_eq!(err, naive_err);
+    }
+
+    #[test]
+    fn zero_rate_faulty_transport_matches_perfect_transport() {
+        // A zero-rate FaultyTransport delivers everything but routes
+        // through the engine's full fault path (sequential, scan, take
+        // fetches) — pinned bit-identical to the perfect oracle.
+        let g = generators::random_graph(500, 1800, 21);
+        let perfect = Network::new(&g).run_profiled(|_| StaggerHalt);
+        let zero = Network::new(&g)
+            .with_transport(Arc::new(FaultyTransport::new(7)))
+            .run_profiled(|_| StaggerHalt);
+        assert_eq!(perfect.0.outputs, zero.0.outputs);
+        assert_eq!(perfect.0.stats, zero.0.stats);
+        assert_eq!(perfect.1, zero.1);
+        // Thread and delivery knobs cannot perturb a faulty run.
+        let knobs = Network::new(&g)
+            .with_transport(Arc::new(FaultyTransport::new(7)))
+            .with_threads(8)
+            .with_delivery(Delivery::Push)
+            .run_profiled_threaded(|_| StaggerHalt);
+        assert_eq!(perfect.0.outputs, knobs.0.outputs);
+        assert_eq!(perfect.0.stats, knobs.0.stats);
+        assert_eq!(perfect.1, knobs.1);
+    }
+
+    #[test]
+    fn transport_drops_are_counted_byte_accurately() {
+        let g = generators::random_graph(60, 150, 9);
+        let all_drop = FaultyTransport::new(3).with_drop(1_000_000);
+        let (run, profile) = Network::new(&g)
+            .with_transport(Arc::new(all_drop))
+            .run_profiled(|_| FloodMax { radius: 3, best: 0 });
+        // Nobody ever hears anything: every node keeps its own ident.
+        for (v, &out) in run.outputs.iter().enumerate() {
+            assert_eq!(out, g.ident(v));
+        }
+        assert!(run.stats.messages > 0);
+        assert_eq!(run.stats.transport_dropped, run.stats.messages);
+        // The per-round ledger closes exactly, in messages and in bits
+        // (halts are silent here, so every send appears in some entry).
+        let dropped: usize = profile.iter().map(|r| r.transport_dropped).sum();
+        assert_eq!(dropped, run.stats.transport_dropped);
+        let dropped_bits: usize = profile.iter().map(|r| r.transport_dropped_bits).sum();
+        assert_eq!(dropped_bits, run.stats.total_message_bits);
+        assert!(profile.iter().all(|r| r.messages == 0));
+        assert!(profile.iter().all(|r| r.dropped_messages() == r.sent_messages));
+    }
+
+    /// Test transport: delay every message by a fixed `k`.
+    #[derive(Debug)]
+    struct DelayAll(u32);
+    impl crate::transport::Transport for DelayAll {
+        fn fate(&self, _slot: usize, _round: usize) -> Fate {
+            Fate::Delay(self.0)
+        }
+    }
+
+    /// Logs `(round, inbox size)` for every nonempty inbox until `horizon`.
+    struct LogArrivals {
+        horizon: usize,
+        log: Vec<(usize, usize)>,
+    }
+    impl Protocol for LogArrivals {
+        type Msg = u64;
+        type Output = Vec<(usize, usize)>;
+        fn start(&mut self, ctx: &NodeCtx<'_>) -> Vec<(Vertex, u64)> {
+            ctx.broadcast(ctx.ident)
+        }
+        fn round(&mut self, ctx: &NodeCtx<'_>, inbox: &[(Vertex, u64)]) -> Action<u64> {
+            if !inbox.is_empty() {
+                self.log.push((ctx.round, inbox.len()));
+            }
+            if ctx.round >= self.horizon {
+                Action::halt()
+            } else {
+                Action::idle()
+            }
+        }
+        fn finish(self, _ctx: &NodeCtx<'_>) -> Vec<(usize, usize)> {
+            self.log
+        }
+    }
+
+    #[test]
+    fn delayed_messages_arrive_exactly_k_rounds_late() {
+        let g = generators::cycle(6);
+        for k in [1u32, 3] {
+            let run = Network::new(&g)
+                .with_transport(Arc::new(DelayAll(k)))
+                .run(|_| LogArrivals { horizon: 8, log: Vec::new() });
+            for log in &run.outputs {
+                // Both start broadcasts reach each node, k rounds late.
+                assert_eq!(log.as_slice(), &[(1 + k as usize, 2)], "k = {k}");
+            }
+            // Late messages still count as delivered when they land.
+            assert_eq!(run.stats.transport_dropped, 0);
+        }
+    }
+
+    /// Test transport: delay only the round-0 messages by one round.
+    #[derive(Debug)]
+    struct DelayRoundZero;
+    impl crate::transport::Transport for DelayRoundZero {
+        fn fate(&self, _slot: usize, round: usize) -> Fate {
+            if round == 0 {
+                Fate::Delay(1)
+            } else {
+                Fate::Deliver
+            }
+        }
+    }
+
+    /// Sends payload 10 in the start phase and 20 in round 1, then logs
+    /// every arrival as `(round, payload)`.
+    struct TwoSends {
+        horizon: usize,
+        log: Vec<(usize, u64)>,
+    }
+    impl Protocol for TwoSends {
+        type Msg = u64;
+        type Output = Vec<(usize, u64)>;
+        fn start(&mut self, ctx: &NodeCtx<'_>) -> Vec<(Vertex, u64)> {
+            ctx.broadcast(10)
+        }
+        fn round(&mut self, ctx: &NodeCtx<'_>, inbox: &[(Vertex, u64)]) -> Action<u64> {
+            for &(_, m) in inbox {
+                self.log.push((ctx.round, m));
+            }
+            if ctx.round >= self.horizon {
+                Action::halt()
+            } else if ctx.round == 1 {
+                Action::Broadcast(20)
+            } else {
+                Action::idle()
+            }
+        }
+        fn finish(self, _ctx: &NodeCtx<'_>) -> Vec<(usize, u64)> {
+            self.log
+        }
+    }
+
+    #[test]
+    fn collision_postpones_the_late_message_behind_the_fresh_one() {
+        // The round-0 send is delayed to round 2, where the fresh round-1
+        // send already occupies the edge: the laggard is postponed to round
+        // 3 — late messages never displace fresh ones, and the overtaking
+        // is exactly the bounded-reorder semantics.
+        let g = generators::path(2);
+        let run = Network::new(&g)
+            .with_transport(Arc::new(DelayRoundZero))
+            .run(|_| TwoSends { horizon: 5, log: Vec::new() });
+        for log in &run.outputs {
+            assert_eq!(log.as_slice(), &[(2, 20), (3, 10)]);
+        }
+    }
+
+    #[test]
+    fn delayed_message_to_halted_receiver_is_dropped() {
+        // Vertex halts before the late arrival: the message dies silently,
+        // exactly like a fresh send toward a halted node.
+        let g = generators::path(2);
+        let run = Network::new(&g)
+            .with_transport(Arc::new(DelayAll(6)))
+            .run(|_| LogArrivals { horizon: 3, log: Vec::new() });
+        // Arrival would be round 7; everyone halts at round 3.
+        assert!(run.outputs.iter().all(|log| log.is_empty()));
+        assert_eq!(run.stats.rounds, 3);
     }
 
     #[test]

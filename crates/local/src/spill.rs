@@ -284,5 +284,72 @@ mod tests {
         drop(big);
         let after = stats();
         assert_eq!(after.allocated_chunks, before.allocated_chunks + 1);
+        // Oversize chunks are unpooled and exact-capacity: the byte counter
+        // moves by precisely the requested span, not a class rounding.
+        assert_eq!(
+            after.allocated_bytes,
+            before.allocated_bytes + 8 * (MAX_POOLED_WORDS + 1) as u64
+        );
+    }
+
+    /// The global-overflow path: recycling into a full thread-local bin must
+    /// move half the bin to the global pool, and re-taking the same
+    /// population must drain it back through the bulk refill — with
+    /// [`stats`] byte-accurate across the whole churn (zero allocations once
+    /// the population exists).
+    #[test]
+    fn local_overflow_spills_half_to_global_and_retake_drains_it() {
+        // A fresh thread starts with an empty thread-local cache, so every
+        // count below is exact. LEN picks size class 3 (32-word, 256-byte
+        // chunks), which no other test touches.
+        std::thread::spawn(|| {
+            const LEN: usize = 20;
+            let class = class_of(LEN).unwrap();
+            assert_eq!(MIN_WORDS << class, 32);
+            let chunk_bytes = 8 * (MIN_WORDS << class) as u64;
+            // Start from a known global state for this class.
+            global_pool()[class].lock().unwrap().clear();
+
+            // Cold phase: LOCAL_CAP + 1 live chunks, every one a pool miss.
+            let before = stats();
+            let total = LOCAL_CAP + 1;
+            let mut live: Vec<_> = (0..total).map(|i| take(&[i as u64; LEN])).collect();
+            let after_take = stats();
+            assert_eq!(after_take.allocated_chunks - before.allocated_chunks, total as u64);
+            assert_eq!(
+                after_take.allocated_bytes - before.allocated_bytes,
+                total as u64 * chunk_bytes,
+                "cold takes must account capacity bytes exactly"
+            );
+
+            // Recycle all of them. The first LOCAL_CAP recycles fill the
+            // local bin; the last one finds it full and moves half to the
+            // global pool before recycling.
+            for c in live.iter_mut() {
+                recycle(c);
+            }
+            drop(live);
+            let pooled = global_pool()[class].lock().unwrap().len();
+            assert_eq!(pooled, LOCAL_CAP / 2, "overflow must move exactly half the local bin");
+
+            // Warm phase: re-take the full population. The local bin serves
+            // the first chunks; when it runs dry the bulk refill drains the
+            // global pool. No path may allocate.
+            let live: Vec<_> = (0..total).map(|i| take(&[!(i as u64); LEN])).collect();
+            assert_eq!(stats(), after_take, "warm re-take must not allocate");
+            assert!(
+                global_pool()[class].lock().unwrap().is_empty(),
+                "bulk refill must drain the global pool"
+            );
+            for (i, c) in live.iter().enumerate() {
+                assert_eq!(
+                    &c[..LEN],
+                    &[!(i as u64); LEN],
+                    "refilled chunk must carry fresh payload"
+                );
+            }
+        })
+        .join()
+        .unwrap();
     }
 }

@@ -16,7 +16,11 @@ use std::ops::{Add, AddAssign};
 /// * `messages` — total messages delivered;
 /// * `max_message_bits` — the largest single message, the paper's message
 ///   size measure;
-/// * `total_message_bits` — aggregate traffic.
+/// * `total_message_bits` — aggregate traffic;
+/// * `transport_dropped` — messages destroyed by a faulty
+///   [`Transport`](crate::Transport) (zero on the default in-process
+///   transport). Dropped messages are counted as sent but not delivered,
+///   so they appear here and *not* in `messages`.
 ///
 /// Sequential phase composition adds stats with `+`: rounds add (phases are
 /// separated by globally known round barriers), message maxima take the max.
@@ -32,6 +36,8 @@ pub struct RunStats {
     pub max_message_bits: usize,
     /// Total bits delivered.
     pub total_message_bits: usize,
+    /// Messages destroyed in flight by the transport (never delivered).
+    pub transport_dropped: usize,
 }
 
 impl RunStats {
@@ -58,6 +64,7 @@ impl Add for RunStats {
             messages: self.messages + rhs.messages,
             max_message_bits: self.max_message_bits.max(rhs.max_message_bits),
             total_message_bits: self.total_message_bits + rhs.total_message_bits,
+            transport_dropped: self.transport_dropped + rhs.transport_dropped,
         }
     }
 }
@@ -78,7 +85,11 @@ impl fmt::Display for RunStats {
             self.messages,
             self.max_message_bits,
             self.total_message_bits
-        )
+        )?;
+        if self.transport_dropped > 0 {
+            write!(f, ", {} dropped in transit", self.transport_dropped)?;
+        }
+        Ok(())
     }
 }
 
@@ -110,6 +121,7 @@ mod tests {
             messages: 2,
             max_message_bits: 3,
             total_message_bits: 6,
+            transport_dropped: 1,
         };
         let b = a;
         a += b;

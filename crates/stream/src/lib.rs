@@ -29,6 +29,14 @@
 //!
 //! Determinism: same trace + parameters ⇒ bit-identical colorings and
 //! [`CommitReport`]s at any `DECO_THREADS` / `DECO_DELIVERY` setting.
+//!
+//! Fault tolerance: [`Recolorer::with_transport`] runs the repair
+//! sub-networks over a pluggable [`Transport`] (e.g. the deterministic
+//! seed-driven [`FaultyTransport`]); under a lossy transport the engine
+//! switches to a loss-tolerant repair protocol wrapped in a verified retry
+//! loop with exponential round-cap backoff, degrading to a fault-free
+//! from-scratch recolor after a bounded number of failed attempts — every
+//! commit still terminates with a verified-legal coloring, never a panic.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,3 +46,7 @@ mod replay;
 
 pub use recolor::{repair_phase, CommitReport, Recolorer, RepairStrategy};
 pub use replay::{queue_op, replay_trace, ReplayError, ReplayOutcome};
+
+// The transport seam vocabulary ([`Recolorer::with_transport`]), re-exported
+// so fault-era users need no direct `deco_local` dependency.
+pub use deco_local::{Fate, FaultyTransport, InProcess, RunError, Transport};

@@ -48,6 +48,33 @@
 //! same trace + seed ⇒ bit-identical colorings, [`CommitReport`]s and
 //! [`RunStats`] at any thread count, any delivery mode and either engine —
 //! the simulator's determinism contract extended end-to-end over mutation.
+//!
+//! # Faulty transports and self-stabilization
+//!
+//! [`Recolorer::with_transport`] plugs a [`deco_local::Transport`] under the
+//! repair sub-networks. On the default perfect transport nothing changes —
+//! the schedule-pipeline-plus-finalize path above runs bit-identically. On a
+//! lossy transport (e.g. [`deco_local::FaultyTransport`]) the schedule
+//! pipeline's rigid class-per-round cadence cannot survive dropped or late
+//! masks, so the engine swaps in a **loss-tolerant priority protocol**
+//! (`RobustFinalize`): every region message carries a snapshot-consistent
+//! (taken-mask, min-undecided-priority, decided-color) triple, the lower
+//! ident endpoint of each edge decides it once it is the minimum undecided
+//! priority at *both* endpoints, and decided colors ride every subsequent
+//! message, so drops only delay progress and can never produce a conflict.
+//!
+//! Self-stabilization wraps that protocol in a verified retry loop: each
+//! attempt runs under a round cap that doubles per attempt
+//! ([`RunError::RoundCapExceeded`] is absorbed, not propagated), the result
+//! is merged tolerantly (disagreeing or missing replicas become uncolored)
+//! and re-verified centrally, and any damage becomes the next attempt's
+//! region. After [`Recolorer::with_max_repair_attempts`] failed attempts the
+//! commit degrades to the fault-free from-scratch pipeline — the same reset
+//! path compaction uses. The loop never panics and always terminates with a
+//! verified-legal coloring; [`CommitReport::retries`] and
+//! [`CommitReport::fallbacks`] account for it deterministically (the fate of
+//! every message is a pure function of the transport seed, the slot and the
+//! round).
 
 use deco_core::edge::legal::{
     edge_color_bound, edge_color_in_groups, validate_edge_params, MessageMode,
@@ -56,7 +83,11 @@ use deco_core::params::{LegalParams, ParamError};
 use deco_core::pipeline::{merge_edge_replicas, Pipeline};
 use deco_graph::coloring::{Color, EdgeColoring};
 use deco_graph::{EdgeIdx, Graph, GraphError, MutableGraph, Vertex};
-use deco_local::{Action, Bitset, Network, NodeCtx, Protocol, RunStats};
+use deco_local::{
+    bits_for_value, Action, Bitset, InProcess, Message, Network, NodeCtx, Protocol, RunError,
+    RunStats, Transport,
+};
+use std::sync::Arc;
 
 /// How a commit's repair was executed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -109,6 +140,12 @@ pub struct CommitReport {
     pub schedule_classes: u64,
     /// The palette bound colors are kept under for this snapshot.
     pub color_bound: u64,
+    /// Failed repair attempts that were retried under a faulty transport
+    /// (always 0 on the default perfect transport; module docs).
+    pub retries: u32,
+    /// 1 when every bounded retry failed and the commit degraded to the
+    /// fault-free from-scratch pipeline, else 0.
+    pub fallbacks: u32,
     /// Simulator statistics of all repair phases of this commit.
     pub stats: RunStats,
 }
@@ -146,6 +183,12 @@ pub struct Recolorer {
     /// Early node halting in the repair pipelines (default on); see
     /// [`Network::with_early_halt`].
     early_halt: bool,
+    /// Transport the incremental repair sub-networks run on. The
+    /// from-scratch pipeline always runs in-process (module docs).
+    transport: Arc<dyn Transport>,
+    /// Bounded self-stabilization budget: how many fault-era repair
+    /// attempts run before the commit degrades to from-scratch.
+    max_attempts: u32,
 }
 
 impl Recolorer {
@@ -168,6 +211,8 @@ impl Recolorer {
             rebuild_commits: false,
             compaction_every: 0,
             early_halt: true,
+            transport: Arc::new(InProcess),
+            max_attempts: 5,
         })
     }
 
@@ -196,6 +241,8 @@ impl Recolorer {
             rebuild_commits: false,
             compaction_every: 0,
             early_halt: true,
+            transport: Arc::new(InProcess),
+            max_attempts: 5,
         })
     }
 
@@ -241,6 +288,34 @@ impl Recolorer {
     /// the differential knob the `pr5_repair` bench measures against.
     pub fn with_early_halt(mut self, on: bool) -> Recolorer {
         self.early_halt = on;
+        self
+    }
+
+    /// Plugs a [`Transport`] under the incremental repair sub-networks
+    /// (default: the perfect in-process transport).
+    ///
+    /// A perfect transport keeps the legacy schedule-pipeline repair path
+    /// bit-identical. Any non-perfect transport — even one injecting no
+    /// faults — switches incremental repairs to the loss-tolerant
+    /// self-stabilizing path (module docs): the `RobustFinalize` priority
+    /// protocol under a verified retry loop with exponential round-cap
+    /// backoff, degrading to the fault-free from-scratch pipeline after
+    /// [`Recolorer::with_max_repair_attempts`] failed attempts. Either way
+    /// every commit ends with a verified-legal coloring and never panics on
+    /// transport faults. From-scratch recolors (threshold fallbacks,
+    /// compactions, the initial build) always run in-process: they model a
+    /// centralized rebuild, not the distributed repair path.
+    pub fn with_transport(mut self, transport: Arc<dyn Transport>) -> Recolorer {
+        self.transport = transport;
+        self
+    }
+
+    /// Sets the bounded self-stabilization budget (default 5, clamped to at
+    /// least 1): how many repair attempts a fault-era commit runs — each
+    /// under a doubled round cap — before degrading to the fault-free
+    /// from-scratch pipeline. See [`Recolorer::with_transport`].
+    pub fn with_max_repair_attempts(mut self, attempts: u32) -> Recolorer {
+        self.max_attempts = attempts.max(1);
         self
     }
 
@@ -440,6 +515,8 @@ impl Recolorer {
             recolored: 0,
             schedule_classes: 0,
             color_bound: bound,
+            retries: 0,
+            fallbacks: 0,
             stats: RunStats::zero(),
         };
         // A due compaction overrides everything below: even a clean commit
@@ -457,23 +534,12 @@ impl Recolorer {
         let from_scratch =
             compact || dirty.len() as u64 * 100 >= m as u64 * u64::from(self.threshold_pct);
         if from_scratch {
-            let net = Network::new(g).with_early_halt(self.early_halt);
-            let groups = vec![0u64; m];
-            let run = edge_color_in_groups(
-                &net,
-                &groups,
-                1,
-                self.params,
-                g.max_degree() as u64,
-                self.mode,
-            )
-            .expect("params validated at construction");
-            debug_assert!(run.theta <= bound);
+            let (new_colors, stats) = full_recolor(g, self.params, self.mode, self.early_halt);
             report.strategy = RepairStrategy::FromScratch;
             report.recolored = m;
-            report.stats = run.stats;
-            self.colors = run.coloring.into_colors();
-        } else {
+            report.stats = stats;
+            self.colors = new_colors;
+        } else if self.transport.is_perfect() {
             // The boundary-mask pass needs the membership predicate; the
             // fast path derives it from the dirty list on demand (the
             // oracle already has it from its sweeps).
@@ -498,6 +564,22 @@ impl Recolorer {
             report.schedule_classes = classes;
             report.region_vertices = region_vertices;
             report.stats = stats;
+            self.colors = colors;
+        } else {
+            // Faulty transport: the loss-tolerant self-stabilizing path
+            // (module docs). Writes into `colors` (possibly wholesale, on a
+            // from-scratch fallback) and accounts into `report`.
+            resilient_repair(
+                g,
+                &dirty,
+                &mut colors,
+                self.params,
+                self.mode,
+                self.early_halt,
+                &self.transport,
+                self.max_attempts,
+                &mut report,
+            );
             self.colors = colors;
         }
         debug_assert!(self.colors.iter().all(|&c| c < bound));
@@ -621,6 +703,361 @@ fn repair_region(
         colors[emap[sub_e]] = c;
     }
     (pl.into_stats(), classes, sub.n())
+}
+
+/// The from-scratch pipeline on the whole snapshot — the shared reset path
+/// of threshold fallbacks, compaction commits and exhausted fault-era
+/// retries. Always runs on the default in-process transport.
+fn full_recolor(
+    g: &Graph,
+    params: LegalParams,
+    mode: MessageMode,
+    early_halt: bool,
+) -> (Vec<Color>, RunStats) {
+    let net = Network::new(g).with_early_halt(early_halt);
+    let groups = vec![0u64; g.m()];
+    let run = edge_color_in_groups(&net, &groups, 1, params, g.max_degree() as u64, mode)
+        .expect("params validated at construction");
+    debug_assert!(run.theta <= Recolorer::bound_for(&params, g.max_degree() as u64));
+    (run.coloring.into_colors(), run.stats)
+}
+
+/// The self-stabilizing repair loop for commits over a faulty [`Transport`]
+/// (module docs): per attempt, run the loss-tolerant [`RobustFinalize`]
+/// protocol on the current region's sub-network under an exponentially
+/// growing round cap, merge the per-endpoint replicas tolerantly, verify
+/// the region centrally, and make any damage the next attempt's region.
+/// After `max_attempts` failed attempts the commit degrades to the
+/// fault-free from-scratch pipeline, so the loop always terminates with a
+/// verified-legal coloring and never panics on transport faults.
+#[allow(clippy::too_many_arguments)]
+fn resilient_repair(
+    g: &Graph,
+    dirty: &[EdgeIdx],
+    colors: &mut Vec<Color>,
+    params: LegalParams,
+    mode: MessageMode,
+    early_halt: bool,
+    transport: &Arc<dyn Transport>,
+    max_attempts: u32,
+    report: &mut CommitReport,
+) {
+    let cap = 2 * g.max_degree().max(1) as u64 - 1;
+    let target = dirty.len();
+    let mut dirty: Vec<EdgeIdx> = dirty.to_vec();
+    for attempt in 0..max_attempts {
+        let (sub, vmap, emap) = g.edge_induced(&dirty);
+        report.region_vertices = report.region_vertices.max(sub.n());
+        let mut is_dirty = vec![false; g.m()];
+        for &e in &dirty {
+            is_dirty[e] = true;
+        }
+        // Forbidden masks: committed colors of the fixed incident host
+        // edges — the region's line-graph boundary, exactly as on the
+        // perfect-transport path.
+        let fixed_masks: Vec<Bitset> = vmap
+            .iter()
+            .map(|&host_v| {
+                let mut mask = Bitset::new(cap as usize);
+                for (_, e) in g.incident(host_v) {
+                    if !is_dirty[e] {
+                        let c = colors[e];
+                        if c != UNCOLORED && c < cap {
+                            mask.insert(c);
+                        }
+                    }
+                }
+                mask
+            })
+            .collect();
+        // Exponential backoff: a failed attempt retries with double the
+        // round budget, so slow-but-live executions (many delays) get the
+        // rounds they need while genuine livelocks stay bounded.
+        let round_cap = (16 + 4 * dirty.len()) << attempt;
+        let subnet = Network::new(&sub)
+            .with_early_halt(early_halt)
+            .with_transport(Arc::clone(transport))
+            .with_round_cap(round_cap);
+        let outcome = subnet.try_run_profiled(|ctx| {
+            let edges = sub
+                .incident(ctx.vertex)
+                .map(|(nbr, e)| RobustEdge {
+                    nbr,
+                    eid: e,
+                    // Host edge indices are a global total order: the
+                    // symmetry-breaking priority.
+                    prio: emap[e] as u64,
+                    leader: sub.ident(ctx.vertex) < sub.ident(nbr),
+                    color: None,
+                    peer_mask: None,
+                    peer_min: 0,
+                    announced: 0,
+                })
+                .collect();
+            RobustFinalize { cap, taken: fixed_masks[ctx.vertex].clone(), edges }
+        });
+        let run = match outcome {
+            Ok((run, _profile)) => run,
+            Err(RunError::RoundCapExceeded { stats, .. }) => {
+                report.stats += stats;
+                report.retries += 1;
+                continue;
+            }
+            Err(_) => {
+                report.retries += 1;
+                continue;
+            }
+        };
+        report.stats += run.stats;
+        // Tolerant replica merge: an edge keeps its color only when both
+        // endpoints report the same decided value; anything else —
+        // undecided, missing or disagreeing — becomes uncolored damage.
+        let mut replicas: Vec<Vec<Option<Color>>> = vec![Vec::new(); sub.m()];
+        for outputs in &run.outputs {
+            for &(e, c) in outputs {
+                replicas[e].push(c);
+            }
+        }
+        for (sub_e, reps) in replicas.iter().enumerate() {
+            colors[emap[sub_e]] = match reps.as_slice() {
+                [Some(a), Some(b)] if a == b && *a < cap => *a,
+                _ => UNCOLORED,
+            };
+        }
+        // Central verification over the region: re-dirty every region edge
+        // that is uncolored or conflicts with an incident edge (a conflict
+        // against the fixed boundary re-dirties the region side only).
+        let mut flagged = vec![false; g.m()];
+        let mut new_dirty: Vec<EdgeIdx> = Vec::new();
+        let mut incident: Vec<(Color, EdgeIdx)> = Vec::new();
+        for &host_v in &vmap {
+            incident.clear();
+            incident.extend(
+                g.incident(host_v)
+                    .filter(|&(_, e)| colors[e] != UNCOLORED)
+                    .map(|(_, e)| (colors[e], e)),
+            );
+            incident.sort_unstable();
+            for w in incident.windows(2) {
+                if w[0].0 == w[1].0 {
+                    for &(_, e) in &w[..2] {
+                        if is_dirty[e] && !flagged[e] {
+                            flagged[e] = true;
+                            new_dirty.push(e);
+                        }
+                    }
+                }
+            }
+        }
+        for &e in &dirty {
+            if colors[e] == UNCOLORED && !flagged[e] {
+                flagged[e] = true;
+                new_dirty.push(e);
+            }
+        }
+        if new_dirty.is_empty() {
+            report.strategy = RepairStrategy::Incremental;
+            report.recolored = target;
+            return;
+        }
+        for &e in &new_dirty {
+            colors[e] = UNCOLORED;
+        }
+        new_dirty.sort_unstable();
+        dirty = new_dirty;
+        report.retries += 1;
+    }
+    // Budget exhausted: degrade to the fault-free pipeline (the compaction
+    // reset path). Guaranteed legal; the commit still never panics.
+    let (new_colors, stats) = full_recolor(g, params, mode, early_halt);
+    *colors = new_colors;
+    report.strategy = RepairStrategy::FromScratch;
+    report.recolored = g.m();
+    report.fallbacks = 1;
+    report.stats += stats;
+}
+
+/// One region message of [`RobustFinalize`]. The three fields are a
+/// snapshot of the sender at send time, so a receiver acting on the latest
+/// message always sees a mask consistent with the reported minimum —
+/// reordered or dropped messages can delay decisions but never unsound
+/// ones.
+#[derive(Debug, Clone)]
+struct RobustMsg {
+    /// Colors taken around the sender (fixed boundary + decided edges).
+    mask: Bitset,
+    /// Smallest priority among the sender's undecided edges (`u64::MAX`
+    /// when all are decided).
+    min_undecided: u64,
+    /// The decided color of the edge this message rides on, if any: the
+    /// follower endpoint adopts it, and it rides every later message so a
+    /// dropped announcement is retried implicitly.
+    color: Option<Color>,
+}
+
+impl Message for RobustMsg {
+    fn size_bits(&self) -> usize {
+        self.mask.size_bits()
+            + bits_for_value(self.min_undecided)
+            + 1
+            + self.color.map_or(0, bits_for_value)
+    }
+}
+
+/// Per-edge state of [`RobustFinalize`].
+#[derive(Debug)]
+struct RobustEdge {
+    nbr: Vertex,
+    eid: EdgeIdx,
+    /// Host edge index: the globally unique decision priority.
+    prio: u64,
+    /// Whether this endpoint decides the edge (smaller identifier).
+    leader: bool,
+    color: Option<Color>,
+    /// Latest mask heard from the peer (never heard: blocks deciding).
+    peer_mask: Option<Bitset>,
+    /// `min_undecided` of the latest message heard from the peer.
+    peer_min: u64,
+    /// Rounds the decided color has been re-announced so far.
+    announced: u32,
+}
+
+/// Rounds a decided edge keeps announcing its color before going silent:
+/// enough redundancy that losing every announcement (and with it the
+/// follower's adoption) needs this many consecutive per-slot drops.
+const REANNOUNCE: u32 = 4;
+
+/// The loss-tolerant region finalize protocol (module docs, faulty
+/// transports). Unlike [`Finalize`] it assumes nothing about message
+/// timing: each edge is decided by its leader endpoint once its priority is
+/// the minimum undecided priority at *both* endpoints, from the union of
+/// both endpoints' taken-masks. Because a message's mask and reported
+/// minimum are snapshot-consistent, a decision's mask union provably
+/// contains the colors of every lower-priority incident edge — drops,
+/// delays and reordering can stall progress (bounded by the caller's round
+/// cap) but never produce a conflict. The protocol itself never panics;
+/// incomplete executions surface as unmerged replicas for the caller's
+/// verifier.
+#[derive(Debug)]
+struct RobustFinalize {
+    cap: u64,
+    /// Colors taken around this vertex: fixed boundary edges plus own
+    /// region edges decided or adopted so far.
+    taken: Bitset,
+    edges: Vec<RobustEdge>,
+}
+
+impl RobustFinalize {
+    fn min_undecided(&self) -> u64 {
+        self.edges.iter().filter(|e| e.color.is_none()).map(|e| e.prio).min().unwrap_or(u64::MAX)
+    }
+
+    /// Decides every leader edge that is currently the minimum undecided
+    /// priority at both endpoints, to a fixpoint (a decision can unlock the
+    /// next own-minimum in the same round).
+    fn decide(&mut self) {
+        loop {
+            let own_min = self.min_undecided();
+            let Some(i) = self.edges.iter().position(|e| {
+                e.leader
+                    && e.color.is_none()
+                    && e.prio == own_min
+                    && e.peer_mask.is_some()
+                    && e.prio <= e.peer_min
+            }) else {
+                return;
+            };
+            let mut union = self.taken.clone();
+            union.union_with(self.edges[i].peer_mask.as_ref().expect("checked above"));
+            let c = union.first_absent();
+            if c >= self.cap {
+                // Defensively impossible for a simple graph (≤ 2Δ-2 taken
+                // colors below the cap); leave undecided for the verifier.
+                return;
+            }
+            self.edges[i].color = Some(c);
+            self.taken.insert(c);
+        }
+    }
+
+    /// One message per edge still needing attention: undecided edges renew
+    /// their (mask, min) snapshot every round; decided edges announce their
+    /// color [`REANNOUNCE`] times, then go silent.
+    fn sends(&mut self) -> Vec<(Vertex, RobustMsg)> {
+        let min = self.min_undecided();
+        let mut out = Vec::new();
+        for e in &mut self.edges {
+            match e.color {
+                None => out.push((
+                    e.nbr,
+                    RobustMsg { mask: self.taken.clone(), min_undecided: min, color: None },
+                )),
+                Some(c) if e.announced < REANNOUNCE => {
+                    e.announced += 1;
+                    out.push((
+                        e.nbr,
+                        RobustMsg { mask: self.taken.clone(), min_undecided: min, color: Some(c) },
+                    ));
+                }
+                Some(_) => {}
+            }
+        }
+        out
+    }
+}
+
+impl Protocol for RobustFinalize {
+    type Msg = RobustMsg;
+    type Output = Vec<(EdgeIdx, Option<Color>)>;
+
+    fn start(&mut self, _ctx: &NodeCtx<'_>) -> Vec<(Vertex, RobustMsg)> {
+        self.sends()
+    }
+
+    fn round(&mut self, _ctx: &NodeCtx<'_>, inbox: &[(Vertex, RobustMsg)]) -> Action<RobustMsg> {
+        for (sender, msg) in inbox {
+            // A lost sender lookup is tolerated, not a panic: fault-era
+            // robustness means no inbox content may crash the node.
+            let Some(i) = self.edges.iter().position(|e| e.nbr == *sender) else {
+                continue;
+            };
+            if msg.mask.domain() == self.taken.domain() {
+                self.edges[i].peer_mask = Some(msg.mask.clone());
+                self.edges[i].peer_min = msg.min_undecided;
+            }
+            match msg.color {
+                // Follower adoption (idempotent: every announcement of an
+                // edge carries the same color). Out-of-cap values are
+                // ignored rather than inserted (Bitset would panic).
+                Some(c) => {
+                    if self.edges[i].color.is_none() && c < self.cap {
+                        self.edges[i].color = Some(c);
+                        self.taken.insert(c);
+                    }
+                }
+                // The peer visibly does not know this edge's color yet
+                // (its message predates the decision, or every
+                // announcement so far was dropped): refresh the
+                // announcement budget so the decision keeps being resent
+                // until the peer goes quiet on the edge.
+                None => {
+                    if self.edges[i].color.is_some() {
+                        self.edges[i].announced = 0;
+                    }
+                }
+            }
+        }
+        self.decide();
+        let sends = self.sends();
+        if sends.is_empty() {
+            return Action::Halt(Vec::new());
+        }
+        Action::Continue(sends)
+    }
+
+    fn finish(self, _ctx: &NodeCtx<'_>) -> Vec<(EdgeIdx, Option<Color>)> {
+        self.edges.into_iter().map(|e| (e.eid, e.color)).collect()
+    }
 }
 
 #[derive(Debug)]
@@ -880,6 +1317,99 @@ mod tests {
         r.insert_edge(0, 4).unwrap();
         let rep = r.commit().unwrap();
         assert!(rep.dirty >= 1);
+        assert_valid(&r);
+    }
+
+    use deco_local::FaultyTransport;
+
+    /// Churn driver shared by the fault tests: flap a sliding window of
+    /// edges and insert one fresh edge per step.
+    fn churn_step(r: &mut Recolorer, step: usize) -> CommitReport {
+        let edges: Vec<_> = r.graph().edges().skip(step * 9).take(3).collect();
+        for &(u, v) in &edges {
+            r.delete_edge(u, v).unwrap();
+        }
+        r.commit().unwrap();
+        for &(u, v) in &edges {
+            r.insert_edge(u, v).unwrap();
+        }
+        r.commit().unwrap()
+    }
+
+    #[test]
+    fn zero_rate_faulty_transport_still_repairs_incrementally() {
+        // A faulty transport that drops nothing selects the resilient path
+        // (it is not perfect), which must converge on the first attempt:
+        // no retries, no fallbacks, a verified-legal coloring.
+        let g = generators::random_bounded_degree(300, 6, 13);
+        let mut r = Recolorer::from_graph(g, edge_log_depth(1), MessageMode::Long)
+            .unwrap()
+            .with_transport(Arc::new(FaultyTransport::new(7)));
+        let first = r.commit().unwrap(); // initial build: fault-free pipeline
+        assert_eq!(first.strategy, RepairStrategy::FromScratch);
+        assert_eq!((first.retries, first.fallbacks), (0, 0));
+        for step in 0..3 {
+            let rep = churn_step(&mut r, step);
+            assert_eq!(rep.strategy, RepairStrategy::Incremental, "step {step}");
+            assert_eq!((rep.retries, rep.fallbacks), (0, 0), "step {step}");
+            assert_eq!(rep.recolored, rep.dirty, "step {step}");
+            assert_valid(&r);
+        }
+    }
+
+    #[test]
+    fn lossy_transport_self_stabilizes_deterministically() {
+        // Real fault rates: every commit must still end verified-legal
+        // within the bounded retry/fallback budget, and the whole history
+        // (colors + reports, including the fault counters) must be a pure
+        // function of the transport seed.
+        let lossy = || {
+            Arc::new(
+                FaultyTransport::new(5)
+                    .with_drop(120_000)
+                    .with_delay(100_000, 2)
+                    .with_reorder(80_000),
+            )
+        };
+        let run = |transport: Arc<FaultyTransport>| {
+            let g = generators::random_bounded_degree(300, 6, 17);
+            let mut r = Recolorer::from_graph(g, edge_log_depth(1), MessageMode::Long)
+                .unwrap()
+                .with_transport(transport);
+            r.commit().unwrap();
+            let mut reports = Vec::new();
+            for step in 0..4 {
+                reports.push(churn_step(&mut r, step));
+                assert_valid(&r);
+            }
+            (r.coloring(), reports)
+        };
+        let (colors_a, reports_a) = run(lossy());
+        let (colors_b, reports_b) = run(lossy());
+        assert_eq!(colors_a, colors_b, "faulty repairs must be seed-deterministic");
+        assert_eq!(reports_a, reports_b, "fault counters must be seed-deterministic");
+        for rep in &reports_a {
+            assert!(rep.fallbacks <= 1);
+            assert!(rep.retries <= 5, "retry budget exceeded: {}", rep.retries);
+        }
+    }
+
+    #[test]
+    fn total_message_loss_degrades_to_from_scratch() {
+        // A transport that drops everything can never finish a distributed
+        // repair: every attempt must hit its round cap and the commit must
+        // degrade to the fault-free pipeline — legal coloring, no panic.
+        let g = generators::random_bounded_degree(120, 5, 19);
+        let mut r = Recolorer::from_graph(g, edge_log_depth(1), MessageMode::Long)
+            .unwrap()
+            .with_transport(Arc::new(FaultyTransport::new(3).with_drop(1_000_000)))
+            .with_max_repair_attempts(2);
+        r.commit().unwrap();
+        let rep = churn_step(&mut r, 0);
+        assert_eq!(rep.strategy, RepairStrategy::FromScratch);
+        assert_eq!(rep.retries, 2, "every attempt must fail under total loss");
+        assert_eq!(rep.fallbacks, 1);
+        assert!(rep.stats.transport_dropped > 0, "drops must reach the commit stats");
         assert_valid(&r);
     }
 

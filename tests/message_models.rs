@@ -66,6 +66,7 @@ fn lemma_5_2_accounting() {
         messages: 100,
         max_message_bits: 16,
         total_message_bits: 1600,
+        transport_dropped: 0,
     };
     let host = lemma_5_2_host_stats(&g, native);
     assert_eq!(host.rounds, 21);

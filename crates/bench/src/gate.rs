@@ -27,8 +27,18 @@ use std::fmt::Write as _;
 
 /// Substrings marking an integer counter as a *cost* (allowed to improve):
 /// anything else integral is a scenario parameter and must match exactly.
-pub const COST_KEYS: &[&str] =
-    &["round", "message", "msg", "repaired", "region", "class", "dirty", "recolored", "bit"];
+pub const COST_KEYS: &[&str] = &[
+    "round",
+    "message",
+    "msg",
+    "repaired",
+    "region",
+    "class",
+    "dirty",
+    "recolored",
+    "bit",
+    "byte",
+];
 
 /// One flattened leaf of a bench json: dotted path plus value.
 #[derive(Debug, Clone, PartialEq)]

@@ -357,6 +357,75 @@ pub fn random_bounded_degree(n: usize, delta_cap: usize, seed: u64) -> Graph {
     b.build().expect("edges deduplicated via set")
 }
 
+/// A seeded random graph with a power-law degree profile: vertex `v`
+/// targets degree `clamp(d_max · (v+1)^{-3/4}, 1, d_max)`, so a handful of
+/// low-index hubs sit at (or near) Δ = `d_max` while the tail stays
+/// sparse. The hub core is wired deterministically (vertex 0 to the
+/// `d_max` lowest-index vertices, guaranteeing realized Δ = `d_max`);
+/// the remaining capacity is filled by stub pairing as in
+/// [`random_bounded_degree`], with the per-vertex caps above.
+///
+/// This is the heavy-tailed workload the streaming engine's long-mode and
+/// spill paths need: with `d_max` above the palette-depth cutoff λ = 48,
+/// repair regions around hubs exercise the code paths that bounded-degree
+/// churn (Δ ≤ 8) never reaches.
+///
+/// # Panics
+///
+/// Panics if `d_max == 0` or `d_max >= n`.
+pub fn random_power_law(n: usize, d_max: usize, seed: u64) -> Graph {
+    assert!(d_max >= 1, "degree cap must be positive");
+    assert!(d_max < n, "degree cap must be below n");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cap: Vec<usize> = (0..n)
+        .map(|v| {
+            let t = d_max as f64 * ((v + 1) as f64).powf(-0.75);
+            (t.round() as usize).clamp(1, d_max)
+        })
+        .collect();
+    let mut b = Graph::builder(n);
+    let mut deg = vec![0usize; n];
+    let mut exists = std::collections::HashSet::new();
+    let add = |b: &mut crate::GraphBuilder,
+               deg: &mut Vec<usize>,
+               exists: &mut std::collections::HashSet<(Vertex, Vertex)>,
+               u: Vertex,
+               v: Vertex|
+     -> bool {
+        if u == v || deg[u] >= cap[u] || deg[v] >= cap[v] {
+            return false;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if !exists.insert(key) {
+            return false;
+        }
+        b.add_edge(key.0, key.1).expect("in range");
+        deg[u] += 1;
+        deg[v] += 1;
+        true
+    };
+    // Wire the hub core first: vertex 0 takes the d_max lowest-index
+    // partners (all of which have capacity for it under the power-law
+    // profile), so the realized Δ equals d_max by construction rather than
+    // by pairing luck.
+    for v in 1..=d_max {
+        add(&mut b, &mut deg, &mut exists, 0, v);
+    }
+    for _pass in 0..4 {
+        let mut stubs: Vec<Vertex> = Vec::new();
+        for (v, &d) in deg.iter().enumerate() {
+            for _ in d..cap[v] {
+                stubs.push(v);
+            }
+        }
+        stubs.shuffle(&mut rng);
+        for pair in stubs.chunks_exact(2) {
+            add(&mut b, &mut deg, &mut exists, pair[0], pair[1]);
+        }
+    }
+    b.build().expect("edges deduplicated via set")
+}
+
 /// A random `d`-regular graph via the pairing model with retries. Falls back
 /// to a near-regular graph (Δ <= d) if `n·d` pairings keep colliding, which
 /// for the sizes used in benches essentially never happens.
@@ -473,6 +542,20 @@ mod tests {
         let single = kary_tree(3, 0);
         assert_eq!(single.n(), 1);
         assert_eq!(single.m(), 0);
+    }
+
+    #[test]
+    fn power_law_saturates_hubs_and_keeps_tail_sparse() {
+        let g = random_power_law(4096, 64, 11);
+        assert_eq!(g.max_degree(), 64, "hubs must reach d_max");
+        assert_eq!(g.degree(0), 64, "the top-up pass saturates hub 0");
+        // Δ > λ = 48: the long-mode threshold the workload exists for.
+        assert!(g.max_degree() > 48);
+        // The tail caps at degree 1 under the power-law profile.
+        assert!((2048..4096).all(|v| g.degree(v) <= 1));
+        // Deterministic for a fixed seed, distinct across seeds.
+        assert_eq!(g, random_power_law(4096, 64, 11));
+        assert_ne!(g, random_power_law(4096, 64, 12));
     }
 
     #[test]

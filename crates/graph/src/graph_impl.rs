@@ -618,6 +618,20 @@ impl Graph {
     /// has no predecessor.
     pub const NO_EDGE_ORIGIN: u32 = u32::MAX;
 
+    /// Bytes a full CSR rewrite of an `n`-vertex, `m`-edge snapshot writes
+    /// into the committed representation: offsets (`8(n+1)`), adjacency
+    /// (`2m` slots × 8), mirror table (`2m` × 4), edge list (`m` × 8),
+    /// identifiers (`n` × 8) and the edge-origin carry map (`m` × 4).
+    ///
+    /// This is the deterministic `commit_bytes` accounting shared by every
+    /// full-rewrite commit path — [`Graph::patched`] and the `from_edges`
+    /// rebuild report the *same* value for the same batch, keeping the
+    /// differential oracles bit-identical — and the currency the segmented
+    /// layout's per-segment write counts are compared against.
+    pub fn full_rewrite_bytes(n: usize, m: usize) -> usize {
+        8 * (n + 1) + 16 * m + 8 * m + 8 * m + 8 * n + 4 * m
+    }
+
     /// Validates one patch list: strictly sorted normalized pairs in range,
     /// no self-loops, and membership matching `must_exist`.
     fn check_patch_list(

@@ -28,6 +28,11 @@
 //!   plus the replayable plain-text churn-trace format (including the
 //!   `shrink` compaction op) and seeded churn generator that feed the
 //!   streaming recoloring engine.
+//! * [`SegmentedGraph`] — the segmented-CSR mutable store: per-vertex
+//!   extents behind a stable indirection table, stable edge ids, and
+//!   epoch-tagged mirror slots, so a commit writes O(region) bytes instead
+//!   of rewriting the whole snapshot. [`Graph::patched`] stays the
+//!   bit-exact differential oracle.
 //!
 //! # Example
 //!
@@ -47,6 +52,7 @@
 mod error;
 mod graph_impl;
 mod mutable;
+mod segmented;
 
 pub mod coloring;
 pub mod generators;
@@ -60,6 +66,7 @@ pub mod trace;
 pub use error::GraphError;
 pub use graph_impl::{Graph, GraphBuilder};
 pub use mutable::{CommitDelta, MutableGraph};
+pub use segmented::{SegCommitDelta, SegExtent, SegmentedGraph};
 
 /// Vertex index in `0..n`. The distinct identifier of a vertex is
 /// [`Graph::ident`], which is what the distributed algorithms use for

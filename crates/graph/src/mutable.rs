@@ -77,6 +77,16 @@ pub struct CommitDelta {
     /// are vertices added by this batch. `None` when no renumbering
     /// happened, in which case vertex indices are unchanged.
     pub vertex_map: Option<Vec<Option<Vertex>>>,
+    /// Bytes this commit wrote into the committed representation, counted
+    /// by [`Graph::full_rewrite_bytes`]: both full-rewrite paths
+    /// ([`MutableGraph::commit`] via [`Graph::patched`] and
+    /// [`MutableGraph::commit_rebuild`]) rewrite every array, so they
+    /// report the same value for the same batch (0 for an empty batch,
+    /// which short-circuits). The segmented engine
+    /// ([`crate::SegmentedGraph`]) counts its actual per-segment writes in
+    /// the same currency — that differential is what the `pr7_segments`
+    /// bench gates on.
+    pub commit_bytes: usize,
 }
 
 impl CommitDelta {
@@ -252,6 +262,9 @@ impl MutableGraph {
     /// On error the committed state is unchanged and the batch is
     /// discarded.
     pub fn commit(&mut self) -> Result<CommitDelta, GraphError> {
+        if self.pending.is_empty() {
+            return Ok(self.empty_batch_delta());
+        }
         if self.pending.contains(&Op::Shrink) {
             return self.commit_rebuild();
         }
@@ -340,6 +353,7 @@ impl MutableGraph {
         debug_assert_eq!(idents.len(), n_new);
         match self.snapshot.patched(&inserted, &deleted, added_vertices, idents) {
             Ok((graph, edge_origin)) => {
+                let commit_bytes = Graph::full_rewrite_bytes(graph.n(), graph.m());
                 self.snapshot = graph;
                 self.discard_pending();
                 Ok(CommitDelta {
@@ -349,12 +363,28 @@ impl MutableGraph {
                     edge_origin,
                     removed_vertices: 0,
                     vertex_map: None,
+                    commit_bytes,
                 })
             }
             Err(e) => {
                 self.discard_pending();
                 Err(e)
             }
+        }
+    }
+
+    /// The no-op delta an empty batch commits to: identity origin map, zero
+    /// bytes written. Both commit paths short-circuit here, so neither pays
+    /// the full splice/rebuild pass for a batch with nothing in it.
+    fn empty_batch_delta(&self) -> CommitDelta {
+        CommitDelta {
+            inserted: Vec::new(),
+            deleted: Vec::new(),
+            added_vertices: 0,
+            edge_origin: (0..self.snapshot.m() as u32).collect(),
+            removed_vertices: 0,
+            vertex_map: None,
+            commit_bytes: 0,
         }
     }
 
@@ -371,6 +401,9 @@ impl MutableGraph {
     ///
     /// Same conditions as [`MutableGraph::commit`].
     pub fn commit_rebuild(&mut self) -> Result<CommitDelta, GraphError> {
+        if self.pending.is_empty() {
+            return Ok(self.empty_batch_delta());
+        }
         let old = &self.snapshot;
         let added_vertices = self.pending_vertices;
         // Working state in the *current* numbering, which shrink ops may
@@ -470,6 +503,7 @@ impl MutableGraph {
                 return Err(e);
             }
         };
+        let commit_bytes = Graph::full_rewrite_bytes(graph.n(), graph.m());
         let delta = if renumbered {
             // Vertices were renumbered: match edges through the back map.
             let mut edge_origin = vec![Graph::NO_EDGE_ORIGIN; graph.m()];
@@ -501,6 +535,7 @@ impl MutableGraph {
                 edge_origin,
                 removed_vertices,
                 vertex_map: Some(back_to_old),
+                commit_bytes,
             }
         } else {
             // Net delta and origin map via one sorted merge of the old and
@@ -543,6 +578,7 @@ impl MutableGraph {
                 edge_origin,
                 removed_vertices: 0,
                 vertex_map: None,
+                commit_bytes,
             }
         };
         self.snapshot = graph;

@@ -284,6 +284,27 @@ pub fn churn_trace(
     churn_trace_from(&base, delta_cap, churn_commits, churn, seed)
 }
 
+/// The heavy-tailed variant of [`churn_trace`]: commit 1 builds
+/// [`generators::random_power_law`]`(n, d_max, seed)` — hubs at Δ = `d_max`,
+/// sparse tail — and the churn batches respect `d_max` as the cap. With
+/// `d_max` above the palette-depth cutoff λ = 48 this drives the streaming
+/// engine's long-mode and spill paths on a realistic workload, which the
+/// bounded-degree [`churn_trace`] (typically Δ ≤ 8) never reaches.
+///
+/// # Panics
+///
+/// Same conditions as [`churn_trace`].
+pub fn power_law_churn_trace(
+    n: usize,
+    d_max: usize,
+    churn_commits: usize,
+    churn: usize,
+    seed: u64,
+) -> Trace {
+    let base: Graph = generators::random_power_law(n, d_max, seed);
+    churn_trace_from(&base, d_max, churn_commits, churn, seed)
+}
+
 /// [`churn_trace`] over an explicit base graph: commit 1 inserts exactly
 /// `base`'s edges, then `churn_commits` seeded churn batches follow under
 /// the given degree cap. Callers that already built (or inspected) the base
@@ -513,6 +534,29 @@ mod tests {
             mg.commit().unwrap();
         }
         assert_eq!((mg.graph().n(), mg.graph().m()), (3, 3));
+    }
+
+    #[test]
+    fn power_law_trace_keeps_hubs_above_lambda() {
+        let t = power_law_churn_trace(512, 64, 3, 8, 5);
+        assert_eq!(t.commit_count(), 4);
+        // Deterministic for a fixed seed.
+        assert_eq!(to_text(&t), to_text(&power_law_churn_trace(512, 64, 3, 8, 5)));
+        let mut mg = MutableGraph::new(t.n0);
+        for batch in t.batches() {
+            for op in batch {
+                match *op {
+                    TraceOp::Insert(u, v) => mg.insert_edge(u, v).unwrap(),
+                    TraceOp::Delete(u, v) => mg.delete_edge(u, v).unwrap(),
+                    _ => unreachable!("churn traces only insert and delete"),
+                }
+            }
+            mg.commit().unwrap();
+            // The hubs keep the graph in long-mode territory (Δ > λ = 48)
+            // through every churn batch, not just the base commit.
+            assert!(mg.graph().max_degree() > 48, "Δ = {}", mg.graph().max_degree());
+            assert!(mg.graph().max_degree() <= 64);
+        }
     }
 
     #[test]

@@ -106,6 +106,9 @@ pub fn lemma_5_2_host_stats(g: &Graph, native: RunStats) -> RunStats {
         max_message_bits: native.max_message_bits * congestion,
         total_message_bits: 2 * native.total_message_bits,
         transport_dropped: 2 * native.transport_dropped,
+        // Commit traffic is a host-side quantity; the simulation relays
+        // messages, it does not commit topology.
+        commit_bytes: native.commit_bytes,
     }
 }
 

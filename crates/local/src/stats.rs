@@ -20,7 +20,12 @@ use std::ops::{Add, AddAssign};
 /// * `transport_dropped` — messages destroyed by a faulty
 ///   [`Transport`](crate::Transport) (zero on the default in-process
 ///   transport). Dropped messages are counted as sent but not delivered,
-///   so they appear here and *not* in `messages`.
+///   so they appear here and *not* in `messages`;
+/// * `commit_bytes` — bytes the commit machinery wrote into the committed
+///   graph representation (zero for runs with no topology commit). Counted
+///   identically by the segmented and full-rewrite commit paths, which is
+///   what makes the O(region)-vs-O(m) comparison a deterministic counter
+///   rather than a wall measurement.
 ///
 /// Sequential phase composition adds stats with `+`: rounds add (phases are
 /// separated by globally known round barriers), message maxima take the max.
@@ -38,6 +43,8 @@ pub struct RunStats {
     pub total_message_bits: usize,
     /// Messages destroyed in flight by the transport (never delivered).
     pub transport_dropped: usize,
+    /// Bytes written into the committed graph representation.
+    pub commit_bytes: usize,
 }
 
 impl RunStats {
@@ -65,6 +72,7 @@ impl Add for RunStats {
             max_message_bits: self.max_message_bits.max(rhs.max_message_bits),
             total_message_bits: self.total_message_bits + rhs.total_message_bits,
             transport_dropped: self.transport_dropped + rhs.transport_dropped,
+            commit_bytes: self.commit_bytes + rhs.commit_bytes,
         }
     }
 }
@@ -88,6 +96,9 @@ impl fmt::Display for RunStats {
         )?;
         if self.transport_dropped > 0 {
             write!(f, ", {} dropped in transit", self.transport_dropped)?;
+        }
+        if self.commit_bytes > 0 {
+            write!(f, ", {} commit bytes", self.commit_bytes)?;
         }
         Ok(())
     }
@@ -122,6 +133,7 @@ mod tests {
             max_message_bits: 3,
             total_message_bits: 6,
             transport_dropped: 1,
+            commit_bytes: 32,
         };
         let b = a;
         a += b;

@@ -1,0 +1,175 @@
+//! The **region host** seam: what a repair pass needs from a graph store.
+//!
+//! The incremental repair machinery (the Theorem 5.5 schedule pipeline on
+//! the edge-induced region, the class-per-round finalize, the
+//! self-stabilizing fault-era loop) never looks at the host graph as a
+//! whole — it extracts a region sub-network, reads the colors of the
+//! region's line-graph boundary, and scatters results back through an
+//! edge map. [`RegionHost`] captures exactly that contract, so the same
+//! repair code runs over both committed representations:
+//!
+//! * [`Graph`] — the contiguous CSR snapshot with lexicographic edge
+//!   indices (the legacy engine and the differential oracle);
+//! * [`SegmentedGraph`] — the segmented layout with stable edge ids and
+//!   O(region) commits.
+//!
+//! Edge indices handed to the trait are *host edge handles*: lexicographic
+//! indices for [`Graph`], stable ids for [`SegmentedGraph`]. Color stores
+//! are indexed by handle and sized [`RegionHost::edge_bound`].
+//!
+//! # Priority isomorphism
+//!
+//! The fault-era protocol breaks symmetry with a total order on region
+//! edges ([`RegionHost::robust_prio`]). The legacy engine uses the host's
+//! lexicographic edge index. Stable ids are *not* pair-ordered, so the
+//! segmented host uses the region rank instead — the index of the edge in
+//! the pair-sorted region, which is **order-isomorphic** to the host
+//! lexicographic order among region edges. Comparisons, and therefore
+//! every protocol decision and final color, are bit-identical across
+//! hosts; only the message *bit-width* accounting of the priority fields
+//! can differ.
+
+use crate::recolor::{full_recolor, UNCOLORED};
+use deco_core::edge::legal::MessageMode;
+use deco_core::params::LegalParams;
+use deco_graph::coloring::Color;
+use deco_graph::{EdgeIdx, Graph, SegmentedGraph, Vertex};
+use deco_local::RunStats;
+
+/// A graph store the repair machinery can run over. See the module docs;
+/// implemented for [`Graph`] and [`SegmentedGraph`].
+pub trait RegionHost {
+    /// Live edge count.
+    fn live_m(&self) -> usize;
+
+    /// Exclusive upper bound on host edge handles: size handle-indexed
+    /// stores (colors, dirty flags) to this. Equals [`RegionHost::live_m`]
+    /// for [`Graph`]; for [`SegmentedGraph`] it also covers freed ids.
+    fn edge_bound(&self) -> usize;
+
+    /// Maximum degree Δ of the host graph.
+    fn host_max_degree(&self) -> usize;
+
+    /// Extracts the sub-network induced by exactly the given host edges:
+    /// `(subgraph, vertex_map, edge_map)` with `edge_map[sub_e]` the host
+    /// handle of subgraph edge `sub_e`. Both implementations order kept
+    /// edges by endpoint pair, so the subgraph is byte-identical across
+    /// hosts for the same edge set.
+    fn region_subgraph(&self, keep_edges: &[EdgeIdx]) -> (Graph, Vec<Vertex>, Vec<EdgeIdx>);
+
+    /// Calls `f(neighbor, edge_handle)` for every edge incident to `v`, in
+    /// increasing neighbor order.
+    fn for_each_incident(&self, v: Vertex, f: &mut dyn FnMut(Vertex, EdgeIdx));
+
+    /// The symmetry-breaking priority of a region edge in the fault-era
+    /// protocol, given its host handle and its rank in the pair-sorted
+    /// region. Must induce the same total order on any region as the
+    /// host's lexicographic edge order (module docs).
+    fn robust_prio(&self, host_e: EdgeIdx, region_rank: usize) -> u64;
+
+    /// Runs the fault-free from-scratch pipeline on the whole host graph
+    /// and replaces `colors` (handle-indexed, resized to
+    /// [`RegionHost::edge_bound`]) with the result. The shared reset path
+    /// of threshold fallbacks, compactions and exhausted fault-era
+    /// retries.
+    fn full_recolor_into(
+        &self,
+        colors: &mut Vec<Color>,
+        params: LegalParams,
+        mode: MessageMode,
+        early_halt: bool,
+    ) -> RunStats;
+}
+
+impl RegionHost for Graph {
+    fn live_m(&self) -> usize {
+        self.m()
+    }
+
+    fn edge_bound(&self) -> usize {
+        self.m()
+    }
+
+    fn host_max_degree(&self) -> usize {
+        self.max_degree()
+    }
+
+    fn region_subgraph(&self, keep_edges: &[EdgeIdx]) -> (Graph, Vec<Vertex>, Vec<EdgeIdx>) {
+        self.edge_induced(keep_edges)
+    }
+
+    fn for_each_incident(&self, v: Vertex, f: &mut dyn FnMut(Vertex, EdgeIdx)) {
+        for (nbr, e) in self.incident(v) {
+            f(nbr, e);
+        }
+    }
+
+    fn robust_prio(&self, host_e: EdgeIdx, _region_rank: usize) -> u64 {
+        // Lexicographic edge indices are already a pair-ordered total
+        // order — the legacy priority, kept bit-identical.
+        host_e as u64
+    }
+
+    fn full_recolor_into(
+        &self,
+        colors: &mut Vec<Color>,
+        params: LegalParams,
+        mode: MessageMode,
+        early_halt: bool,
+    ) -> RunStats {
+        let (new_colors, stats) = full_recolor(self, params, mode, early_halt);
+        *colors = new_colors;
+        stats
+    }
+}
+
+impl RegionHost for SegmentedGraph {
+    fn live_m(&self) -> usize {
+        self.m()
+    }
+
+    fn edge_bound(&self) -> usize {
+        self.edge_bound()
+    }
+
+    fn host_max_degree(&self) -> usize {
+        self.max_degree()
+    }
+
+    fn region_subgraph(&self, keep_edges: &[EdgeIdx]) -> (Graph, Vec<Vertex>, Vec<EdgeIdx>) {
+        self.edge_induced(keep_edges)
+    }
+
+    fn for_each_incident(&self, v: Vertex, f: &mut dyn FnMut(Vertex, EdgeIdx)) {
+        for (nbr, e) in self.incident(v) {
+            f(nbr, e);
+        }
+    }
+
+    fn robust_prio(&self, _host_e: EdgeIdx, region_rank: usize) -> u64 {
+        // Stable ids are not pair-ordered; the region rank is, and is
+        // order-isomorphic to the host lexicographic order among region
+        // edges (module docs) — decisions match the legacy engine bit for
+        // bit.
+        region_rank as u64
+    }
+
+    fn full_recolor_into(
+        &self,
+        colors: &mut Vec<Color>,
+        params: LegalParams,
+        mode: MessageMode,
+        early_halt: bool,
+    ) -> RunStats {
+        // Color on the materialized lexicographic snapshot, then scatter
+        // back to stable ids; freed ids stay uncolored holes.
+        let (g, idmap) = self.to_graph();
+        let (new_colors, stats) = full_recolor(&g, params, mode, early_halt);
+        colors.clear();
+        colors.resize(self.edge_bound(), UNCOLORED);
+        for (lex, &id) in idmap.iter().enumerate() {
+            colors[id as usize] = new_colors[lex];
+        }
+        stats
+    }
+}

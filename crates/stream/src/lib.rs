@@ -41,11 +41,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod host;
 mod recolor;
 mod replay;
+mod seg_recolor;
 
+pub use host::RegionHost;
 pub use recolor::{repair_phase, CommitReport, Recolorer, RepairStrategy};
 pub use replay::{queue_op, replay_trace, ReplayError, ReplayOutcome};
+pub use seg_recolor::SegRecolorer;
 
 // The transport seam vocabulary ([`Recolorer::with_transport`]), re-exported
 // so fault-era users need no direct `deco_local` dependency.

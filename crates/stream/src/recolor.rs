@@ -76,6 +76,7 @@
 //! every message is a pure function of the transport seed, the slot and the
 //! round).
 
+use crate::host::RegionHost;
 use deco_core::edge::legal::{
     edge_color_bound, edge_color_in_groups, validate_edge_params, MessageMode,
 };
@@ -154,7 +155,7 @@ pub struct CommitReport {
 /// colors are bounded by ϑ ≤ 2Δ-1, nowhere near it; a sentinel keeps the
 /// per-edge slot at 8 bytes (`Option<Color>` would double it, and the
 /// carry pass streams the whole store every commit).
-const UNCOLORED: Color = Color::MAX;
+pub(crate) const UNCOLORED: Color = Color::MAX;
 
 /// Incremental recoloring engine over a mutating graph. See module docs.
 #[derive(Debug, Clone)]
@@ -354,7 +355,7 @@ impl Recolorer {
         Recolorer::bound_for(&self.params, self.graph().max_degree() as u64)
     }
 
-    fn bound_for(params: &LegalParams, delta: u64) -> u64 {
+    pub(crate) fn bound_for(params: &LegalParams, delta: u64) -> u64 {
         edge_color_bound(params, delta).max(2 * delta.max(1) - 1)
     }
 
@@ -526,6 +527,7 @@ impl Recolorer {
         if dirty.is_empty() && !compact {
             self.colors = colors;
             self.prev_bound = bound;
+            report.stats.commit_bytes = delta.commit_bytes;
             return Ok(report);
         }
 
@@ -584,6 +586,10 @@ impl Recolorer {
         }
         debug_assert!(self.colors.iter().all(|&c| c < bound));
         self.prev_bound = bound;
+        // The repair branches overwrite `report.stats` wholesale with the
+        // simulator's accounting; fold the commit machinery's byte count
+        // in afterwards so every exit reports it.
+        report.stats.commit_bytes = delta.commit_bytes;
         Ok(report)
     }
 }
@@ -627,9 +633,14 @@ pub fn repair_phase(
 /// the edge-induced sub-network, then the class-per-round finalize protocol
 /// (module docs, steps 3 and 4). Returns the combined repair stats, the
 /// schedule class count and the sub-network's vertex count.
+///
+/// Generic over the [`RegionHost`] seam: `dirty` holds host edge handles,
+/// `is_dirty`/`colors` are handle-indexed ([`RegionHost::edge_bound`]
+/// sized). Both hosts extract byte-identical region sub-networks, so the
+/// repair outcome is independent of the host representation.
 #[allow(clippy::too_many_arguments)]
-fn repair_region(
-    g: &Graph,
+pub(crate) fn repair_region<H: RegionHost>(
+    g: &H,
     dirty: &[EdgeIdx],
     is_dirty: &[bool],
     colors: &mut [Color],
@@ -637,7 +648,7 @@ fn repair_region(
     mode: MessageMode,
     early_halt: bool,
 ) -> (RunStats, u64, usize) {
-    let (sub, vmap, emap) = g.edge_induced(dirty);
+    let (sub, vmap, emap) = g.region_subgraph(dirty);
     // The pipeline's symmetry breaking assumes identifiers from {1, ..., n}
     // (Cole–Vishkin's initial palette is the ident domain), but
     // `edge_induced` inherits host identifiers that can exceed the region
@@ -650,7 +661,7 @@ fn repair_region(
         dense[v] = r as u64 + 1;
     }
     let sub = sub.with_idents(dense).expect("ranks are distinct");
-    let cap = 2 * g.max_degree().max(1) as u64 - 1;
+    let cap = 2 * g.host_max_degree().max(1) as u64 - 1;
 
     // Schedule: the paper's pipeline on the region alone.
     let subnet = Network::new(&sub).with_early_halt(early_halt);
@@ -676,14 +687,14 @@ fn repair_region(
         .iter()
         .map(|&host_v| {
             let mut mask = Bitset::new(cap as usize);
-            for (_, e) in g.incident(host_v) {
+            g.for_each_incident(host_v, &mut |_, e| {
                 if !is_dirty[e] {
                     let c = colors[e];
                     if c != UNCOLORED && c < cap {
                         mask.insert(c);
                     }
                 }
-            }
+            });
             mask
         })
         .collect();
@@ -708,7 +719,7 @@ fn repair_region(
 /// The from-scratch pipeline on the whole snapshot — the shared reset path
 /// of threshold fallbacks, compaction commits and exhausted fault-era
 /// retries. Always runs on the default in-process transport.
-fn full_recolor(
+pub(crate) fn full_recolor(
     g: &Graph,
     params: LegalParams,
     mode: MessageMode,
@@ -731,8 +742,8 @@ fn full_recolor(
 /// fault-free from-scratch pipeline, so the loop always terminates with a
 /// verified-legal coloring and never panics on transport faults.
 #[allow(clippy::too_many_arguments)]
-fn resilient_repair(
-    g: &Graph,
+pub(crate) fn resilient_repair<H: RegionHost>(
+    g: &H,
     dirty: &[EdgeIdx],
     colors: &mut Vec<Color>,
     params: LegalParams,
@@ -742,13 +753,13 @@ fn resilient_repair(
     max_attempts: u32,
     report: &mut CommitReport,
 ) {
-    let cap = 2 * g.max_degree().max(1) as u64 - 1;
+    let cap = 2 * g.host_max_degree().max(1) as u64 - 1;
     let target = dirty.len();
     let mut dirty: Vec<EdgeIdx> = dirty.to_vec();
     for attempt in 0..max_attempts {
-        let (sub, vmap, emap) = g.edge_induced(&dirty);
+        let (sub, vmap, emap) = g.region_subgraph(&dirty);
         report.region_vertices = report.region_vertices.max(sub.n());
-        let mut is_dirty = vec![false; g.m()];
+        let mut is_dirty = vec![false; g.edge_bound()];
         for &e in &dirty {
             is_dirty[e] = true;
         }
@@ -759,14 +770,14 @@ fn resilient_repair(
             .iter()
             .map(|&host_v| {
                 let mut mask = Bitset::new(cap as usize);
-                for (_, e) in g.incident(host_v) {
+                g.for_each_incident(host_v, &mut |_, e| {
                     if !is_dirty[e] {
                         let c = colors[e];
                         if c != UNCOLORED && c < cap {
                             mask.insert(c);
                         }
                     }
-                }
+                });
                 mask
             })
             .collect();
@@ -784,9 +795,9 @@ fn resilient_repair(
                 .map(|(nbr, e)| RobustEdge {
                     nbr,
                     eid: e,
-                    // Host edge indices are a global total order: the
-                    // symmetry-breaking priority.
-                    prio: emap[e] as u64,
+                    // A pair-ordered total order on the region; identical
+                    // comparisons on either host (`RegionHost::robust_prio`).
+                    prio: g.robust_prio(emap[e], e),
                     leader: sub.ident(ctx.vertex) < sub.ident(nbr),
                     color: None,
                     peer_mask: None,
@@ -827,16 +838,16 @@ fn resilient_repair(
         // Central verification over the region: re-dirty every region edge
         // that is uncolored or conflicts with an incident edge (a conflict
         // against the fixed boundary re-dirties the region side only).
-        let mut flagged = vec![false; g.m()];
+        let mut flagged = vec![false; g.edge_bound()];
         let mut new_dirty: Vec<EdgeIdx> = Vec::new();
         let mut incident: Vec<(Color, EdgeIdx)> = Vec::new();
         for &host_v in &vmap {
             incident.clear();
-            incident.extend(
-                g.incident(host_v)
-                    .filter(|&(_, e)| colors[e] != UNCOLORED)
-                    .map(|(_, e)| (colors[e], e)),
-            );
+            g.for_each_incident(host_v, &mut |_, e| {
+                if colors[e] != UNCOLORED {
+                    incident.push((colors[e], e));
+                }
+            });
             incident.sort_unstable();
             for w in incident.windows(2) {
                 if w[0].0 == w[1].0 {
@@ -869,10 +880,9 @@ fn resilient_repair(
     }
     // Budget exhausted: degrade to the fault-free pipeline (the compaction
     // reset path). Guaranteed legal; the commit still never panics.
-    let (new_colors, stats) = full_recolor(g, params, mode, early_halt);
-    *colors = new_colors;
+    let stats = g.full_recolor_into(colors, params, mode, early_halt);
     report.strategy = RepairStrategy::FromScratch;
-    report.recolored = g.m();
+    report.recolored = g.live_m();
     report.fallbacks = 1;
     report.stats += stats;
 }

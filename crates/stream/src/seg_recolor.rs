@@ -1,0 +1,381 @@
+//! The incremental recoloring engine over the **segmented** commit path.
+//!
+//! [`SegRecolorer`] is [`Recolorer`] re-hosted on
+//! [`deco_graph::SegmentedGraph`]: the same repair machinery (it literally
+//! runs the same generic [`RegionHost`](crate::RegionHost) code), but the
+//! commit underneath writes O(region) bytes instead of rewriting the whole
+//! CSR snapshot, and the color store is indexed by **stable edge id**
+//! instead of by shifting lexicographic index — so the per-commit carry
+//! pass disappears too:
+//!
+//! * the legacy engine gathers `colors[edge_origin[e]]` for *every* edge,
+//!   an O(m) pass per commit;
+//! * here, surviving edges keep their id, so carry is O(churn): clear the
+//!   freed ids, mark the inserted ids uncolored, done. Only a rebuild
+//!   commit (a batch containing `shrink_isolated`) remaps the whole store,
+//!   through [`deco_graph::SegCommitDelta::edge_remap`] — the same explicit O(m)
+//!   event it already is for the topology.
+//!
+//! # Parity contract
+//!
+//! On a perfect transport the two engines are **bit-identical** per
+//! commit: same [`CommitReport`] (up to `stats.commit_bytes`, the very
+//! quantity the segmented path improves) and same final coloring in
+//! lexicographic edge order ([`SegRecolorer::coloring`]). Under a faulty
+//! transport the *colorings* still match bit for bit (the fault-era
+//! priority order is host-independent; see the
+//! [`host`](crate::RegionHost) module docs), while message-bit counters
+//! may differ because priority fields are encoded with different widths.
+//! The `segmented_parity` integration sweep pins all of this, with the
+//! legacy engine as the differential oracle — the same playbook
+//! `Engine::Naive` and `commit_rebuild` follow.
+
+use crate::host::RegionHost;
+use crate::recolor::{
+    repair_region, resilient_repair, CommitReport, Recolorer, RepairStrategy, UNCOLORED,
+};
+use deco_core::edge::legal::{validate_edge_params, MessageMode};
+use deco_core::params::{LegalParams, ParamError};
+use deco_graph::coloring::{Color, EdgeColoring};
+use deco_graph::{EdgeIdx, Graph, GraphError, SegmentedGraph, Vertex};
+use deco_local::{InProcess, RunStats, Transport};
+use std::sync::Arc;
+
+/// Incremental recoloring over the segmented commit path. Mirrors
+/// [`Recolorer`]'s API and behavior; see the module docs for what differs
+/// underneath.
+#[derive(Debug, Clone)]
+pub struct SegRecolorer {
+    sg: SegmentedGraph,
+    /// Color per stable edge id (`sg.edge_bound()` entries): live ids hold
+    /// committed colors between commits, freed ids hold [`UNCOLORED`]
+    /// holes.
+    colors: Vec<Color>,
+    params: LegalParams,
+    mode: MessageMode,
+    threshold_pct: u32,
+    commits: usize,
+    prev_bound: u64,
+    compaction_every: usize,
+    early_halt: bool,
+    transport: Arc<dyn Transport>,
+    max_attempts: u32,
+}
+
+impl SegRecolorer {
+    /// An engine over an initially edgeless graph with `n0` vertices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] if `params` cannot contract.
+    pub fn new(
+        n0: usize,
+        params: LegalParams,
+        mode: MessageMode,
+    ) -> Result<SegRecolorer, ParamError> {
+        validate_edge_params(&params)?;
+        Ok(SegRecolorer {
+            sg: SegmentedGraph::new(n0),
+            colors: Vec::new(),
+            params,
+            mode,
+            threshold_pct: 25,
+            commits: 0,
+            prev_bound: 0,
+            compaction_every: 0,
+            early_halt: true,
+            transport: Arc::new(InProcess),
+            max_attempts: 5,
+        })
+    }
+
+    /// An engine over an existing graph (edge ids start as its
+    /// lexicographic indices). The initial coloring runs from scratch at
+    /// the first [`SegRecolorer::commit`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] if `params` cannot contract.
+    pub fn from_graph(
+        g: &Graph,
+        params: LegalParams,
+        mode: MessageMode,
+    ) -> Result<SegRecolorer, ParamError> {
+        validate_edge_params(&params)?;
+        let m = g.m();
+        Ok(SegRecolorer {
+            sg: SegmentedGraph::from_graph(g),
+            colors: vec![UNCOLORED; m],
+            params,
+            mode,
+            threshold_pct: 25,
+            commits: 0,
+            prev_bound: 0,
+            compaction_every: 0,
+            early_halt: true,
+            transport: Arc::new(InProcess),
+            max_attempts: 5,
+        })
+    }
+
+    /// As [`Recolorer::with_repair_threshold`].
+    pub fn with_repair_threshold(mut self, pct: u32) -> SegRecolorer {
+        self.threshold_pct = pct;
+        self
+    }
+
+    /// As [`Recolorer::with_compaction_every`].
+    pub fn with_compaction_every(mut self, k: usize) -> SegRecolorer {
+        self.compaction_every = k;
+        self
+    }
+
+    /// As [`Recolorer::with_early_halt`].
+    pub fn with_early_halt(mut self, on: bool) -> SegRecolorer {
+        self.early_halt = on;
+        self
+    }
+
+    /// As [`Recolorer::with_transport`].
+    pub fn with_transport(mut self, transport: Arc<dyn Transport>) -> SegRecolorer {
+        self.transport = transport;
+        self
+    }
+
+    /// As [`Recolorer::with_max_repair_attempts`].
+    pub fn with_max_repair_attempts(mut self, attempts: u32) -> SegRecolorer {
+        self.max_attempts = attempts.max(1);
+        self
+    }
+
+    /// The committed segmented store.
+    pub fn segmented(&self) -> &SegmentedGraph {
+        &self.sg
+    }
+
+    /// Commits applied so far.
+    pub fn commits(&self) -> usize {
+        self.commits
+    }
+
+    /// The palette bound the current snapshot's colors are kept under.
+    pub fn color_bound(&self) -> u64 {
+        Recolorer::bound_for(&self.params, self.sg.max_degree() as u64)
+    }
+
+    /// The color of the live edge with stable id `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is freed/out of range or the edge is uncolored (only
+    /// possible before the first commit).
+    pub fn color_of(&self, e: EdgeIdx) -> Color {
+        assert!(self.sg.is_live(e), "edge id {e} is not live");
+        let c = self.colors[e];
+        assert_ne!(c, UNCOLORED, "coloring is complete between commits");
+        c
+    }
+
+    /// The current coloring in **lexicographic edge order** — index `i`
+    /// colors edge `i` of [`SegmentedGraph::to_graph`]'s snapshot, so the
+    /// result compares directly against [`Recolorer::coloring`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before the first commit on a
+    /// [`SegRecolorer::from_graph`] engine.
+    pub fn coloring(&self) -> EdgeColoring {
+        EdgeColoring::new(
+            self.sg
+                .lex_edge_ids()
+                .iter()
+                .map(|&id| {
+                    let c = self.colors[id as usize];
+                    assert_ne!(c, UNCOLORED, "coloring is complete between commits");
+                    c
+                })
+                .collect(),
+        )
+    }
+
+    /// Queues insertion of edge `(u, v)` for the next commit.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SegmentedGraph::insert_edge`].
+    pub fn insert_edge(&mut self, u: Vertex, v: Vertex) -> Result<(), GraphError> {
+        self.sg.insert_edge(u, v)
+    }
+
+    /// Queues deletion of edge `(u, v)` for the next commit.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SegmentedGraph::delete_edge`].
+    pub fn delete_edge(&mut self, u: Vertex, v: Vertex) -> Result<(), GraphError> {
+        self.sg.delete_edge(u, v)
+    }
+
+    /// Queues addition of one vertex; returns its index.
+    pub fn add_vertex(&mut self) -> Vertex {
+        self.sg.add_vertex()
+    }
+
+    /// Queues an identifier override.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SegmentedGraph::set_ident`].
+    pub fn set_ident(&mut self, v: Vertex, ident: u64) -> Result<(), GraphError> {
+        self.sg.set_ident(v, ident)
+    }
+
+    /// Queues a shrink compaction; the containing commit rebuilds the
+    /// segmented store and remaps the color store by
+    /// [`deco_graph::SegCommitDelta::edge_remap`].
+    pub fn shrink_isolated(&mut self) {
+        self.sg.shrink_isolated()
+    }
+
+    /// Applies the queued batch and repairs the coloring — the
+    /// [`Recolorer::commit`] pipeline on the segmented host.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] if the batch is invalid; the previous
+    /// snapshot and coloring are untouched and the batch is discarded.
+    pub fn commit(&mut self) -> Result<CommitReport, GraphError> {
+        let old_colors = std::mem::take(&mut self.colors);
+        let delta = match self.sg.commit() {
+            Ok(d) => d,
+            Err(e) => {
+                self.colors = old_colors;
+                return Err(e);
+            }
+        };
+        let m = self.sg.m();
+        let bound = Recolorer::bound_for(&self.params, self.sg.max_degree() as u64);
+
+        // 1. Carry. Stable ids make the ordinary case O(churn): surviving
+        // edges never move, so only the freed and inserted ids are
+        // touched. A rebuild commit (shrink) reassigned every id and says
+        // so via `edge_remap` — the one remaining O(m) carry.
+        let mut colors = old_colors;
+        if let Some(remap) = &delta.edge_remap {
+            let mut remapped = vec![UNCOLORED; self.sg.edge_bound()];
+            for (old_id, &new_id) in remap.iter().enumerate() {
+                if new_id != Graph::NO_EDGE_ORIGIN {
+                    remapped[new_id as usize] = colors[old_id];
+                }
+            }
+            colors = remapped;
+        } else {
+            colors.resize(self.sg.edge_bound(), UNCOLORED);
+            for &id in &delta.freed_ids {
+                colors[id as usize] = UNCOLORED;
+            }
+            for &id in &delta.inserted_ids {
+                colors[id as usize] = UNCOLORED;
+            }
+        }
+
+        // 2. Region. The ordinary region is exactly the inserted ids
+        // (carried colors cannot conflict; deletions never create
+        // conflicts). A full live sweep is only needed when holes or
+        // evictions can hide outside the delta: the engine's first commit
+        // (pre-existing uncolored edges), a shrunk palette bound
+        // (evictions), or a rebuild (fresh ids everywhere).
+        let full_sweep = self.commits == 0 || bound < self.prev_bound || delta.edge_remap.is_some();
+        let dirty: Vec<EdgeIdx> = if full_sweep {
+            self.sg
+                .edges_with_ids()
+                .map(|(id, _)| id)
+                .filter(|&id| {
+                    let c = colors[id];
+                    c == UNCOLORED || c >= bound
+                })
+                .collect()
+        } else {
+            let mut d: Vec<EdgeIdx> = delta.inserted_ids.iter().map(|&id| id as EdgeIdx).collect();
+            d.sort_unstable();
+            d
+        };
+
+        let commit = self.commits;
+        self.commits += 1;
+        let mut report = CommitReport {
+            commit,
+            inserted: delta.inserted.len(),
+            deleted: delta.deleted.len(),
+            n: self.sg.n(),
+            m,
+            max_degree: self.sg.max_degree(),
+            dirty: dirty.len(),
+            region_vertices: 0,
+            strategy: RepairStrategy::Clean,
+            recolored: 0,
+            schedule_classes: 0,
+            color_bound: bound,
+            retries: 0,
+            fallbacks: 0,
+            stats: RunStats::zero(),
+        };
+        let compact =
+            self.compaction_every > 0 && (commit + 1) % self.compaction_every == 0 && m > 0;
+        if dirty.is_empty() && !compact {
+            self.colors = colors;
+            self.prev_bound = bound;
+            report.stats.commit_bytes = delta.commit_bytes;
+            return Ok(report);
+        }
+
+        // 3+4. Repair through the same generic RegionHost machinery the
+        // legacy engine runs — bit-identical sub-networks, bit-identical
+        // outcomes.
+        let from_scratch =
+            compact || dirty.len() as u64 * 100 >= m as u64 * u64::from(self.threshold_pct);
+        if from_scratch {
+            let stats =
+                self.sg.full_recolor_into(&mut colors, self.params, self.mode, self.early_halt);
+            report.strategy = RepairStrategy::FromScratch;
+            report.recolored = m;
+            report.stats = stats;
+        } else if self.transport.is_perfect() {
+            let mut is_dirty = vec![false; self.sg.edge_bound()];
+            for &e in &dirty {
+                is_dirty[e] = true;
+            }
+            let (stats, classes, region_vertices) = repair_region(
+                &self.sg,
+                &dirty,
+                &is_dirty,
+                &mut colors,
+                self.params,
+                self.mode,
+                self.early_halt,
+            );
+            report.strategy = RepairStrategy::Incremental;
+            report.recolored = dirty.len();
+            report.schedule_classes = classes;
+            report.region_vertices = region_vertices;
+            report.stats = stats;
+        } else {
+            resilient_repair(
+                &self.sg,
+                &dirty,
+                &mut colors,
+                self.params,
+                self.mode,
+                self.early_halt,
+                &self.transport,
+                self.max_attempts,
+                &mut report,
+            );
+        }
+        self.colors = colors;
+        debug_assert!(self.sg.edges_with_ids().all(|(id, _)| self.colors[id] < bound));
+        self.prev_bound = bound;
+        report.stats.commit_bytes = delta.commit_bytes;
+        Ok(report)
+    }
+}

@@ -1,4 +1,4 @@
-//! Property tests for the delta-CSR commit path.
+//! Property tests for the delta-CSR and segmented commit paths.
 //!
 //! The contract under test: after **arbitrary commit sequences** — random
 //! insert/delete mixes, vertex growth, identifier overrides, shrink
@@ -8,28 +8,37 @@
 //! edge indices, same CSR slot and mirror-slot numbering, same identifiers
 //! (`Graph` equality covers all of it, and the mirror involution is checked
 //! explicitly on top). The rebuild oracle `MutableGraph::commit_rebuild`
-//! must agree delta-for-delta and error-for-error.
+//! must agree delta-for-delta and error-for-error, and the **segmented
+//! engine** (`SegmentedGraph`, O(region) commits) must track both: same
+//! accepted/rejected batches with the same errors, a materialization
+//! (`to_graph`) bit-identical to the patched snapshot, internally
+//! consistent segments/mirrors, and a per-edge carry (`freed_ids` /
+//! `inserted_ids` / `edge_remap`) exactly equivalent to the oracle's
+//! `edge_origin` map.
 //!
 //! Like `proptest_invariants.rs`, the offline build has no proptest crate:
 //! cases sweep a deterministic seeded space, so every failure is
 //! reproducible from its case index alone.
 
 use deco_graph::line_graph::line_graph;
-use deco_graph::{CommitDelta, Graph, MutableGraph, Vertex};
+use deco_graph::{CommitDelta, Graph, MutableGraph, SegCommitDelta, SegmentedGraph, Vertex};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 const CASES: u64 = 40;
 const BATCHES_PER_CASE: usize = 6;
 
-/// Drives one pseudo-random batch on both engines and returns the commit's
-/// delta if the batch was valid (both engines must agree either way).
+/// Drives one pseudo-random batch on all three engines and returns the
+/// commit's deltas if the batch was valid (the engines must agree either
+/// way — accepted set, errors, resulting snapshot).
 fn random_batch(
     fast: &mut MutableGraph,
     slow: &mut MutableGraph,
+    seg: &mut SegmentedGraph,
     rng: &mut StdRng,
-) -> Option<CommitDelta> {
+) -> Option<(CommitDelta, SegCommitDelta)> {
     let ops = 1 + rng.gen_range(0..8usize);
+    let mut had_shrink = false;
     for _ in 0..ops {
         match rng.gen_range(0..100u32) {
             // Insert a random pair (may collide with an existing edge: the
@@ -42,7 +51,9 @@ fn random_batch(
                     if u != v {
                         let a = fast.insert_edge(u, v);
                         let b = slow.insert_edge(u, v);
+                        let c = seg.insert_edge(u, v);
                         assert_eq!(a, b);
+                        assert_eq!(a, c);
                     }
                 }
             }
@@ -54,12 +65,15 @@ fn random_batch(
                     let (u, v) = fast.graph().endpoints(e);
                     fast.delete_edge(u, v).unwrap();
                     slow.delete_edge(u, v).unwrap();
+                    seg.delete_edge(u, v).unwrap();
                 }
             }
             75..=84 => {
                 let a = fast.add_vertex();
                 let b = slow.add_vertex();
+                let c = seg.add_vertex();
                 assert_eq!(a, b);
+                assert_eq!(a, c);
             }
             85..=92 => {
                 let n = fast.next_n();
@@ -68,19 +82,49 @@ fn random_batch(
                     let ident = rng.gen_range(1..2 * n as u64 + 2);
                     let a = fast.set_ident(v, ident);
                     let b = slow.set_ident(v, ident);
+                    let c = seg.set_ident(v, ident);
                     assert_eq!(a, b);
+                    assert_eq!(a, c);
                 }
             }
             _ => {
                 fast.shrink_isolated();
                 slow.shrink_isolated();
+                seg.shrink_isolated();
+                had_shrink = true;
             }
         }
     }
     let a = fast.commit();
     let b = slow.commit_rebuild();
     assert_eq!(a, b, "delta commit and rebuild oracle must agree");
-    a.ok()
+    let c = seg.commit();
+    match (&a, &c) {
+        (Err(ea), Err(ec)) => assert_eq!(ea, ec, "segmented must reject with the same error"),
+        (Ok(da), Ok(dc)) => {
+            assert_eq!(da.inserted, dc.inserted);
+            assert_eq!(da.deleted, dc.deleted);
+            assert_eq!(da.added_vertices, dc.added_vertices);
+            assert_eq!(da.removed_vertices, dc.removed_vertices);
+            assert_eq!(da.vertex_map, dc.vertex_map);
+            assert_eq!(dc.inserted_ids.len(), dc.inserted.len());
+            assert_eq!(dc.freed_ids.len(), dc.deleted.len());
+            // Shrink batches rebuild (and say so); ordinary commits keep
+            // every surviving id in place and report no remap.
+            assert_eq!(dc.edge_remap.is_some(), had_shrink);
+        }
+        _ => panic!("engines disagree on batch validity: oracle {a:?} vs segmented {c:?}"),
+    }
+    // The segmented store must be internally consistent and materialize to
+    // the oracle snapshot bit for bit after *every* commit attempt
+    // (including rejected batches, which must leave it untouched).
+    seg.check_consistency();
+    let (sg_graph, idmap) = seg.to_graph();
+    assert_eq!(&sg_graph, fast.graph(), "segmented materialization diverged");
+    for (lex, &id) in idmap.iter().enumerate() {
+        assert_eq!(sg_graph.endpoints(lex), seg.endpoints(id as usize));
+    }
+    a.ok().zip(c.ok())
 }
 
 /// The from-scratch oracle: rebuild the committed snapshot from its own
@@ -114,8 +158,9 @@ fn patched_commits_match_rebuilds_under_arbitrary_churn() {
         let mut rng = StdRng::seed_from_u64(0xDE17_AC58 ^ (case << 8));
         let mut fast = MutableGraph::new(n0);
         let mut slow = MutableGraph::new(n0);
+        let mut seg = SegmentedGraph::new(n0);
         for batch in 0..BATCHES_PER_CASE {
-            let _ = random_batch(&mut fast, &mut slow, &mut rng);
+            let _ = random_batch(&mut fast, &mut slow, &mut seg, &mut rng);
             assert_eq!(fast.graph(), slow.graph(), "case {case}, batch {batch}");
             assert_structurally_identical(fast.graph(), &format!("case {case}, batch {batch}"));
         }
@@ -126,17 +171,19 @@ fn patched_commits_match_rebuilds_under_arbitrary_churn() {
 fn patched_line_graphs_match_rebuild_line_graphs() {
     // Downstream structures derived from the CSR (the line graph the edge
     // coloring pipeline runs on) agree too — edge indices being identical
-    // is what makes this hold.
+    // is what makes this hold, on the segmented materialization included.
     let mut rng = StdRng::seed_from_u64(0x11E);
     let mut mg = MutableGraph::new(9);
+    let mut seg = SegmentedGraph::new(9);
     for _ in 0..8 {
         let mut shadow = mg.clone();
-        if random_batch(&mut mg, &mut shadow, &mut rng).is_some() {
+        if random_batch(&mut mg, &mut shadow, &mut seg, &mut rng).is_some() {
             let g = mg.graph();
             let edges: Vec<(Vertex, Vertex)> = g.edges().collect();
             let rebuilt =
                 Graph::from_edges(g.n(), &edges).unwrap().with_idents(g.idents().to_vec()).unwrap();
             assert_eq!(line_graph(g), line_graph(&rebuilt));
+            assert_eq!(line_graph(&seg.to_graph().0), line_graph(g));
         }
     }
 }
@@ -153,9 +200,11 @@ fn edge_origin_tracks_survivors_exactly() {
         let n0 = 4 + (case % 9) as usize;
         let mut fast = MutableGraph::new(n0);
         let mut slow = MutableGraph::new(n0);
+        let mut seg = SegmentedGraph::new(n0);
         for batch in 0..4 {
             let old = fast.graph().clone();
-            let Some(delta) = random_batch(&mut fast, &mut slow, &mut rng) else {
+            let Some((delta, _segd)) = random_batch(&mut fast, &mut slow, &mut seg, &mut rng)
+            else {
                 continue;
             };
             committed += 1;
@@ -177,4 +226,79 @@ fn edge_origin_tracks_survivors_exactly() {
         }
     }
     assert!(committed > CASES as usize, "sweep must exercise plenty of valid commits");
+}
+
+#[test]
+fn segmented_carry_matches_edge_origin() {
+    // The segmented carry vocabulary (`inserted_ids` / `freed_ids` /
+    // `edge_remap`) must let a client move per-edge payloads across commits
+    // with exactly the outcome of the oracle's `edge_origin` map: survivors
+    // keep their payload, fresh pairs get fresh ones, and the two engines
+    // agree edge for edge. Payloads here are serial tags, allocated in the
+    // shared `inserted` order so both sides mint identical values.
+    let mut carried = 0usize;
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x05E6_CA44 ^ (case << 4));
+        let n0 = 4 + (case % 9) as usize;
+        let mut fast = MutableGraph::new(n0);
+        let mut slow = MutableGraph::new(n0);
+        let mut seg = SegmentedGraph::new(n0);
+        let mut lex_store: Vec<u64> = Vec::new();
+        let mut id_store: Vec<u64> = Vec::new();
+        let mut serial = 0u64;
+        for batch in 0..5 {
+            let Some((delta, segd)) = random_batch(&mut fast, &mut slow, &mut seg, &mut rng) else {
+                continue;
+            };
+            let g = fast.graph();
+            // Oracle carry: lexicographic store rebuilt through `origin_of`.
+            let mut next = vec![u64::MAX; g.m()];
+            for (e, tag) in next.iter_mut().enumerate() {
+                *tag = match delta.origin_of(e) {
+                    Some(o) => lex_store[o],
+                    None => {
+                        let (u, v) = g.endpoints(e);
+                        let i = delta
+                            .inserted
+                            .binary_search(&(u.min(v), u.max(v)))
+                            .expect("fresh edge must appear in the inserted list");
+                        serial + i as u64
+                    }
+                };
+            }
+            lex_store = next;
+            // Segmented carry: stable-id store patched in place (or remapped
+            // through `edge_remap` when the batch rebuilt).
+            if let Some(remap) = &segd.edge_remap {
+                let mut next = vec![u64::MAX; seg.edge_bound()];
+                for (old_id, &new_id) in remap.iter().enumerate() {
+                    if new_id != Graph::NO_EDGE_ORIGIN {
+                        next[new_id as usize] = id_store[old_id];
+                    }
+                }
+                id_store = next;
+            } else {
+                id_store.resize(seg.edge_bound(), u64::MAX);
+                for &fid in &segd.freed_ids {
+                    id_store[fid as usize] = u64::MAX;
+                }
+            }
+            for (i, &id) in segd.inserted_ids.iter().enumerate() {
+                id_store[id as usize] = serial + i as u64;
+            }
+            serial += delta.inserted.len() as u64;
+            // Same payload on every live edge, in both coordinate systems.
+            let idmap = seg.lex_edge_ids();
+            assert_eq!(idmap.len(), g.m());
+            for e in 0..g.m() {
+                assert_ne!(lex_store[e], u64::MAX, "case {case}, batch {batch}: untagged edge {e}");
+                assert_eq!(
+                    lex_store[e], id_store[idmap[e] as usize],
+                    "case {case}, batch {batch}, edge {e}: carry diverged"
+                );
+            }
+            carried += 1;
+        }
+    }
+    assert!(carried > CASES as usize, "sweep must exercise plenty of valid commits");
 }

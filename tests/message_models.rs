@@ -67,6 +67,7 @@ fn lemma_5_2_accounting() {
         max_message_bits: 16,
         total_message_bits: 1600,
         transport_dropped: 0,
+        commit_bytes: 0,
     };
     let host = lemma_5_2_host_stats(&g, native);
     assert_eq!(host.rounds, 21);

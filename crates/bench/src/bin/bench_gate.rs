@@ -85,8 +85,8 @@ fn main() -> ExitCode {
                  hashes) must not regress; wall-clock, acceptance and environment \
                  fields are informational. Regenerate deliberately with `cargo run \
                  -p deco-bench --bin bench_gate -- write BENCH_baseline.json \
-                 BENCH_pr1.json BENCH_pr2.json BENCH_pr3.json BENCH_pr4.json \
-                 BENCH_pr5.json` and say why in CHANGES.md.",
+                 BENCH_pr1.json .. BENCH_pr8.json PROFILE_report.json` and say why \
+                 in CHANGES.md.",
             )
             .field("benches", benches.build())
             .build();

@@ -28,6 +28,7 @@
 
 use deco_graph::EdgeIdx;
 use deco_local::{Network, NodeCtx, Protocol, RoundLoad, RunStats};
+use deco_probe::Event;
 
 /// Stats of one named pipeline phase.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,12 +46,17 @@ pub struct Pipeline<'n, 'g> {
     net: &'n Network<'g>,
     stats: RunStats,
     phases: Vec<PhaseTrace>,
+    /// Phase whose `PhaseEnter` was emitted but whose `PhaseExit` is still
+    /// pending — set by [`Pipeline::run_profiled`] before the run so the
+    /// phase's `Round` events land inside its span, cleared by
+    /// [`Pipeline::absorb`].
+    pending: Option<&'static str>,
 }
 
 impl<'n, 'g> Pipeline<'n, 'g> {
     /// Starts an empty pipeline over `net`.
     pub fn new(net: &'n Network<'g>) -> Pipeline<'n, 'g> {
-        Pipeline { net, stats: RunStats::zero(), phases: Vec::new() }
+        Pipeline { net, stats: RunStats::zero(), phases: Vec::new(), pending: None }
     }
 
     /// The underlying network.
@@ -89,6 +95,11 @@ impl<'n, 'g> Pipeline<'n, 'g> {
         P::Msg: Send + Sync,
         F: FnMut(&NodeCtx<'_>) -> P,
     {
+        let probe = self.net.probe();
+        if probe.enabled() {
+            probe.emit(Event::PhaseEnter { name: name.into() });
+            self.pending = Some(name);
+        }
         let (run, profile) = self.net.run_profiled_threaded(make);
         self.absorb(name, run.stats);
         (run.outputs, profile)
@@ -112,7 +123,22 @@ impl<'n, 'g> Pipeline<'n, 'g> {
 
     /// Folds the stats of a nested driver (one that ran its own phases,
     /// e.g. a recursion level) into the pipeline as a named phase.
+    ///
+    /// With an enabled probe on the network this closes the phase's span:
+    /// a `PhaseExit` event carrying the phase's stats, preceded by a
+    /// `PhaseEnter` for phases absorbed without a [`Pipeline::run_profiled`]
+    /// call (nested drivers emit balanced spans either way). Aggregate
+    /// phases absorbed on top of their inner phases overlap them in a
+    /// report — the report documents that — so no de-duplication happens
+    /// here.
     pub fn absorb(&mut self, name: &'static str, stats: RunStats) {
+        let probe = self.net.probe();
+        if probe.enabled() {
+            if self.pending.take() != Some(name) {
+                probe.emit(Event::PhaseEnter { name: name.into() });
+            }
+            probe.emit(Event::PhaseExit { name: name.into(), stats: stats.into() });
+        }
         self.stats += stats;
         self.phases.push(PhaseTrace { name, stats });
     }
@@ -240,6 +266,43 @@ mod tests {
     fn merge_rejects_missing_edge() {
         let per_vertex = vec![vec![(0usize, 1u64)]];
         let _ = merge_edge_replicas(2, &per_vertex, "test");
+    }
+
+    #[test]
+    fn probe_sees_balanced_phase_spans() {
+        use deco_probe::{Event, RecordingProbe};
+        use std::sync::Arc;
+        let g = generators::cycle(10);
+        let probe = Arc::new(RecordingProbe::new());
+        let net = Network::new(&g).with_probe(probe.clone());
+        let mut pl = Pipeline::new(&net);
+        pl.run("first", |_| Ping(false));
+        pl.absorb("external", RunStats { rounds: 3, node_rounds: 30, ..RunStats::zero() });
+        let events = probe.events();
+        let spans: Vec<(&str, &str)> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::PhaseEnter { name } => Some(("enter", name.as_ref())),
+                Event::PhaseExit { name, .. } => Some(("exit", name.as_ref())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            spans,
+            [("enter", "first"), ("exit", "first"), ("enter", "external"), ("exit", "external")]
+        );
+        // The run's rounds were emitted inside the "first" span.
+        let round_pos = events.iter().position(|e| matches!(e, Event::Round { .. })).unwrap();
+        let exit_pos = events
+            .iter()
+            .position(|e| matches!(e, Event::PhaseExit { name, .. } if name == "first"))
+            .unwrap();
+        assert!(round_pos < exit_pos);
+        // The absorbed phase's stats ride on its exit event.
+        let Some(Event::PhaseExit { stats, .. }) = events.last() else {
+            panic!("expected trailing PhaseExit");
+        };
+        assert_eq!((stats.rounds, stats.node_rounds), (3, 30));
     }
 
     #[test]

@@ -37,7 +37,9 @@
 //! carried across the commit by edge slot instead of endpoint matching.
 
 use crate::{Graph, GraphError, Vertex};
+use deco_probe::{Event, Probe};
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// One queued mutation (see the module docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -128,6 +130,9 @@ pub struct MutableGraph {
     pending: Vec<Op>,
     /// Vertices added by pending ops (so queued inserts can address them).
     pending_vertices: usize,
+    /// Observability sink: both commit paths emit one
+    /// [`Event::CommitBytes`] per non-empty batch (default: disabled).
+    probe: Arc<dyn Probe>,
 }
 
 impl MutableGraph {
@@ -138,7 +143,28 @@ impl MutableGraph {
 
     /// Wraps an existing graph as the committed state.
     pub fn from_graph(snapshot: Graph) -> MutableGraph {
-        MutableGraph { snapshot, pending: Vec::new(), pending_vertices: 0 }
+        MutableGraph {
+            snapshot,
+            pending: Vec::new(),
+            pending_vertices: 0,
+            probe: deco_probe::null(),
+        }
+    }
+
+    /// Attaches an observability probe (default: the shared disabled
+    /// [`deco_probe::NullProbe`]). With an enabled probe every non-empty
+    /// committed batch emits one [`Event::CommitBytes`] carrying the bytes
+    /// written into the committed representation — the same value as
+    /// [`CommitDelta::commit_bytes`], as the write happens.
+    pub fn set_probe(&mut self, probe: Arc<dyn Probe>) {
+        self.probe = probe;
+    }
+
+    /// Emission helper shared by both commit paths.
+    fn emit_commit_bytes(&self, bytes: usize) {
+        if self.probe.enabled() {
+            self.probe.emit(Event::CommitBytes { bytes: bytes as u64 });
+        }
     }
 
     /// The current committed snapshot (pending operations excluded).
@@ -354,6 +380,7 @@ impl MutableGraph {
         match self.snapshot.patched(&inserted, &deleted, added_vertices, idents) {
             Ok((graph, edge_origin)) => {
                 let commit_bytes = Graph::full_rewrite_bytes(graph.n(), graph.m());
+                self.emit_commit_bytes(commit_bytes);
                 self.snapshot = graph;
                 self.discard_pending();
                 Ok(CommitDelta {
@@ -581,6 +608,7 @@ impl MutableGraph {
                 commit_bytes,
             }
         };
+        self.emit_commit_bytes(commit_bytes);
         self.snapshot = graph;
         self.discard_pending();
         Ok(delta)

@@ -58,7 +58,9 @@
 //! `pr7_segments` bench compares.
 
 use crate::{EdgeIdx, Graph, GraphError, Vertex};
+use deco_probe::{Event, Probe};
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// Tombstone in the endpoint table for a freed edge id.
 const HOLE: (u32, u32) = (u32::MAX, u32::MAX);
@@ -197,6 +199,9 @@ pub struct SegmentedGraph {
     dead_slots: usize,
     pending: Vec<Op>,
     pending_vertices: usize,
+    /// Observability sink: both commit paths emit one
+    /// [`Event::CommitBytes`] per non-empty batch (default: disabled).
+    probe: Arc<dyn Probe>,
 }
 
 impl SegmentedGraph {
@@ -239,6 +244,23 @@ impl SegmentedGraph {
             dead_slots: 0,
             pending: Vec::new(),
             pending_vertices: 0,
+            probe: deco_probe::null(),
+        }
+    }
+
+    /// Attaches an observability probe (default: the shared disabled
+    /// [`deco_probe::NullProbe`]). With an enabled probe every non-empty
+    /// committed batch emits one [`Event::CommitBytes`] carrying the same
+    /// value as [`SegCommitDelta::commit_bytes`] — O(region) for ordinary
+    /// commits, the full-rewrite figure for shrink rebuilds.
+    pub fn set_probe(&mut self, probe: Arc<dyn Probe>) {
+        self.probe = probe;
+    }
+
+    /// Emission helper shared by both commit paths.
+    fn emit_commit_bytes(&self, bytes: usize) {
+        if self.probe.enabled() {
+            self.probe.emit(Event::CommitBytes { bytes: bytes as u64 });
         }
     }
 
@@ -800,6 +822,7 @@ impl SegmentedGraph {
         bytes += IDENT_BYTES * ident_writes;
         self.epoch = epoch;
         self.discard_pending();
+        self.emit_commit_bytes(bytes);
         Ok(SegCommitDelta {
             inserted,
             deleted,
@@ -946,8 +969,11 @@ impl SegmentedGraph {
 
         let commit_bytes = Graph::full_rewrite_bytes(graph.n(), graph.m());
         let epoch = self.epoch.wrapping_add(1);
+        let probe = Arc::clone(&self.probe);
         *self = SegmentedGraph::from_graph(&graph);
         self.epoch = epoch;
+        self.probe = probe;
+        self.emit_commit_bytes(commit_bytes);
         Ok(SegCommitDelta {
             inserted,
             deleted,

@@ -76,8 +76,8 @@ pub mod spill;
 
 pub use message::{bits_for_range, bits_for_value, Bitset, Message};
 pub use network::{
-    Action, Delivery, DeliveryChoice, Engine, Network, NodeCtx, Protocol, RoundLoad, RoundTrace,
-    Run, RunError, SharedConfig, TracedRun,
+    encode_round_trace, Action, Delivery, DeliveryChoice, Engine, Network, NodeCtx, Protocol,
+    RoundLoad, RoundTrace, Run, RunError, SharedConfig, TracedRun,
 };
-pub use stats::RunStats;
+pub use stats::{RunStats, StatsDiff};
 pub use transport::{Fate, FaultyTransport, InProcess, Transport};

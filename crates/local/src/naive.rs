@@ -248,6 +248,9 @@ impl Network<'_> {
             let ctx = self.ctx_for(v, round);
             outputs.push(p.finish(&ctx));
         }
+        // The determinism contract makes this profile bit-identical to the
+        // slot engine's, so the probe's Round events match across engines.
+        self.emit_run(&profile, &[]);
         Ok((Run { outputs, stats }, profile))
     }
 

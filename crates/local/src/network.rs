@@ -47,6 +47,8 @@ use crate::message::Message;
 use crate::stats::RunStats;
 use crate::transport::{Fate, InProcess, Transport};
 use deco_graph::{Graph, Vertex};
+use deco_probe::{Event, Probe};
+use std::fmt::Write as _;
 use std::sync::Arc;
 
 /// Immutable per-node view handed to every [`Protocol`] callback.
@@ -336,6 +338,36 @@ pub struct Network<'g> {
     delivery: Delivery,
     early_halt: bool,
     transport: Arc<dyn Transport>,
+    probe: Arc<dyn Probe>,
+}
+
+/// Run-length encodes a [`RoundTrace`] as `<mode><workers>x<len>` groups
+/// (`s` = scan, `p` = push), e.g. `"s1x3,p4x2"` — three sequential scan
+/// rounds then two push rounds stepped by four workers. This is the value
+/// of the probe's `round_trace` [`Event::Env`] entry: delivery choices and
+/// worker counts are machine/configuration facts, excluded from the
+/// deterministic stream by the same policy as the bench gate's
+/// `environment` blocks.
+pub fn encode_round_trace(trace: &[RoundTrace]) -> String {
+    let mut out = String::new();
+    let mut i = 0;
+    while i < trace.len() {
+        let t = trace[i];
+        let mut len = 1;
+        while i + len < trace.len() && trace[i + len] == t {
+            len += 1;
+        }
+        if !out.is_empty() {
+            out.push(',');
+        }
+        let mode = match t.delivery {
+            DeliveryChoice::Scan => 's',
+            DeliveryChoice::Push => 'p',
+        };
+        let _ = write!(out, "{mode}{}x{len}", t.workers);
+        i += len;
+    }
+    out
 }
 
 /// Parses a `DECO_THREADS` value; `None` means the variable is unset.
@@ -423,6 +455,7 @@ impl<'g> Network<'g> {
             delivery,
             early_halt: true,
             transport: Arc::new(InProcess),
+            probe: deco_probe::null(),
         }
     }
 
@@ -521,6 +554,49 @@ impl<'g> Network<'g> {
         self.early_halt
     }
 
+    /// Attaches an observability probe (default: the shared disabled
+    /// [`deco_probe::NullProbe`], which costs one branch per run). With an
+    /// enabled probe every successful run emits one
+    /// [`Event::Round`] per delivery round (the [`RoundLoad`] profile in
+    /// event form) plus a `round_trace` [`Event::Env`] entry encoding the
+    /// per-round delivery choices and worker counts (see
+    /// [`encode_round_trace`]) when the slot engine traced them. Emission
+    /// happens post-run on the driving thread, so the hot path is untouched
+    /// and event order is deterministic.
+    pub fn with_probe(mut self, probe: Arc<dyn Probe>) -> Network<'g> {
+        self.probe = probe;
+        self
+    }
+
+    /// The observability probe in effect.
+    pub fn probe(&self) -> &Arc<dyn Probe> {
+        &self.probe
+    }
+
+    /// Emits a finished run's per-round profile (and, when non-empty, its
+    /// execution trace) into the probe. Called exactly once per successful
+    /// run by each runner family — the naive runners emit for themselves, so
+    /// slot-side callers that delegate must not emit again.
+    pub(crate) fn emit_run(&self, profile: &[RoundLoad], trace: &[RoundTrace]) {
+        if !self.probe.enabled() {
+            return;
+        }
+        for (i, load) in profile.iter().enumerate() {
+            self.probe.emit(Event::Round {
+                round: (i + 1) as u64,
+                live_nodes: load.live_nodes as u64,
+                messages: load.messages as u64,
+                bits: load.bits as u64,
+                sent_messages: load.sent_messages as u64,
+                sent_bits: load.sent_bits as u64,
+                transport_dropped: load.transport_dropped as u64,
+            });
+        }
+        if !trace.is_empty() {
+            self.probe.emit(Event::env("round_trace", encode_round_trace(trace)));
+        }
+    }
+
     /// Runs `protocol` (one instance per vertex, built by `make`) to
     /// quiescence and returns per-vertex outputs plus stats.
     ///
@@ -566,7 +642,8 @@ impl<'g> Network<'g> {
     {
         match self.engine {
             Engine::Slot => {
-                let (run, profile, _) = engine::run(self, make, 1, engine::SeqStepper)?;
+                let (run, profile, trace) = engine::run(self, make, 1, engine::SeqStepper)?;
+                self.emit_run(&profile, &trace);
                 Ok((run, profile))
             }
             Engine::Naive => self.try_run_profiled_naive(make),
@@ -642,17 +719,18 @@ impl<'g> Network<'g> {
         F: FnMut(&NodeCtx<'_>) -> P,
     {
         if self.engine == Engine::Naive {
+            // The naive runner emits its own profile into the probe.
             let (run, profile) = self.try_run_profiled_naive(make)?;
             return Ok((run, profile, Vec::new()));
         }
         #[cfg(feature = "parallel")]
-        {
-            engine::run(self, make, self.threads, engine::ParStepper)
-        }
+        let result = engine::run(self, make, self.threads, engine::ParStepper);
         #[cfg(not(feature = "parallel"))]
-        {
-            engine::run(self, make, 1, engine::SeqStepper)
+        let result = engine::run(self, make, 1, engine::SeqStepper);
+        if let Ok((_, profile, trace)) = &result {
+            self.emit_run(profile, trace);
         }
+        result
     }
 
     pub(crate) fn ctx_for(&self, v: Vertex, round: usize) -> NodeCtx<'_> {

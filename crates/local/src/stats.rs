@@ -59,6 +59,88 @@ impl RunStats {
         self.max_message_bits = self.max_message_bits.max(bits);
         self.total_message_bits += bits;
     }
+
+    /// Signed field-by-field delta against a baseline (`self - baseline`),
+    /// for "this run vs. that run" output without hand-formatting each
+    /// field at every call site.
+    pub fn diff(&self, baseline: &RunStats) -> StatsDiff {
+        fn d(new: usize, old: usize) -> i64 {
+            new as i64 - old as i64
+        }
+        StatsDiff {
+            rounds: d(self.rounds, baseline.rounds),
+            node_rounds: d(self.node_rounds, baseline.node_rounds),
+            messages: d(self.messages, baseline.messages),
+            max_message_bits: d(self.max_message_bits, baseline.max_message_bits),
+            total_message_bits: d(self.total_message_bits, baseline.total_message_bits),
+            transport_dropped: d(self.transport_dropped, baseline.transport_dropped),
+            commit_bytes: d(self.commit_bytes, baseline.commit_bytes),
+        }
+    }
+}
+
+/// Signed per-field difference of two [`RunStats`], from
+/// [`RunStats::diff`]. `Display` mirrors the `RunStats` format with
+/// explicit signs, omitting the same conditional fields when both sides
+/// agree at zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsDiff {
+    /// Delta in synchronous rounds.
+    pub rounds: i64,
+    /// Delta in stepped node-rounds.
+    pub node_rounds: i64,
+    /// Delta in delivered messages.
+    pub messages: i64,
+    /// Delta in the largest-message size.
+    pub max_message_bits: i64,
+    /// Delta in aggregate delivered bits.
+    pub total_message_bits: i64,
+    /// Delta in transport-dropped messages.
+    pub transport_dropped: i64,
+    /// Delta in committed bytes.
+    pub commit_bytes: i64,
+}
+
+impl StatsDiff {
+    /// Whether every field is unchanged.
+    pub fn is_zero(&self) -> bool {
+        *self == StatsDiff::default()
+    }
+}
+
+impl fmt::Display for StatsDiff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:+} rounds ({:+} node-rounds), {:+} msgs, {:+} max msg bits, {:+} total bits",
+            self.rounds,
+            self.node_rounds,
+            self.messages,
+            self.max_message_bits,
+            self.total_message_bits
+        )?;
+        if self.transport_dropped != 0 {
+            write!(f, ", {:+} dropped in transit", self.transport_dropped)?;
+        }
+        if self.commit_bytes != 0 {
+            write!(f, ", {:+} commit bytes", self.commit_bytes)?;
+        }
+        Ok(())
+    }
+}
+
+impl From<RunStats> for deco_probe::Counters {
+    fn from(s: RunStats) -> deco_probe::Counters {
+        deco_probe::Counters {
+            rounds: s.rounds as u64,
+            node_rounds: s.node_rounds as u64,
+            messages: s.messages as u64,
+            max_message_bits: s.max_message_bits as u64,
+            total_message_bits: s.total_message_bits as u64,
+            transport_dropped: s.transport_dropped as u64,
+            commit_bytes: s.commit_bytes as u64,
+        }
+    }
 }
 
 impl Add for RunStats {
@@ -143,5 +225,36 @@ mod tests {
     #[test]
     fn display_is_nonempty() {
         assert!(!RunStats::zero().to_string().is_empty());
+    }
+
+    #[test]
+    fn diff_is_signed_and_displayable() {
+        let a = RunStats { rounds: 5, node_rounds: 50, messages: 20, ..RunStats::zero() };
+        let b = RunStats { rounds: 7, node_rounds: 40, messages: 20, ..RunStats::zero() };
+        let d = a.diff(&b);
+        assert_eq!(d.rounds, -2);
+        assert_eq!(d.node_rounds, 10);
+        assert_eq!(d.messages, 0);
+        assert!(!d.is_zero());
+        assert!(a.diff(&a).is_zero());
+        let text = d.to_string();
+        assert!(text.starts_with("-2 rounds (+10 node-rounds), +0 msgs"), "{text}");
+        assert!(!text.contains("commit bytes"), "{text}");
+    }
+
+    #[test]
+    fn counters_conversion_is_field_exact() {
+        let s = RunStats {
+            rounds: 1,
+            node_rounds: 2,
+            messages: 3,
+            max_message_bits: 4,
+            total_message_bits: 5,
+            transport_dropped: 6,
+            commit_bytes: 7,
+        };
+        let c = deco_probe::Counters::from(s);
+        assert_eq!((c.rounds, c.node_rounds, c.messages, c.max_message_bits), (1, 2, 3, 4));
+        assert_eq!((c.total_message_bits, c.transport_dropped, c.commit_bytes), (5, 6, 7));
     }
 }

@@ -1,0 +1,201 @@
+//! A small metrics registry: named counters and deterministic fixed-bucket
+//! histograms, with a stable text exposition format.
+//!
+//! The registry is what [`report::Report`](crate::report::Report) builds
+//! on, but it is usable on its own: counters and histograms are keyed by
+//! name in a `BTreeMap`, so [`Registry::expose`] renders the same bytes
+//! for the same observations regardless of insertion order — the
+//! exposition itself is part of the deterministic surface.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A histogram with fixed power-of-two bucket bounds.
+///
+/// Bounds are `1, 2, 4, …, 2^62` plus an implicit `+Inf` bucket; a value
+/// `v` lands in the first bucket whose bound is `>= v` (zero lands in the
+/// `1` bucket). Fixed bounds keep histograms mergeable and deterministic:
+/// no adaptive resizing, no configuration to disagree on.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Histogram {
+    /// `counts[i]` observations fell in bucket `i` (bound `2^i`); the last
+    /// slot is the `+Inf` bucket.
+    counts: Vec<u64>,
+    sum: u64,
+    total: u64,
+}
+
+/// Number of finite buckets (bounds `2^0 ..= 2^62`).
+const FINITE_BUCKETS: usize = 63;
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: u64) {
+        let idx = if value <= 1 {
+            0
+        } else {
+            let bits = 64 - u64::leading_zeros(value - 1) as usize;
+            bits.min(FINITE_BUCKETS)
+        };
+        if self.counts.len() <= idx {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.total += 1;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of all observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Occupied `(upper_bound, count)` buckets in ascending bound order;
+    /// an upper bound of `u64::MAX` denotes the `+Inf` bucket.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts.iter().enumerate().filter(|(_, &c)| c > 0).map(|(i, &c)| {
+            let bound = if i >= FINITE_BUCKETS { u64::MAX } else { 1u64 << i };
+            (bound, c)
+        })
+    }
+}
+
+/// Named counters and histograms with a stable text exposition.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Adds `delta` to the counter `name`, creating it at zero.
+    pub fn inc(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Sets the counter `name` to `value` (for gauge-like facts that are
+    /// not accumulated).
+    pub fn set(&mut self, name: &str, value: u64) {
+        self.counters.insert(name.to_string(), value);
+    }
+
+    /// Records `value` in the histogram `name`, creating it if absent.
+    pub fn observe(&mut self, name: &str, value: u64) {
+        self.histograms.entry(name.to_string()).or_default().observe(value);
+    }
+
+    /// The counter `name`, or 0 if absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The histogram `name`, if any observation was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> + '_ {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Stable text exposition: counters as `name value` lines, histograms
+    /// as cumulative `name_bucket{le="bound"} count` lines plus `_sum` and
+    /// `_count`, everything in name order. Same observations ⇒ same bytes.
+    pub fn expose(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let _ = writeln!(out, "{name} {value}");
+        }
+        for (name, h) in &self.histograms {
+            let mut cum = 0u64;
+            for (bound, count) in h.buckets() {
+                cum += count;
+                if bound == u64::MAX {
+                    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cum}");
+                } else {
+                    let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cum}");
+                }
+            }
+            let _ = writeln!(out, "{name}_sum {}", h.sum());
+            let _ = writeln!(out, "{name}_count {}", h.count());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bucket_bounds() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 5, 8, 9, 1024] {
+            h.observe(v);
+        }
+        let buckets: Vec<(u64, u64)> = h.buckets().collect();
+        assert_eq!(buckets, vec![(1, 2), (2, 1), (4, 2), (8, 2), (16, 1), (1024, 1)]);
+        assert_eq!(h.count(), 9);
+        assert_eq!(h.sum(), 1056);
+    }
+
+    #[test]
+    fn huge_values_land_in_inf() {
+        let mut h = Histogram::new();
+        h.observe(u64::MAX);
+        assert_eq!(h.buckets().collect::<Vec<_>>(), vec![(u64::MAX, 1)]);
+    }
+
+    #[test]
+    fn exposition_is_insertion_order_independent() {
+        let mut a = Registry::new();
+        a.inc("zeta", 2);
+        a.inc("alpha", 1);
+        a.observe("sizes", 3);
+        a.observe("sizes", 100);
+
+        let mut b = Registry::new();
+        b.observe("sizes", 100);
+        b.inc("alpha", 1);
+        b.observe("sizes", 3);
+        b.inc("zeta", 2);
+
+        assert_eq!(a.expose(), b.expose());
+        let text = a.expose();
+        assert!(text.starts_with("alpha 1\nzeta 2\n"), "{text}");
+        assert!(text.contains("sizes_bucket{le=\"4\"} 1\n"), "{text}");
+        assert!(text.contains("sizes_bucket{le=\"128\"} 2\n"), "{text}");
+        assert!(text.contains("sizes_sum 103\n"), "{text}");
+        assert!(text.contains("sizes_count 2\n"), "{text}");
+    }
+
+    #[test]
+    fn set_overwrites() {
+        let mut r = Registry::new();
+        r.set("g", 5);
+        r.set("g", 3);
+        assert_eq!(r.counter("g"), 3);
+        assert_eq!(r.counter("missing"), 0);
+    }
+}

@@ -35,6 +35,8 @@ use deco_core::params::LegalParams;
 use deco_graph::coloring::Color;
 use deco_graph::{EdgeIdx, Graph, SegmentedGraph, Vertex};
 use deco_local::RunStats;
+use deco_probe::Probe;
+use std::sync::Arc;
 
 /// A graph store the repair machinery can run over. See the module docs;
 /// implemented for [`Graph`] and [`SegmentedGraph`].
@@ -71,13 +73,15 @@ pub trait RegionHost {
     /// and replaces `colors` (handle-indexed, resized to
     /// [`RegionHost::edge_bound`]) with the result. The shared reset path
     /// of threshold fallbacks, compactions and exhausted fault-era
-    /// retries.
+    /// retries. The pipeline's phase spans and round samples are emitted
+    /// into `probe`.
     fn full_recolor_into(
         &self,
         colors: &mut Vec<Color>,
         params: LegalParams,
         mode: MessageMode,
         early_halt: bool,
+        probe: &Arc<dyn Probe>,
     ) -> RunStats;
 }
 
@@ -116,8 +120,9 @@ impl RegionHost for Graph {
         params: LegalParams,
         mode: MessageMode,
         early_halt: bool,
+        probe: &Arc<dyn Probe>,
     ) -> RunStats {
-        let (new_colors, stats) = full_recolor(self, params, mode, early_halt);
+        let (new_colors, stats) = full_recolor(self, params, mode, early_halt, probe);
         *colors = new_colors;
         stats
     }
@@ -160,11 +165,12 @@ impl RegionHost for SegmentedGraph {
         params: LegalParams,
         mode: MessageMode,
         early_halt: bool,
+        probe: &Arc<dyn Probe>,
     ) -> RunStats {
         // Color on the materialized lexicographic snapshot, then scatter
         // back to stable ids; freed ids stay uncolored holes.
         let (g, idmap) = self.to_graph();
-        let (new_colors, stats) = full_recolor(&g, params, mode, early_halt);
+        let (new_colors, stats) = full_recolor(&g, params, mode, early_halt, probe);
         colors.clear();
         colors.resize(self.edge_bound(), UNCOLORED);
         for (lex, &id) in idmap.iter().enumerate() {

@@ -48,7 +48,7 @@ mod seg_recolor;
 
 pub use host::RegionHost;
 pub use recolor::{repair_phase, CommitReport, Recolorer, RepairStrategy};
-pub use replay::{queue_op, replay_trace, ReplayError, ReplayOutcome};
+pub use replay::{queue_op, replay_trace, replay_trace_probed, ReplayError, ReplayOutcome};
 pub use seg_recolor::SegRecolorer;
 
 // The transport seam vocabulary ([`Recolorer::with_transport`]), re-exported

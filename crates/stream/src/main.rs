@@ -1,9 +1,12 @@
 //! The `deco-stream` front end: replay a churn trace, or generate one.
 //!
 //! ```text
-//! deco-stream <trace-file> [threshold_pct]
+//! deco-stream <trace-file> [threshold_pct] [--profile <out.jsonl>]
 //!     Replay a trace, printing one row per commit (repaired edges, region
 //!     size, strategy, simulator rounds/messages, wall time) and totals.
+//!     With --profile, the full structured event stream of the run —
+//!     commit decisions, phase spans, per-round samples — is written as
+//!     JSONL for `deco-probe report`.
 //!
 //! deco-stream --gen <n> <delta_cap> <commits> <churn> <seed> [out-file]
 //!     Generate the canonical seeded churn trace; write it to the file, or
@@ -12,12 +15,14 @@
 
 use deco_core::edge::legal::{edge_log_depth, MessageMode};
 use deco_graph::trace::{churn_trace, parse_trace, to_text};
-use deco_stream::replay_trace;
+use deco_probe::JsonlProbe;
+use deco_stream::replay_trace_probed;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: deco-stream <trace-file> [threshold_pct]\n       \
+        "usage: deco-stream <trace-file> [threshold_pct] [--profile <out.jsonl>]\n       \
          deco-stream --gen <n> <delta_cap> <commits> <churn> <seed> [out-file]"
     );
     ExitCode::FAILURE
@@ -27,7 +32,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("--gen") => generate(&args[1..]),
-        Some(path) if !path.starts_with('-') => replay(path, args.get(1)),
+        Some(path) if !path.starts_with('-') => replay(path, &args[1..]),
         _ => usage(),
     }
 }
@@ -55,12 +60,23 @@ fn generate(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn replay(path: &str, threshold: Option<&String>) -> ExitCode {
-    let threshold_pct: u32 = match threshold.map(|t| t.parse()) {
-        None => 25,
-        Some(Ok(pct)) => pct,
-        Some(Err(_)) => return usage(),
-    };
+fn replay(path: &str, rest: &[String]) -> ExitCode {
+    let mut threshold_pct: u32 = 25;
+    let mut profile_path: Option<&str> = None;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--profile" {
+            match it.next() {
+                Some(p) => profile_path = Some(p),
+                None => return usage(),
+            }
+        } else {
+            match arg.parse() {
+                Ok(pct) => threshold_pct = pct,
+                Err(_) => return usage(),
+            }
+        }
+    }
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
@@ -75,12 +91,28 @@ fn replay(path: &str, threshold: Option<&String>) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let probe: Arc<dyn deco_probe::Probe> = match profile_path {
+        Some(p) => match JsonlProbe::create(p) {
+            Ok(j) => Arc::new(j),
+            Err(e) => {
+                eprintln!("cannot create {p}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => deco_probe::null(),
+    };
     println!(
         "replaying {path}: n0={}, {} commits, repair threshold {threshold_pct}% of m",
         trace.n0,
         trace.commit_count()
     );
-    let out = match replay_trace(&trace, edge_log_depth(1), MessageMode::Long, threshold_pct) {
+    let out = match replay_trace_probed(
+        &trace,
+        edge_log_depth(1),
+        MessageMode::Long,
+        threshold_pct,
+        probe,
+    ) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("{path}: {e}");
@@ -120,5 +152,16 @@ fn replay(path: &str, threshold: Option<&String>) -> ExitCode {
         out.recolorer.color_bound()
     );
     println!("totals: {totals}");
+    // The steady-state trend at a glance: how the last commit's cost moved
+    // against the first post-build commit (commit 0 is the from-scratch
+    // initial coloring, a different regime).
+    if out.reports.len() >= 3 {
+        let first = &out.reports[1];
+        let last = out.reports.last().expect("non-empty");
+        println!("last commit vs commit {}: {}", first.commit, last.stats.diff(&first.stats));
+    }
+    if let Some(p) = profile_path {
+        eprintln!("profile events written to {p} (summarize with: deco-probe report {p})");
+    }
     ExitCode::SUCCESS
 }

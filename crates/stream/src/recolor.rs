@@ -88,6 +88,7 @@ use deco_local::{
     bits_for_value, Action, Bitset, InProcess, Message, Network, NodeCtx, Protocol, RunError,
     RunStats, Transport,
 };
+use deco_probe::{Event, Probe};
 use std::sync::Arc;
 
 /// How a commit's repair was executed.
@@ -190,6 +191,10 @@ pub struct Recolorer {
     /// Bounded self-stabilization budget: how many fault-era repair
     /// attempts run before the commit degrades to from-scratch.
     max_attempts: u32,
+    /// Structured event sink (default: the shared no-op probe). Shared with
+    /// the inner [`MutableGraph`] and every repair sub-network so commit
+    /// decisions, phase spans and round samples land in one stream.
+    probe: Arc<dyn Probe>,
 }
 
 impl Recolorer {
@@ -214,6 +219,7 @@ impl Recolorer {
             early_halt: true,
             transport: Arc::new(InProcess),
             max_attempts: 5,
+            probe: deco_probe::null(),
         })
     }
 
@@ -244,6 +250,7 @@ impl Recolorer {
             early_halt: true,
             transport: Arc::new(InProcess),
             max_attempts: 5,
+            probe: deco_probe::null(),
         })
     }
 
@@ -318,6 +325,26 @@ impl Recolorer {
     pub fn with_max_repair_attempts(mut self, attempts: u32) -> Recolorer {
         self.max_attempts = attempts.max(1);
         self
+    }
+
+    /// Plugs a structured event sink under the engine (default: the shared
+    /// no-op probe). Every [`Recolorer::commit`] emits its decision trail —
+    /// `CommitEnter`/`Region`/`Strategy`/`Retry`/`Fallback`/`Compaction`/
+    /// `CommitExit` — and the probe is shared with the commit machinery
+    /// (`CommitBytes`, emitted *before* the commit's `CommitEnter` because
+    /// the graph layer runs first) and with every repair sub-network, so
+    /// phase spans and per-round samples of the repairs land in the same
+    /// stream. Deterministic events are bit-identical across thread counts
+    /// and delivery modes; see the [`Probe`] determinism contract.
+    pub fn with_probe(mut self, probe: Arc<dyn Probe>) -> Recolorer {
+        self.mg.set_probe(Arc::clone(&probe));
+        self.probe = probe;
+        self
+    }
+
+    /// The engine's event sink.
+    pub fn probe(&self) -> &Arc<dyn Probe> {
+        &self.probe
     }
 
     /// The current committed snapshot.
@@ -524,10 +551,13 @@ impl Recolorer {
         // re-runs the pipeline to squeeze the drifted palette back to ϑ.
         let compact =
             self.compaction_every > 0 && (commit + 1) % self.compaction_every == 0 && m > 0;
+        emit_commit_open(&self.probe, &report, compact);
         if dirty.is_empty() && !compact {
             self.colors = colors;
             self.prev_bound = bound;
             report.stats.commit_bytes = delta.commit_bytes;
+            emit_strategy(&self.probe, commit, RepairStrategy::Clean);
+            emit_commit_close(&self.probe, &report);
             return Ok(report);
         }
 
@@ -536,7 +566,9 @@ impl Recolorer {
         let from_scratch =
             compact || dirty.len() as u64 * 100 >= m as u64 * u64::from(self.threshold_pct);
         if from_scratch {
-            let (new_colors, stats) = full_recolor(g, self.params, self.mode, self.early_halt);
+            emit_strategy(&self.probe, commit, RepairStrategy::FromScratch);
+            let (new_colors, stats) =
+                full_recolor(g, self.params, self.mode, self.early_halt, &self.probe);
             report.strategy = RepairStrategy::FromScratch;
             report.recolored = m;
             report.stats = stats;
@@ -552,6 +584,7 @@ impl Recolorer {
                 }
                 flags
             });
+            emit_strategy(&self.probe, commit, RepairStrategy::Incremental);
             let (stats, classes, region_vertices) = repair_region(
                 g,
                 &dirty,
@@ -560,6 +593,7 @@ impl Recolorer {
                 self.params,
                 self.mode,
                 self.early_halt,
+                &self.probe,
             );
             report.strategy = RepairStrategy::Incremental;
             report.recolored = dirty.len();
@@ -570,7 +604,10 @@ impl Recolorer {
         } else {
             // Faulty transport: the loss-tolerant self-stabilizing path
             // (module docs). Writes into `colors` (possibly wholesale, on a
-            // from-scratch fallback) and accounts into `report`.
+            // from-scratch fallback) and accounts into `report`. The probe
+            // records the *decision* here; the exit event carries the
+            // strategy the attempts actually ended on.
+            emit_strategy(&self.probe, commit, RepairStrategy::Incremental);
             resilient_repair(
                 g,
                 &dirty,
@@ -581,6 +618,7 @@ impl Recolorer {
                 &self.transport,
                 self.max_attempts,
                 &mut report,
+                &self.probe,
             );
             self.colors = colors;
         }
@@ -590,8 +628,67 @@ impl Recolorer {
         // simulator's accounting; fold the commit machinery's byte count
         // in afterwards so every exit reports it.
         report.stats.commit_bytes = delta.commit_bytes;
+        emit_commit_close(&self.probe, &report);
         Ok(report)
     }
+}
+
+/// Opens a commit's probe span: `CommitEnter` with the batch and snapshot
+/// shape, the extracted `Region`, and a `Compaction` marker when the
+/// commit is a scheduled palette compaction. Shared by both recoloring
+/// engines; a no-op on a disabled probe.
+pub(crate) fn emit_commit_open(probe: &Arc<dyn Probe>, report: &CommitReport, compact: bool) {
+    if !probe.enabled() {
+        return;
+    }
+    let commit = report.commit as u64;
+    probe.emit(Event::CommitEnter {
+        commit,
+        inserted: report.inserted as u64,
+        deleted: report.deleted as u64,
+        n: report.n as u64,
+        m: report.m as u64,
+        max_degree: report.max_degree as u64,
+    });
+    probe.emit(Event::Region { commit, dirty: report.dirty as u64 });
+    if compact {
+        probe.emit(Event::Compaction { commit });
+    }
+}
+
+/// Records the repair-strategy *decision* for a commit (the exit event
+/// carries the strategy the commit actually ended on, which differs only
+/// when a fault-era repair degraded to from-scratch).
+pub(crate) fn emit_strategy(probe: &Arc<dyn Probe>, commit: usize, strategy: RepairStrategy) {
+    if probe.enabled() {
+        probe
+            .emit(Event::Strategy { commit: commit as u64, strategy: strategy.to_string().into() });
+    }
+}
+
+/// Closes a commit's probe span: `CommitExit` mirroring the
+/// [`CommitReport`], followed by a snapshot of the process-global message
+/// [`spill`](deco_local::spill) arena as `Env` events (cumulative process
+/// counters — excluded from determinism digests like every `Env` event,
+/// since unrelated threads may also spill).
+pub(crate) fn emit_commit_close(probe: &Arc<dyn Probe>, report: &CommitReport) {
+    if !probe.enabled() {
+        return;
+    }
+    probe.emit(Event::CommitExit {
+        commit: report.commit as u64,
+        strategy: report.strategy.to_string().into(),
+        recolored: report.recolored as u64,
+        schedule_classes: report.schedule_classes,
+        color_bound: report.color_bound,
+        region_vertices: report.region_vertices as u64,
+        retries: u64::from(report.retries),
+        fallbacks: u64::from(report.fallbacks),
+        stats: report.stats.into(),
+    });
+    let spill = deco_local::spill::stats();
+    probe.emit(Event::env("spill_allocated_chunks", spill.allocated_chunks.to_string()));
+    probe.emit(Event::env("spill_allocated_bytes", spill.allocated_bytes.to_string()));
 }
 
 /// Runs the incremental **repair phase** — the Theorem 5.5 schedule
@@ -626,7 +723,7 @@ pub fn repair_phase(
     for &e in dirty {
         is_dirty[e] = true;
     }
-    repair_region(g, dirty, &is_dirty, colors, params, mode, early_halt)
+    repair_region(g, dirty, &is_dirty, colors, params, mode, early_halt, &deco_probe::null())
 }
 
 /// Recolors exactly the `dirty` edges of `g` in place: pipeline schedule on
@@ -647,6 +744,7 @@ pub(crate) fn repair_region<H: RegionHost>(
     params: LegalParams,
     mode: MessageMode,
     early_halt: bool,
+    probe: &Arc<dyn Probe>,
 ) -> (RunStats, u64, usize) {
     let (sub, vmap, emap) = g.region_subgraph(dirty);
     // The pipeline's symmetry breaking assumes identifiers from {1, ..., n}
@@ -663,8 +761,10 @@ pub(crate) fn repair_region<H: RegionHost>(
     let sub = sub.with_idents(dense).expect("ranks are distinct");
     let cap = 2 * g.host_max_degree().max(1) as u64 - 1;
 
-    // Schedule: the paper's pipeline on the region alone.
-    let subnet = Network::new(&sub).with_early_halt(early_halt);
+    // Schedule: the paper's pipeline on the region alone. The probe rides
+    // the sub-network so the repair's phase spans and round samples land in
+    // the caller's event stream.
+    let subnet = Network::new(&sub).with_early_halt(early_halt).with_probe(Arc::clone(probe));
     let groups = vec![0u64; sub.m()];
     let run = edge_color_in_groups(&subnet, &groups, 1, params, sub.max_degree() as u64, mode)
         .expect("params validated at construction");
@@ -724,8 +824,9 @@ pub(crate) fn full_recolor(
     params: LegalParams,
     mode: MessageMode,
     early_halt: bool,
+    probe: &Arc<dyn Probe>,
 ) -> (Vec<Color>, RunStats) {
-    let net = Network::new(g).with_early_halt(early_halt);
+    let net = Network::new(g).with_early_halt(early_halt).with_probe(Arc::clone(probe));
     let groups = vec![0u64; g.m()];
     let run = edge_color_in_groups(&net, &groups, 1, params, g.max_degree() as u64, mode)
         .expect("params validated at construction");
@@ -752,9 +853,11 @@ pub(crate) fn resilient_repair<H: RegionHost>(
     transport: &Arc<dyn Transport>,
     max_attempts: u32,
     report: &mut CommitReport,
+    probe: &Arc<dyn Probe>,
 ) {
     let cap = 2 * g.host_max_degree().max(1) as u64 - 1;
     let target = dirty.len();
+    let commit = report.commit as u64;
     let mut dirty: Vec<EdgeIdx> = dirty.to_vec();
     for attempt in 0..max_attempts {
         let (sub, vmap, emap) = g.region_subgraph(&dirty);
@@ -788,7 +891,8 @@ pub(crate) fn resilient_repair<H: RegionHost>(
         let subnet = Network::new(&sub)
             .with_early_halt(early_halt)
             .with_transport(Arc::clone(transport))
-            .with_round_cap(round_cap);
+            .with_round_cap(round_cap)
+            .with_probe(Arc::clone(probe));
         let outcome = subnet.try_run_profiled(|ctx| {
             let edges = sub
                 .incident(ctx.vertex)
@@ -812,10 +916,24 @@ pub(crate) fn resilient_repair<H: RegionHost>(
             Err(RunError::RoundCapExceeded { stats, .. }) => {
                 report.stats += stats;
                 report.retries += 1;
+                if probe.enabled() {
+                    probe.emit(Event::Retry {
+                        commit,
+                        attempt: u64::from(attempt),
+                        round_cap: round_cap as u64,
+                    });
+                }
                 continue;
             }
             Err(_) => {
                 report.retries += 1;
+                if probe.enabled() {
+                    probe.emit(Event::Retry {
+                        commit,
+                        attempt: u64::from(attempt),
+                        round_cap: round_cap as u64,
+                    });
+                }
                 continue;
             }
         };
@@ -877,10 +995,20 @@ pub(crate) fn resilient_repair<H: RegionHost>(
         new_dirty.sort_unstable();
         dirty = new_dirty;
         report.retries += 1;
+        if probe.enabled() {
+            probe.emit(Event::Retry {
+                commit,
+                attempt: u64::from(attempt),
+                round_cap: round_cap as u64,
+            });
+        }
     }
     // Budget exhausted: degrade to the fault-free pipeline (the compaction
     // reset path). Guaranteed legal; the commit still never panics.
-    let stats = g.full_recolor_into(colors, params, mode, early_halt);
+    if probe.enabled() {
+        probe.emit(Event::Fallback { commit });
+    }
+    let stats = g.full_recolor_into(colors, params, mode, early_halt, probe);
     report.strategy = RepairStrategy::FromScratch;
     report.recolored = g.live_m();
     report.fallbacks = 1;

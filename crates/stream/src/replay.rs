@@ -5,8 +5,10 @@ use deco_core::edge::legal::MessageMode;
 use deco_core::params::{LegalParams, ParamError};
 use deco_graph::trace::{Trace, TraceOp};
 use deco_graph::GraphError;
+use deco_probe::{Event, Probe};
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Error from [`replay_trace`].
@@ -89,8 +91,29 @@ pub fn replay_trace(
     mode: MessageMode,
     threshold_pct: u32,
 ) -> Result<ReplayOutcome, ReplayError> {
-    let mut recolorer =
-        Recolorer::new(trace.n0, params, mode)?.with_repair_threshold(threshold_pct);
+    replay_trace_probed(trace, params, mode, threshold_pct, deco_probe::null())
+}
+
+/// [`replay_trace`] with a structured event sink attached to the engine
+/// (see [`Recolorer::with_probe`]): every commit's decision trail, phase
+/// spans and round samples land in `probe`, plus one non-deterministic
+/// `Env` event per commit carrying its wall time in microseconds
+/// (`commit_wall_micros` — excluded from determinism digests like every
+/// `Env` event, same policy as the bench gate's `environment` blocks).
+///
+/// # Errors
+///
+/// Returns [`ReplayError`] on invalid parameters or an invalid batch.
+pub fn replay_trace_probed(
+    trace: &Trace,
+    params: LegalParams,
+    mode: MessageMode,
+    threshold_pct: u32,
+    probe: Arc<dyn Probe>,
+) -> Result<ReplayOutcome, ReplayError> {
+    let mut recolorer = Recolorer::new(trace.n0, params, mode)?
+        .with_repair_threshold(threshold_pct)
+        .with_probe(probe);
     let mut reports = Vec::new();
     let mut wall = Vec::new();
     for (commit, batch) in trace.batches().into_iter().enumerate() {
@@ -99,7 +122,12 @@ pub fn replay_trace(
             queue_op(&mut recolorer, op).map_err(|error| ReplayError::Graph { commit, error })?;
         }
         let report = recolorer.commit().map_err(|error| ReplayError::Graph { commit, error })?;
-        wall.push(t0.elapsed());
+        let elapsed = t0.elapsed();
+        let probe = recolorer.probe();
+        if probe.enabled() {
+            probe.emit(Event::env("commit_wall_micros", elapsed.as_micros().to_string()));
+        }
+        wall.push(elapsed);
         reports.push(report);
     }
     Ok(ReplayOutcome { reports, wall, recolorer })

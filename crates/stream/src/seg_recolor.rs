@@ -32,13 +32,15 @@
 
 use crate::host::RegionHost;
 use crate::recolor::{
-    repair_region, resilient_repair, CommitReport, Recolorer, RepairStrategy, UNCOLORED,
+    emit_commit_close, emit_commit_open, emit_strategy, repair_region, resilient_repair,
+    CommitReport, Recolorer, RepairStrategy, UNCOLORED,
 };
 use deco_core::edge::legal::{validate_edge_params, MessageMode};
 use deco_core::params::{LegalParams, ParamError};
 use deco_graph::coloring::{Color, EdgeColoring};
 use deco_graph::{EdgeIdx, Graph, GraphError, SegmentedGraph, Vertex};
 use deco_local::{InProcess, RunStats, Transport};
+use deco_probe::Probe;
 use std::sync::Arc;
 
 /// Incremental recoloring over the segmented commit path. Mirrors
@@ -60,6 +62,9 @@ pub struct SegRecolorer {
     early_halt: bool,
     transport: Arc<dyn Transport>,
     max_attempts: u32,
+    /// Structured event sink (default: the shared no-op probe); see
+    /// [`Recolorer::with_probe`].
+    probe: Arc<dyn Probe>,
 }
 
 impl SegRecolorer {
@@ -86,6 +91,7 @@ impl SegRecolorer {
             early_halt: true,
             transport: Arc::new(InProcess),
             max_attempts: 5,
+            probe: deco_probe::null(),
         })
     }
 
@@ -115,6 +121,7 @@ impl SegRecolorer {
             early_halt: true,
             transport: Arc::new(InProcess),
             max_attempts: 5,
+            probe: deco_probe::null(),
         })
     }
 
@@ -146,6 +153,19 @@ impl SegRecolorer {
     pub fn with_max_repair_attempts(mut self, attempts: u32) -> SegRecolorer {
         self.max_attempts = attempts.max(1);
         self
+    }
+
+    /// As [`Recolorer::with_probe`]; shared with the segmented commit
+    /// machinery and every repair sub-network.
+    pub fn with_probe(mut self, probe: Arc<dyn Probe>) -> SegRecolorer {
+        self.sg.set_probe(Arc::clone(&probe));
+        self.probe = probe;
+        self
+    }
+
+    /// The engine's event sink.
+    pub fn probe(&self) -> &Arc<dyn Probe> {
+        &self.probe
     }
 
     /// The committed segmented store.
@@ -322,10 +342,13 @@ impl SegRecolorer {
         };
         let compact =
             self.compaction_every > 0 && (commit + 1) % self.compaction_every == 0 && m > 0;
+        emit_commit_open(&self.probe, &report, compact);
         if dirty.is_empty() && !compact {
             self.colors = colors;
             self.prev_bound = bound;
             report.stats.commit_bytes = delta.commit_bytes;
+            emit_strategy(&self.probe, commit, RepairStrategy::Clean);
+            emit_commit_close(&self.probe, &report);
             return Ok(report);
         }
 
@@ -335,8 +358,14 @@ impl SegRecolorer {
         let from_scratch =
             compact || dirty.len() as u64 * 100 >= m as u64 * u64::from(self.threshold_pct);
         if from_scratch {
-            let stats =
-                self.sg.full_recolor_into(&mut colors, self.params, self.mode, self.early_halt);
+            emit_strategy(&self.probe, commit, RepairStrategy::FromScratch);
+            let stats = self.sg.full_recolor_into(
+                &mut colors,
+                self.params,
+                self.mode,
+                self.early_halt,
+                &self.probe,
+            );
             report.strategy = RepairStrategy::FromScratch;
             report.recolored = m;
             report.stats = stats;
@@ -345,6 +374,7 @@ impl SegRecolorer {
             for &e in &dirty {
                 is_dirty[e] = true;
             }
+            emit_strategy(&self.probe, commit, RepairStrategy::Incremental);
             let (stats, classes, region_vertices) = repair_region(
                 &self.sg,
                 &dirty,
@@ -353,6 +383,7 @@ impl SegRecolorer {
                 self.params,
                 self.mode,
                 self.early_halt,
+                &self.probe,
             );
             report.strategy = RepairStrategy::Incremental;
             report.recolored = dirty.len();
@@ -360,6 +391,7 @@ impl SegRecolorer {
             report.region_vertices = region_vertices;
             report.stats = stats;
         } else {
+            emit_strategy(&self.probe, commit, RepairStrategy::Incremental);
             resilient_repair(
                 &self.sg,
                 &dirty,
@@ -370,12 +402,14 @@ impl SegRecolorer {
                 &self.transport,
                 self.max_attempts,
                 &mut report,
+                &self.probe,
             );
         }
         self.colors = colors;
         debug_assert!(self.sg.edges_with_ids().all(|(id, _)| self.colors[id] < bound));
         self.prev_bound = bound;
         report.stats.commit_bytes = delta.commit_bytes;
+        emit_commit_close(&self.probe, &report);
         Ok(report)
     }
 }

@@ -28,7 +28,7 @@
 use deco_bench::json::{Obj, Value};
 use deco_bench::{banner, millis, scale, Scale, Table};
 use deco_graph::trace::{churn_trace_from, TraceOp};
-use deco_stream::{queue_op, Recolorer, RepairStrategy};
+use deco_stream::{queue_op, RecolorConfig, Recolorer, RepairStrategy};
 use std::time::{Duration, Instant};
 
 use deco_core::edge::legal::{edge_log_depth, MessageMode};
@@ -121,8 +121,13 @@ fn main() {
     // unsplit replica proving the split replay changes nothing.
     let batches = trace.batches();
     let mut delta_engine = Recolorer::new(trace.n0, params, mode).expect("preset params");
-    let mut rebuild_engine =
-        Recolorer::new(trace.n0, params, mode).expect("preset params").with_rebuild_commits(true);
+    let mut rebuild_engine = Recolorer::new_with(
+        trace.n0,
+        params,
+        mode,
+        RecolorConfig::default().with_rebuild_commits(true),
+    )
+    .expect("preset params");
     let mut unsplit_engine = Recolorer::new(trace.n0, params, mode).expect("preset params");
     for &op in batches[0] {
         queue_op(&mut delta_engine, op).expect("valid trace");

@@ -183,7 +183,8 @@ fn main() {
         let batch_ops: Vec<TraceOp> = batch.to_vec();
         let base_engine = &engine;
         let commit_with = |early: bool| {
-            let mut r = base_engine.clone().with_early_halt(early);
+            let mut r = base_engine.clone();
+            r.set_config(base_engine.config().clone().with_early_halt(early));
             for &op in &batch_ops {
                 queue_op(&mut r, op).expect("valid trace");
             }

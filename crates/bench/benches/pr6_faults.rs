@@ -20,7 +20,7 @@
 use deco_bench::json::{Obj, Value};
 use deco_bench::{banner, millis, scale, time_interleaved, Scale, Table};
 use deco_core::edge::legal::{edge_log_depth, MessageMode};
-use deco_stream::{FaultyTransport, Recolorer, RepairStrategy, Transport};
+use deco_stream::{FaultyTransport, RecolorConfig, Recolorer, RepairStrategy, Transport};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -80,11 +80,12 @@ fn drive(
     flap: usize,
 ) -> (usize, usize, u32, u32, u32, deco_local::RunStats, String) {
     let params = edge_log_depth(1);
-    let mut r = Recolorer::from_graph(base.clone(), params, MessageMode::Long)
-        .expect("preset params are valid");
+    let mut cfg = RecolorConfig::default();
     if let Some(t) = transport {
-        r = r.with_transport(t);
+        cfg = cfg.with_transport(t);
     }
+    let mut r = Recolorer::from_graph_with(base.clone(), params, MessageMode::Long, cfg)
+        .expect("preset params are valid");
     let mut reports = vec![r.commit().expect("valid batch")];
     for step in 0..epochs {
         let edges: Vec<_> = r.graph().edges().skip(step * 29).take(flap).collect();

@@ -1,0 +1,241 @@
+//! **PR9 — deco-serve**: multi-tenant streaming recoloring throughput and
+//! shard-count invariance at fleet scale.
+//!
+//! One scenario, run three times: a 1000-tenant fleet (heterogeneous
+//! engines, thresholds and trace seeds; n ≈ 36..68, Δ ≤ 4, a build commit
+//! plus churn commits per tenant) streamed batch-interleaved through the
+//! sharded worker pool at **shards ∈ {1, 2, 8}**. Before anything is
+//! recorded, every tenant's `CommitReport` transcript fingerprint and
+//! final snapshot fingerprint are **hard-asserted bit-identical across
+//! the three shard counts** — the serve determinism theorem at the scale
+//! the issue names. The deterministic aggregates (total commits,
+//! node-rounds, messages, the fleet fingerprint) are gate counters;
+//! commits/sec and the p50/p99 engine-side commit latency per shard count
+//! are wall metrics, informational only (±10% container noise, ROADMAP).
+//!
+//! Results land in `BENCH_pr9.json` (override with `DECO_BENCH_OUT`;
+//! `DECO_BENCH_SCALE=full` deepens the churn per tenant — the fleet stays
+//! at 1000 tenants, the acceptance scale).
+
+use deco_bench::json::{Obj, Value};
+use deco_bench::{banner, scale, Scale, Table};
+use deco_graph::trace::{churn_trace, Trace};
+use deco_serve::{reports_fingerprint, EngineKind, Serve, ServeConfig, TenantSpec};
+use deco_stream::RecolorConfig;
+use std::time::{Duration, Instant};
+
+const TENANTS: usize = 1000;
+const SHARD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// One tenant's deterministic outcome: transcript and snapshot
+/// fingerprints (the pair the invariance assertion compares).
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct TenantPrint {
+    reports: u64,
+    snapshot: u64,
+}
+
+struct Run {
+    shards: usize,
+    wall: Duration,
+    prints: Vec<TenantPrint>,
+    fleet: u64,
+    total_commits: usize,
+    total_node_rounds: u64,
+    total_messages: u64,
+    /// Engine-side commit walls across the whole fleet, sorted.
+    commit_walls: Vec<Duration>,
+}
+
+impl Run {
+    fn commits_per_sec(&self) -> f64 {
+        self.total_commits as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    fn percentile_ms(&self, p: f64) -> f64 {
+        if self.commit_walls.is_empty() {
+            return 0.0;
+        }
+        let idx = ((self.commit_walls.len() - 1) as f64 * p).round() as usize;
+        self.commit_walls[idx].as_secs_f64() * 1e3
+    }
+}
+
+/// The per-tenant trace: seeds, sizes and knobs all vary with the tenant
+/// index so the fleet is genuinely heterogeneous.
+fn tenant_trace(i: usize, commits: usize) -> Trace {
+    churn_trace(36 + (i % 5) * 8, 4, commits, 4, 0x9e17e ^ i as u64)
+}
+
+/// Streams the whole fleet at one shard count and collects everything the
+/// gate and the invariance assertion need.
+fn run_fleet(shards: usize, commits: usize) -> Run {
+    let traces: Vec<Trace> = (0..TENANTS).map(|i| tenant_trace(i, commits)).collect();
+    let serve = Serve::start(ServeConfig::default().with_shards(shards));
+    let ids: Vec<_> = traces
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let engine = if i % 2 == 0 { EngineKind::Legacy } else { EngineKind::Segmented };
+            let threshold = [10, 25, 60][i % 3];
+            let spec = TenantSpec::new(format!("t{i}"), t.n0)
+                .with_engine(engine)
+                .with_config(RecolorConfig::default().with_repair_threshold(threshold));
+            serve.register(spec).expect("valid spec")
+        })
+        .collect();
+
+    // Batch-interleaved submission: all tenants advance one commit at a
+    // time, so the pool always has a fleet's worth of claims in flight
+    // and work stealing is exercised for real.
+    let t0 = Instant::now();
+    let max_batches = traces.iter().map(|t| t.batches().len()).max().unwrap_or(0);
+    for b in 0..max_batches {
+        for (&id, trace) in ids.iter().zip(&traces) {
+            let batches = trace.batches();
+            let Some(batch) = batches.get(b) else { continue };
+            for &op in *batch {
+                serve.submit_blocking(id, op).expect("valid trace");
+            }
+            serve.commit_blocking(id).expect("valid trace");
+        }
+    }
+    serve.drain();
+    let wall = t0.elapsed();
+
+    let mut prints = Vec::with_capacity(TENANTS);
+    let mut total_commits = 0usize;
+    let mut total_node_rounds = 0u64;
+    let mut total_messages = 0u64;
+    let mut commit_walls = Vec::new();
+    for &id in &ids {
+        assert!(serve.errors(id).expect("registered").is_empty(), "tenant {id} errored");
+        let reports = serve.reports(id).expect("registered");
+        let snap = serve.snapshot(id).expect("registered");
+        assert!(snap.coloring.is_proper(&snap.graph), "tenant {id}: improper coloring");
+        total_commits += reports.len();
+        for r in &reports {
+            total_node_rounds += r.stats.node_rounds as u64;
+            total_messages += r.stats.messages as u64;
+        }
+        commit_walls.extend(serve.commit_walls(id).expect("registered"));
+        prints.push(TenantPrint {
+            reports: reports_fingerprint(&reports),
+            snapshot: snap.fingerprint(),
+        });
+    }
+    let fleet = serve.fleet_fingerprint();
+    serve.shutdown();
+    commit_walls.sort_unstable();
+    Run {
+        shards,
+        wall,
+        prints,
+        fleet,
+        total_commits,
+        total_node_rounds,
+        total_messages,
+        commit_walls,
+    }
+}
+
+fn main() {
+    banner("PR9 / deco-serve", "1000-tenant fleet: shard-invariant transcripts, throughput");
+    let full = scale() == Scale::Full;
+    let commits = if full { 6 } else { 3 };
+    println!(
+        "{TENANTS} tenants x churn_trace(n=36..68, Δ≤4, {commits} churn commits), \
+         shards {SHARD_COUNTS:?} ..."
+    );
+
+    let runs: Vec<Run> = SHARD_COUNTS.iter().map(|&s| run_fleet(s, commits)).collect();
+
+    // The acceptance criterion, hard-asserted where it is measured:
+    // per-tenant results are bit-identical whatever the shard count.
+    let base = &runs[0];
+    for run in &runs[1..] {
+        for (t, (a, b)) in base.prints.iter().zip(&run.prints).enumerate() {
+            assert!(
+                a.reports == b.reports,
+                "tenant {t}: transcript fingerprint moved between {} and {} shards",
+                base.shards,
+                run.shards
+            );
+            assert!(
+                a.snapshot == b.snapshot,
+                "tenant {t}: snapshot fingerprint moved between {} and {} shards",
+                base.shards,
+                run.shards
+            );
+        }
+        assert!(
+            base.fleet == run.fleet,
+            "fleet fingerprint moved between {} and {} shards",
+            base.shards,
+            run.shards
+        );
+        assert_eq!(base.total_commits, run.total_commits);
+        assert_eq!(base.total_node_rounds, run.total_node_rounds);
+        assert_eq!(base.total_messages, run.total_messages);
+    }
+    println!();
+    let table = Table::new(
+        &["shards", "wall ms", "commits/s", "p50 commit", "p99 commit"],
+        &[6, 9, 11, 12, 12],
+    );
+    for r in &runs {
+        table.row(&[
+            r.shards.to_string(),
+            format!("{:.1}", r.wall.as_secs_f64() * 1e3),
+            format!("{:.0}", r.commits_per_sec()),
+            format!("{:.3} ms", r.percentile_ms(0.50)),
+            format!("{:.3} ms", r.percentile_ms(0.99)),
+        ]);
+    }
+    println!("\n(fingerprints and totals are deterministic and gate-guarded; wall,");
+    println!(" throughput and latency percentiles are informational)");
+
+    let mut acceptance = Obj::new()
+        .field(
+            "criterion",
+            "1000 heterogeneous tenants streamed through the sharded worker pool \
+             at shards 1, 2 and 8: every tenant's CommitReport transcript \
+             fingerprint and snapshot fingerprint, the fleet fingerprint and the \
+             aggregate totals are bit-identical across shard counts \
+             (hard-asserted above); commits/sec and commit-latency percentiles \
+             are informational",
+        )
+        .field("met", true)
+        .field("tenant_fleet", TENANTS);
+    for r in &runs {
+        let wall_ms = format!("wall_ms_s{}", r.shards);
+        let cps = format!("commits_per_sec_s{}", r.shards);
+        let p50 = format!("p50_commit_ms_s{}", r.shards);
+        let p99 = format!("p99_commit_ms_s{}", r.shards);
+        acceptance = acceptance
+            .field(&wall_ms, r.wall.as_secs_f64() * 1e3)
+            .field(&cps, r.commits_per_sec())
+            .field(&p50, r.percentile_ms(0.50))
+            .field(&p99, r.percentile_ms(0.99));
+    }
+    let json = Obj::new()
+        .field("bench", "pr9_serve")
+        .field("scale", if full { "full" } else { "quick" })
+        .field("tenants", TENANTS)
+        .field("churn_commits_per_tenant", commits)
+        .field("shard_counts", Value::Array(SHARD_COUNTS.iter().map(|&s| s.into()).collect()))
+        .field("acceptance", acceptance.build())
+        .field("total_commits", base.total_commits)
+        .field("total_node_rounds", base.total_node_rounds)
+        .field("total_messages", base.total_messages)
+        .field("fleet_fingerprint", format!("{:016x}", base.fleet))
+        .build();
+    let out = std::env::var("DECO_BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_pr9.json", env!("CARGO_MANIFEST_DIR")));
+    std::fs::write(&out, deco_bench::json::to_string(&json)).expect("write bench json");
+    println!("wrote {out}");
+    println!(
+        "fleet fingerprint {:016x}, {} commits, shard-invariant across {SHARD_COUNTS:?}",
+        base.fleet, base.total_commits
+    );
+}

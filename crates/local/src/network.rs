@@ -406,6 +406,35 @@ fn parse_delivery(raw: Option<&str>) -> (Delivery, Option<String>) {
     }
 }
 
+/// Reads the `DECO_THREADS` / `DECO_DELIVERY` defaults from the
+/// environment, per call. Historically the parsed pair was cached in a
+/// process-global `OnceLock`, which silently froze whatever the first
+/// `Network` construction saw — an env matrix that flips the variables
+/// between runs in one process was actually re-running the first leg, and
+/// per-tenant overrides could never differ. Constructions are per commit
+/// and the two `var` reads are trivia next to flattening the host graph,
+/// so the cache bought nothing.
+///
+/// Malformed values warn **once** per process and fall back to the
+/// defaults: a typo'd matrix leg should run (visibly) rather than abort
+/// every `Network` construction in the process, and a warning per commit
+/// would drown the run.
+fn env_defaults() -> (usize, Delivery) {
+    let threads_raw = std::env::var("DECO_THREADS").ok();
+    let (threads, warn_threads) = parse_threads(threads_raw.as_deref());
+    let delivery_raw = std::env::var("DECO_DELIVERY").ok();
+    let (delivery, warn_delivery) = parse_delivery(delivery_raw.as_deref());
+    if warn_threads.is_some() || warn_delivery.is_some() {
+        static WARNED: std::sync::OnceLock<()> = std::sync::OnceLock::new();
+        WARNED.get_or_init(|| {
+            for warning in [warn_threads, warn_delivery].into_iter().flatten() {
+                eprintln!("deco-local: {warning}");
+            }
+        });
+    }
+    (threads.min(16), delivery)
+}
+
 /// Minimum number of active nodes per worker thread before a round is
 /// stepped in parallel; below `2 × this`, rounds run sequentially (thread
 /// spawn overhead would dominate).
@@ -423,28 +452,16 @@ impl<'g> Network<'g> {
     /// variable if set (the CI thread matrix), else available parallelism
     /// capped at 16; the delivery mode defaults to `DECO_DELIVERY`
     /// (`scan` / `push` / `adaptive`) if set, else [`Delivery::Adaptive`].
-    /// Both variables are read once per process: the streaming engine
-    /// constructs a `Network` per commit (repair sub-networks, from-scratch
-    /// fallbacks), and the defaults are process-wide configuration, not
-    /// per-network state.
+    /// Both variables are re-read on every construction, so they are a
+    /// *default*, not process-wide state: two `Network`s in one process may
+    /// run with different budgets (multi-tenant shards, the bench env
+    /// matrix), and [`Network::with_threads`] / [`Network::with_delivery`]
+    /// override the default per instance regardless of the environment.
     pub fn new(graph: &'g Graph) -> Network<'g> {
         let flat_neighbors: Vec<Vertex> =
             (0..graph.slot_count()).map(|s| graph.slot_neighbor(s)).collect();
         let flat_idents: Vec<u64> = flat_neighbors.iter().map(|&u| graph.ident(u)).collect();
-        // Malformed env values warn once and fall back to the defaults: a
-        // typo'd matrix leg should run (visibly) rather than abort every
-        // Network construction in the process.
-        static ENV_DEFAULTS: std::sync::OnceLock<(usize, Delivery)> = std::sync::OnceLock::new();
-        let &(threads, delivery) = ENV_DEFAULTS.get_or_init(|| {
-            let threads_raw = std::env::var("DECO_THREADS").ok();
-            let (threads, warn_threads) = parse_threads(threads_raw.as_deref());
-            let delivery_raw = std::env::var("DECO_DELIVERY").ok();
-            let (delivery, warn_delivery) = parse_delivery(delivery_raw.as_deref());
-            for warning in [warn_threads, warn_delivery].into_iter().flatten() {
-                eprintln!("deco-local: {warning}");
-            }
-            (threads.min(16), delivery)
-        });
+        let (threads, delivery) = env_defaults();
         Network {
             graph,
             flat_neighbors,
@@ -2190,6 +2207,25 @@ mod tests {
         let (d, warn) = parse_delivery(Some("teleport"));
         assert_eq!(d, Delivery::Adaptive);
         assert!(warn.expect("malformed value must warn").contains("DECO_DELIVERY"));
+    }
+
+    /// The env defaults are re-read on every construction — a process that
+    /// flips `DECO_DELIVERY` between runs (the bench env matrix, tenants
+    /// with different settings) must see the change, not the value frozen
+    /// by the first `Network` ever built. Only the delivery mode is probed
+    /// here: the determinism contract makes a concurrently-built network
+    /// in another test produce identical results either way, so the brief
+    /// env mutation cannot flake the suite.
+    #[test]
+    fn env_defaults_are_read_per_construction() {
+        let g = generators::path(3);
+        std::env::set_var("DECO_DELIVERY", "push");
+        let first = Network::new(&g).delivery;
+        std::env::set_var("DECO_DELIVERY", "scan");
+        let second = Network::new(&g).delivery;
+        std::env::remove_var("DECO_DELIVERY");
+        assert_eq!(first, Delivery::Push);
+        assert_eq!(second, Delivery::Scan, "env default froze at first construction");
     }
 
     #[test]

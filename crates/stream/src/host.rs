@@ -29,14 +29,13 @@
 //! hosts; only the message *bit-width* accounting of the priority fields
 //! can differ.
 
+use crate::config::RecolorConfig;
 use crate::recolor::{full_recolor, UNCOLORED};
 use deco_core::edge::legal::MessageMode;
 use deco_core::params::LegalParams;
 use deco_graph::coloring::Color;
 use deco_graph::{EdgeIdx, Graph, SegmentedGraph, Vertex};
 use deco_local::RunStats;
-use deco_probe::Probe;
-use std::sync::Arc;
 
 /// A graph store the repair machinery can run over. See the module docs;
 /// implemented for [`Graph`] and [`SegmentedGraph`].
@@ -74,14 +73,15 @@ pub trait RegionHost {
     /// [`RegionHost::edge_bound`]) with the result. The shared reset path
     /// of threshold fallbacks, compactions and exhausted fault-era
     /// retries. The pipeline's phase spans and round samples are emitted
-    /// into `probe`.
+    /// into the config's probe; the config also supplies the early-halt
+    /// flag and any pinned threads/delivery (its transport is ignored —
+    /// the reset path models a centralized rebuild).
     fn full_recolor_into(
         &self,
         colors: &mut Vec<Color>,
         params: LegalParams,
         mode: MessageMode,
-        early_halt: bool,
-        probe: &Arc<dyn Probe>,
+        cfg: &RecolorConfig,
     ) -> RunStats;
 }
 
@@ -119,10 +119,9 @@ impl RegionHost for Graph {
         colors: &mut Vec<Color>,
         params: LegalParams,
         mode: MessageMode,
-        early_halt: bool,
-        probe: &Arc<dyn Probe>,
+        cfg: &RecolorConfig,
     ) -> RunStats {
-        let (new_colors, stats) = full_recolor(self, params, mode, early_halt, probe);
+        let (new_colors, stats) = full_recolor(self, params, mode, cfg);
         *colors = new_colors;
         stats
     }
@@ -164,13 +163,12 @@ impl RegionHost for SegmentedGraph {
         colors: &mut Vec<Color>,
         params: LegalParams,
         mode: MessageMode,
-        early_halt: bool,
-        probe: &Arc<dyn Probe>,
+        cfg: &RecolorConfig,
     ) -> RunStats {
         // Color on the materialized lexicographic snapshot, then scatter
         // back to stable ids; freed ids stay uncolored holes.
         let (g, idmap) = self.to_graph();
-        let (new_colors, stats) = full_recolor(&g, params, mode, early_halt, probe);
+        let (new_colors, stats) = full_recolor(&g, params, mode, cfg);
         colors.clear();
         colors.resize(self.edge_bound(), UNCOLORED);
         for (lex, &id) in idmap.iter().enumerate() {

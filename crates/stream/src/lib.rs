@@ -22,15 +22,23 @@
 //!   from the delta alone, schedule it with the Theorem 5.5 pipeline on
 //!   the edge-induced sub-network, finalize with `O(Δ)`-bit
 //!   forbidden-color masks, fall back to from-scratch when the region is
-//!   too dense ([`Recolorer::with_rebuild_commits`] keeps the PR 3 rebuild
-//!   path as the differential oracle);
-//! * [`replay_trace`] and the `deco-stream` binary — replay a trace file,
-//!   reporting per-commit repair sizes, rounds and wall time.
+//!   too dense ([`RecolorConfig::with_rebuild_commits`] keeps the PR 3
+//!   rebuild path as the differential oracle);
+//! * [`replay_trace`] / [`replay_trace_on`] and the `deco-stream` binary —
+//!   replay a trace file, reporting per-commit repair sizes, rounds and
+//!   wall time.
+//!
+//! Engines are configured per instance through [`RecolorConfig`] (the old
+//! per-engine `with_*` builders survive one PR as deprecated forwarding
+//! shims) and driven representation-agnostically through the object-safe
+//! [`RegionRecolor`] facade, which both [`Recolorer`] and [`SegRecolorer`]
+//! implement — the surface `deco-serve` hosts thousands of tenants behind.
 //!
 //! Determinism: same trace + parameters ⇒ bit-identical colorings and
-//! [`CommitReport`]s at any `DECO_THREADS` / `DECO_DELIVERY` setting.
+//! [`CommitReport`]s at any `DECO_THREADS` / `DECO_DELIVERY` setting (see
+//! the [`RegionRecolor`] contract).
 //!
-//! Fault tolerance: [`Recolorer::with_transport`] runs the repair
+//! Fault tolerance: [`RecolorConfig::with_transport`] runs the repair
 //! sub-networks over a pluggable [`Transport`] (e.g. the deterministic
 //! seed-driven [`FaultyTransport`]); under a lossy transport the engine
 //! switches to a loss-tolerant repair protocol wrapped in a verified retry
@@ -41,16 +49,24 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod config;
+mod facade;
 mod host;
 mod recolor;
 mod replay;
 mod seg_recolor;
 
+pub use config::RecolorConfig;
+pub use facade::RegionRecolor;
 pub use host::RegionHost;
 pub use recolor::{repair_phase, CommitReport, Recolorer, RepairStrategy};
-pub use replay::{queue_op, replay_trace, replay_trace_probed, ReplayError, ReplayOutcome};
+pub use replay::{
+    queue_op, replay_trace, replay_trace_on, replay_trace_probed, ReplayError, ReplayOutcome,
+    ReplayRun,
+};
 pub use seg_recolor::SegRecolorer;
 
-// The transport seam vocabulary ([`Recolorer::with_transport`]), re-exported
-// so fault-era users need no direct `deco_local` dependency.
-pub use deco_local::{Fate, FaultyTransport, InProcess, RunError, Transport};
+// The configuration vocabulary ([`RecolorConfig::with_transport`] /
+// [`RecolorConfig::with_delivery`]), re-exported so engine users need no
+// direct `deco_local` dependency.
+pub use deco_local::{Delivery, Fate, FaultyTransport, InProcess, RunError, Transport};

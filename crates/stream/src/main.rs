@@ -2,11 +2,15 @@
 //!
 //! ```text
 //! deco-stream <trace-file> [threshold_pct] [--profile <out.jsonl>]
+//!             [--engine legacy|segmented]
 //!     Replay a trace, printing one row per commit (repaired edges, region
 //!     size, strategy, simulator rounds/messages, wall time) and totals.
 //!     With --profile, the full structured event stream of the run —
 //!     commit decisions, phase spans, per-round samples — is written as
-//!     JSONL for `deco-probe report`.
+//!     JSONL for `deco-probe report`. --engine picks the commit
+//!     representation (default: legacy delta-CSR; segmented = stable edge
+//!     ids, O(region) commit traffic) — both are driven through the same
+//!     `RegionRecolor` facade and produce identical colorings.
 //!
 //! deco-stream --gen <n> <delta_cap> <commits> <churn> <seed> [out-file]
 //!     Generate the canonical seeded churn trace; write it to the file, or
@@ -16,13 +20,14 @@
 use deco_core::edge::legal::{edge_log_depth, MessageMode};
 use deco_graph::trace::{churn_trace, parse_trace, to_text};
 use deco_probe::JsonlProbe;
-use deco_stream::replay_trace_probed;
+use deco_stream::{replay_trace_on, RecolorConfig, Recolorer, RegionRecolor, SegRecolorer};
 use std::process::ExitCode;
 use std::sync::Arc;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: deco-stream <trace-file> [threshold_pct] [--profile <out.jsonl>]\n       \
+        "usage: deco-stream <trace-file> [threshold_pct] [--profile <out.jsonl>] \
+         [--engine legacy|segmented]\n       \
          deco-stream --gen <n> <delta_cap> <commits> <churn> <seed> [out-file]"
     );
     ExitCode::FAILURE
@@ -63,12 +68,19 @@ fn generate(args: &[String]) -> ExitCode {
 fn replay(path: &str, rest: &[String]) -> ExitCode {
     let mut threshold_pct: u32 = 25;
     let mut profile_path: Option<&str> = None;
+    let mut segmented = false;
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         if arg == "--profile" {
             match it.next() {
                 Some(p) => profile_path = Some(p),
                 None => return usage(),
+            }
+        } else if arg == "--engine" {
+            match it.next().map(String::as_str) {
+                Some("legacy") => segmented = false,
+                Some("segmented") => segmented = true,
+                _ => return usage(),
             }
         } else {
             match arg.parse() {
@@ -102,17 +114,28 @@ fn replay(path: &str, rest: &[String]) -> ExitCode {
         None => deco_probe::null(),
     };
     println!(
-        "replaying {path}: n0={}, {} commits, repair threshold {threshold_pct}% of m",
+        "replaying {path}: n0={}, {} commits, repair threshold {threshold_pct}% of m{}",
         trace.n0,
-        trace.commit_count()
+        trace.commit_count(),
+        if segmented { ", segmented engine" } else { "" }
     );
-    let out = match replay_trace_probed(
-        &trace,
-        edge_log_depth(1),
-        MessageMode::Long,
-        threshold_pct,
-        probe,
-    ) {
+    let cfg = RecolorConfig::default().with_repair_threshold(threshold_pct).with_probe(probe);
+    let (params, mode) = (edge_log_depth(1), MessageMode::Long);
+    let engine: Result<Box<dyn RegionRecolor>, _> = if segmented {
+        SegRecolorer::new_with(trace.n0, params, mode, cfg)
+            .map(|e| Box::new(e) as Box<dyn RegionRecolor>)
+    } else {
+        Recolorer::new_with(trace.n0, params, mode, cfg)
+            .map(|e| Box::new(e) as Box<dyn RegionRecolor>)
+    };
+    let mut engine = match engine {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("{path}: invalid parameters: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let out = match replay_trace_on(engine.as_mut(), &trace) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("{path}: {e}");
@@ -140,16 +163,16 @@ fn replay(path: &str, rest: &[String]) -> ExitCode {
             wall.as_secs_f64() * 1e3,
         );
     }
-    let g = out.recolorer.graph();
-    let coloring = out.recolorer.coloring();
-    assert!(coloring.is_proper(g), "final coloring must be proper");
+    let g = engine.snapshot();
+    let coloring = engine.coloring();
+    assert!(coloring.is_proper(&g), "final coloring must be proper");
     println!(
         "\nfinal: n={} m={} Δ={}; {} colors in use (bound {}); coloring verified proper",
         g.n(),
         g.m(),
         g.max_degree(),
         coloring.palette_size(),
-        out.recolorer.color_bound()
+        engine.color_bound()
     );
     println!("totals: {totals}");
     // The steady-state trend at a glance: how the last commit's cost moved

@@ -17,7 +17,7 @@
 //!    map gives each new edge index its predecessor, so the carry is one
 //!    indexed copy per edge — no endpoint-pair matching. (The pre-delta
 //!    `O(m)` sorted-merge carry survives on the
-//!    [`Recolorer::with_rebuild_commits`] oracle path.)
+//!    [`RecolorConfig::with_rebuild_commits`] oracle path.)
 //! 2. **Extracts the repair region**: every uncolored edge, plus — only
 //!    when the palette bound shrank (Δ decreased) — every edge whose
 //!    carried color now falls outside it. Carried colors cannot conflict
@@ -38,7 +38,7 @@
 //!    `2Δ - 1`. Same-class edges are non-adjacent, so each round's picks
 //!    are conflict-free; every region edge costs exactly two mask messages.
 //!
-//! If the region exceeds [`Recolorer::with_repair_threshold`] (percent of
+//! If the region exceeds [`RecolorConfig::with_repair_threshold`] (percent of
 //! `m`), repairing locally would approach the cost of a full run, so the
 //! engine falls back to the from-scratch pipeline on the whole snapshot.
 //!
@@ -51,7 +51,7 @@
 //!
 //! # Faulty transports and self-stabilization
 //!
-//! [`Recolorer::with_transport`] plugs a [`deco_local::Transport`] under the
+//! [`RecolorConfig::with_transport`] plugs a [`deco_local::Transport`] under the
 //! repair sub-networks. On the default perfect transport nothing changes —
 //! the schedule-pipeline-plus-finalize path above runs bit-identically. On a
 //! lossy transport (e.g. [`deco_local::FaultyTransport`]) the schedule
@@ -68,7 +68,7 @@
 //! ([`RunError::RoundCapExceeded`] is absorbed, not propagated), the result
 //! is merged tolerantly (disagreeing or missing replicas become uncolored)
 //! and re-verified centrally, and any damage becomes the next attempt's
-//! region. After [`Recolorer::with_max_repair_attempts`] failed attempts the
+//! region. After [`RecolorConfig::with_max_repair_attempts`] failed attempts the
 //! commit degrades to the fault-free from-scratch pipeline — the same reset
 //! path compaction uses. The loop never panics and always terminates with a
 //! verified-legal coloring; [`CommitReport::retries`] and
@@ -76,6 +76,7 @@
 //! every message is a pure function of the transport seed, the slot and the
 //! round).
 
+use crate::config::RecolorConfig;
 use crate::host::RegionHost;
 use deco_core::edge::legal::{
     edge_color_bound, edge_color_in_groups, validate_edge_params, MessageMode,
@@ -85,8 +86,8 @@ use deco_core::pipeline::{merge_edge_replicas, Pipeline};
 use deco_graph::coloring::{Color, EdgeColoring};
 use deco_graph::{EdgeIdx, Graph, GraphError, MutableGraph, Vertex};
 use deco_local::{
-    bits_for_value, Action, Bitset, InProcess, Message, Network, NodeCtx, Protocol, RunError,
-    RunStats, Transport,
+    bits_for_value, Action, Bitset, Message, Network, NodeCtx, Protocol, RunError, RunStats,
+    Transport,
 };
 use deco_probe::{Event, Probe};
 use std::sync::Arc;
@@ -166,66 +167,65 @@ pub struct Recolorer {
     colors: Vec<Color>,
     params: LegalParams,
     mode: MessageMode,
-    /// Repair-region density (percent of `m`) above which a commit falls
-    /// back to the from-scratch pipeline.
-    threshold_pct: u32,
+    /// Every per-instance knob — threshold, compaction cadence, oracle
+    /// path, early halting, transport, retry budget, probe,
+    /// threads/delivery. The probe is shared with the inner
+    /// [`MutableGraph`] and every repair sub-network so commit decisions,
+    /// phase spans and round samples land in one stream.
+    cfg: RecolorConfig,
     commits: usize,
     /// Palette bound of the previous snapshot: every committed color is
     /// below it, so the out-of-palette sweep only runs when the bound
     /// shrinks past it (0 before the first commit — no constraint).
     prev_bound: u64,
-    /// Differential oracle: commit via the pre-delta-CSR rebuild path
-    /// (`MutableGraph::commit_rebuild` + endpoint-pair carry + full dirty
-    /// sweeps). Bit-identical outcomes, O(m) hash-and-sort cost.
-    rebuild_commits: bool,
-    /// Force a from-scratch recolor every `k`-th commit (0 = never): the
-    /// steady-state palette-drift mitigation. See
-    /// [`Recolorer::with_compaction_every`].
-    compaction_every: usize,
-    /// Early node halting in the repair pipelines (default on); see
-    /// [`Network::with_early_halt`].
-    early_halt: bool,
-    /// Transport the incremental repair sub-networks run on. The
-    /// from-scratch pipeline always runs in-process (module docs).
-    transport: Arc<dyn Transport>,
-    /// Bounded self-stabilization budget: how many fault-era repair
-    /// attempts run before the commit degrades to from-scratch.
-    max_attempts: u32,
-    /// Structured event sink (default: the shared no-op probe). Shared with
-    /// the inner [`MutableGraph`] and every repair sub-network so commit
-    /// decisions, phase spans and round samples land in one stream.
-    probe: Arc<dyn Probe>,
+    /// A pending [`Recolorer::request_compaction`], consumed by the next
+    /// successful commit.
+    force_compaction: bool,
 }
 
 impl Recolorer {
-    /// An engine over an initially edgeless graph with `n0` vertices.
+    /// An engine over an initially edgeless graph with `n0` vertices, with
+    /// the default [`RecolorConfig`].
     ///
     /// # Errors
     ///
     /// Returns [`ParamError`] if `params` cannot contract (the same
     /// validation as the one-shot pipeline).
     pub fn new(n0: usize, params: LegalParams, mode: MessageMode) -> Result<Recolorer, ParamError> {
+        Recolorer::new_with(n0, params, mode, RecolorConfig::default())
+    }
+
+    /// An engine over an initially edgeless graph with `n0` vertices and
+    /// the given per-instance configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] if `params` cannot contract.
+    pub fn new_with(
+        n0: usize,
+        params: LegalParams,
+        mode: MessageMode,
+        cfg: RecolorConfig,
+    ) -> Result<Recolorer, ParamError> {
         validate_edge_params(&params)?;
+        let mut mg = MutableGraph::new(n0);
+        mg.set_probe(Arc::clone(&cfg.probe));
         Ok(Recolorer {
-            mg: MutableGraph::new(n0),
+            mg,
             colors: Vec::new(),
             params,
             mode,
-            threshold_pct: 25,
+            cfg,
             commits: 0,
             prev_bound: 0,
-            rebuild_commits: false,
-            compaction_every: 0,
-            early_halt: true,
-            transport: Arc::new(InProcess),
-            max_attempts: 5,
-            probe: deco_probe::null(),
+            force_compaction: false,
         })
     }
 
-    /// An engine over an existing graph. The initial coloring runs from
-    /// scratch at the first [`Recolorer::commit`] (queue an empty batch to
-    /// force it immediately).
+    /// An engine over an existing graph, with the default
+    /// [`RecolorConfig`]. The initial coloring runs from scratch at the
+    /// first [`Recolorer::commit`] (queue an empty batch to force it
+    /// immediately).
     ///
     /// # Errors
     ///
@@ -235,116 +235,145 @@ impl Recolorer {
         params: LegalParams,
         mode: MessageMode,
     ) -> Result<Recolorer, ParamError> {
+        Recolorer::from_graph_with(g, params, mode, RecolorConfig::default())
+    }
+
+    /// An engine over an existing graph with the given per-instance
+    /// configuration. The initial coloring runs from scratch at the first
+    /// [`Recolorer::commit`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] if `params` cannot contract.
+    pub fn from_graph_with(
+        g: Graph,
+        params: LegalParams,
+        mode: MessageMode,
+        cfg: RecolorConfig,
+    ) -> Result<Recolorer, ParamError> {
         validate_edge_params(&params)?;
         let m = g.m();
+        let mut mg = MutableGraph::from_graph(g);
+        mg.set_probe(Arc::clone(&cfg.probe));
         Ok(Recolorer {
-            mg: MutableGraph::from_graph(g),
+            mg,
             colors: vec![UNCOLORED; m],
             params,
             mode,
-            threshold_pct: 25,
+            cfg,
             commits: 0,
             prev_bound: 0,
-            rebuild_commits: false,
-            compaction_every: 0,
-            early_halt: true,
-            transport: Arc::new(InProcess),
-            max_attempts: 5,
-            probe: deco_probe::null(),
+            force_compaction: false,
         })
     }
 
-    /// Sets the repair-region density threshold in percent of `m` (default
-    /// 25): a commit whose region is larger falls back to from-scratch.
+    /// The engine's per-instance configuration.
+    pub fn config(&self) -> &RecolorConfig {
+        &self.cfg
+    }
+
+    /// Deprecated forwarding shim; see
+    /// [`RecolorConfig::with_repair_threshold`].
+    #[deprecated(
+        note = "configure via RecolorConfig::with_repair_threshold and Recolorer::new_with"
+    )]
     pub fn with_repair_threshold(mut self, pct: u32) -> Recolorer {
-        self.threshold_pct = pct;
+        self.cfg.threshold_pct = pct;
         self
     }
 
-    /// Selects the pre-delta-CSR commit path (default `false`): snapshots
-    /// rebuilt by `Graph::from_edges`, colors carried by an `O(m)`
-    /// endpoint-pair merge, dirty edges found by full sweeps. Outcomes —
-    /// colorings, [`CommitReport`]s, errors — are bit-identical to the
-    /// default path; only wall-clock differs. This is the differential
-    /// oracle the delta-CSR benches and tests compare against, the same
-    /// role the simulator's `Engine::Naive` plays for slot delivery.
+    /// Deprecated forwarding shim; see
+    /// [`RecolorConfig::with_rebuild_commits`].
+    #[deprecated(
+        note = "configure via RecolorConfig::with_rebuild_commits and Recolorer::new_with"
+    )]
     pub fn with_rebuild_commits(mut self, on: bool) -> Recolorer {
-        self.rebuild_commits = on;
+        self.cfg.rebuild_commits = on;
         self
     }
 
-    /// Forces a from-scratch recolor on every `k`-th commit (`0`, the
-    /// default, never compacts): the steady-state **palette-drift**
-    /// mitigation. Greedy incremental repairs only promise colors below the
-    /// cap `2Δ - 1`, so over many churn epochs the palette in use can creep
-    /// upward from the tight coloring the from-scratch pipeline produces;
-    /// a periodic compaction commit re-runs the whole pipeline and resets
-    /// the palette toward its ϑ. Compaction commits report
-    /// [`RepairStrategy::FromScratch`] even when the batch alone would have
-    /// been [`RepairStrategy::Clean`].
-    ///
-    /// Commits are counted from the engine's first: with `k = 4`, commits
-    /// 3, 7, 11, ... (0-based) compact.
+    /// Deprecated forwarding shim; see
+    /// [`RecolorConfig::with_compaction_every`].
+    #[deprecated(
+        note = "configure via RecolorConfig::with_compaction_every and Recolorer::new_with"
+    )]
     pub fn with_compaction_every(mut self, k: usize) -> Recolorer {
-        self.compaction_every = k;
+        self.cfg.compaction_every = k;
         self
     }
 
-    /// Enables or disables early node halting inside the repair pipelines
-    /// (default on; see [`Network::with_early_halt`]). Colorings and
-    /// reports are bit-identical either way apart from round counters —
-    /// the differential knob the `pr5_repair` bench measures against.
+    /// Deprecated forwarding shim; see [`RecolorConfig::with_early_halt`].
+    #[deprecated(note = "configure via RecolorConfig::with_early_halt and Recolorer::new_with")]
     pub fn with_early_halt(mut self, on: bool) -> Recolorer {
-        self.early_halt = on;
+        self.cfg.early_halt = on;
         self
     }
 
-    /// Plugs a [`Transport`] under the incremental repair sub-networks
-    /// (default: the perfect in-process transport).
-    ///
-    /// A perfect transport keeps the legacy schedule-pipeline repair path
-    /// bit-identical. Any non-perfect transport — even one injecting no
-    /// faults — switches incremental repairs to the loss-tolerant
-    /// self-stabilizing path (module docs): the `RobustFinalize` priority
-    /// protocol under a verified retry loop with exponential round-cap
-    /// backoff, degrading to the fault-free from-scratch pipeline after
-    /// [`Recolorer::with_max_repair_attempts`] failed attempts. Either way
-    /// every commit ends with a verified-legal coloring and never panics on
-    /// transport faults. From-scratch recolors (threshold fallbacks,
-    /// compactions, the initial build) always run in-process: they model a
-    /// centralized rebuild, not the distributed repair path.
+    /// Deprecated forwarding shim; see [`RecolorConfig::with_transport`].
+    #[deprecated(note = "configure via RecolorConfig::with_transport and Recolorer::new_with")]
     pub fn with_transport(mut self, transport: Arc<dyn Transport>) -> Recolorer {
-        self.transport = transport;
+        self.cfg.transport = transport;
         self
     }
 
-    /// Sets the bounded self-stabilization budget (default 5, clamped to at
-    /// least 1): how many repair attempts a fault-era commit runs — each
-    /// under a doubled round cap — before degrading to the fault-free
-    /// from-scratch pipeline. See [`Recolorer::with_transport`].
+    /// Deprecated forwarding shim; see
+    /// [`RecolorConfig::with_max_repair_attempts`].
+    #[deprecated(
+        note = "configure via RecolorConfig::with_max_repair_attempts and Recolorer::new_with"
+    )]
     pub fn with_max_repair_attempts(mut self, attempts: u32) -> Recolorer {
-        self.max_attempts = attempts.max(1);
+        self.cfg.max_attempts = attempts.max(1);
         self
     }
 
-    /// Plugs a structured event sink under the engine (default: the shared
-    /// no-op probe). Every [`Recolorer::commit`] emits its decision trail —
+    /// Deprecated forwarding shim; see [`RecolorConfig::with_probe`] and
+    /// [`Recolorer::set_probe`].
+    #[deprecated(
+        note = "configure via RecolorConfig::with_probe, or Recolorer::set_probe mid-life"
+    )]
+    pub fn with_probe(mut self, probe: Arc<dyn Probe>) -> Recolorer {
+        self.set_probe(probe);
+        self
+    }
+
+    /// Re-points the engine's structured event sink mid-life (shared with
+    /// the commit machinery and every subsequent repair sub-network).
+    /// Construction-time attachment goes through
+    /// [`RecolorConfig::with_probe`]; this setter exists for callers that
+    /// warm an engine first and start observing later. Every
+    /// [`Recolorer::commit`] emits its decision trail —
     /// `CommitEnter`/`Region`/`Strategy`/`Retry`/`Fallback`/`Compaction`/
-    /// `CommitExit` — and the probe is shared with the commit machinery
-    /// (`CommitBytes`, emitted *before* the commit's `CommitEnter` because
-    /// the graph layer runs first) and with every repair sub-network, so
-    /// phase spans and per-round samples of the repairs land in the same
+    /// `CommitExit` — plus the commit machinery's `CommitBytes` (emitted
+    /// *before* the commit's `CommitEnter` because the graph layer runs
+    /// first) and the repairs' phase spans and round samples, all in one
     /// stream. Deterministic events are bit-identical across thread counts
     /// and delivery modes; see the [`Probe`] determinism contract.
-    pub fn with_probe(mut self, probe: Arc<dyn Probe>) -> Recolorer {
+    pub fn set_probe(&mut self, probe: Arc<dyn Probe>) {
         self.mg.set_probe(Arc::clone(&probe));
-        self.probe = probe;
-        self
+        self.cfg.probe = probe;
+    }
+
+    /// Replaces the engine's whole configuration mid-life (probe
+    /// included, re-pointed as by [`Self::set_probe`]). Knobs are read at
+    /// commit time, so the new settings govern every subsequent commit;
+    /// past commits are obviously unaffected. The idiomatic use is
+    /// cloning a warmed engine and re-running it under different knobs:
+    /// `engine.config().clone().with_early_halt(false)` and so on.
+    pub fn set_config(&mut self, cfg: RecolorConfig) {
+        self.mg.set_probe(Arc::clone(&cfg.probe));
+        self.cfg = cfg;
+    }
+
+    /// Requests a palette compaction: the next successful commit runs the
+    /// from-scratch pipeline even if its batch alone would be clean. See
+    /// [`crate::RegionRecolor::request_compaction`].
+    pub fn request_compaction(&mut self) {
+        self.force_compaction = true;
     }
 
     /// The engine's event sink.
     pub fn probe(&self) -> &Arc<dyn Probe> {
-        &self.probe
+        &self.cfg.probe
     }
 
     /// The current committed snapshot.
@@ -436,10 +465,10 @@ impl Recolorer {
         // The oracle path captures the pre-commit edge list for its
         // endpoint-pair carry; the delta path needs nothing of the sort.
         let old_edges: Vec<(Vertex, Vertex)> =
-            if self.rebuild_commits { self.mg.graph().edges().collect() } else { Vec::new() };
+            if self.cfg.rebuild_commits { self.mg.graph().edges().collect() } else { Vec::new() };
         let old_colors = std::mem::take(&mut self.colors);
         let committed =
-            if self.rebuild_commits { self.mg.commit_rebuild() } else { self.mg.commit() };
+            if self.cfg.rebuild_commits { self.mg.commit_rebuild() } else { self.mg.commit() };
         let delta = match committed {
             Ok(d) => d,
             Err(e) => {
@@ -460,7 +489,7 @@ impl Recolorer {
         // exactly the same set; kept as the faithful cost baseline).
         let bound = Recolorer::bound_for(&self.params, g.max_degree() as u64);
         let (colors, dirty, legacy_is_dirty): (Vec<Color>, Vec<EdgeIdx>, Option<Vec<bool>>) =
-            if self.rebuild_commits {
+            if self.cfg.rebuild_commits {
                 let mut colors: Vec<Color> = vec![UNCOLORED; m];
                 if delta.vertex_map.is_none() {
                     let mut old_i = 0usize;
@@ -549,31 +578,34 @@ impl Recolorer {
         };
         // A due compaction overrides everything below: even a clean commit
         // re-runs the pipeline to squeeze the drifted palette back to ϑ.
-        let compact =
-            self.compaction_every > 0 && (commit + 1) % self.compaction_every == 0 && m > 0;
-        emit_commit_open(&self.probe, &report, compact);
+        // Scheduled cadence and a pending request_compaction both qualify;
+        // the request is consumed by this (successful) commit either way.
+        let cadence_due =
+            self.cfg.compaction_every > 0 && (commit + 1) % self.cfg.compaction_every == 0;
+        let compact = (cadence_due || self.force_compaction) && m > 0;
+        self.force_compaction = false;
+        emit_commit_open(&self.cfg.probe, &report, compact);
         if dirty.is_empty() && !compact {
             self.colors = colors;
             self.prev_bound = bound;
             report.stats.commit_bytes = delta.commit_bytes;
-            emit_strategy(&self.probe, commit, RepairStrategy::Clean);
-            emit_commit_close(&self.probe, &report);
+            emit_strategy(&self.cfg.probe, commit, RepairStrategy::Clean);
+            emit_commit_close(&self.cfg.probe, &report);
             return Ok(report);
         }
 
         // 3+4. Repair, or fall back when the region is too dense (or a
         // compaction commit is due).
         let from_scratch =
-            compact || dirty.len() as u64 * 100 >= m as u64 * u64::from(self.threshold_pct);
+            compact || dirty.len() as u64 * 100 >= m as u64 * u64::from(self.cfg.threshold_pct);
         if from_scratch {
-            emit_strategy(&self.probe, commit, RepairStrategy::FromScratch);
-            let (new_colors, stats) =
-                full_recolor(g, self.params, self.mode, self.early_halt, &self.probe);
+            emit_strategy(&self.cfg.probe, commit, RepairStrategy::FromScratch);
+            let (new_colors, stats) = full_recolor(g, self.params, self.mode, &self.cfg);
             report.strategy = RepairStrategy::FromScratch;
             report.recolored = m;
             report.stats = stats;
             self.colors = new_colors;
-        } else if self.transport.is_perfect() {
+        } else if self.cfg.transport.is_perfect() {
             // The boundary-mask pass needs the membership predicate; the
             // fast path derives it from the dirty list on demand (the
             // oracle already has it from its sweeps).
@@ -584,17 +616,9 @@ impl Recolorer {
                 }
                 flags
             });
-            emit_strategy(&self.probe, commit, RepairStrategy::Incremental);
-            let (stats, classes, region_vertices) = repair_region(
-                g,
-                &dirty,
-                &is_dirty,
-                &mut colors,
-                self.params,
-                self.mode,
-                self.early_halt,
-                &self.probe,
-            );
+            emit_strategy(&self.cfg.probe, commit, RepairStrategy::Incremental);
+            let (stats, classes, region_vertices) =
+                repair_region(g, &dirty, &is_dirty, &mut colors, self.params, self.mode, &self.cfg);
             report.strategy = RepairStrategy::Incremental;
             report.recolored = dirty.len();
             report.schedule_classes = classes;
@@ -607,18 +631,15 @@ impl Recolorer {
             // from-scratch fallback) and accounts into `report`. The probe
             // records the *decision* here; the exit event carries the
             // strategy the attempts actually ended on.
-            emit_strategy(&self.probe, commit, RepairStrategy::Incremental);
+            emit_strategy(&self.cfg.probe, commit, RepairStrategy::Incremental);
             resilient_repair(
                 g,
                 &dirty,
                 &mut colors,
                 self.params,
                 self.mode,
-                self.early_halt,
-                &self.transport,
-                self.max_attempts,
+                &self.cfg,
                 &mut report,
-                &self.probe,
             );
             self.colors = colors;
         }
@@ -628,7 +649,7 @@ impl Recolorer {
         // simulator's accounting; fold the commit machinery's byte count
         // in afterwards so every exit reports it.
         report.stats.commit_bytes = delta.commit_bytes;
-        emit_commit_close(&self.probe, &report);
+        emit_commit_close(&self.cfg.probe, &report);
         Ok(report)
     }
 }
@@ -723,7 +744,25 @@ pub fn repair_phase(
     for &e in dirty {
         is_dirty[e] = true;
     }
-    repair_region(g, dirty, &is_dirty, colors, params, mode, early_halt, &deco_probe::null())
+    let cfg = RecolorConfig::default().with_early_halt(early_halt);
+    repair_region(g, dirty, &is_dirty, colors, params, mode, &cfg)
+}
+
+/// Builds a network over `g` with the instance's settings applied: early
+/// halting, the shared probe, and — when pinned in the config — the
+/// worker-thread budget and delivery mode. The transport is *not* applied
+/// here; the resilient path adds it explicitly, and the from-scratch
+/// pipeline deliberately stays on the perfect in-process default.
+pub(crate) fn instance_net<'g>(g: &'g Graph, cfg: &RecolorConfig) -> Network<'g> {
+    let mut net =
+        Network::new(g).with_early_halt(cfg.early_halt).with_probe(Arc::clone(&cfg.probe));
+    if let Some(threads) = cfg.threads {
+        net = net.with_threads(threads);
+    }
+    if let Some(delivery) = cfg.delivery {
+        net = net.with_delivery(delivery);
+    }
+    net
 }
 
 /// Recolors exactly the `dirty` edges of `g` in place: pipeline schedule on
@@ -734,8 +773,10 @@ pub fn repair_phase(
 /// Generic over the [`RegionHost`] seam: `dirty` holds host edge handles,
 /// `is_dirty`/`colors` are handle-indexed ([`RegionHost::edge_bound`]
 /// sized). Both hosts extract byte-identical region sub-networks, so the
-/// repair outcome is independent of the host representation.
-#[allow(clippy::too_many_arguments)]
+/// repair outcome is independent of the host representation. The config
+/// supplies the early-halt flag, the probe and any pinned
+/// threads/delivery; its transport and thresholds are the caller's
+/// business.
 pub(crate) fn repair_region<H: RegionHost>(
     g: &H,
     dirty: &[EdgeIdx],
@@ -743,8 +784,7 @@ pub(crate) fn repair_region<H: RegionHost>(
     colors: &mut [Color],
     params: LegalParams,
     mode: MessageMode,
-    early_halt: bool,
-    probe: &Arc<dyn Probe>,
+    cfg: &RecolorConfig,
 ) -> (RunStats, u64, usize) {
     let (sub, vmap, emap) = g.region_subgraph(dirty);
     // The pipeline's symmetry breaking assumes identifiers from {1, ..., n}
@@ -764,7 +804,7 @@ pub(crate) fn repair_region<H: RegionHost>(
     // Schedule: the paper's pipeline on the region alone. The probe rides
     // the sub-network so the repair's phase spans and round samples land in
     // the caller's event stream.
-    let subnet = Network::new(&sub).with_early_halt(early_halt).with_probe(Arc::clone(probe));
+    let subnet = instance_net(&sub, cfg);
     let groups = vec![0u64; sub.m()];
     let run = edge_color_in_groups(&subnet, &groups, 1, params, sub.max_degree() as u64, mode)
         .expect("params validated at construction");
@@ -818,15 +858,16 @@ pub(crate) fn repair_region<H: RegionHost>(
 
 /// The from-scratch pipeline on the whole snapshot — the shared reset path
 /// of threshold fallbacks, compaction commits and exhausted fault-era
-/// retries. Always runs on the default in-process transport.
+/// retries. Always runs on the default in-process transport (it models a
+/// centralized rebuild), but honors the instance's early-halt, probe and
+/// pinned threads/delivery.
 pub(crate) fn full_recolor(
     g: &Graph,
     params: LegalParams,
     mode: MessageMode,
-    early_halt: bool,
-    probe: &Arc<dyn Probe>,
+    cfg: &RecolorConfig,
 ) -> (Vec<Color>, RunStats) {
-    let net = Network::new(g).with_early_halt(early_halt).with_probe(Arc::clone(probe));
+    let net = instance_net(g, cfg);
     let groups = vec![0u64; g.m()];
     let run = edge_color_in_groups(&net, &groups, 1, params, g.max_degree() as u64, mode)
         .expect("params validated at construction");
@@ -839,22 +880,21 @@ pub(crate) fn full_recolor(
 /// protocol on the current region's sub-network under an exponentially
 /// growing round cap, merge the per-endpoint replicas tolerantly, verify
 /// the region centrally, and make any damage the next attempt's region.
-/// After `max_attempts` failed attempts the commit degrades to the
-/// fault-free from-scratch pipeline, so the loop always terminates with a
-/// verified-legal coloring and never panics on transport faults.
-#[allow(clippy::too_many_arguments)]
+/// After [`RecolorConfig::max_attempts`] failed attempts the commit
+/// degrades to the fault-free from-scratch pipeline, so the loop always
+/// terminates with a verified-legal coloring and never panics on transport
+/// faults. The config supplies the transport, the attempt budget, the
+/// early-halt flag, the probe and any pinned threads/delivery.
 pub(crate) fn resilient_repair<H: RegionHost>(
     g: &H,
     dirty: &[EdgeIdx],
     colors: &mut Vec<Color>,
     params: LegalParams,
     mode: MessageMode,
-    early_halt: bool,
-    transport: &Arc<dyn Transport>,
-    max_attempts: u32,
+    cfg: &RecolorConfig,
     report: &mut CommitReport,
-    probe: &Arc<dyn Probe>,
 ) {
+    let (max_attempts, probe) = (cfg.max_attempts, &cfg.probe);
     let cap = 2 * g.host_max_degree().max(1) as u64 - 1;
     let target = dirty.len();
     let commit = report.commit as u64;
@@ -888,11 +928,9 @@ pub(crate) fn resilient_repair<H: RegionHost>(
         // round budget, so slow-but-live executions (many delays) get the
         // rounds they need while genuine livelocks stay bounded.
         let round_cap = (16 + 4 * dirty.len()) << attempt;
-        let subnet = Network::new(&sub)
-            .with_early_halt(early_halt)
-            .with_transport(Arc::clone(transport))
-            .with_round_cap(round_cap)
-            .with_probe(Arc::clone(probe));
+        let subnet = instance_net(&sub, cfg)
+            .with_transport(Arc::clone(&cfg.transport))
+            .with_round_cap(round_cap);
         let outcome = subnet.try_run_profiled(|ctx| {
             let edges = sub
                 .incident(ctx.vertex)
@@ -1008,7 +1046,7 @@ pub(crate) fn resilient_repair<H: RegionHost>(
     if probe.enabled() {
         probe.emit(Event::Fallback { commit });
     }
-    let stats = g.full_recolor_into(colors, params, mode, early_halt, probe);
+    let stats = g.full_recolor_into(colors, params, mode, cfg);
     report.strategy = RepairStrategy::FromScratch;
     report.recolored = g.live_m();
     report.fallbacks = 1;
@@ -1406,8 +1444,13 @@ mod tests {
         let g = generators::random_bounded_degree(250, 6, 5);
         let params = edge_log_depth(1);
         let mut fast = Recolorer::from_graph(g.clone(), params, MessageMode::Long).unwrap();
-        let mut slow =
-            Recolorer::from_graph(g, params, MessageMode::Long).unwrap().with_rebuild_commits(true);
+        let mut slow = Recolorer::from_graph_with(
+            g,
+            params,
+            MessageMode::Long,
+            RecolorConfig::default().with_rebuild_commits(true),
+        )
+        .unwrap();
         let drive = |r: &mut Recolorer, step: usize| -> CommitReport {
             let edges: Vec<_> = r.graph().edges().skip(step * 11).take(3).collect();
             for &(u, v) in &edges {
@@ -1480,9 +1523,13 @@ mod tests {
         // (it is not perfect), which must converge on the first attempt:
         // no retries, no fallbacks, a verified-legal coloring.
         let g = generators::random_bounded_degree(300, 6, 13);
-        let mut r = Recolorer::from_graph(g, edge_log_depth(1), MessageMode::Long)
-            .unwrap()
-            .with_transport(Arc::new(FaultyTransport::new(7)));
+        let mut r = Recolorer::from_graph_with(
+            g,
+            edge_log_depth(1),
+            MessageMode::Long,
+            RecolorConfig::default().with_transport(Arc::new(FaultyTransport::new(7))),
+        )
+        .unwrap();
         let first = r.commit().unwrap(); // initial build: fault-free pipeline
         assert_eq!(first.strategy, RepairStrategy::FromScratch);
         assert_eq!((first.retries, first.fallbacks), (0, 0));
@@ -1511,9 +1558,13 @@ mod tests {
         };
         let run = |transport: Arc<FaultyTransport>| {
             let g = generators::random_bounded_degree(300, 6, 17);
-            let mut r = Recolorer::from_graph(g, edge_log_depth(1), MessageMode::Long)
-                .unwrap()
-                .with_transport(transport);
+            let mut r = Recolorer::from_graph_with(
+                g,
+                edge_log_depth(1),
+                MessageMode::Long,
+                RecolorConfig::default().with_transport(transport),
+            )
+            .unwrap();
             r.commit().unwrap();
             let mut reports = Vec::new();
             for step in 0..4 {
@@ -1538,10 +1589,15 @@ mod tests {
         // repair: every attempt must hit its round cap and the commit must
         // degrade to the fault-free pipeline — legal coloring, no panic.
         let g = generators::random_bounded_degree(120, 5, 19);
-        let mut r = Recolorer::from_graph(g, edge_log_depth(1), MessageMode::Long)
-            .unwrap()
-            .with_transport(Arc::new(FaultyTransport::new(3).with_drop(1_000_000)))
-            .with_max_repair_attempts(2);
+        let mut r = Recolorer::from_graph_with(
+            g,
+            edge_log_depth(1),
+            MessageMode::Long,
+            RecolorConfig::default()
+                .with_transport(Arc::new(FaultyTransport::new(3).with_drop(1_000_000)))
+                .with_max_repair_attempts(2),
+        )
+        .unwrap();
         r.commit().unwrap();
         let rep = churn_step(&mut r, 0);
         assert_eq!(rep.strategy, RepairStrategy::FromScratch);

@@ -1,5 +1,8 @@
-//! Trace replay: drive a [`Recolorer`] from a parsed churn trace.
+//! Trace replay: drive any [`RegionRecolor`] engine from a parsed churn
+//! trace.
 
+use crate::config::RecolorConfig;
+use crate::facade::RegionRecolor;
 use crate::recolor::{CommitReport, Recolorer};
 use deco_core::edge::legal::MessageMode;
 use deco_core::params::{LegalParams, ParamError};
@@ -55,28 +58,63 @@ pub struct ReplayOutcome {
     pub recolorer: Recolorer,
 }
 
-/// Queues one trace operation on the engine.
+/// The outcome of [`replay_trace_on`]: the caller keeps the engine, so
+/// only the per-commit record comes back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayRun {
+    /// One report per commit, in order.
+    pub reports: Vec<CommitReport>,
+    /// Wall time of each commit (repair included), aligned with `reports`.
+    /// Excluded from the determinism contract, obviously.
+    pub wall: Vec<Duration>,
+}
+
+/// Queues one trace operation on any engine (a thin forwarder to
+/// [`RegionRecolor::queue_op`], kept for source compatibility — callers
+/// holding a concrete [`Recolorer`] or
+/// [`SegRecolorer`](crate::SegRecolorer) coerce here unchanged).
 ///
 /// # Errors
 ///
 /// Returns [`GraphError`] exactly when the underlying queueing call does.
-pub fn queue_op(r: &mut Recolorer, op: TraceOp) -> Result<(), GraphError> {
-    match op {
-        TraceOp::Insert(u, v) => r.insert_edge(u, v),
-        TraceOp::Delete(u, v) => r.delete_edge(u, v),
-        TraceOp::AddVertices(k) => {
-            for _ in 0..k {
-                r.add_vertex();
-            }
-            Ok(())
+pub fn queue_op(r: &mut dyn RegionRecolor, op: TraceOp) -> Result<(), GraphError> {
+    r.queue_op(op)
+}
+
+/// Replays every committed batch of `trace` through a caller-supplied
+/// engine — the representation-agnostic workhorse under [`replay_trace`],
+/// the `deco-stream` CLI and the `deco-serve` tenants. Each commit's wall
+/// time is additionally emitted as a non-deterministic `Env` event
+/// (`commit_wall_micros`) when the engine's probe is enabled.
+///
+/// The engine need not be fresh; replaying onto a mid-life engine simply
+/// continues its commit history.
+///
+/// # Errors
+///
+/// Returns [`ReplayError::Graph`] on an invalid batch; the engine is left
+/// as of the last successful commit with the failing batch discarded.
+pub fn replay_trace_on(
+    engine: &mut dyn RegionRecolor,
+    trace: &Trace,
+) -> Result<ReplayRun, ReplayError> {
+    let mut reports = Vec::new();
+    let mut wall = Vec::new();
+    for (commit, batch) in trace.batches().into_iter().enumerate() {
+        let t0 = Instant::now();
+        for &op in batch {
+            engine.queue_op(op).map_err(|error| ReplayError::Graph { commit, error })?;
         }
-        TraceOp::SetIdent(v, ident) => r.set_ident(v, ident),
-        TraceOp::Shrink => {
-            r.shrink_isolated();
-            Ok(())
+        let report = engine.commit().map_err(|error| ReplayError::Graph { commit, error })?;
+        let elapsed = t0.elapsed();
+        let probe = engine.probe();
+        if probe.enabled() {
+            probe.emit(Event::env("commit_wall_micros", elapsed.as_micros().to_string()));
         }
-        TraceOp::Commit => Ok(()), // batches() strips these; tolerate anyway
+        wall.push(elapsed);
+        reports.push(report);
     }
+    Ok(ReplayRun { reports, wall })
 }
 
 /// Replays every committed batch of `trace` through a fresh [`Recolorer`],
@@ -95,7 +133,7 @@ pub fn replay_trace(
 }
 
 /// [`replay_trace`] with a structured event sink attached to the engine
-/// (see [`Recolorer::with_probe`]): every commit's decision trail, phase
+/// (see [`RecolorConfig::with_probe`]): every commit's decision trail, phase
 /// spans and round samples land in `probe`, plus one non-deterministic
 /// `Env` event per commit carrying its wall time in microseconds
 /// (`commit_wall_micros` — excluded from determinism digests like every
@@ -111,26 +149,10 @@ pub fn replay_trace_probed(
     threshold_pct: u32,
     probe: Arc<dyn Probe>,
 ) -> Result<ReplayOutcome, ReplayError> {
-    let mut recolorer = Recolorer::new(trace.n0, params, mode)?
-        .with_repair_threshold(threshold_pct)
-        .with_probe(probe);
-    let mut reports = Vec::new();
-    let mut wall = Vec::new();
-    for (commit, batch) in trace.batches().into_iter().enumerate() {
-        let t0 = Instant::now();
-        for &op in batch {
-            queue_op(&mut recolorer, op).map_err(|error| ReplayError::Graph { commit, error })?;
-        }
-        let report = recolorer.commit().map_err(|error| ReplayError::Graph { commit, error })?;
-        let elapsed = t0.elapsed();
-        let probe = recolorer.probe();
-        if probe.enabled() {
-            probe.emit(Event::env("commit_wall_micros", elapsed.as_micros().to_string()));
-        }
-        wall.push(elapsed);
-        reports.push(report);
-    }
-    Ok(ReplayOutcome { reports, wall, recolorer })
+    let cfg = RecolorConfig::default().with_repair_threshold(threshold_pct).with_probe(probe);
+    let mut recolorer = Recolorer::new_with(trace.n0, params, mode, cfg)?;
+    let run = replay_trace_on(&mut recolorer, trace)?;
+    Ok(ReplayOutcome { reports: run.reports, wall: run.wall, recolorer })
 }
 
 #[cfg(test)]

@@ -30,6 +30,7 @@
 //! legacy engine as the differential oracle — the same playbook
 //! `Engine::Naive` and `commit_rebuild` follow.
 
+use crate::config::RecolorConfig;
 use crate::host::RegionHost;
 use crate::recolor::{
     emit_commit_close, emit_commit_open, emit_strategy, repair_region, resilient_repair,
@@ -39,7 +40,7 @@ use deco_core::edge::legal::{validate_edge_params, MessageMode};
 use deco_core::params::{LegalParams, ParamError};
 use deco_graph::coloring::{Color, EdgeColoring};
 use deco_graph::{EdgeIdx, Graph, GraphError, SegmentedGraph, Vertex};
-use deco_local::{InProcess, RunStats, Transport};
+use deco_local::{RunStats, Transport};
 use deco_probe::Probe;
 use std::sync::Arc;
 
@@ -55,16 +56,16 @@ pub struct SegRecolorer {
     colors: Vec<Color>,
     params: LegalParams,
     mode: MessageMode,
-    threshold_pct: u32,
+    /// Every per-instance knob; see [`RecolorConfig`]. `rebuild_commits`
+    /// is ignored — the segmented engine has no rebuild commit path. The
+    /// probe is shared with the segmented commit machinery and every
+    /// repair sub-network.
+    cfg: RecolorConfig,
     commits: usize,
     prev_bound: u64,
-    compaction_every: usize,
-    early_halt: bool,
-    transport: Arc<dyn Transport>,
-    max_attempts: u32,
-    /// Structured event sink (default: the shared no-op probe); see
-    /// [`Recolorer::with_probe`].
-    probe: Arc<dyn Probe>,
+    /// A pending [`SegRecolorer::request_compaction`], consumed by the
+    /// next successful commit.
+    force_compaction: bool,
 }
 
 impl SegRecolorer {
@@ -78,20 +79,33 @@ impl SegRecolorer {
         params: LegalParams,
         mode: MessageMode,
     ) -> Result<SegRecolorer, ParamError> {
+        SegRecolorer::new_with(n0, params, mode, RecolorConfig::default())
+    }
+
+    /// An engine over an initially edgeless graph with `n0` vertices and
+    /// the given per-instance configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] if `params` cannot contract.
+    pub fn new_with(
+        n0: usize,
+        params: LegalParams,
+        mode: MessageMode,
+        cfg: RecolorConfig,
+    ) -> Result<SegRecolorer, ParamError> {
         validate_edge_params(&params)?;
+        let mut sg = SegmentedGraph::new(n0);
+        sg.set_probe(Arc::clone(&cfg.probe));
         Ok(SegRecolorer {
-            sg: SegmentedGraph::new(n0),
+            sg,
             colors: Vec::new(),
             params,
             mode,
-            threshold_pct: 25,
+            cfg,
             commits: 0,
             prev_bound: 0,
-            compaction_every: 0,
-            early_halt: true,
-            transport: Arc::new(InProcess),
-            max_attempts: 5,
-            probe: deco_probe::null(),
+            force_compaction: false,
         })
     }
 
@@ -107,65 +121,126 @@ impl SegRecolorer {
         params: LegalParams,
         mode: MessageMode,
     ) -> Result<SegRecolorer, ParamError> {
+        SegRecolorer::from_graph_with(g, params, mode, RecolorConfig::default())
+    }
+
+    /// An engine over an existing graph with the given per-instance
+    /// configuration. The initial coloring runs from scratch at the first
+    /// [`SegRecolorer::commit`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] if `params` cannot contract.
+    pub fn from_graph_with(
+        g: &Graph,
+        params: LegalParams,
+        mode: MessageMode,
+        cfg: RecolorConfig,
+    ) -> Result<SegRecolorer, ParamError> {
         validate_edge_params(&params)?;
         let m = g.m();
+        let mut sg = SegmentedGraph::from_graph(g);
+        sg.set_probe(Arc::clone(&cfg.probe));
         Ok(SegRecolorer {
-            sg: SegmentedGraph::from_graph(g),
+            sg,
             colors: vec![UNCOLORED; m],
             params,
             mode,
-            threshold_pct: 25,
+            cfg,
             commits: 0,
             prev_bound: 0,
-            compaction_every: 0,
-            early_halt: true,
-            transport: Arc::new(InProcess),
-            max_attempts: 5,
-            probe: deco_probe::null(),
+            force_compaction: false,
         })
     }
 
-    /// As [`Recolorer::with_repair_threshold`].
+    /// The engine's per-instance configuration.
+    pub fn config(&self) -> &RecolorConfig {
+        &self.cfg
+    }
+
+    /// Deprecated forwarding shim; see
+    /// [`RecolorConfig::with_repair_threshold`].
+    #[deprecated(
+        note = "configure via RecolorConfig::with_repair_threshold and SegRecolorer::new_with"
+    )]
     pub fn with_repair_threshold(mut self, pct: u32) -> SegRecolorer {
-        self.threshold_pct = pct;
+        self.cfg.threshold_pct = pct;
         self
     }
 
-    /// As [`Recolorer::with_compaction_every`].
+    /// Deprecated forwarding shim; see
+    /// [`RecolorConfig::with_compaction_every`].
+    #[deprecated(
+        note = "configure via RecolorConfig::with_compaction_every and SegRecolorer::new_with"
+    )]
     pub fn with_compaction_every(mut self, k: usize) -> SegRecolorer {
-        self.compaction_every = k;
+        self.cfg.compaction_every = k;
         self
     }
 
-    /// As [`Recolorer::with_early_halt`].
+    /// Deprecated forwarding shim; see [`RecolorConfig::with_early_halt`].
+    #[deprecated(note = "configure via RecolorConfig::with_early_halt and SegRecolorer::new_with")]
     pub fn with_early_halt(mut self, on: bool) -> SegRecolorer {
-        self.early_halt = on;
+        self.cfg.early_halt = on;
         self
     }
 
-    /// As [`Recolorer::with_transport`].
+    /// Deprecated forwarding shim; see [`RecolorConfig::with_transport`].
+    #[deprecated(note = "configure via RecolorConfig::with_transport and SegRecolorer::new_with")]
     pub fn with_transport(mut self, transport: Arc<dyn Transport>) -> SegRecolorer {
-        self.transport = transport;
+        self.cfg.transport = transport;
         self
     }
 
-    /// As [`Recolorer::with_max_repair_attempts`].
+    /// Deprecated forwarding shim; see
+    /// [`RecolorConfig::with_max_repair_attempts`].
+    #[deprecated(
+        note = "configure via RecolorConfig::with_max_repair_attempts and SegRecolorer::new_with"
+    )]
     pub fn with_max_repair_attempts(mut self, attempts: u32) -> SegRecolorer {
-        self.max_attempts = attempts.max(1);
+        self.cfg.max_attempts = attempts.max(1);
         self
     }
 
-    /// As [`Recolorer::with_probe`]; shared with the segmented commit
-    /// machinery and every repair sub-network.
+    /// Deprecated forwarding shim; see [`RecolorConfig::with_probe`] and
+    /// [`SegRecolorer::set_probe`].
+    #[deprecated(
+        note = "configure via RecolorConfig::with_probe, or SegRecolorer::set_probe mid-life"
+    )]
     pub fn with_probe(mut self, probe: Arc<dyn Probe>) -> SegRecolorer {
-        self.sg.set_probe(Arc::clone(&probe));
-        self.probe = probe;
+        self.set_probe(probe);
         self
+    }
+
+    /// Re-points the engine's structured event sink mid-life; shared with
+    /// the segmented commit machinery and every subsequent repair
+    /// sub-network. See [`Recolorer::set_probe`].
+    pub fn set_probe(&mut self, probe: Arc<dyn Probe>) {
+        self.sg.set_probe(Arc::clone(&probe));
+        self.cfg.probe = probe;
+    }
+
+    /// Replaces the engine's whole configuration mid-life (probe
+    /// included, re-pointed as by [`Self::set_probe`]). Knobs are read at
+    /// commit time, so the new settings govern every subsequent commit;
+    /// past commits are obviously unaffected. The idiomatic use is
+    /// cloning a warmed engine and re-running it under different knobs:
+    /// `engine.config().clone().with_early_halt(false)` and so on.
+    pub fn set_config(&mut self, cfg: RecolorConfig) {
+        self.sg.set_probe(Arc::clone(&cfg.probe));
+        self.cfg = cfg;
+    }
+
+    /// Requests a palette compaction: the next successful commit runs the
+    /// from-scratch pipeline even if its batch alone would be clean. See
+    /// [`crate::RegionRecolor::request_compaction`].
+    pub fn request_compaction(&mut self) {
+        self.force_compaction = true;
     }
 
     /// The engine's event sink.
     pub fn probe(&self) -> &Arc<dyn Probe> {
-        &self.probe
+        &self.cfg.probe
     }
 
     /// The committed segmented store.
@@ -340,15 +415,17 @@ impl SegRecolorer {
             fallbacks: 0,
             stats: RunStats::zero(),
         };
-        let compact =
-            self.compaction_every > 0 && (commit + 1) % self.compaction_every == 0 && m > 0;
-        emit_commit_open(&self.probe, &report, compact);
+        let cadence_due =
+            self.cfg.compaction_every > 0 && (commit + 1) % self.cfg.compaction_every == 0;
+        let compact = (cadence_due || self.force_compaction) && m > 0;
+        self.force_compaction = false;
+        emit_commit_open(&self.cfg.probe, &report, compact);
         if dirty.is_empty() && !compact {
             self.colors = colors;
             self.prev_bound = bound;
             report.stats.commit_bytes = delta.commit_bytes;
-            emit_strategy(&self.probe, commit, RepairStrategy::Clean);
-            emit_commit_close(&self.probe, &report);
+            emit_strategy(&self.cfg.probe, commit, RepairStrategy::Clean);
+            emit_commit_close(&self.cfg.probe, &report);
             return Ok(report);
         }
 
@@ -356,25 +433,19 @@ impl SegRecolorer {
         // legacy engine runs — bit-identical sub-networks, bit-identical
         // outcomes.
         let from_scratch =
-            compact || dirty.len() as u64 * 100 >= m as u64 * u64::from(self.threshold_pct);
+            compact || dirty.len() as u64 * 100 >= m as u64 * u64::from(self.cfg.threshold_pct);
         if from_scratch {
-            emit_strategy(&self.probe, commit, RepairStrategy::FromScratch);
-            let stats = self.sg.full_recolor_into(
-                &mut colors,
-                self.params,
-                self.mode,
-                self.early_halt,
-                &self.probe,
-            );
+            emit_strategy(&self.cfg.probe, commit, RepairStrategy::FromScratch);
+            let stats = self.sg.full_recolor_into(&mut colors, self.params, self.mode, &self.cfg);
             report.strategy = RepairStrategy::FromScratch;
             report.recolored = m;
             report.stats = stats;
-        } else if self.transport.is_perfect() {
+        } else if self.cfg.transport.is_perfect() {
             let mut is_dirty = vec![false; self.sg.edge_bound()];
             for &e in &dirty {
                 is_dirty[e] = true;
             }
-            emit_strategy(&self.probe, commit, RepairStrategy::Incremental);
+            emit_strategy(&self.cfg.probe, commit, RepairStrategy::Incremental);
             let (stats, classes, region_vertices) = repair_region(
                 &self.sg,
                 &dirty,
@@ -382,8 +453,7 @@ impl SegRecolorer {
                 &mut colors,
                 self.params,
                 self.mode,
-                self.early_halt,
-                &self.probe,
+                &self.cfg,
             );
             report.strategy = RepairStrategy::Incremental;
             report.recolored = dirty.len();
@@ -391,25 +461,22 @@ impl SegRecolorer {
             report.region_vertices = region_vertices;
             report.stats = stats;
         } else {
-            emit_strategy(&self.probe, commit, RepairStrategy::Incremental);
+            emit_strategy(&self.cfg.probe, commit, RepairStrategy::Incremental);
             resilient_repair(
                 &self.sg,
                 &dirty,
                 &mut colors,
                 self.params,
                 self.mode,
-                self.early_halt,
-                &self.transport,
-                self.max_attempts,
+                &self.cfg,
                 &mut report,
-                &self.probe,
             );
         }
         self.colors = colors;
         debug_assert!(self.sg.edges_with_ids().all(|(id, _)| self.colors[id] < bound));
         self.prev_bound = bound;
         report.stats.commit_bytes = delta.commit_bytes;
-        emit_commit_close(&self.probe, &report);
+        emit_commit_close(&self.cfg.probe, &report);
         Ok(report)
     }
 }

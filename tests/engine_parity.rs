@@ -193,13 +193,18 @@ fn early_halting_bit_identical_across_thread_and_delivery_matrix() {
 fn early_halting_off_recolorer_matches_default() {
     use deco_core::edge::legal::{edge_log_depth, MessageMode};
     use deco_graph::trace::churn_trace;
-    use deco_stream::{queue_op, Recolorer};
+    use deco_stream::{queue_op, RecolorConfig, Recolorer};
 
     let trace = churn_trace(800, 8, 3, 20, 0x0ff);
     let params = edge_log_depth(1);
     let mut on = Recolorer::new(trace.n0, params, MessageMode::Long).unwrap();
-    let mut off =
-        Recolorer::new(trace.n0, params, MessageMode::Long).unwrap().with_early_halt(false);
+    let mut off = Recolorer::new_with(
+        trace.n0,
+        params,
+        MessageMode::Long,
+        RecolorConfig::default().with_early_halt(false),
+    )
+    .unwrap();
     for batch in trace.batches() {
         for &op in batch {
             queue_op(&mut on, op).unwrap();

@@ -17,7 +17,7 @@
 
 use deco_core::edge::legal::{edge_log_depth, MessageMode};
 use deco_graph::generators;
-use deco_stream::{CommitReport, FaultyTransport, Recolorer, RepairStrategy};
+use deco_stream::{CommitReport, FaultyTransport, RecolorConfig, Recolorer, RepairStrategy};
 use std::sync::Arc;
 
 /// One faulty-transport cell of the matrix.
@@ -38,9 +38,13 @@ fn transports(seed: u64) -> Vec<(&'static str, FaultyTransport)> {
 /// commit. Returns the full report history and the final colors.
 fn run_cell(seed: u64, transport: FaultyTransport) -> (Vec<CommitReport>, Vec<u64>) {
     let g = generators::random_bounded_degree(220, 6, seed);
-    let mut r = Recolorer::from_graph(g, edge_log_depth(1), MessageMode::Long)
-        .unwrap()
-        .with_transport(Arc::new(transport));
+    let mut r = Recolorer::from_graph_with(
+        g,
+        edge_log_depth(1),
+        MessageMode::Long,
+        RecolorConfig::default().with_transport(Arc::new(transport)),
+    )
+    .unwrap();
     let mut reports = vec![r.commit().unwrap()];
     for step in 0..4 {
         let edges: Vec<_> = r.graph().edges().skip(step * 13).take(3).collect();
@@ -130,13 +134,20 @@ fn delta_and_rebuild_paths_agree_under_faults() {
         || Arc::new(FaultyTransport::new(9).with_drop(100_000).with_delay(100_000, 2)) as Arc<_>;
     let g = generators::random_bounded_degree(180, 6, 33);
     let params = edge_log_depth(1);
-    let mut fast = Recolorer::from_graph(g.clone(), params, MessageMode::Long)
-        .unwrap()
-        .with_transport(transport());
-    let mut slow = Recolorer::from_graph(g, params, MessageMode::Long)
-        .unwrap()
-        .with_transport(transport())
-        .with_rebuild_commits(true);
+    let mut fast = Recolorer::from_graph_with(
+        g.clone(),
+        params,
+        MessageMode::Long,
+        RecolorConfig::default().with_transport(transport()),
+    )
+    .unwrap();
+    let mut slow = Recolorer::from_graph_with(
+        g,
+        params,
+        MessageMode::Long,
+        RecolorConfig::default().with_transport(transport()).with_rebuild_commits(true),
+    )
+    .unwrap();
     assert_eq!(fast.commit().unwrap(), slow.commit().unwrap());
     for step in 0..4 {
         let edges: Vec<_> = fast.graph().edges().skip(step * 11).take(3).collect();

@@ -16,7 +16,7 @@
 
 use deco_core::edge::legal::{edge_log_depth, MessageMode};
 use deco_graph::Graph;
-use deco_stream::{Recolorer, RepairStrategy};
+use deco_stream::{RecolorConfig, Recolorer, RepairStrategy};
 
 /// Largest color currently in use.
 fn max_color(r: &Recolorer) -> u64 {
@@ -61,7 +61,13 @@ fn long_churn_drifts_to_the_greedy_cap_without_compaction_and_resets_with_it() {
     let (plain, drifted) =
         drive(Recolorer::from_graph(k9(), params, MessageMode::Long).unwrap(), commits);
     let (compacted, reset) = drive(
-        Recolorer::from_graph(k9(), params, MessageMode::Long).unwrap().with_compaction_every(10),
+        Recolorer::from_graph_with(
+            k9(),
+            params,
+            MessageMode::Long,
+            RecolorConfig::default().with_compaction_every(10),
+        )
+        .unwrap(),
         commits,
     );
 
@@ -106,9 +112,13 @@ fn compaction_commits_force_from_scratch_even_when_clean() {
     // An untouched batch on a compaction boundary still recolors: that is
     // the point — the *clean* path would keep the drifted palette alive.
     let g = deco_graph::generators::random_bounded_degree(120, 6, 0xC0DE);
-    let mut r = Recolorer::from_graph(g, edge_log_depth(1), MessageMode::Long)
-        .unwrap()
-        .with_compaction_every(2);
+    let mut r = Recolorer::from_graph_with(
+        g,
+        edge_log_depth(1),
+        MessageMode::Long,
+        RecolorConfig::default().with_compaction_every(2),
+    )
+    .unwrap();
     let first = r.commit().unwrap();
     assert_eq!(first.strategy, RepairStrategy::FromScratch); // initial build
     let second = r.commit().unwrap(); // empty batch, but commit #1 → k=2 due

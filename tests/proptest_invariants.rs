@@ -302,7 +302,7 @@ fn edge_defective_bound() {
 fn stream_recoloring_valid_after_every_commit() {
     use deco_core::edge::legal::edge_color_bound;
     use deco_graph::trace::churn_trace;
-    use deco_stream::{queue_op, Recolorer};
+    use deco_stream::{queue_op, RecolorConfig, Recolorer};
 
     for i in 0..12u64 {
         let n = 24 + (aux(i, 12) % 120) as usize;
@@ -311,9 +311,13 @@ fn stream_recoloring_valid_after_every_commit() {
         let threshold = [5, 25, 60][(aux(i, 15) % 3) as usize];
         let params = edge_log_depth(1);
         let trace = churn_trace(n, cap, 3, churn, aux(i, 16));
-        let mut r = Recolorer::new(trace.n0, params, MessageMode::Long)
-            .unwrap()
-            .with_repair_threshold(threshold);
+        let mut r = Recolorer::new_with(
+            trace.n0,
+            params,
+            MessageMode::Long,
+            RecolorConfig::default().with_repair_threshold(threshold),
+        )
+        .unwrap();
         for (c, batch) in trace.batches().into_iter().enumerate() {
             for &op in batch {
                 queue_op(&mut r, op).unwrap();

@@ -24,7 +24,7 @@
 use deco_core::edge::legal::{edge_log_depth, MessageMode};
 use deco_graph::trace::{churn_trace, power_law_churn_trace, Trace, TraceOp};
 use deco_graph::{generators, Graph, GraphError};
-use deco_stream::{queue_op, FaultyTransport, Recolorer, SegRecolorer, Transport};
+use deco_stream::{queue_op, FaultyTransport, RecolorConfig, Recolorer, SegRecolorer, Transport};
 use std::sync::Arc;
 
 /// Queues one trace operation on the segmented engine (the
@@ -90,12 +90,12 @@ fn run_parity(
 fn perfect_transport_reports_and_colorings_match() {
     for seed in [0x5e61u64, 0x5e62, 0x5e63] {
         let trace = churn_trace(200, 6, 6, 10, seed);
-        let legacy = Recolorer::new(trace.n0, edge_log_depth(1), MessageMode::Long)
-            .unwrap()
-            .with_repair_threshold(25);
-        let seg = SegRecolorer::new(trace.n0, edge_log_depth(1), MessageMode::Long)
-            .unwrap()
-            .with_repair_threshold(25);
+        let cfg = RecolorConfig::default().with_repair_threshold(25);
+        let legacy =
+            Recolorer::new_with(trace.n0, edge_log_depth(1), MessageMode::Long, cfg.clone())
+                .unwrap();
+        let seg =
+            SegRecolorer::new_with(trace.n0, edge_log_depth(1), MessageMode::Long, cfg).unwrap();
         let (legacy_bytes, seg_bytes) = run_parity(&trace, legacy, seg, true);
         // The legacy engine rewrites the whole CSR every commit; segmented
         // commits write the churn region. Cumulatively that must win even
@@ -144,12 +144,10 @@ fn from_graph_engines_agree_too() {
 #[test]
 fn compaction_commits_stay_in_parity() {
     let trace = churn_trace(160, 5, 6, 8, 0xc0a1);
-    let legacy = Recolorer::new(trace.n0, edge_log_depth(1), MessageMode::Long)
-        .unwrap()
-        .with_compaction_every(2);
-    let seg = SegRecolorer::new(trace.n0, edge_log_depth(1), MessageMode::Long)
-        .unwrap()
-        .with_compaction_every(2);
+    let cfg = RecolorConfig::default().with_compaction_every(2);
+    let legacy =
+        Recolorer::new_with(trace.n0, edge_log_depth(1), MessageMode::Long, cfg.clone()).unwrap();
+    let seg = SegRecolorer::new_with(trace.n0, edge_log_depth(1), MessageMode::Long, cfg).unwrap();
     run_parity(&trace, legacy, seg, true);
 }
 
@@ -164,12 +162,11 @@ fn faulty_transport_colorings_match() {
         let transport = |s: u64| -> Arc<dyn Transport> {
             Arc::new(FaultyTransport::new(s).with_drop(100_000).with_delay(100_000, 2))
         };
-        let legacy = Recolorer::new(trace.n0, edge_log_depth(1), MessageMode::Long)
-            .unwrap()
-            .with_transport(transport(seed));
-        let seg = SegRecolorer::new(trace.n0, edge_log_depth(1), MessageMode::Long)
-            .unwrap()
-            .with_transport(transport(seed));
+        let cfg = |s| RecolorConfig::default().with_transport(transport(s));
+        let legacy =
+            Recolorer::new_with(trace.n0, edge_log_depth(1), MessageMode::Long, cfg(seed)).unwrap();
+        let seg = SegRecolorer::new_with(trace.n0, edge_log_depth(1), MessageMode::Long, cfg(seed))
+            .unwrap();
         run_parity(&trace, legacy, seg, false);
     }
 }

@@ -91,6 +91,7 @@ fn walk(v: &Value, path: String, in_acceptance: bool, out: &mut BTreeMap<String,
                 Value::Bool(b) => Leaf::Exact(b.to_string()),
                 Value::Str(s) => Leaf::Exact(s.clone()),
                 Value::Null => Leaf::Exact("null".to_string()),
+                // INVARIANT: flatten() recurses into containers before this match, so only scalar leaves reach it.
                 Value::Object(_) | Value::Array(_) => unreachable!("containers handled above"),
             };
             out.insert(path, leaf);

@@ -10,6 +10,7 @@ pub fn greedy_vertex_color(g: &Graph) -> VertexColoring {
     let mut colors = vec![u64::MAX; g.n()];
     for v in 0..g.n() {
         let used: Vec<u64> = g.neighbors(v).map(|u| colors[u]).filter(|&c| c != u64::MAX).collect();
+        // INVARIANT: an unbounded color range always contains a color absent from the finite used-set.
         colors[v] = (0..).find(|c| !used.contains(c)).expect("palette is unbounded");
     }
     VertexColoring::new(colors)
@@ -28,6 +29,7 @@ pub fn greedy_edge_color(g: &Graph) -> EdgeColoring {
             .map(|(_, f)| colors[f])
             .filter(|&c| c != u64::MAX)
             .collect();
+        // INVARIANT: an unbounded color range always contains a color absent from the finite used-set.
         colors[e] = (0..).find(|c| !used.contains(c)).expect("palette is unbounded");
     }
     EdgeColoring::new(colors)

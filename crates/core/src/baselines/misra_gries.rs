@@ -23,6 +23,7 @@ struct State<'g> {
 impl State<'_> {
     /// The color of edge (u, v), if colored.
     fn color_between(&self, u: Vertex, v: Vertex) -> u64 {
+        // INVARIANT: fan vertices are neighbors of u by construction, so the host edge exists.
         let e = self.g.edge_between(u, v).expect("fan edges exist");
         self.color[e]
     }
@@ -36,6 +37,7 @@ impl State<'_> {
     fn free_color(&self, x: Vertex) -> u64 {
         (0..self.palette)
             .find(|&c| self.is_free(x, c))
+            // INVARIANT: u has at most deg(u) <= max_degree incident colors, so a (max_degree+1)-palette always retains a free one.
             .expect("degree <= Δ leaves a free color in a (Δ+1)-palette")
     }
 
@@ -47,6 +49,7 @@ impl State<'_> {
         let mut used = vec![false; self.g.n()];
         used[v] = true;
         loop {
+            // INVARIANT: the fan is seeded with its first vertex before this loop, so it is never empty.
             let last = *fan.last().expect("fan is nonempty");
             let next = self.g.incident(u).find(|&(w, e)| {
                 !used[w] && self.color[e] != UNCOLORED && self.is_free(last, self.color[e])
@@ -92,10 +95,13 @@ impl State<'_> {
     /// of `(u, f_{i+1})`, and `(u, f_j)` becomes uncolored.
     fn rotate_fan(&mut self, u: Vertex, fan: &[Vertex]) {
         for i in 0..fan.len() - 1 {
+            // INVARIANT: fan vertices are neighbors of u by construction, so the host edge exists.
             let e_i = self.g.edge_between(u, fan[i]).expect("fan edge");
+            // INVARIANT: fan vertices are neighbors of u by construction, so the host edge exists.
             let e_next = self.g.edge_between(u, fan[i + 1]).expect("fan edge");
             self.color[e_i] = self.color[e_next];
         }
+        // INVARIANT: fan vertices are neighbors of u by construction, so the host edge exists.
         let last = self.g.edge_between(u, *fan.last().expect("nonempty")).expect("fan edge");
         self.color[last] = UNCOLORED;
     }
@@ -122,6 +128,7 @@ pub fn misra_gries_edge_color(g: &Graph) -> EdgeColoring {
         // Build a maximal fan of u starting at v.
         let fan = st.maximal_fan(u, v);
         let c = st.free_color(u);
+        // INVARIANT: the fan was built to end at v, so last() exists.
         let last = *fan.last().expect("fan contains v");
         let d = st.free_color(last);
         if c != d {
@@ -144,9 +151,11 @@ pub fn misra_gries_edge_color(g: &Graph) -> EdgeColoring {
                 break;
             }
         }
+        // INVARIANT: guaranteed by the Misra-Gries lemma: fan construction halts only in a state with a rotatable prefix.
         let j = w_index.expect("Misra–Gries lemma: a rotatable fan prefix exists");
         let prefix = &fan[..=j];
         st.rotate_fan(u, prefix);
+        // INVARIANT: fan vertices are neighbors of u by construction, so the host edge exists.
         let e_w = g.edge_between(u, prefix[prefix.len() - 1]).expect("fan edge");
         debug_assert!(st.is_free(u, d) && st.color[e_w] == UNCOLORED);
         st.color[e_w] = d;

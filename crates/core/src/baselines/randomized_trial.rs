@@ -50,6 +50,7 @@ impl RandomTrial {
     }
 
     fn edge_by_nbr(&mut self, nbr: Vertex) -> &mut TEdge {
+        // INVARIANT: the transport delivers only along host edges, so the sender is always incident.
         self.edges.iter_mut().find(|e| e.nbr == nbr).expect("message from non-incident sender")
     }
 }
@@ -75,6 +76,7 @@ impl Protocol for RandomTrial {
                 TAG_VERDICT => {
                     self.edge_by_nbr(*sender).other_ok = m.field(1) == 1;
                 }
+                // INVARIANT: peers in this protocol emit only the tags matched above; an unknown tag is a wire bug worth aborting on.
                 tag => unreachable!("unknown tag {tag}"),
             }
         }
@@ -149,6 +151,7 @@ impl Protocol for RandomTrial {
     fn finish(self, _ctx: &NodeCtx<'_>) -> Vec<(EdgeIdx, u64)> {
         self.edges
             .into_iter()
+            // INVARIANT: the run loop halts only once every element is decided, so the Option is always Some.
             .map(|e| (e.eid, e.color.expect("trial loop colors all edges")))
             .collect()
     }
@@ -229,6 +232,7 @@ impl Protocol for VertexTrial {
     }
 
     fn finish(self, _ctx: &NodeCtx<'_>) -> u64 {
+        // INVARIANT: the run loop halts only once every element is decided, so the Option is always Some.
         self.color.expect("trial loop colors every vertex")
     }
 }

@@ -95,6 +95,7 @@ impl CvColor {
                 let j = self
                     .slots
                     .binary_search_by_key(&fid, |&(f, _)| f)
+                    // INVARIANT: a slot is pushed for every forest id recorded in parent_fid within the same construction pass.
                     .expect("parent_fid entries have slots");
                 self.slots[j].1.parent_color = m.field(0);
             }
@@ -144,6 +145,7 @@ impl Protocol for CvColor {
                         slot.pre_shift = slot.color;
                         slot.color = match slot.parent {
                             Some(_) => slot.parent_color,
+                            // INVARIANT: only one color is excluded, so {0,1,2} retains at least two candidates.
                             None => (0..3).find(|&c| c != slot.color).expect("palette >= 2"),
                         };
                     }
@@ -163,6 +165,7 @@ impl Protocol for CvColor {
                             };
                             slot.color = (0..3)
                                 .find(|&c| c != parent && c != slot.pre_shift)
+                                // INVARIANT: at most two colors are blocked, so {0,1,2} retains a free one.
                                 .expect("two blockers leave a free color in {0,1,2}");
                         }
                     }

@@ -87,6 +87,7 @@ impl PsiSelect {
     fn pick_and_announce(&mut self, ctx: &NodeCtx<'_>) -> Action<FieldMsg> {
         // Line 6-7: ψ(v) := color k minimizing N_v(k); ties to the smallest.
         let (best_k, _) =
+            // INVARIANT: counts holds p >= 1 entries (p is validated at construction), so the minimum exists.
             self.counts.iter().enumerate().min_by_key(|&(k, &c)| (c, k)).expect("p >= 1 colors");
         self.psi = best_k as u64;
         self.phase = Phase::Done;

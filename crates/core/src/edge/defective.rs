@@ -188,6 +188,7 @@ impl Protocol for PsiSelectEdges {
                 .edges
                 .iter()
                 .position(|e| e.nbr == *sender)
+                // INVARIANT: the transport delivers only along host edges, so the sender is always incident.
                 .expect("message from non-incident sender");
             let e = &mut self.edges[i];
             e.recv_ready = m.field(0) == 1;
@@ -231,6 +232,7 @@ impl Protocol for PsiSelectEdges {
                     .map(|(a, b)| a + b)
                     .enumerate()
                     .min_by_key(|&(k, total)| (total, k))
+                    // INVARIANT: the palette size p is validated >= 1 at construction, so the minimum over p entries exists.
                     .expect("p >= 1");
                 e.psi = Some(k as u64);
                 decided.push((i, k as u64));
@@ -246,6 +248,7 @@ impl Protocol for PsiSelectEdges {
     fn finish(self, _ctx: &NodeCtx<'_>) -> Vec<(EdgeIdx, u64)> {
         self.edges
             .into_iter()
+            // INVARIANT: the run loop halts only once every element is decided, so the Option is always Some.
             .map(|e| (e.eid, e.psi.expect("all edges decided before halting")))
             .collect()
     }

@@ -41,6 +41,7 @@ impl Protocol for LabelExchange {
                 .labels
                 .iter()
                 .find(|&&(nbr, _, _)| nbr == *sender)
+                // INVARIANT: the transport delivers only along host edges, so the sender is always incident.
                 .expect("label from a non-incident sender");
             let theirs = m.field(0);
             // Ordered pair: the smaller-identifier endpoint's label first.

@@ -80,6 +80,7 @@ struct PrAssign {
 
 impl PrAssign {
     fn edge_by_nbr(&mut self, nbr: Vertex) -> &mut AEdge {
+        // INVARIANT: the transport delivers only along host edges, so the sender is always incident.
         self.aedges.iter_mut().find(|e| e.nbr == nbr).expect("message from non-incident sender")
     }
 
@@ -101,6 +102,7 @@ impl PrAssign {
                 TAG_REQUEST => {
                     requests.push(i as u32);
                 }
+                // INVARIANT: peers in this protocol emit only the tags matched above; an unknown tag is a wire bug worth aborting on.
                 tag => unreachable!("unknown tag {tag}"),
             }
         }
@@ -129,6 +131,7 @@ impl PrAssign {
             forbidden.extend_from_slice(&msg.fields()[1..]);
             let color = (0..self.palette)
                 .find(|c| !forbidden.contains(c))
+                // INVARIANT: each endpoint blocks at most W-1 colors, so a (2W-1)-palette retains a free one.
                 .expect("palette 2W-1 always has a free color");
             let e = self.edge_by_nbr(*sender);
             e.color = Some(color);
@@ -153,8 +156,10 @@ impl PrAssign {
         let mut last = 0usize;
         for e in &self.aedges {
             let (j, due) = if e.i_am_parent {
+                // INVARIANT: my_cv is filled for every forest this node parents before coloring begins.
                 (*self.my_cv.get(&e.fid).expect("parent has a CV color per forest"), 3)
             } else {
+                // INVARIANT: round 1 delivers the parent's CV color before any later round reads it.
                 (e.parent_cv.expect("parent CV color arrives in round 1"), 4)
             };
             last = last.max(due + 2 * (3 * e.forest + j) as usize);
@@ -172,6 +177,7 @@ impl Protocol for PrAssign {
         let mut out = Vec::new();
         for e in &self.aedges {
             if e.i_am_parent {
+                // INVARIANT: my_cv is filled for every forest this node parents before coloring begins.
                 let cv = *self.my_cv.get(&e.fid).expect("parent has a CV color per forest");
                 out.push((e.nbr, FieldMsg::new(&[(TAG_CV, 3), (cv, 3)])));
             }
@@ -196,6 +202,7 @@ impl Protocol for PrAssign {
                     .collect();
                 order.sort_by_key(|&i| {
                     let e = &self.aedges[i as usize];
+                    // INVARIANT: round 1 delivers the parent's CV color before any later round reads it.
                     (e.forest, e.parent_cv.expect("parent CV color arrives in round 1"))
                 });
                 self.child_order = order;
@@ -211,6 +218,7 @@ impl Protocol for PrAssign {
             let mut fields = std::mem::take(&mut self.fields_scratch);
             while let Some(&i) = self.child_order.get(self.child_cursor) {
                 let e = &self.aedges[i as usize];
+                // INVARIANT: parent_cv was populated in round 1, before the ordering phase runs.
                 let key = (e.forest, e.parent_cv.expect("set before ordering"));
                 if key > step_key {
                     break; // a later step's edge; this step is done
@@ -243,6 +251,7 @@ impl Protocol for PrAssign {
     }
 
     fn finish(self, _ctx: &NodeCtx<'_>) -> Vec<(EdgeIdx, u64)> {
+        // INVARIANT: the run loop halts only once every element is decided, so the Option is always Some.
         self.aedges.into_iter().map(|e| (e.eid, e.color.expect("all edges colored"))).collect()
     }
 }

@@ -158,6 +158,7 @@ fn best_step(m: u64, q_floor: impl Fn(u32) -> u64) -> (u32, u64) {
             }
         }
     }
+    // INVARIANT: the loop tries k = 1 first, which is always feasible, so a best candidate exists.
     let (q, k) = best.expect("k = 1 is always feasible");
     (k, q)
 }

@@ -35,6 +35,7 @@ impl OrientationColor {
         }
         self.color = (0..=self.d)
             .find(|&c| !self.used[c as usize])
+            // INVARIANT: out-degree is bounded by d, so at most d colors are blocked and {0..=d} retains a free one.
             .expect("out-degree exceeds d: no free color in {0..d}");
         let msg = FieldMsg::new(&[(1, 2), (self.color, self.d + 1)]);
         Action::Halt(ctx.broadcast(msg))

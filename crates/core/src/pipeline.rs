@@ -184,6 +184,7 @@ pub fn merge_edge_replicas(m: usize, per_vertex: &[Vec<(EdgeIdx, u64)>], what: &
     merged
         .into_iter()
         .enumerate()
+        // INVARIANT: every stage must decide all edges before the pipeline advances; a missing value is a stage bug worth aborting on.
         .map(|(e, v)| v.unwrap_or_else(|| panic!("edge {e} carries no {what} value")))
         .collect()
 }

@@ -152,7 +152,7 @@ pub fn randomized_edge_color(
     });
 
     let class_bound_held = (0..g.n()).all(|v| {
-        let mut counts = std::collections::HashMap::new();
+        let mut counts = std::collections::BTreeMap::new();
         for (_, e) in g.incident(v) {
             *counts.entry(groups[e]).or_insert(0u64) += 1;
         }

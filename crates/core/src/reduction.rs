@@ -23,6 +23,9 @@ use crate::msg::FieldMsg;
 use crate::pipeline::Pipeline;
 use deco_graph::Vertex;
 use deco_local::{Action, Network, NodeCtx, Protocol, RunStats, SharedConfig};
+// tidy: allow(hash-iter) — nbr_colors is keyed per neighbor; its only
+// iterations are commutative folds (set-union into a bool mask, uniform
+// rebase), so hash order cannot reach colors or counters.
 use std::collections::HashMap;
 
 /// One palette-halving phase.
@@ -74,6 +77,8 @@ struct KwReduce {
     phase_start: usize,
     /// Current colors of same-group neighbors, on the same clock as ours:
     /// during a phase, values `>= m` encode `m + block·(Λ+1) + j` picks.
+    // tidy: allow(hash-iter) — values() folds are order-insensitive (see
+    // the module-head allow); keys are never enumerated.
     nbr_colors: HashMap<Vertex, u64>,
     picked: bool,
 }
@@ -125,6 +130,7 @@ impl Protocol for KwReduce {
                 }
                 let j = (0..target)
                     .find(|&j| !used[j as usize])
+                    // INVARIANT: within-group degree is at most the group bound by the partition property, so the block palette retains a free color.
                     .expect("within-group degree exceeds Λ: no free color in block palette");
                 self.color = phase.m + my_block * target + j;
                 self.picked = true;
@@ -190,6 +196,7 @@ pub fn reduce_colors_in_groups(
         phases: SharedConfig::clone(&phases),
         phase_idx: 0,
         phase_start: 0,
+        // tidy: allow(hash-iter) — same order-insensitive map as above.
         nbr_colors: HashMap::new(),
         picked: false,
     });

@@ -14,7 +14,7 @@
 //! the distributed algorithms themselves.
 
 use crate::{EdgeIdx, Graph, Vertex};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// A color. Algorithms in this workspace use dense small palettes, but the
 /// container does not require contiguity.
@@ -76,7 +76,7 @@ impl VertexColoring {
 
     /// Number of distinct colors used.
     pub fn palette_size(&self) -> usize {
-        self.colors.iter().collect::<HashSet<_>>().len()
+        self.colors.iter().collect::<BTreeSet<_>>().len()
     }
 
     /// Largest color value used plus one (`0` for an empty graph); an upper
@@ -182,7 +182,7 @@ impl EdgeColoring {
 
     /// Number of distinct colors used.
     pub fn palette_size(&self) -> usize {
-        self.colors.iter().collect::<HashSet<_>>().len()
+        self.colors.iter().collect::<BTreeSet<_>>().len()
     }
 
     /// Whether no two incident edges share a color.

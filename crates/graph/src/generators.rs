@@ -18,6 +18,7 @@ use rand::{Rng, SeedableRng};
 pub fn path(n: usize) -> Graph {
     assert!(n > 0, "path needs at least one vertex");
     let edges: Vec<(usize, usize)> = (0..n - 1).map(|v| (v, v + 1)).collect();
+    // INVARIANT: endpoints are generated in [0, n) with distinct ends, so validation cannot fail.
     Graph::from_edges(n, &edges).expect("path edges are valid")
 }
 
@@ -30,6 +31,7 @@ pub fn cycle(n: usize) -> Graph {
     assert!(n >= 3, "cycle needs at least three vertices");
     let mut edges: Vec<(usize, usize)> = (0..n - 1).map(|v| (v, v + 1)).collect();
     edges.push((n - 1, 0));
+    // INVARIANT: endpoints are generated in [0, n) with distinct ends, so validation cannot fail.
     Graph::from_edges(n, &edges).expect("cycle edges are valid")
 }
 
@@ -41,6 +43,7 @@ pub fn cycle(n: usize) -> Graph {
 pub fn star(n: usize) -> Graph {
     assert!(n > 0, "star needs at least one vertex");
     let edges: Vec<(usize, usize)> = (1..n).map(|v| (0, v)).collect();
+    // INVARIANT: endpoints are generated in [0, n) with distinct ends, so validation cannot fail.
     Graph::from_edges(n, &edges).expect("star edges are valid")
 }
 
@@ -52,6 +55,7 @@ pub fn complete(n: usize) -> Graph {
             edges.push((u, v));
         }
     }
+    // INVARIANT: endpoints are generated in [0, n) with distinct ends, so validation cannot fail.
     Graph::from_edges(n, &edges).expect("clique edges are valid")
 }
 
@@ -63,6 +67,7 @@ pub fn complete_bipartite(a: usize, b: usize) -> Graph {
             edges.push((u, a + v));
         }
     }
+    // INVARIANT: endpoints are generated in [0, n) with distinct ends, so validation cannot fail.
     Graph::from_edges(a + b, &edges).expect("bipartite edges are valid")
 }
 
@@ -85,6 +90,7 @@ pub fn grid(w: usize, h: usize) -> Graph {
             }
         }
     }
+    // INVARIANT: endpoints are generated in [0, n) with distinct ends, so validation cannot fail.
     Graph::from_edges(w * h, &edges).expect("grid edges are valid")
 }
 
@@ -100,10 +106,13 @@ pub fn torus(w: usize, h: usize) -> Graph {
     let mut b = Graph::builder(w * h);
     for y in 0..h {
         for x in 0..w {
+            // INVARIANT: endpoint indices are computed in [0, n), so insertion cannot fail.
             b.add_edge_dedup(at(x, y), at((x + 1) % w, y)).expect("valid");
+            // INVARIANT: endpoint indices are computed in [0, n), so insertion cannot fail.
             b.add_edge_dedup(at(x, y), at(x, (y + 1) % h)).expect("valid");
         }
     }
+    // INVARIANT: edges were deduplicated before insertion, so build cannot report duplicates.
     b.build().expect("deduplicated")
 }
 
@@ -119,6 +128,7 @@ pub fn binary_tree(n: usize) -> Graph {
     for v in 1..n {
         edges.push(((v - 1) / 2, v));
     }
+    // INVARIANT: endpoints are generated in [0, n) with distinct ends, so validation cannot fail.
     Graph::from_edges(n, &edges).expect("tree edges are valid")
 }
 
@@ -140,7 +150,9 @@ pub fn kary_tree(arity: usize, depth: u32) -> Graph {
     let mut n: usize = 1;
     let mut level = 1usize;
     for _ in 0..depth {
+        // INVARIANT: overflow means the requested graph exceeds usize; panicking with a clear message is the intended guard.
         level = level.checked_mul(arity).expect("tree too large");
+        // INVARIANT: overflow means the requested graph exceeds usize; panicking with a clear message is the intended guard.
         n = n.checked_add(level).expect("tree too large");
     }
     assert!(n < (1usize << 32), "tree too large");
@@ -148,6 +160,7 @@ pub fn kary_tree(arity: usize, depth: u32) -> Graph {
     for v in 1..n {
         edges.push(((v - 1) / arity, v));
     }
+    // INVARIANT: endpoints are generated in [0, n) with distinct ends, so validation cannot fail.
     Graph::from_edges(n, &edges).expect("tree edges are valid")
 }
 
@@ -159,6 +172,7 @@ pub fn petersen() -> Graph {
         edges.push((5 + i, 5 + (i + 2) % 5)); // inner pentagram
         edges.push((i, 5 + i)); // spokes
     }
+    // INVARIANT: endpoints are generated in [0, n) with distinct ends, so validation cannot fail.
     Graph::from_edges(10, &edges).expect("petersen edges are valid")
 }
 
@@ -179,6 +193,7 @@ pub fn friendship(k: usize) -> Graph {
         edges.push((0, b));
         edges.push((a, b));
     }
+    // INVARIANT: endpoints are generated in [0, n) with distinct ends, so validation cannot fail.
     Graph::from_edges(2 * k + 1, &edges).expect("windmill edges are valid")
 }
 
@@ -199,6 +214,7 @@ pub fn hypercube(d: u32) -> Graph {
             }
         }
     }
+    // INVARIANT: endpoints are generated in [0, n) with distinct ends, so validation cannot fail.
     Graph::from_edges(n, &edges).expect("hypercube edges are valid")
 }
 
@@ -213,17 +229,22 @@ pub fn barbell(k: usize, bridge: usize) -> Graph {
     let mut b = Graph::builder(n);
     for u in 0..k {
         for v in u + 1..k {
+            // INVARIANT: endpoint indices are computed in [0, n), so insertion cannot fail.
             b.add_edge(u, v).expect("in range");
+            // INVARIANT: endpoint indices are computed in [0, n), so insertion cannot fail.
             b.add_edge(k + bridge + u, k + bridge + v).expect("in range");
         }
     }
     // Chain: clique-1 vertex k-1 -> bridge -> clique-2 vertex k+bridge.
     let mut prev = k - 1;
     for i in 0..bridge {
+        // INVARIANT: endpoint indices are computed in [0, n), so insertion cannot fail.
         b.add_edge(prev, k + i).expect("in range");
         prev = k + i;
     }
+    // INVARIANT: endpoint indices are computed in [0, n), so insertion cannot fail.
     b.add_edge(prev, k + bridge).expect("in range");
+    // INVARIANT: edges were deduplicated before insertion, so build cannot report duplicates.
     b.build().expect("barbell has no duplicate edges")
 }
 
@@ -236,14 +257,18 @@ pub fn random_bipartite(a: usize, b: usize, m: usize, seed: u64) -> Graph {
     assert!(m <= a * b, "too many edges for a bipartite graph");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut builder = Graph::builder(a + b);
+    // tidy: allow(hash-iter) — rejection-sampling membership set; edges
+    // are emitted in seeded-RNG draw order, never in set order.
     let mut seen = std::collections::HashSet::new();
     while seen.len() < m {
         let u = rng.gen_range(0..a);
         let v = a + rng.gen_range(0..b);
         if seen.insert((u, v)) {
+            // INVARIANT: endpoint indices are computed in [0, n), so insertion cannot fail.
             builder.add_edge(u, v).expect("in range");
         }
     }
+    // INVARIANT: edges were deduplicated before insertion, so build cannot report duplicates.
     builder.build().expect("edges deduplicated via set")
 }
 
@@ -267,6 +292,7 @@ pub fn clique_with_pendants(k: usize) -> Graph {
         }
         edges.push((u, k + u));
     }
+    // INVARIANT: endpoints are generated in [0, n) with distinct ends, so validation cannot fail.
     Graph::from_edges(2 * k, &edges).expect("figure 1 edges are valid")
 }
 
@@ -282,6 +308,7 @@ pub fn random_tree(n: usize, seed: u64) -> Graph {
     for v in 1..n {
         edges.push((rng.gen_range(0..v), v));
     }
+    // INVARIANT: endpoints are generated in [0, n) with distinct ends, so validation cannot fail.
     Graph::from_edges(n, &edges).expect("tree edges are valid")
 }
 
@@ -297,6 +324,8 @@ pub fn random_graph(n: usize, m: usize, seed: u64) -> Graph {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut b = Graph::builder(n);
     let mut added = 0usize;
+    // tidy: allow(hash-iter) — rejection-sampling membership set; edges
+    // are emitted in seeded-RNG draw order, never in set order.
     let mut seen = std::collections::HashSet::new();
     while added < m {
         let u = rng.gen_range(0..n);
@@ -306,10 +335,12 @@ pub fn random_graph(n: usize, m: usize, seed: u64) -> Graph {
         }
         let key = if u < v { (u, v) } else { (v, u) };
         if seen.insert(key) {
+            // INVARIANT: endpoint indices are computed in [0, n), so insertion cannot fail.
             b.add_edge(key.0, key.1).expect("in range");
             added += 1;
         }
     }
+    // INVARIANT: edges were deduplicated before insertion, so build cannot report duplicates.
     b.build().expect("edges deduplicated via set")
 }
 
@@ -329,6 +360,8 @@ pub fn random_bounded_degree(n: usize, delta_cap: usize, seed: u64) -> Graph {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut b = Graph::builder(n);
     let mut deg = vec![0usize; n];
+    // tidy: allow(hash-iter) — rejection-sampling membership set; edges
+    // are emitted in seeded-RNG draw order, never in set order.
     let mut exists = std::collections::HashSet::new();
     // Standard pairing heuristic: a pool of vertex "stubs", shuffled, paired.
     // Rejected pairs (loops/duplicates/full) are dropped; a few extra passes
@@ -348,12 +381,14 @@ pub fn random_bounded_degree(n: usize, delta_cap: usize, seed: u64) -> Graph {
             }
             let key = if u < v { (u, v) } else { (v, u) };
             if exists.insert(key) {
+                // INVARIANT: endpoint indices are computed in [0, n), so insertion cannot fail.
                 b.add_edge(key.0, key.1).expect("in range");
                 deg[u] += 1;
                 deg[v] += 1;
             }
         }
     }
+    // INVARIANT: edges were deduplicated before insertion, so build cannot report duplicates.
     b.build().expect("edges deduplicated via set")
 }
 
@@ -385,7 +420,11 @@ pub fn random_power_law(n: usize, d_max: usize, seed: u64) -> Graph {
         .collect();
     let mut b = Graph::builder(n);
     let mut deg = vec![0usize; n];
+    // tidy: allow(hash-iter) — rejection-sampling membership set; edges
+    // are emitted in seeded-RNG draw order, never in set order.
     let mut exists = std::collections::HashSet::new();
+    // tidy: allow(hash-iter) — the closure only probes/updates the same
+    // membership set; nothing enumerates it.
     let add = |b: &mut crate::GraphBuilder,
                deg: &mut Vec<usize>,
                exists: &mut std::collections::HashSet<(Vertex, Vertex)>,
@@ -399,6 +438,7 @@ pub fn random_power_law(n: usize, d_max: usize, seed: u64) -> Graph {
         if !exists.insert(key) {
             return false;
         }
+        // INVARIANT: endpoint indices are computed in [0, n), so insertion cannot fail.
         b.add_edge(key.0, key.1).expect("in range");
         deg[u] += 1;
         deg[v] += 1;
@@ -423,6 +463,7 @@ pub fn random_power_law(n: usize, d_max: usize, seed: u64) -> Graph {
             add(&mut b, &mut deg, &mut exists, pair[0], pair[1]);
         }
     }
+    // INVARIANT: edges were deduplicated before insertion, so build cannot report duplicates.
     b.build().expect("edges deduplicated via set")
 }
 
@@ -441,6 +482,8 @@ pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
         let mut stubs: Vec<Vertex> = (0..n).flat_map(|v| std::iter::repeat(v).take(d)).collect();
         stubs.shuffle(&mut rng);
         let mut b = Graph::builder(n);
+        // tidy: allow(hash-iter) — rejection-sampling membership set; the
+        // emitted pairing follows the shuffled stub order.
         let mut exists = std::collections::HashSet::new();
         for pair in stubs.chunks_exact(2) {
             let (u, v) = (pair[0], pair[1]);
@@ -451,9 +494,11 @@ pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
             if !exists.insert(key) {
                 continue 'attempt;
             }
+            // INVARIANT: endpoint indices are computed in [0, n), so insertion cannot fail.
             b.add_edge(key.0, key.1).expect("in range");
         }
         let _ = attempt;
+        // INVARIANT: edges were deduplicated before insertion, so build cannot report duplicates.
         return b.build().expect("deduplicated");
     }
     // Fallback: bounded-degree graph with cap d.
@@ -478,6 +523,7 @@ pub fn unit_disk(n: usize, radius: f64, seed: u64) -> Graph {
             }
         }
     }
+    // INVARIANT: endpoints are generated in [0, n) with distinct ends, so validation cannot fail.
     Graph::from_edges(n, &edges).expect("disk edges are valid")
 }
 
@@ -500,6 +546,7 @@ pub fn random_hypergraph(n: usize, m: usize, rank: usize, seed: u64) -> Hypergra
         e.sort_unstable();
         edges.push(e);
     }
+    // INVARIANT: sampled vertex indices are reduced into [0, n) before insertion.
     Hypergraph::new(n, edges).expect("sampled vertices are in range")
 }
 
@@ -510,6 +557,7 @@ pub fn shuffle_idents(g: &Graph, seed: u64) -> Graph {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut ids: Vec<u64> = (1..=g.n() as u64).collect();
     ids.shuffle(&mut rng);
+    // INVARIANT: the identifier list is distinct by construction, so re-labelling cannot fail.
     g.clone().with_idents(ids).expect("permutation is distinct")
 }
 

@@ -60,6 +60,7 @@ impl Graph {
 
     /// Creates an edgeless graph with `n` vertices.
     pub fn empty(n: usize) -> Graph {
+        // INVARIANT: an empty edge list trivially satisfies validation.
         Graph::from_edges(n, &[]).expect("empty edge list is always valid")
     }
 
@@ -161,6 +162,7 @@ impl Graph {
         } else if b == v {
             a
         } else {
+            // INVARIANT: callers must pass an endpoint of e; anything else is a caller bug worth aborting on.
             panic!("vertex {v} is not an endpoint of edge {e}")
         }
     }
@@ -204,8 +206,10 @@ impl Graph {
             }
         }
         let g = Graph::from_edges(verts.len(), &edges)
+            // INVARIANT: the subgraph inherits validated endpoints from a valid host graph.
             .expect("induced subgraph of a valid graph is valid");
         let idents = verts.iter().map(|&old| self.idents[old]).collect();
+        // INVARIANT: the identifier list is distinct by construction, so re-labelling cannot fail.
         let g = g.with_idents(idents).expect("inherited identifiers stay distinct");
         (g, verts)
     }
@@ -253,8 +257,10 @@ impl Graph {
             })
             .collect();
         let g = Graph::from_edges(verts.len(), &edges)
+            // INVARIANT: the subgraph inherits validated endpoints from a valid host graph.
             .expect("edge-induced subgraph of a valid graph is valid");
         let idents = verts.iter().map(|&old| self.idents[old]).collect();
+        // INVARIANT: the identifier list is distinct by construction, so re-labelling cannot fail.
         let g = g.with_idents(idents).expect("inherited identifiers stay distinct");
         (g, verts, eids)
     }
@@ -478,6 +484,7 @@ impl Graph {
                         copy_run(&mut edges, &mut origin, &mut new_of_old, cursor, m_old);
                         break;
                     }
+                    // INVARIANT: the guarded first arm captured this combination, so it cannot recur here.
                     (Some(_), None) => unreachable!("covered by the guarded first arm"),
                 }
             }
@@ -601,6 +608,7 @@ impl Graph {
                             two_visit_link(&mut mirror, &mut first_slot, ae, adj.len() - 1);
                         }
                         (None, None) => break,
+                        // INVARIANT: the merge loop's first arm consumes every remaining old entry, so no other combination reaches this arm.
                         _ => unreachable!("first arm covers remaining old entries"),
                     }
                 }

@@ -100,10 +100,12 @@ impl Hypergraph {
         for group in &touching {
             for (a, &i) in group.iter().enumerate() {
                 for &j in &group[a + 1..] {
+                    // INVARIANT: line-graph vertex indices come from enumerate() over the edge list, so they are in range.
                     b.add_edge_dedup(i, j).expect("indices in range");
                 }
             }
         }
+        // INVARIANT: edges were deduplicated before insertion, so build cannot report duplicates.
         b.build().expect("line graph construction produces no duplicates")
     }
 }

@@ -112,6 +112,7 @@ pub fn parse_edge_list(text: &str) -> Result<Graph, ParseGraphError> {
             continue;
         }
         let mut parts = line.split_whitespace();
+        // INVARIANT: splitting a non-empty trimmed line always yields a first token.
         let tag = parts.next().expect("nonempty line has a first token");
         let mut next_num = |what: &str| -> Result<usize, ParseGraphError> {
             parts.next().and_then(|t| t.parse().ok()).ok_or_else(|| ParseGraphError::BadLine {

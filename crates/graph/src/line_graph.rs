@@ -41,10 +41,12 @@ pub fn line_graph(g: &Graph) -> Graph {
                 // endpoints only in a multigraph, which `Graph` forbids, but
                 // a triangle's edges meet pairwise at distinct vertices, so
                 // deduplicate defensively.
+                // INVARIANT: line-graph vertex indices come from enumerate() over the edge list, so they are in range.
                 b.add_edge_dedup(e, f).expect("edge indices in range");
             }
         }
     }
+    // INVARIANT: edges were deduplicated before insertion, so build cannot report duplicates.
     let l = b.build().expect("deduplicated construction");
     // Identifier of line vertex e = rank of (ident(u), ident(v)) ordered pairs.
     let mut keyed: Vec<((u64, u64), usize)> = (0..m)
@@ -59,6 +61,7 @@ pub fn line_graph(g: &Graph) -> Graph {
     for (rank, &(_, e)) in keyed.iter().enumerate() {
         idents[e] = rank as u64 + 1;
     }
+    // INVARIANT: the identifier list is distinct by construction, so re-labelling cannot fail.
     l.with_idents(idents).expect("lexicographic ranks are distinct")
 }
 

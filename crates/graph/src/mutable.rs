@@ -38,6 +38,9 @@
 
 use crate::{Graph, GraphError, Vertex};
 use deco_probe::{Event, Probe};
+// tidy: allow(hash-iter) — commit replay uses hash containers only for
+// membership and per-pair overlay flags; every iteration result is
+// sorted (sort_unstable) before it can reach deltas or the graph.
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
@@ -300,6 +303,8 @@ impl MutableGraph {
         // Replay the batch against the snapshot plus a sparse overlay of
         // the touched pairs: `(was, now)` existence per pair. O(batch), not
         // O(m) — the committed edge set is never materialized.
+        // tidy: allow(hash-iter) — iterated once below, then sorted
+        // (sort_unstable) before anything reads the delta.
         let mut overlay: HashMap<(u32, u32), (bool, bool)> = HashMap::new();
         let mut ident_ops: Vec<(usize, u64)> = Vec::new();
         let mut replay = || -> Result<(), GraphError> {
@@ -327,6 +332,7 @@ impl MutableGraph {
                     }
                     Op::AddVertex => {}
                     Op::SetIdent(v, ident) => ident_ops.push((v as usize, ident)),
+                    // INVARIANT: shrink batches are routed to the rebuild path above, so apply never sees one.
                     Op::Shrink => unreachable!("shrink batches take the rebuild path"),
                 }
             }
@@ -354,6 +360,8 @@ impl MutableGraph {
         // `index + 1` default would clash and spuriously fail the commit.
         let mut idents = self.snapshot.idents().to_vec();
         if added_vertices > 0 {
+            // tidy: allow(hash-iter) — membership probes only; candidate
+            // identifiers come from the deterministic `index + 1` walk.
             let mut used: HashSet<u64> = idents.iter().copied().collect();
             for &op in &self.pending {
                 match op {
@@ -436,12 +444,15 @@ impl MutableGraph {
         // Working state in the *current* numbering, which shrink ops may
         // compact mid-batch.
         let mut n_cur = old.n();
+        // tidy: allow(hash-iter) — membership probes during queue-order
+        // replay; the rebuilt edge list is re-derived in sorted order.
         let mut set: HashSet<(u32, u32)> = old.edges().map(|(u, v)| (u as u32, v as u32)).collect();
         let mut idents: Vec<u64> = old.idents().to_vec();
         // Identifiers claimed so far (pre-batch ones included, even if a
         // shrink later removes their vertex — freed values are reusable
         // from the *next* batch on): the same conservative default rule as
         // the delta path, so the two paths assign identical defaults.
+        // tidy: allow(hash-iter) — membership probes only, as above.
         let mut used_idents: Option<HashSet<u64>> =
             (added_vertices > 0).then(|| idents.iter().copied().collect());
         let mut back_to_old: Vec<Option<Vertex>> = (0..n_cur).map(Some).collect();
@@ -466,6 +477,7 @@ impl MutableGraph {
                         }
                     }
                     Op::AddVertex => {
+                        // INVARIANT: used_idents is initialized whenever the batch contains adds, checked just above.
                         let used = used_idents.as_mut().expect("adds imply the set exists");
                         let mut c = idents.len() as u64 + 1;
                         while !used.insert(c) {

@@ -28,11 +28,12 @@ pub fn max_independent_subset(g: &Graph, set: &[Vertex]) -> usize {
     if k == 0 {
         return 0;
     }
+    // INVARIANT: the k == 0 case returned early above, so verts is nonempty.
     assert!(*verts.last().expect("nonempty") < g.n(), "set contains out-of-range vertex");
     // Local adjacency among `verts` as bitsets (chunks of 64).
     let words = k.div_ceil(64);
     let mut adj = vec![vec![0u64; words]; k];
-    let mut index = std::collections::HashMap::new();
+    let mut index = std::collections::BTreeMap::new();
     for (i, &v) in verts.iter().enumerate() {
         index.insert(v, i);
     }
@@ -167,6 +168,7 @@ pub fn degeneracy(g: &Graph) -> usize {
             }
             cursor += 1;
         }
+        // INVARIANT: bucket occupancy mirrors the live-vertex counters, so a selected bucket cannot be empty.
         let v = buckets[cursor].pop().expect("live vertex exists");
         removed[v] = true;
         degeneracy = degeneracy.max(cursor);

@@ -59,6 +59,9 @@
 
 use crate::{EdgeIdx, Graph, GraphError, Vertex};
 use deco_probe::{Event, Probe};
+// tidy: allow(hash-iter) — commit replay uses hash containers only for
+// membership and per-pair overlay flags; every iteration result is
+// sorted (sort_unstable) before it can reach deltas or segments.
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
@@ -401,8 +404,10 @@ impl SegmentedGraph {
             })
             .collect();
         let g = Graph::from_edges(self.n, &edges)
+            // INVARIANT: the subgraph inherits validated endpoints from a valid host graph.
             .expect("segmented invariants imply a valid edge list")
             .with_idents(self.idents.clone())
+            // INVARIANT: segment identifiers are distinct by construction, so re-labelling cannot fail.
             .expect("segmented identifiers are distinct");
         (g, idmap)
     }
@@ -448,8 +453,10 @@ impl SegmentedGraph {
         let edges: Vec<(usize, usize)> =
             items.iter().map(|&(u, v, _)| (back[u as usize], back[v as usize])).collect();
         let g = Graph::from_edges(verts.len(), &edges)
+            // INVARIANT: the subgraph inherits validated endpoints from a valid host graph.
             .expect("edge-induced subgraph of a valid graph is valid");
         let idents = verts.iter().map(|&old| self.idents[old]).collect();
+        // INVARIANT: the identifier list is distinct by construction, so re-labelling cannot fail.
         let g = g.with_idents(idents).expect("inherited identifiers stay distinct");
         let emap = items.into_iter().map(|(_, _, e)| e as EdgeIdx).collect();
         (g, verts, emap)
@@ -575,6 +582,8 @@ impl SegmentedGraph {
         let n_new = self.n + added_vertices;
         // Replay against a sparse overlay of touched pairs — same
         // validation, same error order as `MutableGraph::commit`.
+        // tidy: allow(hash-iter) — iterated once below, then sorted
+        // (sort_unstable) before anything reads the delta.
         let mut overlay: HashMap<(u32, u32), (bool, bool)> = HashMap::new();
         let mut ident_ops: Vec<(usize, u64)> = Vec::new();
         let mut replay = || -> Result<(), GraphError> {
@@ -602,6 +611,7 @@ impl SegmentedGraph {
                     }
                     Op::AddVertex => {}
                     Op::SetIdent(v, ident) => ident_ops.push((v as usize, ident)),
+                    // INVARIANT: shrink batches are routed to the rebuild path above, so apply never sees one.
                     Op::Shrink => unreachable!("shrink batches take the rebuild path"),
                 }
             }
@@ -628,6 +638,8 @@ impl SegmentedGraph {
         let mut idents = self.idents.clone();
         let mut ident_writes = 0usize;
         if added_vertices > 0 {
+            // tidy: allow(hash-iter) — membership probes only; candidate
+            // identifiers come from the deterministic `index + 1` walk.
             let mut used: HashSet<u64> = idents.iter().copied().collect();
             for &op in &self.pending {
                 match op {
@@ -683,6 +695,7 @@ impl SegmentedGraph {
         // are reused immediately, keeping the id space dense.
         let mut freed_ids: Vec<u32> = Vec::with_capacity(deleted.len());
         for &(u, v) in &deleted {
+            // INVARIANT: edge presence between u and v was checked just above.
             let id = self.edge_between(u, v).expect("validated above") as u32;
             self.ends[id as usize] = HOLE;
             bytes += ENDS_BYTES;
@@ -738,6 +751,7 @@ impl SegmentedGraph {
                 (Some(&(av, _, _)), Some(&(dv, _))) => av.min(dv),
                 (Some(&(av, _, _)), None) => av,
                 (None, Some(&(dv, _))) => dv,
+                // INVARIANT: the while condition guarantees at least one side is non-exhausted.
                 (None, None) => unreachable!(),
             };
             touched.push(v);
@@ -761,6 +775,7 @@ impl SegmentedGraph {
                             scratch.push((anbr, ae));
                         }
                         (None, None) => break,
+                        // INVARIANT: the merge loop's first arm consumes every remaining old entry, so no other combination reaches this arm.
                         _ => unreachable!("first arm covers remaining old entries"),
                     }
                 }
@@ -810,6 +825,7 @@ impl SegmentedGraph {
                 let seg = self.segment(nbr as usize);
                 let i = seg
                     .binary_search_by_key(&v, |&(w, _)| w)
+                    // INVARIANT: segments store both directions of every edge, so the partner lookup succeeds.
                     .expect("partner segment lists the reverse edge");
                 let q = self.ext[nbr as usize].start as usize + i;
                 self.mirror[p] = q as u32;
@@ -845,9 +861,12 @@ impl SegmentedGraph {
     fn commit_shrink_rebuild(&mut self) -> Result<SegCommitDelta, GraphError> {
         let added_vertices = self.pending_vertices;
         let mut n_cur = self.n;
+        // tidy: allow(hash-iter) — membership probes during queue-order
+        // replay; the rebuilt edge list is re-derived in sorted order.
         let mut set: HashSet<(u32, u32)> =
             self.edges_with_ids().map(|(_, (u, v))| (u as u32, v as u32)).collect();
         let mut idents: Vec<u64> = self.idents.clone();
+        // tidy: allow(hash-iter) — membership probes only, as above.
         let mut used_idents: Option<HashSet<u64>> =
             (added_vertices > 0).then(|| idents.iter().copied().collect());
         let mut back_to_old: Vec<Option<Vertex>> = (0..n_cur).map(Some).collect();
@@ -869,6 +888,7 @@ impl SegmentedGraph {
                         }
                     }
                     Op::AddVertex => {
+                        // INVARIANT: used_idents is initialized whenever the batch contains adds, checked just above.
                         let used = used_idents.as_mut().expect("adds imply the set exists");
                         let mut c = idents.len() as u64 + 1;
                         while !used.insert(c) {

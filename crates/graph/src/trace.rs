@@ -95,6 +95,8 @@ impl Trace {
             .map(|batch| {
                 // first/last op per pair: net insert = (Insert, Insert),
                 // net delete = (Delete, Delete); mixed pairs cancel.
+                // tidy: allow(hash-iter) — per-pair first/last flags; the
+                // values() fold below only sums commutative counts.
                 let mut seen: std::collections::HashMap<(Vertex, Vertex), (bool, bool)> =
                     std::collections::HashMap::new();
                 for op in batch {
@@ -218,6 +220,7 @@ pub fn parse_trace(text: &str) -> Result<Trace, ParseTraceError> {
             continue;
         }
         let mut parts = line.split_whitespace();
+        // INVARIANT: splitting a non-empty trimmed line always yields a first token.
         let tag = parts.next().expect("nonempty line has a first token");
         let mut next_num = |what: &str| -> Result<u64, ParseTraceError> {
             parts.next().and_then(|t| t.parse().ok()).ok_or_else(|| ParseTraceError::BadLine {
@@ -326,6 +329,8 @@ pub fn churn_trace_from(
     assert!(base.max_degree() <= delta_cap, "base graph exceeds the degree cap");
     let mut ops: Vec<TraceOp> = Vec::new();
     let mut edges: Vec<(Vertex, Vertex)> = base.edges().collect();
+    // tidy: allow(hash-iter) — membership tests only; candidate edges are
+    // drawn from the seeded RNG stream, never from set order.
     let mut exists: std::collections::HashSet<(Vertex, Vertex)> = edges.iter().copied().collect();
     let mut deg = vec![0usize; n];
     for &(u, v) in &edges {

@@ -136,6 +136,7 @@ pub fn relay_congestion(g: &Graph) -> usize {
     let mut load = vec![0usize; m]; // per host edge, both directions pooled
     let mut route = |a: Vertex, b: Vertex| {
         if a != b {
+            // INVARIANT: routes are built from host adjacency, so every step is an existing edge.
             let e = g.edge_between(a, b).expect("route step must be a host edge");
             load[e] += 1;
         }

@@ -107,6 +107,7 @@ impl Network<'_> {
         P: Protocol,
         F: FnMut(&NodeCtx<'_>) -> P,
     {
+        // INVARIANT: the infallible wrapper re-raises errors from the fallible variant; callers choosing it accept the panic.
         self.try_run_profiled_naive(make).unwrap_or_else(|e| panic!("{e}"))
     }
 
@@ -185,6 +186,7 @@ impl Network<'_> {
             // order; an occupied slot postpones, a halted receiver drops).
             if let Some(f) = faults.as_mut() {
                 while f.pending.peek().is_some_and(|Reverse(p)| p.arrival <= round) {
+                    // INVARIANT: extraction follows a successful peek on the same source.
                     let Reverse(p) = f.pending.pop().expect("peeked entry");
                     let to = g.slot_neighbor(p.slot);
                     if halted[to] {
@@ -268,6 +270,7 @@ impl Network<'_> {
         for (to, msg) in out {
             let i = neighbors
                 .binary_search(&to)
+                // INVARIANT: the LOCAL model permits sends only along incident edges; anything else is a protocol bug worth aborting on.
                 .unwrap_or_else(|_| panic!("node {from} addressed a message to non-neighbor {to}"));
             let bits = msg.size_bits();
             stats.record_message(bits);

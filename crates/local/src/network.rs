@@ -104,6 +104,7 @@ impl NodeCtx<'_> {
         let i = self
             .neighbors
             .binary_search(&u)
+            // INVARIANT: the LOCAL model permits sends only along incident edges; anything else is a protocol bug worth aborting on.
             .unwrap_or_else(|_| panic!("vertex {u} is not a neighbor of {}", self.vertex));
         self.neighbor_idents[i]
     }
@@ -641,6 +642,7 @@ impl<'g> Network<'g> {
         P: Protocol,
         F: FnMut(&NodeCtx<'_>) -> P,
     {
+        // INVARIANT: the infallible wrapper re-raises errors from the fallible variant; callers choosing it accept the panic.
         self.try_run_profiled(make).unwrap_or_else(|e| panic!("{e}"))
     }
 
@@ -723,6 +725,7 @@ impl<'g> Network<'g> {
         P::Msg: Send + Sync,
         F: FnMut(&NodeCtx<'_>) -> P,
     {
+        // INVARIANT: the infallible wrapper re-raises errors from the fallible variant; callers choosing it accept the panic.
         self.try_run_traced(make).unwrap_or_else(|e| panic!("{e}"))
     }
 
@@ -1054,6 +1057,7 @@ mod engine {
                         i
                     }
                     Err(_) => {
+                        // INVARIANT: the LOCAL model permits sends only along incident edges; anything else is a protocol bug worth aborting on.
                         panic!("node {from} addressed a message to non-neighbor {to}")
                     }
                 }
@@ -1104,6 +1108,7 @@ mod engine {
                         i
                     }
                     Err(_) => {
+                        // INVARIANT: the LOCAL model permits sends only along incident edges; anything else is a protocol bug worth aborting on.
                         panic!("node {from} addressed a message to non-neighbor {to}")
                     }
                 }
@@ -1505,6 +1510,7 @@ mod engine {
             // one more round; a halted receiver drops it, exactly like any
             // send toward a halted node.
             while pending.peek().is_some_and(|Reverse(p)| p.arrival <= round) {
+                // INVARIANT: extraction follows a successful peek on the same source.
                 let Reverse(p) = pending.pop().expect("peeked entry");
                 let slot = p.slot as usize;
                 let to = net.flat_neighbors[slot];
@@ -1728,6 +1734,7 @@ mod engine {
 
             std::thread::scope(|scope| {
                 let mut jobs = jobs.into_iter();
+                // INVARIANT: the shard plan always yields at least one job for a non-empty network.
                 let first = jobs.next().expect("at least one job");
                 for job in jobs {
                     scope.spawn(move || {

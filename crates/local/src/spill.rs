@@ -98,6 +98,7 @@ impl Drop for Cache {
     fn drop(&mut self) {
         for (class, bin) in self.bins.iter_mut().enumerate() {
             if !bin.is_empty() {
+                // INVARIANT: a poisoned lock means another thread panicked while holding it; propagating that panic is the intended failure mode.
                 let mut global = global_pool()[class].lock().expect("spill pool poisoned");
                 while let Some(c) = bin.pop() {
                     if global.len() < GLOBAL_CAP {
@@ -136,6 +137,7 @@ pub fn with_payload(len: usize, fill: impl FnOnce(&mut [u64])) -> Arc<[u64]> {
                 if bin.is_empty() {
                     // Refill in bulk so a busy thread pays one lock per
                     // LOCAL_CAP/2 chunks, not one per message.
+                    // INVARIANT: a poisoned lock means another thread panicked while holding it; propagating that panic is the intended failure mode.
                     let mut global = global_pool()[class].lock().expect("spill pool poisoned");
                     let take = (LOCAL_CAP / 2).min(global.len());
                     let at = global.len() - take;
@@ -147,6 +149,7 @@ pub fn with_payload(len: usize, fill: impl FnOnce(&mut [u64])) -> Arc<[u64]> {
             .flatten()
             .unwrap_or_else(|| fresh_chunk(class)),
     };
+    // INVARIANT: chunks parked in the free pool are unshared; the pool holds the only Arc.
     let slots = Arc::get_mut(&mut chunk).expect("pooled chunks have a single owner");
     fill(&mut slots[..len]);
     chunk
@@ -181,9 +184,11 @@ pub fn recycle(chunk: &mut Arc<[u64]>) {
             return true;
         }
         // Local bin full: move half to the global pool, keep recycling.
+        // INVARIANT: a poisoned lock means another thread panicked while holding it; propagating that panic is the intended failure mode.
         let mut global = global_pool()[class].lock().expect("spill pool poisoned");
         let keep = LOCAL_CAP / 2;
         while bin.len() > keep {
+            // INVARIANT: the loop condition guarantees the bin holds more than `keep` entries, so pop succeeds.
             let c = bin.pop().expect("bin above keep");
             if global.len() < GLOBAL_CAP {
                 global.push(c);

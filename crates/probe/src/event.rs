@@ -499,6 +499,7 @@ fn parse_flat_object(line: &str) -> Result<Fields, ParseError> {
             Some(&(start, c)) if c.is_ascii_digit() => {
                 let mut end = start;
                 while chars.peek().is_some_and(|&(_, c)| c.is_ascii_digit()) {
+                    // INVARIANT: extraction follows a successful peek on the same source.
                     end = chars.next().expect("peeked digit").0;
                 }
                 let v: u64 = src[start..=end]

@@ -83,6 +83,7 @@ impl Report {
                                 runs: 0,
                                 stats: Counters::zero(),
                             });
+                            // INVARIANT: a phase was pushed immediately above, so last_mut is Some.
                             r.phases.last_mut().expect("just pushed")
                         }
                     };

@@ -73,16 +73,19 @@ impl RecordingProbe {
 
     /// A clone of everything recorded so far, in emission order.
     pub fn events(&self) -> Vec<Event> {
+        // INVARIANT: a poisoned lock means another thread panicked while holding it; propagating that panic is the intended failure mode.
         self.events.lock().expect("probe lock").clone()
     }
 
     /// Drains the recorder, returning everything recorded so far.
     pub fn take(&self) -> Vec<Event> {
+        // INVARIANT: a poisoned lock means another thread panicked while holding it; propagating that panic is the intended failure mode.
         std::mem::take(&mut *self.events.lock().expect("probe lock"))
     }
 
     /// Number of events recorded so far.
     pub fn len(&self) -> usize {
+        // INVARIANT: a poisoned lock means another thread panicked while holding it; propagating that panic is the intended failure mode.
         self.events.lock().expect("probe lock").len()
     }
 
@@ -97,6 +100,7 @@ impl RecordingProbe {
     /// compare equal across thread counts and delivery modes — this is the
     /// value the determinism matrix and `BENCH_pr8.json` pin.
     pub fn digest(&self) -> u64 {
+        // INVARIANT: a poisoned lock means another thread panicked while holding it; propagating that panic is the intended failure mode.
         digest_events(&self.events.lock().expect("probe lock"))
     }
 }
@@ -106,6 +110,7 @@ impl Probe for RecordingProbe {
         true
     }
     fn emit(&self, event: Event) {
+        // INVARIANT: a poisoned lock means another thread panicked while holding it; propagating that panic is the intended failure mode.
         self.events.lock().expect("probe lock").push(event);
     }
 }
@@ -158,6 +163,7 @@ impl JsonlProbe {
     ///
     /// Propagates the underlying write error.
     pub fn flush(&self) -> io::Result<()> {
+        // INVARIANT: a poisoned lock means another thread panicked while holding it; propagating that panic is the intended failure mode.
         self.out.lock().expect("probe lock").flush()
     }
 }
@@ -167,6 +173,7 @@ impl Probe for JsonlProbe {
         true
     }
     fn emit(&self, event: Event) {
+        // INVARIANT: a poisoned lock means another thread panicked while holding it; propagating that panic is the intended failure mode.
         let mut out = self.out.lock().expect("probe lock");
         // A full disk mid-profile should not abort the run it observes.
         let _ = writeln!(out, "{}", event.to_jsonl());

@@ -123,6 +123,8 @@ fn main() -> ExitCode {
 
     // Stream every batch; the blocking path keeps the accepted stream
     // equal to the submitted stream whatever the worker backlog.
+    // tidy: allow(wall-clock) — CLI throughput line (commits/sec) is
+    // informational; fleet fingerprints are clock-free.
     let t0 = std::time::Instant::now();
     for (&id, trace) in ids.iter().zip(&traces) {
         for batch in trace.batches() {
@@ -146,17 +148,21 @@ fn main() -> ExitCode {
     let mut total_cost = 0u64;
     let mut total_errors = 0usize;
     for &id in &ids {
+        // INVARIANT: the id was returned by register() above and tenants are never removed from the fleet.
         let snap = serve.snapshot(id).expect("registered");
         if !snap.coloring.is_proper(&snap.graph) {
             eprintln!("tenant {id}: final coloring is not proper");
             return ExitCode::FAILURE;
         }
         total_commits += snap.commits;
+        // INVARIANT: the id was returned by register() above and tenants are never removed from the fleet.
         total_cost += serve.cost(id).expect("registered");
+        // INVARIANT: the id was returned by register() above and tenants are never removed from the fleet.
         total_errors += serve.errors(id).expect("registered").len();
         if args.verbose {
             println!(
                 "  {}: {} commits, n={} m={} Δ={}, bound {}, fingerprint {:016x}",
+                // INVARIANT: the id was returned by register() above and tenants are never removed from the fleet.
                 serve.tenant_name(id).expect("registered"),
                 snap.commits,
                 snap.n,

@@ -189,6 +189,7 @@ impl Shared {
     fn tenant(&self, id: TenantId) -> Result<Arc<Tenant>, ServeError> {
         self.tenants
             .read()
+            // INVARIANT: a poisoned lock means another thread panicked while holding it; propagating that panic is the intended failure mode.
             .expect("tenant table poisoned")
             .get(id)
             .cloned()
@@ -197,7 +198,9 @@ impl Shared {
 
     /// Pushes a claim and wakes a worker.
     fn enqueue_claim(&self, shard: usize, id: TenantId) {
+        // INVARIANT: a poisoned lock means another thread panicked while holding it; propagating that panic is the intended failure mode.
         self.queues[shard].lock().expect("shard queue poisoned").push_back(id);
+        // INVARIANT: a poisoned lock means another thread panicked while holding it; propagating that panic is the intended failure mode.
         let mut version = self.work.lock().expect("work version poisoned");
         *version += 1;
         drop(version);
@@ -207,12 +210,14 @@ impl Shared {
     /// Claims work for `home`: own queue front first (cache-warm FIFO),
     /// then steal from the other shards' backs.
     fn next_claim(&self, home: usize) -> Option<TenantId> {
+        // INVARIANT: a poisoned lock means another thread panicked while holding it; propagating that panic is the intended failure mode.
         if let Some(id) = self.queues[home].lock().expect("shard queue poisoned").pop_front() {
             return Some(id);
         }
         let shards = self.queues.len();
         for step in 1..shards {
             let victim = (home + step) % shards;
+            // INVARIANT: a poisoned lock means another thread panicked while holding it; propagating that panic is the intended failure mode.
             if let Some(id) = self.queues[victim].lock().expect("shard queue poisoned").pop_back() {
                 return Some(id);
             }
@@ -224,6 +229,7 @@ impl Shared {
         if count == 0 {
             return;
         }
+        // INVARIANT: a poisoned lock means another thread panicked while holding it; propagating that panic is the intended failure mode.
         let mut inflight = self.inflight.lock().expect("inflight poisoned");
         *inflight -= count;
         if *inflight == 0 {
@@ -237,10 +243,12 @@ impl Shared {
     /// inbox lock.
     fn drain_tenant(&self, id: TenantId) {
         let Ok(tenant) = self.tenant(id) else { return };
+        // INVARIANT: a poisoned lock means another thread panicked while holding it; propagating that panic is the intended failure mode.
         let mut exec = tenant.exec.lock().expect("tenant executor poisoned");
         let mut processed = 0u64;
         loop {
             let msg = {
+                // INVARIANT: a poisoned lock means another thread panicked while holding it; propagating that panic is the intended failure mode.
                 let mut inbox = tenant.inbox.lock().expect("tenant inbox poisoned");
                 match inbox.queue.pop_front() {
                     Some(msg) => {
@@ -287,6 +295,9 @@ impl Shared {
                 if exec.quarantined {
                     return;
                 }
+                // tidy: allow(wall-clock) — engine-side commit latency is
+                // informational (p50/p99 report lines); transcripts and
+                // fingerprints never read the clock.
                 let t0 = std::time::Instant::now();
                 match exec.engine.commit() {
                     Ok(report) => {
@@ -343,6 +354,7 @@ impl Shared {
                 // its own empty scan, and `shutdown` runs post-drain.
                 return;
             }
+            // INVARIANT: a poisoned lock means another thread panicked while holding it; propagating that panic is the intended failure mode.
             let version = self.work.lock().expect("work version poisoned");
             let seen = *version;
             // Re-check under the lock: an enqueue bumps the version under
@@ -354,6 +366,7 @@ impl Shared {
                 .wait_timeout_while(version, Duration::from_millis(50), |v| {
                     *v == seen && !self.shutdown.load(Ordering::SeqCst)
                 })
+                // INVARIANT: a poisoned lock means another thread panicked while holding it; propagating that panic is the intended failure mode.
                 .expect("work version poisoned");
         }
     }
@@ -387,6 +400,7 @@ impl Serve {
                 std::thread::Builder::new()
                     .name(format!("deco-serve-{home}"))
                     .spawn(move || shared.worker(home))
+                    // INVARIANT: failing to spawn a worker leaves the fleet unusable; panicking at startup is the intended behavior.
                     .expect("spawn worker")
             })
             .collect();
@@ -425,6 +439,7 @@ impl Serve {
             coloring: engine.coloring(),
             graph,
         };
+        // INVARIANT: a poisoned lock means another thread panicked while holding it; propagating that panic is the intended failure mode.
         let mut tenants = self.shared.tenants.write().expect("tenant table poisoned");
         let id = tenants.len();
         tenants.push(Arc::new(Tenant {
@@ -462,11 +477,13 @@ impl Serve {
         let tenant = self.shared.tenant(id)?;
         self.admit(id, &tenant)?;
         let schedule = {
+            // INVARIANT: a poisoned lock means another thread panicked while holding it; propagating that panic is the intended failure mode.
             let mut inbox = tenant.inbox.lock().expect("tenant inbox poisoned");
             while inbox.queue.len() >= self.shared.cfg.queue_depth {
                 if !block {
                     return Err(ServeError::Backpressure(id));
                 }
+                // INVARIANT: a poisoned lock means another thread panicked while holding it; propagating that panic is the intended failure mode.
                 inbox = tenant.space.wait(inbox).expect("tenant inbox poisoned");
             }
             // Quarantine is decided on the executor side; check it late so
@@ -476,6 +493,7 @@ impl Serve {
             }
             // Count the message in-flight *before* a worker can see it, or
             // a fast drain could decrement the counter below zero.
+            // INVARIANT: a poisoned lock means another thread panicked while holding it; propagating that panic is the intended failure mode.
             *self.shared.inflight.lock().expect("inflight poisoned") += 1;
             inbox.queue.push_back(msg);
             let claim = !inbox.scheduled;
@@ -558,6 +576,7 @@ impl Serve {
     /// [`ServeError::UnknownTenant`].
     pub fn reports(&self, id: TenantId) -> Result<Vec<CommitReport>, ServeError> {
         let tenant = self.shared.tenant(id)?;
+        // INVARIANT: a poisoned lock means another thread panicked while holding it; propagating that panic is the intended failure mode.
         let exec = tenant.exec.lock().expect("tenant executor poisoned");
         Ok(exec.reports.clone())
     }
@@ -571,6 +590,7 @@ impl Serve {
     /// [`ServeError::UnknownTenant`].
     pub fn commit_walls(&self, id: TenantId) -> Result<Vec<std::time::Duration>, ServeError> {
         let tenant = self.shared.tenant(id)?;
+        // INVARIANT: a poisoned lock means another thread panicked while holding it; propagating that panic is the intended failure mode.
         let exec = tenant.exec.lock().expect("tenant executor poisoned");
         Ok(exec.commit_walls.clone())
     }
@@ -582,6 +602,7 @@ impl Serve {
     /// [`ServeError::UnknownTenant`].
     pub fn errors(&self, id: TenantId) -> Result<Vec<TenantError>, ServeError> {
         let tenant = self.shared.tenant(id)?;
+        // INVARIANT: a poisoned lock means another thread panicked while holding it; propagating that panic is the intended failure mode.
         let exec = tenant.exec.lock().expect("tenant executor poisoned");
         Ok(exec.errors.clone())
     }
@@ -607,6 +628,7 @@ impl Serve {
 
     /// Registered tenants.
     pub fn tenant_count(&self) -> usize {
+        // INVARIANT: a poisoned lock means another thread panicked while holding it; propagating that panic is the intended failure mode.
         self.shared.tenants.read().expect("tenant table poisoned").len()
     }
 
@@ -614,8 +636,10 @@ impl Serve {
     /// Quiescence is momentary if other threads keep submitting; the
     /// tests and the CLI call this after their last submission.
     pub fn drain(&self) {
+        // INVARIANT: a poisoned lock means another thread panicked while holding it; propagating that panic is the intended failure mode.
         let mut inflight = self.shared.inflight.lock().expect("inflight poisoned");
         while *inflight > 0 {
+            // INVARIANT: a poisoned lock means another thread panicked while holding it; propagating that panic is the intended failure mode.
             inflight = self.shared.quiet.wait(inflight).expect("inflight poisoned");
         }
     }
@@ -625,9 +649,11 @@ impl Serve {
     /// are byte-identical iff their fleet fingerprints match (modulo FNV
     /// collisions) — the pr9 gate counter.
     pub fn fleet_fingerprint(&self) -> u64 {
+        // INVARIANT: a poisoned lock means another thread panicked while holding it; propagating that panic is the intended failure mode.
         let tenants = self.shared.tenants.read().expect("tenant table poisoned");
         let mut f = Fnv::new();
         for tenant in tenants.iter() {
+            // INVARIANT: a poisoned lock means another thread panicked while holding it; propagating that panic is the intended failure mode.
             let exec = tenant.exec.lock().expect("tenant executor poisoned");
             f.word(reports_fingerprint(&exec.reports));
             drop(exec);
@@ -651,6 +677,7 @@ impl Serve {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         self.shared.work_cv.notify_all();
         for worker in self.workers.drain(..) {
+            // INVARIANT: a worker panic is re-raised at shutdown so failures are never silently swallowed.
             worker.join().expect("worker panicked");
         }
     }

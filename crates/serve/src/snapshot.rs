@@ -89,6 +89,7 @@ impl<T> Swap<T> {
     /// graveyard.
     pub fn store(&self, value: Arc<T>) {
         let old = self.ptr.swap(Arc::into_raw(value).cast_mut(), Ordering::SeqCst);
+        // INVARIANT: a poisoned lock means another thread panicked while holding it; propagating that panic is the intended failure mode.
         let mut graveyard = self.graveyard.lock().expect("graveyard poisoned");
         graveyard.push(old.cast_const());
         if self.readers.load(Ordering::SeqCst) == 0 {
@@ -106,6 +107,7 @@ impl<T> Swap<T> {
 impl<T> Drop for Swap<T> {
     fn drop(&mut self) {
         // Exclusive access: no readers or writers remain.
+        // INVARIANT: a poisoned lock means another thread panicked while holding it; propagating that panic is the intended failure mode.
         for p in self.graveyard.get_mut().expect("graveyard poisoned").drain(..) {
             // SAFETY: parked pointers each carry one owned strong count.
             drop(unsafe { Arc::from_raw(p) });

@@ -180,6 +180,7 @@ fn replay(path: &str, rest: &[String]) -> ExitCode {
     // initial coloring, a different regime).
     if out.reports.len() >= 3 {
         let first = &out.reports[1];
+        // INVARIANT: guarded by the len() >= 3 check above.
         let last = out.reports.last().expect("non-empty");
         println!("last commit vs commit {}: {}", first.commit, last.stats.diff(&first.stats));
     }

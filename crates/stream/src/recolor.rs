@@ -87,7 +87,6 @@ use deco_graph::coloring::{Color, EdgeColoring};
 use deco_graph::{EdgeIdx, Graph, GraphError, MutableGraph, Vertex};
 use deco_local::{
     bits_for_value, Action, Bitset, Message, Network, NodeCtx, Protocol, RunError, RunStats,
-    Transport,
 };
 use deco_probe::{Event, Probe};
 use std::sync::Arc;
@@ -270,70 +269,6 @@ impl Recolorer {
     /// The engine's per-instance configuration.
     pub fn config(&self) -> &RecolorConfig {
         &self.cfg
-    }
-
-    /// Deprecated forwarding shim; see
-    /// [`RecolorConfig::with_repair_threshold`].
-    #[deprecated(
-        note = "configure via RecolorConfig::with_repair_threshold and Recolorer::new_with"
-    )]
-    pub fn with_repair_threshold(mut self, pct: u32) -> Recolorer {
-        self.cfg.threshold_pct = pct;
-        self
-    }
-
-    /// Deprecated forwarding shim; see
-    /// [`RecolorConfig::with_rebuild_commits`].
-    #[deprecated(
-        note = "configure via RecolorConfig::with_rebuild_commits and Recolorer::new_with"
-    )]
-    pub fn with_rebuild_commits(mut self, on: bool) -> Recolorer {
-        self.cfg.rebuild_commits = on;
-        self
-    }
-
-    /// Deprecated forwarding shim; see
-    /// [`RecolorConfig::with_compaction_every`].
-    #[deprecated(
-        note = "configure via RecolorConfig::with_compaction_every and Recolorer::new_with"
-    )]
-    pub fn with_compaction_every(mut self, k: usize) -> Recolorer {
-        self.cfg.compaction_every = k;
-        self
-    }
-
-    /// Deprecated forwarding shim; see [`RecolorConfig::with_early_halt`].
-    #[deprecated(note = "configure via RecolorConfig::with_early_halt and Recolorer::new_with")]
-    pub fn with_early_halt(mut self, on: bool) -> Recolorer {
-        self.cfg.early_halt = on;
-        self
-    }
-
-    /// Deprecated forwarding shim; see [`RecolorConfig::with_transport`].
-    #[deprecated(note = "configure via RecolorConfig::with_transport and Recolorer::new_with")]
-    pub fn with_transport(mut self, transport: Arc<dyn Transport>) -> Recolorer {
-        self.cfg.transport = transport;
-        self
-    }
-
-    /// Deprecated forwarding shim; see
-    /// [`RecolorConfig::with_max_repair_attempts`].
-    #[deprecated(
-        note = "configure via RecolorConfig::with_max_repair_attempts and Recolorer::new_with"
-    )]
-    pub fn with_max_repair_attempts(mut self, attempts: u32) -> Recolorer {
-        self.cfg.max_attempts = attempts.max(1);
-        self
-    }
-
-    /// Deprecated forwarding shim; see [`RecolorConfig::with_probe`] and
-    /// [`Recolorer::set_probe`].
-    #[deprecated(
-        note = "configure via RecolorConfig::with_probe, or Recolorer::set_probe mid-life"
-    )]
-    pub fn with_probe(mut self, probe: Arc<dyn Probe>) -> Recolorer {
-        self.set_probe(probe);
-        self
     }
 
     /// Re-points the engine's structured event sink mid-life (shared with
@@ -798,6 +733,7 @@ pub(crate) fn repair_region<H: RegionHost>(
     for (r, &v) in rank.iter().enumerate() {
         dense[v] = r as u64 + 1;
     }
+    // INVARIANT: the identifier list is distinct by construction, so re-labelling cannot fail.
     let sub = sub.with_idents(dense).expect("ranks are distinct");
     let cap = 2 * g.host_max_degree().max(1) as u64 - 1;
 
@@ -807,6 +743,7 @@ pub(crate) fn repair_region<H: RegionHost>(
     let subnet = instance_net(&sub, cfg);
     let groups = vec![0u64; sub.m()];
     let run = edge_color_in_groups(&subnet, &groups, 1, params, sub.max_degree() as u64, mode)
+        // INVARIANT: RecolorConfig parameters were validated when the engine was constructed.
         .expect("params validated at construction");
 
     // Rank-compact the schedule so finalize rounds track the region, not ϑ.
@@ -818,6 +755,7 @@ pub(crate) fn repair_region<H: RegionHost>(
         .coloring
         .colors()
         .iter()
+        // INVARIANT: the palette is assembled from all region colors including this edge's own.
         .map(|c| palette.binary_search(c).expect("own color is in the palette") as u64)
         .collect();
 
@@ -870,12 +808,14 @@ pub(crate) fn full_recolor(
     let net = instance_net(g, cfg);
     let groups = vec![0u64; g.m()];
     let run = edge_color_in_groups(&net, &groups, 1, params, g.max_degree() as u64, mode)
+        // INVARIANT: RecolorConfig parameters were validated when the engine was constructed.
         .expect("params validated at construction");
     debug_assert!(run.theta <= Recolorer::bound_for(&params, g.max_degree() as u64));
     (run.coloring.into_colors(), run.stats)
 }
 
-/// The self-stabilizing repair loop for commits over a faulty [`Transport`]
+/// The self-stabilizing repair loop for commits over a faulty
+/// [`deco_local::Transport`]
 /// (module docs): per attempt, run the loss-tolerant [`RobustFinalize`]
 /// protocol on the current region's sub-network under an exponentially
 /// growing round cap, merge the per-endpoint replicas tolerantly, verify
@@ -1144,6 +1084,7 @@ impl RobustFinalize {
                 return;
             };
             let mut union = self.taken.clone();
+            // INVARIANT: peer_mask presence was checked in the guard above.
             union.union_with(self.edges[i].peer_mask.as_ref().expect("checked above"));
             let c = union.first_absent();
             if c >= self.cap {
@@ -1286,6 +1227,7 @@ impl Protocol for Finalize {
                 .edges
                 .iter()
                 .position(|e| e.nbr == *sender)
+                // INVARIANT: the transport delivers only along host edges, so the sender is always incident.
                 .expect("mask from a non-incident sender");
             debug_assert_eq!(self.edges[i].class, deciding, "mask arrived off schedule");
             // The partner's mask is its `taken` at send time; ours hasn't
@@ -1308,6 +1250,7 @@ impl Protocol for Finalize {
     fn finish(self, _ctx: &NodeCtx<'_>) -> Vec<(EdgeIdx, u64)> {
         self.edges
             .into_iter()
+            // INVARIANT: the run loop halts only once every element is decided, so the Option is always Some.
             .map(|e| (e.eid, e.color.expect("every region edge finalized")))
             .collect()
     }

@@ -12,6 +12,9 @@ use deco_probe::{Event, Probe};
 use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
+// tidy: allow(wall-clock) — replay reports per-commit wall time only as
+// non-fatal Env probe events and ReplayRun timings; no deterministic
+// counter reads the clock.
 use std::time::{Duration, Instant};
 
 /// Error from [`replay_trace`].
@@ -101,6 +104,8 @@ pub fn replay_trace_on(
     let mut reports = Vec::new();
     let mut wall = Vec::new();
     for (commit, batch) in trace.batches().into_iter().enumerate() {
+        // tidy: allow(wall-clock) — informational commit timing, emitted
+        // as an Env event the probe digest skips.
         let t0 = Instant::now();
         for &op in batch {
             engine.queue_op(op).map_err(|error| ReplayError::Graph { commit, error })?;

@@ -40,7 +40,7 @@ use deco_core::edge::legal::{validate_edge_params, MessageMode};
 use deco_core::params::{LegalParams, ParamError};
 use deco_graph::coloring::{Color, EdgeColoring};
 use deco_graph::{EdgeIdx, Graph, GraphError, SegmentedGraph, Vertex};
-use deco_local::{RunStats, Transport};
+use deco_local::RunStats;
 use deco_probe::Probe;
 use std::sync::Arc;
 
@@ -156,60 +156,6 @@ impl SegRecolorer {
     /// The engine's per-instance configuration.
     pub fn config(&self) -> &RecolorConfig {
         &self.cfg
-    }
-
-    /// Deprecated forwarding shim; see
-    /// [`RecolorConfig::with_repair_threshold`].
-    #[deprecated(
-        note = "configure via RecolorConfig::with_repair_threshold and SegRecolorer::new_with"
-    )]
-    pub fn with_repair_threshold(mut self, pct: u32) -> SegRecolorer {
-        self.cfg.threshold_pct = pct;
-        self
-    }
-
-    /// Deprecated forwarding shim; see
-    /// [`RecolorConfig::with_compaction_every`].
-    #[deprecated(
-        note = "configure via RecolorConfig::with_compaction_every and SegRecolorer::new_with"
-    )]
-    pub fn with_compaction_every(mut self, k: usize) -> SegRecolorer {
-        self.cfg.compaction_every = k;
-        self
-    }
-
-    /// Deprecated forwarding shim; see [`RecolorConfig::with_early_halt`].
-    #[deprecated(note = "configure via RecolorConfig::with_early_halt and SegRecolorer::new_with")]
-    pub fn with_early_halt(mut self, on: bool) -> SegRecolorer {
-        self.cfg.early_halt = on;
-        self
-    }
-
-    /// Deprecated forwarding shim; see [`RecolorConfig::with_transport`].
-    #[deprecated(note = "configure via RecolorConfig::with_transport and SegRecolorer::new_with")]
-    pub fn with_transport(mut self, transport: Arc<dyn Transport>) -> SegRecolorer {
-        self.cfg.transport = transport;
-        self
-    }
-
-    /// Deprecated forwarding shim; see
-    /// [`RecolorConfig::with_max_repair_attempts`].
-    #[deprecated(
-        note = "configure via RecolorConfig::with_max_repair_attempts and SegRecolorer::new_with"
-    )]
-    pub fn with_max_repair_attempts(mut self, attempts: u32) -> SegRecolorer {
-        self.cfg.max_attempts = attempts.max(1);
-        self
-    }
-
-    /// Deprecated forwarding shim; see [`RecolorConfig::with_probe`] and
-    /// [`SegRecolorer::set_probe`].
-    #[deprecated(
-        note = "configure via RecolorConfig::with_probe, or SegRecolorer::set_probe mid-life"
-    )]
-    pub fn with_probe(mut self, probe: Arc<dyn Probe>) -> SegRecolorer {
-        self.set_probe(probe);
-        self
     }
 
     /// Re-points the engine's structured event sink mid-life; shared with

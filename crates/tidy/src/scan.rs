@@ -1,0 +1,252 @@
+//! A hand-rolled Rust source scanner: the line model every lint reads.
+//!
+//! The scanner is deliberately *not* a parser. It walks each file once,
+//! character by character, and produces per line:
+//!
+//! * `code` — the line's program text with comment text and the *contents*
+//!   of string/char literals blanked out (delimiters kept), so lints can
+//!   match tokens like `HashMap` or `.unwrap()` without tripping on
+//!   occurrences inside doc comments, `r#"…"#` fixtures, or messages;
+//! * `comment` — the concatenated comment text of the line (line comments,
+//!   doc comments, and block-comment interiors), where the `SAFETY:` /
+//!   `INVARIANT:` / `tidy: allow(…)` annotations live;
+//! * `in_test` — whether the line sits inside a `#[cfg(test)]` /
+//!   `#[test]`-attributed item, tracked by brace depth, so "non-test
+//!   library code" rules skip unit-test modules embedded in `src/`.
+//!
+//! Handled literal forms: `"…"` with escapes, raw strings `r"…"` /
+//! `r#"…"#` (any hash count, multi-line), byte/raw-byte strings, char
+//! literals (including `'"'` and escapes) distinguished from lifetimes,
+//! and nested block comments. That is exactly the set needed to scan this
+//! workspace plus its lint-fixture tests without false positives.
+
+/// One scanned source line. See the module docs for field semantics.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// Program text with comments and literal contents blanked.
+    pub code: String,
+    /// Comment text carried by this line (all comments concatenated).
+    pub comment: String,
+    /// Inside a `#[cfg(test)]` / `#[test]` item (attribute lines count).
+    pub in_test: bool,
+}
+
+/// A scanned file: `lines[i]` describes source line `i + 1`.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// The scanned lines, in file order.
+    pub lines: Vec<Line>,
+}
+
+/// Cross-line scanner state.
+enum Mode {
+    /// Plain program text.
+    Code,
+    /// Inside `/* … */`, with the current nesting depth.
+    BlockComment(u32),
+    /// Inside a normal `"…"` string (escapes active).
+    Str,
+    /// Inside a raw string closed by `"` followed by `hashes` `#`s.
+    RawStr { hashes: u32 },
+}
+
+impl SourceFile {
+    /// Scans `text` into the per-line model.
+    pub fn parse(text: &str) -> SourceFile {
+        let mut lines = Vec::new();
+        let mut mode = Mode::Code;
+        // Brace depth of blanked `code`, used for test-region tracking.
+        let mut depth: i64 = 0;
+        // A `#[cfg(test)]`/`#[test]` attribute was seen and its item has
+        // not started yet.
+        let mut pending_test = false;
+        // While `Some(d)`, lines are test code until depth returns to `d`.
+        let mut test_until: Option<i64> = None;
+
+        for raw in text.lines() {
+            let mut code = String::with_capacity(raw.len());
+            let mut comment = String::new();
+            let chars: Vec<char> = raw.chars().collect();
+            let mut i = 0usize;
+            while i < chars.len() {
+                match mode {
+                    Mode::BlockComment(ref mut d) => {
+                        if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                            *d -= 1;
+                            let done = *d == 0;
+                            i += 2;
+                            if done {
+                                mode = Mode::Code;
+                            }
+                        } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                            *d += 1;
+                            i += 2;
+                        } else {
+                            comment.push(chars[i]);
+                            i += 1;
+                        }
+                    }
+                    Mode::Str => {
+                        if chars[i] == '\\' {
+                            i += 2; // escape: skip the escaped char
+                        } else if chars[i] == '"' {
+                            code.push('"');
+                            mode = Mode::Code;
+                            i += 1;
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    Mode::RawStr { hashes } => {
+                        if chars[i] == '"'
+                            && (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+                        {
+                            code.push('"');
+                            i += 1 + hashes as usize;
+                            mode = Mode::Code;
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    Mode::Code => {
+                        let c = chars[i];
+                        if c == '/' && chars.get(i + 1) == Some(&'/') {
+                            // Line comment: the rest of the line.
+                            comment.extend(&chars[i + 2..]);
+                            i = chars.len();
+                        } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                            mode = Mode::BlockComment(1);
+                            i += 2;
+                        } else if c == '"' {
+                            code.push('"');
+                            mode = Mode::Str;
+                            i += 1;
+                        } else if (c == 'r' || c == 'b')
+                            && !ends_with_ident(&code)
+                            && raw_string_hashes(&chars[i..]).is_some()
+                        {
+                            // r"…", r#"…"#, br#"…"# etc.
+                            let (skip, hashes) = raw_string_hashes(&chars[i..]).unwrap_or((1, 0));
+                            code.push('"');
+                            i += skip;
+                            if hashes == u32::MAX {
+                                mode = Mode::Str; // b"…": normal string body
+                            } else {
+                                mode = Mode::RawStr { hashes };
+                            }
+                        } else if c == '\'' {
+                            // Char literal vs lifetime.
+                            if let Some(len) = char_literal_len(&chars[i..]) {
+                                code.push('\'');
+                                code.push('\'');
+                                i += len;
+                            } else {
+                                code.push('\'');
+                                i += 1;
+                            }
+                        } else {
+                            if c == '{' {
+                                depth += 1;
+                            } else if c == '}' {
+                                depth -= 1;
+                                if let Some(d) = test_until {
+                                    if depth <= d {
+                                        test_until = None;
+                                    }
+                                }
+                            }
+                            code.push(c);
+                            i += 1;
+                        }
+                    }
+                }
+            }
+
+            // Test-region bookkeeping (on the blanked code).
+            let mut in_test = test_until.is_some();
+            if is_test_attr(&code) && test_until.is_none() {
+                pending_test = true;
+            }
+            if pending_test {
+                in_test = true;
+                if code.contains('{') {
+                    // The item body opened on this line; the region runs
+                    // until depth falls back below the first open.
+                    let opens = code.chars().filter(|&c| c == '{').count() as i64;
+                    let closes = code.chars().filter(|&c| c == '}').count() as i64;
+                    // Depth before this line's first open:
+                    let before = depth - opens + closes;
+                    if test_until.is_none() && depth > before {
+                        test_until = Some(before);
+                    }
+                    pending_test = false;
+                    if depth <= test_until.unwrap_or(i64::MAX) {
+                        test_until = None; // e.g. `#[test] fn f() {}` one-liner
+                    }
+                } else if code.trim_end().ends_with(';') {
+                    pending_test = false; // `#[cfg(test)] use …;`
+                }
+            }
+
+            lines.push(Line { code, comment, in_test });
+        }
+        SourceFile { lines }
+    }
+}
+
+/// Does `code` end in an identifier character (so a following `r`/`b` is
+/// part of an identifier like `ptr`, not a raw-string prefix)?
+fn ends_with_ident(code: &str) -> bool {
+    code.chars().last().is_some_and(|c| c.is_alphanumeric() || c == '_')
+}
+
+/// If `chars` starts a raw/byte string prefix (`r"`, `r#"`, `br##"`,
+/// `b"`), returns `(prefix length including the opening quote, hash
+/// count)`; `b"` reports `u32::MAX` hashes to mean "normal string body".
+fn raw_string_hashes(chars: &[char]) -> Option<(usize, u32)> {
+    let mut j = 0usize;
+    if chars.first() == Some(&'b') {
+        j += 1;
+        if chars.get(j) == Some(&'"') {
+            return Some((j + 1, u32::MAX));
+        }
+    }
+    if chars.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0u32;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (chars.get(j) == Some(&'"')).then_some((j + 1, hashes))
+}
+
+/// If `chars` (starting at `'`) is a char literal, its total length;
+/// `None` for lifetimes like `'a` / `'static`.
+fn char_literal_len(chars: &[char]) -> Option<usize> {
+    debug_assert_eq!(chars.first(), Some(&'\''));
+    match chars.get(1) {
+        Some('\\') => {
+            // Escaped char literal: scan to the closing quote.
+            let mut j = 2;
+            while j < chars.len() && j < 12 {
+                if chars[j] == '\'' {
+                    return Some(j + 1);
+                }
+                j += 1;
+            }
+            None
+        }
+        Some(_) if chars.get(2) == Some(&'\'') => Some(3),
+        _ => None,
+    }
+}
+
+/// Is this (blanked) line a test attribute: `#[test]`, `#[cfg(test)]`,
+/// or a `cfg` combination mentioning `test` (e.g. `#[cfg(all(test, …))]`)?
+fn is_test_attr(code: &str) -> bool {
+    let t = code.trim();
+    t.starts_with("#[test]") || (t.starts_with("#[cfg(") && t.contains("test"))
+}

@@ -1,0 +1,113 @@
+//! Workspace walker: finds the files the lints apply to and runs the
+//! whole-tree pass ([`check_workspace`]).
+
+use crate::lints::{lint_manifest, lint_readme, lint_rust_source};
+use crate::{Diagnostic, Report};
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", ".git", ".github", "node_modules"];
+
+/// Runs every lint over the workspace rooted at `root` (the directory
+/// holding the workspace `Cargo.toml`). The current PR number for
+/// `deprecated-expiry` is derived from `CHANGES.md` (one line per shipped
+/// PR, so current = lines + 1; a missing file means PR 1).
+pub fn check_workspace(root: &Path) -> io::Result<Report> {
+    let mut violations: Vec<Diagnostic> = Vec::new();
+    let mut files_scanned = 0usize;
+
+    let current_pr = fs::read_to_string(root.join("CHANGES.md"))
+        .map(|t| t.lines().filter(|l| !l.trim().is_empty()).count() as u32 + 1)
+        .unwrap_or(1);
+
+    // Rust sources: crates/**, tests/**, examples/**.
+    let mut rust_files: Vec<PathBuf> = Vec::new();
+    for top in ["crates", "tests", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rust(&dir, &mut rust_files)?;
+        }
+    }
+    rust_files.sort();
+    for path in &rust_files {
+        let rel = rel_path(root, path);
+        let text = fs::read_to_string(path)?;
+        violations.extend(lint_rust_source(&rel, &text, current_pr));
+        files_scanned += 1;
+    }
+
+    // Manifests: root + every crate.
+    let mut manifests = vec![root.join("Cargo.toml")];
+    if let Ok(entries) = fs::read_dir(root.join("crates")) {
+        for e in entries.flatten() {
+            let m = e.path().join("Cargo.toml");
+            if m.is_file() {
+                manifests.push(m);
+            }
+        }
+    }
+    manifests.sort();
+    for path in &manifests {
+        let rel = rel_path(root, path);
+        let text = fs::read_to_string(path)?;
+        violations.extend(lint_manifest(&rel, &text));
+        files_scanned += 1;
+    }
+
+    // README workspace-layout coverage.
+    let crate_dirs = crate_dir_names(root)?;
+    let readme = fs::read_to_string(root.join("README.md")).unwrap_or_default();
+    violations.extend(lint_readme(&readme, &crate_dirs));
+    files_scanned += 1;
+
+    violations.sort_by(|a, b| (&a.path, a.line, a.lint).cmp(&(&b.path, b.line, b.lint)));
+    Ok(Report { violations, files_scanned })
+}
+
+/// The `crates/<name>` directory names, sorted.
+fn crate_dir_names(root: &Path) -> io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    if let Ok(entries) = fs::read_dir(root.join("crates")) {
+        for e in entries.flatten() {
+            if e.path().is_dir() {
+                if let Some(name) = e.file_name().to_str() {
+                    out.push(name.to_string());
+                }
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Recursively collects `.rs` files, skipping [`SKIP_DIRS`].
+fn collect_rust(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            let name = entry.file_name();
+            let skip = name.to_str().is_some_and(|n| SKIP_DIRS.contains(&n));
+            if !skip {
+                collect_rust(&path, out)?;
+            }
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative path with unix separators (diagnostics + allowlist
+/// keys are stable across platforms).
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}

@@ -1,9 +1,9 @@
 //! The [`RegionRecolor`] facade must be a zero-cost veneer: driving either
 //! engine through `&mut dyn RegionRecolor` produces bit-identical reports,
 //! colorings and snapshots to driving the concrete type directly, on both
-//! the delta-CSR sweep and a churn trace. The deprecated `with_*` builder
-//! shims must keep forwarding into [`RecolorConfig`] for their one
-//! grace-period PR.
+//! the delta-CSR sweep and a churn trace. [`RecolorConfig`] is the one
+//! configuration surface: the deprecated per-engine `with_*` builder shims
+//! served their one grace-period PR and are gone.
 
 use deco_core::edge::legal::{edge_log_depth, MessageMode};
 use deco_graph::trace::{churn_trace, Trace};
@@ -153,48 +153,46 @@ fn request_compaction_forces_one_from_scratch_commit() {
     }
 }
 
-/// The grace-period contract of the deprecated builders: each shim must
-/// keep forwarding into the engine's [`RecolorConfig`] until it is
-/// removed next PR.
+/// `RecolorConfig` is the one configuration surface: a config built once
+/// drives both engines identically through [`set_config`], covering the
+/// knobs the deleted per-engine `with_*` shims used to forward.
+///
+/// [`set_config`]: Recolorer::set_config
 #[test]
-#[allow(deprecated)]
-fn deprecated_builder_shims_still_forward() {
-    use deco_stream::{FaultyTransport, InProcess};
+fn recolor_config_is_the_single_config_surface() {
+    use deco_stream::FaultyTransport;
     use std::sync::Arc;
 
     let trace = churn_trace(160, 5, 4, 8, 0x5111);
-    let shimmed = {
-        let mut r = Recolorer::new(trace.n0, edge_log_depth(1), MessageMode::Long)
-            .unwrap()
-            .with_repair_threshold(40)
-            .with_compaction_every(3)
-            .with_early_halt(false);
-        replay_trace_on(&mut r, &trace).unwrap();
-        (r.config().threshold_pct(), r.config().compaction_every(), r.coloring())
-    };
-    let configured = {
-        let cfg = RecolorConfig::default()
-            .with_repair_threshold(40)
-            .with_compaction_every(3)
-            .with_early_halt(false);
+    let cfg = RecolorConfig::default()
+        .with_repair_threshold(40)
+        .with_compaction_every(3)
+        .with_early_halt(false);
+    let constructed = {
         let mut r =
-            Recolorer::new_with(trace.n0, edge_log_depth(1), MessageMode::Long, cfg).unwrap();
+            Recolorer::new_with(trace.n0, edge_log_depth(1), MessageMode::Long, cfg.clone())
+                .unwrap();
         replay_trace_on(&mut r, &trace).unwrap();
         (r.config().threshold_pct(), r.config().compaction_every(), r.coloring())
     };
-    assert_eq!(shimmed, configured);
+    let reconfigured = {
+        let mut r = Recolorer::new(trace.n0, edge_log_depth(1), MessageMode::Long).unwrap();
+        r.set_config(cfg.clone());
+        replay_trace_on(&mut r, &trace).unwrap();
+        (r.config().threshold_pct(), r.config().compaction_every(), r.coloring())
+    };
+    assert_eq!(constructed, reconfigured);
 
-    // Every remaining shim mutates the config it claims to.
-    let r = SegRecolorer::new(20, edge_log_depth(1), MessageMode::Long)
-        .unwrap()
+    // Every config knob lands in both engines' live configuration.
+    let seg_cfg = cfg
         .with_transport(Arc::new(FaultyTransport::new(1)))
-        .with_max_repair_attempts(0); // clamped like the config builder
+        .with_max_repair_attempts(0) // clamped to 1 by the builder
+        .with_rebuild_commits(true);
+    let r =
+        SegRecolorer::new_with(20, edge_log_depth(1), MessageMode::Long, seg_cfg.clone()).unwrap();
     assert!(!r.config().transport().is_perfect());
     assert_eq!(r.config().max_attempts(), 1);
-    let r = Recolorer::new(20, edge_log_depth(1), MessageMode::Long)
-        .unwrap()
-        .with_transport(Arc::new(InProcess))
-        .with_rebuild_commits(true);
-    assert!(r.config().transport().is_perfect());
+    let r = Recolorer::new_with(20, edge_log_depth(1), MessageMode::Long, seg_cfg).unwrap();
+    assert!(!r.config().transport().is_perfect());
     assert!(r.config().rebuild_commits());
 }
